@@ -1,0 +1,55 @@
+//! Criterion benches: host-side throughput of the simulator on
+//! representative kernels, one group per paper artifact family. These do
+//! not regenerate paper numbers (the `src/bin/*` binaries do); they track
+//! the reproduction's own performance so simulator regressions are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nomap_vm::{Architecture, Vm};
+use nomap_workloads::{shootout, sunspider};
+
+fn warm_vm(src: &str, arch: Architecture) -> Vm {
+    let mut vm = Vm::new(src, arch).expect("compiles");
+    vm.run_main().expect("main");
+    for _ in 0..120 {
+        vm.call("run", &[]).expect("warmup");
+    }
+    vm
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steady_state");
+    group.sample_size(10);
+    for (pick, arch) in [
+        ("fibo", Architecture::Base),
+        ("fibo", Architecture::NoMap),
+        ("sieve", Architecture::Base),
+        ("sieve", Architecture::NoMap),
+    ] {
+        let w = shootout().into_iter().find(|w| w.id == pick).unwrap();
+        let mut vm = warm_vm(w.source, arch);
+        group.bench_function(format!("{pick}/{}", arch.name()), |b| {
+            b.iter(|| vm.call("run", &[]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_compilation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tier_up");
+    group.sample_size(10);
+    let w = sunspider().into_iter().find(|w| w.id == "S14").unwrap();
+    group.bench_function("S14/cold_to_ftl", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(w.source, Architecture::NoMap).unwrap();
+            vm.run_main().unwrap();
+            for _ in 0..80 {
+                vm.call("run", &[]).unwrap();
+            }
+            vm.stats.total_insts()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_steady_state, bench_compilation);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Ablations of NoMap's design choices (DESIGN.md §5):
+//!
+//! 1. **Optimizer ablation** — which pass delivers how much of the NoMap
+//!    win once SMPs become aborts? (GVN / LICM / accumulator promotion /
+//!    phi untagging, each disabled in turn.)
+//! 2. **Tile-size sweep** — §V-C strip-mining trades commit overhead
+//!    against capacity aborts; sweep the chunk size on a large-footprint
+//!    kernel.
+
+use nomap_bench::heading;
+use nomap_vm::PassConfig;
+use nomap_vm::{Architecture, Vm, VmConfig};
+use nomap_workloads::{kraken, sunspider};
+
+fn steady(config: VmConfig, src: &str) -> nomap_vm::ExecStats {
+    let mut vm = Vm::with_config(src, config).expect("compiles");
+    vm.run_main().expect("main");
+    let expect = vm.call("run", &[]).expect("first");
+    for _ in 0..250 {
+        assert_eq!(vm.call("run", &[]).expect("warm"), expect);
+    }
+    vm.reset_stats();
+    for _ in 0..3 {
+        vm.call("run", &[]).expect("measured");
+    }
+    vm.stats.clone()
+}
+
+fn main() {
+    heading("Ablation 1 — optimizer passes under NoMap (S13 crypto-aes, S18 cordic, K07 desaturate)");
+    let picks: Vec<_> = sunspider()
+        .into_iter()
+        .filter(|w| w.id == "S13" || w.id == "S18")
+        .chain(kraken().into_iter().filter(|w| w.id == "K07"))
+        .collect();
+    let variants: [(&str, PassConfig); 6] = [
+        ("full", PassConfig::ftl()),
+        ("-gvn", PassConfig { gvn: false, ..PassConfig::ftl() }),
+        ("-licm", PassConfig { licm: false, ..PassConfig::ftl() }),
+        ("-promote", PassConfig { promote: false, ..PassConfig::ftl() }),
+        ("-untag", PassConfig { untag: false, ..PassConfig::ftl() }),
+        ("none", PassConfig::dfg()),
+    ];
+    println!("{:<6} {:<10} {:>12} {:>12} {:>9}", "bench", "passes", "insts", "cycles", "checks");
+    for w in &picks {
+        let mut full = 0u64;
+        for (name, passes) in variants {
+            let mut cfg = VmConfig::new(Architecture::NoMap);
+            cfg.ftl_passes = Some(passes);
+            let s = steady(cfg, w.source);
+            if name == "full" {
+                full = s.total_insts();
+            }
+            println!(
+                "{:<6} {:<10} {:>12} {:>12} {:>9}  ({:+.1}% vs full)",
+                w.id,
+                name,
+                s.total_insts(),
+                s.total_cycles(),
+                s.total_checks(),
+                100.0 * (s.total_insts() as f64 - full as f64) / full as f64,
+            );
+        }
+    }
+
+    heading("Ablation 2 — §V-C tile-size sweep on a large-footprint kernel (K07)");
+    let k07 = kraken().into_iter().find(|w| w.id == "K07").unwrap();
+    println!(
+        "{:<16} {:>12} {:>12} {:>9} {:>10} {:>14}",
+        "initial scope", "insts", "cycles", "commits", "cap.aborts", "avg foot KB"
+    );
+    use nomap_vm::TxnScope;
+    let scopes = [
+        ("Nest", TxnScope::Nest),
+        ("Inner", TxnScope::Inner),
+        ("Tiled(1024)", TxnScope::InnerTiled(1024)),
+        ("Tiled(256)", TxnScope::InnerTiled(256)),
+        ("Tiled(64)", TxnScope::InnerTiled(64)),
+        ("Tiled(16)", TxnScope::InnerTiled(16)),
+    ];
+    for (name, scope) in scopes {
+        let mut cfg = VmConfig::new(Architecture::NoMap);
+        cfg.initial_scope = Some(scope);
+        let s = steady(cfg, k07.source);
+        println!(
+            "{:<16} {:>12} {:>12} {:>9} {:>10} {:>14.1}",
+            name,
+            s.total_insts(),
+            s.total_cycles(),
+            s.tx_committed,
+            s.tx_aborts[1],
+            s.tx_character.footprint_avg() / 1024.0,
+        );
+    }
+    println!(
+        "\nSmaller tiles bound the write footprint (→ no capacity aborts even on\n\
+         RTM) at the price of more XBegin/XEnd commits per run."
+    );
+
+    heading("Ablation 3 — transaction-aware callees (extension; the paper's TMUnopt limitation)");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10} {:>10}",
+        "config", "insts", "cycles", "TMUnopt", "TMOpt"
+    );
+    let k05 = kraken().into_iter().find(|w| w.id == "K05").unwrap();
+    for (name, on) in [("NoMap (paper)", false), ("NoMap + txn callees", true)] {
+        let mut cfg = VmConfig::new(Architecture::NoMap);
+        cfg.txn_callees = on;
+        let s = steady(cfg, k05.source);
+        println!(
+            "{:<22} {:>12} {:>12} {:>10} {:>10}",
+            name,
+            s.total_insts(),
+            s.total_cycles(),
+            s.insts(nomap_vm::InstCategory::TmUnopt),
+            s.insts(nomap_vm::InstCategory::TmOpt),
+        );
+    }
+    println!(
+        "\nCompiling hot callees transaction-aware converts their SMPs to aborts\n\
+         of the caller's transaction, eliminating the TMUnopt category the\n\
+         paper observes on K05/K06."
+    );
+}

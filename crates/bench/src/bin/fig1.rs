@@ -1,0 +1,45 @@
+//! Figure 1: steady-state execution time of the Shootout benchmarks,
+//! normalized to C, log scale.
+//!
+//! Substitution (DESIGN.md §2): "C" is the native Rust kernel's abstract
+//! operation count; the original Python/PHP/Ruby bars are stood in for by
+//! tier-capped configurations of this VM, which span the same
+//! interpreter-to-JIT spectrum the figure illustrates.
+
+use nomap_bench::{geo_mean, heading, measure_capped, STEADY_MEASURED};
+use nomap_vm::TierLimit;
+use nomap_workloads::{native::run_native, shootout};
+
+fn main() {
+    heading("Figure 1 — Shootout execution time normalized to C (log scale)");
+    let configs = [
+        ("JS-FTL", TierLimit::Ftl),
+        ("JS-DFG", TierLimit::Dfg),
+        ("JS-Baseline", TierLimit::Baseline),
+        ("Interpreter", TierLimit::Interpreter),
+    ];
+    println!(
+        "{:<15} {:>7} {:>10} {:>10} {:>12} {:>12}",
+        "benchmark", "C=1.0", "JS-FTL", "JS-DFG", "JS-Baseline", "Interpreter"
+    );
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for w in shootout() {
+        let native = run_native(w.id);
+        let c_cycles = native.ops as f64;
+        let mut row = format!("{:<15} {:>7.2}", w.id, 1.0);
+        for (ci, (_, limit)) in configs.iter().enumerate() {
+            let m = measure_capped(&w, *limit).expect("workload runs");
+            let per_run = m.stats.total_cycles() as f64 / STEADY_MEASURED as f64;
+            let ratio = per_run / c_cycles;
+            ratios[ci].push(ratio);
+            row.push_str(&format!(" {:>10.2}", ratio));
+        }
+        println!("{row}");
+    }
+    let mut mean_row = format!("{:<15} {:>7.2}", "mean", 1.0);
+    for r in &ratios {
+        mean_row.push_str(&format!(" {:>10.2}", geo_mean(r)));
+    }
+    println!("{mean_row}");
+    println!("\n(ratios are simulated cycles vs native abstract ops; see EXPERIMENTS.md)");
+}

@@ -1,0 +1,62 @@
+//! Figures 10 and 11: execution time per configuration, normalized to
+//! Base and broken into TMTime / NonTMTime. Pass `--kraken` for Figure 11;
+//! default is Figure 10 (SunSpider).
+
+use nomap_bench::{heading, mean, measure, subset};
+use nomap_vm::Architecture;
+use nomap_workloads::{evaluation_suites, Suite};
+
+fn main() {
+    let kraken = std::env::args().any(|a| a == "--kraken");
+    let (suite, fig) = if kraken { (Suite::Kraken, "11") } else { (Suite::SunSpider, "10") };
+    heading(&format!(
+        "Figure {fig} — normalized execution time ({suite:?}): TMTime/NonTMTime"
+    ));
+    let all = evaluation_suites();
+    println!(
+        "{:<6} {:<10} {:>9} {:>10} {:>8}",
+        "bench", "config", "TMTime", "NonTMTime", "total"
+    );
+    let mut totals: Vec<Vec<f64>> = vec![Vec::new(); Architecture::ALL.len()];
+    let mut totals_t: Vec<Vec<f64>> = vec![Vec::new(); Architecture::ALL.len()];
+    for w in subset(&all, suite, false) {
+        let base = measure(&w, Architecture::Base).expect("base run");
+        let base_cycles = base.stats.total_cycles().max(1) as f64;
+        for (ai, arch) in Architecture::ALL.iter().enumerate() {
+            let m = if *arch == Architecture::Base {
+                base.clone()
+            } else {
+                measure(&w, *arch).expect("arch run")
+            };
+            let tm = m.stats.cycles_tm as f64 / base_cycles;
+            let non = m.stats.cycles_non_tm as f64 / base_cycles;
+            if w.in_avgs {
+                println!(
+                    "{:<6} {:<10} {:>9.3} {:>10.3} {:>8.3}",
+                    w.id,
+                    arch.name(),
+                    tm,
+                    non,
+                    tm + non
+                );
+                totals[ai].push(tm + non);
+            }
+            totals_t[ai].push(tm + non);
+        }
+    }
+    println!("\nNormalized execution time (1.0 = Base):");
+    println!("{:<10} {:>8} {:>8}", "config", "AvgS", "AvgT");
+    for (ai, arch) in Architecture::ALL.iter().enumerate() {
+        println!(
+            "{:<10} {:>8.3} {:>8.3}",
+            arch.name(),
+            mean(&totals[ai]),
+            mean(&totals_t[ai])
+        );
+    }
+    if suite == Suite::SunSpider {
+        println!("\n(paper AvgS: NoMap 0.833 — a 16.7% reduction; NoMap_RTM 0.935)");
+    } else {
+        println!("\n(paper AvgS: NoMap 0.911 — an 8.9% reduction; NoMap_RTM ~1.0)");
+    }
+}

@@ -1,0 +1,12 @@
+//! Figure 11: Kraken normalized execution time (delegates to
+//! `fig10 --kraken`).
+
+fn main() {
+    std::process::exit(
+        std::process::Command::new(std::env::current_exe().unwrap().with_file_name("fig10"))
+            .arg("--kraken")
+            .status()
+            .map(|s| s.code().unwrap_or(1))
+            .unwrap_or(1),
+    );
+}

@@ -1,0 +1,67 @@
+//! Figure 3: SMP-guarding checks in FTL code per 100 dynamic instructions,
+//! broken into Bounds / Overflow / Type / Property / Other, for SunSpider
+//! (a) and Kraken (b).
+
+use nomap_bench::{heading, mean, measure, subset};
+use nomap_vm::{Architecture, CheckKind};
+use nomap_workloads::{evaluation_suites, Suite};
+
+fn main() {
+    let all = evaluation_suites();
+    for (suite, label) in [(Suite::SunSpider, "(a) SunSpider"), (Suite::Kraken, "(b) Kraken")] {
+        heading(&format!(
+            "Figure 3{label} — FTL SMP-guarding checks per 100 dynamic instructions (Base)"
+        ));
+        println!(
+            "{:<6} {:>8} {:>9} {:>7} {:>9} {:>7} {:>7}",
+            "bench", "Bounds", "Overflow", "Type", "Property", "Other", "total"
+        );
+        let mut per_kind: Vec<Vec<f64>> = vec![Vec::new(); 5];
+        let mut totals_s = Vec::new();
+        let mut per_kind_t: Vec<Vec<f64>> = vec![Vec::new(); 5];
+        let mut totals_t = Vec::new();
+        for w in subset(&all, suite, false) {
+            let m = measure(&w, Architecture::Base).expect("run");
+            let row: Vec<f64> = CheckKind::ALL
+                .iter()
+                .map(|&k| m.stats.checks_per_100(k))
+                .collect();
+            let total: f64 = row.iter().sum();
+            if w.in_avgs {
+                println!(
+                    "{:<6} {:>8.2} {:>9.2} {:>7.2} {:>9.2} {:>7.2} {:>7.2}",
+                    w.id, row[0], row[1], row[2], row[3], row[4], total
+                );
+                for (i, v) in row.iter().enumerate() {
+                    per_kind[i].push(*v);
+                }
+                totals_s.push(total);
+            }
+            for (i, v) in row.iter().enumerate() {
+                per_kind_t[i].push(*v);
+            }
+            totals_t.push(total);
+        }
+        println!(
+            "{:<6} {:>8.2} {:>9.2} {:>7.2} {:>9.2} {:>7.2} {:>7.2}",
+            "AvgS",
+            mean(&per_kind[0]),
+            mean(&per_kind[1]),
+            mean(&per_kind[2]),
+            mean(&per_kind[3]),
+            mean(&per_kind[4]),
+            mean(&totals_s)
+        );
+        println!(
+            "{:<6} {:>8.2} {:>9.2} {:>7.2} {:>9.2} {:>7.2} {:>7.2}",
+            "AvgT",
+            mean(&per_kind_t[0]),
+            mean(&per_kind_t[1]),
+            mean(&per_kind_t[2]),
+            mean(&per_kind_t[3]),
+            mean(&per_kind_t[4]),
+            mean(&totals_t)
+        );
+    }
+    println!("\n(paper AvgT: 8.1 checks/100 in SunSpider, 8.5 in Kraken — one check every ~12 instructions)");
+}

@@ -1,0 +1,68 @@
+//! Figures 8 and 9: dynamic instruction counts per configuration,
+//! normalized to Base and broken into NoFTL / NoTM / TMUnopt / TMOpt.
+//! Pass `--kraken` for Figure 9; default is Figure 8 (SunSpider).
+
+use nomap_bench::{heading, mean, measure, subset};
+use nomap_vm::{Architecture, InstCategory};
+use nomap_workloads::{evaluation_suites, Suite};
+
+fn main() {
+    let kraken = std::env::args().any(|a| a == "--kraken");
+    let (suite, fig) = if kraken { (Suite::Kraken, "9") } else { (Suite::SunSpider, "8") };
+    run(suite, fig);
+}
+
+fn run(suite: Suite, fig: &str) {
+    heading(&format!(
+        "Figure {fig} — normalized instruction counts ({suite:?}): NoFTL/NoTM/TMUnopt/TMOpt"
+    ));
+    let all = evaluation_suites();
+    println!(
+        "{:<6} {:<10} {:>8} {:>8} {:>9} {:>8} {:>8}",
+        "bench", "config", "NoFTL", "NoTM", "TMUnopt", "TMOpt", "total"
+    );
+    let mut totals: Vec<Vec<f64>> = vec![Vec::new(); Architecture::ALL.len()];
+    let mut totals_t: Vec<Vec<f64>> = vec![Vec::new(); Architecture::ALL.len()];
+    for w in subset(&all, suite, false) {
+        let base = measure(&w, Architecture::Base).expect("base run");
+        let base_total = base.stats.total_insts().max(1) as f64;
+        for (ai, arch) in Architecture::ALL.iter().enumerate() {
+            let m = if *arch == Architecture::Base {
+                base.clone()
+            } else {
+                measure(&w, *arch).expect("arch run")
+            };
+            let frac = |c: InstCategory| m.stats.insts(c) as f64 / base_total;
+            let total = m.stats.total_insts() as f64 / base_total;
+            if w.in_avgs {
+                println!(
+                    "{:<6} {:<10} {:>8.3} {:>8.3} {:>9.3} {:>8.3} {:>8.3}",
+                    w.id,
+                    arch.name(),
+                    frac(InstCategory::NoFtl),
+                    frac(InstCategory::NoTm),
+                    frac(InstCategory::TmUnopt),
+                    frac(InstCategory::TmOpt),
+                    total
+                );
+                totals[ai].push(total);
+            }
+            totals_t[ai].push(total);
+        }
+    }
+    println!("\nNormalized total instructions (1.0 = Base):");
+    println!("{:<10} {:>8} {:>8}", "config", "AvgS", "AvgT");
+    for (ai, arch) in Architecture::ALL.iter().enumerate() {
+        println!(
+            "{:<10} {:>8.3} {:>8.3}",
+            arch.name(),
+            mean(&totals[ai]),
+            mean(&totals_t[ai])
+        );
+    }
+    if suite == Suite::SunSpider {
+        println!("\n(paper AvgS: NoMap_S 0.937, NoMap_B 0.914, NoMap 0.858, NoMap_BC 0.829, NoMap_RTM 0.949)");
+    } else {
+        println!("\n(paper AvgS: NoMap 0.885, NoMap_BC 0.820, NoMap_RTM ~1.0)");
+    }
+}

@@ -1,0 +1,14 @@
+//! Figure 9: Kraken normalized instruction counts (delegates to the
+//! shared implementation in `fig8 --kraken`).
+
+fn main() {
+    // Keep a dedicated binary per figure for discoverability; reuse the
+    // fig8 logic by exec-style delegation is overkill, so inline the call.
+    std::process::exit(
+        std::process::Command::new(std::env::current_exe().unwrap().with_file_name("fig8"))
+            .arg("--kraken")
+            .status()
+            .map(|s| s.code().unwrap_or(1))
+            .unwrap_or(1),
+    );
+}

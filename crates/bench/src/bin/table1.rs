@@ -1,0 +1,52 @@
+//! Table I: speedup of each JavaScriptCore tier over the Interpreter, for
+//! the SunSpider and Kraken suites (AvgS and AvgT columns).
+
+use nomap_bench::{geo_mean, heading, measure_capped, subset};
+use nomap_vm::TierLimit;
+use nomap_workloads::{evaluation_suites, Suite};
+
+fn main() {
+    heading("Table I — Speedup of tiers over the Interpreter");
+    let suites = [(Suite::SunSpider, "SunSpider"), (Suite::Kraken, "Kraken")];
+    let tiers = [
+        ("Baseline", TierLimit::Baseline),
+        ("DFG", TierLimit::Dfg),
+        ("FTL", TierLimit::Ftl),
+    ];
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>14}",
+        "Highest", "SunSpider", "SunSpider", "Kraken", "Kraken"
+    );
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>14}",
+        "Tier", "AvgS", "AvgT", "AvgS", "AvgT"
+    );
+    // Baseline: interpreter cycles per workload.
+    let mut interp: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let all = evaluation_suites();
+    for w in &all {
+        let m = measure_capped(w, TierLimit::Interpreter).expect("interp run");
+        interp.insert(w.id.to_owned(), m.stats.total_cycles() as f64);
+    }
+    for (name, limit) in tiers {
+        let mut cols = Vec::new();
+        for (suite, _) in suites {
+            for avgs in [true, false] {
+                let ws = subset(&all, suite, avgs);
+                let speedups: Vec<f64> = ws
+                    .iter()
+                    .map(|w| {
+                        let m = measure_capped(w, limit).expect("tier run");
+                        interp[w.id] / m.stats.total_cycles().max(1) as f64
+                    })
+                    .collect();
+                cols.push(geo_mean(&speedups));
+            }
+        }
+        println!(
+            "{:<10} {:>13.2}x {:>13.2}x {:>13.2}x {:>13.2}x",
+            name, cols[0], cols[1], cols[2], cols[3]
+        );
+    }
+    println!("\n(paper: Baseline 2.13/1.88/1.22/0.87, DFG 7.71/6.64/8.45/6.67, FTL 11.48/9.37/15.03/10.94)");
+}

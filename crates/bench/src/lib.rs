@@ -1,0 +1,120 @@
+//! Shared infrastructure for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper;
+//! this library provides the steady-state runner, averaging helpers and
+//! plain-text table/bar rendering they share. DESIGN.md carries the
+//! experiment index mapping binaries to paper artifacts.
+
+use nomap_vm::{Architecture, ExecStats, TierLimit, VmError};
+use nomap_workloads::{run_workload, RunSpec, Suite, Workload};
+
+/// Number of measured `run()` calls in [`RunSpec::steady`]; divide window
+/// totals by this for per-run numbers.
+pub const STEADY_MEASURED: u64 = 3;
+
+/// Measured statistics for one (workload, configuration) pair.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Workload id.
+    pub id: String,
+    /// Steady-state statistics.
+    pub stats: ExecStats,
+}
+
+/// Runs `w` to steady state under `arch`.
+///
+/// # Errors
+///
+/// Propagates VM errors (a failing workload should abort the experiment).
+pub fn measure(w: &Workload, arch: Architecture) -> Result<Measured, VmError> {
+    let out = run_workload(w, RunSpec::steady(arch))?;
+    Ok(Measured { id: w.id.to_owned(), stats: out.stats })
+}
+
+/// Runs `w` to steady state with a capped tier under `Base`.
+///
+/// # Errors
+///
+/// Propagates VM errors.
+pub fn measure_capped(w: &Workload, limit: TierLimit) -> Result<Measured, VmError> {
+    let out = run_workload(w, RunSpec::capped(Architecture::Base, limit))?;
+    Ok(Measured { id: w.id.to_owned(), stats: out.stats })
+}
+
+/// Geometric mean (used for ratio averages).
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.max(1e-12).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Filters a suite's workloads: all of them (`AvgT`) or the paper's `AvgS`
+/// subset.
+pub fn subset(ws: &[Workload], suite: Suite, avgs_only: bool) -> Vec<Workload> {
+    ws.iter()
+        .filter(|w| w.suite == suite && (!avgs_only || w.in_avgs))
+        .cloned()
+        .collect()
+}
+
+/// Renders a unicode bar of `frac` (0..=1+) scaled to `width` cells.
+pub fn bar(frac: f64, width: usize) -> String {
+    let cells = (frac.max(0.0) * width as f64).round() as usize;
+    let mut s = String::new();
+    for i in 0..width.max(cells) {
+        s.push(if i < cells { '█' } else { ' ' });
+        if i >= width * 2 {
+            break; // clamp runaway bars
+        }
+    }
+    s
+}
+
+/// Prints a header in a consistent style.
+pub fn heading(title: &str) {
+    println!("\n{title}");
+    println!("{}", "=".repeat(title.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_of_ratios() {
+        let g = geo_mean(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-9);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn subset_respects_avgs() {
+        let all = nomap_workloads::sunspider();
+        let avgs = subset(&all, Suite::SunSpider, true);
+        assert_eq!(avgs.len(), 16);
+        let avgt = subset(&all, Suite::SunSpider, false);
+        assert_eq!(avgt.len(), 26);
+    }
+
+    #[test]
+    fn bar_renders() {
+        assert_eq!(bar(0.5, 4), "██  ");
+        assert!(bar(0.0, 3).trim().is_empty());
+    }
+}

@@ -1,0 +1,1156 @@
+//! AST → bytecode compiler.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use nomap_frontend::{
+    parse_program, AssignTarget, BinOp, Expr, ExprKind, LogOp, ParseError, Span, Stmt, StmtKind,
+    UnOp,
+};
+
+use crate::op::{BinaryOp, Intrinsic, Op, Reg, SiteId, UnaryOp};
+use crate::program::{Const, ConstId, FuncId, Function, Interner, NameId, Program};
+
+/// An error produced while compiling to bytecode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    msg: String,
+    /// Source location of the offending construct.
+    pub span: Span,
+}
+
+impl CompileError {
+    fn new(msg: impl Into<String>, span: Span) -> Self {
+        CompileError { msg: msg.into(), span }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error at {}: {}", self.span, self.msg)
+    }
+}
+
+impl Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        CompileError { msg: e.to_string(), span: e.span }
+    }
+}
+
+/// Parses and compiles MiniJS source into a bytecode [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on syntax errors, unknown functions/methods,
+/// or register exhaustion.
+///
+/// # Example
+///
+/// ```
+/// let p = nomap_bytecode::compile_program("var x = 1 + 2;")?;
+/// assert!(p.functions[0].code.len() >= 3);
+/// # Ok::<(), nomap_bytecode::CompileError>(())
+/// ```
+pub fn compile_program(src: &str) -> Result<Program, CompileError> {
+    let ast = parse_program(src)?;
+    compile_ast(&ast)
+}
+
+/// Compiles an already-parsed AST into a bytecode [`Program`].
+///
+/// # Errors
+///
+/// See [`compile_program`].
+pub fn compile_ast(ast: &nomap_frontend::Program) -> Result<Program, CompileError> {
+    let mut interner = Interner::new();
+    let mut function_ids = HashMap::new();
+    // Function id 0 is the synthetic top-level script.
+    for (i, f) in ast.functions.iter().enumerate() {
+        let id = FuncId(1 + i as u32);
+        if function_ids.insert(f.name.clone(), id).is_some() {
+            return Err(CompileError::new(
+                format!("duplicate function `{}`", f.name),
+                f.span,
+            ));
+        }
+    }
+
+    let mut functions = Vec::with_capacity(1 + ast.functions.len());
+    let main = FuncCompiler::new(
+        FuncId(0),
+        "«main»".to_owned(),
+        &[],
+        &ast.top_level,
+        true,
+        &mut interner,
+        &function_ids,
+    )
+    .compile()?;
+    functions.push(main);
+    for (i, f) in ast.functions.iter().enumerate() {
+        let c = FuncCompiler::new(
+            FuncId(1 + i as u32),
+            f.name.clone(),
+            &f.params,
+            &f.body,
+            false,
+            &mut interner,
+            &function_ids,
+        );
+        functions.push(c.compile()?);
+    }
+
+    Ok(Program { functions, interner, function_ids })
+}
+
+/// Loop context for `break`/`continue` patching.
+struct LoopCtx {
+    break_patches: Vec<usize>,
+    continue_patches: Vec<usize>,
+    /// Set when the continue target is already known (e.g. `while` header).
+    continue_target: Option<u32>,
+}
+
+struct FuncCompiler<'a> {
+    id: FuncId,
+    name: String,
+    is_main: bool,
+    code: Vec<Op>,
+    constants: Vec<Const>,
+    const_map: HashMap<ConstKey, ConstId>,
+    locals: HashMap<String, Reg>,
+    param_count: u16,
+    local_count: u16,
+    first_temp: u16,
+    next_temp: u16,
+    max_reg: u16,
+    sites: u16,
+    loops: Vec<LoopCtx>,
+    loop_headers: Vec<u32>,
+    interner: &'a mut Interner,
+    function_ids: &'a HashMap<String, FuncId>,
+    body: &'a [Stmt],
+}
+
+#[derive(PartialEq, Eq, Hash)]
+enum ConstKey {
+    Num(u64),
+    Str(String),
+}
+
+impl<'a> FuncCompiler<'a> {
+    fn new(
+        id: FuncId,
+        name: String,
+        params: &[String],
+        body: &'a [Stmt],
+        is_main: bool,
+        interner: &'a mut Interner,
+        function_ids: &'a HashMap<String, FuncId>,
+    ) -> Self {
+        let mut locals = HashMap::new();
+        for (i, p) in params.iter().enumerate() {
+            locals.insert(p.clone(), Reg(i as u16));
+        }
+        let param_count = params.len() as u16;
+        let mut c = FuncCompiler {
+            id,
+            name,
+            is_main,
+            code: Vec::new(),
+            constants: Vec::new(),
+            const_map: HashMap::new(),
+            locals,
+            param_count,
+            local_count: 0,
+            first_temp: param_count,
+            next_temp: param_count,
+            max_reg: param_count,
+            sites: 0,
+            loops: Vec::new(),
+            loop_headers: Vec::new(),
+            interner,
+            function_ids,
+            body,
+        };
+        if !is_main {
+            // Hoist `var` declarations into locals (function scope).
+            let mut names = Vec::new();
+            collect_vars(body, &mut names);
+            for n in names {
+                if !c.locals.contains_key(&n) {
+                    let r = Reg(c.param_count + c.local_count);
+                    c.local_count += 1;
+                    c.locals.insert(n, r);
+                }
+            }
+            c.first_temp = c.param_count + c.local_count;
+            c.next_temp = c.first_temp;
+            c.max_reg = c.first_temp;
+        }
+        c
+    }
+
+    fn compile(mut self) -> Result<Function, CompileError> {
+        // Locals start as undefined (hoisting semantics).
+        for i in 0..self.local_count {
+            self.emit(Op::LoadUndefined { dst: Reg(self.param_count + i) });
+        }
+        for stmt in self.body {
+            self.stmt(stmt)?;
+        }
+        // Implicit `return undefined`.
+        let r = self.temp(Span::default())?;
+        self.emit(Op::LoadUndefined { dst: r });
+        self.emit(Op::Return { src: r });
+        let mut loop_headers = std::mem::take(&mut self.loop_headers);
+        loop_headers.sort_unstable();
+        loop_headers.dedup();
+        Ok(Function {
+            id: self.id,
+            name: self.name,
+            param_count: self.param_count,
+            register_count: self.max_reg,
+            local_count: self.local_count,
+            code: self.code,
+            constants: self.constants,
+            site_count: self.sites,
+            loop_headers,
+        })
+    }
+
+    // ---- small helpers -------------------------------------------------
+
+    fn emit(&mut self, op: Op) -> usize {
+        self.code.push(op);
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        self.code[at].set_jump_target(target);
+        if target <= at as u32 {
+            self.loop_headers.push(target);
+        }
+    }
+
+    fn site(&mut self) -> SiteId {
+        let s = SiteId(self.sites);
+        self.sites += 1;
+        s
+    }
+
+    fn temp(&mut self, span: Span) -> Result<Reg, CompileError> {
+        let r = self.next_temp;
+        self.next_temp = self
+            .next_temp
+            .checked_add(1)
+            .ok_or_else(|| CompileError::new("register file exhausted", span))?;
+        if self.next_temp > self.max_reg {
+            self.max_reg = self.next_temp;
+        }
+        Ok(Reg(r))
+    }
+
+    fn temp_mark(&self) -> u16 {
+        self.next_temp
+    }
+
+    fn reset_temps(&mut self, mark: u16) {
+        self.next_temp = mark;
+    }
+
+    fn constant(&mut self, c: Const, span: Span) -> Result<ConstId, CompileError> {
+        let key = match &c {
+            Const::Num(n) => ConstKey::Num(n.to_bits()),
+            Const::Str(s) => ConstKey::Str(s.clone()),
+        };
+        if let Some(&id) = self.const_map.get(&key) {
+            return Ok(id);
+        }
+        if self.constants.len() > u16::MAX as usize {
+            return Err(CompileError::new("constant pool exhausted", span));
+        }
+        let id = ConstId(self.constants.len() as u16);
+        self.constants.push(c);
+        self.const_map.insert(key, id);
+        Ok(id)
+    }
+
+    fn name(&mut self, s: &str) -> NameId {
+        self.interner.intern(s)
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        let mark = self.temp_mark();
+        match &s.kind {
+            StmtKind::Empty => {}
+            StmtKind::Expr(e) => {
+                self.expr(e)?;
+            }
+            StmtKind::VarDecl(decls) => {
+                for (nm, init) in decls {
+                    match init {
+                        Some(e) => {
+                            let v = self.expr(e)?;
+                            self.store_var(nm, v, s.span)?;
+                        }
+                        None => {
+                            if self.is_main && !self.locals.contains_key(nm) {
+                                let v = self.temp(s.span)?;
+                                self.emit(Op::LoadUndefined { dst: v });
+                                let name = self.name(nm);
+                                self.emit(Op::PutGlobal { name, src: v });
+                            }
+                            // Function-local `var x;` is already undefined.
+                        }
+                    }
+                    self.reset_temps(mark);
+                }
+            }
+            StmtKind::Block(stmts) => {
+                for st in stmts {
+                    self.stmt(st)?;
+                }
+            }
+            StmtKind::If(cond, then, els) => {
+                let c = self.expr(cond)?;
+                let jf = self.emit(Op::JumpIfFalse { cond: c, target: 0 });
+                self.reset_temps(mark);
+                self.stmt(then)?;
+                if let Some(els) = els {
+                    let jend = self.emit(Op::Jump { target: 0 });
+                    let else_at = self.here();
+                    self.patch(jf, else_at);
+                    self.stmt(els)?;
+                    let end = self.here();
+                    self.patch(jend, end);
+                } else {
+                    let end = self.here();
+                    self.patch(jf, end);
+                }
+            }
+            StmtKind::While(cond, body) => {
+                let header = self.here();
+                self.loop_headers.push(header);
+                let c = self.expr(cond)?;
+                let jexit = self.emit(Op::JumpIfFalse { cond: c, target: 0 });
+                self.reset_temps(mark);
+                self.loops.push(LoopCtx {
+                    break_patches: vec![],
+                    continue_patches: vec![],
+                    continue_target: Some(header),
+                });
+                self.stmt(body)?;
+                let back = self.emit(Op::Jump { target: 0 });
+                self.patch(back, header);
+                let end = self.here();
+                self.patch(jexit, end);
+                let ctx = self.loops.pop().unwrap();
+                self.finish_loop(ctx, end, Some(header));
+            }
+            StmtKind::DoWhile(body, cond) => {
+                let header = self.here();
+                self.loop_headers.push(header);
+                self.loops.push(LoopCtx {
+                    break_patches: vec![],
+                    continue_patches: vec![],
+                    continue_target: None,
+                });
+                self.stmt(body)?;
+                let cont_at = self.here();
+                let c = self.expr(cond)?;
+                let back = self.emit(Op::JumpIfTrue { cond: c, target: 0 });
+                self.patch(back, header);
+                let end = self.here();
+                let ctx = self.loops.pop().unwrap();
+                self.finish_loop(ctx, end, Some(cont_at));
+            }
+            StmtKind::For { init, cond, step, body } => {
+                if let Some(init) = init {
+                    self.stmt(init)?;
+                }
+                let header = self.here();
+                self.loop_headers.push(header);
+                let jexit = match cond {
+                    Some(c) => {
+                        let r = self.expr(c)?;
+                        let j = self.emit(Op::JumpIfFalse { cond: r, target: 0 });
+                        self.reset_temps(mark);
+                        Some(j)
+                    }
+                    None => None,
+                };
+                self.loops.push(LoopCtx {
+                    break_patches: vec![],
+                    continue_patches: vec![],
+                    continue_target: None,
+                });
+                self.stmt(body)?;
+                let cont_at = self.here();
+                if let Some(step) = step {
+                    let m = self.temp_mark();
+                    self.expr(step)?;
+                    self.reset_temps(m);
+                }
+                let back = self.emit(Op::Jump { target: 0 });
+                self.patch(back, header);
+                let end = self.here();
+                if let Some(j) = jexit {
+                    self.patch(j, end);
+                }
+                let ctx = self.loops.pop().unwrap();
+                self.finish_loop(ctx, end, Some(cont_at));
+            }
+            StmtKind::Return(value) => {
+                let r = match value {
+                    Some(e) => self.expr(e)?,
+                    None => {
+                        let r = self.temp(s.span)?;
+                        self.emit(Op::LoadUndefined { dst: r });
+                        r
+                    }
+                };
+                self.emit(Op::Return { src: r });
+            }
+            StmtKind::Break => {
+                let j = self.emit(Op::Jump { target: 0 });
+                match self.loops.last_mut() {
+                    Some(ctx) => ctx.break_patches.push(j),
+                    None => return Err(CompileError::new("`break` outside a loop", s.span)),
+                }
+            }
+            StmtKind::Continue => {
+                let j = self.emit(Op::Jump { target: 0 });
+                match self.loops.last_mut() {
+                    Some(ctx) => match ctx.continue_target {
+                        Some(t) => {
+                            self.patch(j, t);
+                        }
+                        None => ctx.continue_patches.push(j),
+                    },
+                    None => return Err(CompileError::new("`continue` outside a loop", s.span)),
+                }
+            }
+        }
+        self.reset_temps(mark);
+        Ok(())
+    }
+
+    fn finish_loop(&mut self, ctx: LoopCtx, break_target: u32, continue_target: Option<u32>) {
+        for j in ctx.break_patches {
+            self.patch(j, break_target);
+        }
+        if let Some(t) = continue_target {
+            for j in ctx.continue_patches {
+                self.patch(j, t);
+            }
+        }
+    }
+
+    fn store_var(&mut self, name: &str, value: Reg, span: Span) -> Result<(), CompileError> {
+        if let Some(&local) = self.locals.get(name) {
+            if local != value {
+                self.emit(Op::Mov { dst: local, src: value });
+            }
+            return Ok(());
+        }
+        if self.is_main || !self.locals.contains_key(name) {
+            let n = self.name(name);
+            self.emit(Op::PutGlobal { name: n, src: value });
+            return Ok(());
+        }
+        Err(CompileError::new(format!("cannot assign `{name}`"), span))
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    fn expr(&mut self, e: &Expr) -> Result<Reg, CompileError> {
+        match &e.kind {
+            ExprKind::Number(n) => {
+                let dst = self.temp(e.span)?;
+                self.emit_number(dst, *n, e.span)?;
+                Ok(dst)
+            }
+            ExprKind::Str(s) => {
+                let dst = self.temp(e.span)?;
+                let cid = self.constant(Const::Str(s.clone()), e.span)?;
+                self.emit(Op::LoadConst { dst, cid });
+                Ok(dst)
+            }
+            ExprKind::Bool(b) => {
+                let dst = self.temp(e.span)?;
+                self.emit(Op::LoadBool { dst, value: *b });
+                Ok(dst)
+            }
+            ExprKind::Null => {
+                let dst = self.temp(e.span)?;
+                self.emit(Op::LoadNull { dst });
+                Ok(dst)
+            }
+            ExprKind::Undefined => {
+                let dst = self.temp(e.span)?;
+                self.emit(Op::LoadUndefined { dst });
+                Ok(dst)
+            }
+            ExprKind::Ident(name) => {
+                if let Some(&r) = self.locals.get(name) {
+                    return Ok(r);
+                }
+                let dst = self.temp(e.span)?;
+                let n = self.name(name);
+                let site = self.site();
+                self.emit(Op::GetGlobal { dst, name: n, site });
+                Ok(dst)
+            }
+            ExprKind::Array(elems) => {
+                let dst = self.temp(e.span)?;
+                let mark = self.temp_mark();
+                let len = self.temp(e.span)?;
+                self.emit(Op::LoadInt { dst: len, value: elems.len() as i32 });
+                self.emit(Op::NewArray { dst, len });
+                for (i, el) in elems.iter().enumerate() {
+                    let m2 = self.temp_mark();
+                    let idx = self.temp(e.span)?;
+                    self.emit(Op::LoadInt { dst: idx, value: i as i32 });
+                    let v = self.expr(el)?;
+                    let site = self.site();
+                    self.emit(Op::PutIndex { arr: dst, idx, val: v, site });
+                    self.reset_temps(m2);
+                }
+                self.reset_temps(mark);
+                Ok(dst)
+            }
+            ExprKind::Object(fields) => {
+                let dst = self.temp(e.span)?;
+                self.emit(Op::NewObject { dst });
+                for (k, v) in fields {
+                    let mark = self.temp_mark();
+                    let val = self.expr(v)?;
+                    let name = self.name(k);
+                    let site = self.site();
+                    self.emit(Op::PutProp { obj: dst, name, val, site });
+                    self.reset_temps(mark);
+                }
+                Ok(dst)
+            }
+            ExprKind::NewArray(len) => {
+                let dst = self.temp(e.span)?;
+                let mark = self.temp_mark();
+                let l = self.expr(len)?;
+                self.emit(Op::NewArray { dst, len: l });
+                self.reset_temps(mark);
+                Ok(dst)
+            }
+            ExprKind::Unary(op, a) => {
+                let dst = self.temp(e.span)?;
+                let mark = self.temp_mark();
+                let r = self.expr(a)?;
+                let uop = match op {
+                    UnOp::Neg => UnaryOp::Neg,
+                    UnOp::Plus => UnaryOp::ToNumber,
+                    UnOp::Not => UnaryOp::Not,
+                    UnOp::BitNot => UnaryOp::BitNot,
+                    UnOp::Typeof => UnaryOp::Typeof,
+                };
+                let site = self.site();
+                self.emit(Op::Unary { op: uop, dst, a: r, site });
+                self.reset_temps(mark);
+                Ok(dst)
+            }
+            ExprKind::Binary(op, a, b) => {
+                let dst = self.temp(e.span)?;
+                let mark = self.temp_mark();
+                let ra = if expr_has_effects(b) {
+                    // Protect the left operand from mutation by the right.
+                    let t = self.temp(e.span)?;
+                    self.expr_into(a, t)?;
+                    t
+                } else {
+                    self.expr(a)?
+                };
+                let rb = self.expr(b)?;
+                let site = self.site();
+                self.emit(Op::Binary { op: lower_binop(*op), dst, a: ra, b: rb, site });
+                self.reset_temps(mark);
+                Ok(dst)
+            }
+            ExprKind::Logical(op, a, b) => {
+                let dst = self.temp(e.span)?;
+                self.expr_into(a, dst)?;
+                let j = match op {
+                    LogOp::And => self.emit(Op::JumpIfFalse { cond: dst, target: 0 }),
+                    LogOp::Or => self.emit(Op::JumpIfTrue { cond: dst, target: 0 }),
+                };
+                self.expr_into(b, dst)?;
+                let end = self.here();
+                self.patch(j, end);
+                Ok(dst)
+            }
+            ExprKind::Ternary(c, a, b) => {
+                let dst = self.temp(e.span)?;
+                let mark = self.temp_mark();
+                let rc = self.expr(c)?;
+                let jf = self.emit(Op::JumpIfFalse { cond: rc, target: 0 });
+                self.reset_temps(mark);
+                self.expr_into(a, dst)?;
+                let jend = self.emit(Op::Jump { target: 0 });
+                let else_at = self.here();
+                self.patch(jf, else_at);
+                self.expr_into(b, dst)?;
+                let end = self.here();
+                self.patch(jend, end);
+                Ok(dst)
+            }
+            ExprKind::Assign(target, op, value) => self.assign(target, *op, value, e.span),
+            ExprKind::IncrDecr { target, is_incr, prefix } => {
+                self.incr_decr(target, *is_incr, *prefix, e.span)
+            }
+            ExprKind::Call(name, args) => {
+                // `print` is a free-function builtin.
+                if name == "print" && !self.function_ids.contains_key(name) {
+                    let dst = self.temp(e.span)?;
+                    let mark = self.temp_mark();
+                    let argv = self.compile_args(args, e.span)?;
+                    let site = self.site();
+                    self.emit(Op::CallIntrinsic {
+                        dst,
+                        intr: Intrinsic::Print,
+                        argv,
+                        argc: args.len() as u8,
+                        site,
+                    });
+                    self.reset_temps(mark);
+                    return Ok(dst);
+                }
+                let dst = self.temp(e.span)?;
+                let mark = self.temp_mark();
+                let func = *self.function_ids.get(name).ok_or_else(|| {
+                    CompileError::new(format!("call of unknown function `{name}`"), e.span)
+                })?;
+                let argv = self.compile_args(args, e.span)?;
+                let site = self.site();
+                self.emit(Op::Call { dst, func, argv, argc: args.len() as u8, site });
+                self.reset_temps(mark);
+                Ok(dst)
+            }
+            ExprKind::MethodCall(recv, name, args) => {
+                self.method_call(recv, name, args, e.span)
+            }
+            ExprKind::Member(obj, name) => {
+                let dst = self.temp(e.span)?;
+                let mark = self.temp_mark();
+                let o = self.expr(obj)?;
+                let n = self.name(name);
+                let site = self.site();
+                self.emit(Op::GetProp { dst, obj: o, name: n, site });
+                self.reset_temps(mark);
+                Ok(dst)
+            }
+            ExprKind::Index(arr, idx) => {
+                let dst = self.temp(e.span)?;
+                let mark = self.temp_mark();
+                let a = self.expr(arr)?;
+                let i = self.expr(idx)?;
+                let site = self.site();
+                self.emit(Op::GetIndex { dst, arr: a, idx: i, site });
+                self.reset_temps(mark);
+                Ok(dst)
+            }
+        }
+    }
+
+    /// Compiles `e` and ensures its value ends in `dst`.
+    fn expr_into(&mut self, e: &Expr, dst: Reg) -> Result<(), CompileError> {
+        // Literals can be materialized straight into the destination.
+        match &e.kind {
+            ExprKind::Number(n) => return self.emit_number(dst, *n, e.span),
+            ExprKind::Bool(b) => {
+                self.emit(Op::LoadBool { dst, value: *b });
+                return Ok(());
+            }
+            ExprKind::Null => {
+                self.emit(Op::LoadNull { dst });
+                return Ok(());
+            }
+            ExprKind::Undefined => {
+                self.emit(Op::LoadUndefined { dst });
+                return Ok(());
+            }
+            ExprKind::Str(s) => {
+                let cid = self.constant(Const::Str(s.clone()), e.span)?;
+                self.emit(Op::LoadConst { dst, cid });
+                return Ok(());
+            }
+            _ => {}
+        }
+        let mark = self.temp_mark();
+        let r = self.expr(e)?;
+        if r != dst {
+            self.emit(Op::Mov { dst, src: r });
+        }
+        self.reset_temps(mark);
+        Ok(())
+    }
+
+    fn emit_number(&mut self, dst: Reg, n: f64, span: Span) -> Result<(), CompileError> {
+        // Integral values in int32 range load as int immediates, matching
+        // JavaScript engines' int32 fast path.
+        if n.fract() == 0.0 && n >= i32::MIN as f64 && n <= i32::MAX as f64 && !(n == 0.0 && n.is_sign_negative()) {
+            self.emit(Op::LoadInt { dst, value: n as i32 });
+        } else {
+            let cid = self.constant(Const::Num(n), span)?;
+            self.emit(Op::LoadConst { dst, cid });
+        }
+        Ok(())
+    }
+
+    fn compile_args(&mut self, args: &[Expr], span: Span) -> Result<Reg, CompileError> {
+        let argv = self.next_temp;
+        for _ in 0..args.len() {
+            self.temp(span)?;
+        }
+        for (i, a) in args.iter().enumerate() {
+            self.expr_into(a, Reg(argv + i as u16))?;
+            // expr_into resets temps back to after the argv block.
+            self.next_temp = argv + args.len() as u16;
+        }
+        Ok(Reg(argv))
+    }
+
+    fn method_call(
+        &mut self,
+        recv: &Expr,
+        name: &str,
+        args: &[Expr],
+        span: Span,
+    ) -> Result<Reg, CompileError> {
+        // Namespace intrinsics: Math.*, String.*.
+        if let ExprKind::Ident(ns) = &recv.kind {
+            if let Some(intr) = Intrinsic::from_namespace(ns, name) {
+                let dst = self.temp(span)?;
+                let mark = self.temp_mark();
+                let argv = self.compile_args(args, span)?;
+                let site = self.site();
+                self.emit(Op::CallIntrinsic { dst, intr, argv, argc: args.len() as u8, site });
+                self.reset_temps(mark);
+                return Ok(dst);
+            }
+            if ns == "Math" || ns == "String" {
+                return Err(CompileError::new(
+                    format!("unknown built-in `{ns}.{name}`"),
+                    span,
+                ));
+            }
+        }
+        // Receiver intrinsics: the receiver becomes argument 0.
+        let intr = Intrinsic::from_method(name).ok_or_else(|| {
+            CompileError::new(format!("unknown method `.{name}()`"), span)
+        })?;
+        let dst = self.temp(span)?;
+        let mark = self.temp_mark();
+        let argv = self.next_temp;
+        for _ in 0..=args.len() {
+            self.temp(span)?;
+        }
+        self.expr_into(recv, Reg(argv))?;
+        self.next_temp = argv + 1 + args.len() as u16;
+        for (i, a) in args.iter().enumerate() {
+            self.expr_into(a, Reg(argv + 1 + i as u16))?;
+            self.next_temp = argv + 1 + args.len() as u16;
+        }
+        let site = self.site();
+        self.emit(Op::CallIntrinsic {
+            dst,
+            intr,
+            argv: Reg(argv),
+            argc: 1 + args.len() as u8,
+            site,
+        });
+        self.reset_temps(mark);
+        Ok(dst)
+    }
+
+    fn assign(
+        &mut self,
+        target: &AssignTarget,
+        op: Option<BinOp>,
+        value: &Expr,
+        span: Span,
+    ) -> Result<Reg, CompileError> {
+        match target {
+            AssignTarget::Ident(name) => {
+                match op {
+                    None => {
+                        let v = self.expr(value)?;
+                        self.store_var(name, v, span)?;
+                        Ok(v)
+                    }
+                    Some(op) => {
+                        let dst = self.temp(span)?;
+                        let mark = self.temp_mark();
+                        let cur = self.load_var(name, span)?;
+                        let v = self.expr(value)?;
+                        let site = self.site();
+                        self.emit(Op::Binary { op: lower_binop(op), dst, a: cur, b: v, site });
+                        self.reset_temps(mark);
+                        self.store_var(name, dst, span)?;
+                        Ok(dst)
+                    }
+                }
+            }
+            AssignTarget::Member(obj, name) => {
+                let o = self.expr(obj)?;
+                let n = self.name(name);
+                let result = match op {
+                    None => self.expr(value)?,
+                    Some(op) => {
+                        let dst = self.temp(span)?;
+                        let mark = self.temp_mark();
+                        let cur = self.temp(span)?;
+                        let site = self.site();
+                        self.emit(Op::GetProp { dst: cur, obj: o, name: n, site });
+                        let v = self.expr(value)?;
+                        let site = self.site();
+                        self.emit(Op::Binary { op: lower_binop(op), dst, a: cur, b: v, site });
+                        self.reset_temps(mark);
+                        dst
+                    }
+                };
+                let site = self.site();
+                self.emit(Op::PutProp { obj: o, name: n, val: result, site });
+                Ok(result)
+            }
+            AssignTarget::Index(arr, idx) => {
+                let a = self.expr(arr)?;
+                let i = self.expr(idx)?;
+                let result = match op {
+                    None => self.expr(value)?,
+                    Some(op) => {
+                        let dst = self.temp(span)?;
+                        let mark = self.temp_mark();
+                        let cur = self.temp(span)?;
+                        let site = self.site();
+                        self.emit(Op::GetIndex { dst: cur, arr: a, idx: i, site });
+                        let v = self.expr(value)?;
+                        let site = self.site();
+                        self.emit(Op::Binary { op: lower_binop(op), dst, a: cur, b: v, site });
+                        self.reset_temps(mark);
+                        dst
+                    }
+                };
+                let site = self.site();
+                self.emit(Op::PutIndex { arr: a, idx: i, val: result, site });
+                Ok(result)
+            }
+        }
+    }
+
+    fn load_var(&mut self, name: &str, _span: Span) -> Result<Reg, CompileError> {
+        if let Some(&r) = self.locals.get(name) {
+            return Ok(r);
+        }
+        let dst = self.temp(_span)?;
+        let n = self.name(name);
+        let site = self.site();
+        self.emit(Op::GetGlobal { dst, name: n, site });
+        Ok(dst)
+    }
+
+    fn incr_decr(
+        &mut self,
+        target: &AssignTarget,
+        is_incr: bool,
+        prefix: bool,
+        span: Span,
+    ) -> Result<Reg, CompileError> {
+        let op = if is_incr { BinOp::Add } else { BinOp::Sub };
+        // Compile as `old = target; new = old op 1; target = new`,
+        // yielding `new` for prefix and `old` for postfix.
+        let old = self.temp(span)?;
+        let new = self.temp(span)?;
+        let mark = self.temp_mark();
+        let one = self.temp(span)?;
+        self.emit(Op::LoadInt { dst: one, value: 1 });
+        match target {
+            AssignTarget::Ident(name) => {
+                let cur = self.load_var(name, span)?;
+                // `ToNumber(old)`: JS ++/-- coerces; our workloads only use
+                // numbers, and Unary(ToNumber) keeps semantics exact.
+                let site = self.site();
+                self.emit(Op::Unary { op: UnaryOp::ToNumber, dst: old, a: cur, site });
+                let site = self.site();
+                self.emit(Op::Binary { op: lower_binop(op), dst: new, a: old, b: one, site });
+                self.store_var(name, new, span)?;
+            }
+            AssignTarget::Member(obj, name) => {
+                let o = self.expr(obj)?;
+                let n = self.name(name);
+                let cur = self.temp(span)?;
+                let site = self.site();
+                self.emit(Op::GetProp { dst: cur, obj: o, name: n, site });
+                let site = self.site();
+                self.emit(Op::Unary { op: UnaryOp::ToNumber, dst: old, a: cur, site });
+                let site = self.site();
+                self.emit(Op::Binary { op: lower_binop(op), dst: new, a: old, b: one, site });
+                let site = self.site();
+                self.emit(Op::PutProp { obj: o, name: n, val: new, site });
+            }
+            AssignTarget::Index(arr, idx) => {
+                let a = self.expr(arr)?;
+                let i = self.expr(idx)?;
+                let cur = self.temp(span)?;
+                let site = self.site();
+                self.emit(Op::GetIndex { dst: cur, arr: a, idx: i, site });
+                let site = self.site();
+                self.emit(Op::Unary { op: UnaryOp::ToNumber, dst: old, a: cur, site });
+                let site = self.site();
+                self.emit(Op::Binary { op: lower_binop(op), dst: new, a: old, b: one, site });
+                let site = self.site();
+                self.emit(Op::PutIndex { arr: a, idx: i, val: new, site });
+            }
+        }
+        self.reset_temps(mark);
+        Ok(if prefix { new } else { old })
+    }
+}
+
+fn lower_binop(op: BinOp) -> BinaryOp {
+    match op {
+        BinOp::Add => BinaryOp::Add,
+        BinOp::Sub => BinaryOp::Sub,
+        BinOp::Mul => BinaryOp::Mul,
+        BinOp::Div => BinaryOp::Div,
+        BinOp::Mod => BinaryOp::Mod,
+        BinOp::BitAnd => BinaryOp::BitAnd,
+        BinOp::BitOr => BinaryOp::BitOr,
+        BinOp::BitXor => BinaryOp::BitXor,
+        BinOp::Shl => BinaryOp::Shl,
+        BinOp::Shr => BinaryOp::Shr,
+        BinOp::UShr => BinaryOp::UShr,
+        BinOp::Lt => BinaryOp::Lt,
+        BinOp::Le => BinaryOp::Le,
+        BinOp::Gt => BinaryOp::Gt,
+        BinOp::Ge => BinaryOp::Ge,
+        BinOp::Eq => BinaryOp::Eq,
+        BinOp::NotEq => BinaryOp::NotEq,
+        BinOp::StrictEq => BinaryOp::StrictEq,
+        BinOp::StrictNotEq => BinaryOp::StrictNotEq,
+    }
+}
+
+/// Collects `var`-declared names, recursing into nested statements.
+fn collect_vars(stmts: &[Stmt], out: &mut Vec<String>) {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::VarDecl(decls) => {
+                for (n, _) in decls {
+                    out.push(n.clone());
+                }
+            }
+            StmtKind::Block(inner) => collect_vars(inner, out),
+            StmtKind::If(_, t, e) => {
+                collect_vars(std::slice::from_ref(t), out);
+                if let Some(e) = e {
+                    collect_vars(std::slice::from_ref(e), out);
+                }
+            }
+            StmtKind::While(_, b) | StmtKind::DoWhile(b, _) => {
+                collect_vars(std::slice::from_ref(b), out)
+            }
+            StmtKind::For { init, body, .. } => {
+                if let Some(init) = init {
+                    collect_vars(std::slice::from_ref(init), out);
+                }
+                collect_vars(std::slice::from_ref(body), out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// True when evaluating `e` may write to a variable, property or array, or
+/// call a function (which could do any of those).
+fn expr_has_effects(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Assign(..) | ExprKind::IncrDecr { .. } | ExprKind::Call(..) => true,
+        ExprKind::MethodCall(recv, _, args) => {
+            // Intrinsics like push/pop mutate; conservatively treat all
+            // method calls as effectful.
+            let _ = recv;
+            let _ = args;
+            true
+        }
+        ExprKind::Number(_)
+        | ExprKind::Str(_)
+        | ExprKind::Bool(_)
+        | ExprKind::Null
+        | ExprKind::Undefined
+        | ExprKind::Ident(_) => false,
+        ExprKind::Array(es) => es.iter().any(expr_has_effects),
+        ExprKind::Object(fs) => fs.iter().any(|(_, v)| expr_has_effects(v)),
+        ExprKind::NewArray(n) => expr_has_effects(n),
+        ExprKind::Unary(_, a) => expr_has_effects(a),
+        ExprKind::Binary(_, a, b) | ExprKind::Logical(_, a, b) => {
+            expr_has_effects(a) || expr_has_effects(b)
+        }
+        ExprKind::Ternary(c, a, b) => {
+            expr_has_effects(c) || expr_has_effects(a) || expr_has_effects(b)
+        }
+        ExprKind::Member(o, _) => expr_has_effects(o),
+        ExprKind::Index(a, i) => expr_has_effects(a) || expr_has_effects(i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_simple_function() {
+        let p = compile_program("function add(a, b) { return a + b; }").unwrap();
+        let f = p.function_named("add").unwrap();
+        assert_eq!(f.param_count, 2);
+        assert!(f
+            .code
+            .iter()
+            .any(|op| matches!(op, Op::Binary { op: BinaryOp::Add, .. })));
+        assert!(matches!(f.code.last(), Some(Op::Return { .. })));
+    }
+
+    #[test]
+    fn hoists_vars_to_locals() {
+        let p = compile_program(
+            "function f() { if (true) { var x = 1; } return x; }",
+        )
+        .unwrap();
+        let f = p.function_named("f").unwrap();
+        assert_eq!(f.local_count, 1);
+    }
+
+    #[test]
+    fn main_vars_become_globals() {
+        let p = compile_program("var g = 41; g = g + 1;").unwrap();
+        let main = &p.functions[0];
+        assert!(main.code.iter().any(|op| matches!(op, Op::PutGlobal { .. })));
+        assert!(main.code.iter().any(|op| matches!(op, Op::GetGlobal { .. })));
+    }
+
+    #[test]
+    fn loop_headers_are_recorded() {
+        let p = compile_program(
+            "function f(n) { var s = 0; for (var i = 0; i < n; i++) { s += i; } return s; }",
+        )
+        .unwrap();
+        let f = p.function_named("f").unwrap();
+        assert_eq!(f.loop_headers.len(), 1);
+        // All branches must land inside the function.
+        for op in &f.code {
+            if let Some(t) = op.jump_target() {
+                assert!((t as usize) < f.code.len(), "target {t} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn break_continue_patching() {
+        let p = compile_program(
+            "function f(n) {
+                var s = 0;
+                for (var i = 0; i < n; i++) {
+                    if (i == 3) continue;
+                    if (i == 7) break;
+                    s += i;
+                }
+                return s;
+            }",
+        )
+        .unwrap();
+        let f = p.function_named("f").unwrap();
+        for op in &f.code {
+            if let Some(t) = op.jump_target() {
+                assert_ne!(t, 0, "unpatched jump");
+            }
+        }
+    }
+
+    #[test]
+    fn intrinsic_calls_resolve() {
+        let p = compile_program("var x = Math.sqrt(2); var a = []; a.push(x);").unwrap();
+        let main = &p.functions[0];
+        let intrs: Vec<_> = main
+            .code
+            .iter()
+            .filter_map(|op| match op {
+                Op::CallIntrinsic { intr, .. } => Some(*intr),
+                _ => None,
+            })
+            .collect();
+        assert!(intrs.contains(&Intrinsic::MathSqrt));
+        assert!(intrs.contains(&Intrinsic::ArrayPush));
+    }
+
+    #[test]
+    fn unknown_function_is_error() {
+        assert!(compile_program("nosuch(1);").is_err());
+    }
+
+    #[test]
+    fn unknown_method_is_error() {
+        assert!(compile_program("var a = []; a.frobnicate();").is_err());
+    }
+
+    #[test]
+    fn int_literals_use_loadint() {
+        let p = compile_program("var x = 3; var y = 2.5;").unwrap();
+        let main = &p.functions[0];
+        assert!(main
+            .code
+            .iter()
+            .any(|op| matches!(op, Op::LoadInt { value: 3, .. })));
+        assert!(main
+            .code
+            .iter()
+            .any(|op| matches!(op, Op::LoadConst { .. })));
+    }
+
+    #[test]
+    fn constants_are_deduplicated() {
+        let p = compile_program("var x = 2.5 + 2.5 + 2.5;").unwrap();
+        assert_eq!(p.functions[0].constants.len(), 1);
+    }
+
+    #[test]
+    fn call_args_are_contiguous() {
+        let p = compile_program("function f(a, b, c) { return a; } f(1, 2, 3);").unwrap();
+        let main = &p.functions[0];
+        let call = main
+            .code
+            .iter()
+            .find_map(|op| match op {
+                Op::Call { argv, argc, .. } => Some((*argv, *argc)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(call.1, 3);
+        // The three LoadInt ops must target argv, argv+1, argv+2.
+        let loads: Vec<_> = main
+            .code
+            .iter()
+            .filter_map(|op| match op {
+                Op::LoadInt { dst, value } if (1..=3).contains(value) => Some(dst.0),
+                _ => None,
+            })
+            .collect();
+        assert!(loads.windows(2).all(|w| w[1] == w[0] + 1));
+        assert_eq!(loads[0], call.0 .0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Human-readable bytecode listings, for debugging and examples.
+
+use std::fmt::Write as _;
+
+use crate::op::Op;
+use crate::program::{Const, Function, Interner};
+
+/// Renders `func` as a listing, one opcode per line, with loop headers
+/// marked.
+///
+/// # Example
+///
+/// ```
+/// let p = nomap_bytecode::compile_program("var x = 1 + 2;")?;
+/// let text = nomap_bytecode::disassemble(&p.functions[0], &p.interner);
+/// assert!(text.contains("binary Add"));
+/// # Ok::<(), nomap_bytecode::CompileError>(())
+/// ```
+pub fn disassemble(func: &Function, interner: &Interner) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "function {} ({} params, {} locals, {} regs, {} sites)",
+        func.name, func.param_count, func.local_count, func.register_count, func.site_count
+    );
+    for (i, op) in func.code.iter().enumerate() {
+        let marker = if func.is_loop_header(i as u32) { "L" } else { " " };
+        let _ = writeln!(out, "{marker}{i:5}: {}", render_op(op, func, interner));
+    }
+    out
+}
+
+fn render_op(op: &Op, func: &Function, interner: &Interner) -> String {
+    match *op {
+        Op::LoadConst { dst, cid } => {
+            let c = &func.constants[cid.0 as usize];
+            match c {
+                Const::Num(n) => format!("{dst} = const {n}"),
+                Const::Str(s) => format!("{dst} = const {s:?}"),
+            }
+        }
+        Op::LoadInt { dst, value } => format!("{dst} = int {value}"),
+        Op::LoadBool { dst, value } => format!("{dst} = {value}"),
+        Op::LoadUndefined { dst } => format!("{dst} = undefined"),
+        Op::LoadNull { dst } => format!("{dst} = null"),
+        Op::Mov { dst, src } => format!("{dst} = {src}"),
+        Op::Binary { op, dst, a, b, site } => format!("{dst} = binary {op:?} {a}, {b} {site}"),
+        Op::Unary { op, dst, a, site } => format!("{dst} = unary {op:?} {a} {site}"),
+        Op::Jump { target } => format!("jump -> {target}"),
+        Op::JumpIfTrue { cond, target } => format!("if {cond} jump -> {target}"),
+        Op::JumpIfFalse { cond, target } => format!("if not {cond} jump -> {target}"),
+        Op::NewObject { dst } => format!("{dst} = new object"),
+        Op::NewArray { dst, len } => format!("{dst} = new array[{len}]"),
+        Op::GetProp { dst, obj, name, site } => {
+            format!("{dst} = {obj}.{} {site}", interner.resolve(name))
+        }
+        Op::PutProp { obj, name, val, site } => {
+            format!("{obj}.{} = {val} {site}", interner.resolve(name))
+        }
+        Op::GetIndex { dst, arr, idx, site } => format!("{dst} = {arr}[{idx}] {site}"),
+        Op::PutIndex { arr, idx, val, site } => format!("{arr}[{idx}] = {val} {site}"),
+        Op::GetGlobal { dst, name, site } => {
+            format!("{dst} = global {} {site}", interner.resolve(name))
+        }
+        Op::PutGlobal { name, src } => format!("global {} = {src}", interner.resolve(name)),
+        Op::Call { dst, func, argv, argc, site } => {
+            format!("{dst} = call {func} args {argv}+{argc} {site}")
+        }
+        Op::CallIntrinsic { dst, intr, argv, argc, site } => {
+            format!("{dst} = intrinsic {intr:?} args {argv}+{argc} {site}")
+        }
+        Op::Return { src } => format!("return {src}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile::compile_program;
+
+    #[test]
+    fn disassembles_every_opcode_shape() {
+        let p = compile_program(
+            "function g(x) { return x; }
+             var o = {a: 1};
+             var arr = [1, 2];
+             var s = 'hi';
+             for (var i = 0; i < 2; i++) { o.a += arr[i] ? 1 : 0; }
+             arr[0] = g(o.a) + Math.floor(1.5);
+             var t = typeof o;",
+        )
+        .unwrap();
+        for f in &p.functions {
+            let text = super::disassemble(f, &p.interner);
+            assert!(text.lines().count() >= f.code.len());
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Register bytecode for MiniJS and the AST → bytecode compiler.
+//!
+//! The bytecode is the *lingua franca* of the tier stack (paper §II): the
+//! Interpreter executes it directly, the Baseline tier macro-expands each
+//! opcode into generic machine code, and the DFG/FTL tiers build their SSA IR
+//! from it using the profiling information the lower tiers collected.
+//! Deoptimization (OSR exit) re-enters lower tiers *at bytecode boundaries*,
+//! so every opcode index is a potential Stack Map Point.
+//!
+//! # Example
+//!
+//! ```
+//! use nomap_bytecode::compile_program;
+//!
+//! let program = compile_program("function f(x) { return x + 1; } f(1);")?;
+//! let f = program.function_named("f").unwrap();
+//! assert_eq!(f.param_count, 1);
+//! # Ok::<(), nomap_bytecode::CompileError>(())
+//! ```
+
+mod compile;
+mod disasm;
+mod op;
+mod program;
+
+pub use compile::{compile_ast, compile_program, CompileError};
+pub use disasm::disassemble;
+pub use op::{BinaryOp, Intrinsic, Op, Reg, SiteId, UnaryOp};
+pub use program::{Const, ConstId, FuncId, Function, Interner, NameId, Program};

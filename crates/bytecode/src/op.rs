@@ -1,0 +1,314 @@
+//! Bytecode opcodes.
+
+use std::fmt;
+
+use crate::program::{ConstId, FuncId, NameId};
+
+/// A bytecode virtual register.
+///
+/// Registers `0..param_count` hold the arguments, the next block holds the
+/// function's `var`-declared locals, and everything above is expression
+/// temporaries managed stack-wise by the compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A value-profiling site within one function.
+///
+/// The interpreter and Baseline tiers record observed operand kinds, shapes
+/// and array behaviour per site; the DFG/FTL tiers speculate on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SiteId(pub u16);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// Generic binary operators; semantics follow JavaScript (e.g. `Add` is
+/// numeric addition or string concatenation, `Div` is double division).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    UShr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    NotEq,
+    StrictEq,
+    StrictNotEq,
+}
+
+impl BinaryOp {
+    /// True for operators producing booleans.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
+                | BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::StrictEq
+                | BinaryOp::StrictNotEq
+        )
+    }
+
+    /// True for the bitwise/shift group, which coerces operands to int32
+    /// and therefore can never overflow.
+    pub fn is_int_producing(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::BitAnd
+                | BinaryOp::BitOr
+                | BinaryOp::BitXor
+                | BinaryOp::Shl
+                | BinaryOp::Shr
+        )
+    }
+}
+
+/// Generic unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Numeric negation.
+    Neg,
+    /// `+x` — coerce to number.
+    ToNumber,
+    /// Logical not.
+    Not,
+    /// `~x`.
+    BitNot,
+    /// `typeof x` — yields a string.
+    Typeof,
+}
+
+/// Built-in functions recognized by the bytecode compiler.
+///
+/// These model the parts of the JavaScript standard library the workloads
+/// use. In the instruction-accounting of the paper they count as runtime
+/// ("NoFTL") work, like JavaScriptCore's C++ runtime functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    MathSqrt,
+    MathFloor,
+    MathCeil,
+    MathRound,
+    MathAbs,
+    MathSin,
+    MathCos,
+    MathTan,
+    MathAtan,
+    MathAtan2,
+    MathExp,
+    MathLog,
+    MathPow,
+    MathMax,
+    MathMin,
+    /// Deterministic seeded PRNG (so experiments are reproducible).
+    MathRandom,
+    ArrayPush,
+    ArrayPop,
+    StringCharCodeAt,
+    StringCharAt,
+    StringFromCharCode,
+    StringSubstring,
+    StringIndexOf,
+    /// Writes the printable form of the argument to the VM's output buffer.
+    Print,
+}
+
+impl Intrinsic {
+    /// Resolves `recv.name(...)` to an intrinsic, if the receiver is the
+    /// well-known `Math`/`String` namespace object.
+    pub fn from_namespace(ns: &str, name: &str) -> Option<Intrinsic> {
+        Some(match (ns, name) {
+            ("Math", "sqrt") => Intrinsic::MathSqrt,
+            ("Math", "floor") => Intrinsic::MathFloor,
+            ("Math", "ceil") => Intrinsic::MathCeil,
+            ("Math", "round") => Intrinsic::MathRound,
+            ("Math", "abs") => Intrinsic::MathAbs,
+            ("Math", "sin") => Intrinsic::MathSin,
+            ("Math", "cos") => Intrinsic::MathCos,
+            ("Math", "tan") => Intrinsic::MathTan,
+            ("Math", "atan") => Intrinsic::MathAtan,
+            ("Math", "atan2") => Intrinsic::MathAtan2,
+            ("Math", "exp") => Intrinsic::MathExp,
+            ("Math", "log") => Intrinsic::MathLog,
+            ("Math", "pow") => Intrinsic::MathPow,
+            ("Math", "max") => Intrinsic::MathMax,
+            ("Math", "min") => Intrinsic::MathMin,
+            ("Math", "random") => Intrinsic::MathRandom,
+            ("String", "fromCharCode") => Intrinsic::StringFromCharCode,
+            _ => return None,
+        })
+    }
+
+    /// Resolves a method call on an arbitrary receiver (`arr.push(x)`,
+    /// `s.charCodeAt(i)`, ...).
+    pub fn from_method(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "push" => Intrinsic::ArrayPush,
+            "pop" => Intrinsic::ArrayPop,
+            "charCodeAt" => Intrinsic::StringCharCodeAt,
+            "charAt" => Intrinsic::StringCharAt,
+            "substring" => Intrinsic::StringSubstring,
+            "indexOf" => Intrinsic::StringIndexOf,
+            _ => return None,
+        })
+    }
+
+    /// True when the intrinsic is a pure double → double (or
+    /// double,double → double) math function that higher tiers may inline
+    /// as a single machine-level math instruction.
+    pub fn is_pure_math(self) -> bool {
+        matches!(
+            self,
+            Intrinsic::MathSqrt
+                | Intrinsic::MathFloor
+                | Intrinsic::MathCeil
+                | Intrinsic::MathRound
+                | Intrinsic::MathAbs
+                | Intrinsic::MathSin
+                | Intrinsic::MathCos
+                | Intrinsic::MathTan
+                | Intrinsic::MathAtan
+                | Intrinsic::MathAtan2
+                | Intrinsic::MathExp
+                | Intrinsic::MathLog
+                | Intrinsic::MathPow
+                | Intrinsic::MathMax
+                | Intrinsic::MathMin
+        )
+    }
+}
+
+/// A bytecode instruction.
+///
+/// Jump `target`s are instruction indices within the function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// `dst = constants[cid]`.
+    LoadConst { dst: Reg, cid: ConstId },
+    /// `dst = value` (int32 immediate).
+    LoadInt { dst: Reg, value: i32 },
+    /// `dst = value`.
+    LoadBool { dst: Reg, value: bool },
+    /// `dst = undefined`.
+    LoadUndefined { dst: Reg },
+    /// `dst = null`.
+    LoadNull { dst: Reg },
+    /// `dst = src`.
+    Mov { dst: Reg, src: Reg },
+    /// `dst = a <op> b` with JavaScript generic semantics.
+    Binary { op: BinaryOp, dst: Reg, a: Reg, b: Reg, site: SiteId },
+    /// `dst = <op> a`.
+    Unary { op: UnaryOp, dst: Reg, a: Reg, site: SiteId },
+    /// Unconditional jump.
+    Jump { target: u32 },
+    /// Jump when `cond` is truthy.
+    JumpIfTrue { cond: Reg, target: u32 },
+    /// Jump when `cond` is falsy.
+    JumpIfFalse { cond: Reg, target: u32 },
+    /// `dst = {}` (fresh empty object with the root shape).
+    NewObject { dst: Reg },
+    /// `dst = new Array(len)` — `len` coerced to uint32.
+    NewArray { dst: Reg, len: Reg },
+    /// `dst = obj.name` (profiled).
+    GetProp { dst: Reg, obj: Reg, name: NameId, site: SiteId },
+    /// `obj.name = val` (profiled; may transition the object's shape).
+    PutProp { obj: Reg, name: NameId, val: Reg, site: SiteId },
+    /// `dst = arr[idx]` (profiled; out-of-bounds and holes yield undefined).
+    GetIndex { dst: Reg, arr: Reg, idx: Reg, site: SiteId },
+    /// `arr[idx] = val` (profiled; elongates the array when needed).
+    PutIndex { arr: Reg, idx: Reg, val: Reg, site: SiteId },
+    /// `dst = globals[name]`.
+    GetGlobal { dst: Reg, name: NameId, site: SiteId },
+    /// `globals[name] = src`.
+    PutGlobal { name: NameId, src: Reg },
+    /// Direct call of a declared function; arguments live in
+    /// `argv..argv+argc`.
+    Call { dst: Reg, func: FuncId, argv: Reg, argc: u8, site: SiteId },
+    /// Call of a built-in; arguments live in `argv..argv+argc`.
+    CallIntrinsic { dst: Reg, intr: Intrinsic, argv: Reg, argc: u8, site: SiteId },
+    /// Return `src` to the caller.
+    Return { src: Reg },
+}
+
+impl Op {
+    /// The jump target, if this is a branch.
+    pub fn jump_target(&self) -> Option<u32> {
+        match *self {
+            Op::Jump { target }
+            | Op::JumpIfTrue { target, .. }
+            | Op::JumpIfFalse { target, .. } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the jump target; panics if this is not a branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-branch opcode.
+    pub fn set_jump_target(&mut self, new_target: u32) {
+        match self {
+            Op::Jump { target }
+            | Op::JumpIfTrue { target, .. }
+            | Op::JumpIfFalse { target, .. } => *target = new_target,
+            other => panic!("set_jump_target on non-branch {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jump_target_roundtrip() {
+        let mut op = Op::Jump { target: 3 };
+        assert_eq!(op.jump_target(), Some(3));
+        op.set_jump_target(7);
+        assert_eq!(op.jump_target(), Some(7));
+        assert_eq!(Op::Return { src: Reg(0) }.jump_target(), None);
+    }
+
+    #[test]
+    fn intrinsic_resolution() {
+        assert_eq!(
+            Intrinsic::from_namespace("Math", "sqrt"),
+            Some(Intrinsic::MathSqrt)
+        );
+        assert_eq!(Intrinsic::from_namespace("Math", "nope"), None);
+        assert_eq!(Intrinsic::from_method("push"), Some(Intrinsic::ArrayPush));
+        assert!(Intrinsic::MathSin.is_pure_math());
+        assert!(!Intrinsic::ArrayPush.is_pure_math());
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinaryOp::Lt.is_comparison());
+        assert!(!BinaryOp::Add.is_comparison());
+        assert!(BinaryOp::Shl.is_int_producing());
+        assert!(!BinaryOp::UShr.is_int_producing()); // >>> may exceed int32
+    }
+}

@@ -1,0 +1,190 @@
+//! Compiled program representation: functions, constants, interned names.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::op::Op;
+
+/// Index of an interned name (property, global or function name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NameId(pub u32);
+
+impl fmt::Display for NameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Index of a function within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Index into a function's constant pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstId(pub u16);
+
+/// A compile-time constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// A number that did not fit int32 (or is fractional).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+}
+
+/// String interner mapping names to dense [`NameId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, NameId>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = NameId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<NameId> {
+        self.map.get(name).copied()
+    }
+
+    /// Returns the string for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: NameId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A compiled MiniJS function.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Function id within the program.
+    pub id: FuncId,
+    /// Source-level name (`"«main»"` for the top-level script).
+    pub name: String,
+    /// Number of parameters (registers `0..param_count`).
+    pub param_count: u16,
+    /// Total registers used (params + locals + temporaries).
+    pub register_count: u16,
+    /// Number of `var` locals (registers `param_count..param_count+local_count`).
+    pub local_count: u16,
+    /// The code.
+    pub code: Vec<Op>,
+    /// Constant pool.
+    pub constants: Vec<Const>,
+    /// Number of profiling sites allocated in `code`.
+    pub site_count: u16,
+    /// Instruction indices that are loop headers (targets of back edges),
+    /// in ascending order.
+    pub loop_headers: Vec<u32>,
+}
+
+impl Function {
+    /// True if `index` starts a loop (i.e. some back edge targets it).
+    pub fn is_loop_header(&self, index: u32) -> bool {
+        self.loop_headers.binary_search(&index).is_ok()
+    }
+}
+
+/// A compiled MiniJS program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// All functions; index 0 is the top-level script.
+    pub functions: Vec<Function>,
+    /// Interned names (properties, globals).
+    pub interner: Interner,
+    /// Map from function name to id.
+    pub function_ids: HashMap<String, FuncId>,
+}
+
+impl Program {
+    /// The id of the top-level script function.
+    pub const MAIN: FuncId = FuncId(0);
+
+    /// Looks up a function by source name.
+    pub fn function_named(&self, name: &str) -> Option<&Function> {
+        self.function_ids
+            .get(name)
+            .map(|&id| &self.functions[id.0 as usize])
+    }
+
+    /// Returns the function for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Total static opcode count over all functions (for reporting).
+    pub fn static_op_count(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_deduplicates() {
+        let mut i = Interner::new();
+        let a = i.intern("length");
+        let b = i.intern("length");
+        let c = i.intern("sum");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.resolve(a), "length");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn loop_header_lookup() {
+        let f = Function {
+            id: FuncId(0),
+            name: "t".into(),
+            param_count: 0,
+            register_count: 1,
+            local_count: 0,
+            code: vec![],
+            constants: vec![],
+            site_count: 0,
+            loop_headers: vec![2, 10],
+        };
+        assert!(f.is_loop_header(2));
+        assert!(!f.is_loop_header(3));
+    }
+}

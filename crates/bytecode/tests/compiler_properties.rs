@@ -1,0 +1,100 @@
+//! Property tests over the AST→bytecode compiler: generated programs must
+//! compile to structurally well-formed code (valid jump targets, in-range
+//! registers, dense profiling sites).
+
+use proptest::prelude::*;
+
+use nomap_bytecode::{compile_program, Op};
+
+/// Generates a small statement-soup program from templates.
+fn program_strategy() -> impl Strategy<Value = String> {
+    let stmt = prop_oneof![
+        (0i32..100).prop_map(|n| format!("x = x + {n};")),
+        (1i32..20).prop_map(|n| format!("for (var i = 0; i < {n}; i++) {{ x += i; }}")),
+        (1i32..10).prop_map(|n| format!("while (x > {n}) {{ x -= {n}; }}")),
+        (0i32..50).prop_map(|n| format!("if (x > {n}) {{ x = {n}; }} else {{ x = x | 1; }}")),
+        Just("a.push(x);".to_owned()),
+        Just("x = a.length;".to_owned()),
+        (0i32..8).prop_map(|n| format!("a[{n}] = x; x = a[{n}];")),
+        Just("o.f = x; x = o.f;".to_owned()),
+        (0i32..6).prop_map(|n| format!("x += helper(x, {n});")),
+        Just("do { x--; } while (x > 100);".to_owned()),
+        (1i32..5).prop_map(|n| {
+            format!("for (var j = 0; j < {n}; j++) {{ if (j == 2) continue; if (x > 900) break; x++; }}")
+        }),
+    ];
+    proptest::collection::vec(stmt, 1..12).prop_map(|stmts| {
+        format!(
+            "function helper(p, q) {{ return (p & 255) + q; }}
+             var x = 10;
+             var a = [1, 2, 3];
+             var o = {{f: 0}};
+             function run() {{
+                 {}
+                 return x;
+             }}",
+            stmts.join("\n                 ")
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_programs_compile_well_formed(src in program_strategy()) {
+        let p = compile_program(&src).expect("template programs are valid");
+        for f in &p.functions {
+            let n = f.code.len() as u32;
+            prop_assert!(n > 0);
+            let ends_in_return = matches!(f.code.last(), Some(Op::Return { .. }));
+            prop_assert!(ends_in_return);
+            for (i, op) in f.code.iter().enumerate() {
+                if let Some(t) = op.jump_target() {
+                    prop_assert!(t < n, "{}: jump at {} to {} out of {}", f.name, i, t, n);
+                }
+                // Registers in range.
+                let regs: Vec<u16> = match *op {
+                    Op::Binary { dst, a, b, .. } => vec![dst.0, a.0, b.0],
+                    Op::Mov { dst, src } => vec![dst.0, src.0],
+                    Op::GetIndex { dst, arr, idx, .. } => vec![dst.0, arr.0, idx.0],
+                    Op::PutIndex { arr, idx, val, .. } => vec![arr.0, idx.0, val.0],
+                    Op::Call { dst, argv, argc, .. } => {
+                        vec![dst.0, argv.0 + argc as u16]
+                    }
+                    Op::Return { src } => vec![src.0],
+                    _ => vec![],
+                };
+                for r in regs {
+                    prop_assert!(
+                        r <= f.register_count,
+                        "{}: register r{} out of {}",
+                        f.name,
+                        r,
+                        f.register_count
+                    );
+                }
+            }
+            // Loop headers really are branch targets from below.
+            for &h in &f.loop_headers {
+                let has_back_edge = f
+                    .code
+                    .iter()
+                    .enumerate()
+                    .any(|(i, op)| op.jump_target() == Some(h) && h <= i as u32);
+                prop_assert!(has_back_edge, "{}: header {} has no back edge", f.name, h);
+            }
+        }
+    }
+
+    /// Compiling is deterministic.
+    #[test]
+    fn compilation_is_deterministic(src in program_strategy()) {
+        let a = compile_program(&src).unwrap();
+        let b = compile_program(&src).unwrap();
+        for (fa, fb) in a.functions.iter().zip(&b.functions) {
+            prop_assert_eq!(&fa.code, &fb.code);
+            prop_assert_eq!(fa.register_count, fb.register_count);
+        }
+    }
+}

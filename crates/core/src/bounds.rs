@@ -1,0 +1,217 @@
+//! Bounds-check combining (paper §IV-C1, Fig. 6).
+//!
+//! Inside a transaction, when a failure is detected no longer matters —
+//! only that the transaction eventually rolls back. So an in-loop bounds
+//! check on a *monotonic* induction variable can be replaced by a single
+//! check against the extreme index: sunk below the loop for increasing
+//! variables, hoisted above it for decreasing ones. Early loop exits are
+//! handled for free because the sunk check tests the induction variable's
+//! value at the actual exit.
+//!
+//! Spurious aborts (e.g. a zero-trip loop whose initial index exceeds the
+//! array length) are *safe*: the transaction rolls back and the Baseline
+//! tier re-executes with full JavaScript semantics.
+
+use nomap_ir::analysis::{defined_outside, ensure_preheader, find_loops, Dominators};
+use nomap_ir::node::{Inst, InstKind};
+use nomap_ir::scev::induction_vars;
+use nomap_ir::{CheckMode, IrFunc, ValueId};
+use nomap_machine::{CheckKind, Cond};
+
+/// Runs the pass; returns how many in-loop bounds checks were combined
+/// away.
+pub fn combine_bounds_checks(f: &mut IrFunc) -> usize {
+    let doms = Dominators::compute(f);
+    let loops = find_loops(f, &doms);
+    let mut removed = 0;
+    for l in &loops {
+        let ivs = induction_vars(f, l);
+        if ivs.is_empty() {
+            continue;
+        }
+        let Some(preheader) = ensure_preheader(f, l) else { continue };
+        // Collect combinable guards: Guard(Bounds, ICmp(AboveEq, iv, len))
+        // in Abort mode with loop-invariant `len`.
+        let mut combined: Vec<(ValueId, ValueId, bool)> = Vec::new(); // (iv_phi, len, increasing)
+        for &b in &l.body.clone() {
+            let insts = f.blocks[b.0 as usize].insts.clone();
+            for v in insts {
+                let InstKind::Guard { kind: CheckKind::Bounds, cond, mode: CheckMode::Abort } =
+                    f.inst(v).kind
+                else {
+                    continue;
+                };
+                let InstKind::ICmp { cond: Cond::AboveEq, a: idx, b: len } = f.inst(cond).kind
+                else {
+                    continue;
+                };
+                if !defined_outside(f, l, len) {
+                    continue;
+                }
+                let Some(iv) = ivs.iter().find(|iv| iv.phi == idx) else { continue };
+                // Remove the in-loop check; record one combined check per
+                // (iv, len, direction).
+                f.inst_mut(v).kind = InstKind::Nop;
+                removed += 1;
+                let entry = (iv.phi, len, iv.increasing());
+                if !combined.contains(&entry) {
+                    combined.push(entry);
+                }
+            }
+        }
+        let sunk: Vec<(ValueId, ValueId)> = combined
+            .iter()
+            .filter(|(_, _, inc)| *inc)
+            .map(|&(phi, len, _)| (phi, len))
+            .collect();
+        // Sink below the loop: split each exit edge ONCE and emit every
+        // combined check into the same landing block (indices used are
+        // strictly below the exit value for step ≥ 1).
+        if !sunk.is_empty() {
+            for (from, to) in l.exits.clone() {
+                let mid = f.split_edge(from, to);
+                let mut pos = 0;
+                for &(phi, len) in &sunk {
+                    let cond = f.insert_at(
+                        mid,
+                        pos,
+                        Inst::new(InstKind::ICmp { cond: Cond::Gt, a: phi, b: len }),
+                    );
+                    f.insert_at(
+                        mid,
+                        pos + 1,
+                        Inst::new(InstKind::Guard {
+                            kind: CheckKind::Bounds,
+                            cond,
+                            mode: CheckMode::Abort,
+                        }),
+                    );
+                    pos += 2;
+                }
+            }
+        }
+        // Hoist decreasing variables above the loop: the first index is the
+        // largest.
+        for (phi, len, _) in combined.iter().filter(|(_, _, inc)| !*inc) {
+            let ivs = induction_vars(f, l);
+            let Some(iv) = ivs.iter().find(|iv| iv.phi == *phi) else { continue };
+            let init = iv.init;
+            let cond = f.insert_before_terminator(
+                preheader,
+                Inst::new(InstKind::ICmp { cond: Cond::AboveEq, a: init, b: *len }),
+            );
+            f.insert_before_terminator(
+                preheader,
+                Inst::new(InstKind::Guard {
+                    kind: CheckKind::Bounds,
+                    cond,
+                    mode: CheckMode::Abort,
+                }),
+            );
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomap_ir::node::Ty;
+    use nomap_bytecode::FuncId;
+
+    /// for (i = 0; i < n; i++) { guard(i >=u len); use a[i] }
+    fn loop_with_bounds_check(step: i32) -> IrFunc {
+        let mut f = IrFunc::new(FuncId(0), "t", 0, 0);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        let init = f.append(f.entry, Inst::new(InstKind::ConstI32(if step > 0 { 0 } else { 99 })));
+        let n = f.append(f.entry, Inst::new(InstKind::ConstI32(100)));
+        let len = f.append(f.entry, Inst::new(InstKind::ConstI32(100)));
+        f.append(f.entry, Inst::new(InstKind::Jump { target: header }));
+        let phi = f.append(header, Inst::new(InstKind::Phi { inputs: vec![init], ty: Ty::I32 }));
+        let cmp = f.append(header, Inst::new(InstKind::ICmp { cond: Cond::Lt, a: phi, b: n }));
+        f.append(header, Inst::new(InstKind::Branch { cond: cmp, then_b: body, else_b: exit }));
+        let oob = f.append(body, Inst::new(InstKind::ICmp { cond: Cond::AboveEq, a: phi, b: len }));
+        f.append(
+            body,
+            Inst::new(InstKind::Guard { kind: CheckKind::Bounds, cond: oob, mode: CheckMode::Abort }),
+        );
+        let stepc = f.append(body, Inst::new(InstKind::ConstI32(step.abs())));
+        let next = if step > 0 {
+            f.append(
+                body,
+                Inst::new(InstKind::CheckedAddI32 { a: phi, b: stepc, mode: CheckMode::Abort }),
+            )
+        } else {
+            f.append(
+                body,
+                Inst::new(InstKind::CheckedSubI32 { a: phi, b: stepc, mode: CheckMode::Abort }),
+            )
+        };
+        f.append(body, Inst::new(InstKind::Jump { target: header }));
+        if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(phi).kind {
+            inputs.push(next);
+        }
+        let u = f.append(exit, Inst::new(InstKind::Const(nomap_runtime::Value::UNDEFINED)));
+        f.append(exit, Inst::new(InstKind::Return { v: u }));
+        f.compute_preds();
+        f
+    }
+
+    fn count_bounds_guards(f: &IrFunc, in_loop_body: bool) -> usize {
+        let doms = Dominators::compute(f);
+        let loops = find_loops(f, &doms);
+        f.blocks
+            .iter()
+            .enumerate()
+            .filter(|(bi, _)| {
+                let b = nomap_ir::BlockId(*bi as u32);
+                loops.iter().any(|l| l.contains(b)) == in_loop_body
+            })
+            .flat_map(|(_, b)| &b.insts)
+            .filter(|&&v| {
+                matches!(
+                    f.inst(v).kind,
+                    InstKind::Guard { kind: CheckKind::Bounds, .. }
+                )
+            })
+            .count()
+    }
+
+    #[test]
+    fn increasing_check_is_sunk() {
+        let mut f = loop_with_bounds_check(1);
+        assert_eq!(count_bounds_guards(&f, true), 1);
+        let removed = combine_bounds_checks(&mut f);
+        assert_eq!(removed, 1);
+        assert_eq!(count_bounds_guards(&f, true), 0);
+        assert_eq!(count_bounds_guards(&f, false), 1); // sunk to the exit
+        assert_eq!(f.verify(), Ok(()));
+    }
+
+    #[test]
+    fn decreasing_check_is_hoisted() {
+        let mut f = loop_with_bounds_check(-1);
+        let removed = combine_bounds_checks(&mut f);
+        assert_eq!(removed, 1);
+        assert_eq!(count_bounds_guards(&f, true), 0);
+        assert_eq!(count_bounds_guards(&f, false), 1); // hoisted to preheader
+        assert_eq!(f.verify(), Ok(()));
+    }
+
+    #[test]
+    fn deopt_mode_checks_are_left_alone() {
+        let mut f = loop_with_bounds_check(1);
+        // Flip the guard to Deopt mode — outside a transaction the pass
+        // must not touch it.
+        for i in 0..f.insts.len() {
+            let inst = f.inst_mut(nomap_ir::ValueId(i as u32));
+            if matches!(inst.kind, InstKind::Guard { .. }) {
+                inst.set_check_mode(CheckMode::Deopt);
+            }
+        }
+        assert_eq!(combine_bounds_checks(&mut f), 0);
+        assert_eq!(count_bounds_guards(&f, true), 1);
+    }
+}

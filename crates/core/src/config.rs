@@ -1,0 +1,113 @@
+//! The evaluated architectures (paper Table II).
+
+use nomap_machine::HtmModel;
+
+/// One row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Unmodified JavaScriptCore-style VM. No transactions.
+    Base,
+    /// Simple NoMap: transactions inserted, SMPs replaced with aborts,
+    /// optimizations run across the former SMPs.
+    NoMapS,
+    /// `NoMapS` + hoisting/sinking bounds checks.
+    NoMapB,
+    /// `NoMapB` + SOF overflow-check removal — the proposed design.
+    NoMap,
+    /// Unrealistic best case: all checks within transactions removed.
+    NoMapBc,
+    /// `NoMapB` running on Intel RTM hardware (no SOF; tighter footprints;
+    /// expensive commits; slower transactional reads).
+    NoMapRtm,
+}
+
+impl Architecture {
+    /// All configurations in the paper's bar order.
+    pub const ALL: [Architecture; 6] = [
+        Architecture::Base,
+        Architecture::NoMapS,
+        Architecture::NoMapB,
+        Architecture::NoMap,
+        Architecture::NoMapBc,
+        Architecture::NoMapRtm,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Architecture::Base => "Base",
+            Architecture::NoMapS => "NoMap_S",
+            Architecture::NoMapB => "NoMap_B",
+            Architecture::NoMap => "NoMap",
+            Architecture::NoMapBc => "NoMap_BC",
+            Architecture::NoMapRtm => "NoMap_RTM",
+        }
+    }
+
+    /// Whether FTL compilation inserts transactions.
+    pub fn uses_transactions(self) -> bool {
+        self != Architecture::Base
+    }
+
+    /// The HTM hardware this configuration targets.
+    pub fn htm_model(self) -> HtmModel {
+        match self {
+            Architecture::Base => HtmModel::none(),
+            Architecture::NoMapRtm => HtmModel::rtm(),
+            _ => HtmModel::rot(),
+        }
+    }
+
+    /// Whether the bounds-check combining pass runs.
+    pub fn combines_bounds(self) -> bool {
+        matches!(
+            self,
+            Architecture::NoMapB | Architecture::NoMap | Architecture::NoMapBc
+                | Architecture::NoMapRtm
+        )
+    }
+
+    /// Whether SOF overflow-check removal runs (requires SOF hardware, so
+    /// not under RTM — paper §VI-B).
+    pub fn removes_overflow(self) -> bool {
+        matches!(self, Architecture::NoMap | Architecture::NoMapBc)
+    }
+
+    /// Whether every remaining in-transaction check is stripped
+    /// (`NoMap_BC` only).
+    pub fn strips_all_checks(self) -> bool {
+        self == Architecture::NoMapBc
+    }
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomap_machine::HtmKind;
+
+    #[test]
+    fn table_ii_feature_matrix() {
+        use Architecture::*;
+        assert!(!Base.uses_transactions());
+        assert!(NoMapS.uses_transactions() && !NoMapS.combines_bounds());
+        assert!(NoMapB.combines_bounds() && !NoMapB.removes_overflow());
+        assert!(NoMap.combines_bounds() && NoMap.removes_overflow());
+        assert!(NoMapBc.strips_all_checks());
+        assert!(NoMapRtm.combines_bounds() && !NoMapRtm.removes_overflow());
+        assert_eq!(NoMapRtm.htm_model().kind, HtmKind::Rtm);
+        assert_eq!(NoMap.htm_model().kind, HtmKind::Rot);
+        assert_eq!(Base.htm_model().kind, HtmKind::None);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Architecture::NoMapBc.name(), "NoMap_BC");
+        assert_eq!(Architecture::ALL.len(), 6);
+    }
+}

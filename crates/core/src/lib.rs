@@ -1,0 +1,24 @@
+//! **NoMap** — the paper's contribution: wrap performance-critical FTL code
+//! regions in hardware transactions, replace the Stack Map Points inside
+//! them with transaction aborts, and run two new check optimizations that
+//! only transactions make legal:
+//!
+//! * bounds-check combining over monotonic induction variables (§IV-C1),
+//! * overflow-check removal via the Sticky Overflow Flag (§IV-C2).
+//!
+//! The crate also defines the six evaluated architectures (Table II) and
+//! the §V-C transaction-scope ladder used when capacity aborts strike.
+
+mod bounds;
+mod config;
+mod pipeline;
+mod sof;
+mod txn;
+
+pub use bounds::combine_bounds_checks;
+pub use config::Architecture;
+pub use pipeline::{compile_dfg, compile_ftl, compile_ftl_with, compile_txn_callee};
+pub use sof::remove_overflow_checks;
+pub use txn::{
+    abort_all_checks, next_scope, place_transactions, strip_all_checks, TxnScope, DEFAULT_TILE,
+};

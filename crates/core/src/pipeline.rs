@@ -1,0 +1,197 @@
+//! Tier compilation pipelines.
+//!
+//! * DFG: speculative IR, local cleanup only, weaker back end.
+//! * FTL `Base`: full optimization passes, SMPs intact — the passes are
+//!   crippled exactly where the paper says they are.
+//! * FTL NoMap: transactions first (before the optimizer, §IV-B "we perform
+//!   this transformation before LLVM runs its optimization passes"), then
+//!   the optimizer, then bounds combining and SOF removal on the
+//!   now-abortable checks, then one more cleanup round.
+
+use nomap_bytecode::Function;
+use nomap_ir::passes::{run_pipeline, PassConfig};
+use nomap_ir::{build_ir, BuildError, SpecLevel};
+use nomap_jit::{lower, CodegenQuality, CompiledFn};
+use nomap_machine::Tier;
+use nomap_runtime::Runtime;
+
+use crate::config::Architecture;
+use crate::txn::{abort_all_checks, place_transactions, strip_all_checks, TxnScope};
+use crate::{combine_bounds_checks, remove_overflow_checks};
+
+/// Compiles `func` at the DFG tier.
+///
+/// # Errors
+///
+/// Propagates IR construction failures.
+pub fn compile_dfg(func: &Function, rt: &mut Runtime) -> Result<CompiledFn, BuildError> {
+    let (mut ir, _info) = build_ir(func, rt, SpecLevel::Dfg)?;
+    run_pipeline(&mut ir, PassConfig::dfg());
+    Ok(lower(&ir, CodegenQuality::Dfg, Tier::Dfg, false))
+}
+
+/// Compiles `func` at the FTL tier under `arch`, wrapping transactions at
+/// `scope` (ignored for `Base`).
+///
+/// # Errors
+///
+/// Propagates IR construction failures.
+///
+/// # Example
+///
+/// ```
+/// use nomap_core::{compile_ftl, Architecture, TxnScope};
+/// use nomap_runtime::Runtime;
+///
+/// let program = nomap_bytecode::compile_program(
+///     "function f(n) { var s = 0; for (var i = 0; i < n; i++) { s += i; } return s; }",
+/// )?;
+/// let mut rt = Runtime::new();
+/// let code = compile_ftl(
+///     program.function_named("f").unwrap(),
+///     &mut rt,
+///     Architecture::NoMap,
+///     TxnScope::Nest,
+/// )?;
+/// assert!(code.txn_aware);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile_ftl(
+    func: &Function,
+    rt: &mut Runtime,
+    arch: Architecture,
+    scope: TxnScope,
+) -> Result<CompiledFn, BuildError> {
+    compile_ftl_with(func, rt, arch, scope, PassConfig::ftl())
+}
+
+/// [`compile_ftl`] with an explicit optimizer configuration (ablations).
+///
+/// # Errors
+///
+/// Propagates IR construction failures.
+pub fn compile_ftl_with(
+    func: &Function,
+    rt: &mut Runtime,
+    arch: Architecture,
+    scope: TxnScope,
+    passes: PassConfig,
+) -> Result<CompiledFn, BuildError> {
+    let (mut ir, info) = build_ir(func, rt, SpecLevel::Ftl)?;
+    let txn_aware = arch.uses_transactions() && scope != TxnScope::None;
+    if txn_aware {
+        place_transactions(&mut ir, &info, scope);
+    }
+    run_pipeline(&mut ir, passes);
+    if txn_aware {
+        let mut changed = false;
+        if arch.combines_bounds() {
+            changed |= combine_bounds_checks(&mut ir) > 0;
+        }
+        if arch.removes_overflow() {
+            changed |= remove_overflow_checks(&mut ir) > 0;
+        }
+        if arch.strips_all_checks() {
+            strip_all_checks(&mut ir);
+            changed = true;
+        }
+        if changed {
+            // One more cleanup round: dead compare chains behind removed
+            // checks, newly hoistable code, etc.
+            run_pipeline(&mut ir, passes);
+        }
+    }
+    Ok(lower(&ir, CodegenQuality::Ftl, Tier::Ftl, txn_aware))
+}
+
+/// Compiles the *transaction-aware callee* variant of `func`: every check
+/// becomes an abort of the (caller's) enclosing transaction, unlocking the
+/// full optimizer without placing transactions of its own. Only executed
+/// while a transaction is active.
+///
+/// # Errors
+///
+/// Propagates IR construction failures.
+pub fn compile_txn_callee(
+    func: &Function,
+    rt: &mut Runtime,
+    arch: Architecture,
+    passes: PassConfig,
+) -> Result<CompiledFn, BuildError> {
+    let (mut ir, _info) = build_ir(func, rt, SpecLevel::Ftl)?;
+    abort_all_checks(&mut ir);
+    run_pipeline(&mut ir, passes);
+    let mut changed = false;
+    if arch.combines_bounds() {
+        changed |= combine_bounds_checks(&mut ir) > 0;
+    }
+    if arch.removes_overflow() {
+        changed |= remove_overflow_checks(&mut ir) > 0;
+    }
+    if arch.strips_all_checks() {
+        strip_all_checks(&mut ir);
+        changed = true;
+    }
+    if changed {
+        run_pipeline(&mut ir, passes);
+    }
+    let mut code = lower(&ir, CodegenQuality::Ftl, Tier::Ftl, true);
+    code.txn_callee = true;
+    Ok(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomap_bytecode::compile_program;
+    use nomap_machine::MachInst;
+
+    fn sum_loop_program() -> nomap_bytecode::Program {
+        compile_program(
+            "function sum(a, n) {
+                var s = 0;
+                for (var i = 0; i < n; i++) { s = s + a[i]; }
+                return s;
+            }",
+        )
+        .unwrap()
+    }
+
+    /// With no profile data every site falls back to runtime calls, but the
+    /// pipeline must still produce executable code.
+    #[test]
+    fn compiles_without_profiles() {
+        let p = sum_loop_program();
+        let f = p.function_named("sum").unwrap();
+        let mut rt = Runtime::new();
+        let dfg = compile_dfg(f, &mut rt).unwrap();
+        assert!(dfg.code.iter().any(|i| matches!(i, MachInst::CallRt { .. })));
+        let base = compile_ftl(f, &mut rt, Architecture::Base, TxnScope::None).unwrap();
+        assert!(matches!(base.tier, Tier::Ftl));
+        assert!(!base.txn_aware);
+    }
+
+    #[test]
+    fn nomap_wraps_loops_in_transactions() {
+        let p = sum_loop_program();
+        let f = p.function_named("sum").unwrap();
+        let mut rt = Runtime::new();
+        let c = compile_ftl(f, &mut rt, Architecture::NoMapS, TxnScope::Nest).unwrap();
+        assert!(c.txn_aware);
+        let xbegins = c.code.iter().filter(|i| matches!(i, MachInst::XBegin { .. })).count();
+        let xends = c.code.iter().filter(|i| matches!(i, MachInst::XEnd)).count();
+        assert!(xbegins >= 1, "expected a transaction");
+        assert!(xends >= 1);
+    }
+
+    #[test]
+    fn tiled_scope_emits_mid_loop_commit() {
+        let p = sum_loop_program();
+        let f = p.function_named("sum").unwrap();
+        let mut rt = Runtime::new();
+        let c =
+            compile_ftl(f, &mut rt, Architecture::NoMapS, TxnScope::InnerTiled(64)).unwrap();
+        let xbegins = c.code.iter().filter(|i| matches!(i, MachInst::XBegin { .. })).count();
+        assert!(xbegins >= 2, "tiled loop restarts its transaction");
+    }
+}

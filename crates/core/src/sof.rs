@@ -1,0 +1,73 @@
+//! Overflow-check removal with the Sticky Overflow Flag (paper §IV-C2,
+//! Fig. 7).
+//!
+//! Inside a transaction, per-operation overflow checks (`jo` after every
+//! int32 add/sub/mul/neg) are deleted; the arithmetic still sets the SOF,
+//! and the outermost `XEnd` aborts the transaction if the flag is set. The
+//! rollback then re-executes the region in the Baseline tier with
+//! double-precision semantics.
+
+use nomap_ir::{CheckMode, IrFunc};
+
+/// Converts every `Abort`-mode overflow check to `Sof` mode. Returns how
+/// many checks were removed.
+pub fn remove_overflow_checks(f: &mut IrFunc) -> usize {
+    use nomap_ir::node::InstKind::*;
+    let mut removed = 0;
+    for inst in &mut f.insts {
+        let is_overflow_check = matches!(
+            inst.kind,
+            CheckedAddI32 { .. } | CheckedSubI32 { .. } | CheckedMulI32 { .. }
+                | CheckedNegI32 { .. }
+        );
+        if is_overflow_check && inst.check_mode() == Some(CheckMode::Abort) {
+            inst.set_check_mode(CheckMode::Sof);
+            removed += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomap_bytecode::FuncId;
+    use nomap_ir::node::{Inst, InstKind};
+
+    #[test]
+    fn only_abort_mode_overflow_checks_convert() {
+        let mut f = IrFunc::new(FuncId(0), "t", 0, 0);
+        let a = f.append(f.entry, Inst::new(InstKind::ConstI32(1)));
+        let in_txn = f.append(
+            f.entry,
+            Inst::new(InstKind::CheckedAddI32 { a, b: a, mode: CheckMode::Abort }),
+        );
+        let outside = f.append(
+            f.entry,
+            Inst::new(InstKind::CheckedAddI32 { a, b: a, mode: CheckMode::Deopt }),
+        );
+        let boxed = f.append(f.entry, Inst::new(InstKind::BoxI32(in_txn)));
+        f.append(f.entry, Inst::new(InstKind::Return { v: boxed }));
+        let n = remove_overflow_checks(&mut f);
+        assert_eq!(n, 1);
+        assert_eq!(f.inst(in_txn).check_mode(), Some(CheckMode::Sof));
+        assert_eq!(f.inst(outside).check_mode(), Some(CheckMode::Deopt));
+    }
+
+    #[test]
+    fn type_checks_are_untouched() {
+        let mut f = IrFunc::new(FuncId(0), "t", 0, 0);
+        let c = f.append(
+            f.entry,
+            Inst::new(InstKind::Const(nomap_runtime::Value::new_int32(1))),
+        );
+        let chk = f.append(
+            f.entry,
+            Inst::new(InstKind::CheckInt32 { v: c, mode: CheckMode::Abort }),
+        );
+        let boxed = f.append(f.entry, Inst::new(InstKind::BoxI32(chk)));
+        f.append(f.entry, Inst::new(InstKind::Return { v: boxed }));
+        assert_eq!(remove_overflow_checks(&mut f), 0);
+        assert_eq!(f.inst(chk).check_mode(), Some(CheckMode::Abort));
+    }
+}

@@ -1,0 +1,288 @@
+//! Transaction placement and SMP → abort conversion (paper §IV-B, §V-C).
+//!
+//! Transactions wrap loops: by default the whole loop nest; after a
+//! capacity abort, the innermost loop; then a strip-mined ("tiled") version
+//! that commits and restarts every `tile` iterations; and if a
+//! cache-overflowing transaction contains a call, the transaction is
+//! removed altogether (the overflow is assumed to come from the callee).
+
+use std::collections::HashMap;
+
+use nomap_ir::analysis::{ensure_preheader, find_loops, loop_has_call, Dominators, Loop};
+use nomap_ir::build::BuildInfo;
+use nomap_ir::node::{Inst, InstKind, OsrState};
+use nomap_ir::{BlockId, CheckMode, IrFunc, Ty, ValueId};
+
+/// Default strip-mining chunk: iterations per transaction once tiling is
+/// engaged.
+pub const DEFAULT_TILE: u32 = 256;
+
+/// How much code a transaction covers (the §V-C ladder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnScope {
+    /// Whole loop nests (outermost loops).
+    Nest,
+    /// Innermost loops only.
+    Inner,
+    /// Innermost loops, committing every `0.0`-th iteration (strip-mined).
+    InnerTiled(u32),
+    /// No transactions (capacity kept overflowing, or a call was blamed).
+    None,
+}
+
+/// Next step down the ladder after a capacity abort. `has_call` reports
+/// whether the overflowing transaction contained a function call, in which
+/// case the paper removes the transaction entirely.
+pub fn next_scope(current: TxnScope, has_call: bool) -> TxnScope {
+    if has_call {
+        return TxnScope::None;
+    }
+    match current {
+        TxnScope::Nest => TxnScope::Inner,
+        TxnScope::Inner => TxnScope::InnerTiled(DEFAULT_TILE),
+        TxnScope::InnerTiled(t) if t > 16 => TxnScope::InnerTiled(t / 4),
+        _ => TxnScope::None,
+    }
+}
+
+/// Places transactions around the selected loops of `f` and converts every
+/// check inside them to `Abort` mode. Returns the number of transactions
+/// placed. `info` supplies the loop-header OSR snapshots recorded by the IR
+/// builder.
+pub fn place_transactions(f: &mut IrFunc, info: &BuildInfo, scope: TxnScope) -> usize {
+    let (tile, want_inner) = match scope {
+        TxnScope::None => return 0,
+        TxnScope::Nest => (None, false),
+        TxnScope::Inner => (None, true),
+        TxnScope::InnerTiled(t) => (Some(t), true),
+    };
+    let doms = Dominators::compute(f);
+    let loops = find_loops(f, &doms);
+    let selected: Vec<Loop> = loops
+        .iter()
+        .filter(|l| {
+            let is_inner = !loops
+                .iter()
+                .any(|l2| l2.header != l.header && l.body.contains(&l2.header));
+            let is_outer = !loops
+                .iter()
+                .any(|l2| l2.header != l.header && l2.body.contains(&l.header));
+            if want_inner { is_inner } else { is_outer }
+        })
+        .cloned()
+        .collect();
+    let mut placed = 0;
+    for l in &selected {
+        if wrap_loop(f, info, l, tile) {
+            placed += 1;
+        }
+    }
+    placed
+}
+
+/// Converts *every* `Deopt`-mode check to an `Abort` (transaction-aware
+/// callee compilation — the extension addressing the paper's `TMUnopt`
+/// limitation, §VII-A/§VIII: functions called from inside a transaction
+/// were "compiled without being aware that this code would eventually be
+/// called from a transaction"). The resulting code is only valid while a
+/// transaction is active; the VM selects it per call site.
+pub fn abort_all_checks(f: &mut IrFunc) -> usize {
+    let mut n = 0;
+    for inst in &mut f.insts {
+        if inst.check_mode() == Some(CheckMode::Deopt) {
+            inst.set_check_mode(CheckMode::Abort);
+            inst.osr = None;
+            n += 1;
+        }
+    }
+    n
+}
+
+/// The paper's `NoMap_BC` best case: strips every `Abort`-mode check.
+pub fn strip_all_checks(f: &mut IrFunc) {
+    for inst in &mut f.insts {
+        if inst.check_mode() == Some(CheckMode::Abort) {
+            inst.set_check_mode(CheckMode::Removed);
+        }
+    }
+}
+
+fn wrap_loop(f: &mut IrFunc, info: &BuildInfo, l: &Loop, tile: Option<u32>) -> bool {
+    let Some(header_osr) = info.loop_osr.get(&l.header).cloned() else {
+        return false;
+    };
+    let Some(preheader) = ensure_preheader(f, l) else { return false };
+
+    // Fallback state at the preheader: header-phi values become their
+    // entry-edge inputs; everything else already dominates the preheader.
+    let entry_osr = remap_osr(f, l, &header_osr, preheader);
+    let mut xbegin = Inst::new(InstKind::XBegin);
+    xbegin.osr = Some(entry_osr);
+    f.insert_before_terminator(preheader, xbegin);
+
+    // Commit on every exit edge, and before any return from inside the
+    // loop (early returns leave the transaction too).
+    for (from, to) in l.exits.clone() {
+        let mid = f.split_edge(from, to);
+        f.insert_at(mid, 0, Inst::new(InstKind::XEnd));
+    }
+    for &b in &l.body {
+        let term = f.terminator(b);
+        if matches!(f.inst(term).kind, InstKind::Return { .. }) {
+            f.insert_before_terminator(b, Inst::new(InstKind::XEnd));
+        }
+    }
+
+    // SMPs inside the transaction become aborts (it is safe: FTL code has
+    // no entry points inside loops — §IV-B).
+    for &b in &l.body {
+        let insts = f.blocks[b.0 as usize].insts.clone();
+        for v in insts {
+            let inst = f.inst_mut(v);
+            if inst.check_mode() == Some(CheckMode::Deopt) {
+                inst.set_check_mode(CheckMode::Abort);
+                inst.osr = None;
+            }
+        }
+    }
+
+    if let Some(t) = tile {
+        strip_mine(f, l, &header_osr, t, preheader);
+    }
+    let _ = loop_has_call(f, l); // documented signal for the vm's ladder
+    true
+}
+
+/// Rewrites an OSR snapshot taken at the loop header into one valid on the
+/// edge `edge_src → header`: header phis become their input along that
+/// edge.
+fn remap_osr(f: &IrFunc, l: &Loop, osr: &OsrState, edge_src: BlockId) -> OsrState {
+    let preds = &f.blocks[l.header.0 as usize].preds;
+    let pos = preds.iter().position(|&p| p == edge_src);
+    let map = |v: ValueId| -> ValueId {
+        if let InstKind::Phi { inputs, .. } = &f.inst(v).kind {
+            if f.blocks[l.header.0 as usize].insts.contains(&v) {
+                if let Some(pos) = pos {
+                    return inputs[pos];
+                }
+            }
+        }
+        v
+    };
+    OsrState { bc: osr.bc, regs: osr.regs.iter().map(|s| s.map(map)).collect() }
+}
+
+/// Strip-mines the loop: a chunk counter commits and restarts the
+/// transaction every `tile` iterations, bounding the write footprint
+/// (paper §V-C "the innermost loop is tiled so the state fits in cache").
+fn strip_mine(f: &mut IrFunc, l: &Loop, header_osr: &OsrState, tile: u32, preheader: BlockId) {
+    // Chunk counter phi: 0 on entry, +1 per iteration, reset at commits.
+    let zero = f.insert_before_terminator(preheader, Inst::new(InstKind::ConstI32(0)));
+    // Build the phi after we know all inputs; placeholder inputs below.
+    let header_preds = f.blocks[l.header.0 as usize].preds.clone();
+
+    // Insert, on each latch edge, a conditional commit+restart block.
+    let mut phi_inputs: HashMap<BlockId, ValueId> = HashMap::new();
+    for &p in &header_preds {
+        phi_inputs.insert(p, zero);
+    }
+    let phi = f.insert_at(
+        l.header,
+        0,
+        Inst::new(InstKind::Phi { inputs: vec![], ty: Ty::I32 }),
+    );
+
+    for &latch in &l.latches {
+        // Only unconditional back edges are strip-mined; a conditional
+        // latch (do-while) keeps its unsplit transaction.
+        let term = f.terminator(latch);
+        if !matches!(f.inst(term).kind, InstKind::Jump { .. }) {
+            continue;
+        }
+        // latch: ... ctr1 = ctr + 1 ; if ctr1 >= tile { XEnd; XBegin; } ...
+        let one = f.insert_before_terminator(latch, Inst::new(InstKind::ConstI32(1)));
+        let next = f.insert_before_terminator(
+            latch,
+            Inst::new(InstKind::CheckedAddI32 { a: phi, b: one, mode: CheckMode::Removed }),
+        );
+        let t = f.insert_before_terminator(latch, Inst::new(InstKind::ConstI32(tile as i32)));
+        let cond = f.insert_before_terminator(
+            latch,
+            Inst::new(InstKind::ICmp { cond: nomap_machine::Cond::Ge, a: next, b: t }),
+        );
+        // Split the back edge; the mid block becomes the commit block.
+        let commit = f.split_edge(latch, l.header);
+        // Turn the latch terminator into a branch: commit or direct header.
+        let term = f.terminator(latch);
+        f.inst_mut(term).kind = InstKind::Branch {
+            cond,
+            then_b: commit,
+            else_b: l.header,
+        };
+        // Commit block: XEnd; XBegin(latch-edge fallback); jump to header.
+        let latch_osr = remap_osr_for_latch(f, l, header_osr, latch);
+        f.insert_at(commit, 0, Inst::new(InstKind::XEnd));
+        let mut xb = Inst::new(InstKind::XBegin);
+        xb.osr = Some(latch_osr);
+        f.insert_at(commit, 1, Inst::new(InstKind::Nop)); // placeholder keeps order clear
+        let xb_id = f.add_inst(xb);
+        f.blocks[commit.0 as usize].insts.insert(1, xb_id);
+
+        // Header gains `latch` (direct) and `commit` as predecessors.
+        let preds = &mut f.blocks[l.header.0 as usize].preds;
+        preds.push(latch); // direct edge (was rerouted to commit by split)
+        // Fix: split_edge replaced latch with commit in preds; we re-add
+        // latch for the direct (else) edge. Phi inputs must follow.
+        let latch_pos_in_old = header_preds.iter().position(|&p| p == latch);
+        let insts = f.blocks[l.header.0 as usize].insts.clone();
+        for &pv in &insts {
+            if pv == phi {
+                continue;
+            }
+            if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(pv).kind {
+                if let Some(pos) = latch_pos_in_old {
+                    let dup = inputs[pos];
+                    inputs.push(dup);
+                }
+            }
+        }
+        phi_inputs.insert(commit, zero);
+        phi_inputs.insert(latch, next);
+    }
+
+    // Finalize the counter phi inputs in predecessor order.
+    let preds_now = f.blocks[l.header.0 as usize].preds.clone();
+    let inputs: Vec<ValueId> = preds_now
+        .iter()
+        .map(|p| phi_inputs.get(p).copied().unwrap_or(zero))
+        .collect();
+    if let InstKind::Phi { inputs: slots, .. } = &mut f.inst_mut(phi).kind {
+        *slots = inputs;
+    }
+}
+
+fn remap_osr_for_latch(f: &IrFunc, l: &Loop, osr: &OsrState, latch: BlockId) -> OsrState {
+    remap_osr(f, l, osr, latch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_steps() {
+        assert_eq!(next_scope(TxnScope::Nest, false), TxnScope::Inner);
+        assert_eq!(
+            next_scope(TxnScope::Inner, false),
+            TxnScope::InnerTiled(DEFAULT_TILE)
+        );
+        assert_eq!(
+            next_scope(TxnScope::InnerTiled(256), false),
+            TxnScope::InnerTiled(64)
+        );
+        assert_eq!(next_scope(TxnScope::InnerTiled(16), false), TxnScope::None);
+        // A call inside the overflowing transaction removes it immediately.
+        assert_eq!(next_scope(TxnScope::Nest, true), TxnScope::None);
+        assert_eq!(next_scope(TxnScope::None, false), TxnScope::None);
+    }
+}

@@ -1,0 +1,215 @@
+//! Abstract syntax tree for MiniJS.
+
+use crate::token::Span;
+
+/// Binary arithmetic, bitwise and comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    UShr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    NotEq,
+    StrictEq,
+    StrictNotEq,
+}
+
+impl BinOp {
+    /// True for `< <= > >= == != === !==`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::Eq
+                | BinOp::NotEq
+                | BinOp::StrictEq
+                | BinOp::StrictNotEq
+        )
+    }
+}
+
+/// Short-circuiting logical operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogOp {
+    And,
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Plus,
+    Not,
+    BitNot,
+    Typeof,
+}
+
+/// The place an assignment writes to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssignTarget {
+    /// A local, parameter or global variable.
+    Ident(String),
+    /// `obj.prop`.
+    Member(Box<Expr>, String),
+    /// `arr[idx]`.
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// An expression with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression itself.
+    pub kind: ExprKind,
+    /// Source location, for diagnostics.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Creates an expression node.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+}
+
+/// Expression forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Numeric literal (source-level numbers are doubles).
+    Number(f64),
+    /// String literal.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `undefined`.
+    Undefined,
+    /// Variable reference.
+    Ident(String),
+    /// `[e1, e2, ...]`.
+    Array(Vec<Expr>),
+    /// `{a: e1, b: e2}`.
+    Object(Vec<(String, Expr)>),
+    /// `new Array(n)` — pre-sized array allocation.
+    NewArray(Box<Expr>),
+    /// Unary operator application.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operator application.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit `&&` / `||`.
+    Logical(LogOp, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Assignment, optionally compound (`target op= value`).
+    Assign(AssignTarget, Option<BinOp>, Box<Expr>),
+    /// Prefix or postfix `++`/`--`; `is_incr` selects `++`, `prefix` selects
+    /// the prefix form (which yields the new value).
+    IncrDecr {
+        /// Place updated.
+        target: AssignTarget,
+        /// `++` if true, `--` if false.
+        is_incr: bool,
+        /// Prefix form yields the new value; postfix yields the old.
+        prefix: bool,
+    },
+    /// Call of a named (global) function: `f(a, b)`.
+    Call(String, Vec<Expr>),
+    /// Method call `recv.name(args)` — resolved to intrinsics (e.g.
+    /// `Math.sqrt`, `arr.push`) by the bytecode compiler.
+    MethodCall(Box<Expr>, String, Vec<Expr>),
+    /// Property read `obj.prop`.
+    Member(Box<Expr>, String),
+    /// Indexed read `arr[idx]`.
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// A statement with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// The statement itself.
+    pub kind: StmtKind,
+    /// Source location, for diagnostics.
+    pub span: Span,
+}
+
+impl Stmt {
+    /// Creates a statement node.
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt { kind, span }
+    }
+}
+
+/// Statement forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Expression evaluated for effect.
+    Expr(Expr),
+    /// `var`/`let` declarations (MiniJS treats both as function-scoped).
+    VarDecl(Vec<(String, Option<Expr>)>),
+    /// `if (c) t else e`.
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while (c) body`.
+    While(Expr, Box<Stmt>),
+    /// `do body while (c);`.
+    DoWhile(Box<Stmt>, Expr),
+    /// `for (init; cond; step) body`.
+    For {
+        /// Declaration or expression statement run once.
+        init: Option<Box<Stmt>>,
+        /// Loop condition; `None` means `true`.
+        cond: Option<Expr>,
+        /// Step expression run after each iteration.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `return e;` / `return;`.
+    Return(Option<Expr>),
+    /// `break;`.
+    Break,
+    /// `continue;`.
+    Continue,
+    /// `{ ... }`.
+    Block(Vec<Stmt>),
+    /// `;`.
+    Empty,
+}
+
+/// A top-level function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name (top-level, globally visible).
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source location of the declaration.
+    pub span: Span,
+}
+
+/// A parsed MiniJS program: top-level functions plus top-level statements
+/// that form the implicit "main" script.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Declared functions, in source order.
+    pub functions: Vec<Function>,
+    /// Top-level statements, in source order.
+    pub top_level: Vec<Stmt>,
+}

@@ -1,0 +1,478 @@
+//! Hand-written lexer for MiniJS.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+/// An error produced while lexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    msg: String,
+    /// Location of the offending character.
+    pub span: Span,
+}
+
+impl LexError {
+    fn new(msg: impl Into<String>, span: Span) -> Self {
+        LexError { msg: msg.into(), span }
+    }
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.msg)
+    }
+}
+
+impl Error for LexError {}
+
+/// Streaming lexer over a source string.
+///
+/// Usually driven indirectly through [`crate::parse_program`]; exposed for
+/// tools that want raw tokens (e.g. syntax highlighting in examples).
+#[derive(Debug)]
+pub struct Lexer<'src> {
+    src: &'src [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'src> Lexer<'src> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'src str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    /// Lexes the entire input into a token vector terminated by
+    /// [`TokenKind::Eof`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LexError`] on malformed numbers, unterminated strings or
+    /// unexpected characters.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = self.span_here(1);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return Err(LexError::new("unterminated block comment", start));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn span_here(&self, len: usize) -> Span {
+        Span::new(self.pos as u32, (self.pos + len) as u32, self.line)
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        let start = self.pos;
+        let line = self.line;
+        if self.pos >= self.src.len() {
+            return Ok(Token::new(TokenKind::Eof, self.span_here(0)));
+        }
+        let c = self.peek();
+        let kind = match c {
+            b'0'..=b'9' => return self.lex_number(),
+            b'.' if self.peek2().is_ascii_digit() => return self.lex_number(),
+            b'"' | b'\'' => return self.lex_string(),
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'$' => return Ok(self.lex_ident()),
+            b'(' => { self.bump(); TokenKind::LParen }
+            b')' => { self.bump(); TokenKind::RParen }
+            b'{' => { self.bump(); TokenKind::LBrace }
+            b'}' => { self.bump(); TokenKind::RBrace }
+            b'[' => { self.bump(); TokenKind::LBracket }
+            b']' => { self.bump(); TokenKind::RBracket }
+            b';' => { self.bump(); TokenKind::Semi }
+            b',' => { self.bump(); TokenKind::Comma }
+            b'.' => { self.bump(); TokenKind::Dot }
+            b':' => { self.bump(); TokenKind::Colon }
+            b'?' => { self.bump(); TokenKind::Question }
+            b'~' => { self.bump(); TokenKind::Tilde }
+            b'+' => {
+                self.bump();
+                match self.peek() {
+                    b'+' => { self.bump(); TokenKind::PlusPlus }
+                    b'=' => { self.bump(); TokenKind::PlusAssign }
+                    _ => TokenKind::Plus,
+                }
+            }
+            b'-' => {
+                self.bump();
+                match self.peek() {
+                    b'-' => { self.bump(); TokenKind::MinusMinus }
+                    b'=' => { self.bump(); TokenKind::MinusAssign }
+                    _ => TokenKind::Minus,
+                }
+            }
+            b'*' => {
+                self.bump();
+                if self.peek() == b'=' { self.bump(); TokenKind::StarAssign } else { TokenKind::Star }
+            }
+            b'/' => {
+                self.bump();
+                if self.peek() == b'=' { self.bump(); TokenKind::SlashAssign } else { TokenKind::Slash }
+            }
+            b'%' => {
+                self.bump();
+                if self.peek() == b'=' { self.bump(); TokenKind::PercentAssign } else { TokenKind::Percent }
+            }
+            b'&' => {
+                self.bump();
+                match self.peek() {
+                    b'&' => { self.bump(); TokenKind::AmpAmp }
+                    b'=' => { self.bump(); TokenKind::AmpAssign }
+                    _ => TokenKind::Amp,
+                }
+            }
+            b'|' => {
+                self.bump();
+                match self.peek() {
+                    b'|' => { self.bump(); TokenKind::PipePipe }
+                    b'=' => { self.bump(); TokenKind::PipeAssign }
+                    _ => TokenKind::Pipe,
+                }
+            }
+            b'^' => {
+                self.bump();
+                if self.peek() == b'=' { self.bump(); TokenKind::CaretAssign } else { TokenKind::Caret }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    if self.peek() == b'=' { self.bump(); TokenKind::NotEqEq } else { TokenKind::NotEq }
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            b'=' => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    if self.peek() == b'=' { self.bump(); TokenKind::EqEqEq } else { TokenKind::EqEq }
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    b'=' => { self.bump(); TokenKind::Le }
+                    b'<' => {
+                        self.bump();
+                        if self.peek() == b'=' { self.bump(); TokenKind::ShlAssign } else { TokenKind::Shl }
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            b'>' => {
+                self.bump();
+                match self.peek() {
+                    b'=' => { self.bump(); TokenKind::Ge }
+                    b'>' => {
+                        self.bump();
+                        match self.peek() {
+                            b'>' => {
+                                self.bump();
+                                if self.peek() == b'=' { self.bump(); TokenKind::UShrAssign } else { TokenKind::UShr }
+                            }
+                            b'=' => { self.bump(); TokenKind::ShrAssign }
+                            _ => TokenKind::Shr,
+                        }
+                    }
+                    _ => TokenKind::Gt,
+                }
+            }
+            other => {
+                return Err(LexError::new(
+                    format!("unexpected character {:?}", other as char),
+                    self.span_here(1),
+                ));
+            }
+        };
+        Ok(Token::new(kind, Span::new(start as u32, self.pos as u32, line)))
+    }
+
+    fn lex_number(&mut self) -> Result<Token, LexError> {
+        let start = self.pos;
+        let line = self.line;
+        // Hex literal.
+        if self.peek() == b'0' && (self.peek2() == b'x' || self.peek2() == b'X') {
+            self.bump();
+            self.bump();
+            let digits_start = self.pos;
+            while self.peek().is_ascii_hexdigit() {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[digits_start..self.pos]).unwrap();
+            let span = Span::new(start as u32, self.pos as u32, line);
+            let v = u64::from_str_radix(text, 16)
+                .map_err(|_| LexError::new("invalid hex literal", span))?;
+            return Ok(Token::new(TokenKind::Number(v as f64), span));
+        }
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        } else if self.peek() == b'.' && !self.peek2().is_ascii_alphanumeric() && self.peek2() != b'_' {
+            // Trailing dot as in `1.` — consume it as part of the number
+            // unless it starts a property access like `0..toString` (not
+            // supported anyway).
+            self.bump();
+        }
+        if self.peek() == b'e' || self.peek() == b'E' {
+            // Only a valid exponent if followed by digits or sign+digits.
+            let save = (self.pos, self.line);
+            self.bump();
+            if self.peek() == b'+' || self.peek() == b'-' {
+                self.bump();
+            }
+            if self.peek().is_ascii_digit() {
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            } else {
+                (self.pos, self.line) = save;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let span = Span::new(start as u32, self.pos as u32, line);
+        let value: f64 = text
+            .parse()
+            .map_err(|_| LexError::new(format!("invalid number literal `{text}`"), span))?;
+        Ok(Token::new(TokenKind::Number(value), span))
+    }
+
+    fn lex_string(&mut self) -> Result<Token, LexError> {
+        let start = self.pos;
+        let line = self.line;
+        let quote = self.bump();
+        let mut s = String::new();
+        loop {
+            if self.pos >= self.src.len() {
+                return Err(LexError::new(
+                    "unterminated string literal",
+                    Span::new(start as u32, self.pos as u32, line),
+                ));
+            }
+            let c = self.bump();
+            if c == quote {
+                break;
+            }
+            if c == b'\\' {
+                let esc = self.bump();
+                match esc {
+                    b'n' => s.push('\n'),
+                    b't' => s.push('\t'),
+                    b'r' => s.push('\r'),
+                    b'0' => s.push('\0'),
+                    b'\\' => s.push('\\'),
+                    b'\'' => s.push('\''),
+                    b'"' => s.push('"'),
+                    b'u' => {
+                        let mut v: u32 = 0;
+                        for _ in 0..4 {
+                            let d = self.bump();
+                            let d = (d as char).to_digit(16).ok_or_else(|| {
+                                LexError::new(
+                                    "invalid \\u escape",
+                                    Span::new(start as u32, self.pos as u32, line),
+                                )
+                            })?;
+                            v = v * 16 + d;
+                        }
+                        s.push(char::from_u32(v).unwrap_or('\u{FFFD}'));
+                    }
+                    other => s.push(other as char),
+                }
+            } else {
+                s.push(c as char);
+            }
+        }
+        Ok(Token::new(
+            TokenKind::Str(s),
+            Span::new(start as u32, self.pos as u32, line),
+        ))
+    }
+
+    fn lex_ident(&mut self) -> Token {
+        let start = self.pos;
+        let line = self.line;
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'$') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let span = Span::new(start as u32, self.pos as u32, line);
+        match Keyword::from_ident(text) {
+            Some(kw) => Token::new(TokenKind::Keyword(kw), span),
+            None => Token::new(TokenKind::Ident(text.to_owned()), span),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("1 2.5 0x10 1e3 1.5e-2"),
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Number(2.5),
+                TokenKind::Number(16.0),
+                TokenKind::Number(1000.0),
+                TokenKind::Number(0.015),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#" "a\nb" 'c' "A" "#),
+            vec![
+                TokenKind::Str("a\nb".into()),
+                TokenKind::Str("c".into()),
+                TokenKind::Str("A".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_longest_match() {
+        assert_eq!(
+            kinds("=== == = >>> >> > >>>= <<= ++ += !== !="),
+            vec![
+                TokenKind::EqEqEq,
+                TokenKind::EqEq,
+                TokenKind::Assign,
+                TokenKind::UShr,
+                TokenKind::Shr,
+                TokenKind::Gt,
+                TokenKind::UShrAssign,
+                TokenKind::ShlAssign,
+                TokenKind::PlusPlus,
+                TokenKind::PlusAssign,
+                TokenKind::NotEqEq,
+                TokenKind::NotEq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = Lexer::new("a // comment\n/* block\nmore */ b").tokenize().unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("a".into()));
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].kind, TokenKind::Ident("b".into()));
+        assert_eq!(toks[1].span.line, 3);
+    }
+
+    #[test]
+    fn keywords_are_recognized() {
+        assert_eq!(
+            kinds("for typeof undefined"),
+            vec![
+                TokenKind::Keyword(Keyword::For),
+                TokenKind::Keyword(Keyword::Typeof),
+                TokenKind::Keyword(Keyword::Undefined),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(Lexer::new("\"abc").tokenize().is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(Lexer::new("@").tokenize().is_err());
+    }
+
+    #[test]
+    fn member_dot_after_number_parenthesized() {
+        // `x.length` style dots still lex as Dot tokens.
+        assert_eq!(
+            kinds("a.length"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("length".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Front end for **MiniJS**, the JavaScript subset used by the NoMap
+//! reproduction.
+//!
+//! MiniJS keeps the parts of JavaScript that matter for the paper's
+//! experiments: dynamically-typed values (numbers that may be int32 or
+//! double, strings, booleans, `null`/`undefined`), objects with
+//! dynamically-added properties, automatically-elongating arrays with holes,
+//! top-level functions, and the usual expression/statement forms. It omits
+//! closures, prototypes, exceptions and `eval`, none of which the paper's
+//! evaluation depends on.
+//!
+//! # Example
+//!
+//! ```
+//! use nomap_frontend::parse_program;
+//!
+//! let program = parse_program(
+//!     "function sum(a) {
+//!          var s = 0;
+//!          for (var i = 0; i < a.length; i++) { s += a[i]; }
+//!          return s;
+//!      }",
+//! )?;
+//! assert_eq!(program.functions.len(), 1);
+//! assert_eq!(program.functions[0].name, "sum");
+//! # Ok::<(), nomap_frontend::ParseError>(())
+//! ```
+
+mod ast;
+mod lexer;
+mod parser;
+mod token;
+
+pub use ast::{
+    AssignTarget, BinOp, Expr, ExprKind, Function, LogOp, Program, Stmt, StmtKind, UnOp,
+};
+pub use lexer::{LexError, Lexer};
+pub use parser::{parse_program, ParseError, Parser};
+pub use token::{Keyword, Span, Token, TokenKind};

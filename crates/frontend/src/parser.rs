@@ -1,0 +1,866 @@
+//! Recursive-descent parser for MiniJS.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{
+    AssignTarget, BinOp, Expr, ExprKind, Function, LogOp, Program, Stmt, StmtKind, UnOp,
+};
+use crate::lexer::{LexError, Lexer};
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+/// An error produced while parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    msg: String,
+    /// Location of the offending token.
+    pub span: Span,
+}
+
+impl ParseError {
+    fn new(msg: impl Into<String>, span: Span) -> Self {
+        ParseError { msg: msg.into(), span }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.msg)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { msg: e.to_string(), span: e.span }
+    }
+}
+
+/// Parses a full MiniJS program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error encountered.
+///
+/// # Example
+///
+/// ```
+/// let p = nomap_frontend::parse_program("var x = 1 + 2;")?;
+/// assert_eq!(p.top_level.len(), 1);
+/// # Ok::<(), nomap_frontend::ParseError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    Parser::new(tokens).program()
+}
+
+/// Recursive-descent parser over a token stream.
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser {
+    /// Creates a parser over tokens produced by [`Lexer::tokenize`].
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0, depth: 0 }
+    }
+
+    /// Maximum expression nesting depth (guards the recursive descent
+    /// against stack exhaustion on adversarial input).
+    const MAX_DEPTH: usize = 48;
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        if self.peek_kind() == kind {
+            Ok(self.bump())
+        } else {
+            Err(ParseError::new(
+                format!("expected {}, found {}", kind, self.peek_kind()),
+                self.peek().span,
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                let t = self.bump();
+                Ok((name, t.span))
+            }
+            other => Err(ParseError::new(
+                format!("expected identifier, found {other}"),
+                self.peek().span,
+            )),
+        }
+    }
+
+    /// Parses the whole token stream as a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on the first syntax error.
+    pub fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        while self.peek_kind() != &TokenKind::Eof {
+            if self.peek_kind() == &TokenKind::Keyword(Keyword::Function) {
+                prog.functions.push(self.function()?);
+            } else {
+                prog.top_level.push(self.statement()?);
+            }
+        }
+        Ok(prog)
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        let start = self.expect(&TokenKind::Keyword(Keyword::Function))?.span;
+        let (name, _) = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek_kind() != &TokenKind::RParen {
+            loop {
+                let (p, _) = self.expect_ident()?;
+                params.push(p);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut body = Vec::new();
+        while self.peek_kind() != &TokenKind::RBrace {
+            body.push(self.statement()?);
+        }
+        let end = self.expect(&TokenKind::RBrace)?.span;
+        Ok(Function { name, params, body, span: start.merge(end) })
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.peek().span;
+        match self.peek_kind() {
+            TokenKind::Semi => {
+                self.bump();
+                Ok(Stmt::new(StmtKind::Empty, span))
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut stmts = Vec::new();
+                while self.peek_kind() != &TokenKind::RBrace {
+                    stmts.push(self.statement()?);
+                }
+                let end = self.expect(&TokenKind::RBrace)?.span;
+                Ok(Stmt::new(StmtKind::Block(stmts), span.merge(end)))
+            }
+            TokenKind::Keyword(Keyword::Var) | TokenKind::Keyword(Keyword::Let) => {
+                let s = self.var_decl()?;
+                self.eat(&TokenKind::Semi);
+                Ok(s)
+            }
+            TokenKind::Keyword(Keyword::If) => self.if_stmt(),
+            TokenKind::Keyword(Keyword::While) => self.while_stmt(),
+            TokenKind::Keyword(Keyword::Do) => self.do_while_stmt(),
+            TokenKind::Keyword(Keyword::For) => self.for_stmt(),
+            TokenKind::Keyword(Keyword::Return) => {
+                self.bump();
+                let value = if self.peek_kind() == &TokenKind::Semi
+                    || self.peek_kind() == &TokenKind::RBrace
+                {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.eat(&TokenKind::Semi);
+                Ok(Stmt::new(StmtKind::Return(value), span))
+            }
+            TokenKind::Keyword(Keyword::Break) => {
+                self.bump();
+                self.eat(&TokenKind::Semi);
+                Ok(Stmt::new(StmtKind::Break, span))
+            }
+            TokenKind::Keyword(Keyword::Continue) => {
+                self.bump();
+                self.eat(&TokenKind::Semi);
+                Ok(Stmt::new(StmtKind::Continue, span))
+            }
+            _ => {
+                let e = self.expression()?;
+                self.eat(&TokenKind::Semi);
+                Ok(Stmt::new(StmtKind::Expr(e), span))
+            }
+        }
+    }
+
+    fn var_decl(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.bump().span; // var/let
+        let mut decls = Vec::new();
+        loop {
+            let (name, _) = self.expect_ident()?;
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.assignment()?)
+            } else {
+                None
+            };
+            decls.push((name, init));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Stmt::new(StmtKind::VarDecl(decls), span))
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.bump().span;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expression()?;
+        self.expect(&TokenKind::RParen)?;
+        let then = Box::new(self.statement()?);
+        let els = if self.eat(&TokenKind::Keyword(Keyword::Else)) {
+            Some(Box::new(self.statement()?))
+        } else {
+            None
+        };
+        Ok(Stmt::new(StmtKind::If(cond, then, els), span))
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.bump().span;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expression()?;
+        self.expect(&TokenKind::RParen)?;
+        let body = Box::new(self.statement()?);
+        Ok(Stmt::new(StmtKind::While(cond, body), span))
+    }
+
+    fn do_while_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.bump().span;
+        let body = Box::new(self.statement()?);
+        self.expect(&TokenKind::Keyword(Keyword::While))?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expression()?;
+        self.expect(&TokenKind::RParen)?;
+        self.eat(&TokenKind::Semi);
+        Ok(Stmt::new(StmtKind::DoWhile(body, cond), span))
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.bump().span;
+        self.expect(&TokenKind::LParen)?;
+        let init = if self.peek_kind() == &TokenKind::Semi {
+            self.bump();
+            None
+        } else if matches!(
+            self.peek_kind(),
+            TokenKind::Keyword(Keyword::Var) | TokenKind::Keyword(Keyword::Let)
+        ) {
+            let d = self.var_decl()?;
+            self.expect(&TokenKind::Semi)?;
+            Some(Box::new(d))
+        } else {
+            let e = self.expression()?;
+            let espan = e.span;
+            self.expect(&TokenKind::Semi)?;
+            Some(Box::new(Stmt::new(StmtKind::Expr(e), espan)))
+        };
+        let cond = if self.peek_kind() == &TokenKind::Semi {
+            None
+        } else {
+            Some(self.expression()?)
+        };
+        self.expect(&TokenKind::Semi)?;
+        let step = if self.peek_kind() == &TokenKind::RParen {
+            None
+        } else {
+            Some(self.expression()?)
+        };
+        self.expect(&TokenKind::RParen)?;
+        let body = Box::new(self.statement()?);
+        Ok(Stmt::new(StmtKind::For { init, cond, step, body }, span))
+    }
+
+    /// Parses a single expression (entry point for tests and tools).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on invalid expression syntax.
+    pub fn expression(&mut self) -> Result<Expr, ParseError> {
+        self.assignment()
+    }
+
+    fn as_assign_target(e: Expr) -> Result<AssignTarget, ParseError> {
+        let span = e.span;
+        match e.kind {
+            ExprKind::Ident(n) => Ok(AssignTarget::Ident(n)),
+            ExprKind::Member(obj, name) => Ok(AssignTarget::Member(obj, name)),
+            ExprKind::Index(arr, idx) => Ok(AssignTarget::Index(arr, idx)),
+            _ => Err(ParseError::new("invalid assignment target", span)),
+        }
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        self.depth += 1;
+        if self.depth > Self::MAX_DEPTH {
+            self.depth -= 1;
+            return Err(ParseError::new(
+                "expression is nested too deeply",
+                self.peek().span,
+            ));
+        }
+        let r = self.assignment_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn assignment_inner(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.ternary()?;
+        let op = match self.peek_kind() {
+            TokenKind::Assign => None,
+            TokenKind::PlusAssign => Some(BinOp::Add),
+            TokenKind::MinusAssign => Some(BinOp::Sub),
+            TokenKind::StarAssign => Some(BinOp::Mul),
+            TokenKind::SlashAssign => Some(BinOp::Div),
+            TokenKind::PercentAssign => Some(BinOp::Mod),
+            TokenKind::AmpAssign => Some(BinOp::BitAnd),
+            TokenKind::PipeAssign => Some(BinOp::BitOr),
+            TokenKind::CaretAssign => Some(BinOp::BitXor),
+            TokenKind::ShlAssign => Some(BinOp::Shl),
+            TokenKind::ShrAssign => Some(BinOp::Shr),
+            TokenKind::UShrAssign => Some(BinOp::UShr),
+            _ => return Ok(lhs),
+        };
+        let span = lhs.span;
+        self.bump();
+        let value = self.assignment()?;
+        let target = Self::as_assign_target(lhs)?;
+        Ok(Expr::new(
+            ExprKind::Assign(target, op, Box::new(value)),
+            span,
+        ))
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.logical_or()?;
+        if self.eat(&TokenKind::Question) {
+            let span = cond.span;
+            let a = self.assignment()?;
+            self.expect(&TokenKind::Colon)?;
+            let b = self.assignment()?;
+            Ok(Expr::new(
+                ExprKind::Ternary(Box::new(cond), Box::new(a), Box::new(b)),
+                span,
+            ))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.logical_and()?;
+        while self.eat(&TokenKind::PipePipe) {
+            let rhs = self.logical_and()?;
+            let span = lhs.span;
+            lhs = Expr::new(
+                ExprKind::Logical(LogOp::Or, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_or()?;
+        while self.eat(&TokenKind::AmpAmp) {
+            let rhs = self.bit_or()?;
+            let span = lhs.span;
+            lhs = Expr::new(
+                ExprKind::Logical(LogOp::And, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn binary_level<F>(&mut self, next: F, table: &[(TokenKind, BinOp)]) -> Result<Expr, ParseError>
+    where
+        F: Fn(&mut Self) -> Result<Expr, ParseError>,
+    {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in table {
+                if self.peek_kind() == tok {
+                    self.bump();
+                    let rhs = next(self)?;
+                    let span = lhs.span;
+                    lhs = Expr::new(ExprKind::Binary(*op, Box::new(lhs), Box::new(rhs)), span);
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Self::bit_xor, &[(TokenKind::Pipe, BinOp::BitOr)])
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Self::bit_and, &[(TokenKind::Caret, BinOp::BitXor)])
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Self::equality, &[(TokenKind::Amp, BinOp::BitAnd)])
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Self::relational,
+            &[
+                (TokenKind::EqEqEq, BinOp::StrictEq),
+                (TokenKind::NotEqEq, BinOp::StrictNotEq),
+                (TokenKind::EqEq, BinOp::Eq),
+                (TokenKind::NotEq, BinOp::NotEq),
+            ],
+        )
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Self::shift,
+            &[
+                (TokenKind::Le, BinOp::Le),
+                (TokenKind::Ge, BinOp::Ge),
+                (TokenKind::Lt, BinOp::Lt),
+                (TokenKind::Gt, BinOp::Gt),
+            ],
+        )
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Self::additive,
+            &[
+                (TokenKind::Shl, BinOp::Shl),
+                (TokenKind::UShr, BinOp::UShr),
+                (TokenKind::Shr, BinOp::Shr),
+            ],
+        )
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Self::multiplicative,
+            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+        )
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Self::unary,
+            &[
+                (TokenKind::Star, BinOp::Mul),
+                (TokenKind::Slash, BinOp::Div),
+                (TokenKind::Percent, BinOp::Mod),
+            ],
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let span = self.peek().span;
+        let op = match self.peek_kind() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Plus => Some(UnOp::Plus),
+            TokenKind::Bang => Some(UnOp::Not),
+            TokenKind::Tilde => Some(UnOp::BitNot),
+            TokenKind::Keyword(Keyword::Typeof) => Some(UnOp::Typeof),
+            TokenKind::PlusPlus | TokenKind::MinusMinus => {
+                let is_incr = self.peek_kind() == &TokenKind::PlusPlus;
+                self.bump();
+                let operand = self.unary()?;
+                let target = Self::as_assign_target(operand)?;
+                return Ok(Expr::new(
+                    ExprKind::IncrDecr { target, is_incr, prefix: true },
+                    span,
+                ));
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary()?;
+            // Constant-fold negative number literals so `-1` is a literal.
+            if op == UnOp::Neg {
+                if let ExprKind::Number(n) = operand.kind {
+                    return Ok(Expr::new(ExprKind::Number(-n), span));
+                }
+            }
+            return Ok(Expr::new(ExprKind::Unary(op, Box::new(operand)), span));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.call_member()?;
+        loop {
+            match self.peek_kind() {
+                TokenKind::PlusPlus | TokenKind::MinusMinus => {
+                    let is_incr = self.peek_kind() == &TokenKind::PlusPlus;
+                    let span = self.bump().span;
+                    let target = Self::as_assign_target(e)?;
+                    e = Expr::new(ExprKind::IncrDecr { target, is_incr, prefix: false }, span);
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn call_member(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek_kind() {
+                TokenKind::Dot => {
+                    self.bump();
+                    let (name, nspan) = self.expect_ident()?;
+                    if self.peek_kind() == &TokenKind::LParen {
+                        let args = self.arguments()?;
+                        let span = e.span.merge(nspan);
+                        e = Expr::new(ExprKind::MethodCall(Box::new(e), name, args), span);
+                    } else {
+                        let span = e.span.merge(nspan);
+                        e = Expr::new(ExprKind::Member(Box::new(e), name), span);
+                    }
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let idx = self.expression()?;
+                    let end = self.expect(&TokenKind::RBracket)?.span;
+                    let span = e.span.merge(end);
+                    e = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)), span);
+                }
+                TokenKind::LParen => {
+                    let span = e.span;
+                    match e.kind {
+                        ExprKind::Ident(name) => {
+                            let args = self.arguments()?;
+                            e = Expr::new(ExprKind::Call(name, args), span);
+                        }
+                        _ => {
+                            return Err(ParseError::new(
+                                "only direct calls to named functions are supported",
+                                span,
+                            ));
+                        }
+                    }
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn arguments(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek_kind() != &TokenKind::RParen {
+            loop {
+                args.push(self.assignment()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let span = self.peek().span;
+        match self.peek_kind().clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Number(n), span))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Str(s), span))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Bool(true), span))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Bool(false), span))
+            }
+            TokenKind::Keyword(Keyword::Null) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Null, span))
+            }
+            TokenKind::Keyword(Keyword::Undefined) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Undefined, span))
+            }
+            TokenKind::Keyword(Keyword::New) => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                if name != "Array" {
+                    return Err(ParseError::new(
+                        format!("`new {name}` is not supported; only `new Array(n)`"),
+                        span,
+                    ));
+                }
+                let mut args = self.arguments()?;
+                let size = if args.is_empty() {
+                    Expr::new(ExprKind::Number(0.0), span)
+                } else if args.len() == 1 {
+                    args.pop().unwrap()
+                } else {
+                    return Err(ParseError::new("`new Array` takes at most one size", span));
+                };
+                Ok(Expr::new(ExprKind::NewArray(Box::new(size)), span))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Ident(name), span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expression()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut elems = Vec::new();
+                if self.peek_kind() != &TokenKind::RBracket {
+                    loop {
+                        elems.push(self.assignment()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                        if self.peek_kind() == &TokenKind::RBracket {
+                            break; // trailing comma
+                        }
+                    }
+                }
+                let end = self.expect(&TokenKind::RBracket)?.span;
+                Ok(Expr::new(ExprKind::Array(elems), span.merge(end)))
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut fields = Vec::new();
+                if self.peek_kind() != &TokenKind::RBrace {
+                    loop {
+                        let key = match self.peek_kind().clone() {
+                            TokenKind::Ident(k) => {
+                                self.bump();
+                                k
+                            }
+                            TokenKind::Str(k) => {
+                                self.bump();
+                                k
+                            }
+                            other => {
+                                return Err(ParseError::new(
+                                    format!("expected property name, found {other}"),
+                                    self.peek().span,
+                                ));
+                            }
+                        };
+                        self.expect(&TokenKind::Colon)?;
+                        let value = self.assignment()?;
+                        fields.push((key, value));
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                        if self.peek_kind() == &TokenKind::RBrace {
+                            break; // trailing comma
+                        }
+                    }
+                }
+                let end = self.expect(&TokenKind::RBrace)?.span;
+                Ok(Expr::new(ExprKind::Object(fields), span.merge(end)))
+            }
+            other => Err(ParseError::new(
+                format!("unexpected token {other} in expression"),
+                span,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(src: &str) -> Expr {
+        let tokens = Lexer::new(src).tokenize().unwrap();
+        Parser::new(tokens).expression().unwrap()
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = expr("1 + 2 * 3");
+        match e.kind {
+            ExprKind::Binary(BinOp::Add, _, rhs) => {
+                assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_shift_vs_relational() {
+        // `a < b << c` parses as `a < (b << c)`.
+        let e = expr("a < b << c");
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::Lt, _, _)));
+    }
+
+    #[test]
+    fn assignment_is_right_associative() {
+        let e = expr("a = b = 1");
+        match e.kind {
+            ExprKind::Assign(AssignTarget::Ident(a), None, rhs) => {
+                assert_eq!(a, "a");
+                assert!(matches!(rhs.kind, ExprKind::Assign(_, None, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compound_assignment_to_member() {
+        let e = expr("obj.sum += v");
+        assert!(matches!(
+            e.kind,
+            ExprKind::Assign(AssignTarget::Member(_, _), Some(BinOp::Add), _)
+        ));
+    }
+
+    #[test]
+    fn postfix_and_prefix_increment() {
+        assert!(matches!(
+            expr("i++").kind,
+            ExprKind::IncrDecr { is_incr: true, prefix: false, .. }
+        ));
+        assert!(matches!(
+            expr("--i").kind,
+            ExprKind::IncrDecr { is_incr: false, prefix: true, .. }
+        ));
+    }
+
+    #[test]
+    fn method_calls_and_members() {
+        let e = expr("Math.sqrt(x)");
+        match e.kind {
+            ExprKind::MethodCall(recv, name, args) => {
+                assert!(matches!(recv.kind, ExprKind::Ident(ref n) if n == "Math"));
+                assert_eq!(name, "sqrt");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(matches!(expr("a.length").kind, ExprKind::Member(_, _)));
+    }
+
+    #[test]
+    fn array_and_object_literals() {
+        assert!(matches!(expr("[1, 2, 3]").kind, ExprKind::Array(ref v) if v.len() == 3));
+        assert!(matches!(
+            expr("{a: 1, b: 2}").kind,
+            ExprKind::Object(ref v) if v.len() == 2
+        ));
+        assert!(matches!(expr("[1, 2,]").kind, ExprKind::Array(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn new_array() {
+        assert!(matches!(expr("new Array(10)").kind, ExprKind::NewArray(_)));
+    }
+
+    #[test]
+    fn ternary_and_logical() {
+        assert!(matches!(expr("a ? b : c").kind, ExprKind::Ternary(_, _, _)));
+        assert!(matches!(
+            expr("a && b || c").kind,
+            ExprKind::Logical(LogOp::Or, _, _)
+        ));
+    }
+
+    #[test]
+    fn negative_literal_folds() {
+        assert!(matches!(expr("-5").kind, ExprKind::Number(n) if n == -5.0));
+    }
+
+    #[test]
+    fn parses_full_program() {
+        let p = parse_program(
+            "function fib(n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+             var r = fib(10);",
+        )
+        .unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].params, vec!["n"]);
+        assert_eq!(p.top_level.len(), 1);
+    }
+
+    #[test]
+    fn parses_for_loop_forms() {
+        let p = parse_program("for (var i = 0; i < 10; i++) { x += i; }").unwrap();
+        assert!(matches!(p.top_level[0].kind, StmtKind::For { .. }));
+        let p = parse_program("for (;;) { break; }").unwrap();
+        match &p.top_level[0].kind {
+            StmtKind::For { init, cond, step, .. } => {
+                assert!(init.is_none() && cond.is_none() && step.is_none());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_do_while() {
+        let p = parse_program("do { x--; } while (x > 0);").unwrap();
+        assert!(matches!(p.top_level[0].kind, StmtKind::DoWhile(_, _)));
+    }
+
+    #[test]
+    fn rejects_call_of_expression() {
+        assert!(parse_program("(a + b)(1);").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_assignment_target() {
+        assert!(parse_program("1 = 2;").is_err());
+    }
+
+    #[test]
+    fn error_carries_line() {
+        let err = parse_program("var ok = 1;\nvar x = ;").unwrap_err();
+        assert_eq!(err.span.line, 2);
+    }
+}

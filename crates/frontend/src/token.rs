@@ -1,0 +1,203 @@
+//! Tokens produced by the MiniJS lexer.
+
+use std::fmt;
+
+/// A half-open byte range into the original source, with a 1-based line
+/// number for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based source line of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// Creates a span covering `start..end` on `line`.
+    pub fn new(start: u32, end: u32, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+/// Reserved words recognized by the lexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Function,
+    Var,
+    Let,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Return,
+    Break,
+    Continue,
+    True,
+    False,
+    Null,
+    Undefined,
+    Typeof,
+    New,
+}
+
+impl Keyword {
+    /// Looks up an identifier; returns `None` if it is not reserved.
+    pub fn from_ident(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "function" => Keyword::Function,
+            "var" => Keyword::Var,
+            "let" => Keyword::Let,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "do" => Keyword::Do,
+            "for" => Keyword::For,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            "null" => Keyword::Null,
+            "undefined" => Keyword::Undefined,
+            "typeof" => Keyword::Typeof,
+            "new" => Keyword::New,
+            _ => return None,
+        })
+    }
+}
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A numeric literal; MiniJS numbers are IEEE doubles at the source level.
+    Number(f64),
+    /// A string literal with escapes already processed.
+    Str(String),
+    /// An identifier that is not a keyword.
+    Ident(String),
+    /// A reserved word.
+    Keyword(Keyword),
+
+    // Punctuation / operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Colon,
+    Question,
+
+    Assign,       // =
+    Plus,         // +
+    Minus,        // -
+    Star,         // *
+    Slash,        // /
+    Percent,      // %
+    PlusAssign,   // +=
+    MinusAssign,  // -=
+    StarAssign,   // *=
+    SlashAssign,  // /=
+    PercentAssign,// %=
+    AmpAssign,    // &=
+    PipeAssign,   // |=
+    CaretAssign,  // ^=
+    ShlAssign,    // <<=
+    ShrAssign,    // >>=
+    UShrAssign,   // >>>=
+    PlusPlus,     // ++
+    MinusMinus,   // --
+
+    Amp,          // &
+    Pipe,         // |
+    Caret,        // ^
+    Tilde,        // ~
+    AmpAmp,       // &&
+    PipePipe,     // ||
+    Bang,         // !
+
+    Lt,           // <
+    Gt,           // >
+    Le,           // <=
+    Ge,           // >=
+    EqEq,         // ==
+    NotEq,        // !=
+    EqEqEq,       // ===
+    NotEqEq,      // !==
+    Shl,          // <<
+    Shr,          // >>
+    UShr,         // >>>
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k:?}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+            other => write!(f, "`{other:?}`"),
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_roundtrip() {
+        assert_eq!(Keyword::from_ident("function"), Some(Keyword::Function));
+        assert_eq!(Keyword::from_ident("undefined"), Some(Keyword::Undefined));
+        assert_eq!(Keyword::from_ident("banana"), None);
+    }
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(2, 5, 1);
+        let b = Span::new(7, 9, 2);
+        let m = a.merge(b);
+        assert_eq!(m, Span::new(2, 9, 1));
+    }
+}

@@ -1,0 +1,76 @@
+//! Robustness: the front end must never panic — any byte soup either
+//! parses or returns a structured error.
+
+use proptest::prelude::*;
+
+use nomap_frontend::parse_program;
+
+proptest! {
+    #[test]
+    fn arbitrary_strings_never_panic(src in ".{0,200}") {
+        let _ = parse_program(&src);
+    }
+
+    #[test]
+    fn token_soup_never_panics(toks in proptest::collection::vec(
+        prop_oneof![
+            Just("function".to_owned()), Just("var".to_owned()), Just("if".to_owned()),
+            Just("for".to_owned()), Just("while".to_owned()), Just("return".to_owned()),
+            Just("(".to_owned()), Just(")".to_owned()), Just("{".to_owned()),
+            Just("}".to_owned()), Just("[".to_owned()), Just("]".to_owned()),
+            Just(";".to_owned()), Just(",".to_owned()), Just("+".to_owned()),
+            Just("=".to_owned()), Just("==".to_owned()), Just("x".to_owned()),
+            Just("42".to_owned()), Just("'s'".to_owned()), Just(".".to_owned()),
+        ],
+        0..40,
+    )) {
+        let src = toks.join(" ");
+        let _ = parse_program(&src);
+    }
+
+    /// Programs the generator *knows* are valid must parse.
+    #[test]
+    fn generated_valid_programs_parse(
+        name in "[a-z][a-z0-9]{0,6}",
+        n in 0i32..1000,
+        m in 1i32..50,
+    ) {
+        let src = format!(
+            "function {name}(a) {{
+                 var t = {n};
+                 for (var i = 0; i < {m}; i++) {{ t = t + a; }}
+                 return t;
+             }}
+             var out = {name}({n});"
+        );
+        parse_program(&src).expect("template is valid MiniJS");
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_do_not_overflow() {
+    // Moderate nesting parses; adversarial nesting is rejected with a
+    // structured error instead of exhausting the host stack.
+    let nest = |n: usize| {
+        let mut src = String::from("var x = ");
+        for _ in 0..n {
+            src.push('(');
+        }
+        src.push('1');
+        for _ in 0..n {
+            src.push(')');
+        }
+        src.push(';');
+        src
+    };
+    parse_program(&nest(40)).expect("balanced parens parse");
+    let err = parse_program(&nest(5000)).unwrap_err();
+    assert!(err.to_string().contains("nested too deeply"));
+}
+
+#[test]
+fn error_messages_are_informative() {
+    let err = parse_program("function f( { }").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("expected"), "got: {msg}");
+}

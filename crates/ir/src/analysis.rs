@@ -1,0 +1,346 @@
+//! CFG analyses: dominators, natural loops, preheaders.
+
+use std::collections::HashSet;
+
+use crate::graph::{BlockId, IrFunc, ValueId};
+use crate::node::{Inst, InstKind};
+
+/// Immediate-dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    idom: Vec<Option<BlockId>>,
+    rpo_index: Vec<usize>,
+    /// Reverse post-order of reachable blocks.
+    pub rpo: Vec<BlockId>,
+}
+
+impl Dominators {
+    /// Computes dominators for `f` (predecessors must be up to date).
+    pub fn compute(f: &IrFunc) -> Self {
+        let rpo = f.rpo();
+        let n = f.blocks.len();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[f.entry.0 as usize] = Some(f.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let preds: Vec<BlockId> = f.blocks[b.0 as usize]
+                    .preds
+                    .iter()
+                    .copied()
+                    .filter(|p| idom[p.0 as usize].is_some())
+                    .collect();
+                let Some(&first) = preds.first() else { continue };
+                let mut new_idom = first;
+                for &p in &preds[1..] {
+                    new_idom = intersect(&idom, &rpo_index, &rpo, p, new_idom);
+                }
+                if idom[b.0 as usize] != Some(new_idom) {
+                    idom[b.0 as usize] = Some(new_idom);
+                    changed = true;
+                }
+            }
+        }
+        Dominators { idom, rpo_index, rpo }
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry or unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        let d = self.idom[b.0 as usize]?;
+        if d == b {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Does `a` dominate `b`?
+    pub fn dominates(&self, a: BlockId, mut b: BlockId) -> bool {
+        loop {
+            if a == b {
+                return true;
+            }
+            match self.idom(b) {
+                Some(d) => b = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// True when `b` is reachable from the entry.
+    pub fn reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.0 as usize] != usize::MAX
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    _rpo: &[BlockId],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+            a = idom[a.0 as usize].expect("processed pred has idom");
+        }
+        while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+            b = idom[b.0 as usize].expect("processed pred has idom");
+        }
+    }
+    a
+}
+
+/// A natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// Loop header.
+    pub header: BlockId,
+    /// Blocks jumping back to the header from inside the loop.
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop (header included).
+    pub body: HashSet<BlockId>,
+    /// Edges leaving the loop: `(from_inside, to_outside)`.
+    pub exits: Vec<(BlockId, BlockId)>,
+}
+
+impl Loop {
+    /// Membership test.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+}
+
+/// All natural loops of `f`, innermost first.
+pub fn find_loops(f: &IrFunc, doms: &Dominators) -> Vec<Loop> {
+    let mut loops: Vec<Loop> = Vec::new();
+    for b in 0..f.blocks.len() as u32 {
+        let b = BlockId(b);
+        if !doms.reachable(b) {
+            continue;
+        }
+        for s in f.succs(b) {
+            if doms.dominates(s, b) {
+                // Back edge b → s.
+                if let Some(l) = loops.iter_mut().find(|l| l.header == s) {
+                    l.latches.push(b);
+                    grow_loop_body(f, s, b, &mut l.body);
+                } else {
+                    let mut body = HashSet::new();
+                    body.insert(s);
+                    grow_loop_body(f, s, b, &mut body);
+                    loops.push(Loop { header: s, latches: vec![b], body, exits: vec![] });
+                }
+            }
+        }
+    }
+    for l in &mut loops {
+        let mut exits = Vec::new();
+        for &b in &l.body {
+            for s in f.succs(b) {
+                if !l.body.contains(&s) {
+                    exits.push((b, s));
+                }
+            }
+        }
+        exits.sort();
+        exits.dedup();
+        l.exits = exits;
+    }
+    // Innermost first: smaller bodies sort first; ties by header id for
+    // determinism.
+    loops.sort_by_key(|l| (l.body.len(), l.header.0));
+    loops
+}
+
+fn grow_loop_body(f: &IrFunc, header: BlockId, latch: BlockId, body: &mut HashSet<BlockId>) {
+    let mut stack = vec![latch];
+    while let Some(b) = stack.pop() {
+        if b == header || !body.insert(b) {
+            continue;
+        }
+        for &p in &f.blocks[b.0 as usize].preds {
+            stack.push(p);
+        }
+    }
+}
+
+/// Ensures `l` has a dedicated preheader: a block whose only successor is
+/// the header and which is the header's only non-latch predecessor.
+/// Returns it, or `None` when the loop's entry structure is too unusual
+/// (multiple entry edges), in which case the caller skips the loop.
+pub fn ensure_preheader(f: &mut IrFunc, l: &Loop) -> Option<BlockId> {
+    let preds: Vec<BlockId> = f.blocks[l.header.0 as usize].preds.clone();
+    let entries: Vec<BlockId> = preds
+        .iter()
+        .copied()
+        .filter(|p| !l.latches.contains(p))
+        .collect();
+    if entries.len() != 1 {
+        return None;
+    }
+    let entry = entries[0];
+    if f.succs(entry).len() == 1 {
+        return Some(entry);
+    }
+    Some(f.split_edge(entry, l.header))
+}
+
+/// Convenience: append `inst` to the end of a preheader (before its
+/// terminator).
+pub fn insert_in_preheader(f: &mut IrFunc, preheader: BlockId, inst: Inst) -> ValueId {
+    f.insert_before_terminator(preheader, inst)
+}
+
+/// Loop-invariance test: a value is invariant w.r.t. `l` when it is defined
+/// outside the loop body.
+pub fn defined_outside(f: &IrFunc, l: &Loop, v: ValueId) -> bool {
+    // Find the defining block by scanning loop blocks only (cheaper than a
+    // global map; values defined in no block are floating constants).
+    for &b in &l.body {
+        if f.blocks[b.0 as usize].insts.contains(&v) {
+            return false;
+        }
+    }
+    true
+}
+
+/// True when `b` contains any instruction for which `pred` holds.
+pub fn block_any(f: &IrFunc, b: BlockId, mut pred: impl FnMut(&Inst) -> bool) -> bool {
+    f.blocks[b.0 as usize]
+        .insts
+        .iter()
+        .any(|&v| pred(f.inst(v)))
+}
+
+/// True when the loop contains an instruction satisfying `pred`.
+pub fn loop_any(f: &IrFunc, l: &Loop, mut pred: impl FnMut(&Inst) -> bool) -> bool {
+    l.body
+        .iter()
+        .any(|&b| block_any(f, b, &mut pred))
+}
+
+/// True when the loop contains a call (runtime or JS).
+pub fn loop_has_call(f: &IrFunc, l: &Loop) -> bool {
+    loop_any(f, l, |i| {
+        matches!(i.kind, InstKind::CallRuntime { .. } | InstKind::CallJs { .. })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::IrFunc;
+    use crate::node::{Inst, InstKind, Ty};
+    use nomap_bytecode::FuncId;
+    use nomap_machine::Cond;
+
+    /// entry → header ⇄ body, header → exit
+    fn simple_loop() -> (IrFunc, BlockId, BlockId, BlockId) {
+        let mut f = IrFunc::new(FuncId(0), "loop", 0, 0);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        let zero = f.append(f.entry, Inst::new(InstKind::ConstI32(0)));
+        let n = f.append(f.entry, Inst::new(InstKind::ConstI32(10)));
+        f.append(f.entry, Inst::new(InstKind::Jump { target: header }));
+        let phi = f.append(header, Inst::new(InstKind::Phi { inputs: vec![zero], ty: Ty::I32 }));
+        let cmp = f.append(header, Inst::new(InstKind::ICmp { cond: Cond::Lt, a: phi, b: n }));
+        f.append(header, Inst::new(InstKind::Branch { cond: cmp, then_b: body, else_b: exit }));
+        let one = f.append(body, Inst::new(InstKind::ConstI32(1)));
+        let next = f.append(
+            body,
+            Inst::new(InstKind::CheckedAddI32 {
+                a: phi,
+                b: one,
+                mode: crate::node::CheckMode::Deopt,
+            }),
+        );
+        f.append(body, Inst::new(InstKind::Jump { target: header }));
+        if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(phi).kind {
+            inputs.push(next);
+        }
+        let boxed = f.append(exit, Inst::new(InstKind::BoxI32(phi)));
+        f.append(exit, Inst::new(InstKind::Return { v: boxed }));
+        f.compute_preds();
+        (f, header, body, exit)
+    }
+
+    #[test]
+    fn dominators_of_loop() {
+        let (f, header, body, exit) = simple_loop();
+        let d = Dominators::compute(&f);
+        assert!(d.dominates(f.entry, exit));
+        assert!(d.dominates(header, body));
+        assert!(d.dominates(header, exit));
+        assert!(!d.dominates(body, exit));
+        assert_eq!(d.idom(body), Some(header));
+    }
+
+    #[test]
+    fn finds_the_loop() {
+        let (f, header, body, exit) = simple_loop();
+        let d = Dominators::compute(&f);
+        let loops = find_loops(&f, &d);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, header);
+        assert_eq!(l.latches, vec![body]);
+        assert!(l.contains(body) && l.contains(header) && !l.contains(exit));
+        assert_eq!(l.exits, vec![(header, exit)]);
+    }
+
+    #[test]
+    fn preheader_is_entry_block_here() {
+        let (mut f, ..) = simple_loop();
+        let d = Dominators::compute(&f);
+        let loops = find_loops(&f, &d);
+        let ph = ensure_preheader(&mut f, &loops[0]).unwrap();
+        assert_eq!(ph, f.entry);
+    }
+
+    #[test]
+    fn invariance_test() {
+        let (f, ..) = simple_loop();
+        let d = Dominators::compute(&f);
+        let loops = find_loops(&f, &d);
+        let l = &loops[0];
+        // ConstI32(10) (id 1) is defined in entry → invariant.
+        assert!(defined_outside(&f, l, ValueId(1)));
+        // The phi (id 3) is defined in the header → not invariant.
+        assert!(!defined_outside(&f, l, ValueId(3)));
+    }
+
+    #[test]
+    fn nested_loops_sorted_innermost_first() {
+        // entry → outer_h ⇄ (inner_h ⇄ inner_b) → outer_latch → outer_h
+        let mut f = IrFunc::new(FuncId(0), "nest", 0, 0);
+        let outer_h = f.new_block();
+        let inner_h = f.new_block();
+        let inner_b = f.new_block();
+        let outer_l = f.new_block();
+        let exit = f.new_block();
+        let c = f.append(f.entry, Inst::new(InstKind::ConstI32(1)));
+        let cond = f.append(f.entry, Inst::new(InstKind::ICmp { cond: Cond::Eq, a: c, b: c }));
+        f.append(f.entry, Inst::new(InstKind::Jump { target: outer_h }));
+        f.append(outer_h, Inst::new(InstKind::Jump { target: inner_h }));
+        f.append(inner_h, Inst::new(InstKind::Branch { cond, then_b: inner_b, else_b: outer_l }));
+        f.append(inner_b, Inst::new(InstKind::Jump { target: inner_h }));
+        f.append(outer_l, Inst::new(InstKind::Branch { cond, then_b: outer_h, else_b: exit }));
+        let u = f.append(exit, Inst::new(InstKind::Const(nomap_runtime::Value::UNDEFINED)));
+        f.append(exit, Inst::new(InstKind::Return { v: u }));
+        f.compute_preds();
+        let d = Dominators::compute(&f);
+        let loops = find_loops(&f, &d);
+        assert_eq!(loops.len(), 2);
+        assert_eq!(loops[0].header, inner_h); // innermost first
+        assert_eq!(loops[1].header, outer_h);
+        assert!(loops[1].body.contains(&inner_b));
+    }
+}

@@ -1,0 +1,425 @@
+//! The IR function: an arena of instructions organized into basic blocks.
+
+use std::fmt;
+
+use nomap_bytecode::FuncId;
+
+use crate::node::{Inst, InstKind};
+
+/// Identifies an instruction — and, since instructions define at most one
+/// value, also that value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueId(pub u32);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// A basic block.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Instruction ids, in order; the last one is the terminator.
+    pub insts: Vec<ValueId>,
+    /// Predecessor blocks (kept in sync with phi input order).
+    pub preds: Vec<BlockId>,
+}
+
+/// Identifies a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// An IR function under construction or optimization.
+#[derive(Debug, Clone)]
+pub struct IrFunc {
+    /// Source bytecode function.
+    pub func: FuncId,
+    /// Source name (diagnostics).
+    pub name: String,
+    /// Parameter count.
+    pub param_count: u16,
+    /// Bytecode register count (OSR frame width).
+    pub bytecode_regs: u16,
+    /// Instruction arena.
+    pub insts: Vec<Inst>,
+    /// Basic blocks.
+    pub blocks: Vec<Block>,
+    /// Entry block.
+    pub entry: BlockId,
+}
+
+impl IrFunc {
+    /// Creates an empty function with one (entry) block.
+    pub fn new(func: FuncId, name: impl Into<String>, param_count: u16, bytecode_regs: u16) -> Self {
+        IrFunc {
+            func,
+            name: name.into(),
+            param_count,
+            bytecode_regs,
+            insts: Vec::new(),
+            blocks: vec![Block::default()],
+            entry: BlockId(0),
+        }
+    }
+
+    /// Adds a fresh empty block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block::default());
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Adds an instruction to the arena without placing it in a block.
+    pub fn add_inst(&mut self, inst: Inst) -> ValueId {
+        self.insts.push(inst);
+        ValueId(self.insts.len() as u32 - 1)
+    }
+
+    /// Appends an instruction to `block`.
+    pub fn append(&mut self, block: BlockId, inst: Inst) -> ValueId {
+        let v = self.add_inst(inst);
+        self.blocks[block.0 as usize].insts.push(v);
+        v
+    }
+
+    /// Inserts an instruction at `pos` within `block`.
+    pub fn insert_at(&mut self, block: BlockId, pos: usize, inst: Inst) -> ValueId {
+        let v = self.add_inst(inst);
+        self.blocks[block.0 as usize].insts.insert(pos, v);
+        v
+    }
+
+    /// Inserts an instruction just before `block`'s terminator.
+    pub fn insert_before_terminator(&mut self, block: BlockId, inst: Inst) -> ValueId {
+        let len = self.blocks[block.0 as usize].insts.len();
+        let pos = len.saturating_sub(1);
+        self.insert_at(block, pos, inst)
+    }
+
+    /// Shared instruction access.
+    pub fn inst(&self, v: ValueId) -> &Inst {
+        &self.insts[v.0 as usize]
+    }
+
+    /// Mutable instruction access.
+    pub fn inst_mut(&mut self, v: ValueId) -> &mut Inst {
+        &mut self.insts[v.0 as usize]
+    }
+
+    /// The block's terminator instruction id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is empty.
+    pub fn terminator(&self, b: BlockId) -> ValueId {
+        *self.blocks[b.0 as usize]
+            .insts
+            .last()
+            .expect("block has a terminator")
+    }
+
+    /// Successor blocks of `b`, from its terminator.
+    pub fn succs(&self, b: BlockId) -> Vec<BlockId> {
+        if self.blocks[b.0 as usize].insts.is_empty() {
+            return vec![];
+        }
+        match &self.inst(self.terminator(b)).kind {
+            InstKind::Jump { target } => vec![*target],
+            InstKind::Branch { then_b, else_b, .. } => vec![*then_b, *else_b],
+            _ => vec![],
+        }
+    }
+
+    /// Recomputes every block's predecessor list. Phi inputs must be kept
+    /// aligned by the caller if predecessor *order* changes.
+    pub fn compute_preds(&mut self) {
+        for b in &mut self.blocks {
+            b.preds.clear();
+        }
+        for b in 0..self.blocks.len() as u32 {
+            for s in self.succs(BlockId(b)) {
+                self.blocks[s.0 as usize].preds.push(BlockId(b));
+            }
+        }
+    }
+
+    /// Reverse post-order over reachable blocks.
+    pub fn rpo(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::new();
+        let mut stack = vec![(self.entry, 0usize)];
+        visited[self.entry.0 as usize] = true;
+        while let Some((b, i)) = stack.pop() {
+            let succs = self.succs(b);
+            if i < succs.len() {
+                stack.push((b, i + 1));
+                let s = succs[i];
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Replaces every use of `from` with `to` (including OSR states).
+    pub fn replace_all_uses(&mut self, from: ValueId, to: ValueId) {
+        for inst in &mut self.insts {
+            inst.map_operands(|v| if v == from { to } else { v });
+        }
+    }
+
+    /// Redirects the terminator of `from` so edges to `old` point at `new`.
+    pub fn redirect_edge(&mut self, from: BlockId, old: BlockId, new: BlockId) {
+        let t = self.terminator(from);
+        match &mut self.inst_mut(t).kind {
+            InstKind::Jump { target } => {
+                if *target == old {
+                    *target = new;
+                }
+            }
+            InstKind::Branch { then_b, else_b, .. } => {
+                if *then_b == old {
+                    *then_b = new;
+                }
+                if *else_b == old {
+                    *else_b = new;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Splits the edge `from → to`, inserting a fresh block that jumps to
+    /// `to`. Fixes preds and `to`'s phi input bookkeeping (the new block
+    /// simply replaces `from` in `to.preds`).
+    pub fn split_edge(&mut self, from: BlockId, to: BlockId) -> BlockId {
+        let mid = self.new_block();
+        let jump = self.add_inst(Inst::new(InstKind::Jump { target: to }));
+        self.blocks[mid.0 as usize].insts.push(jump);
+        self.redirect_edge(from, to, mid);
+        self.blocks[mid.0 as usize].preds = vec![from];
+        for p in &mut self.blocks[to.0 as usize].preds {
+            if *p == from {
+                *p = mid;
+            }
+        }
+        mid
+    }
+
+    /// Number of instructions that are not `Nop` (reporting).
+    pub fn live_inst_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|v| !matches!(self.insts[v.0 as usize].kind, InstKind::Nop))
+            .count()
+    }
+
+    /// Checks structural invariants; returns a description of the first
+    /// violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable violation description.
+    pub fn verify(&self) -> Result<(), String> {
+        for (bi, b) in self.blocks.iter().enumerate() {
+            let bid = BlockId(bi as u32);
+            if b.insts.is_empty() {
+                // Unreachable placeholder blocks are tolerated.
+                continue;
+            }
+            let term = self.inst(*b.insts.last().unwrap());
+            if !term.is_terminator() {
+                return Err(format!("{bid} does not end in a terminator"));
+            }
+            for (i, &v) in b.insts.iter().enumerate() {
+                let inst = self.inst(v);
+                if inst.is_terminator() && i + 1 != b.insts.len() {
+                    return Err(format!("terminator {v} in the middle of {bid}"));
+                }
+                if let InstKind::Phi { inputs, .. } = &inst.kind {
+                    if inputs.len() != b.preds.len() {
+                        return Err(format!(
+                            "{v}: phi has {} inputs but {bid} has {} preds",
+                            inputs.len(),
+                            b.preds.len()
+                        ));
+                    }
+                    if b.insts[..i]
+                        .iter()
+                        .any(|&p| !matches!(self.inst(p).kind, InstKind::Phi { .. } | InstKind::Nop))
+                    {
+                        return Err(format!("{v}: phi after non-phi in {bid}"));
+                    }
+                }
+                for op in inst.operands() {
+                    if op.0 as usize >= self.insts.len() {
+                        return Err(format!("{v}: operand {op} out of range"));
+                    }
+                }
+            }
+            for s in self.succs(bid) {
+                if s.0 as usize >= self.blocks.len() {
+                    return Err(format!("{bid}: successor {s} out of range"));
+                }
+                if !self.blocks[s.0 as usize].preds.contains(&bid) {
+                    return Err(format!("{bid} → {s} missing from preds"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for IrFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ir function {} ({} params)", self.name, self.param_count)?;
+        for (bi, b) in self.blocks.iter().enumerate() {
+            if b.insts.is_empty() {
+                continue;
+            }
+            let preds: Vec<String> = b.preds.iter().map(|p| p.to_string()).collect();
+            writeln!(f, "b{bi}: ; preds: {}", preds.join(", "))?;
+            for &v in &b.insts {
+                let inst = self.inst(v);
+                if matches!(inst.kind, InstKind::Nop) {
+                    continue;
+                }
+                writeln!(f, "  {v} = {:?}", inst.kind)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{CheckMode, Ty};
+    use nomap_runtime::Value;
+
+    fn diamond() -> IrFunc {
+        // entry -> (then|else) -> join
+        let mut f = IrFunc::new(FuncId(0), "t", 0, 0);
+        let then_b = f.new_block();
+        let else_b = f.new_block();
+        let join = f.new_block();
+        let c = f.append(f.entry, Inst::new(InstKind::ConstI32(1)));
+        let cb = f.append(
+            f.entry,
+            Inst::new(InstKind::ICmp {
+                cond: nomap_machine::Cond::Eq,
+                a: c,
+                b: c,
+            }),
+        );
+        f.append(f.entry, Inst::new(InstKind::Branch { cond: cb, then_b, else_b }));
+        let v1 = f.append(then_b, Inst::new(InstKind::ConstI32(1)));
+        f.append(then_b, Inst::new(InstKind::Jump { target: join }));
+        let v2 = f.append(else_b, Inst::new(InstKind::ConstI32(2)));
+        f.append(else_b, Inst::new(InstKind::Jump { target: join }));
+        let phi = f.append(join, Inst::new(InstKind::Phi { inputs: vec![v1, v2], ty: Ty::I32 }));
+        let boxed = f.append(join, Inst::new(InstKind::BoxI32(phi)));
+        f.append(join, Inst::new(InstKind::Return { v: boxed }));
+        f.compute_preds();
+        f
+    }
+
+    #[test]
+    fn diamond_verifies() {
+        let f = diamond();
+        assert_eq!(f.verify(), Ok(()));
+        assert_eq!(f.rpo()[0], f.entry);
+        assert_eq!(f.rpo().len(), 4);
+    }
+
+    #[test]
+    fn succs_and_preds_agree() {
+        let f = diamond();
+        assert_eq!(f.succs(f.entry).len(), 2);
+        let join = BlockId(3);
+        assert_eq!(f.blocks[join.0 as usize].preds.len(), 2);
+    }
+
+    #[test]
+    fn replace_all_uses_rewrites_phis() {
+        let mut f = diamond();
+        let new_c = f.insert_at(f.entry, 0, Inst::new(InstKind::ConstI32(42)));
+        // Replace v1 (ConstI32(1) in then-block) everywhere.
+        let phi_id = f.blocks[3].insts[0];
+        let old = match &f.inst(phi_id).kind {
+            InstKind::Phi { inputs, .. } => inputs[0],
+            _ => unreachable!(),
+        };
+        f.replace_all_uses(old, new_c);
+        match &f.inst(phi_id).kind {
+            InstKind::Phi { inputs, .. } => assert_eq!(inputs[0], new_c),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn split_edge_fixes_preds() {
+        let mut f = diamond();
+        let join = BlockId(3);
+        let then_b = BlockId(1);
+        let mid = f.split_edge(then_b, join);
+        assert_eq!(f.succs(then_b), vec![mid]);
+        assert_eq!(f.succs(mid), vec![join]);
+        assert!(f.blocks[join.0 as usize].preds.contains(&mid));
+        assert!(!f.blocks[join.0 as usize].preds.contains(&then_b));
+        assert_eq!(f.verify(), Ok(()));
+    }
+
+    #[test]
+    fn verify_catches_mid_block_terminator() {
+        let mut f = IrFunc::new(FuncId(0), "bad", 0, 0);
+        let c = f.append(f.entry, Inst::new(InstKind::Const(Value::UNDEFINED)));
+        f.append(f.entry, Inst::new(InstKind::Return { v: c }));
+        f.append(f.entry, Inst::new(InstKind::Return { v: c }));
+        assert!(f.verify().is_err());
+    }
+
+    #[test]
+    fn verify_catches_phi_arity_mismatch() {
+        let mut f = diamond();
+        let join = BlockId(3);
+        let phi_id = f.blocks[join.0 as usize].insts[0];
+        if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(phi_id).kind {
+            inputs.pop();
+        }
+        assert!(f.verify().is_err());
+    }
+
+    #[test]
+    fn live_inst_count_skips_nops() {
+        let mut f = diamond();
+        let before = f.live_inst_count();
+        let v = f.blocks[1].insts[0];
+        f.inst_mut(v).kind = InstKind::Nop;
+        assert_eq!(f.live_inst_count(), before - 1);
+    }
+
+    #[test]
+    fn check_mode_roundtrip_via_graph() {
+        let mut f = IrFunc::new(FuncId(0), "m", 0, 0);
+        let c = f.append(f.entry, Inst::new(InstKind::Const(Value::new_int32(1))));
+        let chk = f.append(
+            f.entry,
+            Inst::new(InstKind::CheckInt32 { v: c, mode: CheckMode::Deopt }),
+        );
+        f.inst_mut(chk).set_check_mode(CheckMode::Abort);
+        assert_eq!(f.inst(chk).check_mode(), Some(CheckMode::Abort));
+    }
+}

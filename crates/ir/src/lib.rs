@@ -1,0 +1,33 @@
+//! SSA intermediate representation for the DFG and FTL tiers, plus the
+//! analyses and optimization passes whose *interaction with Stack Map
+//! Points* is the subject of the paper.
+//!
+//! The IR models the paper's world precisely:
+//!
+//! * Speculative, profile-driven nodes (`CheckInt32`, `CheckShape`,
+//!   `CheckedAddI32`, explicit bounds/hole [`node::InstKind::Guard`]s) carry
+//!   a [`node::CheckMode`]:
+//!   - `Deopt(smp)` — an SMP-guarded check: failure transfers to the
+//!     Baseline tier through an OSR state snapshot. For optimization
+//!     purposes a deopt guard **clobbers memory** (exactly as LLVM treats
+//!     FTL's stackmap/patchpoint intrinsics), which is what cripples code
+//!     motion in the `Base` configuration;
+//!   - `Abort` — the NoMap form: failure aborts the enclosing hardware
+//!     transaction. Aborts carry no OSR state and clobber nothing, so the
+//!     same passes suddenly work (paper §IV-B);
+//!   - `Sof` — overflow checks deleted in favour of the Sticky Overflow
+//!     Flag (§IV-C2); the arithmetic still sets SOF, `XEnd` checks it.
+//! * Passes: constant folding, dominator-scoped GVN (with redundant-guard
+//!   elimination), LICM, loop accumulator promotion (the paper's
+//!   `obj.sum`-to-register example, Fig. 4), and DCE.
+
+pub mod analysis;
+pub mod build;
+pub mod graph;
+pub mod node;
+pub mod passes;
+pub mod scev;
+
+pub use build::{build_ir, BuildError, SpecLevel};
+pub use graph::{BlockId, IrFunc, ValueId};
+pub use node::{Alias, CheckMode, Inst, InstKind, OsrState, Ty};

@@ -1,0 +1,558 @@
+//! IR instruction definitions.
+
+use nomap_bytecode::{FuncId, Intrinsic, NameId, SiteId};
+use nomap_machine::{CheckKind, Cond};
+use nomap_runtime::{RuntimeFn, ShapeId, Value};
+
+use crate::graph::{BlockId, ValueId};
+
+/// Static type of an IR value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// NaN-boxed [`Value`] bits.
+    Boxed,
+    /// Raw int32 (sign-extended in the register).
+    I32,
+    /// Raw f64 bits.
+    F64,
+    /// 0/1.
+    Bool,
+    /// Raw word (addresses, lengths, headers).
+    Raw,
+    /// Defines no value (stores, branches, guards...).
+    None,
+}
+
+/// What happens when a check fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckMode {
+    /// Deoptimize to Baseline through the instruction's [`OsrState`] — a
+    /// Stack Map Point.
+    Deopt,
+    /// Abort the enclosing hardware transaction (NoMap).
+    Abort,
+    /// (Overflow only) no check at all: the arithmetic sets the Sticky
+    /// Overflow Flag and `XEnd` aborts if it is set.
+    Sof,
+    /// (NoMap_BC only) check removed entirely — unsound in general, used
+    /// for the paper's unrealistic best case.
+    Removed,
+}
+
+/// Bytecode-level state needed to re-enter the Baseline tier.
+///
+/// `regs[i]` is the IR value currently holding bytecode register `i` (which
+/// may be unboxed; the deopt handler re-boxes from the value's [`Ty`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OsrState {
+    /// Bytecode index to resume at (the op is re-executed generically).
+    pub bc: u32,
+    /// Bytecode register file snapshot; `None` = undefined/never written.
+    pub regs: Vec<Option<ValueId>>,
+}
+
+/// Memory alias classes for dependence tests. Two accesses may alias only
+/// if their classes are equal (or either is `Any`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Alias {
+    /// Object property slot (out-of-line storage), keyed by slot index.
+    PropSlot(u32),
+    /// Object storage pointer / capacity words.
+    ObjMeta,
+    /// Array length word.
+    ArrayLen,
+    /// Array storage pointer / capacity words.
+    ArrayMeta,
+    /// Array element storage.
+    Elem,
+    /// A global variable slot (keyed by name).
+    Global(NameId),
+    /// Anything (runtime calls).
+    Any,
+}
+
+impl Alias {
+    /// May accesses of `self` and `other` touch the same memory?
+    pub fn may_alias(self, other: Alias) -> bool {
+        self == other || self == Alias::Any || other == Alias::Any
+    }
+}
+
+/// An IR instruction. The defining instruction's index is its value id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstKind {
+    /// No-op placeholder (left behind by passes; skipped at lowering).
+    Nop,
+    /// Function parameter `i` (Boxed).
+    Param(u16),
+    /// Boxed constant.
+    Const(Value),
+    /// Raw int32 constant.
+    ConstI32(i32),
+    /// Raw double constant.
+    ConstF64(f64),
+    /// Raw word constant (addresses).
+    ConstRaw(u64),
+    /// Boolean constant (0/1).
+    ConstBool(bool),
+    /// SSA phi; inputs parallel the block's predecessor list.
+    Phi {
+        /// One input per predecessor, in predecessor order.
+        inputs: Vec<ValueId>,
+        /// Result type (all inputs must agree).
+        ty: Ty,
+    },
+
+    // ---- unboxing / boxing (speculation) -------------------------------
+    /// Speculate `v` is an int32; yields the raw payload. `Type` check.
+    CheckInt32 { v: ValueId, mode: CheckMode },
+    /// Speculate `v` is a number; yields its f64. `Type` check.
+    CheckNumber { v: ValueId, mode: CheckMode },
+    /// Speculate `v` is a boolean; yields 0/1. `Type` check.
+    CheckBool { v: ValueId, mode: CheckMode },
+    /// Speculate `v` is a cell with shape `shape`; yields the cell address
+    /// (raw). `Property` check.
+    CheckShape { v: ValueId, shape: ShapeId, mode: CheckMode },
+    /// Speculate `v` is an array cell; yields the address. `Type` check.
+    CheckArray { v: ValueId, mode: CheckMode },
+    /// Speculate `v` is a string cell; yields the address. `Type` check.
+    CheckString { v: ValueId, mode: CheckMode },
+    /// Convert an f64 to int32, checking the conversion is exact (no
+    /// fraction, no negative zero). `Type` check.
+    CheckF64ToI32 { v: ValueId, mode: CheckMode },
+    /// Box an i32.
+    BoxI32(ValueId),
+    /// Box an f64.
+    BoxF64(ValueId),
+    /// Box a 0/1 bool.
+    BoxBool(ValueId),
+    /// int32 → f64.
+    I32ToF64(ValueId),
+
+    // ---- arithmetic ------------------------------------------------------
+    /// Checked int32 add (`Overflow` check per `mode`).
+    CheckedAddI32 { a: ValueId, b: ValueId, mode: CheckMode },
+    /// Checked int32 subtract.
+    CheckedSubI32 { a: ValueId, b: ValueId, mode: CheckMode },
+    /// Checked int32 multiply (overflow or negative zero).
+    CheckedMulI32 { a: ValueId, b: ValueId, mode: CheckMode },
+    /// Checked int32 negate (overflow on 0 and i32::MIN).
+    CheckedNegI32 { a: ValueId, mode: CheckMode },
+    /// Pure int32 bitwise/shift (cannot overflow).
+    IBin { op: IBinOp, a: ValueId, b: ValueId },
+    /// Unsigned shift right; yields I32, `Other`-checked non-negative.
+    CheckedUShr { a: ValueId, b: ValueId, mode: CheckMode },
+    /// Pure f64 arithmetic.
+    FBin { op: FBinOp, a: ValueId, b: ValueId },
+    /// f64 negate.
+    FNeg(ValueId),
+    /// Compare raw words; yields Bool.
+    ICmp { cond: Cond, a: ValueId, b: ValueId },
+    /// Compare doubles; yields Bool.
+    FCmp { cond: Cond, a: ValueId, b: ValueId },
+    /// Bool not.
+    BNot(ValueId),
+    /// Pure double math intrinsic (sqrt, sin, ...), arguments unboxed.
+    MathOp { intr: Intrinsic, args: Vec<ValueId> },
+
+    // ---- guards ----------------------------------------------------------
+    /// Standalone check: fail (per `mode`) when `cond != 0`.
+    Guard { kind: CheckKind, cond: ValueId, mode: CheckMode },
+
+    // ---- memory ------------------------------------------------------------
+    /// `mem[base + offset]`; `base` is a raw cell address.
+    LoadField { base: ValueId, offset: u64, alias: Alias, ty: Ty },
+    /// `mem[base + offset] = v`.
+    StoreField { base: ValueId, offset: u64, v: ValueId, alias: Alias },
+    /// `mem[storage + index]` (array element; index is I32).
+    LoadElem { storage: ValueId, index: ValueId },
+    /// `mem[storage + index] = v`.
+    StoreElem { storage: ValueId, index: ValueId, v: ValueId },
+    /// Load a global slot.
+    LoadGlobal { addr: u64, name: NameId },
+    /// Store a global slot.
+    StoreGlobal { addr: u64, name: NameId, v: ValueId },
+
+    // ---- calls -------------------------------------------------------------
+    /// Call a runtime helper (clobbers all memory). Boxed arguments.
+    CallRuntime {
+        func: RuntimeFn,
+        args: Vec<ValueId>,
+        site: Option<(FuncId, SiteId)>,
+    },
+    /// Call another MiniJS function (clobbers all memory).
+    CallJs { callee: FuncId, args: Vec<ValueId> },
+
+    // ---- transactions --------------------------------------------------------
+    /// Begin a hardware transaction (NoMap). Falls back through the OSR
+    /// state on abort.
+    XBegin,
+    /// End/commit the innermost transaction.
+    XEnd,
+
+    // ---- control flow ----------------------------------------------------------
+    /// Unconditional branch.
+    Jump { target: BlockId },
+    /// Two-way branch on a Bool.
+    Branch { cond: ValueId, then_b: BlockId, else_b: BlockId },
+    /// Return a boxed value.
+    Return { v: ValueId },
+}
+
+/// Pure int32 bitwise operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IBinOp {
+    And,
+    Or,
+    Xor,
+    Shl,
+    Sar,
+}
+
+/// Pure f64 binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// An instruction together with its metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// The operation.
+    pub kind: InstKind,
+    /// OSR exit state for `Deopt`-mode checks and `XBegin` (None in abort
+    /// mode and for non-checking instructions).
+    pub osr: Option<OsrState>,
+    /// Profiling site feeding this instruction (debugging).
+    pub site: Option<(FuncId, SiteId)>,
+}
+
+impl Inst {
+    /// Creates an instruction with no OSR state.
+    pub fn new(kind: InstKind) -> Self {
+        Inst { kind, osr: None, site: None }
+    }
+
+    /// Result type.
+    pub fn ty(&self) -> Ty {
+        use InstKind::*;
+        match &self.kind {
+            Nop | Guard { .. } | StoreField { .. } | StoreElem { .. } | StoreGlobal { .. }
+            | XBegin | XEnd | Jump { .. } | Branch { .. } | Return { .. } => Ty::None,
+            Param(_) | Const(_) | BoxI32(_) | BoxF64(_) | BoxBool(_) | LoadElem { .. }
+            | LoadGlobal { .. } | CallRuntime { .. } | CallJs { .. } => Ty::Boxed,
+            ConstI32(_) | CheckInt32 { .. } | CheckF64ToI32 { .. } | CheckedAddI32 { .. }
+            | CheckedSubI32 { .. } | CheckedMulI32 { .. } | CheckedNegI32 { .. } | IBin { .. }
+            | CheckedUShr { .. } => Ty::I32,
+            ConstF64(_) | CheckNumber { .. } | I32ToF64(_) | FBin { .. } | FNeg(_)
+            | MathOp { .. } => Ty::F64,
+            ConstRaw(_) | CheckShape { .. } | CheckArray { .. } | CheckString { .. } => Ty::Raw,
+            ConstBool(_) | CheckBool { .. } | ICmp { .. } | FCmp { .. } | BNot(_) => Ty::Bool,
+            Phi { ty, .. } => *ty,
+            LoadField { ty, .. } => *ty,
+        }
+    }
+
+    /// The check category, if this instruction performs a check in its
+    /// current mode.
+    pub fn check_kind(&self) -> Option<CheckKind> {
+        use InstKind::*;
+        let (kind, mode) = match &self.kind {
+            CheckInt32 { mode, .. } | CheckNumber { mode, .. } | CheckBool { mode, .. }
+            | CheckArray { mode, .. } | CheckString { mode, .. }
+            | CheckF64ToI32 { mode, .. } => (CheckKind::Type, *mode),
+            CheckShape { mode, .. } => (CheckKind::Property, *mode),
+            CheckedAddI32 { mode, .. } | CheckedSubI32 { mode, .. }
+            | CheckedMulI32 { mode, .. } | CheckedNegI32 { mode, .. } => {
+                (CheckKind::Overflow, *mode)
+            }
+            CheckedUShr { mode, .. } => (CheckKind::Other, *mode),
+            Guard { kind, mode, .. } => (*kind, *mode),
+            _ => return None,
+        };
+        match mode {
+            CheckMode::Deopt | CheckMode::Abort => Some(kind),
+            CheckMode::Sof | CheckMode::Removed => None,
+        }
+    }
+
+    /// The instruction's check mode, if it is a checking instruction.
+    pub fn check_mode(&self) -> Option<CheckMode> {
+        use InstKind::*;
+        match &self.kind {
+            CheckInt32 { mode, .. }
+            | CheckNumber { mode, .. }
+            | CheckBool { mode, .. }
+            | CheckShape { mode, .. }
+            | CheckArray { mode, .. }
+            | CheckString { mode, .. }
+            | CheckF64ToI32 { mode, .. }
+            | CheckedAddI32 { mode, .. }
+            | CheckedSubI32 { mode, .. }
+            | CheckedMulI32 { mode, .. }
+            | CheckedNegI32 { mode, .. }
+            | CheckedUShr { mode, .. }
+            | Guard { mode, .. } => Some(*mode),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the check mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the instruction is not a checking instruction.
+    pub fn set_check_mode(&mut self, new_mode: CheckMode) {
+        use InstKind::*;
+        match &mut self.kind {
+            CheckInt32 { mode, .. }
+            | CheckNumber { mode, .. }
+            | CheckBool { mode, .. }
+            | CheckShape { mode, .. }
+            | CheckArray { mode, .. }
+            | CheckString { mode, .. }
+            | CheckF64ToI32 { mode, .. }
+            | CheckedAddI32 { mode, .. }
+            | CheckedSubI32 { mode, .. }
+            | CheckedMulI32 { mode, .. }
+            | CheckedNegI32 { mode, .. }
+            | CheckedUShr { mode, .. }
+            | Guard { mode, .. } => *mode = new_mode,
+            other => panic!("set_check_mode on non-check {other:?}"),
+        }
+    }
+
+    /// True when this instruction is a Stack Map Point (a `Deopt`-mode
+    /// check or a transaction begin, both of which need OSR state).
+    pub fn is_smp(&self) -> bool {
+        matches!(self.kind, InstKind::XBegin)
+            || self.check_mode() == Some(CheckMode::Deopt)
+    }
+
+    /// May this instruction read memory of class `alias`?
+    pub fn may_read(&self, alias: Alias) -> bool {
+        use InstKind::*;
+        match &self.kind {
+            LoadField { alias: a, .. } => a.may_alias(alias),
+            LoadElem { .. } => Alias::Elem.may_alias(alias),
+            LoadGlobal { name, .. } => Alias::Global(*name).may_alias(alias),
+            CallRuntime { .. } | CallJs { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// May this instruction write memory of class `alias`?
+    ///
+    /// In `Deopt` mode, checks report `true` for every class: this is the
+    /// LLVM-faithful "stackmaps clobber memory" rule that blocks motion in
+    /// the `Base` configuration. `Abort`-mode checks clobber nothing.
+    pub fn may_write(&self, alias: Alias) -> bool {
+        use InstKind::*;
+        match &self.kind {
+            StoreField { alias: a, .. } => a.may_alias(alias),
+            StoreElem { .. } => Alias::Elem.may_alias(alias),
+            StoreGlobal { name, .. } => Alias::Global(*name).may_alias(alias),
+            CallRuntime { .. } | CallJs { .. } => true,
+            XBegin | XEnd => true, // ordering barrier for transactions
+            _ => self.check_mode() == Some(CheckMode::Deopt),
+        }
+    }
+
+    /// True when the instruction (in its current mode) has an observable
+    /// effect and must not be removed by DCE even if unused.
+    pub fn has_effect(&self) -> bool {
+        use InstKind::*;
+        match &self.kind {
+            StoreField { .. } | StoreElem { .. } | StoreGlobal { .. } | CallRuntime { .. }
+            | CallJs { .. } | XBegin | XEnd | Jump { .. } | Branch { .. } | Return { .. } => true,
+            // SOF-mode arithmetic still sets the sticky flag.
+            CheckedAddI32 { mode, .. } | CheckedSubI32 { mode, .. }
+            | CheckedMulI32 { mode, .. } | CheckedNegI32 { mode, .. } => {
+                matches!(mode, CheckMode::Sof)
+            }
+            _ => self.check_kind().is_some(),
+        }
+    }
+
+    /// True for instructions that are pure functions of their operands
+    /// (candidates for GVN/LICM with no further analysis).
+    pub fn is_pure(&self) -> bool {
+        use InstKind::*;
+        matches!(
+            self.kind,
+            Param(_) | Const(_) | ConstI32(_) | ConstF64(_) | ConstRaw(_) | ConstBool(_)
+                | BoxI32(_) | BoxF64(_) | BoxBool(_) | I32ToF64(_) | IBin { .. } | FBin { .. }
+                | FNeg(_) | ICmp { .. } | FCmp { .. } | BNot(_) | MathOp { .. }
+        )
+    }
+
+    /// Operand values, in order.
+    pub fn operands(&self) -> Vec<ValueId> {
+        use InstKind::*;
+        match &self.kind {
+            Nop | Param(_) | Const(_) | ConstI32(_) | ConstF64(_) | ConstRaw(_) | ConstBool(_)
+            | LoadGlobal { .. } | XBegin | XEnd | Jump { .. } => vec![],
+            Phi { inputs, .. } => inputs.clone(),
+            CheckInt32 { v, .. } | CheckNumber { v, .. } | CheckBool { v, .. }
+            | CheckShape { v, .. } | CheckArray { v, .. } | CheckString { v, .. }
+            | CheckF64ToI32 { v, .. } | BoxI32(v) | BoxF64(v) | BoxBool(v) | I32ToF64(v)
+            | CheckedNegI32 { a: v, .. } | FNeg(v) | BNot(v) | Return { v }
+            | StoreGlobal { v, .. } => vec![*v],
+            CheckedAddI32 { a, b, .. } | CheckedSubI32 { a, b, .. }
+            | CheckedMulI32 { a, b, .. } | IBin { a, b, .. } | CheckedUShr { a, b, .. }
+            | FBin { a, b, .. } | ICmp { a, b, .. } | FCmp { a, b, .. } => vec![*a, *b],
+            Guard { cond, .. } => vec![*cond],
+            MathOp { args, .. } => args.clone(),
+            LoadField { base, .. } => vec![*base],
+            StoreField { base, v, .. } => vec![*base, *v],
+            LoadElem { storage, index } => vec![*storage, *index],
+            StoreElem { storage, index, v } => vec![*storage, *index, *v],
+            CallRuntime { args, .. } => args.clone(),
+            CallJs { args, .. } => args.clone(),
+            Branch { cond, .. } => vec![*cond],
+        }
+    }
+
+    /// Applies `f` to every operand slot.
+    pub fn map_operands(&mut self, mut f: impl FnMut(ValueId) -> ValueId) {
+        use InstKind::*;
+        match &mut self.kind {
+            Nop | Param(_) | Const(_) | ConstI32(_) | ConstF64(_) | ConstRaw(_) | ConstBool(_)
+            | LoadGlobal { .. } | XBegin | XEnd | Jump { .. } => {}
+            Phi { inputs, .. } => {
+                for v in inputs {
+                    *v = f(*v);
+                }
+            }
+            CheckInt32 { v, .. } | CheckNumber { v, .. } | CheckBool { v, .. }
+            | CheckShape { v, .. } | CheckArray { v, .. } | CheckString { v, .. }
+            | CheckF64ToI32 { v, .. } | BoxI32(v) | BoxF64(v) | BoxBool(v) | I32ToF64(v)
+            | CheckedNegI32 { a: v, .. } | FNeg(v) | BNot(v) | Return { v }
+            | StoreGlobal { v, .. } => *v = f(*v),
+            CheckedAddI32 { a, b, .. } | CheckedSubI32 { a, b, .. }
+            | CheckedMulI32 { a, b, .. } | IBin { a, b, .. } | CheckedUShr { a, b, .. }
+            | FBin { a, b, .. } | ICmp { a, b, .. } | FCmp { a, b, .. } => {
+                *a = f(*a);
+                *b = f(*b);
+            }
+            Guard { cond, .. } => *cond = f(*cond),
+            MathOp { args, .. } => {
+                for v in args {
+                    *v = f(*v);
+                }
+            }
+            LoadField { base, .. } => *base = f(*base),
+            StoreField { base, v, .. } => {
+                *base = f(*base);
+                *v = f(*v);
+            }
+            LoadElem { storage, index } => {
+                *storage = f(*storage);
+                *index = f(*index);
+            }
+            StoreElem { storage, index, v } => {
+                *storage = f(*storage);
+                *index = f(*index);
+                *v = f(*v);
+            }
+            CallRuntime { args, .. } => {
+                for v in args {
+                    *v = f(*v);
+                }
+            }
+            CallJs { args, .. } => {
+                for v in args {
+                    *v = f(*v);
+                }
+            }
+            Branch { cond, .. } => *cond = f(*cond),
+        }
+        // OSR states reference values too.
+        if let Some(osr) = &mut self.osr {
+            for slot in osr.regs.iter_mut().flatten() {
+                *slot = f(*slot);
+            }
+        }
+    }
+
+    /// True for block terminators.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self.kind,
+            InstKind::Jump { .. } | InstKind::Branch { .. } | InstKind::Return { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deopt_checks_clobber_aborts_do_not() {
+        let deopt = Inst::new(InstKind::CheckInt32 { v: ValueId(0), mode: CheckMode::Deopt });
+        let abort = Inst::new(InstKind::CheckInt32 { v: ValueId(0), mode: CheckMode::Abort });
+        assert!(deopt.may_write(Alias::Elem));
+        assert!(!abort.may_write(Alias::Elem));
+        assert_eq!(deopt.check_kind(), Some(CheckKind::Type));
+        assert_eq!(abort.check_kind(), Some(CheckKind::Type));
+    }
+
+    #[test]
+    fn sof_mode_checks_disappear_but_keep_effect() {
+        let sof = Inst::new(InstKind::CheckedAddI32 {
+            a: ValueId(0),
+            b: ValueId(1),
+            mode: CheckMode::Sof,
+        });
+        assert_eq!(sof.check_kind(), None);
+        assert!(sof.has_effect()); // still sets SOF
+        let removed = Inst::new(InstKind::Guard {
+            kind: CheckKind::Bounds,
+            cond: ValueId(0),
+            mode: CheckMode::Removed,
+        });
+        assert_eq!(removed.check_kind(), None);
+        assert!(!removed.has_effect());
+    }
+
+    #[test]
+    fn alias_rules() {
+        assert!(Alias::Elem.may_alias(Alias::Elem));
+        assert!(!Alias::Elem.may_alias(Alias::ArrayLen));
+        assert!(Alias::Any.may_alias(Alias::Elem));
+        assert!(!Alias::PropSlot(0).may_alias(Alias::PropSlot(1)));
+    }
+
+    #[test]
+    fn operand_mapping_covers_osr() {
+        let mut i = Inst::new(InstKind::Guard {
+            kind: CheckKind::Bounds,
+            cond: ValueId(3),
+            mode: CheckMode::Deopt,
+        });
+        i.osr = Some(OsrState { bc: 7, regs: vec![Some(ValueId(3)), None, Some(ValueId(5))] });
+        i.map_operands(|v| ValueId(v.0 + 10));
+        assert_eq!(i.operands(), vec![ValueId(13)]);
+        let osr = i.osr.unwrap();
+        assert_eq!(osr.regs[0], Some(ValueId(13)));
+        assert_eq!(osr.regs[2], Some(ValueId(15)));
+    }
+
+    #[test]
+    fn types_are_consistent() {
+        assert_eq!(Inst::new(InstKind::ConstI32(3)).ty(), Ty::I32);
+        assert_eq!(
+            Inst::new(InstKind::BoxI32(ValueId(0))).ty(),
+            Ty::Boxed
+        );
+        assert_eq!(
+            Inst::new(InstKind::ICmp { cond: Cond::Eq, a: ValueId(0), b: ValueId(1) }).ty(),
+            Ty::Bool
+        );
+    }
+}

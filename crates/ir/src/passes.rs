@@ -1,0 +1,820 @@
+//! SMP-aware optimization passes.
+//!
+//! The passes implement the paper's optimization story:
+//!
+//! * In the `Base` configuration every speculative check is a `Deopt`-mode
+//!   Stack Map Point, which [`Inst::may_write`] reports as a full memory
+//!   clobber (LLVM treats FTL's stackmap intrinsics the same way). GVN can
+//!   still remove *dominated identical* checks (JSC's
+//!   `TypeCheckHoistingPhase`-style redundancy elimination) but loads can't
+//!   move across SMPs, stores can't sink, and checks can't leave loops.
+//! * After NoMap converts in-transaction checks to `Abort` mode, the same
+//!   passes — unchanged — suddenly find work: loads hoist (LICM), loop
+//!   accumulators promote to registers (Fig. 4), and invariant checks hoist
+//!   out of loops.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::analysis::{defined_outside, ensure_preheader, find_loops, Dominators, Loop};
+use crate::graph::{BlockId, IrFunc, ValueId};
+use crate::node::{Alias, CheckMode, FBinOp, IBinOp, Inst, InstKind};
+
+/// Which optional passes run (constant folding and DCE always run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassConfig {
+    /// Global value numbering + redundant check elimination.
+    pub gvn: bool,
+    /// Loop-invariant code motion.
+    pub licm: bool,
+    /// Loop accumulator promotion (store sinking).
+    pub promote: bool,
+    /// Phi untagging (abstract-interpretation-style type propagation
+    /// through loop phis, removing per-iteration type checks).
+    pub untag: bool,
+}
+
+impl PassConfig {
+    /// The FTL pipeline (all passes).
+    pub fn ftl() -> Self {
+        PassConfig { gvn: true, licm: true, promote: true, untag: true }
+    }
+
+    /// The DFG pipeline (local cleanup only).
+    pub fn dfg() -> Self {
+        PassConfig { gvn: false, licm: false, promote: false, untag: false }
+    }
+}
+
+/// Runs the configured pipeline to a fixpoint (two rounds are enough for
+/// the patterns that matter; more iterations would only burn compile time).
+pub fn run_pipeline(f: &mut IrFunc, config: PassConfig) {
+    for _ in 0..2 {
+        constfold(f);
+        if config.untag {
+            untag_phis(f);
+        }
+        if config.gvn {
+            gvn(f);
+        }
+        if config.licm {
+            licm(f);
+        }
+        if config.promote {
+            while promote_accumulators(f) {}
+        }
+        dce(f);
+    }
+    debug_assert_eq!(f.verify(), Ok(()));
+}
+
+// ---------------------------------------------------------------- constfold
+
+/// Local constant folding and box/unbox peepholes.
+pub fn constfold(f: &mut IrFunc) {
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for idx in 0..f.insts.len() {
+            let v = ValueId(idx as u32);
+            let new = match &f.inst(v).kind {
+                InstKind::CheckInt32 { v: inner, .. } => match &f.inst(*inner).kind {
+                    InstKind::BoxI32(x) => Some(Replace::With(*x)),
+                    InstKind::Const(c) if c.is_int32() => {
+                        Some(Replace::Kind(InstKind::ConstI32(c.as_int32())))
+                    }
+                    _ => None,
+                },
+                InstKind::CheckNumber { v: inner, .. } => match &f.inst(*inner).kind {
+                    InstKind::BoxF64(x) => Some(Replace::With(*x)),
+                    InstKind::BoxI32(x) => Some(Replace::Kind(InstKind::I32ToF64(*x))),
+                    InstKind::Const(c) if c.is_int32() => {
+                        Some(Replace::Kind(InstKind::ConstF64(c.as_int32() as f64)))
+                    }
+                    InstKind::Const(c) if c.is_double() => {
+                        Some(Replace::Kind(InstKind::ConstF64(c.as_double())))
+                    }
+                    _ => None,
+                },
+                InstKind::CheckBool { v: inner, .. } => match &f.inst(*inner).kind {
+                    InstKind::BoxBool(x) => Some(Replace::With(*x)),
+                    _ => None,
+                },
+                InstKind::CheckF64ToI32 { v: inner, .. } => match &f.inst(*inner).kind {
+                    InstKind::I32ToF64(x) => Some(Replace::With(*x)),
+                    InstKind::ConstF64(d)
+                        if d.fract() == 0.0
+                            && *d >= i32::MIN as f64
+                            && *d <= i32::MAX as f64
+                            && !(*d == 0.0 && d.is_sign_negative()) =>
+                    {
+                        Some(Replace::Kind(InstKind::ConstI32(*d as i32)))
+                    }
+                    _ => None,
+                },
+                InstKind::I32ToF64(inner) => match &f.inst(*inner).kind {
+                    InstKind::ConstI32(c) => Some(Replace::Kind(InstKind::ConstF64(*c as f64))),
+                    _ => None,
+                },
+                InstKind::CheckedAddI32 { a, b, .. } => fold_i32(f, *a, *b, i32::checked_add),
+                InstKind::CheckedSubI32 { a, b, .. } => fold_i32(f, *a, *b, i32::checked_sub),
+                InstKind::CheckedMulI32 { a, b, .. } => {
+                    // Fold only when no overflow and no negative zero.
+                    match (const_i32(f, *a), const_i32(f, *b)) {
+                        (Some(x), Some(y)) => match x.checked_mul(y) {
+                            Some(r) if !(r == 0 && (x < 0 || y < 0)) => {
+                                Some(Replace::Kind(InstKind::ConstI32(r)))
+                            }
+                            _ => None,
+                        },
+                        _ => None,
+                    }
+                }
+                InstKind::IBin { op, a, b } => match (const_i32(f, *a), const_i32(f, *b)) {
+                    (Some(x), Some(y)) => {
+                        let r = match op {
+                            IBinOp::And => x & y,
+                            IBinOp::Or => x | y,
+                            IBinOp::Xor => x ^ y,
+                            IBinOp::Shl => x.wrapping_shl(y as u32 & 31),
+                            IBinOp::Sar => x.wrapping_shr(y as u32 & 31),
+                        };
+                        Some(Replace::Kind(InstKind::ConstI32(r)))
+                    }
+                    _ => None,
+                },
+                InstKind::FBin { op, a, b } => match (const_f64(f, *a), const_f64(f, *b)) {
+                    (Some(x), Some(y)) => {
+                        let r = match op {
+                            FBinOp::Add => x + y,
+                            FBinOp::Sub => x - y,
+                            FBinOp::Mul => x * y,
+                            FBinOp::Div => x / y,
+                            FBinOp::Mod => x % y,
+                        };
+                        Some(Replace::Kind(InstKind::ConstF64(r)))
+                    }
+                    _ => None,
+                },
+                InstKind::Guard { cond, .. } => match &f.inst(*cond).kind {
+                    InstKind::ConstBool(false) => Some(Replace::Kind(InstKind::Nop)),
+                    _ => None,
+                },
+                InstKind::ICmp { cond, a, b } => match (const_i32(f, *a), const_i32(f, *b)) {
+                    (Some(x), Some(y)) => Some(Replace::Kind(InstKind::ConstBool(
+                        cond.eval_i64(x as i64 as u64, y as i64 as u64),
+                    ))),
+                    _ => None,
+                },
+                InstKind::BNot(inner) => match &f.inst(*inner).kind {
+                    InstKind::ConstBool(x) => Some(Replace::Kind(InstKind::ConstBool(!x))),
+                    _ => None,
+                },
+                _ => None,
+            };
+            match new {
+                Some(Replace::With(x)) => {
+                    f.inst_mut(v).kind = InstKind::Nop;
+                    f.inst_mut(v).osr = None;
+                    f.replace_all_uses(v, x);
+                    changed = true;
+                }
+                Some(Replace::Kind(k)) => {
+                    f.inst_mut(v).kind = k;
+                    f.inst_mut(v).osr = None;
+                    changed = true;
+                }
+                None => {}
+            }
+        }
+    }
+}
+
+enum Replace {
+    With(ValueId),
+    Kind(InstKind),
+}
+
+fn const_i32(f: &IrFunc, v: ValueId) -> Option<i32> {
+    match f.inst(v).kind {
+        InstKind::ConstI32(c) => Some(c),
+        _ => None,
+    }
+}
+
+fn const_f64(f: &IrFunc, v: ValueId) -> Option<f64> {
+    match f.inst(v).kind {
+        InstKind::ConstF64(c) => Some(c),
+        _ => None,
+    }
+}
+
+fn fold_i32(
+    f: &IrFunc,
+    a: ValueId,
+    b: ValueId,
+    op: impl Fn(i32, i32) -> Option<i32>,
+) -> Option<Replace> {
+    match (const_i32(f, a), const_i32(f, b)) {
+        (Some(x), Some(y)) => op(x, y).map(|r| Replace::Kind(InstKind::ConstI32(r))),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------- untag_phis
+
+/// Type propagation through phis: a Boxed phi whose inputs are all
+/// `BoxI32(x)` (resp. `BoxF64`) gets an unboxed twin phi over the `x`s, and
+/// every `CheckInt32`/`CheckNumber` of the original phi is replaced by the
+/// twin — deleting one type check *per loop iteration per variable*, the
+/// way FTL's abstract interpreter proves loop-carried int32-ness. The boxed
+/// phi survives for OSR state and boxed uses (DCE reaps it when dead).
+pub fn untag_phis(f: &mut IrFunc) -> bool {
+    let mut changed = false;
+    for bi in 0..f.blocks.len() {
+
+        let phis: Vec<ValueId> = f.blocks[bi]
+            .insts
+            .iter()
+            .copied()
+            .take_while(|&v| matches!(f.inst(v).kind, InstKind::Phi { .. }))
+            .collect();
+        for phi in phis {
+            let InstKind::Phi { inputs, ty: crate::node::Ty::Boxed } = f.inst(phi).kind.clone()
+            else {
+                continue;
+            };
+            // All inputs must be boxes of the same unboxed type (or the phi
+            // itself, for self-loops).
+            // Input classification: boxes contribute their payload,
+            // int32/double constants contribute an unboxed constant that is
+            // materialized next to the original (whose block dominates all
+            // uses of the phi input).
+            enum Unboxed {
+                SelfRef,
+                Value(ValueId),
+                NewConst(InstKind, ValueId), // (unboxed const, after which inst)
+            }
+            let mut unboxed = Vec::with_capacity(inputs.len());
+            let mut ty = None;
+            let mut ok = true;
+            let fits = |t: crate::node::Ty, ty: &mut Option<crate::node::Ty>| {
+                if ty.is_none() {
+                    *ty = Some(t);
+                }
+                *ty == Some(t)
+            };
+            for &input in &inputs {
+                if input == phi {
+                    unboxed.push(Unboxed::SelfRef);
+                    continue;
+                }
+                match &f.inst(input).kind {
+                    InstKind::BoxI32(x) if fits(crate::node::Ty::I32, &mut ty) => {
+                        unboxed.push(Unboxed::Value(*x));
+                    }
+                    InstKind::BoxF64(x) if fits(crate::node::Ty::F64, &mut ty) => {
+                        unboxed.push(Unboxed::Value(*x));
+                    }
+                    InstKind::Const(c)
+                        if c.is_int32() && fits(crate::node::Ty::I32, &mut ty) =>
+                    {
+                        unboxed
+                            .push(Unboxed::NewConst(InstKind::ConstI32(c.as_int32()), input));
+                    }
+                    InstKind::Const(c)
+                        if c.is_double() && fits(crate::node::Ty::F64, &mut ty) =>
+                    {
+                        unboxed
+                            .push(Unboxed::NewConst(InstKind::ConstF64(c.as_double()), input));
+                    }
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            let Some(ty) = ty else { continue };
+            if !ok {
+                continue;
+            }
+            // Is the twin worth creating? Only if some check consumes the
+            // boxed phi.
+            let has_check_use = f.insts.iter().any(|i| match &i.kind {
+                InstKind::CheckInt32 { v, .. } => *v == phi && ty == crate::node::Ty::I32,
+                InstKind::CheckNumber { v, .. } => *v == phi && ty == crate::node::Ty::F64,
+                _ => false,
+            });
+            if !has_check_use {
+                continue;
+            }
+            let twin = f.add_inst(Inst::new(InstKind::Phi {
+                inputs: vec![],
+                ty,
+            }));
+            // Place the twin among the leading phis.
+            let pos = f.blocks[bi]
+                .insts
+                .iter()
+                .take_while(|&&v| matches!(f.inst(v).kind, InstKind::Phi { .. }))
+                .count();
+            f.blocks[bi].insts.insert(pos, twin);
+            let mut twin_inputs = Vec::with_capacity(unboxed.len());
+            for u in unboxed {
+                let v = match u {
+                    Unboxed::SelfRef => twin,
+                    Unboxed::Value(x) => x,
+                    Unboxed::NewConst(kind, after) => {
+                        // Materialize the unboxed constant immediately after
+                        // the boxed one, in whatever block defines it.
+                        let c = f.add_inst(Inst::new(kind));
+                        let mut placed = false;
+                        for b in &mut f.blocks {
+                            if let Some(p) = b.insts.iter().position(|&x| x == after) {
+                                b.insts.insert(p + 1, c);
+                                placed = true;
+                                break;
+                            }
+                        }
+                        if !placed {
+                            // The const was itself floating (shouldn't
+                            // happen); fall back to the phi's block start.
+                            f.blocks[bi].insts.insert(0, c);
+                        }
+                        c
+                    }
+                };
+                twin_inputs.push(v);
+            }
+            if let InstKind::Phi { inputs: slots, .. } = &mut f.inst_mut(twin).kind {
+                *slots = twin_inputs;
+            }
+            // Replace checks of the boxed phi with the twin.
+            for idx in 0..f.insts.len() {
+                let v = ValueId(idx as u32);
+                let replace = match &f.inst(v).kind {
+                    InstKind::CheckInt32 { v: inner, .. }
+                        if *inner == phi && ty == crate::node::Ty::I32 =>
+                    {
+                        true
+                    }
+                    InstKind::CheckNumber { v: inner, .. }
+                        if *inner == phi && ty == crate::node::Ty::F64 =>
+                    {
+                        true
+                    }
+                    _ => false,
+                };
+                if replace {
+                    f.inst_mut(v).kind = InstKind::Nop;
+                    f.inst_mut(v).osr = None;
+                    f.replace_all_uses(v, twin);
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------- gvn
+
+/// Dominance-based global value numbering: pure instructions, speculative
+/// checks (redundant-check elimination) and same-block load CSE.
+pub fn gvn(f: &mut IrFunc) {
+    let doms = Dominators::compute(f);
+    let def_block = def_block_map(f);
+    let mut table: HashMap<GvnKey, Vec<ValueId>> = HashMap::new();
+
+    for &b in &doms.rpo.clone() {
+        // Same-block load CSE with a clobber scan.
+        let insts = f.blocks[b.0 as usize].insts.clone();
+        let mut recent_loads: Vec<(Alias, ValueId)> = Vec::new();
+        for &v in &insts {
+            let inst = f.inst(v).clone();
+            // Kill loads clobbered by this instruction.
+            recent_loads.retain(|(alias, _)| !inst.may_write(*alias));
+            if let Some((alias, key)) = load_key(&inst.kind) {
+                if let Some(&(_, prev)) = recent_loads
+                    .iter()
+                    .find(|(a2, p)| *a2 == alias && load_key(&f.inst(*p).kind) == Some((alias, key.clone())))
+                {
+                    f.inst_mut(v).kind = InstKind::Nop;
+                    f.inst_mut(v).osr = None;
+                    f.replace_all_uses(v, prev);
+                    continue;
+                }
+                recent_loads.push((alias, v));
+            }
+            // Dominance-scoped value numbering for pure insts and checks.
+            let Some(key) = gvn_key(&inst.kind) else { continue };
+            let entry = table.entry(key).or_default();
+            let found = entry.iter().copied().find(|&cand| {
+                cand != v
+                    && !matches!(f.inst(cand).kind, InstKind::Nop)
+                    && def_block
+                        .get(&cand)
+                        .map(|&cb| {
+                            cb != b && doms.dominates(cb, b)
+                                || (cb == b && comes_before(f, b, cand, v))
+                        })
+                        .unwrap_or(false)
+            });
+            match found {
+                Some(prev) => {
+                    f.inst_mut(v).kind = InstKind::Nop;
+                    f.inst_mut(v).osr = None;
+                    f.replace_all_uses(v, prev);
+                }
+                None => entry.push(v),
+            }
+        }
+    }
+}
+
+fn comes_before(f: &IrFunc, b: BlockId, a: ValueId, v: ValueId) -> bool {
+    let insts = &f.blocks[b.0 as usize].insts;
+    let pa = insts.iter().position(|&x| x == a);
+    let pv = insts.iter().position(|&x| x == v);
+    matches!((pa, pv), (Some(x), Some(y)) if x < y)
+}
+
+fn def_block_map(f: &IrFunc) -> HashMap<ValueId, BlockId> {
+    let mut m = HashMap::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for &v in &b.insts {
+            m.insert(v, BlockId(bi as u32));
+        }
+    }
+    m
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GvnKey(u32, Vec<u64>);
+
+/// Key for pure instructions and speculative checks. `None` for anything
+/// with effects, memory behaviour or control flow.
+fn gvn_key(kind: &InstKind) -> Option<GvnKey> {
+    use InstKind::*;
+    let key = match kind {
+        Const(v) => GvnKey(1, vec![v.to_bits()]),
+        ConstI32(c) => GvnKey(2, vec![*c as u32 as u64]),
+        ConstF64(c) => GvnKey(3, vec![c.to_bits()]),
+        ConstRaw(c) => GvnKey(4, vec![*c]),
+        ConstBool(c) => GvnKey(5, vec![*c as u64]),
+        BoxI32(v) => GvnKey(6, vec![v.0 as u64]),
+        BoxF64(v) => GvnKey(7, vec![v.0 as u64]),
+        BoxBool(v) => GvnKey(8, vec![v.0 as u64]),
+        I32ToF64(v) => GvnKey(9, vec![v.0 as u64]),
+        IBin { op, a, b } => GvnKey(10, vec![*op as u64, a.0 as u64, b.0 as u64]),
+        FBin { op, a, b } => GvnKey(11, vec![*op as u64, a.0 as u64, b.0 as u64]),
+        FNeg(v) => GvnKey(12, vec![v.0 as u64]),
+        ICmp { cond, a, b } => GvnKey(13, vec![*cond as u64, a.0 as u64, b.0 as u64]),
+        FCmp { cond, a, b } => GvnKey(14, vec![*cond as u64, a.0 as u64, b.0 as u64]),
+        BNot(v) => GvnKey(15, vec![v.0 as u64]),
+        MathOp { intr, args } => {
+            let mut k = vec![*intr as u64];
+            k.extend(args.iter().map(|a| a.0 as u64));
+            GvnKey(16, k)
+        }
+        // Speculative checks: a dominating identical check makes the later
+        // one redundant regardless of mode (the earlier one fires first).
+        CheckInt32 { v, .. } => GvnKey(20, vec![v.0 as u64]),
+        CheckNumber { v, .. } => GvnKey(21, vec![v.0 as u64]),
+        CheckBool { v, .. } => GvnKey(22, vec![v.0 as u64]),
+        CheckShape { v, shape, .. } => GvnKey(23, vec![v.0 as u64, shape.0 as u64]),
+        CheckArray { v, .. } => GvnKey(24, vec![v.0 as u64]),
+        CheckString { v, .. } => GvnKey(25, vec![v.0 as u64]),
+        CheckF64ToI32 { v, .. } => GvnKey(26, vec![v.0 as u64]),
+        Guard { kind, cond, mode } => {
+            // Removed-mode guards are dead anyway; don't dedup across them.
+            if *mode == CheckMode::Removed {
+                return None;
+            }
+            GvnKey(27, vec![*kind as u64, cond.0 as u64])
+        }
+        // Checked arithmetic is pure-with-check; identical dominating op
+        // gives the same value (and already performed the same check).
+        CheckedAddI32 { a, b, .. } => GvnKey(28, vec![a.0 as u64, b.0 as u64]),
+        CheckedSubI32 { a, b, .. } => GvnKey(29, vec![a.0 as u64, b.0 as u64]),
+        CheckedMulI32 { a, b, .. } => GvnKey(30, vec![a.0 as u64, b.0 as u64]),
+        CheckedNegI32 { a, .. } => GvnKey(31, vec![a.0 as u64]),
+        CheckedUShr { a, b, .. } => GvnKey(32, vec![a.0 as u64, b.0 as u64]),
+        _ => return None,
+    };
+    Some(key)
+}
+
+/// Key identifying a memory location for load CSE.
+fn load_key(kind: &InstKind) -> Option<(Alias, Vec<u64>)> {
+    match kind {
+        InstKind::LoadField { base, offset, alias, .. } => {
+            Some((*alias, vec![base.0 as u64, *offset]))
+        }
+        InstKind::LoadElem { storage, index } => {
+            Some((Alias::Elem, vec![storage.0 as u64, index.0 as u64]))
+        }
+        InstKind::LoadGlobal { addr, name } => Some((Alias::Global(*name), vec![*addr])),
+        _ => None,
+    }
+}
+
+// --------------------------------------------------------------------- licm
+
+/// Loop-invariant code motion for pure instructions, loads (when nothing in
+/// the loop may clobber them — in `Base` mode every SMP does) and
+/// `Abort`-mode checks.
+pub fn licm(f: &mut IrFunc) {
+    let doms = Dominators::compute(f);
+    let loops = find_loops(f, &doms);
+    for l in &loops {
+        let Some(preheader) = ensure_preheader(f, l) else { continue };
+        let mut moved = true;
+        while moved {
+            moved = false;
+            for &b in &l.body.clone() {
+                let insts = f.blocks[b.0 as usize].insts.clone();
+                for v in insts {
+                    if !hoistable(f, l, v) {
+                        continue;
+                    }
+                    // Move v to the preheader.
+                    let block = &mut f.blocks[b.0 as usize].insts;
+                    let pos = block.iter().position(|&x| x == v).unwrap();
+                    block.remove(pos);
+                    let ph = &mut f.blocks[preheader.0 as usize].insts;
+                    let term_pos = ph.len().saturating_sub(1);
+                    ph.insert(term_pos, v);
+                    moved = true;
+                }
+            }
+        }
+    }
+}
+
+fn hoistable(f: &IrFunc, l: &Loop, v: ValueId) -> bool {
+    let inst = f.inst(v);
+    let invariant_operands = inst
+        .operands()
+        .iter()
+        .all(|&o| defined_outside(f, l, o) || o == v);
+    if !invariant_operands {
+        return false;
+    }
+    if inst.is_pure() && !matches!(inst.kind, InstKind::Param(_) | InstKind::Phi { .. }) {
+        return true;
+    }
+    // Loads hoist when the loop cannot clobber their class. Deopt-mode
+    // checks report may_write(*) = true, so SMPs block this in Base mode.
+    if let Some((alias, _)) = load_key(&inst.kind) {
+        let clobbered = l
+            .body
+            .iter()
+            .any(|&b| crate::analysis::block_any(f, b, |i| i.may_write(alias)));
+        return !clobbered;
+    }
+    // Abort-mode checks can move freely inside the transaction (§IV-C);
+    // hoisting one above the loop is safe — a spurious early abort only
+    // costs performance, never correctness.
+    if inst.check_mode() == Some(CheckMode::Abort) {
+        return true;
+    }
+    false
+}
+
+// ----------------------------------------------------------------- promote
+
+/// Loop accumulator promotion ("store sinking" in the paper's Fig. 4): a
+/// location loaded and stored every iteration becomes a register (phi), with
+/// one load before the loop and one store after it.
+pub fn promote_accumulators(f: &mut IrFunc) -> bool {
+    let doms = Dominators::compute(f);
+    let loops = find_loops(f, &doms);
+    for l in &loops {
+        // Only innermost loops (no other loop header inside).
+        if loops
+            .iter()
+            .any(|l2| l2.header != l.header && l.body.contains(&l2.header))
+        {
+            continue;
+        }
+        // Calls or SMPs in the loop block everything.
+        if crate::analysis::loop_any(f, l, |i| {
+            matches!(i.kind, InstKind::CallRuntime { .. } | InstKind::CallJs { .. })
+                || i.check_mode() == Some(CheckMode::Deopt)
+        }) {
+            continue;
+        }
+        // Collect accesses per location.
+        let mut locs: HashMap<LocKey, (Vec<ValueId>, Vec<ValueId>)> = HashMap::new();
+        let mut alias_counts: HashMap<Alias, usize> = HashMap::new();
+        for &b in &l.body {
+            for &v in &f.blocks[b.0 as usize].insts {
+                let inst = f.inst(v);
+                match &inst.kind {
+                    InstKind::LoadField { base, offset, alias, .. } => {
+                        *alias_counts.entry(*alias).or_default() += 1;
+                        locs.entry(LocKey::Field(*base, *offset, *alias))
+                            .or_default()
+                            .0
+                            .push(v);
+                    }
+                    InstKind::StoreField { base, offset, alias, .. } => {
+                        *alias_counts.entry(*alias).or_default() += 1;
+                        locs.entry(LocKey::Field(*base, *offset, *alias))
+                            .or_default()
+                            .1
+                            .push(v);
+                    }
+                    InstKind::LoadGlobal { addr, name } => {
+                        *alias_counts.entry(Alias::Global(*name)).or_default() += 1;
+                        locs.entry(LocKey::Global(*addr, *name)).or_default().0.push(v);
+                    }
+                    InstKind::StoreGlobal { addr, name, .. } => {
+                        *alias_counts.entry(Alias::Global(*name)).or_default() += 1;
+                        locs.entry(LocKey::Global(*addr, *name)).or_default().1.push(v);
+                    }
+                    InstKind::LoadElem { .. } | InstKind::StoreElem { .. } => {
+                        *alias_counts.entry(Alias::Elem).or_default() += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (key, (loads, stores)) in locs {
+            if stores.len() != 1 {
+                continue;
+            }
+            let store = stores[0];
+            // Every access of this alias class in the loop must belong to
+            // this location (otherwise unknown aliasing).
+            let class_accesses = alias_counts.get(&key.alias()).copied().unwrap_or(0);
+            if class_accesses != loads.len() + stores.len() {
+                continue;
+            }
+            // Base must be invariant.
+            if let LocKey::Field(base, _, _) = key {
+                if !defined_outside(f, l, base) {
+                    continue;
+                }
+            }
+            // The store's block must dominate every latch (runs every
+            // iteration) and all loads must be in blocks dominated by the
+            // header (trivially true) and dominating the store or equal.
+            let def_block = def_block_map(f);
+            let sb = def_block[&store];
+            if !l.latches.iter().all(|&latch| doms.dominates(sb, latch)) {
+                continue;
+            }
+            if !loads.iter().all(|&ld| {
+                let lb = def_block[&ld];
+                doms.dominates(lb, sb) && (lb != sb || comes_before(f, sb, ld, store))
+            }) {
+                continue;
+            }
+            promote_one(f, l, &doms, key, &loads, store);
+            // Structure changed; redo analyses before promoting more.
+            return true;
+        }
+    }
+    false
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum LocKey {
+    Field(ValueId, u64, Alias),
+    Global(u64, nomap_bytecode::NameId),
+}
+
+impl LocKey {
+    fn alias(self) -> Alias {
+        match self {
+            LocKey::Field(_, _, a) => a,
+            LocKey::Global(_, n) => Alias::Global(n),
+        }
+    }
+}
+
+fn promote_one(
+    f: &mut IrFunc,
+    l: &Loop,
+    doms: &Dominators,
+    key: LocKey,
+    loads: &[ValueId],
+    store: ValueId,
+) {
+    let Some(preheader) = ensure_preheader(f, l) else { return };
+    // Initial value: load in the preheader.
+    let init_kind = match key {
+        LocKey::Field(base, offset, alias) => InstKind::LoadField {
+            base,
+            offset,
+            alias,
+            ty: crate::node::Ty::Boxed,
+        },
+        LocKey::Global(addr, name) => InstKind::LoadGlobal { addr, name },
+    };
+    let init = f.insert_before_terminator(preheader, Inst::new(init_kind));
+    // Phi in the header: entry → init, latches → stored value.
+    let stored_value = match &f.inst(store).kind {
+        InstKind::StoreField { v, .. } | InstKind::StoreGlobal { v, .. } => *v,
+        _ => return,
+    };
+    let header_preds = f.blocks[l.header.0 as usize].preds.clone();
+    let inputs: Vec<ValueId> = header_preds
+        .iter()
+        .map(|p| if l.latches.contains(p) { stored_value } else { init })
+        .collect();
+    let phi = f.insert_at(
+        l.header,
+        0,
+        Inst::new(InstKind::Phi { inputs, ty: crate::node::Ty::Boxed }),
+    );
+    // Loads inside the loop see the running value: loads that execute
+    // before the store (they dominate it) see the phi.
+    for &ld in loads {
+        f.inst_mut(ld).kind = InstKind::Nop;
+        f.inst_mut(ld).osr = None;
+        f.replace_all_uses(ld, phi);
+    }
+    // Remove the in-loop store; store the final value at every exit.
+    let store_kind = f.inst(store).kind.clone();
+    f.inst_mut(store).kind = InstKind::Nop;
+    let def_block = def_block_map(f);
+    let exits = l.exits.clone();
+    for (from, to) in exits {
+        // Value at the exit: the stored value if the store's block ran
+        // before the exit (store block dominates `from`), otherwise the phi.
+        let sb = def_block
+            .get(&stored_value)
+            .copied()
+            .unwrap_or(l.header);
+        let val = if doms.dominates(sb, from) && l.body.contains(&sb) {
+            stored_value
+        } else {
+            phi
+        };
+        let mid = f.split_edge(from, to);
+        let kind = match (&store_kind, key) {
+            (InstKind::StoreField { .. }, LocKey::Field(base, offset, alias)) => {
+                InstKind::StoreField { base, offset, v: val, alias }
+            }
+            (InstKind::StoreGlobal { .. }, LocKey::Global(addr, name)) => {
+                InstKind::StoreGlobal { addr, name, v: val }
+            }
+            _ => continue,
+        };
+        f.insert_at(mid, 0, Inst::new(kind));
+    }
+}
+
+// ----------------------------------------------------------------------- dce
+
+/// Dead code elimination. Roots: control flow, stores, calls, live checks,
+/// SOF arithmetic, transactions — plus everything referenced by the OSR
+/// state of a live `Deopt` check (the paper's "SMPs pin values alive").
+pub fn dce(f: &mut IrFunc) {
+    let mut live: HashSet<ValueId> = HashSet::new();
+    let mut work: Vec<ValueId> = Vec::new();
+    for b in &f.blocks {
+        for &v in &b.insts {
+            let inst = f.inst(v);
+            if inst.is_terminator() || inst.has_effect() {
+                if live.insert(v) {
+                    work.push(v);
+                }
+            }
+        }
+    }
+    while let Some(v) = work.pop() {
+        let inst = f.inst(v);
+        let mut refs = inst.operands();
+        if inst.is_smp() {
+            if let Some(osr) = &inst.osr {
+                refs.extend(osr.regs.iter().flatten().copied());
+            }
+        }
+        for r in refs {
+            if live.insert(r) {
+                work.push(r);
+            }
+        }
+    }
+    for bi in 0..f.blocks.len() {
+        let insts = f.blocks[bi].insts.clone();
+        for v in insts {
+            if !live.contains(&v) && !matches!(f.inst(v).kind, InstKind::Nop) {
+                f.inst_mut(v).kind = InstKind::Nop;
+                f.inst_mut(v).osr = None;
+            }
+        }
+        // Physically drop nops from the block list (ids stay valid in the
+        // arena).
+        let keep: Vec<ValueId> = f.blocks[bi]
+            .insts
+            .iter()
+            .copied()
+            .filter(|&v| !matches!(f.inst(v).kind, InstKind::Nop))
+            .collect();
+        f.blocks[bi].insts = keep;
+    }
+}

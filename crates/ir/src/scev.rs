@@ -1,0 +1,163 @@
+//! Minimal scalar-evolution analysis: monotonic affine induction variables.
+//!
+//! NoMap's bounds-check combining (paper §IV-C1) builds "upon LLVM's Scalar
+//! Evolution analysis to identify monotonic loop variables". This module
+//! recognizes the pattern that matters: a header phi whose latch input adds
+//! or subtracts a constant.
+
+use crate::analysis::Loop;
+use crate::graph::{IrFunc, ValueId};
+use crate::node::InstKind;
+
+/// An affine induction variable `iv = init + k·step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndVar {
+    /// The header phi.
+    pub phi: ValueId,
+    /// Value entering from the preheader.
+    pub init: ValueId,
+    /// The update instruction (`phi ± step`), i.e. the latch input.
+    pub update: ValueId,
+    /// Constant per-iteration step (non-zero).
+    pub step: i32,
+}
+
+impl IndVar {
+    /// Monotonically increasing?
+    pub fn increasing(&self) -> bool {
+        self.step > 0
+    }
+}
+
+/// Finds induction variables of `l`. `preheader_pred_index` is the index of
+/// the unique entry predecessor in the header's pred list.
+pub fn induction_vars(f: &IrFunc, l: &Loop) -> Vec<IndVar> {
+    let header = &f.blocks[l.header.0 as usize];
+    let mut out = Vec::new();
+    let entry_positions: Vec<usize> = header
+        .preds
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !l.latches.contains(p))
+        .map(|(i, _)| i)
+        .collect();
+    if entry_positions.len() != 1 {
+        return out;
+    }
+    let entry_pos = entry_positions[0];
+    for &v in &header.insts {
+        let InstKind::Phi { inputs, .. } = &f.inst(v).kind else { continue };
+        if inputs.len() != header.preds.len() {
+            continue;
+        }
+        let init = inputs[entry_pos];
+        // All latch inputs must be the same update value.
+        let latch_inputs: Vec<ValueId> = inputs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != entry_pos)
+            .map(|(_, &x)| x)
+            .collect();
+        let Some((&first, rest)) = latch_inputs.split_first() else { continue };
+        if rest.iter().any(|&x| x != first) {
+            continue;
+        }
+        let update = first;
+        let step = match &f.inst(update).kind {
+            InstKind::CheckedAddI32 { a, b, .. } if *a == v => const_i32(f, *b),
+            InstKind::CheckedAddI32 { a, b, .. } if *b == v => const_i32(f, *a),
+            InstKind::CheckedSubI32 { a, b, .. } if *a == v => const_i32(f, *b).map(|c| -c),
+            _ => None,
+        };
+        if let Some(step) = step {
+            if step != 0 {
+                out.push(IndVar { phi: v, init, update, step });
+            }
+        }
+    }
+    out
+}
+
+fn const_i32(f: &IrFunc, v: ValueId) -> Option<i32> {
+    match f.inst(v).kind {
+        InstKind::ConstI32(c) => Some(c),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{find_loops, Dominators};
+    use crate::graph::IrFunc;
+    use crate::node::{CheckMode, Inst, Ty};
+    use nomap_bytecode::FuncId;
+    use nomap_machine::Cond;
+
+    fn counting_loop(step_kind: &str) -> (IrFunc, ValueId) {
+        let mut f = IrFunc::new(FuncId(0), "c", 0, 0);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        let init = f.append(f.entry, Inst::new(InstKind::ConstI32(0)));
+        let n = f.append(f.entry, Inst::new(InstKind::ConstI32(100)));
+        f.append(f.entry, Inst::new(InstKind::Jump { target: header }));
+        let phi = f.append(header, Inst::new(InstKind::Phi { inputs: vec![init], ty: Ty::I32 }));
+        let cmp = f.append(header, Inst::new(InstKind::ICmp { cond: Cond::Lt, a: phi, b: n }));
+        f.append(header, Inst::new(InstKind::Branch { cond: cmp, then_b: body, else_b: exit }));
+        let step = f.append(body, Inst::new(InstKind::ConstI32(2)));
+        let update = match step_kind {
+            "add" => f.append(
+                body,
+                Inst::new(InstKind::CheckedAddI32 { a: phi, b: step, mode: CheckMode::Deopt }),
+            ),
+            "sub" => f.append(
+                body,
+                Inst::new(InstKind::CheckedSubI32 { a: phi, b: step, mode: CheckMode::Deopt }),
+            ),
+            _ => f.append(
+                body,
+                Inst::new(InstKind::IBin { op: crate::node::IBinOp::Xor, a: phi, b: step }),
+            ),
+        };
+        f.append(body, Inst::new(InstKind::Jump { target: header }));
+        if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(phi).kind {
+            inputs.push(update);
+        }
+        let boxed = f.append(exit, Inst::new(InstKind::BoxI32(phi)));
+        f.append(exit, Inst::new(InstKind::Return { v: boxed }));
+        f.compute_preds();
+        (f, phi)
+    }
+
+    #[test]
+    fn recognizes_increasing_iv() {
+        let (f, phi) = counting_loop("add");
+        let d = Dominators::compute(&f);
+        let loops = find_loops(&f, &d);
+        let ivs = induction_vars(&f, &loops[0]);
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].phi, phi);
+        assert_eq!(ivs[0].step, 2);
+        assert!(ivs[0].increasing());
+    }
+
+    #[test]
+    fn recognizes_decreasing_iv() {
+        let (f, _) = counting_loop("sub");
+        let d = Dominators::compute(&f);
+        let loops = find_loops(&f, &d);
+        let ivs = induction_vars(&f, &loops[0]);
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].step, -2);
+        assert!(!ivs[0].increasing());
+    }
+
+    #[test]
+    fn rejects_non_affine_update() {
+        let (f, _) = counting_loop("xor");
+        let d = Dominators::compute(&f);
+        let loops = find_loops(&f, &d);
+        assert!(induction_vars(&f, &loops[0]).is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Behavioural tests for the optimization passes: each pass must do its
+//! job in `Abort` mode and hold back in `Deopt` mode — the SMP-sensitivity
+//! at the heart of the paper.
+
+use nomap_bytecode::FuncId;
+use nomap_ir::analysis::{find_loops, Dominators};
+use nomap_ir::node::{Alias, Inst, InstKind, Ty};
+use nomap_ir::passes::{constfold, dce, gvn, licm, promote_accumulators, untag_phis};
+use nomap_ir::{BlockId, CheckMode, IrFunc, ValueId};
+use nomap_machine::{CheckKind, Cond};
+use nomap_runtime::Value;
+
+/// Builds the canonical test loop:
+///
+/// ```text
+/// entry:  base = ConstRaw(0x1000_0000); n = ConstI32(100); jump header
+/// header: i = phi(0, i+1); cond = i < n; branch body / exit
+/// body:   len = LoadField(base, 1, ArrayLen)        ; invariant load
+///         g   = Guard(kind, i >=u len, mode)        ; bounds-style check
+///         s   = LoadField(base, 5, PropSlot(0))     ; accumulator load
+///         s2  = CheckedAdd(s?, i)  [simplified to i+i]
+///         StoreField(base, 5, boxed)                ; accumulator store
+///         i2  = i + 1; jump header
+/// exit:   return undefined
+/// ```
+struct LoopIr {
+    f: IrFunc,
+    header: BlockId,
+    body: BlockId,
+    #[allow(dead_code)]
+    exit: BlockId,
+    guard: ValueId,
+    len_load: ValueId,
+    acc_load: ValueId,
+    acc_store: ValueId,
+}
+
+fn build_loop(mode: CheckMode) -> LoopIr {
+    let mut f = IrFunc::new(FuncId(0), "t", 0, 4);
+    let header = f.new_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+    let base = f.append(f.entry, Inst::new(InstKind::ConstRaw(0x1000_0000)));
+    let zero = f.append(f.entry, Inst::new(InstKind::ConstI32(0)));
+    let n = f.append(f.entry, Inst::new(InstKind::ConstI32(100)));
+    f.append(f.entry, Inst::new(InstKind::Jump { target: header }));
+
+    let phi = f.append(header, Inst::new(InstKind::Phi { inputs: vec![zero], ty: Ty::I32 }));
+    let cond = f.append(header, Inst::new(InstKind::ICmp { cond: Cond::Lt, a: phi, b: n }));
+    f.append(header, Inst::new(InstKind::Branch { cond, then_b: body, else_b: exit }));
+
+    let len_load = f.append(
+        body,
+        Inst::new(InstKind::LoadField { base, offset: 1, alias: Alias::ArrayLen, ty: Ty::I32 }),
+    );
+    let oob = f.append(body, Inst::new(InstKind::ICmp { cond: Cond::AboveEq, a: phi, b: len_load }));
+    let mut g = Inst::new(InstKind::Guard { kind: CheckKind::Bounds, cond: oob, mode });
+    if mode == CheckMode::Deopt {
+        g.osr = Some(nomap_ir::OsrState { bc: 3, regs: vec![Some(phi), None, None, None] });
+    }
+    let guard = f.append(body, g);
+    let acc_load = f.append(
+        body,
+        Inst::new(InstKind::LoadField { base, offset: 5, alias: Alias::PropSlot(0), ty: Ty::Boxed }),
+    );
+    let unb = f.append(body, Inst::new(InstKind::CheckInt32 { v: acc_load, mode }));
+    if mode == CheckMode::Deopt {
+        f.inst_mut(unb).osr =
+            Some(nomap_ir::OsrState { bc: 4, regs: vec![Some(phi), None, None, None] });
+    }
+    let sum = f.append(
+        body,
+        Inst::new(InstKind::CheckedAddI32 { a: unb, b: phi, mode: CheckMode::Sof }),
+    );
+    let boxed = f.append(body, Inst::new(InstKind::BoxI32(sum)));
+    let acc_store = f.append(
+        body,
+        Inst::new(InstKind::StoreField { base, offset: 5, v: boxed, alias: Alias::PropSlot(0) }),
+    );
+    let one = f.append(body, Inst::new(InstKind::ConstI32(1)));
+    let next = f.append(
+        body,
+        Inst::new(InstKind::CheckedAddI32 { a: phi, b: one, mode: CheckMode::Sof }),
+    );
+    f.append(body, Inst::new(InstKind::Jump { target: header }));
+    if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(phi).kind {
+        inputs.push(next);
+    }
+    let u = f.append(exit, Inst::new(InstKind::Const(Value::UNDEFINED)));
+    f.append(exit, Inst::new(InstKind::Return { v: u }));
+    f.compute_preds();
+    assert_eq!(f.verify(), Ok(()));
+    LoopIr { f, header, body, exit, guard, len_load, acc_load, acc_store }
+}
+
+fn block_of(f: &IrFunc, v: ValueId) -> Option<BlockId> {
+    f.blocks
+        .iter()
+        .enumerate()
+        .find(|(_, b)| b.insts.contains(&v))
+        .map(|(i, _)| BlockId(i as u32))
+}
+
+#[test]
+fn licm_hoists_loads_across_aborts_but_not_smps() {
+    // Abort mode: the invariant ArrayLen load leaves the loop.
+    let mut l = build_loop(CheckMode::Abort);
+    licm(&mut l.f);
+    let b = block_of(&l.f, l.len_load).expect("load still placed");
+    let doms = Dominators::compute(&l.f);
+    let loops = find_loops(&l.f, &doms);
+    assert!(
+        !loops[0].contains(b),
+        "Abort mode: len load must hoist out of the loop"
+    );
+    assert_eq!(l.f.verify(), Ok(()));
+
+    // Deopt mode: the SMP clobbers memory; the load must stay.
+    let mut l = build_loop(CheckMode::Deopt);
+    licm(&mut l.f);
+    let b = block_of(&l.f, l.len_load).unwrap();
+    assert_eq!(b, l.body, "Deopt mode: SMP pins the load in the loop");
+}
+
+#[test]
+fn promotion_sinks_the_accumulator_only_without_smps() {
+    let mut l = build_loop(CheckMode::Abort);
+    assert!(promote_accumulators(&mut l.f), "promotes in abort mode");
+    // The in-loop load/store became Nops; a store exists on the exit edge.
+    assert!(matches!(l.f.inst(l.acc_load).kind, InstKind::Nop));
+    assert!(matches!(l.f.inst(l.acc_store).kind, InstKind::Nop));
+    let exit_stores = l
+        .f
+        .blocks
+        .iter()
+        .enumerate()
+        .filter(|(bi, b)| {
+            BlockId(*bi as u32) != l.body
+                && b.insts.iter().any(|&v| {
+                    matches!(l.f.inst(v).kind, InstKind::StoreField { offset: 5, .. })
+                })
+        })
+        .count();
+    assert!(exit_stores >= 1, "the final value is stored after the loop");
+    assert_eq!(l.f.verify(), Ok(()));
+
+    let mut l = build_loop(CheckMode::Deopt);
+    assert!(
+        !promote_accumulators(&mut l.f),
+        "SMPs block store sinking (paper §III-A3)"
+    );
+}
+
+#[test]
+fn gvn_removes_dominated_duplicate_checks() {
+    let mut f = IrFunc::new(FuncId(0), "t", 1, 1);
+    let p = f.append(f.entry, Inst::new(InstKind::Param(0)));
+    let c1 = f.append(f.entry, Inst::new(InstKind::CheckInt32 { v: p, mode: CheckMode::Abort }));
+    let c2 = f.append(f.entry, Inst::new(InstKind::CheckInt32 { v: p, mode: CheckMode::Abort }));
+    let sum = f.append(
+        f.entry,
+        Inst::new(InstKind::CheckedAddI32 { a: c1, b: c2, mode: CheckMode::Abort }),
+    );
+    let boxed = f.append(f.entry, Inst::new(InstKind::BoxI32(sum)));
+    f.append(f.entry, Inst::new(InstKind::Return { v: boxed }));
+    f.compute_preds();
+    gvn(&mut f);
+    assert!(
+        matches!(f.inst(c2).kind, InstKind::Nop),
+        "second identical check is redundant"
+    );
+    assert!(matches!(f.inst(c1).kind, InstKind::CheckInt32 { .. }));
+}
+
+#[test]
+fn dce_keeps_osr_pinned_boxes_only_in_deopt_mode() {
+    // box = BoxI32(k); guard(Deopt) references box in its OSR state; box has
+    // no other use. In Deopt mode DCE must keep it; as an abort, it dies.
+    for (mode, expect_alive) in [(CheckMode::Deopt, true), (CheckMode::Abort, false)] {
+        let mut f = IrFunc::new(FuncId(0), "t", 0, 1);
+        let k = f.append(f.entry, Inst::new(InstKind::ConstI32(7)));
+        let boxed = f.append(f.entry, Inst::new(InstKind::BoxI32(k)));
+        let fail = f.append(f.entry, Inst::new(InstKind::ConstBool(false)));
+        let mut g = Inst::new(InstKind::Guard { kind: CheckKind::Type, cond: fail, mode });
+        if mode == CheckMode::Deopt {
+            g.osr = Some(nomap_ir::OsrState { bc: 0, regs: vec![Some(boxed)] });
+        }
+        f.append(f.entry, g);
+        let u = f.append(f.entry, Inst::new(InstKind::Const(Value::UNDEFINED)));
+        f.append(f.entry, Inst::new(InstKind::Return { v: u }));
+        f.compute_preds();
+        dce(&mut f);
+        let alive = !matches!(f.inst(boxed).kind, InstKind::Nop);
+        assert_eq!(
+            alive, expect_alive,
+            "{mode:?}: OSR-pinned box alive={alive} (the paper's register-pressure cost of SMPs)"
+        );
+    }
+}
+
+#[test]
+fn constfold_eliminates_box_unbox_pairs() {
+    let mut f = IrFunc::new(FuncId(0), "t", 0, 1);
+    let k = f.append(f.entry, Inst::new(InstKind::ConstI32(3)));
+    let boxed = f.append(f.entry, Inst::new(InstKind::BoxI32(k)));
+    let unboxed = f.append(
+        f.entry,
+        Inst::new(InstKind::CheckInt32 { v: boxed, mode: CheckMode::Abort }),
+    );
+    let sum = f.append(
+        f.entry,
+        Inst::new(InstKind::CheckedAddI32 { a: unboxed, b: k, mode: CheckMode::Abort }),
+    );
+    let out = f.append(f.entry, Inst::new(InstKind::BoxI32(sum)));
+    f.append(f.entry, Inst::new(InstKind::Return { v: out }));
+    f.compute_preds();
+    constfold(&mut f);
+    // CheckInt32(BoxI32(k)) → k, then ConstI32(3)+ConstI32(3) → ConstI32(6).
+    assert!(matches!(f.inst(unboxed).kind, InstKind::Nop));
+    assert!(matches!(f.inst(sum).kind, InstKind::ConstI32(6)));
+}
+
+#[test]
+fn untag_phis_removes_loop_carried_type_checks() {
+    // Boxed phi over (Const int32, BoxI32(add)) with a CheckInt32 consumer.
+    let mut f = IrFunc::new(FuncId(0), "t", 0, 1);
+    let header = f.new_block();
+    let exit = f.new_block();
+    let init = f.append(f.entry, Inst::new(InstKind::Const(Value::new_int32(0))));
+    f.append(f.entry, Inst::new(InstKind::Jump { target: header }));
+    let phi = f.append(header, Inst::new(InstKind::Phi { inputs: vec![init], ty: Ty::Boxed }));
+    let unb = f.append(header, Inst::new(InstKind::CheckInt32 { v: phi, mode: CheckMode::Abort }));
+    let one = f.append(header, Inst::new(InstKind::ConstI32(1)));
+    let next = f.append(
+        header,
+        Inst::new(InstKind::CheckedAddI32 { a: unb, b: one, mode: CheckMode::Abort }),
+    );
+    let boxed = f.append(header, Inst::new(InstKind::BoxI32(next)));
+    let limit = f.append(header, Inst::new(InstKind::ConstI32(10)));
+    let cond = f.append(header, Inst::new(InstKind::ICmp { cond: Cond::Lt, a: next, b: limit }));
+    f.append(header, Inst::new(InstKind::Branch { cond, then_b: header, else_b: exit }));
+    if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(phi).kind {
+        inputs.push(boxed);
+    }
+    let u = f.append(exit, Inst::new(InstKind::Const(Value::UNDEFINED)));
+    f.append(exit, Inst::new(InstKind::Return { v: u }));
+    f.compute_preds();
+    assert_eq!(f.verify(), Ok(()));
+
+    assert!(untag_phis(&mut f), "untagging applies");
+    assert!(
+        matches!(f.inst(unb).kind, InstKind::Nop),
+        "the per-iteration type check is gone"
+    );
+    assert_eq!(f.verify(), Ok(()));
+}

@@ -1,0 +1,328 @@
+//! The Baseline code generator.
+//!
+//! Baseline code macro-expands each bytecode op into a generic sequence:
+//! load operands from the (simulated-memory) frame, call the runtime helper
+//! that implements the full JavaScript semantics, store the result back
+//! (paper Fig. 4(b)). Every bytecode index gets a machine label so
+//! deoptimizing FTL code — and NoMap transaction fallbacks — can enter
+//! anywhere.
+
+use nomap_bytecode::{Function, Op};
+use nomap_machine::{Cond, Label, MReg, MachInst};
+use nomap_runtime::{Runtime, RuntimeFn, Value};
+
+use crate::code::CompiledFn;
+
+/// Frame-pointer register (the executor seeds it with the frame's base
+/// address in the simulated stack).
+pub(crate) const FP: MReg = MReg(0);
+const S1: MReg = MReg(1);
+const S2: MReg = MReg(2);
+const S3: MReg = MReg(3);
+/// First scratch register for call argument staging.
+const ARGS: u32 = 4;
+
+/// Bit marking an unresolved branch target that still holds a bytecode
+/// index rather than a code index.
+const PENDING: u32 = 0x8000_0000;
+
+/// Compiles `func` to Baseline machine code.
+///
+/// `rt` resolves global slot addresses (link time).
+///
+/// # Example
+///
+/// ```
+/// use nomap_jit::compile_baseline;
+/// use nomap_runtime::Runtime;
+///
+/// let program = nomap_bytecode::compile_program("function id(x) { return x; }")?;
+/// let mut rt = Runtime::new();
+/// let code = compile_baseline(program.function_named("id").unwrap(), &mut rt);
+/// assert_eq!(code.bc_labels.len(), program.function_named("id").unwrap().code.len());
+/// # Ok::<(), nomap_bytecode::CompileError>(())
+/// ```
+pub fn compile_baseline(func: &Function, rt: &mut Runtime) -> CompiledFn {
+    let mut g = Gen { code: Vec::new(), bc_labels: vec![Label(0); func.code.len()], max_reg: ARGS };
+    for (i, op) in func.code.iter().enumerate() {
+        g.bc_labels[i] = Label(g.code.len() as u32);
+        g.op(func, rt, *op);
+    }
+    // Resolve pending branch targets from bytecode to code indices.
+    for inst in &mut g.code {
+        let fix = |l: &mut Label| {
+            if l.0 & PENDING != 0 {
+                *l = g.bc_labels[(l.0 & !PENDING) as usize];
+            }
+        };
+        match inst {
+            MachInst::Jump { target } => fix(target),
+            MachInst::BranchNz { target, .. } | MachInst::BranchZ { target, .. } => fix(target),
+            _ => {}
+        }
+    }
+    rt.take_charged(); // global-slot setup is link-time work
+    CompiledFn {
+        func: func.id,
+        tier: nomap_machine::Tier::Baseline,
+        code: g.code,
+        reg_count: g.max_reg + 16,
+        frame_words: func.register_count as u32,
+        stack_maps: Vec::new(),
+        bc_labels: g.bc_labels,
+        txn_aware: false,
+        txn_callee: false,
+    }
+}
+
+struct Gen {
+    code: Vec<MachInst>,
+    bc_labels: Vec<Label>,
+    max_reg: u32,
+}
+
+impl Gen {
+    fn emit(&mut self, i: MachInst) {
+        self.code.push(i);
+    }
+
+    fn load(&mut self, dst: MReg, reg: nomap_bytecode::Reg) {
+        self.emit(MachInst::Load { dst, base: FP, offset: reg.0 as i64 });
+    }
+
+    fn store(&mut self, src: MReg, reg: nomap_bytecode::Reg) {
+        self.emit(MachInst::Store { src, base: FP, offset: reg.0 as i64 });
+    }
+
+    fn store_imm(&mut self, v: Value, reg: nomap_bytecode::Reg) {
+        self.emit(MachInst::MovImm { dst: S1, imm: v.to_bits() });
+        self.store(S1, reg);
+    }
+
+    fn pending(bc: u32) -> Label {
+        Label(bc | PENDING)
+    }
+
+    fn op(&mut self, func: &Function, rt: &mut Runtime, op: Op) {
+        let fid = func.id;
+        match op {
+            Op::LoadConst { dst, cid } => {
+                let v = match &func.constants[cid.0 as usize] {
+                    nomap_bytecode::Const::Num(n) => Value::new_number(*n),
+                    nomap_bytecode::Const::Str(s) => {
+                        let id = rt.strings.intern(s);
+                        rt.string_value(id).expect("string interning")
+                    }
+                };
+                self.store_imm(v, dst);
+            }
+            Op::LoadInt { dst, value } => self.store_imm(Value::new_int32(value), dst),
+            Op::LoadBool { dst, value } => self.store_imm(Value::new_bool(value), dst),
+            Op::LoadUndefined { dst } => self.store_imm(Value::UNDEFINED, dst),
+            Op::LoadNull { dst } => self.store_imm(Value::NULL, dst),
+            Op::Mov { dst, src } => {
+                self.load(S1, src);
+                self.store(S1, dst);
+            }
+            Op::Binary { op, dst, a, b, site } => {
+                self.load(S1, a);
+                self.load(S2, b);
+                self.emit(MachInst::CallRt {
+                    dst: S3,
+                    func: RuntimeFn::Binary(op),
+                    args: vec![S1, S2],
+                    site: Some((fid, site)),
+                });
+                self.store(S3, dst);
+            }
+            Op::Unary { op, dst, a, site } => {
+                self.load(S1, a);
+                self.emit(MachInst::CallRt {
+                    dst: S3,
+                    func: RuntimeFn::Unary(op),
+                    args: vec![S1],
+                    site: Some((fid, site)),
+                });
+                self.store(S3, dst);
+            }
+            Op::Jump { target } => self.emit(MachInst::Jump { target: Self::pending(target) }),
+            Op::JumpIfTrue { cond, target } | Op::JumpIfFalse { cond, target } => {
+                self.load(S1, cond);
+                self.emit(MachInst::CallRt {
+                    dst: S2,
+                    func: RuntimeFn::ToBoolean,
+                    args: vec![S1],
+                    site: None,
+                });
+                self.emit(MachInst::CmpImm {
+                    dst: S3,
+                    a: S2,
+                    imm: Value::TRUE.to_bits(),
+                    cond: Cond::Eq,
+                });
+                let t = Self::pending(target);
+                if matches!(op, Op::JumpIfTrue { .. }) {
+                    self.emit(MachInst::BranchNz { cond: S3, target: t });
+                } else {
+                    self.emit(MachInst::BranchZ { cond: S3, target: t });
+                }
+            }
+            Op::NewObject { dst } => {
+                self.emit(MachInst::CallRt {
+                    dst: S3,
+                    func: RuntimeFn::NewObject,
+                    args: vec![],
+                    site: None,
+                });
+                self.store(S3, dst);
+            }
+            Op::NewArray { dst, len } => {
+                self.load(S1, len);
+                self.emit(MachInst::CallRt {
+                    dst: S3,
+                    func: RuntimeFn::NewArray,
+                    args: vec![S1],
+                    site: None,
+                });
+                self.store(S3, dst);
+            }
+            Op::GetProp { dst, obj, name, site } => {
+                self.load(S1, obj);
+                self.emit(MachInst::CallRt {
+                    dst: S3,
+                    func: RuntimeFn::GetProp(name),
+                    args: vec![S1],
+                    site: Some((fid, site)),
+                });
+                self.store(S3, dst);
+            }
+            Op::PutProp { obj, name, val, site } => {
+                self.load(S1, obj);
+                self.load(S2, val);
+                self.emit(MachInst::CallRt {
+                    dst: S3,
+                    func: RuntimeFn::PutProp(name),
+                    args: vec![S1, S2],
+                    site: Some((fid, site)),
+                });
+            }
+            Op::GetIndex { dst, arr, idx, site } => {
+                self.load(S1, arr);
+                self.load(S2, idx);
+                self.emit(MachInst::CallRt {
+                    dst: S3,
+                    func: RuntimeFn::GetIndex,
+                    args: vec![S1, S2],
+                    site: Some((fid, site)),
+                });
+                self.store(S3, dst);
+            }
+            Op::PutIndex { arr, idx, val, site } => {
+                self.load(S1, arr);
+                self.load(S2, idx);
+                let v = MReg(ARGS);
+                self.load(v, val);
+                self.emit(MachInst::CallRt {
+                    dst: S3,
+                    func: RuntimeFn::PutIndex,
+                    args: vec![S1, S2, v],
+                    site: Some((fid, site)),
+                });
+            }
+            Op::GetGlobal { dst, name, .. } => {
+                let addr = rt.global_slot(name);
+                self.emit(MachInst::LoadGlobal { dst: S1, addr });
+                self.store(S1, dst);
+            }
+            Op::PutGlobal { name, src } => {
+                let addr = rt.global_slot(name);
+                self.load(S1, src);
+                self.emit(MachInst::StoreGlobal { src: S1, addr });
+            }
+            Op::Call { dst, func: callee, argv, argc, .. } => {
+                let mut args = Vec::with_capacity(argc as usize);
+                for i in 0..argc as u32 {
+                    let r = MReg(ARGS + i);
+                    self.max_reg = self.max_reg.max(ARGS + i + 1);
+                    self.load(r, nomap_bytecode::Reg(argv.0 + i as u16));
+                    args.push(r);
+                }
+                self.emit(MachInst::CallJs { dst: S3, callee, args });
+                self.store(S3, dst);
+            }
+            Op::CallIntrinsic { dst, intr, argv, argc, site } => {
+                let mut args = Vec::with_capacity(argc as usize);
+                for i in 0..argc as u32 {
+                    let r = MReg(ARGS + i);
+                    self.max_reg = self.max_reg.max(ARGS + i + 1);
+                    self.load(r, nomap_bytecode::Reg(argv.0 + i as u16));
+                    args.push(r);
+                }
+                self.emit(MachInst::CallRt {
+                    dst: S3,
+                    func: RuntimeFn::Intrinsic(intr),
+                    args,
+                    site: Some((fid, site)),
+                });
+                self.store(S3, dst);
+            }
+            Op::Return { src } => {
+                self.load(S1, src);
+                self.emit(MachInst::Ret { src: S1 });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomap_bytecode::compile_program;
+
+    #[test]
+    fn every_bytecode_index_has_a_label() {
+        let p = compile_program(
+            "function f(n) { var s = 0; for (var i = 0; i < n; i++) { s += i; } return s; }",
+        )
+        .unwrap();
+        let mut rt = Runtime::new();
+        let f = p.function_named("f").unwrap();
+        let c = compile_baseline(f, &mut rt);
+        assert_eq!(c.bc_labels.len(), f.code.len());
+        // Labels are monotonically nondecreasing code offsets.
+        for w in c.bc_labels.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert_eq!(c.frame_words, f.register_count as u32);
+    }
+
+    #[test]
+    fn branches_are_resolved() {
+        let p = compile_program(
+            "function f(n) { if (n > 1) { return 1; } return 2; }",
+        )
+        .unwrap();
+        let mut rt = Runtime::new();
+        let c = compile_baseline(p.function_named("f").unwrap(), &mut rt);
+        for inst in &c.code {
+            if let Some(t) = match inst {
+                MachInst::Jump { target } => Some(target),
+                MachInst::BranchNz { target, .. } | MachInst::BranchZ { target, .. } => {
+                    Some(target)
+                }
+                _ => None,
+            } {
+                assert_eq!(t.0 & PENDING, 0, "unresolved label");
+                assert!((t.0 as usize) < c.code.len());
+            }
+        }
+    }
+
+    #[test]
+    fn ends_with_return() {
+        let p = compile_program("var x = 1;").unwrap();
+        let mut rt = Runtime::new();
+        let c = compile_baseline(&p.functions[0], &mut rt);
+        assert!(matches!(c.code.last(), Some(MachInst::Ret { .. })));
+    }
+}

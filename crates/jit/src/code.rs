@@ -1,0 +1,72 @@
+//! Compiled-code representation shared by all tiers.
+
+use nomap_bytecode::FuncId;
+use nomap_machine::{Label, MReg, MachInst, Tier};
+
+/// How a machine register's contents map back to a boxed value when a
+/// deoptimization materializes the Baseline frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueRepr {
+    /// Already NaN-boxed bits.
+    Boxed,
+    /// Raw int32 payload.
+    I32,
+    /// Raw f64 bits.
+    F64,
+    /// 0/1.
+    Bool,
+}
+
+/// One Stack Map entry: everything needed to re-enter the Baseline tier at
+/// bytecode index `bc` (paper §II-B: "a structure that describes what
+/// variables are in what registers and in the stack").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackMapEntry {
+    /// Bytecode index to resume at.
+    pub bc: u32,
+    /// For each bytecode register: the machine register holding its value
+    /// and how to rebox it; `None` when dead at this point.
+    pub regs: Vec<Option<(MReg, ValueRepr)>>,
+}
+
+/// A function compiled to machine code by some tier.
+#[derive(Debug, Clone)]
+pub struct CompiledFn {
+    /// Source function.
+    pub func: FuncId,
+    /// Which tier produced this code.
+    pub tier: Tier,
+    /// The instructions.
+    pub code: Vec<MachInst>,
+    /// Number of machine registers used.
+    pub reg_count: u32,
+    /// Stack-frame words (Baseline keeps bytecode registers in simulated
+    /// stack memory; optimized tiers are frameless).
+    pub frame_words: u32,
+    /// Stack maps, indexed by `SmpId`.
+    pub stack_maps: Vec<StackMapEntry>,
+    /// Baseline only: machine label for each bytecode index (the OSR entry
+    /// points the paper's Figure 5 calls `Entry_n`).
+    pub bc_labels: Vec<Label>,
+    /// True when compiled with NoMap transaction awareness; code from
+    /// unaware functions executing inside a transaction is the paper's
+    /// `TMUnopt` category.
+    pub txn_aware: bool,
+    /// True for the transaction-aware *callee* variant (every check is an
+    /// abort of the caller's transaction; no transactions of its own).
+    /// Only dispatched while a transaction is active.
+    pub txn_callee: bool,
+}
+
+impl CompiledFn {
+    /// Static instruction count (reporting).
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when the function has no instructions (never the case for
+    /// well-formed output).
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}

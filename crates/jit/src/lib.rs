@@ -1,0 +1,11 @@
+//! Code generators: the Baseline tier (generic macro-expanded bytecode) and
+//! the shared IR → machine lowering used by the DFG and FTL tiers,
+//! including stack-map emission for OSR exit.
+
+mod baseline;
+mod code;
+mod lower;
+
+pub use baseline::compile_baseline;
+pub use code::{CompiledFn, StackMapEntry, ValueRepr};
+pub use lower::{lower, CodegenQuality};

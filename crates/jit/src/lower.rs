@@ -1,0 +1,722 @@
+//! IR → machine lowering, shared by the DFG and FTL tiers.
+//!
+//! Calling convention: `MReg(0)` is scratch; arguments arrive in
+//! `MReg(1)..MReg(1+argc)`. Every IR value gets its own virtual register
+//! (value-preserving checks alias their input's register, like a real
+//! allocator coalescing). Phis become parallel moves on the incoming edges,
+//! with trampoline blocks inserted on critical edges.
+
+use std::collections::HashMap;
+
+use nomap_ir::node::{FBinOp, IBinOp, InstKind};
+use nomap_ir::{CheckMode, IrFunc, OsrState, Ty, ValueId};
+use nomap_machine::{
+    CheckKind, Cond, Label, MReg, MachInst, SmpId, Tier,
+};
+use nomap_machine::{Alu64Op, IAlu32Op};
+use nomap_runtime::{pack_header, HeapKind, Value};
+
+use crate::code::{CompiledFn, StackMapEntry, ValueRepr};
+
+/// Back-end quality knob. The DFG back end models JavaScriptCore's
+/// non-LLVM instruction selector by emitting one filler instruction after
+/// each compute/memory operation (paper Table I: FTL's LLVM back end alone
+/// is a large part of the FTL-over-DFG gap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodegenQuality {
+    /// DFG back end.
+    Dfg,
+    /// FTL (LLVM-grade) back end.
+    Ftl,
+}
+
+/// Scratch register (parallel-move temporary).
+const SCRATCH: MReg = MReg(0);
+
+const INT32_TAG: u64 = 0xFFFF_0000_0000_0000;
+const DOUBLE_OFFSET: u64 = 0x0001_0000_0000_0000;
+
+/// Branch-target key before final label resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Target {
+    Block(u32),
+    Tramp(u32),
+}
+
+/// Lowers `f` to machine code.
+///
+/// # Panics
+///
+/// Panics on malformed IR (undefined operands, missing OSR state on an SMP).
+pub fn lower(f: &IrFunc, quality: CodegenQuality, tier: Tier, txn_aware: bool) -> CompiledFn {
+    Lowerer {
+        f,
+        quality,
+        code: Vec::new(),
+        reg_of: vec![None; f.insts.len()],
+        next_reg: 1 + f.param_count as u32,
+        block_pos: HashMap::new(),
+        tramp_pos: HashMap::new(),
+        fixups: Vec::new(),
+        stack_maps: Vec::new(),
+        trampolines: Vec::new(),
+    }
+    .run(tier, txn_aware)
+}
+
+struct Lowerer<'a> {
+    f: &'a IrFunc,
+    quality: CodegenQuality,
+    code: Vec<MachInst>,
+    reg_of: Vec<Option<MReg>>,
+    next_reg: u32,
+    block_pos: HashMap<u32, u32>,
+    tramp_pos: HashMap<u32, u32>,
+    fixups: Vec<(usize, Target)>,
+    stack_maps: Vec<StackMapEntry>,
+    /// (moves, final target block) per trampoline id.
+    trampolines: Vec<(Vec<(MReg, MReg)>, u32)>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn run(mut self, tier: Tier, txn_aware: bool) -> CompiledFn {
+        let order = self.f.rpo();
+        // Pre-assign registers to phis and params so forward references on
+        // back edges resolve.
+        for &b in &order {
+            for &v in &self.f.blocks[b.0 as usize].insts {
+                match self.f.inst(v).kind {
+                    InstKind::Phi { .. } => {
+                        let r = self.fresh();
+                        self.reg_of[v.0 as usize] = Some(r);
+                    }
+                    InstKind::Param(i) => {
+                        self.reg_of[v.0 as usize] = Some(MReg(1 + i as u32));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Collect phi edge moves.
+        let mut edge_moves: HashMap<(u32, u32), Vec<(MReg, ValueId)>> = HashMap::new();
+        for &b in &order {
+            let block = &self.f.blocks[b.0 as usize];
+            for &v in &block.insts {
+                if let InstKind::Phi { inputs, .. } = &self.f.inst(v).kind {
+                    let dst = self.reg_of[v.0 as usize].expect("phi reg");
+                    for (pi, &input) in inputs.iter().enumerate() {
+                        let p = block.preds[pi];
+                        edge_moves
+                            .entry((p.0, b.0))
+                            .or_default()
+                            .push((dst, input));
+                    }
+                }
+            }
+        }
+
+        for (oi, &b) in order.iter().enumerate() {
+            self.block_pos.insert(b.0, self.code.len() as u32);
+            let next = order.get(oi + 1).map(|n| n.0);
+            let insts = self.f.blocks[b.0 as usize].insts.clone();
+            for &v in &insts {
+                let inst = self.f.inst(v);
+                if inst.is_terminator() {
+                    self.lower_terminator(b.0, v, &edge_moves, next);
+                } else {
+                    self.lower_inst(v);
+                }
+            }
+        }
+        // Emit trampolines.
+        for ti in 0..self.trampolines.len() {
+            self.tramp_pos.insert(ti as u32, self.code.len() as u32);
+            let (moves, target) = self.trampolines[ti].clone();
+            self.emit_parallel_moves(&moves);
+            let at = self.code.len();
+            self.code.push(MachInst::Jump { target: Label(0) });
+            self.fixups.push((at, Target::Block(target)));
+        }
+        // Patch branch targets.
+        for (at, key) in std::mem::take(&mut self.fixups) {
+            let pos = match key {
+                Target::Block(b) => self.block_pos[&b],
+                Target::Tramp(t) => self.tramp_pos[&t],
+            };
+            match &mut self.code[at] {
+                MachInst::Jump { target }
+                | MachInst::BranchNz { target, .. }
+                | MachInst::BranchZ { target, .. } => *target = Label(pos),
+                other => panic!("fixup on non-branch {other:?}"),
+            }
+        }
+        CompiledFn {
+            func: self.f.func,
+            tier,
+            code: self.code,
+            reg_count: self.next_reg,
+            frame_words: 0,
+            stack_maps: self.stack_maps,
+            bc_labels: Vec::new(),
+            txn_aware,
+            txn_callee: false,
+        }
+    }
+
+    fn fresh(&mut self) -> MReg {
+        let r = MReg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    fn reg(&self, v: ValueId) -> MReg {
+        self.reg_of[v.0 as usize]
+            .unwrap_or_else(|| panic!("value {v} used before definition"))
+    }
+
+    fn def(&mut self, v: ValueId) -> MReg {
+        if let Some(r) = self.reg_of[v.0 as usize] {
+            return r;
+        }
+        let r = self.fresh();
+        self.reg_of[v.0 as usize] = Some(r);
+        r
+    }
+
+    fn alias(&mut self, v: ValueId, to: ValueId) {
+        let r = self.reg(to);
+        self.reg_of[v.0 as usize] = Some(r);
+    }
+
+    fn emit(&mut self, i: MachInst) {
+        self.code.push(i);
+    }
+
+    /// DFG filler: models the weaker non-LLVM back end.
+    fn pad(&mut self) {
+        if self.quality == CodegenQuality::Dfg {
+            self.code.push(MachInst::Nop);
+        }
+    }
+
+    fn repr_of(&self, v: ValueId) -> ValueRepr {
+        match self.f.inst(v).ty() {
+            Ty::I32 => ValueRepr::I32,
+            Ty::F64 => ValueRepr::F64,
+            Ty::Bool => ValueRepr::Bool,
+            _ => ValueRepr::Boxed,
+        }
+    }
+
+    fn smp(&mut self, osr: &OsrState) -> SmpId {
+        let regs = osr
+            .regs
+            .iter()
+            .map(|slot| slot.map(|v| (self.reg(v), self.repr_of(v))))
+            .collect();
+        self.stack_maps.push(StackMapEntry { bc: osr.bc, regs });
+        SmpId(self.stack_maps.len() as u32 - 1)
+    }
+
+    /// Emits the guard branch for a check whose failure condition is in
+    /// `cond`.
+    fn guard(&mut self, mode: CheckMode, cond: MReg, kind: CheckKind, osr: Option<&OsrState>) {
+        match mode {
+            CheckMode::Deopt => {
+                let osr = osr.expect("deopt check carries OSR state");
+                let smp = self.smp(osr);
+                self.emit(MachInst::DeoptIf { cond, smp, kind });
+            }
+            CheckMode::Abort => self.emit(MachInst::AbortIf { cond, kind }),
+            CheckMode::Sof | CheckMode::Removed => {}
+        }
+    }
+
+    fn overflow_guard(&mut self, mode: CheckMode, osr: Option<&OsrState>) {
+        match mode {
+            CheckMode::Deopt => {
+                let osr = osr.expect("deopt check carries OSR state");
+                let smp = self.smp(osr);
+                self.emit(MachInst::DeoptIfOverflow { smp });
+            }
+            CheckMode::Abort => self.emit(MachInst::AbortIfOverflow),
+            CheckMode::Sof | CheckMode::Removed => {}
+        }
+    }
+
+    fn lower_inst(&mut self, v: ValueId) {
+        let inst = self.f.inst(v).clone();
+        let osr = inst.osr.as_ref();
+        match &inst.kind {
+            InstKind::Nop | InstKind::Phi { .. } | InstKind::Param(_) => {}
+            InstKind::Const(c) => {
+                let dst = self.def(v);
+                self.emit(MachInst::MovImm { dst, imm: c.to_bits() });
+            }
+            InstKind::ConstI32(c) => {
+                let dst = self.def(v);
+                self.emit(MachInst::MovImm { dst, imm: *c as i64 as u64 });
+            }
+            InstKind::ConstF64(c) => {
+                let dst = self.def(v);
+                self.emit(MachInst::MovImm { dst, imm: c.to_bits() });
+            }
+            InstKind::ConstRaw(c) => {
+                let dst = self.def(v);
+                self.emit(MachInst::MovImm { dst, imm: *c });
+            }
+            InstKind::ConstBool(c) => {
+                let dst = self.def(v);
+                self.emit(MachInst::MovImm { dst, imm: *c as u64 });
+            }
+            InstKind::CheckInt32 { v: inner, mode } => {
+                let rv = self.reg(*inner);
+                if *mode != CheckMode::Removed {
+                    let c = SCRATCH;
+                    self.emit(MachInst::CmpImm { dst: c, a: rv, imm: INT32_TAG, cond: Cond::Below });
+                    self.guard(*mode, c, CheckKind::Type, osr);
+                }
+                let dst = self.def(v);
+                self.emit(MachInst::UnboxI32 { dst, src: rv });
+            }
+            InstKind::CheckNumber { v: inner, mode } => {
+                let rv = self.reg(*inner);
+                if *mode != CheckMode::Removed {
+                    let c = SCRATCH;
+                    self.emit(MachInst::CmpImm {
+                        dst: c,
+                        a: rv,
+                        imm: DOUBLE_OFFSET,
+                        cond: Cond::Below,
+                    });
+                    self.guard(*mode, c, CheckKind::Type, osr);
+                }
+                let dst = self.def(v);
+                self.emit(MachInst::ToF64 { dst, src: rv });
+            }
+            InstKind::CheckBool { v: inner, mode } => {
+                let rv = self.reg(*inner);
+                if *mode != CheckMode::Removed {
+                    let t = SCRATCH;
+                    self.emit(MachInst::Alu64Imm { op: Alu64Op::And, dst: t, a: rv, imm: !1u64 });
+                    self.emit(MachInst::CmpImm {
+                        dst: t,
+                        a: t,
+                        imm: Value::FALSE.to_bits() & !1,
+                        cond: Cond::Ne,
+                    });
+                    self.guard(*mode, t, CheckKind::Type, osr);
+                }
+                let dst = self.def(v);
+                self.emit(MachInst::Alu64Imm { op: Alu64Op::And, dst, a: rv, imm: 1 });
+            }
+            InstKind::CheckShape { v: inner, shape, mode } => {
+                let rv = self.reg(*inner);
+                if *mode != CheckMode::Removed {
+                    let hdr = SCRATCH;
+                    self.emit(MachInst::Load { dst: hdr, base: rv, offset: 0 });
+                    self.emit(MachInst::CmpImm {
+                        dst: hdr,
+                        a: hdr,
+                        imm: pack_header(HeapKind::Object, *shape),
+                        cond: Cond::Ne,
+                    });
+                    self.guard(*mode, hdr, CheckKind::Property, osr);
+                }
+                self.alias(v, *inner);
+            }
+            InstKind::CheckArray { v: inner, mode } => {
+                self.lower_kind_check(v, *inner, *mode, HeapKind::Array, osr);
+            }
+            InstKind::CheckString { v: inner, mode } => {
+                self.lower_kind_check(v, *inner, *mode, HeapKind::Str, osr);
+            }
+            InstKind::CheckF64ToI32 { v: inner, mode } => {
+                let rv = self.reg(*inner);
+                let dst = self.def(v);
+                self.emit(MachInst::CvtF64ToI32 { dst, src: rv });
+                if *mode != CheckMode::Removed {
+                    let back = SCRATCH;
+                    self.emit(MachInst::CvtI32ToF64 { dst: back, src: dst });
+                    self.emit(MachInst::CmpI64 { dst: back, a: back, b: rv, cond: Cond::Ne });
+                    self.guard(*mode, back, CheckKind::Type, osr);
+                }
+            }
+            InstKind::BoxI32(inner) => {
+                let src = self.reg(*inner);
+                let dst = self.def(v);
+                self.emit(MachInst::BoxI32 { dst, src });
+            }
+            InstKind::BoxF64(inner) => {
+                let src = self.reg(*inner);
+                let dst = self.def(v);
+                self.emit(MachInst::BoxF64 { dst, src });
+            }
+            InstKind::BoxBool(inner) => {
+                let src = self.reg(*inner);
+                let dst = self.def(v);
+                self.emit(MachInst::BoxBool { dst, src });
+            }
+            InstKind::I32ToF64(inner) => {
+                let src = self.reg(*inner);
+                let dst = self.def(v);
+                self.emit(MachInst::CvtI32ToF64 { dst, src });
+            }
+            InstKind::CheckedAddI32 { a, b, mode } => {
+                let (ra, rb) = (self.reg(*a), self.reg(*b));
+                let dst = self.def(v);
+                self.emit(MachInst::AddI32 { dst, a: ra, b: rb });
+                self.overflow_guard(*mode, osr);
+                self.pad();
+            }
+            InstKind::CheckedSubI32 { a, b, mode } => {
+                let (ra, rb) = (self.reg(*a), self.reg(*b));
+                let dst = self.def(v);
+                self.emit(MachInst::SubI32 { dst, a: ra, b: rb });
+                self.overflow_guard(*mode, osr);
+                self.pad();
+            }
+            InstKind::CheckedMulI32 { a, b, mode } => {
+                let (ra, rb) = (self.reg(*a), self.reg(*b));
+                let dst = self.def(v);
+                self.emit(MachInst::MulI32 { dst, a: ra, b: rb });
+                self.overflow_guard(*mode, osr);
+                self.pad();
+            }
+            InstKind::CheckedNegI32 { a, mode } => {
+                let ra = self.reg(*a);
+                let dst = self.def(v);
+                self.emit(MachInst::NegI32 { dst, a: ra });
+                self.overflow_guard(*mode, osr);
+                self.pad();
+            }
+            InstKind::IBin { op, a, b } => {
+                let (ra, rb) = (self.reg(*a), self.reg(*b));
+                let dst = self.def(v);
+                let mop = match op {
+                    IBinOp::And => IAlu32Op::And,
+                    IBinOp::Or => IAlu32Op::Or,
+                    IBinOp::Xor => IAlu32Op::Xor,
+                    IBinOp::Shl => IAlu32Op::Shl,
+                    IBinOp::Sar => IAlu32Op::Sar,
+                };
+                self.emit(MachInst::IAlu32 { op: mop, dst, a: ra, b: rb });
+                self.pad();
+            }
+            InstKind::CheckedUShr { a, b, mode } => {
+                let (ra, rb) = (self.reg(*a), self.reg(*b));
+                let dst = self.def(v);
+                self.emit(MachInst::UShr32 { dst, a: ra, b: rb });
+                if *mode != CheckMode::Removed {
+                    let c = SCRATCH;
+                    self.emit(MachInst::CmpImm { dst: c, a: dst, imm: 0, cond: Cond::Lt });
+                    self.guard(*mode, c, CheckKind::Other, osr);
+                }
+                self.pad();
+            }
+            InstKind::FBin { op, a, b } => {
+                let (ra, rb) = (self.reg(*a), self.reg(*b));
+                let dst = self.def(v);
+                let fop = match op {
+                    FBinOp::Add => nomap_machine::FAluOp::Add,
+                    FBinOp::Sub => nomap_machine::FAluOp::Sub,
+                    FBinOp::Mul => nomap_machine::FAluOp::Mul,
+                    FBinOp::Div => nomap_machine::FAluOp::Div,
+                    FBinOp::Mod => nomap_machine::FAluOp::Mod,
+                };
+                self.emit(MachInst::FAlu { op: fop, dst, a: ra, b: rb });
+                self.pad();
+            }
+            InstKind::FNeg(a) => {
+                let ra = self.reg(*a);
+                let dst = self.def(v);
+                self.emit(MachInst::FNeg { dst, a: ra });
+            }
+            InstKind::ICmp { cond, a, b } => {
+                let (ra, rb) = (self.reg(*a), self.reg(*b));
+                let dst = self.def(v);
+                self.emit(MachInst::CmpI64 { dst, a: ra, b: rb, cond: *cond });
+            }
+            InstKind::FCmp { cond, a, b } => {
+                let (ra, rb) = (self.reg(*a), self.reg(*b));
+                let dst = self.def(v);
+                self.emit(MachInst::CmpF64 { dst, a: ra, b: rb, cond: *cond });
+            }
+            InstKind::BNot(a) => {
+                let ra = self.reg(*a);
+                let dst = self.def(v);
+                self.emit(MachInst::Alu64Imm { op: Alu64Op::Xor, dst, a: ra, imm: 1 });
+            }
+            InstKind::MathOp { intr, args } => {
+                let regs: Vec<MReg> = args.iter().map(|&a| self.reg(a)).collect();
+                let dst = self.def(v);
+                self.emit(MachInst::MathF64 { intr: *intr, dst, args: regs });
+                self.pad();
+            }
+            InstKind::Guard { kind, cond, mode } => {
+                if *mode != CheckMode::Removed && *mode != CheckMode::Sof {
+                    let c = self.reg(*cond);
+                    self.guard(*mode, c, *kind, osr);
+                }
+            }
+            InstKind::LoadField { base, offset, .. } => {
+                let rb = self.reg(*base);
+                let dst = self.def(v);
+                self.emit(MachInst::Load { dst, base: rb, offset: *offset as i64 });
+                self.pad();
+            }
+            InstKind::StoreField { base, offset, v: val, .. } => {
+                let rb = self.reg(*base);
+                let rv = self.reg(*val);
+                self.emit(MachInst::Store { src: rv, base: rb, offset: *offset as i64 });
+                self.pad();
+            }
+            InstKind::LoadElem { storage, index } => {
+                let rs = self.reg(*storage);
+                let ri = self.reg(*index);
+                let dst = self.def(v);
+                self.emit(MachInst::LoadIdx { dst, base: rs, index: ri });
+                self.pad();
+            }
+            InstKind::StoreElem { storage, index, v: val } => {
+                let rs = self.reg(*storage);
+                let ri = self.reg(*index);
+                let rv = self.reg(*val);
+                self.emit(MachInst::StoreIdx { src: rv, base: rs, index: ri });
+                self.pad();
+            }
+            InstKind::LoadGlobal { addr, .. } => {
+                let dst = self.def(v);
+                self.emit(MachInst::LoadGlobal { dst, addr: *addr });
+                self.pad();
+            }
+            InstKind::StoreGlobal { addr, v: val, .. } => {
+                let rv = self.reg(*val);
+                self.emit(MachInst::StoreGlobal { src: rv, addr: *addr });
+                self.pad();
+            }
+            InstKind::CallRuntime { func, args, site } => {
+                let regs: Vec<MReg> = args.iter().map(|&a| self.reg(a)).collect();
+                let dst = self.def(v);
+                self.emit(MachInst::CallRt { dst, func: *func, args: regs, site: *site });
+            }
+            InstKind::CallJs { callee, args } => {
+                let regs: Vec<MReg> = args.iter().map(|&a| self.reg(a)).collect();
+                let dst = self.def(v);
+                self.emit(MachInst::CallJs { dst, callee: *callee, args: regs });
+            }
+            InstKind::XBegin => {
+                let osr = osr.expect("XBegin carries fallback OSR state");
+                let smp = self.smp(osr);
+                self.emit(MachInst::XBegin { fallback: smp });
+            }
+            InstKind::XEnd => self.emit(MachInst::XEnd),
+            InstKind::Jump { .. } | InstKind::Branch { .. } | InstKind::Return { .. } => {
+                unreachable!("terminators lowered separately")
+            }
+        }
+    }
+
+    fn lower_kind_check(
+        &mut self,
+        v: ValueId,
+        inner: ValueId,
+        mode: CheckMode,
+        kind: HeapKind,
+        osr: Option<&OsrState>,
+    ) {
+        let rv = self.reg(inner);
+        if mode != CheckMode::Removed {
+            let hdr = SCRATCH;
+            self.emit(MachInst::Load { dst: hdr, base: rv, offset: 0 });
+            self.emit(MachInst::Alu64Imm { op: Alu64Op::And, dst: hdr, a: hdr, imm: 7 });
+            self.emit(MachInst::CmpImm { dst: hdr, a: hdr, imm: kind as u64, cond: Cond::Ne });
+            self.guard(mode, hdr, CheckKind::Type, osr);
+        }
+        self.alias(v, inner);
+    }
+
+    fn lower_terminator(
+        &mut self,
+        b: u32,
+        v: ValueId,
+        edge_moves: &HashMap<(u32, u32), Vec<(MReg, ValueId)>>,
+        next: Option<u32>,
+    ) {
+        let kind = self.f.inst(v).kind.clone();
+        match kind {
+            InstKind::Return { v: val } => {
+                let r = self.reg(val);
+                self.emit(MachInst::Ret { src: r });
+            }
+            InstKind::Jump { target } => {
+                if let Some(moves) = edge_moves.get(&(b, target.0)) {
+                    let resolved: Vec<(MReg, MReg)> =
+                        moves.iter().map(|&(d, s)| (d, self.reg(s))).collect();
+                    self.emit_parallel_moves(&resolved);
+                }
+                if next != Some(target.0) {
+                    let at = self.code.len();
+                    self.emit(MachInst::Jump { target: Label(0) });
+                    self.fixups.push((at, Target::Block(target.0)));
+                }
+            }
+            InstKind::Branch { cond, then_b, else_b } => {
+                let c = self.reg(cond);
+                let then_t = self.edge_target(b, then_b.0, edge_moves);
+                let else_t = self.edge_target(b, else_b.0, edge_moves);
+                let at = self.code.len();
+                self.emit(MachInst::BranchNz { cond: c, target: Label(0) });
+                self.fixups.push((at, then_t));
+                match else_t {
+                    Target::Block(eb) if next == Some(eb) => {}
+                    t => {
+                        let at = self.code.len();
+                        self.emit(MachInst::Jump { target: Label(0) });
+                        self.fixups.push((at, t));
+                    }
+                }
+            }
+            other => panic!("unexpected terminator {other:?}"),
+        }
+    }
+
+    /// Branch edge target: direct block, or a trampoline when the edge
+    /// needs phi moves (critical edge).
+    fn edge_target(
+        &mut self,
+        from: u32,
+        to: u32,
+        edge_moves: &HashMap<(u32, u32), Vec<(MReg, ValueId)>>,
+    ) -> Target {
+        match edge_moves.get(&(from, to)) {
+            None => Target::Block(to),
+            Some(moves) => {
+                let resolved: Vec<(MReg, MReg)> =
+                    moves.iter().map(|&(d, s)| (d, self.reg(s))).collect();
+                let id = self.trampolines.len() as u32;
+                self.trampolines.push((resolved, to));
+                Target::Tramp(id)
+            }
+        }
+    }
+
+    /// Emits a parallel move set, breaking cycles with the scratch register.
+    fn emit_parallel_moves(&mut self, moves: &[(MReg, MReg)]) {
+        let mut pending: Vec<(MReg, MReg)> =
+            moves.iter().copied().filter(|(d, s)| d != s).collect();
+        while !pending.is_empty() {
+            // Emit any move whose destination is not a pending source.
+            if let Some(i) = pending
+                .iter()
+                .position(|&(d, _)| !pending.iter().any(|&(_, s)| s == d))
+            {
+                let (d, s) = pending.remove(i);
+                self.emit(MachInst::Mov { dst: d, src: s });
+                continue;
+            }
+            // Cycle: rotate through the scratch register.
+            let (d, s) = pending[0];
+            self.emit(MachInst::Mov { dst: SCRATCH, src: s });
+            pending[0] = (d, SCRATCH);
+            // Redirect other reads of `s`... there are none in a simple
+            // cycle, but keep the invariant: replace sources equal to s
+            // is unnecessary since each reg is the source of exactly one
+            // phi move per edge in SSA.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomap_bytecode::FuncId;
+    use nomap_ir::node::Inst;
+
+    #[test]
+    fn parallel_move_cycle_uses_scratch() {
+        // Build a tiny IrFunc to get a Lowerer.
+        let f = IrFunc::new(FuncId(0), "t", 0, 0);
+        let mut l = Lowerer {
+            f: &f,
+            quality: CodegenQuality::Ftl,
+            code: Vec::new(),
+            reg_of: vec![],
+            next_reg: 10,
+            block_pos: HashMap::new(),
+            tramp_pos: HashMap::new(),
+            fixups: Vec::new(),
+            stack_maps: Vec::new(),
+            trampolines: Vec::new(),
+        };
+        // Swap: r1 <- r2, r2 <- r1.
+        l.emit_parallel_moves(&[(MReg(1), MReg(2)), (MReg(2), MReg(1))]);
+        // Simulate.
+        let mut regs = vec![0u64; 11];
+        regs[1] = 100;
+        regs[2] = 200;
+        for inst in &l.code {
+            if let MachInst::Mov { dst, src } = inst {
+                regs[dst.0 as usize] = regs[src.0 as usize];
+            }
+        }
+        assert_eq!(regs[1], 200);
+        assert_eq!(regs[2], 100);
+    }
+
+    #[test]
+    fn lowers_simple_function() {
+        // return 1 + 2 (as checked int32 arithmetic)
+        let mut f = IrFunc::new(FuncId(0), "t", 0, 0);
+        let a = f.append(f.entry, Inst::new(InstKind::ConstI32(1)));
+        let b = f.append(f.entry, Inst::new(InstKind::ConstI32(2)));
+        let s = f.append(
+            f.entry,
+            Inst::new(InstKind::CheckedAddI32 { a, b, mode: CheckMode::Abort }),
+        );
+        let boxed = f.append(f.entry, Inst::new(InstKind::BoxI32(s)));
+        f.append(f.entry, Inst::new(InstKind::Return { v: boxed }));
+        f.compute_preds();
+        let c = lower(&f, CodegenQuality::Ftl, Tier::Ftl, true);
+        assert!(matches!(c.code.last(), Some(MachInst::Ret { .. })));
+        assert!(c.code.iter().any(|i| matches!(i, MachInst::AddI32 { .. })));
+        assert!(c.code.iter().any(|i| matches!(i, MachInst::AbortIfOverflow)));
+        assert_eq!(c.stack_maps.len(), 0);
+    }
+
+    #[test]
+    fn deopt_guard_builds_stack_map() {
+        let mut f = IrFunc::new(FuncId(0), "t", 1, 2);
+        let p = f.append(f.entry, Inst::new(InstKind::Param(0)));
+        let mut chk = Inst::new(InstKind::CheckInt32 { v: p, mode: CheckMode::Deopt });
+        chk.osr = Some(OsrState { bc: 4, regs: vec![Some(p), None] });
+        let i = f.append(f.entry, chk);
+        let boxed = f.append(f.entry, Inst::new(InstKind::BoxI32(i)));
+        f.append(f.entry, Inst::new(InstKind::Return { v: boxed }));
+        f.compute_preds();
+        let c = lower(&f, CodegenQuality::Ftl, Tier::Ftl, false);
+        assert_eq!(c.stack_maps.len(), 1);
+        let sm = &c.stack_maps[0];
+        assert_eq!(sm.bc, 4);
+        assert_eq!(sm.regs.len(), 2);
+        assert!(matches!(sm.regs[0], Some((_, ValueRepr::Boxed))));
+        assert!(sm.regs[1].is_none());
+    }
+
+    #[test]
+    fn dfg_quality_emits_padding() {
+        let mut f = IrFunc::new(FuncId(0), "t", 0, 0);
+        let a = f.append(f.entry, Inst::new(InstKind::ConstI32(1)));
+        let b = f.append(f.entry, Inst::new(InstKind::ConstI32(2)));
+        let s = f.append(
+            f.entry,
+            Inst::new(InstKind::CheckedAddI32 { a, b, mode: CheckMode::Removed }),
+        );
+        let boxed = f.append(f.entry, Inst::new(InstKind::BoxI32(s)));
+        f.append(f.entry, Inst::new(InstKind::Return { v: boxed }));
+        f.compute_preds();
+        let ftl = lower(&f, CodegenQuality::Ftl, Tier::Ftl, false);
+        let dfg = lower(&f, CodegenQuality::Dfg, Tier::Dfg, false);
+        assert!(dfg.code.len() > ftl.code.len());
+    }
+}

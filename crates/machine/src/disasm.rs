@@ -1,0 +1,98 @@
+//! Human-readable machine-code listings.
+
+use std::fmt::Write as _;
+
+use crate::inst::MachInst;
+
+/// Renders one instruction.
+pub fn render(inst: &MachInst) -> String {
+    use MachInst::*;
+    match inst {
+        MovImm { dst, imm } => format!("{dst} = {imm:#x}"),
+        Mov { dst, src } => format!("{dst} = {src}"),
+        Alu64 { op, dst, a, b } => format!("{dst} = {a} {op:?} {b}"),
+        Alu64Imm { op, dst, a, imm } => format!("{dst} = {a} {op:?} {imm:#x}"),
+        AddI32 { dst, a, b } => format!("{dst} = addi32 {a}, {b}  ; sets OF/SOF"),
+        SubI32 { dst, a, b } => format!("{dst} = subi32 {a}, {b}  ; sets OF/SOF"),
+        MulI32 { dst, a, b } => format!("{dst} = muli32 {a}, {b}  ; sets OF/SOF"),
+        NegI32 { dst, a } => format!("{dst} = negi32 {a}  ; sets OF/SOF"),
+        FAlu { op, dst, a, b } => format!("{dst} = f64 {a} {op:?} {b}"),
+        FNeg { dst, a } => format!("{dst} = fneg {a}"),
+        CvtI32ToF64 { dst, src } => format!("{dst} = cvt_i32_f64 {src}"),
+        CvtF64ToI32 { dst, src } => format!("{dst} = cvt_f64_i32 {src}"),
+        UnboxI32 { dst, src } => format!("{dst} = unbox_i32 {src}"),
+        ToF64 { dst, src } => format!("{dst} = to_f64 {src}"),
+        BoxI32 { dst, src } => format!("{dst} = box_i32 {src}"),
+        BoxF64 { dst, src } => format!("{dst} = box_f64 {src}"),
+        BoxBool { dst, src } => format!("{dst} = box_bool {src}"),
+        IAlu32 { op, dst, a, b } => format!("{dst} = i32 {a} {op:?} {b}"),
+        UShr32 { dst, a, b } => format!("{dst} = ushr32 {a}, {b}"),
+        MathF64 { intr, dst, args } => {
+            let a: Vec<String> = args.iter().map(|r| r.to_string()).collect();
+            format!("{dst} = math {intr:?}({})", a.join(", "))
+        }
+        CmpI64 { dst, a, b, cond } => format!("{dst} = {a} {cond:?} {b}"),
+        CmpImm { dst, a, imm, cond } => format!("{dst} = {a} {cond:?} {imm:#x}"),
+        CmpF64 { dst, a, b, cond } => format!("{dst} = f64 {a} {cond:?} {b}"),
+        Jump { target } => format!("jump -> {}", target.0),
+        BranchNz { cond, target } => format!("if {cond} jump -> {}", target.0),
+        BranchZ { cond, target } => format!("if !{cond} jump -> {}", target.0),
+        Load { dst, base, offset } => format!("{dst} = mem[{base} + {offset}]"),
+        Store { src, base, offset } => format!("mem[{base} + {offset}] = {src}"),
+        LoadIdx { dst, base, index } => format!("{dst} = mem[{base} + {index}]"),
+        StoreIdx { src, base, index } => format!("mem[{base} + {index}] = {src}"),
+        LoadGlobal { dst, addr } => format!("{dst} = global[{addr:#x}]"),
+        StoreGlobal { src, addr } => format!("global[{addr:#x}] = {src}"),
+        CallRt { dst, func, args, .. } => {
+            let a: Vec<String> = args.iter().map(|r| r.to_string()).collect();
+            format!("{dst} = call_rt {func:?}({})", a.join(", "))
+        }
+        CallJs { dst, callee, args } => {
+            let a: Vec<String> = args.iter().map(|r| r.to_string()).collect();
+            format!("{dst} = call_js {callee}({})", a.join(", "))
+        }
+        Ret { src } => format!("ret {src}"),
+        DeoptIf { cond, smp, kind } => {
+            format!("deopt_if {cond}  ; {kind:?} check, smp {}", smp.0)
+        }
+        DeoptIfOverflow { smp } => format!("deopt_if_overflow  ; smp {}", smp.0),
+        AbortIf { cond, kind } => format!("abort_if {cond}  ; {kind:?} check"),
+        AbortIfOverflow => "abort_if_overflow".to_owned(),
+        XBegin { fallback } => format!("xbegin  ; fallback smp {}", fallback.0),
+        XEnd => "xend  ; checks SOF, flash-clears SW bits".to_owned(),
+        Fence => "fence".to_owned(),
+        Nop => "nop".to_owned(),
+    }
+}
+
+/// Renders a whole code body, one instruction per numbered line.
+pub fn render_listing(code: &[MachInst]) -> String {
+    let mut out = String::new();
+    for (i, inst) in code.iter().enumerate() {
+        let _ = writeln!(out, "{i:5}: {}", render(inst));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{CheckKind, MReg, SmpId};
+
+    #[test]
+    fn renders_every_interesting_shape() {
+        let code = vec![
+            MachInst::MovImm { dst: MReg(1), imm: 42 },
+            MachInst::AddI32 { dst: MReg(2), a: MReg(1), b: MReg(1) },
+            MachInst::DeoptIf { cond: MReg(2), smp: SmpId(0), kind: CheckKind::Bounds },
+            MachInst::AbortIfOverflow,
+            MachInst::XBegin { fallback: SmpId(1) },
+            MachInst::XEnd,
+            MachInst::Ret { src: MReg(2) },
+        ];
+        let text = render_listing(&code);
+        assert_eq!(text.lines().count(), code.len());
+        assert!(text.contains("xbegin"));
+        assert!(text.contains("Bounds"));
+    }
+}

@@ -1,0 +1,369 @@
+//! Hardware transactional memory models.
+//!
+//! * [`HtmKind::Rot`] — IBM POWER8 Rollback-Only Transactions (paper §V-A):
+//!   only the **write** footprint is buffered (here: in the 256 KB L2);
+//!   commits need no write-buffer drain; a Sticky Overflow Flag (SOF) is
+//!   checked at the outermost `XEnd`.
+//! * [`HtmKind::Rtm`] — Intel Restricted Transactional Memory (§VI-B):
+//!   writes must fit the 32 KB L1D, **reads** must fit the 256 KB L2,
+//!   `XEnd` stalls for the write buffer, transactional reads are slower,
+//!   and there is no SOF.
+//!
+//! Capacity is modelled deterministically: a transaction aborts when the
+//! speculative lines mapping to any one cache set exceed that cache's
+//! associativity — the precise condition under which real hardware could no
+//! longer keep the footprint cached.
+
+use std::collections::{HashMap, HashSet};
+
+use nomap_runtime::Memory;
+
+use crate::cache::CacheConfig;
+use crate::inst::CheckKind;
+
+/// Which HTM the machine provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HtmKind {
+    /// No HTM (the `Base` configuration).
+    None,
+    /// Lightweight rollback-only transactions (write-footprint in L2, SOF).
+    Rot,
+    /// Heavyweight Intel RTM (writes in L1D, reads in L2, no SOF).
+    Rtm,
+}
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// An explicit `AbortIf` fired (a formerly-SMP-guarding check failed).
+    Check(CheckKind),
+    /// The speculative footprint no longer fits the cache.
+    Capacity,
+    /// The sticky overflow flag was set when `XEnd` executed.
+    StickyOverflow,
+}
+
+/// Per-transaction characterization, reported at commit (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TxOutcome {
+    /// Distinct cache lines written × line size.
+    pub write_footprint_bytes: u64,
+    /// Maximum number of speculative ways any one set needed.
+    pub max_assoc: u32,
+    /// Dynamic instructions executed inside the transaction.
+    pub instructions: u64,
+}
+
+/// Geometry + policy for one HTM flavour.
+#[derive(Debug, Clone, Copy)]
+pub struct HtmModel {
+    /// Which flavour.
+    pub kind: HtmKind,
+    /// Cache level bounding the write footprint.
+    pub write_cache: CacheConfig,
+    /// Cache level bounding the read footprint (RTM only).
+    pub read_cache: Option<CacheConfig>,
+    /// Whether the ISA provides the Sticky Overflow Flag.
+    pub has_sof: bool,
+}
+
+impl HtmModel {
+    /// The paper's lightweight HTM: ROT with writes bounded by L2 and SOF
+    /// support.
+    pub fn rot() -> Self {
+        HtmModel {
+            kind: HtmKind::Rot,
+            write_cache: CacheConfig::l2(),
+            read_cache: None,
+            has_sof: true,
+        }
+    }
+
+    /// Intel RTM: writes bounded by L1D, reads by L2, no SOF.
+    pub fn rtm() -> Self {
+        HtmModel {
+            kind: HtmKind::Rtm,
+            write_cache: CacheConfig::l1d(),
+            read_cache: Some(CacheConfig::l2()),
+            has_sof: false,
+        }
+    }
+
+    /// No HTM at all.
+    pub fn none() -> Self {
+        HtmModel {
+            kind: HtmKind::None,
+            write_cache: CacheConfig::l2(),
+            read_cache: None,
+            has_sof: false,
+        }
+    }
+}
+
+/// Live state of the (flattened) transaction nest.
+#[derive(Debug, Clone, Default)]
+pub struct TxState {
+    depth: u32,
+    undo: Vec<(u64, u64)>,
+    write_lines: HashSet<u64>,
+    write_sets: HashMap<u64, u32>,
+    read_lines: HashSet<u64>,
+    read_sets: HashMap<u64, u32>,
+    max_assoc: u32,
+    sof: bool,
+    /// Instructions executed since the outermost XBegin (maintained by the
+    /// executor).
+    pub instructions: u64,
+}
+
+impl TxState {
+    /// Creates idle (non-transactional) state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True while inside a transaction.
+    pub fn active(&self) -> bool {
+        self.depth > 0
+    }
+
+    /// Enters a transaction (flattened nesting: inner begins only bump the
+    /// depth). Clears SOF at the outermost begin, per §V-B.
+    pub fn begin(&mut self) {
+        if self.depth == 0 {
+            self.undo.clear();
+            self.write_lines.clear();
+            self.write_sets.clear();
+            self.read_lines.clear();
+            self.read_sets.clear();
+            self.max_assoc = 0;
+            self.sof = false;
+            self.instructions = 0;
+        }
+        self.depth += 1;
+    }
+
+    /// Sets the sticky overflow flag (integer overflow inside the
+    /// transaction).
+    pub fn set_sof(&mut self) {
+        if self.depth > 0 {
+            self.sof = true;
+        }
+    }
+
+    /// Whether SOF is currently set.
+    pub fn sof(&self) -> bool {
+        self.sof
+    }
+
+    /// Records a transactional write. Returns `Err(Capacity)` when the
+    /// write footprint exceeds what `model.write_cache` can buffer.
+    pub fn on_write(
+        &mut self,
+        model: &HtmModel,
+        word_addr: u64,
+        old: u64,
+    ) -> Result<(), AbortReason> {
+        debug_assert!(self.active());
+        self.undo.push((word_addr, old));
+        let byte = word_addr * nomap_runtime::WORD_BYTES;
+        let line = model.write_cache.line_of(byte);
+        if self.write_lines.insert(line) {
+            let set = model.write_cache.set_of(byte);
+            let n = self.write_sets.entry(set).or_insert(0);
+            *n += 1;
+            self.max_assoc = self.max_assoc.max(*n);
+            if *n > model.write_cache.ways {
+                return Err(AbortReason::Capacity);
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a transactional read (only bounded under RTM).
+    pub fn on_read(&mut self, model: &HtmModel, word_addr: u64) -> Result<(), AbortReason> {
+        debug_assert!(self.active());
+        let Some(read_cache) = model.read_cache else {
+            return Ok(());
+        };
+        let byte = word_addr * nomap_runtime::WORD_BYTES;
+        let line = read_cache.line_of(byte);
+        if self.read_lines.insert(line) {
+            let set = read_cache.set_of(byte);
+            let n = self.read_sets.entry(set).or_insert(0);
+            *n += 1;
+            if *n > read_cache.ways {
+                return Err(AbortReason::Capacity);
+            }
+        }
+        Ok(())
+    }
+
+    /// Leaves one nesting level. At the outermost level, checks SOF and
+    /// either commits (returning the transaction's characterization) or
+    /// requests an abort. Inner ends return `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbortReason::StickyOverflow`] when SOF is set at the
+    /// outermost end.
+    pub fn end(&mut self, model: &HtmModel) -> Result<Option<TxOutcome>, AbortReason> {
+        debug_assert!(self.active());
+        if self.depth > 1 {
+            self.depth -= 1;
+            return Ok(None);
+        }
+        if model.has_sof && self.sof {
+            return Err(AbortReason::StickyOverflow);
+        }
+        self.depth = 0;
+        let outcome = TxOutcome {
+            write_footprint_bytes: self.write_lines.len() as u64 * model.write_cache.line_bytes,
+            max_assoc: self.max_assoc,
+            instructions: self.instructions,
+        };
+        self.undo.clear();
+        Ok(Some(outcome))
+    }
+
+    /// Aborts the whole nest: rolls back every buffered write (newest
+    /// first) and resets to idle. Returns the number of undone writes.
+    pub fn abort(&mut self, mem: &mut Memory) -> usize {
+        let n = self.undo.len();
+        for (addr, old) in self.undo.drain(..).rev() {
+            mem.poke(addr, old);
+        }
+        self.depth = 0;
+        self.sof = false;
+        self.write_lines.clear();
+        self.write_sets.clear();
+        self.read_lines.clear();
+        self.read_sets.clear();
+        n
+    }
+
+    /// Current write footprint in bytes (for the §V-C placement estimator).
+    pub fn write_footprint_bytes(&self, model: &HtmModel) -> u64 {
+        self.write_lines.len() as u64 * model.write_cache.line_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_reports_footprint() {
+        let model = HtmModel::rot();
+        let mut tx = TxState::new();
+        tx.begin();
+        // Three writes in two lines (words 0,1 share a 64B line; word 8 is
+        // the next line).
+        tx.on_write(&model, 0x10_0000, 0).unwrap();
+        tx.on_write(&model, 0x10_0001, 0).unwrap();
+        tx.on_write(&model, 0x10_0008, 0).unwrap();
+        let out = tx.end(&model).unwrap().unwrap();
+        assert_eq!(out.write_footprint_bytes, 128);
+        assert_eq!(out.max_assoc, 1);
+        assert!(!tx.active());
+    }
+
+    #[test]
+    fn rot_capacity_by_set_conflict() {
+        let model = HtmModel::rot();
+        let mut tx = TxState::new();
+        tx.begin();
+        let sets = model.write_cache.sets();
+        let words_per_line = model.write_cache.line_bytes / 8;
+        // Write 8 lines that all map to set 0: fine. The 9th aborts.
+        for i in 0..8 {
+            tx.on_write(&model, i * sets * words_per_line, 0).unwrap();
+        }
+        let r = tx.on_write(&model, 8 * sets * words_per_line, 0);
+        assert_eq!(r, Err(AbortReason::Capacity));
+    }
+
+    #[test]
+    fn rtm_read_capacity() {
+        let model = HtmModel::rtm();
+        let mut tx = TxState::new();
+        tx.begin();
+        let read_cache = model.read_cache.unwrap();
+        let sets = read_cache.sets();
+        let words_per_line = read_cache.line_bytes / 8;
+        for i in 0..8 {
+            tx.on_read(&model, i * sets * words_per_line).unwrap();
+        }
+        assert_eq!(
+            tx.on_read(&model, 8 * sets * words_per_line),
+            Err(AbortReason::Capacity)
+        );
+    }
+
+    #[test]
+    fn rot_ignores_reads() {
+        let model = HtmModel::rot();
+        let mut tx = TxState::new();
+        tx.begin();
+        for i in 0..100_000 {
+            tx.on_read(&model, i * 8).unwrap();
+        }
+    }
+
+    #[test]
+    fn sof_aborts_at_outermost_end() {
+        let model = HtmModel::rot();
+        let mut tx = TxState::new();
+        tx.begin();
+        tx.begin(); // nested
+        tx.set_sof();
+        assert_eq!(tx.end(&model), Ok(None)); // inner end: no SOF check
+        assert_eq!(tx.end(&model), Err(AbortReason::StickyOverflow));
+    }
+
+    #[test]
+    fn rtm_has_no_sof() {
+        let model = HtmModel::rtm();
+        let mut tx = TxState::new();
+        tx.begin();
+        tx.set_sof();
+        assert!(tx.end(&model).unwrap().is_some());
+    }
+
+    #[test]
+    fn abort_rolls_back_in_reverse() {
+        let model = HtmModel::rot();
+        let mut mem = Memory::new();
+        let a = mem.alloc(2).unwrap();
+        mem.poke(a, 111);
+        mem.poke(a + 1, 222);
+        let mut tx = TxState::new();
+        tx.begin();
+        // Two writes to the same address: undo must restore the *first* old
+        // value.
+        tx.on_write(&model, a, 111).unwrap();
+        mem.poke(a, 1);
+        tx.on_write(&model, a, 1).unwrap();
+        mem.poke(a, 2);
+        tx.on_write(&model, a + 1, 222).unwrap();
+        mem.poke(a + 1, 9);
+        let undone = tx.abort(&mut mem);
+        assert_eq!(undone, 3);
+        assert_eq!(mem.peek(a), 111);
+        assert_eq!(mem.peek(a + 1), 222);
+        assert!(!tx.active());
+    }
+
+    #[test]
+    fn begin_clears_sof() {
+        let model = HtmModel::rot();
+        let mut tx = TxState::new();
+        tx.begin();
+        tx.set_sof();
+        let mut mem = Memory::new();
+        tx.abort(&mut mem);
+        tx.begin();
+        assert!(!tx.sof());
+        assert!(tx.end(&model).unwrap().is_some());
+    }
+}

@@ -1,0 +1,26 @@
+//! The simulated target machine: an abstract ISA ([`MachInst`]), a two-level
+//! cache simulator, lightweight (ROT) and heavyweight (RTM) HTM models, a
+//! simple in-order cycle model and execution statistics.
+//!
+//! The paper evaluates NoMap natively while *emulating* the HTM overheads
+//! (§VI-A): `XBegin` as a fence, `XEnd` as a 5-cycle flash-clear of
+//! speculative-write bits, plus Pin-based cache modelling. Here the whole
+//! machine is simulated, which keeps instruction counts and cache/HTM
+//! behaviour deterministic and lets every figure be regenerated exactly.
+//!
+//! The crate is passive — it defines the ISA and the models; the instruction
+//! stepping loop lives in `nomap-vm`, which owns the code cache and tiering
+//! state the executor must consult.
+
+mod cache;
+pub mod disasm;
+mod htm;
+mod inst;
+mod stats;
+mod timing;
+
+pub use cache::{AccessOutcome, Cache, CacheConfig, CacheSim};
+pub use htm::{AbortReason, HtmKind, HtmModel, TxOutcome, TxState};
+pub use inst::{Alu64Op, CheckKind, Cond, FAluOp, IAlu32Op, Label, MReg, MachInst, SmpId};
+pub use stats::{ExecStats, InstCategory, Tier, TxCharacter};
+pub use timing::Timing;

@@ -1,0 +1,99 @@
+//! Cycle model.
+//!
+//! A simple in-order model: one cycle per dynamic instruction, plus memory
+//! penalties from the cache simulator, plus the HTM costs the paper's
+//! emulated platform charges (§VI-A1 and §VI-B).
+
+use crate::cache::AccessOutcome;
+use crate::htm::HtmKind;
+
+/// Cycle-cost constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timing {
+    /// Cycles per dynamic instruction (base CPI).
+    pub per_inst: u64,
+    /// Extra cycles for an L1 miss that hits L2.
+    pub l2_hit_penalty: u64,
+    /// Extra cycles for a full miss to memory.
+    pub mem_penalty: u64,
+    /// XBegin cost under the lightweight HTM (an mfence, §VI-A1).
+    pub rot_xbegin: u64,
+    /// XEnd cost under the lightweight HTM (flash-clearing SW bits).
+    pub rot_xend: u64,
+    /// XBegin cost under RTM.
+    pub rtm_xbegin: u64,
+    /// XEnd cost under RTM (≥13 cycles: write-buffer drain, §VI-B).
+    pub rtm_xend: u64,
+    /// Extra cycles per transactional read under RTM (~20% slower reads).
+    pub rtm_read_extra: u64,
+    /// Cycles to take an abort (rollback initiation; undo writes are
+    /// charged per word by the executor).
+    pub abort_base: u64,
+    /// Cycles per word rolled back on abort.
+    pub abort_per_word: u64,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing {
+            per_inst: 1,
+            l2_hit_penalty: 10,
+            mem_penalty: 60,
+            rot_xbegin: 20,
+            rot_xend: 5,
+            rtm_xbegin: 20,
+            rtm_xend: 13,
+            rtm_read_extra: 1,
+            abort_base: 50,
+            abort_per_word: 2,
+        }
+    }
+}
+
+impl Timing {
+    /// Penalty cycles for one memory access outcome.
+    pub fn mem_cycles(&self, outcome: AccessOutcome) -> u64 {
+        match outcome {
+            AccessOutcome::L1 => 0,
+            AccessOutcome::L2 => self.l2_hit_penalty,
+            AccessOutcome::Memory => self.mem_penalty,
+        }
+    }
+
+    /// XBegin cost for the given HTM.
+    pub fn xbegin_cycles(&self, kind: HtmKind) -> u64 {
+        match kind {
+            HtmKind::None => 0,
+            HtmKind::Rot => self.rot_xbegin,
+            HtmKind::Rtm => self.rtm_xbegin,
+        }
+    }
+
+    /// XEnd cost for the given HTM.
+    pub fn xend_cycles(&self, kind: HtmKind) -> u64 {
+        match kind {
+            HtmKind::None => 0,
+            HtmKind::Rot => self.rot_xend,
+            HtmKind::Rtm => self.rtm_xend,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtm_commit_slower_than_rot() {
+        let t = Timing::default();
+        assert!(t.xend_cycles(HtmKind::Rtm) > t.xend_cycles(HtmKind::Rot));
+        assert_eq!(t.xend_cycles(HtmKind::None), 0);
+    }
+
+    #[test]
+    fn miss_penalties_ordered() {
+        let t = Timing::default();
+        assert!(t.mem_cycles(AccessOutcome::Memory) > t.mem_cycles(AccessOutcome::L2));
+        assert_eq!(t.mem_cycles(AccessOutcome::L1), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests on the cache and HTM models.
+
+use proptest::prelude::*;
+
+use nomap_machine::{AbortReason, Cache, CacheConfig, CacheSim, HtmModel, TxState};
+use nomap_runtime::Memory;
+
+proptest! {
+    /// An access immediately repeated always hits.
+    #[test]
+    fn repeat_access_hits(addrs in proptest::collection::vec(0u64..1_000_000, 1..64)) {
+        let mut c = Cache::new(CacheConfig::l1d());
+        for &a in &addrs {
+            c.access(a * 8, false);
+            let (hit, _) = c.access(a * 8, false);
+            prop_assert!(hit, "immediate re-access of {a:#x} must hit");
+        }
+    }
+
+    /// A working set smaller than one way per set never evicts itself.
+    #[test]
+    fn small_working_set_stays_resident(start in 0u64..4096) {
+        let cfg = CacheConfig::l1d();
+        let lines = cfg.sets(); // one line per set
+        let mut c = Cache::new(cfg);
+        let base = start * cfg.line_bytes * lines;
+        for round in 0..3 {
+            for i in 0..lines {
+                let (hit, _) = c.access(base + i * cfg.line_bytes, false);
+                if round > 0 {
+                    prop_assert!(hit, "round {round}, line {i}");
+                }
+            }
+        }
+    }
+
+    /// The transactional undo log restores arbitrary write sequences.
+    #[test]
+    fn tx_rollback_is_exact(
+        writes in proptest::collection::vec((0u64..256, any::<u64>()), 1..100)
+    ) {
+        let model = HtmModel::rot();
+        let mut mem = Memory::new();
+        let base = mem.alloc(256).unwrap();
+        for i in 0..256 {
+            mem.poke(base + i, i.wrapping_mul(0x9E37_79B9));
+        }
+        let before: Vec<u64> = (0..256).map(|i| mem.peek(base + i)).collect();
+        let mut tx = TxState::new();
+        tx.begin();
+        for &(off, v) in &writes {
+            let addr = base + off;
+            let old = mem.peek(addr);
+            mem.poke(addr, v);
+            // Capacity can't trigger: 256 words = 32 lines spread over sets.
+            tx.on_write(&model, addr, old).unwrap();
+        }
+        tx.abort(&mut mem);
+        for (i, &b) in before.iter().enumerate() {
+            prop_assert_eq!(mem.peek(base + i as u64), b);
+        }
+    }
+
+    /// Write-footprint accounting is line-exact: distinct lines touched ×
+    /// line size.
+    #[test]
+    fn footprint_counts_distinct_lines(offsets in proptest::collection::vec(0u64..512, 1..80)) {
+        let model = HtmModel::rot();
+        let mut tx = TxState::new();
+        tx.begin();
+        let base = 0x1000_0000u64;
+        let mut lines = std::collections::HashSet::new();
+        for &o in &offsets {
+            tx.on_write(&model, base + o, 0).unwrap();
+            lines.insert((base + o) * 8 / model.write_cache.line_bytes);
+        }
+        let out = tx.end(&model).unwrap().unwrap();
+        prop_assert_eq!(
+            out.write_footprint_bytes,
+            lines.len() as u64 * model.write_cache.line_bytes
+        );
+    }
+}
+
+#[test]
+fn flattened_nesting_commits_once() {
+    let model = HtmModel::rot();
+    let mut tx = TxState::new();
+    tx.begin();
+    tx.begin();
+    tx.begin();
+    assert_eq!(tx.end(&model), Ok(None));
+    assert_eq!(tx.end(&model), Ok(None));
+    let out = tx.end(&model).unwrap();
+    assert!(out.is_some(), "outermost end commits");
+    assert!(!tx.active());
+}
+
+#[test]
+fn rtm_write_capacity_is_l1_bound() {
+    let model = HtmModel::rtm();
+    let mut tx = TxState::new();
+    tx.begin();
+    // Fill distinct L1 sets: 64 sets × 8 ways = 512 lines of 8 words.
+    let words_per_line = 8;
+    let mut aborted = false;
+    for i in 0..600u64 {
+        if tx.on_write(&model, 0x1000_0000 + i * words_per_line, 0).is_err() {
+            aborted = true;
+            break;
+        }
+    }
+    assert!(aborted, "600 lines exceed a 32KB / 512-line write budget");
+}
+
+#[test]
+fn rot_write_capacity_is_l2_bound() {
+    let model = HtmModel::rot();
+    let mut tx = TxState::new();
+    tx.begin();
+    let words_per_line = 8;
+    // 4096 lines fill the 256KB L2 exactly; the model aborts only when a
+    // set exceeds its ways, so sequential lines up to capacity must fit.
+    for i in 0..4096u64 {
+        tx.on_write(&model, 0x1000_0000 + i * words_per_line, 0)
+            .unwrap_or_else(|e| panic!("line {i} aborted: {e:?}"));
+    }
+    let mut tx2 = TxState::new();
+    tx2.begin();
+    let mut aborted = false;
+    for i in 0..5000u64 {
+        if tx2.on_write(&model, 0x1000_0000 + i * words_per_line, 0).is_err() {
+            aborted = true;
+            break;
+        }
+    }
+    assert!(aborted, "5000 lines exceed the 4096-line L2 budget");
+}
+
+#[test]
+fn hierarchy_inclusive_sw_clear() {
+    let mut sim = CacheSim::new();
+    sim.access_word(0x1000_0000, true, true);
+    assert_eq!(sim.l1.sw_line_count(), 1);
+    assert_eq!(sim.l2.sw_line_count(), 1);
+    sim.flash_clear_sw();
+    assert_eq!(sim.l1.sw_line_count() + sim.l2.sw_line_count(), 0);
+}
+
+#[test]
+fn sof_only_applies_to_models_with_sof() {
+    assert!(HtmModel::rot().has_sof);
+    assert!(!HtmModel::rtm().has_sof);
+    assert!(!HtmModel::none().has_sof);
+    let model = HtmModel::rot();
+    let mut tx = TxState::new();
+    tx.begin();
+    tx.set_sof();
+    assert_eq!(tx.end(&model), Err(AbortReason::StickyOverflow));
+}

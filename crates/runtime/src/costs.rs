@@ -1,0 +1,104 @@
+//! Dynamic-instruction cost model for runtime ("C runtime") work.
+//!
+//! Generated machine code counts its own instructions one by one; work done
+//! inside Rust-implemented runtime helpers is *charged* using these
+//! constants, calibrated so the tier-over-tier speedups land in the range of
+//! the paper's Table I. They are plain public fields so ablation benches can
+//! re-calibrate.
+
+/// Instruction charges for runtime operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Costs {
+    /// Interpreter per-opcode dispatch overhead.
+    pub interp_dispatch: u64,
+    /// Call/return linkage of a runtime helper from jitted code.
+    pub call_overhead: u64,
+    /// Generic `+` (type dispatch, boxing).
+    pub generic_add: u64,
+    /// Generic `-`, `*`, `/`, `%`.
+    pub generic_arith: u64,
+    /// Generic comparison.
+    pub generic_compare: u64,
+    /// Generic bitwise/shift (two ToInt32 coercions).
+    pub generic_bitwise: u64,
+    /// Generic unary operator.
+    pub generic_unary: u64,
+    /// Property read through the shape table.
+    pub get_prop: u64,
+    /// Property write (no transition).
+    pub put_prop: u64,
+    /// Property write causing a shape transition.
+    pub shape_transition: u64,
+    /// Array element read (bounds + hole handling).
+    pub get_index: u64,
+    /// Array element write (in bounds).
+    pub put_index: u64,
+    /// Array append / elongation base cost.
+    pub array_grow_base: u64,
+    /// Per-word cost while copying during array/property growth.
+    pub grow_per_word: u64,
+    /// Object allocation.
+    pub alloc_object: u64,
+    /// Array allocation base.
+    pub alloc_array: u64,
+    /// Simple math intrinsic (sqrt/floor/abs/...).
+    pub intrinsic_math: u64,
+    /// Transcendental intrinsic (sin/cos/exp/log/pow/atan2).
+    pub intrinsic_trig: u64,
+    /// String intrinsic base cost.
+    pub intrinsic_string: u64,
+    /// Per-character cost of string operations.
+    pub string_per_char: u64,
+    /// `print` call.
+    pub print: u64,
+    /// JS-level call frame setup in the runtime (interpreter tier).
+    pub js_call: u64,
+    /// ToBoolean coercion.
+    pub to_boolean: u64,
+    /// Global read/write.
+    pub global_access: u64,
+}
+
+impl Default for Costs {
+    fn default() -> Self {
+        Costs {
+            interp_dispatch: 28,
+            call_overhead: 6,
+            generic_add: 16,
+            generic_arith: 18,
+            generic_compare: 12,
+            generic_bitwise: 14,
+            generic_unary: 10,
+            get_prop: 20,
+            put_prop: 24,
+            shape_transition: 60,
+            get_index: 14,
+            put_index: 18,
+            array_grow_base: 30,
+            grow_per_word: 1,
+            alloc_object: 40,
+            alloc_array: 40,
+            intrinsic_math: 20,
+            intrinsic_trig: 45,
+            intrinsic_string: 25,
+            string_per_char: 1,
+            print: 60,
+            js_call: 10,
+            to_boolean: 6,
+            global_access: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_nonzero() {
+        let c = Costs::default();
+        assert!(c.interp_dispatch > c.call_overhead);
+        assert!(c.shape_transition > c.put_prop);
+        assert!(c.intrinsic_trig > c.intrinsic_math);
+    }
+}

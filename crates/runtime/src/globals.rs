@@ -1,0 +1,68 @@
+//! Global variable slots, resident in the simulated globals region.
+
+use std::collections::HashMap;
+
+use nomap_bytecode::NameId;
+
+/// First word address handed out for globals (inside the globals region).
+const FIRST_GLOBAL: u64 = 0x1000;
+
+/// Maps global names to fixed word addresses.
+#[derive(Debug, Clone, Default)]
+pub struct Globals {
+    slots: HashMap<NameId, u64>,
+    next: u64,
+}
+
+impl Globals {
+    /// Creates an empty global table.
+    pub fn new() -> Self {
+        Globals { slots: HashMap::new(), next: FIRST_GLOBAL }
+    }
+
+    /// Address of `name`'s slot, if it was ever assigned.
+    pub fn addr(&self, name: NameId) -> Option<u64> {
+        self.slots.get(&name).copied()
+    }
+
+    /// Address of `name`'s slot, allocating one on first use. The second
+    /// element is `true` when the slot is new (callers initialize it to
+    /// `undefined`).
+    pub fn ensure_addr(&mut self, name: NameId) -> (u64, bool) {
+        if let Some(&a) = self.slots.get(&name) {
+            return (a, false);
+        }
+        let a = self.next;
+        self.next += 1;
+        self.slots.insert(name, a);
+        (a, true)
+    }
+
+    /// Number of allocated global slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no globals exist.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_stable_and_distinct() {
+        let mut g = Globals::new();
+        let (a, new_a) = g.ensure_addr(NameId(1));
+        let (b, new_b) = g.ensure_addr(NameId(2));
+        let (a2, new_a2) = g.ensure_addr(NameId(1));
+        assert!(new_a && new_b && !new_a2);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(g.addr(NameId(1)), Some(a));
+        assert_eq!(g.addr(NameId(9)), None);
+    }
+}

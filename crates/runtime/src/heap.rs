@@ -1,0 +1,361 @@
+//! Simulated word-addressed memory with an access log.
+//!
+//! Addresses are **word** addresses (one word = 8 bytes). Three disjoint
+//! regions model the parts of a process image the experiments care about:
+//!
+//! * **globals** — global variable slots,
+//! * **stack**   — Baseline machine-code frames (locals live in memory in
+//!   the Baseline tier, which is what makes OSR exit state materialization
+//!   meaningful),
+//! * **heap**    — objects, arrays, property/element storage, strings.
+//!
+//! Every logged read/write is appended to an access log that the machine
+//! executor drains to drive the cache simulator and the HTM write-set
+//! tracking. Writes record the previous value so a transactional abort can
+//! undo them (the rollback half of the paper's ROT transactions).
+
+use std::fmt;
+
+/// Bytes per simulated word.
+pub const WORD_BYTES: u64 = 8;
+
+/// First word address of the globals region.
+const GLOBALS_BASE: u64 = 0x1000;
+/// First word address of the stack region.
+const STACK_BASE: u64 = 0x10_0000;
+/// First word address of the heap region.
+const HEAP_BASE: u64 = 0x1000_0000;
+/// One-past-last heap word (1 Gi words is far beyond any workload).
+const HEAP_LIMIT: u64 = 0x4000_0000;
+/// Reads at or above this address (or below the globals region) are *wild*:
+/// speculative code may dereference a non-cell bit pattern before its type
+/// check fires. Wild reads return 0 (which fails every header check); wild
+/// writes are ignored. Generated code only stores after its guards pass, so
+/// a wild write indicates a compiler bug and is reported in debug builds.
+const WILD_BASE: u64 = HEAP_LIMIT;
+
+/// Which region a word address falls in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Global variable slots.
+    Globals,
+    /// Baseline stack frames.
+    Stack,
+    /// Object/array/string heap.
+    Heap,
+}
+
+/// One logged memory access (word granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// A read of `addr`.
+    Read(u64),
+    /// A write of `addr`; `old` is the value before the write, kept so
+    /// transactional aborts can roll back.
+    Write {
+        /// Word address written.
+        addr: u64,
+        /// Previous contents of the word.
+        old: u64,
+    },
+}
+
+impl Access {
+    /// The word address touched.
+    pub fn addr(self) -> u64 {
+        match self {
+            Access::Read(a) => a,
+            Access::Write { addr, .. } => addr,
+        }
+    }
+
+    /// True for writes.
+    pub fn is_write(self) -> bool {
+        matches!(self, Access::Write { .. })
+    }
+}
+
+/// Simulated memory: three growable regions plus the access log.
+pub struct Memory {
+    globals: Vec<u64>,
+    stack: Vec<u64>,
+    heap: Vec<u64>,
+    heap_top: u64,
+    log: Vec<Access>,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory")
+            .field("heap_words", &(self.heap_top - HEAP_BASE))
+            .field("stack_words", &self.stack.len())
+            .field("globals_words", &self.globals.len())
+            .field("pending_log", &self.log.len())
+            .finish()
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Memory {
+    /// Creates empty memory.
+    pub fn new() -> Self {
+        Memory {
+            globals: Vec::new(),
+            stack: Vec::new(),
+            heap: Vec::new(),
+            heap_top: HEAP_BASE,
+            log: Vec::new(),
+        }
+    }
+
+    /// First word address of the stack region (frames grow upward from
+    /// here).
+    pub fn stack_base(&self) -> u64 {
+        STACK_BASE
+    }
+
+    /// Classifies `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for addresses below the globals region.
+    pub fn region_of(addr: u64) -> Option<Region> {
+        if addr >= WILD_BASE {
+            None
+        } else if addr >= HEAP_BASE {
+            Some(Region::Heap)
+        } else if addr >= STACK_BASE {
+            Some(Region::Stack)
+        } else if addr >= GLOBALS_BASE {
+            Some(Region::Globals)
+        } else {
+            None
+        }
+    }
+
+    fn slot_mut(&mut self, addr: u64) -> Option<&mut u64> {
+        let (vec, index) = match Self::region_of(addr)? {
+            Region::Heap => (&mut self.heap, (addr - HEAP_BASE) as usize),
+            Region::Stack => (&mut self.stack, (addr - STACK_BASE) as usize),
+            Region::Globals => (&mut self.globals, (addr - GLOBALS_BASE) as usize),
+        };
+        if index >= vec.len() {
+            vec.resize(index + 1, 0);
+        }
+        Some(&mut vec[index])
+    }
+
+    fn slot(&self, addr: u64) -> u64 {
+        let Some(region) = Self::region_of(addr) else { return 0 };
+        let (vec, index) = match region {
+            Region::Heap => (&self.heap, (addr - HEAP_BASE) as usize),
+            Region::Stack => (&self.stack, (addr - STACK_BASE) as usize),
+            Region::Globals => (&self.globals, (addr - GLOBALS_BASE) as usize),
+        };
+        vec.get(index).copied().unwrap_or(0)
+    }
+
+    /// Logged read of one word.
+    #[inline]
+    pub fn read(&mut self, addr: u64) -> u64 {
+        self.log.push(Access::Read(addr));
+        self.slot(addr)
+    }
+
+    /// Logged write of one word (records the old value for rollback). Wild
+    /// writes are dropped (debug-asserted: guarded code never stores before
+    /// its checks pass).
+    #[inline]
+    pub fn write(&mut self, addr: u64, value: u64) {
+        let Some(slot) = self.slot_mut(addr) else {
+            debug_assert!(false, "wild write to {addr:#x}");
+            return;
+        };
+        let old = *slot;
+        *slot = value;
+        self.log.push(Access::Write { addr, old });
+    }
+
+    /// Un-logged read (profiling, debugging, classification).
+    #[inline]
+    pub fn peek(&self, addr: u64) -> u64 {
+        self.slot(addr)
+    }
+
+    /// Un-logged write (transactional rollback, frame initialization the
+    /// cost model accounts for elsewhere).
+    #[inline]
+    pub fn poke(&mut self, addr: u64, value: u64) {
+        if let Some(slot) = self.slot_mut(addr) {
+            *slot = value;
+        }
+    }
+
+    /// Bump-allocates `words` heap words (16-byte aligned), zero-filled.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when the heap region is exhausted.
+    pub fn alloc(&mut self, words: u64) -> Option<u64> {
+        let addr = (self.heap_top + 1) & !1; // 2-word (16-byte) alignment
+        let new_top = addr.checked_add(words)?;
+        if new_top > HEAP_LIMIT {
+            return None;
+        }
+        self.heap_top = new_top;
+        Some(addr)
+    }
+
+    /// Words currently allocated on the heap.
+    pub fn heap_used(&self) -> u64 {
+        self.heap_top - HEAP_BASE
+    }
+
+    /// Drains the access log into `sink`.
+    #[inline]
+    pub fn drain_log(&mut self, mut sink: impl FnMut(Access)) {
+        for a in self.log.drain(..) {
+            sink(a);
+        }
+    }
+
+    /// Discards pending log entries (used by the non-simulated interpreter
+    /// tier, whose cache behaviour the experiments do not model).
+    #[inline]
+    pub fn clear_log(&mut self) {
+        self.log.clear();
+    }
+
+    /// Number of pending (un-drained) log entries.
+    pub fn pending_log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Swaps the access log with `buf` (a reusable scratch buffer), leaving
+    /// the internal log empty. Lets the executor process accesses without
+    /// borrowing `Memory` during cache/HTM updates.
+    pub fn swap_log(&mut self, buf: &mut Vec<Access>) {
+        std::mem::swap(&mut self.log, buf);
+        self.log.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn read_write_roundtrip_all_regions() {
+        let mut m = Memory::new();
+        let heap = m.alloc(4).unwrap();
+        for addr in [GLOBALS_BASE + 3, STACK_BASE + 10, heap] {
+            m.write(addr, 0xDEAD);
+            assert_eq!(m.read(addr), 0xDEAD);
+        }
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mut m = Memory::new();
+        assert_eq!(m.read(STACK_BASE + 999), 0);
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut m = Memory::new();
+        let a = m.alloc(3).unwrap();
+        let b = m.alloc(5).unwrap();
+        assert_eq!(a % 2, 0);
+        assert_eq!(b % 2, 0);
+        assert!(b >= a + 3);
+    }
+
+    #[test]
+    fn log_records_old_values() {
+        let mut m = Memory::new();
+        let a = m.alloc(1).unwrap();
+        m.write(a, 1);
+        m.write(a, 2);
+        let mut log = Vec::new();
+        m.drain_log(|acc| log.push(acc));
+        assert_eq!(
+            log,
+            vec![
+                Access::Write { addr: a, old: 0 },
+                Access::Write { addr: a, old: 1 },
+            ]
+        );
+        assert_eq!(m.pending_log_len(), 0);
+    }
+
+    #[test]
+    fn poke_and_peek_do_not_log() {
+        let mut m = Memory::new();
+        let a = m.alloc(1).unwrap();
+        m.poke(a, 7);
+        assert_eq!(m.peek(a), 7);
+        assert_eq!(m.pending_log_len(), 0);
+    }
+
+    #[test]
+    fn regions_classified() {
+        assert_eq!(Memory::region_of(GLOBALS_BASE), Some(Region::Globals));
+        assert_eq!(Memory::region_of(STACK_BASE), Some(Region::Stack));
+        assert_eq!(Memory::region_of(HEAP_BASE + 5), Some(Region::Heap));
+        assert_eq!(Memory::region_of(3), None);
+        assert_eq!(Memory::region_of(u64::MAX), None);
+    }
+
+    #[test]
+    fn wild_reads_return_zero() {
+        let mut m = Memory::new();
+        assert_eq!(m.read(u64::MAX), 0);
+        assert_eq!(m.read(0x0A), 0); // `undefined` bits dereferenced
+        assert_eq!(m.peek(0xFFFF_0000_0000_0007), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_last_write_wins(values in proptest::collection::vec(any::<u64>(), 1..20)) {
+            let mut m = Memory::new();
+            let a = m.alloc(1).unwrap();
+            for &v in &values {
+                m.write(a, v);
+            }
+            prop_assert_eq!(m.peek(a), *values.last().unwrap());
+        }
+
+        #[test]
+        fn prop_rollback_restores_initial_state(
+            writes in proptest::collection::vec((0u64..64, any::<u64>()), 1..40)
+        ) {
+            let mut m = Memory::new();
+            let base = m.alloc(64).unwrap();
+            // Seed some initial values (unlogged).
+            for i in 0..64 {
+                m.poke(base + i, i * 3);
+            }
+            m.clear_log();
+            for &(off, v) in &writes {
+                m.write(base + off, v);
+            }
+            // Undo in reverse, as the HTM abort path does.
+            let mut log = Vec::new();
+            m.drain_log(|a| log.push(a));
+            for acc in log.into_iter().rev() {
+                if let Access::Write { addr, old } = acc {
+                    m.poke(addr, old);
+                }
+            }
+            for i in 0..64 {
+                prop_assert_eq!(m.peek(base + i), i * 3);
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Runtime system for the NoMap VM: value representation, simulated memory,
+//! hidden classes, objects/arrays/strings, generic (un-specialized) operation
+//! semantics, value profiling and the runtime-call cost model.
+//!
+//! Everything observable by JavaScript code lives in a **simulated address
+//! space** ([`Memory`]) so that the machine tier can model caches and HTM
+//! write footprints: objects, arrays, property storage, array element
+//! storage, globals and Baseline stack frames all occupy simulated words.
+//!
+//! The generic semantics in [`Runtime`] are the single source of truth for
+//! MiniJS behaviour. The interpreter calls them directly; Baseline machine
+//! code calls them through [`RuntimeFn`]; the DFG/FTL tiers emit specialized
+//! inline code guarded by checks and *deoptimize* into code that calls them
+//! whenever a speculation fails — exactly the structure the paper studies.
+
+mod costs;
+mod globals;
+mod heap;
+mod object;
+mod profile;
+mod rng;
+mod semantics;
+mod shape;
+mod strings;
+mod value;
+
+pub use costs::Costs;
+pub use globals::Globals;
+pub use heap::{Access, Memory, Region, WORD_BYTES};
+pub use object::{
+    array_words, object_words, pack_header, HeapKind, ARR_CAP, ARR_LEN, ARR_STORAGE, OBJ_STORAGE,
+};
+pub use profile::{FunctionProfile, KindSet, ProfileStore, SiteProfile, ValueKind};
+pub use rng::Lcg;
+pub use semantics::{RuntimeError, RuntimeFn};
+pub use shape::{ShapeId, ShapeTable};
+pub use strings::{StringId, StringTable};
+pub use value::Value;
+
+use nomap_bytecode::{FuncId, SiteId};
+
+/// The shared runtime: simulated memory plus all side tables, the profile
+/// store and the charged-instruction accumulator.
+///
+/// # Example
+///
+/// ```
+/// use nomap_runtime::{Runtime, Value};
+///
+/// let mut rt = Runtime::new();
+/// let arr = rt.new_array(4)?;
+/// rt.put_index(arr, Value::new_int32(0), Value::new_int32(41), None)?;
+/// let v = rt.get_index(arr, Value::new_int32(0), None)?;
+/// let sum = rt.generic_add(v, Value::new_int32(1), None)?;
+/// assert_eq!(sum, Value::new_int32(42));
+/// # Ok::<(), nomap_runtime::RuntimeError>(())
+/// ```
+#[derive(Debug)]
+pub struct Runtime {
+    /// Simulated memory (heap, stack, globals regions).
+    pub mem: Memory,
+    /// Hidden-class table.
+    pub shapes: ShapeTable,
+    /// Runtime string table.
+    pub strings: StringTable,
+    /// Global variable slots.
+    pub globals: Globals,
+    /// Deterministic PRNG backing `Math.random`.
+    pub rng: Lcg,
+    /// Value profiles, filled by the profiling tiers.
+    pub profiles: ProfileStore,
+    /// Instruction-cost model for runtime calls.
+    pub costs: Costs,
+    /// Output buffer written by `print`.
+    pub output: String,
+    /// Interned id of the well-known `length` name (set by the VM once the
+    /// program's interner exists; property reads compare against it).
+    pub length_name: Option<nomap_bytecode::NameId>,
+    charged: u64,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runtime {
+    /// Creates a fresh runtime with default costs and RNG seed.
+    pub fn new() -> Self {
+        Runtime {
+            mem: Memory::new(),
+            shapes: ShapeTable::new(),
+            strings: StringTable::new(),
+            globals: Globals::new(),
+            rng: Lcg::new(0x9E37_79B9_7F4A_7C15),
+            profiles: ProfileStore::new(),
+            costs: Costs::default(),
+            output: String::new(),
+            length_name: None,
+            charged: 0,
+        }
+    }
+
+    /// Adds `n` to the charged dynamic-instruction counter. Runtime
+    /// semantics call this to account for the work a native ("C runtime")
+    /// implementation would execute.
+    #[inline]
+    pub fn charge(&mut self, n: u64) {
+        self.charged += n;
+    }
+
+    /// Returns and resets the charged-instruction counter. The executing
+    /// tier attributes these instructions (to the `NoFTL` category in the
+    /// paper's breakdown).
+    #[inline]
+    pub fn take_charged(&mut self) -> u64 {
+        std::mem::take(&mut self.charged)
+    }
+
+    /// Convenience handle for profile recording at `func`/`site`.
+    #[inline]
+    pub(crate) fn site_profile(
+        &mut self,
+        site: Option<(FuncId, SiteId)>,
+    ) -> Option<&mut SiteProfile> {
+        site.map(|(f, s)| self.profiles.site_mut(f, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates_and_resets() {
+        let mut rt = Runtime::new();
+        rt.charge(5);
+        rt.charge(7);
+        assert_eq!(rt.take_charged(), 12);
+        assert_eq!(rt.take_charged(), 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Heap cell layouts and allocation.
+//!
+//! * Object cell: `[header, storage_ptr, capacity]`; properties live
+//!   out-of-line at `storage_ptr + slot`.
+//! * Array cell: `[header, length, capacity, storage_ptr]`; elements live at
+//!   `storage_ptr + i`, holes are the [`Value::HOLE`] sentinel.
+//! * String cell: `[header, string_id, length]`; contents are interned on
+//!   the Rust side.
+//!
+//! The header word packs the cell kind in the low 3 bits and (for objects)
+//! the [`ShapeId`] above them — one word, one load, exactly what an FTL
+//! property/type check reads.
+
+use crate::semantics::RuntimeError;
+use crate::shape::ShapeId;
+use crate::strings::StringId;
+use crate::value::Value;
+use crate::Runtime;
+
+/// Offset of an object's out-of-line property storage pointer.
+pub const OBJ_STORAGE: u64 = 1;
+/// Offset of an object's property storage capacity.
+pub(crate) const OBJ_CAP: u64 = 2;
+/// Offset of an array's length.
+pub const ARR_LEN: u64 = 1;
+/// Offset of an array's element capacity.
+pub const ARR_CAP: u64 = 2;
+/// Offset of an array's element storage pointer.
+pub const ARR_STORAGE: u64 = 3;
+/// Offset of a string's id.
+pub(crate) const STR_ID: u64 = 1;
+/// Offset of a string's length.
+pub(crate) const STR_LEN: u64 = 2;
+
+/// Number of words in an object cell.
+pub fn object_words() -> u64 {
+    3
+}
+
+/// Number of words in an array cell.
+pub fn array_words() -> u64 {
+    4
+}
+
+/// Kind of a heap cell, stored in the header's low bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeapKind {
+    /// Plain object.
+    Object = 1,
+    /// Array.
+    Array = 2,
+    /// String.
+    Str = 3,
+}
+
+impl HeapKind {
+    fn from_bits(bits: u64) -> Option<HeapKind> {
+        match bits & 0x7 {
+            1 => Some(HeapKind::Object),
+            2 => Some(HeapKind::Array),
+            3 => Some(HeapKind::Str),
+            _ => None,
+        }
+    }
+}
+
+/// Packs a header word (public so code generators can embed the expected
+/// header as a check immediate).
+pub fn pack_header(kind: HeapKind, shape: ShapeId) -> u64 {
+    (kind as u64) | ((shape.0 as u64) << 3)
+}
+
+/// Extracts the shape from a header word.
+pub(crate) fn header_shape(header: u64) -> ShapeId {
+    ShapeId((header >> 3) as u32)
+}
+
+impl Runtime {
+    /// Allocates a fresh empty object, charging allocation cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::OutOfMemory`] when the simulated heap is
+    /// exhausted.
+    pub fn new_object(&mut self) -> Result<Value, RuntimeError> {
+        let charge = self.costs.alloc_object;
+        self.charge(charge);
+        let cell = self.mem.alloc(object_words()).ok_or(RuntimeError::OutOfMemory)?;
+        let storage = self.mem.alloc(4).ok_or(RuntimeError::OutOfMemory)?;
+        self.mem.write(cell, pack_header(HeapKind::Object, ShapeId::ROOT));
+        self.mem.write(cell + OBJ_STORAGE, storage);
+        self.mem.write(cell + OBJ_CAP, 4);
+        Ok(Value::new_cell(cell))
+    }
+
+    /// Allocates an array of `len` holes, charging allocation cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::OutOfMemory`] when the simulated heap is
+    /// exhausted.
+    pub fn new_array(&mut self, len: u32) -> Result<Value, RuntimeError> {
+        let cap = (len as u64).max(4);
+        let charge = self.costs.alloc_array + self.costs.grow_per_word * len as u64;
+        self.charge(charge);
+        let cell = self.mem.alloc(array_words()).ok_or(RuntimeError::OutOfMemory)?;
+        let storage = self.mem.alloc(cap).ok_or(RuntimeError::OutOfMemory)?;
+        self.mem.write(cell, pack_header(HeapKind::Array, ShapeId::ROOT));
+        self.mem.write(cell + ARR_LEN, len as u64);
+        self.mem.write(cell + ARR_CAP, cap);
+        self.mem.write(cell + ARR_STORAGE, storage);
+        for i in 0..len as u64 {
+            self.mem.write(storage + i, Value::HOLE.to_bits());
+        }
+        Ok(Value::new_cell(cell))
+    }
+
+    /// Returns the (cached) heap cell for interned string `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::OutOfMemory`] when the simulated heap is
+    /// exhausted.
+    pub fn string_value(&mut self, id: StringId) -> Result<Value, RuntimeError> {
+        if let Some(addr) = self.strings.cell(id) {
+            return Ok(Value::new_cell(addr));
+        }
+        let cell = self.mem.alloc(3).ok_or(RuntimeError::OutOfMemory)?;
+        let len = self.strings.get(id).chars().count() as u64;
+        self.mem.write(cell, pack_header(HeapKind::Str, ShapeId::ROOT));
+        self.mem.write(cell + STR_ID, id.0 as u64);
+        self.mem.write(cell + STR_LEN, len);
+        self.strings.set_cell(id, cell);
+        Ok(Value::new_cell(cell))
+    }
+
+    /// Kind of the heap cell at `addr` (un-logged header peek).
+    pub fn heap_kind(&self, addr: u64) -> Option<HeapKind> {
+        HeapKind::from_bits(self.mem.peek(addr))
+    }
+
+    /// Shape of the object at `addr` (un-logged header peek).
+    pub fn shape_of(&self, addr: u64) -> ShapeId {
+        header_shape(self.mem.peek(addr))
+    }
+
+    /// String id of the string cell at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when the cell is not a string.
+    pub fn string_id_of(&self, addr: u64) -> StringId {
+        debug_assert_eq!(self.heap_kind(addr), Some(HeapKind::Str));
+        StringId(self.mem.peek(addr + STR_ID) as u32)
+    }
+
+    /// Rust-side contents of the string value `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when `v` is not a string cell.
+    pub fn string_contents(&self, v: Value) -> &str {
+        self.strings.get(self.string_id_of(v.as_cell()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_layout() {
+        let mut rt = Runtime::new();
+        let o = rt.new_object().unwrap();
+        let addr = o.as_cell();
+        assert_eq!(rt.heap_kind(addr), Some(HeapKind::Object));
+        assert_eq!(rt.shape_of(addr), ShapeId::ROOT);
+        assert!(rt.take_charged() > 0);
+    }
+
+    #[test]
+    fn array_layout_and_holes() {
+        let mut rt = Runtime::new();
+        let a = rt.new_array(3).unwrap();
+        let addr = a.as_cell();
+        assert_eq!(rt.heap_kind(addr), Some(HeapKind::Array));
+        assert_eq!(rt.mem.peek(addr + ARR_LEN), 3);
+        let storage = rt.mem.peek(addr + ARR_STORAGE);
+        for i in 0..3 {
+            assert!(Value::from_bits(rt.mem.peek(storage + i)).is_hole());
+        }
+    }
+
+    #[test]
+    fn string_cells_are_cached() {
+        let mut rt = Runtime::new();
+        let id = rt.strings.intern("hello");
+        let a = rt.string_value(id).unwrap();
+        let b = rt.string_value(id).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(rt.string_contents(a), "hello");
+        assert_eq!(rt.mem.peek(a.as_cell() + STR_LEN), 5);
+    }
+
+    #[test]
+    fn header_pack_roundtrip() {
+        let h = pack_header(HeapKind::Object, ShapeId(77));
+        assert_eq!(HeapKind::from_bits(h), Some(HeapKind::Object));
+        assert_eq!(header_shape(h), ShapeId(77));
+    }
+}

@@ -1,0 +1,53 @@
+//! Deterministic PRNG backing `Math.random`, so every experiment run is
+//! exactly reproducible (the paper runs each benchmark many times; we need
+//! identical instruction counts across configurations).
+
+/// A 64-bit splitmix-style generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Creates a generator from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Lcg { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform double in `[0, 1)` (like `Math.random`).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Lcg::new(7);
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

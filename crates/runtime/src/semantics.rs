@@ -1,0 +1,1491 @@
+//! Generic (un-specialized) operation semantics — the ground truth every
+//! tier must agree with.
+//!
+//! These functions mirror what JavaScriptCore's C++ runtime does when
+//! Baseline code takes a slow path: full type dispatch, coercions, shape
+//! walks. Higher tiers replace them with guarded inline code; when a guard
+//! fails, execution deoptimizes back to code that calls these.
+
+use std::error::Error;
+use std::fmt;
+
+use nomap_bytecode::{BinaryOp, FuncId, Intrinsic, NameId, SiteId, UnaryOp};
+
+use crate::object::{
+    header_shape, pack_header, HeapKind, ARR_CAP, ARR_LEN, ARR_STORAGE, OBJ_CAP, OBJ_STORAGE,
+    STR_LEN,
+};
+use crate::profile::ValueKind;
+use crate::value::Value;
+use crate::Runtime;
+
+/// Errors a genuinely invalid MiniJS program can raise at runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Operation applied to a value of the wrong type (where JavaScript
+    /// would throw a `TypeError`).
+    TypeError(String),
+    /// A JavaScript behaviour MiniJS deliberately does not model.
+    Unsupported(String),
+    /// The simulated heap is exhausted.
+    OutOfMemory,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::TypeError(m) => write!(f, "type error: {m}"),
+            RuntimeError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            RuntimeError::OutOfMemory => write!(f, "simulated heap exhausted"),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+type R<T> = Result<T, RuntimeError>;
+type Site = Option<(FuncId, SiteId)>;
+
+impl Runtime {
+    /// Coarse kind of `v` (peeks headers; no logged traffic).
+    pub fn kind_of(&self, v: Value) -> ValueKind {
+        if v.is_int32() {
+            ValueKind::Int32
+        } else if v.is_double() {
+            ValueKind::Double
+        } else if v.is_bool() {
+            ValueKind::Bool
+        } else if v.is_cell() {
+            match self.heap_kind(v.as_cell()) {
+                Some(HeapKind::Object) => ValueKind::Object,
+                Some(HeapKind::Array) => ValueKind::Array,
+                Some(HeapKind::Str) => ValueKind::Str,
+                None => ValueKind::Other,
+            }
+        } else {
+            ValueKind::Other
+        }
+    }
+
+    fn record_binary(&mut self, site: Site, a: Value, b: Value) {
+        if site.is_none() {
+            return;
+        }
+        let ka = self.kind_of(a);
+        let kb = self.kind_of(b);
+        if let Some(p) = self.site_profile(site) {
+            p.count += 1;
+            p.kinds_a.insert(ka);
+            p.kinds_b.insert(kb);
+        }
+    }
+
+    fn record_result(&mut self, site: Site, v: Value) {
+        if site.is_none() {
+            return;
+        }
+        let k = self.kind_of(v);
+        if let Some(p) = self.site_profile(site) {
+            p.result.insert(k);
+        }
+    }
+
+    // ---- coercions -------------------------------------------------------
+
+    /// JavaScript `ToBoolean`.
+    pub fn to_boolean(&mut self, v: Value) -> bool {
+        let charge = self.costs.to_boolean;
+        self.charge(charge);
+        if v.is_int32() {
+            return v.as_int32() != 0;
+        }
+        if v.is_double() {
+            let d = v.as_double();
+            return d != 0.0 && !d.is_nan();
+        }
+        if v.is_bool() {
+            return v.as_bool();
+        }
+        if v.is_cell() {
+            if self.heap_kind(v.as_cell()) == Some(HeapKind::Str) {
+                return self.mem.peek(v.as_cell() + STR_LEN) != 0;
+            }
+            return true;
+        }
+        false // undefined, null, hole
+    }
+
+    /// JavaScript `ToNumber` (objects yield NaN; `ToPrimitive` chains are
+    /// not modelled).
+    pub fn to_number(&mut self, v: Value) -> f64 {
+        if v.is_int32() {
+            return v.as_int32() as f64;
+        }
+        if v.is_double() {
+            return v.as_double();
+        }
+        if v.is_bool() {
+            return if v.as_bool() { 1.0 } else { 0.0 };
+        }
+        if v.is_null() {
+            return 0.0;
+        }
+        if v.is_cell() && self.heap_kind(v.as_cell()) == Some(HeapKind::Str) {
+            let s = self.string_contents(v).trim().to_owned();
+            self.charge(self.costs.intrinsic_string + s.len() as u64);
+            if s.is_empty() {
+                return 0.0;
+            }
+            return s.parse::<f64>().unwrap_or(f64::NAN);
+        }
+        f64::NAN
+    }
+
+    /// JavaScript `ToInt32`.
+    pub fn to_int32(&mut self, v: Value) -> i32 {
+        if v.is_int32() {
+            return v.as_int32();
+        }
+        f64_to_int32(self.to_number(v))
+    }
+
+    /// JavaScript `ToUint32`.
+    pub fn to_uint32(&mut self, v: Value) -> u32 {
+        self.to_int32(v) as u32
+    }
+
+    /// JavaScript number formatting (integral doubles print without a
+    /// fractional part).
+    pub fn number_to_string(n: f64) -> String {
+        if n.is_nan() {
+            "NaN".to_owned()
+        } else if n.is_infinite() {
+            if n > 0.0 { "Infinity".to_owned() } else { "-Infinity".to_owned() }
+        } else if n == 0.0 {
+            "0".to_owned()
+        } else {
+            format!("{n}")
+        }
+    }
+
+    /// String form of `v` for concatenation and `print`.
+    pub fn to_display_string(&mut self, v: Value) -> String {
+        match self.kind_of(v) {
+            ValueKind::Int32 => v.as_int32().to_string(),
+            ValueKind::Double => Self::number_to_string(v.as_double()),
+            ValueKind::Bool => v.as_bool().to_string(),
+            ValueKind::Str => self.string_contents(v).to_owned(),
+            ValueKind::Object => "[object Object]".to_owned(),
+            ValueKind::Array => "[object Array]".to_owned(),
+            ValueKind::Other => {
+                if v.is_null() {
+                    "null".to_owned()
+                } else {
+                    "undefined".to_owned()
+                }
+            }
+        }
+    }
+
+    fn intern_value(&mut self, s: &str) -> R<Value> {
+        let id = self.strings.intern(s);
+        self.string_value(id)
+    }
+
+    // ---- generic operators ----------------------------------------------
+
+    /// Generic `+`: numeric addition or string concatenation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Unsupported`] for object/array operands
+    /// (MiniJS does not model `ToPrimitive`).
+    pub fn generic_add(&mut self, a: Value, b: Value, site: Site) -> R<Value> {
+        self.record_binary(site, a, b);
+        let charge = self.costs.generic_add;
+        self.charge(charge);
+        // int32 fast path with overflow detection — the behaviour the
+        // paper's Overflow checks guard.
+        if a.is_int32() && b.is_int32() {
+            match a.as_int32().checked_add(b.as_int32()) {
+                Some(r) => {
+                    let v = Value::new_int32(r);
+                    self.record_result(site, v);
+                    return Ok(v);
+                }
+                None => {
+                    if let Some(p) = self.site_profile(site) {
+                        p.overflowed = true;
+                    }
+                    let v = Value::new_double(a.as_int32() as f64 + b.as_int32() as f64);
+                    self.record_result(site, v);
+                    return Ok(v);
+                }
+            }
+        }
+        let ka = self.kind_of(a);
+        let kb = self.kind_of(b);
+        if ka == ValueKind::Str || kb == ValueKind::Str {
+            let sa = self.to_display_string(a);
+            let sb = self.to_display_string(b);
+            self.charge(self.costs.intrinsic_string + (sa.len() + sb.len()) as u64);
+            let v = self.intern_value(&format!("{sa}{sb}"))?;
+            self.record_result(site, v);
+            return Ok(v);
+        }
+        if matches!(ka, ValueKind::Object | ValueKind::Array)
+            || matches!(kb, ValueKind::Object | ValueKind::Array)
+        {
+            return Err(RuntimeError::Unsupported("`+` on object operands".into()));
+        }
+        let v = Value::new_number(self.to_number(a) + self.to_number(b));
+        self.record_result(site, v);
+        Ok(v)
+    }
+
+    /// Generic `-`, `*`, `/`, `%`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Unsupported`] for non-`BinaryOp::{Sub,Mul,
+    /// Div,Mod}` operators.
+    pub fn generic_arith(&mut self, op: BinaryOp, a: Value, b: Value, site: Site) -> R<Value> {
+        self.record_binary(site, a, b);
+        let charge = self.costs.generic_arith;
+        self.charge(charge);
+        if a.is_int32() && b.is_int32() {
+            let (ia, ib) = (a.as_int32(), b.as_int32());
+            let fast = match op {
+                BinaryOp::Sub => ia.checked_sub(ib),
+                BinaryOp::Mul => {
+                    let wide = ia as i64 * ib as i64;
+                    // Negative zero (e.g. `0 * -1`) must stay a double.
+                    if wide == 0 && (ia < 0 || ib < 0) {
+                        None
+                    } else {
+                        i32::try_from(wide).ok()
+                    }
+                }
+                BinaryOp::Mod if ia >= 0 && ib > 0 => Some(ia % ib),
+                _ => None,
+            };
+            if let Some(r) = fast {
+                let v = Value::new_int32(r);
+                self.record_result(site, v);
+                return Ok(v);
+            }
+            if matches!(op, BinaryOp::Sub | BinaryOp::Mul) {
+                if let Some(p) = self.site_profile(site) {
+                    p.overflowed = true;
+                }
+            }
+        }
+        let x = self.to_number(a);
+        let y = self.to_number(b);
+        let r = match op {
+            BinaryOp::Sub => x - y,
+            BinaryOp::Mul => x * y,
+            BinaryOp::Div => x / y,
+            BinaryOp::Mod => x % y,
+            other => {
+                return Err(RuntimeError::Unsupported(format!(
+                    "generic_arith on {other:?}"
+                )))
+            }
+        };
+        let v = Value::new_number(r);
+        self.record_result(site, v);
+        Ok(v)
+    }
+
+    /// Generic bitwise/shift operators.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Unsupported`] for non-bitwise operators.
+    pub fn generic_bitwise(&mut self, op: BinaryOp, a: Value, b: Value, site: Site) -> R<Value> {
+        self.record_binary(site, a, b);
+        let charge = self.costs.generic_bitwise;
+        self.charge(charge);
+        let ia = self.to_int32(a);
+        let ib = self.to_int32(b);
+        let v = match op {
+            BinaryOp::BitAnd => Value::new_int32(ia & ib),
+            BinaryOp::BitOr => Value::new_int32(ia | ib),
+            BinaryOp::BitXor => Value::new_int32(ia ^ ib),
+            BinaryOp::Shl => Value::new_int32(ia.wrapping_shl(ib as u32 & 31)),
+            BinaryOp::Shr => Value::new_int32(ia.wrapping_shr(ib as u32 & 31)),
+            BinaryOp::UShr => {
+                let r = (ia as u32).wrapping_shr(ib as u32 & 31);
+                Value::new_number(r as f64)
+            }
+            other => {
+                return Err(RuntimeError::Unsupported(format!(
+                    "generic_bitwise on {other:?}"
+                )))
+            }
+        };
+        self.record_result(site, v);
+        Ok(v)
+    }
+
+    /// Generic `<`, `<=`, `>`, `>=`, `==`, `!=`, `===`, `!==`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Unsupported`] for non-comparison operators.
+    pub fn generic_compare(&mut self, op: BinaryOp, a: Value, b: Value, site: Site) -> R<Value> {
+        self.record_binary(site, a, b);
+        let charge = self.costs.generic_compare;
+        self.charge(charge);
+        let result = match op {
+            BinaryOp::Eq => self.loose_eq(a, b),
+            BinaryOp::NotEq => !self.loose_eq(a, b),
+            BinaryOp::StrictEq => self.strict_eq(a, b),
+            BinaryOp::StrictNotEq => !self.strict_eq(a, b),
+            BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
+                let ka = self.kind_of(a);
+                let kb = self.kind_of(b);
+                if ka == ValueKind::Str && kb == ValueKind::Str {
+                    let sa = self.string_contents(a).to_owned();
+                    let sb = self.string_contents(b).to_owned();
+                    self.charge((sa.len() + sb.len()) as u64);
+                    match op {
+                        BinaryOp::Lt => sa < sb,
+                        BinaryOp::Le => sa <= sb,
+                        BinaryOp::Gt => sa > sb,
+                        _ => sa >= sb,
+                    }
+                } else {
+                    let x = self.to_number(a);
+                    let y = self.to_number(b);
+                    match op {
+                        BinaryOp::Lt => x < y,
+                        BinaryOp::Le => x <= y,
+                        BinaryOp::Gt => x > y,
+                        _ => x >= y,
+                    }
+                }
+            }
+            other => {
+                return Err(RuntimeError::Unsupported(format!(
+                    "generic_compare on {other:?}"
+                )))
+            }
+        };
+        let v = Value::new_bool(result);
+        self.record_result(site, v);
+        Ok(v)
+    }
+
+    fn strict_eq(&mut self, a: Value, b: Value) -> bool {
+        if a.is_number() || b.is_number() {
+            return a.is_number() && b.is_number() && {
+                let x = if a.is_int32() { a.as_int32() as f64 } else { a.as_double() };
+                let y = if b.is_int32() { b.as_int32() as f64 } else { b.as_double() };
+                x == y
+            };
+        }
+        // Strings are interned per content, so cell identity is content
+        // identity; everything else is identity too.
+        a == b
+    }
+
+    fn loose_eq(&mut self, a: Value, b: Value) -> bool {
+        if self.strict_eq(a, b) {
+            return true;
+        }
+        let a_nullish = a.is_null() || a.is_undefined();
+        let b_nullish = b.is_null() || b.is_undefined();
+        if a_nullish || b_nullish {
+            return a_nullish && b_nullish;
+        }
+        let ka = self.kind_of(a);
+        let kb = self.kind_of(b);
+        if matches!(ka, ValueKind::Object | ValueKind::Array)
+            || matches!(kb, ValueKind::Object | ValueKind::Array)
+        {
+            return false; // identity already handled by strict_eq
+        }
+        // number-vs-string / bool coercions all reduce to ToNumber.
+        let x = self.to_number(a);
+        let y = self.to_number(b);
+        x == y
+    }
+
+    /// Generic unary operator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::OutOfMemory`] when `typeof` needs to intern
+    /// and the heap is exhausted.
+    pub fn generic_unary(&mut self, op: UnaryOp, a: Value, site: Site) -> R<Value> {
+        if site.is_some() {
+            let k = self.kind_of(a);
+            if let Some(p) = self.site_profile(site) {
+                p.count += 1;
+                p.kinds_a.insert(k);
+            }
+        }
+        let charge = self.costs.generic_unary;
+        self.charge(charge);
+        let v = match op {
+            UnaryOp::Neg => {
+                if a.is_int32() {
+                    let i = a.as_int32();
+                    // `-0` and `-i32::MIN` require the double representation.
+                    if i != 0 {
+                        if let Some(r) = i.checked_neg() {
+                            let v = Value::new_int32(r);
+                            self.record_result(site, v);
+                            return Ok(v);
+                        }
+                    }
+                    if let Some(p) = self.site_profile(site) {
+                        p.overflowed = true;
+                    }
+                }
+                Value::new_number(-self.to_number(a))
+            }
+            UnaryOp::ToNumber => Value::new_number(self.to_number(a)),
+            UnaryOp::Not => Value::new_bool(!self.to_boolean(a)),
+            UnaryOp::BitNot => Value::new_int32(!self.to_int32(a)),
+            UnaryOp::Typeof => {
+                let name = match self.kind_of(a) {
+                    ValueKind::Int32 | ValueKind::Double => "number",
+                    ValueKind::Bool => "boolean",
+                    ValueKind::Str => "string",
+                    ValueKind::Object | ValueKind::Array => "object",
+                    ValueKind::Other => {
+                        if a.is_null() {
+                            "object"
+                        } else {
+                            "undefined"
+                        }
+                    }
+                };
+                self.intern_value(name)?
+            }
+        };
+        self.record_result(site, v);
+        Ok(v)
+    }
+
+    // ---- properties and elements ------------------------------------------
+
+    /// Generic property read (`obj.name`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::TypeError`] when `obj` is `null`/`undefined`.
+    pub fn get_prop(&mut self, obj: Value, name: NameId, site: Site) -> R<Value> {
+        let charge = self.costs.get_prop;
+        self.charge(charge);
+        if !obj.is_cell() {
+            if obj.is_null() || obj.is_undefined() {
+                return Err(RuntimeError::TypeError(
+                    "property read on null/undefined".into(),
+                ));
+            }
+            return Ok(Value::UNDEFINED); // numbers/bools have no own props
+        }
+        let addr = obj.as_cell();
+        let header = self.mem.read(addr);
+        match HeapKind::from_header(header) {
+            HeapKind::Array => {
+                if Some(name) == self.length_name {
+                    let len = self.mem.read(addr + ARR_LEN);
+                    let v = Value::new_number(len as f64);
+                    if let Some(p) = self.site_profile(site) {
+                        p.count += 1;
+                        p.kinds_a.insert(ValueKind::Array);
+                    }
+                    return Ok(v);
+                }
+                Ok(Value::UNDEFINED)
+            }
+            HeapKind::Str => {
+                if Some(name) == self.length_name {
+                    let len = self.mem.read(addr + STR_LEN);
+                    if let Some(p) = self.site_profile(site) {
+                        p.count += 1;
+                        p.kinds_a.insert(ValueKind::Str);
+                    }
+                    return Ok(Value::new_number(len as f64));
+                }
+                Ok(Value::UNDEFINED)
+            }
+            HeapKind::Object => {
+                let shape = header_shape(header);
+                let slot = self.shapes.lookup(shape, name);
+                if let Some(p) = self.site_profile(site) {
+                    p.count += 1;
+                    p.kinds_a.insert(ValueKind::Object);
+                    p.record_shape(shape);
+                    p.slot = slot;
+                }
+                match slot {
+                    Some(slot) => {
+                        let storage = self.mem.read(addr + OBJ_STORAGE);
+                        let v = Value::from_bits(self.mem.read(storage + slot as u64));
+                        self.record_result(site, v);
+                        Ok(v)
+                    }
+                    None => Ok(Value::UNDEFINED),
+                }
+            }
+        }
+    }
+
+    /// Generic property write (`obj.name = val`), transitioning the shape
+    /// when `name` is new.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::TypeError`] for non-object receivers and
+    /// [`RuntimeError::OutOfMemory`] when growth fails.
+    pub fn put_prop(&mut self, obj: Value, name: NameId, val: Value, site: Site) -> R<()> {
+        let charge = self.costs.put_prop;
+        self.charge(charge);
+        if !obj.is_cell() {
+            return Err(RuntimeError::TypeError("property write on non-object".into()));
+        }
+        let addr = obj.as_cell();
+        let header = self.mem.read(addr);
+        if HeapKind::from_header(header) != HeapKind::Object {
+            return Err(RuntimeError::TypeError(
+                "property write on array/string".into(),
+            ));
+        }
+        let shape = header_shape(header);
+        if let Some(slot) = self.shapes.lookup(shape, name) {
+            if let Some(p) = self.site_profile(site) {
+                p.count += 1;
+                p.kinds_a.insert(ValueKind::Object);
+                p.record_shape(shape);
+                p.slot = Some(slot);
+            }
+            let storage = self.mem.read(addr + OBJ_STORAGE);
+            self.mem.write(storage + slot as u64, val.to_bits());
+            return Ok(());
+        }
+        // Transition path.
+        let transition_charge = self.costs.shape_transition;
+        self.charge(transition_charge);
+        let (new_shape, slot) = self.shapes.transition(shape, name);
+        if let Some(p) = self.site_profile(site) {
+            p.count += 1;
+            p.kinds_a.insert(ValueKind::Object);
+            p.record_shape(shape);
+            p.saw_transition = true;
+        }
+        let cap = self.mem.read(addr + OBJ_CAP);
+        if slot as u64 >= cap {
+            let new_cap = (cap * 2).max(slot as u64 + 1);
+            let grow_charge = self.costs.array_grow_base + self.costs.grow_per_word * cap;
+            self.charge(grow_charge);
+            let new_storage = self.mem.alloc(new_cap).ok_or(RuntimeError::OutOfMemory)?;
+            let old_storage = self.mem.read(addr + OBJ_STORAGE);
+            for i in 0..cap {
+                let w = self.mem.read(old_storage + i);
+                self.mem.write(new_storage + i, w);
+            }
+            self.mem.write(addr + OBJ_STORAGE, new_storage);
+            self.mem.write(addr + OBJ_CAP, new_cap);
+        }
+        self.mem.write(addr, pack_header(HeapKind::Object, new_shape));
+        let storage = self.mem.read(addr + OBJ_STORAGE);
+        self.mem.write(storage + slot as u64, val.to_bits());
+        Ok(())
+    }
+
+    /// Integer index of `idx`, if it is a non-negative integral number.
+    fn index_of(&mut self, idx: Value) -> Option<u64> {
+        if idx.is_int32() {
+            let i = idx.as_int32();
+            return if i >= 0 { Some(i as u64) } else { None };
+        }
+        if idx.is_double() {
+            let d = idx.as_double();
+            if d >= 0.0 && d.fract() == 0.0 && d < (1u64 << 32) as f64 {
+                return Some(d as u64);
+            }
+        }
+        None
+    }
+
+    /// Generic element read (`arr[idx]`). Out-of-bounds and holes yield
+    /// `undefined` — the behaviour FTL's Bounds checks guard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::TypeError`] for non-indexable receivers.
+    pub fn get_index(&mut self, arr: Value, idx: Value, site: Site) -> R<Value> {
+        let charge = self.costs.get_index;
+        self.charge(charge);
+        if !arr.is_cell() {
+            return Err(RuntimeError::TypeError("indexed read on non-object".into()));
+        }
+        let addr = arr.as_cell();
+        let header = self.mem.read(addr);
+        match HeapKind::from_header(header) {
+            HeapKind::Array => {
+                let ik = self.kind_of(idx);
+                let len = self.mem.read(addr + ARR_LEN);
+                match self.index_of(idx) {
+                    Some(i) if i < len => {
+                        let storage = self.mem.read(addr + ARR_STORAGE);
+                        let v = Value::from_bits(self.mem.read(storage + i));
+                        if let Some(p) = self.site_profile(site) {
+                            p.count += 1;
+                            p.kinds_a.insert(ValueKind::Array);
+                            p.kinds_b.insert(ik);
+                            if v.is_hole() {
+                                p.saw_hole = true;
+                            }
+                        }
+                        if v.is_hole() {
+                            return Ok(Value::UNDEFINED);
+                        }
+                        self.record_result(site, v);
+                        Ok(v)
+                    }
+                    _ => {
+                        if let Some(p) = self.site_profile(site) {
+                            p.count += 1;
+                            p.kinds_a.insert(ValueKind::Array);
+                            p.kinds_b.insert(ik);
+                            p.saw_oob = true;
+                        }
+                        Ok(Value::UNDEFINED)
+                    }
+                }
+            }
+            HeapKind::Str => {
+                let s = self.string_contents(arr).to_owned();
+                self.charge(self.costs.intrinsic_string);
+                match self.index_of(idx) {
+                    Some(i) => match s.chars().nth(i as usize) {
+                        Some(c) => self.intern_value(&c.to_string()),
+                        None => Ok(Value::UNDEFINED),
+                    },
+                    None => Ok(Value::UNDEFINED),
+                }
+            }
+            HeapKind::Object => Ok(Value::UNDEFINED), // numeric props unmodelled
+        }
+    }
+
+    /// Generic element write (`arr[idx] = val`), elongating the array as
+    /// JavaScript requires (paper §IV-C1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::TypeError`] for non-array receivers or
+    /// negative/fractional indices, [`RuntimeError::OutOfMemory`] on failed
+    /// growth.
+    pub fn put_index(&mut self, arr: Value, idx: Value, val: Value, site: Site) -> R<()> {
+        let charge = self.costs.put_index;
+        self.charge(charge);
+        if !arr.is_cell() {
+            return Err(RuntimeError::TypeError("indexed write on non-object".into()));
+        }
+        let addr = arr.as_cell();
+        let header = self.mem.read(addr);
+        if HeapKind::from_header(header) != HeapKind::Array {
+            return Err(RuntimeError::TypeError("indexed write on non-array".into()));
+        }
+        let ik = self.kind_of(idx);
+        let i = self.index_of(idx).ok_or_else(|| {
+            RuntimeError::TypeError("array index must be a non-negative integer".into())
+        })?;
+        let len = self.mem.read(addr + ARR_LEN);
+        if let Some(p) = self.site_profile(site) {
+            p.count += 1;
+            p.kinds_a.insert(ValueKind::Array);
+            p.kinds_b.insert(ik);
+            if i >= len {
+                p.saw_oob = true; // appends/elongations disable specialization
+            }
+        }
+        if i < len {
+            let storage = self.mem.read(addr + ARR_STORAGE);
+            self.mem.write(storage + i, val.to_bits());
+            return Ok(());
+        }
+        // Elongation.
+        let cap = self.mem.read(addr + ARR_CAP);
+        if i >= cap {
+            let new_cap = (cap * 2).max(i + 1);
+            let grow_charge = self.costs.array_grow_base + self.costs.grow_per_word * len;
+            self.charge(grow_charge);
+            let new_storage = self.mem.alloc(new_cap).ok_or(RuntimeError::OutOfMemory)?;
+            let old_storage = self.mem.read(addr + ARR_STORAGE);
+            for w in 0..len {
+                let v = self.mem.read(old_storage + w);
+                self.mem.write(new_storage + w, v);
+            }
+            self.mem.write(addr + ARR_STORAGE, new_storage);
+            self.mem.write(addr + ARR_CAP, new_cap);
+        }
+        let storage = self.mem.read(addr + ARR_STORAGE);
+        for hole in len..i {
+            self.mem.write(storage + hole, Value::HOLE.to_bits());
+        }
+        self.mem.write(storage + i, val.to_bits());
+        self.mem.write(addr + ARR_LEN, i + 1);
+        Ok(())
+    }
+
+    // ---- globals ----------------------------------------------------------
+
+    /// Reads global `name` (never-assigned globals read as `undefined`).
+    pub fn get_global(&mut self, name: NameId) -> Value {
+        let charge = self.costs.global_access;
+        self.charge(charge);
+        let (addr, new) = self.globals.ensure_addr(name);
+        if new {
+            self.mem.poke(addr, Value::UNDEFINED.to_bits());
+        }
+        let bits = self.mem.read(addr);
+        if bits == 0 {
+            Value::UNDEFINED
+        } else {
+            Value::from_bits(bits)
+        }
+    }
+
+    /// Writes global `name`.
+    pub fn put_global(&mut self, name: NameId, v: Value) {
+        let charge = self.costs.global_access;
+        self.charge(charge);
+        let (addr, _) = self.globals.ensure_addr(name);
+        self.mem.write(addr, v.to_bits());
+    }
+
+    /// Address of global `name`'s slot (allocating it), for tiers that
+    /// compile global accesses to direct loads/stores.
+    pub fn global_slot(&mut self, name: NameId) -> u64 {
+        let (addr, new) = self.globals.ensure_addr(name);
+        if new {
+            self.mem.poke(addr, Value::UNDEFINED.to_bits());
+        }
+        addr
+    }
+
+    // ---- intrinsics --------------------------------------------------------
+
+    /// Calls a built-in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::TypeError`] when receivers have the wrong
+    /// type (e.g. `push` on a non-array).
+    pub fn call_intrinsic(&mut self, intr: Intrinsic, args: &[Value], site: Site) -> R<Value> {
+        use Intrinsic::*;
+        let arg = |i: usize| args.get(i).copied().unwrap_or(Value::UNDEFINED);
+        match intr {
+            MathSqrt | MathFloor | MathCeil | MathRound | MathAbs => {
+                let charge = self.costs.intrinsic_math;
+                self.charge(charge);
+                let x = self.to_number(arg(0));
+                let r = match intr {
+                    MathSqrt => x.sqrt(),
+                    MathFloor => x.floor(),
+                    MathCeil => x.ceil(),
+                    MathRound => (x + 0.5).floor(), // JS rounds half up
+                    _ => x.abs(),
+                };
+                Ok(Value::new_number(r))
+            }
+            MathSin | MathCos | MathTan | MathAtan | MathExp | MathLog => {
+                let charge = self.costs.intrinsic_trig;
+                self.charge(charge);
+                let x = self.to_number(arg(0));
+                let r = match intr {
+                    MathSin => x.sin(),
+                    MathCos => x.cos(),
+                    MathTan => x.tan(),
+                    MathAtan => x.atan(),
+                    MathExp => x.exp(),
+                    _ => x.ln(),
+                };
+                Ok(Value::new_number(r))
+            }
+            MathAtan2 | MathPow => {
+                let charge = self.costs.intrinsic_trig;
+                self.charge(charge);
+                let x = self.to_number(arg(0));
+                let y = self.to_number(arg(1));
+                let r = if intr == MathAtan2 { x.atan2(y) } else { x.powf(y) };
+                Ok(Value::new_number(r))
+            }
+            MathMax | MathMin => {
+                let charge = self.costs.intrinsic_math;
+                self.charge(charge);
+                if args.is_empty() {
+                    let r = if intr == MathMax { f64::NEG_INFINITY } else { f64::INFINITY };
+                    return Ok(Value::new_number(r));
+                }
+                let mut r = self.to_number(arg(0));
+                for &a in &args[1..] {
+                    let x = self.to_number(a);
+                    if x.is_nan() || r.is_nan() {
+                        r = f64::NAN;
+                    } else if (intr == MathMax) == (x > r) {
+                        r = x;
+                    }
+                }
+                Ok(Value::new_number(r))
+            }
+            MathRandom => {
+                let charge = self.costs.intrinsic_math;
+                self.charge(charge);
+                let r = self.rng.next_f64();
+                Ok(Value::new_double(r))
+            }
+            ArrayPush => {
+                let a = arg(0);
+                if self.kind_of(a) != ValueKind::Array {
+                    return Err(RuntimeError::TypeError("push on non-array".into()));
+                }
+                let len = self.mem.read(a.as_cell() + ARR_LEN);
+                self.put_index(a, Value::new_number(len as f64), arg(1), site)?;
+                Ok(Value::new_number(len as f64 + 1.0))
+            }
+            ArrayPop => {
+                let a = arg(0);
+                if self.kind_of(a) != ValueKind::Array {
+                    return Err(RuntimeError::TypeError("pop on non-array".into()));
+                }
+                let charge = self.costs.get_index;
+                self.charge(charge);
+                let addr = a.as_cell();
+                let len = self.mem.read(addr + ARR_LEN);
+                if len == 0 {
+                    return Ok(Value::UNDEFINED);
+                }
+                let storage = self.mem.read(addr + ARR_STORAGE);
+                let v = Value::from_bits(self.mem.read(storage + len - 1));
+                self.mem.write(addr + ARR_LEN, len - 1);
+                Ok(if v.is_hole() { Value::UNDEFINED } else { v })
+            }
+            StringCharCodeAt => {
+                let charge = self.costs.intrinsic_string;
+                self.charge(charge);
+                let s = self.expect_string(arg(0), "charCodeAt")?;
+                let i = self.to_number(arg(1)) as usize;
+                match s.chars().nth(i) {
+                    Some(c) => Ok(Value::new_number(c as u32 as f64)),
+                    None => Ok(Value::new_double(f64::NAN)),
+                }
+            }
+            StringCharAt => {
+                let charge = self.costs.intrinsic_string;
+                self.charge(charge);
+                let s = self.expect_string(arg(0), "charAt")?;
+                let i = self.to_number(arg(1)) as usize;
+                let out: String = s.chars().nth(i).map(|c| c.to_string()).unwrap_or_default();
+                self.intern_value(&out)
+            }
+            StringFromCharCode => {
+                let charge = self.costs.intrinsic_string;
+                self.charge(charge);
+                let mut out = String::new();
+                for &a in args {
+                    let c = self.to_uint32(a) as u16 as u32;
+                    out.push(char::from_u32(c).unwrap_or('\u{FFFD}'));
+                }
+                self.intern_value(&out)
+            }
+            StringSubstring => {
+                let s = self.expect_string(arg(0), "substring")?;
+                let n = s.chars().count();
+                let charge = self.costs.intrinsic_string + n as u64;
+                self.charge(charge);
+                let mut a = (self.to_number(arg(1)).max(0.0) as usize).min(n);
+                let mut b = if args.len() > 2 {
+                    (self.to_number(arg(2)).max(0.0) as usize).min(n)
+                } else {
+                    n
+                };
+                if a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                let out: String = s.chars().skip(a).take(b - a).collect();
+                self.intern_value(&out)
+            }
+            StringIndexOf => {
+                let s = self.expect_string(arg(0), "indexOf")?;
+                let needle = self.expect_string(arg(1), "indexOf")?;
+                let charge = self.costs.intrinsic_string + s.len() as u64;
+                self.charge(charge);
+                match s.find(&needle) {
+                    Some(byte) => {
+                        let char_idx = s[..byte].chars().count();
+                        Ok(Value::new_number(char_idx as f64))
+                    }
+                    None => Ok(Value::new_int32(-1)),
+                }
+            }
+            Print => {
+                let charge = self.costs.print;
+                self.charge(charge);
+                let text = self.to_display_string(arg(0));
+                self.output.push_str(&text);
+                self.output.push('\n');
+                Ok(Value::UNDEFINED)
+            }
+        }
+    }
+
+    fn expect_string(&mut self, v: Value, what: &str) -> R<String> {
+        if self.kind_of(v) == ValueKind::Str {
+            Ok(self.string_contents(v).to_owned())
+        } else {
+            Err(RuntimeError::TypeError(format!("{what} on non-string")))
+        }
+    }
+}
+
+impl HeapKind {
+    fn from_header(header: u64) -> HeapKind {
+        match header & 0x7 {
+            1 => HeapKind::Object,
+            2 => HeapKind::Array,
+            3 => HeapKind::Str,
+            other => panic!("corrupt heap header kind {other}"),
+        }
+    }
+}
+
+/// JavaScript `ToInt32` on a double.
+pub(crate) fn f64_to_int32(d: f64) -> i32 {
+    if !d.is_finite() || d == 0.0 {
+        return 0;
+    }
+    let t = d.trunc();
+    let m = t.rem_euclid(4294967296.0); // 2^32
+    let u = m as u64 as u32;
+    u as i32
+}
+
+/// A runtime helper callable from generated machine code.
+///
+/// Baseline code is essentially a sequence of these calls (paper Fig. 4(b));
+/// FTL code only reaches them through deoptimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeFn {
+    /// Generic binary operator.
+    Binary(BinaryOp),
+    /// Generic unary operator.
+    Unary(UnaryOp),
+    /// `ToBoolean` (for branches).
+    ToBoolean,
+    /// `obj.name`.
+    GetProp(NameId),
+    /// `obj.name = v`.
+    PutProp(NameId),
+    /// `arr[i]`.
+    GetIndex,
+    /// `arr[i] = v`.
+    PutIndex,
+    /// Read a global.
+    GetGlobal(NameId),
+    /// Write a global.
+    PutGlobal(NameId),
+    /// Allocate `{}`.
+    NewObject,
+    /// Allocate `new Array(n)`.
+    NewArray,
+    /// Call a built-in.
+    Intrinsic(Intrinsic),
+}
+
+impl RuntimeFn {
+    /// Executes the helper on `args`, recording profile data at `site`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying semantic errors.
+    pub fn dispatch(self, rt: &mut Runtime, args: &[Value], site: Site) -> R<Value> {
+        let arg = |i: usize| args.get(i).copied().unwrap_or(Value::UNDEFINED);
+        match self {
+            RuntimeFn::Binary(op) => {
+                if op == BinaryOp::Add {
+                    rt.generic_add(arg(0), arg(1), site)
+                } else if op.is_comparison() {
+                    rt.generic_compare(op, arg(0), arg(1), site)
+                } else if matches!(
+                    op,
+                    BinaryOp::BitAnd
+                        | BinaryOp::BitOr
+                        | BinaryOp::BitXor
+                        | BinaryOp::Shl
+                        | BinaryOp::Shr
+                        | BinaryOp::UShr
+                ) {
+                    rt.generic_bitwise(op, arg(0), arg(1), site)
+                } else {
+                    rt.generic_arith(op, arg(0), arg(1), site)
+                }
+            }
+            RuntimeFn::Unary(op) => rt.generic_unary(op, arg(0), site),
+            RuntimeFn::ToBoolean => {
+                let b = rt.to_boolean(arg(0));
+                Ok(Value::new_bool(b))
+            }
+            RuntimeFn::GetProp(name) => rt.get_prop(arg(0), name, site),
+            RuntimeFn::PutProp(name) => {
+                rt.put_prop(arg(0), name, arg(1), site)?;
+                Ok(Value::UNDEFINED)
+            }
+            RuntimeFn::GetIndex => rt.get_index(arg(0), arg(1), site),
+            RuntimeFn::PutIndex => {
+                rt.put_index(arg(0), arg(1), arg(2), site)?;
+                Ok(Value::UNDEFINED)
+            }
+            RuntimeFn::GetGlobal(name) => Ok(rt.get_global(name)),
+            RuntimeFn::PutGlobal(name) => {
+                rt.put_global(name, arg(0));
+                Ok(Value::UNDEFINED)
+            }
+            RuntimeFn::NewObject => rt.new_object(),
+            RuntimeFn::NewArray => {
+                let n = rt.to_number(arg(0));
+                if !(0.0..=u32::MAX as f64).contains(&n) || n.fract() != 0.0 {
+                    return Err(RuntimeError::TypeError("invalid array length".into()));
+                }
+                rt.new_array(n as u32)
+            }
+            RuntimeFn::Intrinsic(i) => rt.call_intrinsic(i, args, site),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rt() -> Runtime {
+        let mut rt = Runtime::new();
+        rt.length_name = Some(NameId(1000));
+        rt
+    }
+
+    #[test]
+    fn int_add_fast_path_and_overflow() {
+        let mut rt = rt();
+        let v = rt
+            .generic_add(Value::new_int32(2), Value::new_int32(3), None)
+            .unwrap();
+        assert_eq!(v, Value::new_int32(5));
+        let v = rt
+            .generic_add(Value::new_int32(i32::MAX), Value::new_int32(1), None)
+            .unwrap();
+        assert!(v.is_double());
+        assert_eq!(v.as_double(), i32::MAX as f64 + 1.0);
+    }
+
+    #[test]
+    fn overflow_is_profiled() {
+        let mut rt = rt();
+        let site = Some((FuncId(0), SiteId(0)));
+        rt.generic_add(Value::new_int32(1), Value::new_int32(2), site)
+            .unwrap();
+        assert!(!rt.profiles.site(FuncId(0), SiteId(0)).unwrap().overflowed);
+        rt.generic_add(Value::new_int32(i32::MAX), Value::new_int32(1), site)
+            .unwrap();
+        assert!(rt.profiles.site(FuncId(0), SiteId(0)).unwrap().overflowed);
+    }
+
+    #[test]
+    fn string_concat() {
+        let mut rt = rt();
+        let a = rt.intern_value("foo").unwrap();
+        let v = rt.generic_add(a, Value::new_int32(7), None).unwrap();
+        assert_eq!(rt.string_contents(v), "foo7");
+    }
+
+    #[test]
+    fn add_coercions() {
+        let mut rt = rt();
+        let v = rt.generic_add(Value::TRUE, Value::new_int32(1), None).unwrap();
+        assert_eq!(v, Value::new_int32(2));
+        let v = rt.generic_add(Value::NULL, Value::new_int32(1), None).unwrap();
+        assert_eq!(v, Value::new_int32(1));
+        let v = rt
+            .generic_add(Value::UNDEFINED, Value::new_int32(1), None)
+            .unwrap();
+        assert!(v.is_double() && v.as_double().is_nan());
+    }
+
+    #[test]
+    fn mul_negative_zero_stays_double() {
+        let mut rt = rt();
+        let v = rt
+            .generic_arith(BinaryOp::Mul, Value::new_int32(0), Value::new_int32(-1), None)
+            .unwrap();
+        assert!(v.is_double());
+        assert!(v.as_double() == 0.0 && v.as_double().is_sign_negative());
+    }
+
+    #[test]
+    fn division_produces_exact_ints() {
+        let mut rt = rt();
+        let v = rt
+            .generic_arith(BinaryOp::Div, Value::new_int32(8), Value::new_int32(2), None)
+            .unwrap();
+        assert_eq!(v, Value::new_int32(4));
+        let v = rt
+            .generic_arith(BinaryOp::Div, Value::new_int32(1), Value::new_int32(2), None)
+            .unwrap();
+        assert_eq!(v.as_double(), 0.5);
+    }
+
+    #[test]
+    fn modulo_sign_follows_dividend() {
+        let mut rt = rt();
+        let v = rt
+            .generic_arith(BinaryOp::Mod, Value::new_int32(-5), Value::new_int32(3), None)
+            .unwrap();
+        assert_eq!(v.as_number(), -2.0);
+    }
+
+    #[test]
+    fn bitwise_semantics() {
+        let mut rt = rt();
+        let v = rt
+            .generic_bitwise(BinaryOp::Shl, Value::new_int32(1), Value::new_int32(33), None)
+            .unwrap();
+        assert_eq!(v, Value::new_int32(2)); // shift count masked to 1
+        let v = rt
+            .generic_bitwise(BinaryOp::UShr, Value::new_int32(-1), Value::new_int32(0), None)
+            .unwrap();
+        assert_eq!(v.as_number(), u32::MAX as f64);
+        let v = rt
+            .generic_bitwise(
+                BinaryOp::BitAnd,
+                Value::new_double(5.9),
+                Value::new_int32(3),
+                None,
+            )
+            .unwrap();
+        assert_eq!(v, Value::new_int32(1)); // ToInt32 truncates 5.9 → 5
+    }
+
+    #[test]
+    fn comparisons() {
+        let mut rt = rt();
+        let t = rt
+            .generic_compare(BinaryOp::Lt, Value::new_int32(1), Value::new_double(1.5), None)
+            .unwrap();
+        assert_eq!(t, Value::TRUE);
+        let a = rt.intern_value("abc").unwrap();
+        let b = rt.intern_value("abd").unwrap();
+        let t = rt.generic_compare(BinaryOp::Lt, a, b, None).unwrap();
+        assert_eq!(t, Value::TRUE);
+        // NaN compares false.
+        let nan = Value::new_double(f64::NAN);
+        let t = rt.generic_compare(BinaryOp::Le, nan, nan, None).unwrap();
+        assert_eq!(t, Value::FALSE);
+    }
+
+    #[test]
+    fn equality_rules() {
+        let mut rt = rt();
+        // 1 === 1.0
+        let t = rt
+            .generic_compare(
+                BinaryOp::StrictEq,
+                Value::new_int32(1),
+                Value::new_double(1.0),
+                None,
+            )
+            .unwrap();
+        assert_eq!(t, Value::TRUE);
+        // null == undefined but null !== undefined
+        let t = rt
+            .generic_compare(BinaryOp::Eq, Value::NULL, Value::UNDEFINED, None)
+            .unwrap();
+        assert_eq!(t, Value::TRUE);
+        let t = rt
+            .generic_compare(BinaryOp::StrictEq, Value::NULL, Value::UNDEFINED, None)
+            .unwrap();
+        assert_eq!(t, Value::FALSE);
+        // "5" == 5
+        let five = rt.intern_value("5").unwrap();
+        let t = rt
+            .generic_compare(BinaryOp::Eq, five, Value::new_int32(5), None)
+            .unwrap();
+        assert_eq!(t, Value::TRUE);
+        // object identity
+        let o1 = rt.new_object().unwrap();
+        let o2 = rt.new_object().unwrap();
+        let t = rt.generic_compare(BinaryOp::Eq, o1, o2, None).unwrap();
+        assert_eq!(t, Value::FALSE);
+        let t = rt.generic_compare(BinaryOp::StrictEq, o1, o1, None).unwrap();
+        assert_eq!(t, Value::TRUE);
+    }
+
+    #[test]
+    fn unary_negate_zero_is_double() {
+        let mut rt = rt();
+        let v = rt.generic_unary(UnaryOp::Neg, Value::new_int32(0), None).unwrap();
+        assert!(v.is_double());
+        assert!(v.as_double().is_sign_negative());
+        let v = rt.generic_unary(UnaryOp::Neg, Value::new_int32(5), None).unwrap();
+        assert_eq!(v, Value::new_int32(-5));
+    }
+
+    #[test]
+    fn typeof_strings() {
+        let mut rt = rt();
+        for (v, expect) in [
+            (Value::new_int32(1), "number"),
+            (Value::TRUE, "boolean"),
+            (Value::UNDEFINED, "undefined"),
+            (Value::NULL, "object"),
+        ] {
+            let t = rt.generic_unary(UnaryOp::Typeof, v, None).unwrap();
+            assert_eq!(rt.string_contents(t), expect);
+        }
+    }
+
+    #[test]
+    fn property_roundtrip_and_shapes() {
+        let mut rt = rt();
+        let o = rt.new_object().unwrap();
+        rt.put_prop(o, NameId(1), Value::new_int32(10), None).unwrap();
+        rt.put_prop(o, NameId(2), Value::new_int32(20), None).unwrap();
+        assert_eq!(rt.get_prop(o, NameId(1), None).unwrap(), Value::new_int32(10));
+        assert_eq!(rt.get_prop(o, NameId(2), None).unwrap(), Value::new_int32(20));
+        assert_eq!(rt.get_prop(o, NameId(3), None).unwrap(), Value::UNDEFINED);
+        // Overwrite does not transition.
+        let shape_before = rt.shape_of(o.as_cell());
+        rt.put_prop(o, NameId(1), Value::new_int32(11), None).unwrap();
+        assert_eq!(rt.shape_of(o.as_cell()), shape_before);
+        assert_eq!(rt.get_prop(o, NameId(1), None).unwrap(), Value::new_int32(11));
+    }
+
+    #[test]
+    fn many_properties_grow_storage() {
+        let mut rt = rt();
+        let o = rt.new_object().unwrap();
+        for i in 0..32 {
+            rt.put_prop(o, NameId(i), Value::new_int32(i as i32), None).unwrap();
+        }
+        for i in 0..32 {
+            assert_eq!(
+                rt.get_prop(o, NameId(i), None).unwrap(),
+                Value::new_int32(i as i32)
+            );
+        }
+    }
+
+    #[test]
+    fn property_read_on_nullish_is_error() {
+        let mut rt = rt();
+        assert!(rt.get_prop(Value::NULL, NameId(0), None).is_err());
+        assert!(rt.get_prop(Value::UNDEFINED, NameId(0), None).is_err());
+        assert_eq!(
+            rt.get_prop(Value::new_int32(3), NameId(0), None).unwrap(),
+            Value::UNDEFINED
+        );
+    }
+
+    #[test]
+    fn array_length_and_string_length() {
+        let mut rt = rt();
+        let a = rt.new_array(7).unwrap();
+        let len_name = rt.length_name.unwrap();
+        assert_eq!(rt.get_prop(a, len_name, None).unwrap(), Value::new_int32(7));
+        let s = rt.intern_value("hello").unwrap();
+        assert_eq!(rt.get_prop(s, len_name, None).unwrap(), Value::new_int32(5));
+    }
+
+    #[test]
+    fn array_oob_and_holes_yield_undefined() {
+        let mut rt = rt();
+        let a = rt.new_array(3).unwrap();
+        rt.put_index(a, Value::new_int32(1), Value::new_int32(9), None).unwrap();
+        assert_eq!(rt.get_index(a, Value::new_int32(1), None).unwrap(), Value::new_int32(9));
+        assert_eq!(rt.get_index(a, Value::new_int32(0), None).unwrap(), Value::UNDEFINED); // hole
+        assert_eq!(rt.get_index(a, Value::new_int32(99), None).unwrap(), Value::UNDEFINED); // oob
+        assert_eq!(rt.get_index(a, Value::new_int32(-1), None).unwrap(), Value::UNDEFINED);
+    }
+
+    #[test]
+    fn array_elongation() {
+        let mut rt = rt();
+        let a = rt.new_array(0).unwrap();
+        rt.put_index(a, Value::new_int32(10), Value::new_int32(1), None).unwrap();
+        let len_name = rt.length_name.unwrap();
+        assert_eq!(rt.get_prop(a, len_name, None).unwrap(), Value::new_int32(11));
+        assert_eq!(rt.get_index(a, Value::new_int32(5), None).unwrap(), Value::UNDEFINED);
+        assert_eq!(rt.get_index(a, Value::new_int32(10), None).unwrap(), Value::new_int32(1));
+    }
+
+    #[test]
+    fn globals_roundtrip() {
+        let mut rt = rt();
+        assert_eq!(rt.get_global(NameId(5)), Value::UNDEFINED);
+        rt.put_global(NameId(5), Value::new_int32(3));
+        assert_eq!(rt.get_global(NameId(5)), Value::new_int32(3));
+    }
+
+    #[test]
+    fn push_pop() {
+        let mut rt = rt();
+        let a = rt.new_array(0).unwrap();
+        let len = rt
+            .call_intrinsic(Intrinsic::ArrayPush, &[a, Value::new_int32(4)], None)
+            .unwrap();
+        assert_eq!(len, Value::new_int32(1));
+        let v = rt.call_intrinsic(Intrinsic::ArrayPop, &[a], None).unwrap();
+        assert_eq!(v, Value::new_int32(4));
+        let v = rt.call_intrinsic(Intrinsic::ArrayPop, &[a], None).unwrap();
+        assert_eq!(v, Value::UNDEFINED);
+    }
+
+    #[test]
+    fn string_intrinsics() {
+        let mut rt = rt();
+        let s = rt.intern_value("hello").unwrap();
+        let c = rt
+            .call_intrinsic(Intrinsic::StringCharCodeAt, &[s, Value::new_int32(1)], None)
+            .unwrap();
+        assert_eq!(c, Value::new_int32(101));
+        let sub = rt
+            .call_intrinsic(
+                Intrinsic::StringSubstring,
+                &[s, Value::new_int32(1), Value::new_int32(3)],
+                None,
+            )
+            .unwrap();
+        assert_eq!(rt.string_contents(sub), "el");
+        let idx = rt.intern_value("ll").unwrap();
+        let found = rt
+            .call_intrinsic(Intrinsic::StringIndexOf, &[s, idx], None)
+            .unwrap();
+        assert_eq!(found, Value::new_int32(2));
+        let built = rt
+            .call_intrinsic(
+                Intrinsic::StringFromCharCode,
+                &[Value::new_int32(72), Value::new_int32(105)],
+                None,
+            )
+            .unwrap();
+        assert_eq!(rt.string_contents(built), "Hi");
+    }
+
+    #[test]
+    fn math_intrinsics() {
+        let mut rt = rt();
+        let v = rt
+            .call_intrinsic(Intrinsic::MathFloor, &[Value::new_double(2.7)], None)
+            .unwrap();
+        assert_eq!(v, Value::new_int32(2));
+        let v = rt
+            .call_intrinsic(Intrinsic::MathPow, &[Value::new_int32(2), Value::new_int32(10)], None)
+            .unwrap();
+        assert_eq!(v, Value::new_int32(1024));
+        let v = rt
+            .call_intrinsic(
+                Intrinsic::MathMax,
+                &[Value::new_int32(1), Value::new_int32(5), Value::new_int32(3)],
+                None,
+            )
+            .unwrap();
+        assert_eq!(v, Value::new_int32(5));
+    }
+
+    #[test]
+    fn print_accumulates_output() {
+        let mut rt = rt();
+        rt.call_intrinsic(Intrinsic::Print, &[Value::new_int32(42)], None).unwrap();
+        let s = rt.intern_value("done").unwrap();
+        rt.call_intrinsic(Intrinsic::Print, &[s], None).unwrap();
+        assert_eq!(rt.output, "42\ndone\n");
+    }
+
+    #[test]
+    fn to_boolean_table() {
+        let mut rt = rt();
+        assert!(!rt.to_boolean(Value::new_int32(0)));
+        assert!(rt.to_boolean(Value::new_int32(-1)));
+        assert!(!rt.to_boolean(Value::new_double(f64::NAN)));
+        assert!(!rt.to_boolean(Value::new_double(-0.0)));
+        assert!(!rt.to_boolean(Value::UNDEFINED));
+        assert!(!rt.to_boolean(Value::NULL));
+        assert!(!rt.to_boolean(Value::FALSE));
+        let empty = rt.intern_value("").unwrap();
+        assert!(!rt.to_boolean(empty));
+        let full = rt.intern_value("x").unwrap();
+        assert!(rt.to_boolean(full));
+        let obj = rt.new_object().unwrap();
+        assert!(rt.to_boolean(obj));
+    }
+
+    #[test]
+    fn runtime_fn_dispatch_matches_direct() {
+        let mut rt = rt();
+        let v = RuntimeFn::Binary(BinaryOp::Add)
+            .dispatch(&mut rt, &[Value::new_int32(2), Value::new_int32(3)], None)
+            .unwrap();
+        assert_eq!(v, Value::new_int32(5));
+        let o = RuntimeFn::NewObject.dispatch(&mut rt, &[], None).unwrap();
+        RuntimeFn::PutProp(NameId(9))
+            .dispatch(&mut rt, &[o, Value::new_int32(1)], None)
+            .unwrap();
+        let v = RuntimeFn::GetProp(NameId(9)).dispatch(&mut rt, &[o], None).unwrap();
+        assert_eq!(v, Value::new_int32(1));
+    }
+
+    #[test]
+    fn f64_to_int32_wraps() {
+        assert_eq!(f64_to_int32(4294967296.0), 0);
+        assert_eq!(f64_to_int32(4294967297.0), 1);
+        assert_eq!(f64_to_int32(-1.0), -1);
+        assert_eq!(f64_to_int32(2147483648.0), i32::MIN);
+        assert_eq!(f64_to_int32(f64::NAN), 0);
+        assert_eq!(f64_to_int32(f64::INFINITY), 0);
+        assert_eq!(f64_to_int32(5.9), 5);
+        assert_eq!(f64_to_int32(-5.9), -5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_int_add_matches_f64(a: i32, b: i32) {
+            let mut rt = Runtime::new();
+            let v = rt.generic_add(Value::new_int32(a), Value::new_int32(b), None).unwrap();
+            prop_assert_eq!(v.as_number(), a as f64 + b as f64);
+        }
+
+        #[test]
+        fn prop_bitand_matches(a: i32, b: i32) {
+            let mut rt = Runtime::new();
+            let v = rt
+                .generic_bitwise(BinaryOp::BitAnd, Value::new_int32(a), Value::new_int32(b), None)
+                .unwrap();
+            prop_assert_eq!(v.as_int32(), a & b);
+        }
+
+        #[test]
+        fn prop_to_int32_agrees_with_wrapping(d in -1.0e12f64..1.0e12) {
+            let wrapped = f64_to_int32(d);
+            let expect = (d.trunc() as i64 & 0xFFFF_FFFF) as u32 as i32;
+            prop_assert_eq!(wrapped, expect);
+        }
+
+        #[test]
+        fn prop_array_put_get_roundtrip(idx in 0u32..200, val: i32) {
+            let mut rt = Runtime::new();
+            let a = rt.new_array(4).unwrap();
+            rt.put_index(a, Value::new_number(idx as f64), Value::new_int32(val), None).unwrap();
+            let v = rt.get_index(a, Value::new_number(idx as f64), None).unwrap();
+            prop_assert_eq!(v, Value::new_int32(val));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Hidden classes ("shapes", JavaScriptCore calls them Structures).
+//!
+//! Every object carries a [`ShapeId`] in its header. Adding a property
+//! transitions the object to a child shape; objects built by the same code
+//! path converge on the same shape, which is what makes the FTL tier's
+//! *property checks* (paper §III-A1) work: a single shape comparison proves
+//! the slot offset of every property.
+
+use std::collections::HashMap;
+
+use nomap_bytecode::NameId;
+
+/// Identifier of a hidden class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShapeId(pub u32);
+
+impl ShapeId {
+    /// The shape of a freshly created empty object.
+    pub const ROOT: ShapeId = ShapeId(0);
+}
+
+#[derive(Debug, Clone)]
+struct Shape {
+    /// Property → slot map (full copy per shape; fine at our scale).
+    slots: HashMap<NameId, u32>,
+    /// Add-property transitions.
+    transitions: HashMap<NameId, ShapeId>,
+    /// Number of slots an object of this shape uses.
+    slot_count: u32,
+}
+
+/// The table of all shapes created so far.
+#[derive(Debug, Clone)]
+pub struct ShapeTable {
+    shapes: Vec<Shape>,
+}
+
+impl Default for ShapeTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShapeTable {
+    /// Creates a table containing only the root (empty) shape.
+    pub fn new() -> Self {
+        ShapeTable {
+            shapes: vec![Shape {
+                slots: HashMap::new(),
+                transitions: HashMap::new(),
+                slot_count: 0,
+            }],
+        }
+    }
+
+    /// Looks up the slot of `name` in `shape`.
+    pub fn lookup(&self, shape: ShapeId, name: NameId) -> Option<u32> {
+        self.shapes[shape.0 as usize].slots.get(&name).copied()
+    }
+
+    /// Number of property slots used by objects of `shape`.
+    pub fn slot_count(&self, shape: ShapeId) -> u32 {
+        self.shapes[shape.0 as usize].slot_count
+    }
+
+    /// Returns the shape reached from `shape` by adding `name`, creating it
+    /// on first use, along with the slot assigned to `name`.
+    pub fn transition(&mut self, shape: ShapeId, name: NameId) -> (ShapeId, u32) {
+        if let Some(slot) = self.lookup(shape, name) {
+            return (shape, slot);
+        }
+        if let Some(&next) = self.shapes[shape.0 as usize].transitions.get(&name) {
+            let slot = self.lookup(next, name).expect("transition target has the property");
+            return (next, slot);
+        }
+        let parent = &self.shapes[shape.0 as usize];
+        let slot = parent.slot_count;
+        let mut slots = parent.slots.clone();
+        slots.insert(name, slot);
+        let child = Shape {
+            slots,
+            transitions: HashMap::new(),
+            slot_count: slot + 1,
+        };
+        let child_id = ShapeId(self.shapes.len() as u32);
+        self.shapes.push(child);
+        self.shapes[shape.0 as usize].transitions.insert(name, child_id);
+        (child_id, slot)
+    }
+
+    /// Total number of shapes created.
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Always false: the root shape exists from construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NameId {
+        NameId(i)
+    }
+
+    #[test]
+    fn transitions_are_shared() {
+        let mut t = ShapeTable::new();
+        let (s1, slot_a) = t.transition(ShapeId::ROOT, n(0));
+        let (s1b, slot_a2) = t.transition(ShapeId::ROOT, n(0));
+        assert_eq!(s1, s1b);
+        assert_eq!(slot_a, slot_a2);
+        assert_eq!(slot_a, 0);
+        let (s2, slot_b) = t.transition(s1, n(1));
+        assert_eq!(slot_b, 1);
+        assert_eq!(t.lookup(s2, n(0)), Some(0));
+        assert_eq!(t.lookup(s2, n(1)), Some(1));
+        assert_eq!(t.lookup(s1, n(1)), None);
+    }
+
+    #[test]
+    fn same_property_order_same_shape() {
+        let mut t = ShapeTable::new();
+        let (a1, _) = t.transition(ShapeId::ROOT, n(5));
+        let (a2, _) = t.transition(a1, n(6));
+        let (b1, _) = t.transition(ShapeId::ROOT, n(5));
+        let (b2, _) = t.transition(b1, n(6));
+        assert_eq!(a2, b2);
+    }
+
+    #[test]
+    fn different_order_different_shape() {
+        let mut t = ShapeTable::new();
+        let (a1, _) = t.transition(ShapeId::ROOT, n(1));
+        let (a2, _) = t.transition(a1, n(2));
+        let (b1, _) = t.transition(ShapeId::ROOT, n(2));
+        let (b2, _) = t.transition(b1, n(1));
+        assert_ne!(a2, b2);
+    }
+
+    #[test]
+    fn existing_property_transition_is_identity() {
+        let mut t = ShapeTable::new();
+        let (s1, _) = t.transition(ShapeId::ROOT, n(0));
+        let (s1b, slot) = t.transition(s1, n(0));
+        assert_eq!(s1, s1b);
+        assert_eq!(slot, 0);
+        assert_eq!(t.slot_count(s1), 1);
+    }
+}

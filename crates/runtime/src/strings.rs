@@ -1,0 +1,92 @@
+//! Runtime string table.
+//!
+//! String *contents* are interned on the Rust side; each distinct string
+//! gets one heap cell (`[header, string_id, length]`) so string values are
+//! ordinary cells with realistic header reads.
+
+use std::collections::HashMap;
+
+/// Identifier of an interned runtime string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StringId(pub u32);
+
+/// Interned runtime strings plus their lazily-allocated heap cells.
+#[derive(Debug, Clone, Default)]
+pub struct StringTable {
+    strings: Vec<String>,
+    map: HashMap<String, StringId>,
+    cells: Vec<Option<u64>>,
+}
+
+impl StringTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`.
+    pub fn intern(&mut self, s: &str) -> StringId {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = StringId(self.strings.len() as u32);
+        self.strings.push(s.to_owned());
+        self.map.insert(s.to_owned(), id);
+        self.cells.push(None);
+        id
+    }
+
+    /// The contents of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn get(&self, id: StringId) -> &str {
+        &self.strings[id.0 as usize]
+    }
+
+    /// Cached heap cell address for `id`, if one was allocated.
+    pub fn cell(&self, id: StringId) -> Option<u64> {
+        self.cells[id.0 as usize]
+    }
+
+    /// Records the heap cell allocated for `id`.
+    pub fn set_cell(&mut self, id: StringId, addr: u64) {
+        self.cells[id.0 as usize] = Some(addr);
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when no strings are interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut t = StringTable::new();
+        let a = t.intern("abc");
+        let b = t.intern("abc");
+        let c = t.intern("abd");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.get(a), "abc");
+    }
+
+    #[test]
+    fn cells_start_unallocated() {
+        let mut t = StringTable::new();
+        let a = t.intern("x");
+        assert_eq!(t.cell(a), None);
+        t.set_cell(a, 0x2000);
+        assert_eq!(t.cell(a), Some(0x2000));
+    }
+}

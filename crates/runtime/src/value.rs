@@ -1,0 +1,356 @@
+//! NaN-boxed 64-bit value encoding, modelled on JavaScriptCore's `JSValue`.
+//!
+//! Encoding (high 16 bits distinguish the classes):
+//!
+//! | Pattern                     | Meaning                               |
+//! |-----------------------------|---------------------------------------|
+//! | `0xFFFF_xxxx_xxxx_xxxx`     | int32 (payload in the low 32 bits)    |
+//! | `0x0001.. ..= 0xFFF1..`     | double, stored as `bits + 2^48`       |
+//! | `0x0000_0000_0000_000x`     | specials (undefined/null/bools/hole)  |
+//! | `0x0000_...` ≥ `0x1000`     | cell: simulated-memory word address   |
+//!
+//! All NaNs are canonicalized on encode so no double collides with the
+//! int32 tag.
+
+use std::fmt;
+
+/// Offset added to raw `f64` bits so encoded doubles never collide with
+/// cells (high word zero) or int32s (high word `0xFFFF`).
+const DOUBLE_OFFSET: u64 = 0x0001_0000_0000_0000;
+/// Int32 tag in the high 16 bits.
+const INT32_TAG: u64 = 0xFFFF_0000_0000_0000;
+/// Canonical quiet-NaN bit pattern.
+const CANON_NAN: u64 = 0x7FF8_0000_0000_0000;
+
+/// Lowest valid cell (simulated word) address; special constants live below.
+pub(crate) const MIN_CELL_ADDR: u64 = 0x1000;
+
+/// A NaN-boxed MiniJS value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Value(u64);
+
+impl Value {
+    /// `undefined`.
+    pub const UNDEFINED: Value = Value(0x0A);
+    /// `null`.
+    pub const NULL: Value = Value(0x02);
+    /// `true`.
+    pub const TRUE: Value = Value(0x07);
+    /// `false`.
+    pub const FALSE: Value = Value(0x06);
+    /// Array-hole sentinel (never observable from MiniJS code).
+    pub const HOLE: Value = Value(0x0C);
+
+    /// Builds a value from raw encoded bits.
+    #[inline]
+    pub fn from_bits(bits: u64) -> Value {
+        Value(bits)
+    }
+
+    /// Raw encoded bits.
+    #[inline]
+    pub fn to_bits(self) -> u64 {
+        self.0
+    }
+
+    /// Encodes an int32.
+    #[inline]
+    pub fn new_int32(v: i32) -> Value {
+        Value(INT32_TAG | (v as u32 as u64))
+    }
+
+    /// Encodes a double (NaNs canonicalized).
+    #[inline]
+    pub fn new_double(v: f64) -> Value {
+        let bits = if v.is_nan() { CANON_NAN } else { v.to_bits() };
+        Value(bits + DOUBLE_OFFSET)
+    }
+
+    /// Encodes a number, preferring the int32 representation when exact
+    /// (this matches the engine behaviour the paper's overflow checks
+    /// protect: ints until overflow, doubles after).
+    #[inline]
+    pub fn new_number(v: f64) -> Value {
+        let as_int = v as i32;
+        if as_int as f64 == v && !(v == 0.0 && v.is_sign_negative()) {
+            Value::new_int32(as_int)
+        } else {
+            Value::new_double(v)
+        }
+    }
+
+    /// Encodes a boolean.
+    #[inline]
+    pub fn new_bool(v: bool) -> Value {
+        if v {
+            Value::TRUE
+        } else {
+            Value::FALSE
+        }
+    }
+
+    /// Encodes a cell (simulated-memory word address).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is below the minimum cell address or ≥ 2^48.
+    #[inline]
+    pub fn new_cell(addr: u64) -> Value {
+        assert!(
+            (MIN_CELL_ADDR..DOUBLE_OFFSET).contains(&addr),
+            "cell address {addr:#x} out of range"
+        );
+        Value(addr)
+    }
+
+    /// True for the int32 representation.
+    #[inline]
+    pub fn is_int32(self) -> bool {
+        self.0 >= INT32_TAG
+    }
+
+    /// Decodes an int32.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an int32.
+    #[inline]
+    pub fn as_int32(self) -> i32 {
+        debug_assert!(self.is_int32());
+        self.0 as u32 as i32
+    }
+
+    /// True for the double representation (excludes int32).
+    #[inline]
+    pub fn is_double(self) -> bool {
+        (DOUBLE_OFFSET..INT32_TAG).contains(&self.0)
+    }
+
+    /// True for any number (int32 or double).
+    #[inline]
+    pub fn is_number(self) -> bool {
+        self.0 >= DOUBLE_OFFSET
+    }
+
+    /// Decodes a double.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the value is not a double.
+    #[inline]
+    pub fn as_double(self) -> f64 {
+        debug_assert!(self.is_double());
+        f64::from_bits(self.0 - DOUBLE_OFFSET)
+    }
+
+    /// Numeric value of an int32 or double.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the value is not a number.
+    #[inline]
+    pub fn as_number(self) -> f64 {
+        if self.is_int32() {
+            self.as_int32() as f64
+        } else {
+            self.as_double()
+        }
+    }
+
+    /// True for cells (object/array/string references).
+    #[inline]
+    pub fn is_cell(self) -> bool {
+        (MIN_CELL_ADDR..DOUBLE_OFFSET).contains(&self.0)
+    }
+
+    /// Decodes a cell address.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the value is not a cell.
+    #[inline]
+    pub fn as_cell(self) -> u64 {
+        debug_assert!(self.is_cell());
+        self.0
+    }
+
+    /// True for `true`/`false`.
+    #[inline]
+    pub fn is_bool(self) -> bool {
+        self == Value::TRUE || self == Value::FALSE
+    }
+
+    /// Decodes a boolean.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the value is not a boolean.
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        debug_assert!(self.is_bool());
+        self == Value::TRUE
+    }
+
+    /// True for `undefined`.
+    #[inline]
+    pub fn is_undefined(self) -> bool {
+        self == Value::UNDEFINED
+    }
+
+    /// True for `null`.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == Value::NULL
+    }
+
+    /// True for the array-hole sentinel.
+    #[inline]
+    pub fn is_hole(self) -> bool {
+        self == Value::HOLE
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_int32() {
+            write!(f, "Int32({})", self.as_int32())
+        } else if self.is_double() {
+            write!(f, "Double({})", self.as_double())
+        } else if self.is_cell() {
+            write!(f, "Cell({:#x})", self.as_cell())
+        } else if *self == Value::UNDEFINED {
+            write!(f, "Undefined")
+        } else if *self == Value::NULL {
+            write!(f, "Null")
+        } else if self.is_bool() {
+            write!(f, "Bool({})", self.as_bool())
+        } else if self.is_hole() {
+            write!(f, "Hole")
+        } else {
+            write!(f, "Value({:#x})", self.0)
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::new_int32(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::new_number(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::new_bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn int32_roundtrip_extremes() {
+        for v in [0, 1, -1, i32::MIN, i32::MAX] {
+            let e = Value::new_int32(v);
+            assert!(e.is_int32());
+            assert!(!e.is_double());
+            assert!(!e.is_cell());
+            assert_eq!(e.as_int32(), v);
+        }
+    }
+
+    #[test]
+    fn double_roundtrip_specials() {
+        for v in [0.5, -0.0, f64::INFINITY, f64::NEG_INFINITY, 1e308, -1e-308] {
+            let e = Value::new_double(v);
+            assert!(e.is_double(), "{v} not double: {e:?}");
+            assert_eq!(e.as_double().to_bits(), v.to_bits());
+        }
+        let nan = Value::new_double(f64::NAN);
+        assert!(nan.is_double());
+        assert!(nan.as_double().is_nan());
+    }
+
+    #[test]
+    fn new_number_prefers_int32() {
+        assert!(Value::new_number(7.0).is_int32());
+        assert!(Value::new_number(7.5).is_double());
+        assert!(Value::new_number(-0.0).is_double());
+        assert!(Value::new_number(2147483648.0).is_double()); // i32::MAX + 1
+        assert!(Value::new_number(2147483647.0).is_int32());
+    }
+
+    #[test]
+    fn specials_are_distinct() {
+        let all = [
+            Value::UNDEFINED,
+            Value::NULL,
+            Value::TRUE,
+            Value::FALSE,
+            Value::HOLE,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for (j, b) in all.iter().enumerate() {
+                assert_eq!(i == j, a == b);
+            }
+            assert!(!a.is_cell() && !a.is_number());
+        }
+    }
+
+    #[test]
+    fn cell_roundtrip() {
+        let c = Value::new_cell(0x1234_5678);
+        assert!(c.is_cell());
+        assert_eq!(c.as_cell(), 0x1234_5678);
+        assert!(!c.is_number());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn small_cell_address_panics() {
+        let _ = Value::new_cell(0x10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_int32_roundtrip(v: i32) {
+            prop_assert_eq!(Value::new_int32(v).as_int32(), v);
+        }
+
+        #[test]
+        fn prop_double_roundtrip(v: f64) {
+            let e = Value::new_double(v);
+            prop_assert!(e.is_double());
+            if v.is_nan() {
+                prop_assert!(e.as_double().is_nan());
+            } else {
+                prop_assert_eq!(e.as_double().to_bits(), v.to_bits());
+            }
+        }
+
+        #[test]
+        fn prop_classes_are_exclusive(bits: u64) {
+            let v = Value::from_bits(bits);
+            let classes =
+                v.is_int32() as u8 + v.is_double() as u8 + v.is_cell() as u8;
+            prop_assert!(classes <= 1);
+        }
+
+        #[test]
+        fn prop_number_matches_f64(v: f64) {
+            let e = Value::new_number(v);
+            if v.is_nan() {
+                prop_assert!(e.as_number().is_nan());
+            } else {
+                prop_assert_eq!(e.as_number(), v);
+            }
+        }
+    }
+}

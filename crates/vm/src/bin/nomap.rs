@@ -1,0 +1,185 @@
+//! `nomap` — command-line driver for the NoMap VM.
+//!
+//! ```text
+//! nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]
+//! nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]
+//! nomap archs
+//! ```
+//!
+//! The script's top level runs once; if it defines `run()`, that function is
+//! warmed to steady state and measured.
+
+use std::process::ExitCode;
+
+use nomap_vm::{Architecture, CheckKind, InstCategory, Tier, TierLimit, Vm, VmConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("archs") => {
+            for a in Architecture::ALL {
+                println!("{}", a.name());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "usage:\n  nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]\n  nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]\n  nomap archs"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_arch(s: &str) -> Option<Architecture> {
+    Architecture::ALL.into_iter().find(|a| a.name().eq_ignore_ascii_case(s))
+}
+
+fn parse_tier_limit(s: &str) -> Option<TierLimit> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "interpreter" | "interp" => TierLimit::Interpreter,
+        "baseline" => TierLimit::Baseline,
+        "dfg" => TierLimit::Dfg,
+        "ftl" => TierLimit::Ftl,
+        _ => return None,
+    })
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn build_vm(args: &[String]) -> Result<(Vm, bool), String> {
+    let file = args.first().ok_or("missing script path")?;
+    let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let arch = match flag_value(args, "--arch") {
+        Some(s) => parse_arch(s).ok_or_else(|| format!("unknown architecture `{s}`"))?,
+        None => Architecture::NoMap,
+    };
+    let mut config = VmConfig::new(arch);
+    if let Some(s) = flag_value(args, "--tier") {
+        config.tier_limit =
+            parse_tier_limit(s).ok_or_else(|| format!("unknown tier cap `{s}`"))?;
+    }
+    let vm = Vm::with_config(&src, config).map_err(|e| e.to_string())?;
+    let stats = args.iter().any(|a| a == "--stats");
+    Ok((vm, stats))
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let (mut vm, want_stats) = match build_vm(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let warmup: u32 = flag_value(args, "--warmup")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+    if let Err(e) = vm.run_main() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    print!("{}", vm.output());
+    if vm.program.function_ids.contains_key("run") {
+        let mut last = None;
+        for _ in 0..warmup {
+            match vm.call("run", &[]) {
+                Ok(v) => last = Some(v),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        vm.reset_stats();
+        match vm.call("run", &[]) {
+            Ok(v) => {
+                println!("run() = {v:?}");
+                last = Some(v);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let _ = last;
+    }
+    if want_stats {
+        let s = &vm.stats;
+        println!("--- steady-state statistics ({}) ---", vm.config.arch.name());
+        println!("instructions : {}", s.total_insts());
+        for c in InstCategory::ALL {
+            println!("  {:<8}   : {}", format!("{c:?}"), s.insts(c));
+        }
+        println!("cycles       : {} (TM {}, non-TM {})", s.total_cycles(), s.cycles_tm, s.cycles_non_tm);
+        println!("checks       : {}", s.total_checks());
+        for k in CheckKind::ALL {
+            println!("  {:<9}  : {}", format!("{k:?}"), s.checks(k));
+        }
+        println!(
+            "transactions : {} begun, {} committed, {} aborted",
+            s.tx_begun,
+            s.tx_committed,
+            s.total_aborts()
+        );
+        println!("deopts       : {}", s.deopts);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_disasm(args: &[String]) -> ExitCode {
+    let func = match args.get(1) {
+        Some(f) => f.clone(),
+        None => {
+            eprintln!("error: missing function name");
+            return ExitCode::from(2);
+        }
+    };
+    let (mut vm, _) = match build_vm(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tier = match flag_value(args, "--tier") {
+        Some("baseline") => Tier::Baseline,
+        Some("dfg") => Tier::Dfg,
+        None | Some("ftl") => Tier::Ftl,
+        Some(other) => {
+            eprintln!("error: unknown tier `{other}`");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = vm.run_main() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if vm.program.function_ids.contains_key("run") {
+        for _ in 0..150 {
+            if vm.call("run", &[]).is_err() {
+                break;
+            }
+        }
+    }
+    match vm.disassemble(&func, tier) {
+        Some(text) => {
+            println!("; {} at {tier:?} under {}", func, vm.config.arch.name());
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "error: `{func}` has no {tier:?} code (not hot enough, or unknown function)"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! VM-level errors and internal control flow.
+
+use std::error::Error;
+use std::fmt;
+
+use nomap_bytecode::CompileError;
+use nomap_ir::BuildError;
+use nomap_runtime::RuntimeError;
+
+/// Errors surfaced to VM users.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// Front-end / bytecode compilation failure.
+    Compile(String),
+    /// Runtime semantic error (JavaScript would throw).
+    Runtime(RuntimeError),
+    /// JIT compilation failure.
+    Jit(String),
+    /// Guest recursion exceeded the VM's limit.
+    StackOverflow,
+    /// A named function was not found.
+    UnknownFunction(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Compile(m) => write!(f, "compile error: {m}"),
+            VmError::Runtime(e) => write!(f, "{e}"),
+            VmError::Jit(m) => write!(f, "jit error: {m}"),
+            VmError::StackOverflow => write!(f, "guest stack overflow"),
+            VmError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+impl From<RuntimeError> for VmError {
+    fn from(e: RuntimeError) -> Self {
+        VmError::Runtime(e)
+    }
+}
+
+impl From<CompileError> for VmError {
+    fn from(e: CompileError) -> Self {
+        VmError::Compile(e.to_string())
+    }
+}
+
+impl From<BuildError> for VmError {
+    fn from(e: BuildError) -> Self {
+        VmError::Jit(e.to_string())
+    }
+}
+
+/// Internal control flow: either a real error or a transactional abort
+/// unwinding to the frame that owns the transaction.
+#[derive(Debug)]
+pub(crate) enum Flow {
+    Error(VmError),
+    /// Unwind to the transaction owner (recorded in `Vm::tx_fallback`).
+    TxAbort,
+}
+
+impl From<VmError> for Flow {
+    fn from(e: VmError) -> Self {
+        Flow::Error(e)
+    }
+}
+
+impl From<RuntimeError> for Flow {
+    fn from(e: RuntimeError) -> Self {
+        Flow::Error(VmError::Runtime(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = VmError::UnknownFunction("f".into());
+        assert!(e.to_string().contains("`f`"));
+        let e: VmError = RuntimeError::OutOfMemory.into();
+        assert!(matches!(e, VmError::Runtime(_)));
+    }
+}

@@ -1,0 +1,627 @@
+//! The machine-code executor: runs [`MachInst`] code for the Baseline, DFG
+//! and FTL tiers, models caches and HTM, performs OSR exits
+//! (deoptimization) and transactional aborts, and attributes every dynamic
+//! instruction to the paper's categories.
+
+use std::rc::Rc;
+
+use nomap_bytecode::{FuncId, Intrinsic};
+use nomap_jit::{CompiledFn, StackMapEntry, ValueRepr};
+use nomap_machine::{AbortReason, HtmKind, InstCategory, MReg, MachInst, Tier};
+use nomap_runtime::{Access, Value};
+
+use crate::error::{Flow, VmError};
+use crate::vm::{TxFallback, Vm};
+
+/// One executing machine frame (lives on the Rust stack across JS calls).
+struct Frame {
+    code: Rc<CompiledFn>,
+    pc: usize,
+    regs: Vec<u64>,
+}
+
+/// Runs `code` with `args`, returning the boxed result.
+pub(crate) fn run_machine(
+    vm: &mut Vm,
+    code: Rc<CompiledFn>,
+    args: &[Value],
+) -> Result<Value, Flow> {
+    let saved_stack = vm.stack_top;
+    let mut frame = enter_frame(vm, code, args);
+    let result = exec_loop(vm, &mut frame);
+    vm.stack_top = saved_stack;
+    result
+}
+
+fn enter_frame(vm: &mut Vm, code: Rc<CompiledFn>, args: &[Value]) -> Frame {
+    let mut regs = vec![0u64; code.reg_count as usize];
+    let mut frame_base = 0;
+    if code.frame_words > 0 {
+        // Baseline: arguments and locals live in simulated stack memory.
+        frame_base = vm.stack_top;
+        vm.stack_top += code.frame_words as u64;
+        for (i, a) in args.iter().enumerate() {
+            vm.rt.mem.write(frame_base + i as u64, a.to_bits());
+        }
+        regs[0] = frame_base; // FP
+        vm.count(&code, args.len() as u64); // prologue stores
+    } else {
+        for (i, a) in args.iter().enumerate() {
+            if 1 + i < regs.len() {
+                regs[1 + i] = a.to_bits();
+            }
+        }
+    }
+    let _ = frame_base;
+    Frame { code, pc: 0, regs }
+}
+
+impl Vm {
+    /// Attributes `n` dynamic instructions of `code` and advances cycles.
+    pub(crate) fn count(&mut self, code: &CompiledFn, n: u64) {
+        let in_tx = self.tx.active();
+        let cat = if !in_tx {
+            match code.tier {
+                Tier::Ftl => InstCategory::NoTm,
+                _ => InstCategory::NoFtl,
+            }
+        } else if code.tier == Tier::Ftl
+            && (code.txn_callee
+                || (code.txn_aware
+                    && self.tx_fallback.as_ref().map(|f| f.depth) == Some(self.depth)))
+        {
+            InstCategory::TmOpt
+        } else {
+            InstCategory::TmUnopt
+        };
+        self.stats.add_insts(cat, code.tier, n);
+        let cycles = n * self.timing.per_inst;
+        if in_tx {
+            self.stats.cycles_tm += cycles;
+            self.tx.instructions += n;
+        } else {
+            self.stats.cycles_non_tm += cycles;
+        }
+    }
+
+    /// Attributes runtime-helper work (always `NoFTL`, paper §VII-A).
+    pub(crate) fn count_runtime(&mut self, n: u64) {
+        self.stats.add_insts(InstCategory::NoFtl, Tier::Runtime, n);
+        let cycles = n * self.timing.per_inst;
+        if self.tx.active() {
+            self.stats.cycles_tm += cycles;
+            self.tx.instructions += n;
+        } else {
+            self.stats.cycles_non_tm += cycles;
+        }
+    }
+
+    /// Drains the simulated-memory access log into the cache simulator and
+    /// (when transactional) the HTM footprint tracking. Returns a capacity
+    /// abort if the write/read set no longer fits.
+    pub(crate) fn process_memory_traffic(&mut self) -> Option<AbortReason> {
+        let mut buf = std::mem::take(&mut self.log_buf);
+        self.rt.mem.swap_log(&mut buf);
+        let in_tx = self.tx.active();
+        let rtm = self.htm.kind == HtmKind::Rtm;
+        let mut abort = None;
+        for &acc in &buf {
+            match acc {
+                Access::Read(addr) => {
+                    let (outcome, _) = self.cache.access_word(addr, false, false);
+                    let mut cyc = self.timing.mem_cycles(outcome);
+                    if in_tx && rtm {
+                        cyc += self.timing.rtm_read_extra;
+                        if abort.is_none() {
+                            if let Err(r) = self.tx.on_read(&self.htm, addr) {
+                                abort = Some(r);
+                            }
+                        }
+                    }
+                    if in_tx {
+                        self.stats.cycles_tm += cyc;
+                    } else {
+                        self.stats.cycles_non_tm += cyc;
+                    }
+                }
+                Access::Write { addr, old } => {
+                    let sw = in_tx;
+                    let sw_l1 = sw && rtm;
+                    let sw_l2 = sw;
+                    let (outcome, _) = self.cache.access_word(addr, sw_l1, sw_l2);
+                    let cyc = self.timing.mem_cycles(outcome);
+                    if in_tx {
+                        self.stats.cycles_tm += cyc;
+                        if abort.is_none() {
+                            if let Err(r) = self.tx.on_write(&self.htm, addr, old) {
+                                abort = Some(r);
+                            }
+                        }
+                    } else {
+                        self.stats.cycles_non_tm += cyc;
+                    }
+                }
+            }
+        }
+        buf.clear();
+        self.log_buf = buf;
+        abort
+    }
+
+    /// Performs a transactional abort: rolls memory back, clears
+    /// speculative cache state, charges the rollback, updates policy
+    /// counters, and returns the unwinding signal.
+    pub(crate) fn trigger_abort(&mut self, reason: AbortReason) -> Flow {
+        self.stats.add_abort(reason);
+        // Roll back (the undo log already holds pre-transaction values).
+        let undone = self.tx.abort(&mut self.rt.mem);
+        self.rt.mem.clear_log(); // rollback pokes are not program traffic
+        self.cache.flash_clear_sw();
+        let cycles = self.timing.abort_base + self.timing.abort_per_word * undone as u64;
+        self.stats.cycles_non_tm += cycles;
+        let owner = self.tx_fallback.as_ref().map(|f| f.func);
+        if let Some(func) = owner {
+            match reason {
+                AbortReason::Capacity => {
+                    let saw_call = self.tx_saw_call;
+                    self.shrink_transactions(func, saw_call);
+                }
+                AbortReason::Check(_) | AbortReason::StickyOverflow => {
+                    self.note_check_abort(func);
+                    self.rt.profiles.func_mut(func).deopt_count += 1;
+                    self.stats.deopts += 1;
+                }
+            }
+        }
+        Flow::TxAbort
+    }
+}
+
+/// Reboxes a machine register for Baseline-frame materialization.
+fn rebox(bits: u64, repr: ValueRepr) -> Value {
+    match repr {
+        ValueRepr::Boxed => Value::from_bits(bits),
+        ValueRepr::I32 => Value::new_int32(bits as u32 as i32),
+        ValueRepr::F64 => Value::new_double(f64::from_bits(bits)),
+        ValueRepr::Bool => Value::new_bool(bits != 0),
+    }
+}
+
+/// Switches `frame` to the Baseline tier at `bc` with the given boxed
+/// register values (OSR exit / transaction fallback).
+fn materialize_baseline(
+    vm: &mut Vm,
+    frame: &mut Frame,
+    func: FuncId,
+    bc: u32,
+    values: &[Option<Value>],
+) {
+    let baseline = vm.baseline_code(func);
+    let frame_base = vm.stack_top;
+    vm.stack_top += baseline.frame_words as u64;
+    for (i, v) in values.iter().enumerate() {
+        let bits = v.unwrap_or(Value::UNDEFINED).to_bits();
+        vm.rt.mem.write(frame_base + i as u64, bits);
+    }
+    // The OSR algorithm's work: one store per live variable plus fixed
+    // overhead (paper §II-B).
+    vm.count_runtime(values.len() as u64 + 30);
+    let _ = vm.process_memory_traffic(); // deopt runs outside transactions
+    let pc = baseline.bc_labels[bc as usize].0 as usize;
+    let mut regs = vec![0u64; baseline.reg_count as usize];
+    regs[0] = frame_base;
+    *frame = Frame { code: baseline, pc, regs };
+}
+
+/// Reads the current stack-map entry into boxed values.
+fn snapshot(frame: &Frame, entry: &StackMapEntry) -> Vec<Option<Value>> {
+    entry
+        .regs
+        .iter()
+        .map(|slot| slot.map(|(r, repr)| rebox(frame.regs[r.0 as usize], repr)))
+        .collect()
+}
+
+fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
+    loop {
+        let inst = frame.code.code[frame.pc].clone();
+        frame.pc += 1;
+        vm.count(&frame.code, 1);
+        let r = &mut frame.regs;
+        match inst {
+            MachInst::MovImm { dst, imm } => r[dst.0 as usize] = imm,
+            MachInst::Mov { dst, src } => r[dst.0 as usize] = r[src.0 as usize],
+            MachInst::Alu64 { op, dst, a, b } => {
+                r[dst.0 as usize] = op.apply(r[a.0 as usize], r[b.0 as usize]);
+            }
+            MachInst::Alu64Imm { op, dst, a, imm } => {
+                r[dst.0 as usize] = op.apply(r[a.0 as usize], imm);
+            }
+            MachInst::AddI32 { dst, a, b } => {
+                int32_arith(vm, r, dst, a, Some(b), |x, y| x.checked_add(y));
+            }
+            MachInst::SubI32 { dst, a, b } => {
+                int32_arith(vm, r, dst, a, Some(b), |x, y| x.checked_sub(y));
+            }
+            MachInst::MulI32 { dst, a, b } => {
+                int32_arith(vm, r, dst, a, Some(b), |x, y| {
+                    let wide = x as i64 * y as i64;
+                    if wide == 0 && (x < 0 || y < 0) {
+                        None // negative zero needs the double representation
+                    } else {
+                        i32::try_from(wide).ok()
+                    }
+                });
+            }
+            MachInst::NegI32 { dst, a } => {
+                int32_arith(vm, r, dst, a, None, |x, _| {
+                    if x == 0 { None } else { x.checked_neg() }
+                });
+            }
+            MachInst::FAlu { op, dst, a, b } => {
+                r[dst.0 as usize] = op.apply_bits(r[a.0 as usize], r[b.0 as usize]);
+            }
+            MachInst::FNeg { dst, a } => {
+                r[dst.0 as usize] = (-f64::from_bits(r[a.0 as usize])).to_bits();
+            }
+            MachInst::CvtI32ToF64 { dst, src } => {
+                r[dst.0 as usize] = ((r[src.0 as usize] as u32 as i32) as f64).to_bits();
+            }
+            MachInst::CvtF64ToI32 { dst, src } => {
+                let d = f64::from_bits(r[src.0 as usize]);
+                r[dst.0 as usize] = (d as i32) as i64 as u64; // saturating cast
+            }
+            MachInst::UnboxI32 { dst, src } => {
+                r[dst.0 as usize] = (r[src.0 as usize] as u32 as i32) as i64 as u64;
+            }
+            MachInst::ToF64 { dst, src } => {
+                let v = Value::from_bits(r[src.0 as usize]);
+                let d = if v.is_int32() { v.as_int32() as f64 } else { v.as_double() };
+                r[dst.0 as usize] = d.to_bits();
+            }
+            MachInst::BoxI32 { dst, src } => {
+                r[dst.0 as usize] = Value::new_int32(r[src.0 as usize] as u32 as i32).to_bits();
+            }
+            MachInst::BoxF64 { dst, src } => {
+                r[dst.0 as usize] =
+                    Value::new_double(f64::from_bits(r[src.0 as usize])).to_bits();
+            }
+            MachInst::BoxBool { dst, src } => {
+                r[dst.0 as usize] = Value::new_bool(r[src.0 as usize] != 0).to_bits();
+            }
+            MachInst::IAlu32 { op, dst, a, b } => {
+                let x = r[a.0 as usize] as u32 as i32;
+                let y = r[b.0 as usize] as u32 as i32;
+                r[dst.0 as usize] = op.apply(x, y) as i64 as u64;
+            }
+            MachInst::UShr32 { dst, a, b } => {
+                let x = r[a.0 as usize] as u32;
+                let y = r[b.0 as usize] as u32 & 31;
+                r[dst.0 as usize] = (x.wrapping_shr(y) as i32) as i64 as u64;
+            }
+            MachInst::MathF64 { intr, dst, args } => {
+                let a0 = args
+                    .first()
+                    .map(|m| f64::from_bits(r[m.0 as usize]))
+                    .unwrap_or(f64::NAN);
+                let a1 = args
+                    .get(1)
+                    .map(|m| f64::from_bits(r[m.0 as usize]))
+                    .unwrap_or(f64::NAN);
+                let (val, extra) = exec_math(vm, intr, a0, a1);
+                r[dst.0 as usize] = val.to_bits();
+                if extra > 0 {
+                    vm.count_runtime(extra); // libm call the FTL cannot inline
+                }
+            }
+            MachInst::CmpI64 { dst, a, b, cond } => {
+                r[dst.0 as usize] = cond.eval_i64(r[a.0 as usize], r[b.0 as usize]) as u64;
+            }
+            MachInst::CmpImm { dst, a, imm, cond } => {
+                r[dst.0 as usize] = cond.eval_i64(r[a.0 as usize], imm) as u64;
+            }
+            MachInst::CmpF64 { dst, a, b, cond } => {
+                let x = f64::from_bits(r[a.0 as usize]);
+                let y = f64::from_bits(r[b.0 as usize]);
+                r[dst.0 as usize] = cond.eval_f64(x, y) as u64;
+            }
+            MachInst::Jump { target } => {
+                if (target.0 as usize) < frame.pc && frame.code.tier == Tier::Baseline {
+                    vm.rt.profiles.func_mut(frame.code.func).back_edges += 1;
+                }
+                frame.pc = target.0 as usize;
+            }
+            MachInst::BranchNz { cond, target } => {
+                if r[cond.0 as usize] != 0 {
+                    if (target.0 as usize) < frame.pc && frame.code.tier == Tier::Baseline {
+                        vm.rt.profiles.func_mut(frame.code.func).back_edges += 1;
+                    }
+                    frame.pc = target.0 as usize;
+                }
+            }
+            MachInst::BranchZ { cond, target } => {
+                if r[cond.0 as usize] == 0 {
+                    if (target.0 as usize) < frame.pc && frame.code.tier == Tier::Baseline {
+                        vm.rt.profiles.func_mut(frame.code.func).back_edges += 1;
+                    }
+                    frame.pc = target.0 as usize;
+                }
+            }
+            MachInst::Load { dst, base, offset } => {
+                let addr = r[base.0 as usize].wrapping_add_signed(offset);
+                r[dst.0 as usize] = vm.rt.mem.read(addr);
+                if let Err(flow) = mem_step(vm) {
+                    return handle_own_abort(vm, frame, flow);
+                }
+            }
+            MachInst::Store { src, base, offset } => {
+                let addr = r[base.0 as usize].wrapping_add_signed(offset);
+                vm.rt.mem.write(addr, r[src.0 as usize]);
+                if let Err(flow) = mem_step(vm) {
+                    return handle_own_abort(vm, frame, flow);
+                }
+            }
+            MachInst::LoadIdx { dst, base, index } => {
+                let addr = r[base.0 as usize].wrapping_add(r[index.0 as usize]);
+                r[dst.0 as usize] = vm.rt.mem.read(addr);
+                if let Err(flow) = mem_step(vm) {
+                    return handle_own_abort(vm, frame, flow);
+                }
+            }
+            MachInst::StoreIdx { src, base, index } => {
+                let addr = r[base.0 as usize].wrapping_add(r[index.0 as usize]);
+                vm.rt.mem.write(addr, r[src.0 as usize]);
+                if let Err(flow) = mem_step(vm) {
+                    return handle_own_abort(vm, frame, flow);
+                }
+            }
+            MachInst::LoadGlobal { dst, addr } => {
+                let bits = vm.rt.mem.read(addr);
+                r[dst.0 as usize] = if bits == 0 { Value::UNDEFINED.to_bits() } else { bits };
+                if let Err(flow) = mem_step(vm) {
+                    return handle_own_abort(vm, frame, flow);
+                }
+            }
+            MachInst::StoreGlobal { src, addr } => {
+                vm.rt.mem.write(addr, r[src.0 as usize]);
+                if let Err(flow) = mem_step(vm) {
+                    return handle_own_abort(vm, frame, flow);
+                }
+            }
+            MachInst::CallRt { dst, func, args, site } => {
+                // Irrevocable events (I/O) abort the transaction first
+                // (paper §V-A); the Baseline re-execution performs the
+                // print non-transactionally, exactly once.
+                if vm.tx.active()
+                    && matches!(func, nomap_runtime::RuntimeFn::Intrinsic(Intrinsic::Print))
+                {
+                    let flow = vm.trigger_abort(AbortReason::Check(
+                        nomap_machine::CheckKind::Other,
+                    ));
+                    return handle_own_abort(vm, frame, flow);
+                }
+                let argv: Vec<Value> =
+                    args.iter().map(|m| Value::from_bits(r[m.0 as usize])).collect();
+                vm.rt.charge(vm.rt.costs.call_overhead);
+                let result = func
+                    .dispatch(&mut vm.rt, &argv, site)
+                    .map_err(VmError::from)?;
+                let charged = vm.rt.take_charged();
+                vm.count_runtime(charged);
+                r[dst.0 as usize] = result.to_bits();
+                if let Err(flow) = mem_step(vm) {
+                    return handle_own_abort(vm, frame, flow);
+                }
+            }
+            MachInst::CallJs { dst, callee, args } => {
+                let argv: Vec<Value> =
+                    args.iter().map(|m| Value::from_bits(r[m.0 as usize])).collect();
+                if vm.tx.active() {
+                    vm.tx_saw_call = true;
+                }
+                match vm.call_function(callee, &argv) {
+                    Ok(v) => r[dst.0 as usize] = v.to_bits(),
+                    Err(Flow::TxAbort) => {
+                        // Are we the owner of the aborted transaction?
+                        match vm.tx_fallback.take() {
+                            Some(fb) if fb.depth == vm.depth => {
+                                materialize_baseline(vm, frame, fb.func, fb.bc, &fb.regs);
+                                continue;
+                            }
+                            fb => {
+                                vm.tx_fallback = fb;
+                                return Err(Flow::TxAbort);
+                            }
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            MachInst::Ret { src } => {
+                return Ok(Value::from_bits(r[src.0 as usize]));
+            }
+            MachInst::DeoptIf { cond, smp, kind } => {
+                if frame.code.tier == Tier::Ftl {
+                    vm.stats.add_check(kind);
+                }
+                if r[cond.0 as usize] != 0 {
+                    take_deopt(vm, frame, smp)?;
+                }
+            }
+            MachInst::DeoptIfOverflow { smp } => {
+                if frame.code.tier == Tier::Ftl {
+                    vm.stats.add_check(nomap_machine::CheckKind::Overflow);
+                }
+                if vm_of(vm) {
+                    take_deopt(vm, frame, smp)?;
+                }
+            }
+            MachInst::AbortIf { cond, kind } => {
+                vm.stats.add_check(kind);
+                if r[cond.0 as usize] != 0 {
+                    let flow = vm.trigger_abort(AbortReason::Check(kind));
+                    return handle_own_abort(vm, frame, flow);
+                }
+            }
+            MachInst::AbortIfOverflow => {
+                vm.stats.add_check(nomap_machine::CheckKind::Overflow);
+                if vm_of(vm) {
+                    let flow = vm
+                        .trigger_abort(AbortReason::Check(nomap_machine::CheckKind::Overflow));
+                    return handle_own_abort(vm, frame, flow);
+                }
+            }
+            MachInst::XBegin { fallback } => {
+                let outermost = !vm.tx.active();
+                vm.tx.begin();
+                if outermost {
+                    let entry = &frame.code.stack_maps[fallback.0 as usize];
+                    let regs = snapshot(frame, entry);
+                    vm.tx_fallback = Some(TxFallback {
+                        depth: vm.depth,
+                        func: frame.code.func,
+                        bc: entry.bc,
+                        regs,
+                    });
+                    vm.tx_saw_call = false;
+                    vm.stats.tx_begun += 1;
+                }
+                let cyc = vm.timing.xbegin_cycles(vm.htm.kind);
+                vm.stats.cycles_tm += cyc;
+            }
+            MachInst::XEnd => match vm.tx.end(&vm.htm) {
+                Ok(Some(outcome)) => {
+                    vm.stats.tx_committed += 1;
+                    vm.stats.tx_character.record(outcome);
+                    vm.cache.flash_clear_sw();
+                    vm.tx_fallback = None;
+                    let cyc = vm.timing.xend_cycles(vm.htm.kind);
+                    vm.stats.cycles_non_tm += cyc;
+                }
+                Ok(None) => {}
+                Err(reason) => {
+                    let flow = vm.trigger_abort(reason);
+                    return handle_own_abort(vm, frame, flow);
+                }
+            },
+            MachInst::Fence | MachInst::Nop => {}
+        }
+        // Overflow flag bookkeeping happens inside int32_arith; memory
+        // traffic inside mem_step.
+    }
+}
+
+/// Shared int32 arithmetic with OF/SOF modelling. Stores the wrapped result
+/// and records the overflow flag in `vm.of`.
+fn int32_arith(
+    vm: &mut Vm,
+    r: &mut [u64],
+    dst: MReg,
+    a: MReg,
+    b: Option<MReg>,
+    op: impl Fn(i32, i32) -> Option<i32>,
+) {
+    let x = r[a.0 as usize] as u32 as i32;
+    let y = b.map(|m| r[m.0 as usize] as u32 as i32).unwrap_or(0);
+    match op(x, y) {
+        Some(v) => {
+            r[dst.0 as usize] = v as i64 as u64;
+            vm.of = false;
+        }
+        None => {
+            // Wrapped result (never observed when guards are in place; SOF
+            // mode aborts at XEnd before anyone can use it).
+            r[dst.0 as usize] = x.wrapping_add(y) as i64 as u64;
+            vm.of = true;
+            if vm.tx.active() {
+                vm.tx.set_sof();
+            }
+        }
+    }
+}
+
+fn vm_of(vm: &Vm) -> bool {
+    vm.of
+}
+
+/// After memory-touching instructions: drain traffic, maybe abort.
+fn mem_step(vm: &mut Vm) -> Result<(), Flow> {
+    if let Some(reason) = vm.process_memory_traffic() {
+        return Err(vm.trigger_abort(reason));
+    }
+    Ok(())
+}
+
+/// Handles `Flow::TxAbort` raised by this very frame: if it owns the
+/// transaction, fall back to Baseline locally; otherwise propagate.
+fn handle_own_abort(vm: &mut Vm, frame: &mut Frame, flow: Flow) -> Result<Value, Flow> {
+    match flow {
+        Flow::TxAbort => match vm.tx_fallback.take() {
+            Some(fb) if fb.depth == vm.depth => {
+                materialize_baseline(vm, frame, fb.func, fb.bc, &fb.regs);
+                // Resume the loop by recursing into the (now Baseline)
+                // frame.
+                exec_loop(vm, frame)
+            }
+            fb => {
+                vm.tx_fallback = fb;
+                Err(Flow::TxAbort)
+            }
+        },
+        other => Err(other),
+    }
+}
+
+/// OSR exit: deoptimize this frame to Baseline through stack map `smp`.
+/// Inside a transaction this becomes a full abort (the paper's TMUnopt
+/// SMPs): roll back and re-enter through the transaction fallback instead.
+fn take_deopt(vm: &mut Vm, frame: &mut Frame, smp: nomap_machine::SmpId) -> Result<(), Flow> {
+    vm.stats.deopts += 1;
+    vm.rt.profiles.func_mut(frame.code.func).deopt_count += 1;
+    if vm.tx.active() {
+        let flow = vm.trigger_abort(AbortReason::Check(nomap_machine::CheckKind::Other));
+        match flow {
+            Flow::TxAbort => match vm.tx_fallback.take() {
+                Some(fb) if fb.depth == vm.depth => {
+                    materialize_baseline(vm, frame, fb.func, fb.bc, &fb.regs);
+                    return Ok(());
+                }
+                fb => {
+                    vm.tx_fallback = fb;
+                    return Err(Flow::TxAbort);
+                }
+            },
+            other => return Err(other),
+        }
+    }
+    let entry = frame.code.stack_maps[smp.0 as usize].clone();
+    let values = snapshot(frame, &entry);
+    let func = frame.code.func;
+    materialize_baseline(vm, frame, func, entry.bc, &values);
+    Ok(())
+}
+
+/// Inlined math: pure FP ops cost nothing extra (single machine
+/// instruction); transcendentals charge their libm cost.
+fn exec_math(vm: &Vm, intr: Intrinsic, a: f64, b: f64) -> (f64, u64) {
+    use Intrinsic::*;
+    let trig = vm.rt.costs.intrinsic_trig;
+    match intr {
+        MathSqrt => (a.sqrt(), 0),
+        MathFloor => (a.floor(), 0),
+        MathCeil => (a.ceil(), 0),
+        MathRound => ((a + 0.5).floor(), 0),
+        MathAbs => (a.abs(), 0),
+        MathMax => (if a.is_nan() || b.is_nan() { f64::NAN } else { a.max(b) }, 0),
+        MathMin => (if a.is_nan() || b.is_nan() { f64::NAN } else { a.min(b) }, 0),
+        MathSin => (a.sin(), trig),
+        MathCos => (a.cos(), trig),
+        MathTan => (a.tan(), trig),
+        MathAtan => (a.atan(), trig),
+        MathAtan2 => (a.atan2(b), trig),
+        MathExp => (a.exp(), trig),
+        MathLog => (a.ln(), trig),
+        MathPow => (a.powf(b), trig),
+        other => panic!("non-math intrinsic {other:?} lowered to MathF64"),
+    }
+}

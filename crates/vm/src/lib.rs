@@ -1,0 +1,44 @@
+//! The NoMap virtual machine: a four-tier MiniJS engine (Interpreter →
+//! Baseline → DFG → FTL) with profiling, on-stack-replacement exits,
+//! hardware-transaction support and per-category execution statistics —
+//! everything needed to regenerate the paper's tables and figures.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nomap_vm::{Architecture, Vm};
+//!
+//! let src = "
+//!     function sum(a, n) {
+//!         var s = 0;
+//!         for (var i = 0; i < n; i++) { s += a[i]; }
+//!         return s;
+//!     }
+//!     var data = new Array(100);
+//!     for (var j = 0; j < 100; j++) { data[j] = j; }
+//!     function run() { return sum(data, 100); }
+//! ";
+//! let mut vm = Vm::new(src, Architecture::NoMap)?;
+//! vm.run_main()?;                       // top-level setup
+//! let warm = vm.call("run", &[])?;      // interpreter tier
+//! for _ in 0..200 { vm.call("run", &[])?; }  // tiers up to FTL
+//! vm.reset_stats();
+//! let v = vm.call("run", &[])?;         // measured, steady state
+//! assert_eq!(v, warm);
+//! assert!(vm.stats.total_insts() > 0);
+//! # Ok::<(), nomap_vm::VmError>(())
+//! ```
+
+mod error;
+mod exec;
+mod interp;
+mod tiering;
+mod vm;
+
+pub use error::VmError;
+pub use nomap_core::{Architecture, TxnScope};
+pub use nomap_ir::passes::PassConfig;
+pub use nomap_machine::{CheckKind, ExecStats, InstCategory, Tier, TxCharacter};
+pub use nomap_runtime::Value;
+pub use tiering::{TierLimit, TierThresholds};
+pub use vm::{Vm, VmConfig};

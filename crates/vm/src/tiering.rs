@@ -1,0 +1,73 @@
+//! Tier-up policy.
+
+use nomap_machine::Tier;
+
+/// Highest tier a configuration may use (paper Table I caps tiers to
+/// measure each one's contribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TierLimit {
+    /// Interpreter only.
+    Interpreter,
+    /// Interpreter + Baseline.
+    Baseline,
+    /// Up to DFG.
+    Dfg,
+    /// Up to FTL (the default).
+    Ftl,
+}
+
+impl TierLimit {
+    /// True when `tier` is allowed under this limit.
+    pub fn allows(self, tier: Tier) -> bool {
+        match tier {
+            Tier::Interpreter | Tier::Runtime => true,
+            Tier::Baseline => self >= TierLimit::Baseline,
+            Tier::Dfg => self >= TierLimit::Dfg,
+            Tier::Ftl => self >= TierLimit::Ftl,
+        }
+    }
+}
+
+/// When functions get promoted. Hotness is `call_count + back_edges / 10`,
+/// echoing JavaScriptCore's execution-count heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierThresholds {
+    /// Hotness to compile Baseline.
+    pub baseline: u64,
+    /// Hotness to compile DFG.
+    pub dfg: u64,
+    /// Hotness to compile FTL.
+    pub ftl: u64,
+}
+
+impl Default for TierThresholds {
+    fn default() -> Self {
+        TierThresholds { baseline: 4, dfg: 20, ftl: 60 }
+    }
+}
+
+impl TierThresholds {
+    /// The hotness metric.
+    pub fn hotness(call_count: u64, back_edges: u64) -> u64 {
+        call_count + back_edges / 10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_are_ordered() {
+        assert!(TierLimit::Ftl.allows(Tier::Dfg));
+        assert!(TierLimit::Dfg.allows(Tier::Baseline));
+        assert!(!TierLimit::Baseline.allows(Tier::Dfg));
+        assert!(!TierLimit::Interpreter.allows(Tier::Baseline));
+        assert!(TierLimit::Interpreter.allows(Tier::Interpreter));
+    }
+
+    #[test]
+    fn hotness_mixes_calls_and_loops() {
+        assert_eq!(TierThresholds::hotness(5, 100), 15);
+    }
+}

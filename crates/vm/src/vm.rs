@@ -1,0 +1,387 @@
+//! The VM facade: program loading, tier management, statistics.
+
+use std::rc::Rc;
+
+use nomap_bytecode::{compile_program, FuncId, Function, Program};
+use nomap_core::{
+    compile_dfg, compile_ftl_with, compile_txn_callee, next_scope, Architecture, TxnScope,
+};
+use nomap_ir::passes::PassConfig;
+use nomap_jit::{compile_baseline, CompiledFn};
+use nomap_machine::{CacheSim, ExecStats, HtmModel, Tier, Timing, TxState};
+use nomap_runtime::{Access, Runtime, Value};
+
+use crate::error::{Flow, VmError};
+use crate::tiering::{TierLimit, TierThresholds};
+use crate::{exec, interp};
+
+/// VM configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VmConfig {
+    /// Which of the paper's architectures to model.
+    pub arch: Architecture,
+    /// Highest tier allowed (Table I experiments cap this).
+    pub tier_limit: TierLimit,
+    /// Tier-up thresholds.
+    pub thresholds: TierThresholds,
+    /// Guest recursion limit.
+    pub max_depth: usize,
+    /// Force the initial transaction scope (ablations; the §V-C ladder
+    /// still steps down from here on capacity aborts). `None` = `Nest`.
+    pub initial_scope: Option<TxnScope>,
+    /// Override the FTL optimizer configuration (ablations).
+    pub ftl_passes: Option<PassConfig>,
+    /// Extension beyond the paper (§VIII's `TMUnopt` limitation): also
+    /// compile a transaction-aware *callee* variant of hot functions, used
+    /// when they are called from inside a transaction. Off by default so
+    /// the standard experiments match the paper's configurations.
+    pub txn_callees: bool,
+}
+
+impl VmConfig {
+    /// Default configuration for `arch` (full tier stack).
+    pub fn new(arch: Architecture) -> Self {
+        VmConfig {
+            arch,
+            tier_limit: TierLimit::Ftl,
+            thresholds: TierThresholds::default(),
+            max_depth: 256,
+            initial_scope: None,
+            ftl_passes: None,
+            txn_callees: false,
+        }
+    }
+}
+
+/// Per-function code-cache state.
+pub(crate) struct CodeState {
+    pub baseline: Option<Rc<CompiledFn>>,
+    pub dfg: Option<Rc<CompiledFn>>,
+    pub ftl: Option<Rc<CompiledFn>>,
+    /// Transaction-aware callee variant (extension; see `VmConfig::txn_callees`).
+    pub ftl_callee: Option<Rc<CompiledFn>>,
+    /// Current transaction-scope ladder position (§V-C).
+    pub scope: TxnScope,
+    /// Check-caused aborts since the last FTL compile; too many trigger a
+    /// recompile with the (now corrected) profiles.
+    pub check_aborts: u32,
+}
+
+impl CodeState {
+    fn new(config: &VmConfig) -> Self {
+        let scope = if config.arch.uses_transactions() {
+            config.initial_scope.unwrap_or(TxnScope::Nest)
+        } else {
+            TxnScope::None
+        };
+        CodeState {
+            baseline: None,
+            dfg: None,
+            ftl: None,
+            ftl_callee: None,
+            scope,
+            check_aborts: 0,
+        }
+    }
+}
+
+/// Register state checkpointed at the outermost `XBegin`, used to enter the
+/// Baseline tier when the transaction aborts (paper Fig. 5's `Entry_3`).
+pub(crate) struct TxFallback {
+    /// Call depth of the owning frame.
+    pub depth: usize,
+    /// Function owning the transaction.
+    pub func: FuncId,
+    /// Bytecode index of the Baseline entry.
+    pub bc: u32,
+    /// Boxed values for the Baseline frame (`None` = dead register).
+    pub regs: Vec<Option<Value>>,
+}
+
+/// The NoMap virtual machine. See the crate docs for a usage example.
+pub struct Vm {
+    /// Compiled program.
+    pub program: Program,
+    /// Shared runtime (heap, shapes, profiles, output).
+    pub rt: Runtime,
+    /// Execution statistics for the current measurement window.
+    pub stats: ExecStats,
+    /// Cycle model.
+    pub timing: Timing,
+    /// Configuration.
+    pub config: VmConfig,
+    pub(crate) funcs: Vec<Rc<Function>>,
+    pub(crate) htm: HtmModel,
+    pub(crate) tx: TxState,
+    pub(crate) cache: CacheSim,
+    pub(crate) code: Vec<CodeState>,
+    pub(crate) depth: usize,
+    pub(crate) stack_top: u64,
+    pub(crate) tx_fallback: Option<TxFallback>,
+    pub(crate) tx_saw_call: bool,
+    pub(crate) log_buf: Vec<Access>,
+    /// Machine overflow flag (set by int32 arithmetic).
+    pub(crate) of: bool,
+}
+
+impl Vm {
+    /// Compiles `source` and prepares a VM modelling `arch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Compile`] on syntax or compile errors.
+    pub fn new(source: &str, arch: Architecture) -> Result<Vm, VmError> {
+        Vm::with_config(source, VmConfig::new(arch))
+    }
+
+    /// Compiles `source` under an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Compile`] on syntax or compile errors.
+    pub fn with_config(source: &str, config: VmConfig) -> Result<Vm, VmError> {
+        let program = compile_program(source)?;
+        let mut rt = Runtime::new();
+        rt.length_name = Some(program.interner.get("length").map_or_else(
+            || {
+                // Not referenced by the program; reserve an id that no
+                // program name can collide with.
+                nomap_bytecode::NameId(u32::MAX)
+            },
+            |id| id,
+        ));
+        let funcs: Vec<Rc<Function>> =
+            program.functions.iter().cloned().map(Rc::new).collect();
+        let code = (0..funcs.len()).map(|_| CodeState::new(&config)).collect();
+        let stack_base = rt.mem.stack_base();
+        Ok(Vm {
+            program,
+            rt,
+            stats: ExecStats::new(),
+            timing: Timing::default(),
+            config,
+            funcs,
+            htm: config.arch.htm_model(),
+            tx: TxState::new(),
+            cache: CacheSim::new(),
+            code,
+            depth: 0,
+            stack_top: stack_base,
+            tx_fallback: None,
+            tx_saw_call: false,
+            log_buf: Vec::new(),
+            of: false,
+        })
+    }
+
+    /// Runs the top-level script.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from the guest program.
+    pub fn run_main(&mut self) -> Result<Value, VmError> {
+        self.call_id(Program::MAIN, &[])
+    }
+
+    /// Calls a top-level function by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::UnknownFunction`] when `name` is not declared,
+    /// or propagates guest errors.
+    pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, VmError> {
+        let id = *self
+            .program
+            .function_ids
+            .get(name)
+            .ok_or_else(|| VmError::UnknownFunction(name.to_owned()))?;
+        self.call_id(id, args)
+    }
+
+    /// Calls a function by id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest errors.
+    pub fn call_id(&mut self, id: FuncId, args: &[Value]) -> Result<Value, VmError> {
+        let result = self.call_function(id, args);
+        match result {
+            Ok(v) => Ok(v),
+            Err(Flow::Error(e)) => {
+                // A guest error while transactional leaves consistent state:
+                // roll the transaction back before surfacing the error.
+                if self.tx.active() {
+                    self.tx.abort(&mut self.rt.mem);
+                    self.cache.flash_clear_sw();
+                    self.tx_fallback = None;
+                }
+                Err(e)
+            }
+            Err(Flow::TxAbort) => {
+                unreachable!("transaction abort escaped its owner frame")
+            }
+        }
+    }
+
+    /// Text written by the guest's `print`.
+    pub fn output(&self) -> &str {
+        &self.rt.output
+    }
+
+    /// Clears the statistics window (call after warmup for steady-state
+    /// measurement; caches and code stay warm).
+    pub fn reset_stats(&mut self) {
+        self.stats = ExecStats::new();
+    }
+
+    /// The tier whose code would run if `name` were called now (test and
+    /// example introspection).
+    pub fn current_tier(&self, name: &str) -> Option<Tier> {
+        let id = self.program.function_ids.get(name)?;
+        let cs = &self.code[id.0 as usize];
+        Some(if cs.ftl.is_some() && self.config.tier_limit.allows(Tier::Ftl) {
+            Tier::Ftl
+        } else if cs.dfg.is_some() && self.config.tier_limit.allows(Tier::Dfg) {
+            Tier::Dfg
+        } else if cs.baseline.is_some() && self.config.tier_limit.allows(Tier::Baseline) {
+            Tier::Baseline
+        } else {
+            Tier::Interpreter
+        })
+    }
+
+    /// Disassembles the code a tier compiled for `name`, if that tier has
+    /// compiled it (debugging / examples).
+    pub fn disassemble(&self, name: &str, tier: Tier) -> Option<String> {
+        let id = self.program.function_ids.get(name)?;
+        let cs = &self.code[id.0 as usize];
+        let code = match tier {
+            Tier::Baseline => cs.baseline.as_ref()?,
+            Tier::Dfg => cs.dfg.as_ref()?,
+            Tier::Ftl => cs.ftl.as_ref()?,
+            _ => return None,
+        };
+        Some(nomap_machine::disasm::render_listing(&code.code))
+    }
+
+    /// Static machine-code sizes per compiled tier of `name`:
+    /// `(baseline, dfg, ftl)`, `None` when the tier has not compiled it.
+    pub fn code_sizes(&self, name: &str) -> Option<[Option<usize>; 3]> {
+        let id = self.program.function_ids.get(name)?;
+        let cs = &self.code[id.0 as usize];
+        Some([
+            cs.baseline.as_ref().map(|c| c.code.len()),
+            cs.dfg.as_ref().map(|c| c.code.len()),
+            cs.ftl.as_ref().map(|c| c.code.len()),
+        ])
+    }
+
+    // ---- internal --------------------------------------------------------
+
+    pub(crate) fn call_function(&mut self, id: FuncId, args: &[Value]) -> Result<Value, Flow> {
+        if self.depth >= self.config.max_depth {
+            return Err(Flow::Error(VmError::StackOverflow));
+        }
+        self.rt.profiles.func_mut(id).call_count += 1;
+        self.maybe_compile(id)?;
+        self.depth += 1;
+        let result = self.dispatch(id, args);
+        self.depth -= 1;
+        result
+    }
+
+    fn dispatch(&mut self, id: FuncId, args: &[Value]) -> Result<Value, Flow> {
+        let cs = &self.code[id.0 as usize];
+        let limit = self.config.tier_limit;
+        let code = if limit.allows(Tier::Ftl) && self.tx.active() && cs.ftl_callee.is_some() {
+            // Extension: inside a transaction, prefer the callee variant
+            // whose checks abort the caller's transaction.
+            cs.ftl_callee.clone()
+        } else if limit.allows(Tier::Ftl) && cs.ftl.is_some() {
+            cs.ftl.clone()
+        } else if limit.allows(Tier::Dfg) && cs.dfg.is_some() {
+            cs.dfg.clone()
+        } else if limit.allows(Tier::Baseline) && cs.baseline.is_some() {
+            cs.baseline.clone()
+        } else {
+            None
+        };
+        match code {
+            Some(code) => exec::run_machine(self, code, args),
+            None => interp::interpret(self, id, args),
+        }
+    }
+
+    fn maybe_compile(&mut self, id: FuncId) -> Result<(), Flow> {
+        let prof = self.rt.profiles.func(id);
+        let hot = TierThresholds::hotness(prof.call_count, prof.back_edges);
+        let limit = self.config.tier_limit;
+        let th = self.config.thresholds;
+        let func = self.funcs[id.0 as usize].clone();
+        if limit.allows(Tier::Baseline)
+            && hot >= th.baseline
+            && self.code[id.0 as usize].baseline.is_none()
+        {
+            let c = compile_baseline(&func, &mut self.rt);
+            self.code[id.0 as usize].baseline = Some(Rc::new(c));
+        }
+        if limit.allows(Tier::Dfg) && hot >= th.dfg && self.code[id.0 as usize].dfg.is_none() {
+            let c = compile_dfg(&func, &mut self.rt).map_err(VmError::from)?;
+            self.code[id.0 as usize].dfg = Some(Rc::new(c));
+            self.stats.ftl_compiles += 0; // dfg compiles are not tracked
+        }
+        if limit.allows(Tier::Ftl) && hot >= th.ftl && self.code[id.0 as usize].ftl.is_none() {
+            let scope = self.code[id.0 as usize].scope;
+            let passes = self.config.ftl_passes.unwrap_or_else(PassConfig::ftl);
+            let c = compile_ftl_with(&func, &mut self.rt, self.config.arch, scope, passes)
+                .map_err(VmError::from)?;
+            self.code[id.0 as usize].ftl = Some(Rc::new(c));
+            self.code[id.0 as usize].check_aborts = 0;
+            self.stats.ftl_compiles += 1;
+        }
+        if self.config.txn_callees
+            && self.config.arch.uses_transactions()
+            && limit.allows(Tier::Ftl)
+            && hot >= th.ftl
+            && self.code[id.0 as usize].ftl_callee.is_none()
+        {
+            let passes = self.config.ftl_passes.unwrap_or_else(PassConfig::ftl);
+            let c = compile_txn_callee(&func, &mut self.rt, self.config.arch, passes)
+                .map_err(VmError::from)?;
+            self.code[id.0 as usize].ftl_callee = Some(Rc::new(c));
+        }
+        Ok(())
+    }
+
+    /// Steps the §V-C ladder after a capacity abort of `func`'s transaction
+    /// and schedules a recompile.
+    pub(crate) fn shrink_transactions(&mut self, func: FuncId, saw_call: bool) {
+        let cs = &mut self.code[func.0 as usize];
+        cs.scope = next_scope(cs.scope, saw_call);
+        cs.ftl = None; // recompiled at the next call with the new scope
+        cs.ftl_callee = None;
+        self.rt.profiles.func_mut(func).capacity_aborts += 1;
+    }
+
+    /// Too many check aborts: profiles have been corrected by the Baseline
+    /// re-executions; recompile FTL with them.
+    pub(crate) fn note_check_abort(&mut self, func: FuncId) {
+        let cs = &mut self.code[func.0 as usize];
+        cs.check_aborts += 1;
+        if cs.check_aborts >= 10 {
+            cs.ftl = None;
+            cs.ftl_callee = None;
+            cs.check_aborts = 0;
+        }
+    }
+
+    /// Ensures Baseline code exists (deopt targets need it) and returns it.
+    pub(crate) fn baseline_code(&mut self, id: FuncId) -> Rc<CompiledFn> {
+        if self.code[id.0 as usize].baseline.is_none() {
+            let func = self.funcs[id.0 as usize].clone();
+            let c = compile_baseline(&func, &mut self.rt);
+            self.code[id.0 as usize].baseline = Some(Rc::new(c));
+        }
+        self.code[id.0 as usize].baseline.clone().expect("just compiled")
+    }
+}

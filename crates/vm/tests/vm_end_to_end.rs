@@ -1,0 +1,243 @@
+//! End-to-end VM tests: every tier and every architecture must compute the
+//! same answers, and the NoMap configurations must show the paper's
+//! qualitative effects.
+
+use nomap_vm::{Architecture, TierLimit, Tier, Value, Vm, VmConfig};
+
+const SUM_LOOP: &str = "
+    function sum(a, n) {
+        var s = 0;
+        for (var i = 0; i < n; i++) { s += a[i]; }
+        return s;
+    }
+    var data = new Array(64);
+    for (var j = 0; j < 64; j++) { data[j] = j; }
+    function run() { return sum(data, 64); }
+";
+
+/// The paper's Fig. 4 kernel: property loads, array loads, int add with
+/// accumulation into a property.
+const FIG4: &str = "
+    var obj = {values: new Array(128), sum: 0};
+    for (var j = 0; j < 128; j++) { obj.values[j] = j; }
+    function kernel() {
+        obj.sum = 0;
+        var len = obj.values.length;
+        for (var idx = 0; idx < len; idx++) {
+            var value = obj.values[idx];
+            obj.sum += value;
+        }
+        return obj.sum;
+    }
+    function run() { return kernel(); }
+";
+
+fn run_hot(src: &str, arch: Architecture, iters: usize) -> (Vm, Value) {
+    let mut vm = Vm::new(src, arch).expect("compiles");
+    vm.run_main().expect("main runs");
+    let expect = vm.call("run", &[]).expect("first run");
+    for _ in 0..iters {
+        let v = vm.call("run", &[]).expect("warm run");
+        assert_eq!(v, expect, "result changed while tiering up under {arch:?}");
+    }
+    vm.reset_stats();
+    let v = vm.call("run", &[]).expect("measured run");
+    assert_eq!(v, expect);
+    (vm, v)
+}
+
+#[test]
+fn sum_loop_correct_across_all_architectures() {
+    let mut results = Vec::new();
+    for arch in Architecture::ALL {
+        let (_, v) = run_hot(SUM_LOOP, arch, 150);
+        results.push(v);
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]));
+    assert_eq!(results[0], Value::new_int32((0..64).sum()));
+}
+
+#[test]
+fn fig4_kernel_correct_across_all_architectures() {
+    for arch in Architecture::ALL {
+        let (_, v) = run_hot(FIG4, arch, 150);
+        assert_eq!(v, Value::new_int32((0..128).sum()), "{arch:?}");
+    }
+}
+
+#[test]
+fn tiers_up_to_ftl() {
+    let (vm, _) = run_hot(SUM_LOOP, Architecture::Base, 150);
+    assert_eq!(vm.current_tier("sum"), Some(Tier::Ftl));
+    assert!(vm.stats.tier_insts(Tier::Ftl) > 0, "measured run uses FTL code");
+}
+
+#[test]
+fn tier_limits_are_respected() {
+    for (limit, tier) in [
+        (TierLimit::Interpreter, Tier::Interpreter),
+        (TierLimit::Baseline, Tier::Baseline),
+        (TierLimit::Dfg, Tier::Dfg),
+        (TierLimit::Ftl, Tier::Ftl),
+    ] {
+        let mut cfg = VmConfig::new(Architecture::Base);
+        cfg.tier_limit = limit;
+        let mut vm = Vm::with_config(SUM_LOOP, cfg).unwrap();
+        vm.run_main().unwrap();
+        for _ in 0..150 {
+            vm.call("run", &[]).unwrap();
+        }
+        assert_eq!(vm.current_tier("sum"), Some(tier), "{limit:?}");
+    }
+}
+
+#[test]
+fn tiers_get_faster() {
+    let mut insts = Vec::new();
+    for limit in [
+        TierLimit::Interpreter,
+        TierLimit::Baseline,
+        TierLimit::Dfg,
+        TierLimit::Ftl,
+    ] {
+        let mut cfg = VmConfig::new(Architecture::Base);
+        cfg.tier_limit = limit;
+        let mut vm = Vm::with_config(SUM_LOOP, cfg).unwrap();
+        vm.run_main().unwrap();
+        for _ in 0..150 {
+            vm.call("run", &[]).unwrap();
+        }
+        vm.reset_stats();
+        vm.call("run", &[]).unwrap();
+        insts.push(vm.stats.total_insts());
+    }
+    assert!(
+        insts.windows(2).all(|w| w[0] > w[1]),
+        "each tier should execute fewer instructions: {insts:?}"
+    );
+}
+
+#[test]
+fn nomap_reduces_instructions_vs_base() {
+    let (base, _) = run_hot(FIG4, Architecture::Base, 200);
+    let (nomap, _) = run_hot(FIG4, Architecture::NoMap, 200);
+    let bi = base.stats.total_insts();
+    let ni = nomap.stats.total_insts();
+    assert!(
+        ni < bi,
+        "NoMap should beat Base on the Fig.4 kernel: base={bi} nomap={ni}"
+    );
+}
+
+#[test]
+fn nomap_commits_transactions() {
+    let (vm, _) = run_hot(SUM_LOOP, Architecture::NoMapS, 200);
+    assert!(vm.stats.tx_begun > 0, "transactions were started");
+    assert!(vm.stats.tx_committed > 0, "transactions committed");
+    // The Fig.4 kernel stores into `obj.sum`, so its transaction has a
+    // write footprint; the pure-read sum loop may legitimately have none.
+    let (vm, _) = run_hot(FIG4, Architecture::NoMapS, 200);
+    assert!(vm.stats.tx_committed > 0);
+    assert!(vm.stats.tx_character.footprint_max > 0);
+}
+
+#[test]
+fn base_executes_checks_nomap_bc_removes_them() {
+    let (base, _) = run_hot(FIG4, Architecture::Base, 200);
+    let (bc, _) = run_hot(FIG4, Architecture::NoMapBc, 200);
+    assert!(base.stats.total_checks() > 0, "Base has SMP-guarding checks");
+    assert!(
+        bc.stats.total_checks() < base.stats.total_checks(),
+        "NoMap_BC strips in-transaction checks: base={} bc={}",
+        base.stats.total_checks(),
+        bc.stats.total_checks()
+    );
+}
+
+#[test]
+fn overflow_deopts_and_recovers() {
+    // The add overflows int32 after tiering up on small values; the FTL
+    // code must deopt (Base) or abort (NoMap) and still produce the right
+    // double result.
+    let src = "
+        function acc(x, n) {
+            var s = x;
+            for (var i = 0; i < n; i++) { s = s + 1000000; }
+            return s;
+        }
+        function run_small() { return acc(0, 100); }
+        function run_big() { return acc(2147000000, 100); }
+    ";
+    for arch in [Architecture::Base, Architecture::NoMap] {
+        let mut vm = Vm::new(src, arch).unwrap();
+        vm.run_main().unwrap();
+        for _ in 0..200 {
+            assert_eq!(
+                vm.call("run_small", &[]).unwrap(),
+                Value::new_int32(100_000_000)
+            );
+        }
+        assert_eq!(vm.current_tier("acc"), Some(Tier::Ftl));
+        let v = vm.call("run_big", &[]).unwrap();
+        assert_eq!(v.as_number(), 2_147_000_000.0 + 100.0 * 1_000_000.0, "{arch:?}");
+    }
+}
+
+#[test]
+fn recursion_works_at_all_tiers() {
+    let src = "
+        function fib(n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+        function run() { return fib(15); }
+    ";
+    let (_, v) = run_hot(src, Architecture::NoMap, 60);
+    assert_eq!(v, Value::new_int32(610));
+}
+
+#[test]
+fn strings_and_objects_work_hot() {
+    let src = "
+        function make(i) { return {name: 'x' + i, id: i}; }
+        function runner() {
+            var total = 0;
+            for (var i = 0; i < 20; i++) {
+                var o = make(i % 3);
+                total += o.id;
+            }
+            return total;
+        }
+        function run() { return runner(); }
+    ";
+    let (_, v) = run_hot(src, Architecture::NoMap, 150);
+    let expect: i32 = (0..20).map(|i| i % 3).sum();
+    assert_eq!(v, Value::new_int32(expect));
+}
+
+#[test]
+fn deep_recursion_overflows_cleanly() {
+    let src = "function down(n) { return down(n + 1); } function run() { return down(0); }";
+    let mut vm = Vm::new(src, Architecture::Base).unwrap();
+    vm.run_main().unwrap();
+    let err = vm.call("run", &[]).unwrap_err();
+    assert!(matches!(err, nomap_vm::VmError::StackOverflow));
+}
+
+#[test]
+fn print_output_captured() {
+    let src = "print(42); print('done');";
+    let mut vm = Vm::new(src, Architecture::Base).unwrap();
+    vm.run_main().unwrap();
+    assert_eq!(vm.output(), "42\ndone\n");
+}
+
+#[test]
+fn disassembly_and_code_sizes_available_after_tier_up() {
+    let (vm, _) = run_hot(SUM_LOOP, Architecture::NoMap, 150);
+    let sizes = vm.code_sizes("sum").unwrap();
+    assert!(sizes.iter().all(|s| s.is_some()), "all three tiers compiled: {sizes:?}");
+    let ftl = vm.disassemble("sum", Tier::Ftl).unwrap();
+    assert!(ftl.contains("xbegin"), "NoMap FTL code is transactional:\n{ftl}");
+    assert!(ftl.contains("abort_if"), "SMPs became aborts");
+    let baseline = vm.disassemble("sum", Tier::Baseline).unwrap();
+    assert!(baseline.contains("call_rt"), "baseline is runtime-call based");
+    assert!(vm.disassemble("nosuch", Tier::Ftl).is_none());
+}

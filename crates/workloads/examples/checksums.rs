@@ -1,0 +1,37 @@
+//! Cross-architecture verification sweep: every workload must produce the
+//! same checksum under all six Table II configurations, and the Shootout
+//! kernels must agree with their native Rust references.
+//!
+//! Run with: `cargo run --release -p nomap-workloads --example checksums`
+
+use nomap_vm::Architecture;
+use nomap_workloads::{evaluation_suites, run_workload, shootout, RunSpec};
+
+fn main() {
+    let mut clean = true;
+    for w in evaluation_suites().iter().chain(shootout().iter()) {
+        let mut vals = Vec::new();
+        for arch in Architecture::ALL {
+            match run_workload(w, RunSpec::quick(arch)) {
+                Ok(out) => vals.push(format!("{:?}", out.checksum)),
+                Err(e) => vals.push(format!("ERR:{e}")),
+            }
+        }
+        let all_same = vals.windows(2).all(|x| x[0] == x[1]);
+        if !all_same {
+            clean = false;
+            println!("DIVERGE {}: {:?}", w.id, vals);
+        }
+    }
+    for id in ["fibo", "harmonic", "sieve", "takfp", "random", "hash", "heapsort", "nbody"] {
+        let w = shootout().into_iter().find(|w| w.id == id).unwrap();
+        let js = run_workload(&w, RunSpec::quick(Architecture::Base)).unwrap();
+        let native = nomap_workloads::native::run_native(id);
+        println!("NATIVE {}: js={:?} native={}", id, js.checksum, native.checksum);
+    }
+    if clean {
+        println!("all architectures agree on every workload checksum");
+    } else {
+        std::process::exit(1);
+    }
+}

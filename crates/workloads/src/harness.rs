@@ -1,0 +1,92 @@
+//! Workload runner: warm up until steady state, then measure.
+
+use nomap_vm::{Architecture, ExecStats, TierLimit, Value, Vm, VmConfig, VmError};
+
+use crate::Workload;
+
+/// How to run a workload.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    /// VM configuration.
+    pub config: VmConfig,
+    /// `run()` calls before measurement (tier-up + cache warmup).
+    pub warmup: u32,
+    /// Measured `run()` calls.
+    pub measured: u32,
+}
+
+impl RunSpec {
+    /// Steady-state measurement (the paper's methodology): enough warmup
+    /// for every hot function to reach the top tier.
+    pub fn steady(arch: Architecture) -> Self {
+        RunSpec { config: VmConfig::new(arch), warmup: 120, measured: 3 }
+    }
+
+    /// Faster, for tests.
+    pub fn quick(arch: Architecture) -> Self {
+        RunSpec { config: VmConfig::new(arch), warmup: 70, measured: 1 }
+    }
+
+    /// Steady-state with a capped tier (Table I / Figure 1).
+    pub fn capped(arch: Architecture, limit: TierLimit) -> Self {
+        let mut config = VmConfig::new(arch);
+        config.tier_limit = limit;
+        RunSpec { config, warmup: 120, measured: 3 }
+    }
+}
+
+/// Result of a measured run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Statistics of the measured window only.
+    pub stats: ExecStats,
+    /// The checksum `run()` returned (identical across configurations for
+    /// a correct VM).
+    pub checksum: Value,
+    /// Guest `print` output.
+    pub output: String,
+}
+
+/// Runs `w` per `spec` and returns the measured-window statistics.
+///
+/// # Errors
+///
+/// Propagates compile and guest errors.
+pub fn run_workload(w: &Workload, spec: RunSpec) -> Result<RunOutput, VmError> {
+    let mut vm = Vm::with_config(w.source, spec.config)?;
+    vm.run_main()?;
+    let mut checksum = Value::UNDEFINED;
+    for _ in 0..spec.warmup {
+        checksum = vm.call("run", &[])?;
+    }
+    vm.reset_stats();
+    for _ in 0..spec.measured.max(1) {
+        let v = vm.call("run", &[])?;
+        if v != checksum {
+            // Workloads are deterministic per call unless they use
+            // Math.random; report the last value either way.
+            checksum = v;
+        }
+    }
+    Ok(RunOutput { stats: vm.stats.clone(), checksum, output: vm.rt.output.clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Suite;
+
+    #[test]
+    fn harness_runs_a_tiny_workload() {
+        let w = Workload {
+            id: "T00",
+            name: "tiny",
+            suite: Suite::Shootout,
+            in_avgs: false,
+            source: "function run() { var s = 0; for (var i = 0; i < 50; i++) { s += i; } return s; }",
+        };
+        let out = run_workload(&w, RunSpec::quick(nomap_vm::Architecture::Base)).unwrap();
+        assert_eq!(out.checksum, Value::new_int32(1225));
+        assert!(out.stats.total_insts() > 0);
+    }
+}

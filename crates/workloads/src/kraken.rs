@@ -1,0 +1,371 @@
+//! Kraken-style workloads K01–K14 (paper Table III).
+//!
+//! Kraken kernels process larger data than SunSpider (audio buffers,
+//! images), which is what makes their transaction footprints overflow
+//! Intel RTM's L1-bounded write set in the paper (§VII-A: "the lack of
+//! transactions with a footprint small enough to fit in the caches").
+
+use crate::{Suite, Workload};
+
+fn w(id: &'static str, name: &'static str, in_avgs: bool, source: &'static str) -> Workload {
+    Workload { id, name, suite: Suite::Kraken, in_avgs, source }
+}
+
+/// The 14 Kraken workloads in alphabetical (paper) order.
+pub fn kraken() -> Vec<Workload> {
+    vec![
+        w("K01", "ai-astar", true, K01),
+        w("K02", "audio-beat-detection", false, K02),
+        w("K03", "audio-dft", false, K03),
+        w("K04", "audio-fft", false, K04),
+        w("K05", "audio-oscillator", true, K05),
+        w("K06", "imaging-darkroom", true, K06),
+        w("K07", "imaging-desaturate", true, K07),
+        w("K08", "imaging-gaussian-blur", true, K08),
+        w("K09", "json-parse-financial", false, K09),
+        w("K10", "json-stringify-tinderbox", false, K10),
+        w("K11", "stanford-crypto-aes", true, K11),
+        w("K12", "stanford-crypto-ccm", true, K12),
+        w("K13", "stanford-crypto-pbkdf2", true, K13),
+        w("K14", "stanford-crypto-sha256-iterative", true, K14),
+    ]
+}
+
+const K01: &str = "
+// ai-astar: grid cost relaxation (array-indexing heavy).
+var W = 48; var H = 24;
+var cost = new Array(W * H);
+var walls = new Array(W * H);
+for (var i = 0; i < W * H; i++) { walls[i] = ((i * 2654435761) >>> 16) % 5 == 0 ? 1 : 0; }
+function relax() {
+    for (var i = 0; i < W * H; i++) { cost[i] = 1000000; }
+    cost[0] = 0;
+    var changed = 1; var rounds = 0;
+    while (changed == 1 && rounds < 40) {
+        changed = 0; rounds++;
+        for (var y = 0; y < H; y++) {
+            for (var x = 0; x < W; x++) {
+                var idx = y * W + x;
+                if (walls[idx] == 1) { continue; }
+                var best = cost[idx];
+                if (x > 0 && cost[idx - 1] + 1 < best) { best = cost[idx - 1] + 1; }
+                if (x < W - 1 && cost[idx + 1] + 1 < best) { best = cost[idx + 1] + 1; }
+                if (y > 0 && cost[idx - W] + 1 < best) { best = cost[idx - W] + 1; }
+                if (y < H - 1 && cost[idx + W] + 1 < best) { best = cost[idx + W] + 1; }
+                if (best < cost[idx]) { cost[idx] = best; changed = 1; }
+            }
+        }
+    }
+    return cost[W * H - 1];
+}
+function run() { return relax(); }
+";
+
+const K02: &str = "
+// audio-beat-detection: windowed energy with object allocation per window
+// (runtime dominated).
+function run() {
+    var windows = new Array(30);
+    for (var wd = 0; wd < 30; wd++) {
+        var acc = 0.0;
+        for (var i = 0; i < 20; i++) {
+            acc += Math.abs(Math.sin((wd * 20 + i) * 0.11));
+        }
+        windows[wd] = {energy: acc, index: wd, label: 'w' + wd};
+    }
+    var beats = 0;
+    for (var wd = 1; wd < 30; wd++) {
+        if (windows[wd].energy > windows[wd - 1].energy * 1.01) { beats += windows[wd].label.length; }
+    }
+    return beats;
+}
+";
+
+const K03: &str = "
+// audio-dft: naive DFT (trig-call dominated, counted as runtime work).
+var SIGN = 64;
+var signal = new Array(SIGN);
+for (var i = 0; i < SIGN; i++) { signal[i] = Math.sin(i * 0.3) + 0.5 * Math.sin(i * 0.7); }
+function dftbin(k) {
+    var re = 0.0; var im = 0.0;
+    for (var n = 0; n < SIGN; n++) {
+        var ph = 6.283185307179586 * k * n / SIGN;
+        re += signal[n] * Math.cos(ph);
+        im -= signal[n] * Math.sin(ph);
+    }
+    return re * re + im * im;
+}
+function run() {
+    var total = 0.0;
+    for (var k = 0; k < 16; k++) { total += dftbin(k); }
+    return Math.floor(total * 100);
+}
+";
+
+const K04: &str = "
+// audio-fft: butterfly passes over split re/im arrays.
+var FN = 128;
+var re = new Array(FN); var im = new Array(FN);
+function fftpass(span) {
+    for (var start = 0; start < FN; start += span * 2) {
+        for (var k = 0; k < span; k++) {
+            var i = start + k; var j = i + span;
+            var tr = re[j] * 0.7 - im[j] * 0.7;
+            var ti = re[j] * 0.7 + im[j] * 0.7;
+            re[j] = re[i] - tr; im[j] = im[i] - ti;
+            re[i] = re[i] + tr; im[i] = im[i] + ti;
+        }
+    }
+}
+function run() {
+    for (var i = 0; i < FN; i++) { re[i] = Math.sin(i * 0.5); im[i] = 0.0; }
+    var span = 1;
+    while (span < FN) { fftpass(span); span = span * 2; }
+    var e = 0.0;
+    for (var i = 0; i < FN; i++) { e += re[i] * re[i] + im[i] * im[i]; }
+    return Math.floor(e);
+}
+";
+
+const K05: &str = "
+// audio-oscillator: wave generation calling a helper per sample — the
+// call inside the hot loop is what turns its transaction time into
+// TMUnopt/NoFTL work in the paper.
+var BUF = 512;
+var buffer = new Array(BUF);
+function sample(phase) {
+    return Math.sin(phase) + 0.3 * Math.sin(phase * 2.0) + 0.1 * Math.sin(phase * 3.0);
+}
+function fill(freq) {
+    var acc = 0.0;
+    for (var i = 0; i < BUF; i++) {
+        buffer[i] = sample(i * freq);
+        acc += buffer[i];
+    }
+    return acc;
+}
+function run() {
+    var t = 0.0;
+    for (var k = 1; k <= 3; k++) { t += fill(0.01 * k); }
+    return Math.floor(t * 1000);
+}
+";
+
+const K06: &str = "
+// imaging-darkroom: per-pixel brightness/contrast with clamping helper.
+var PIX6 = 4096;
+var img6 = new Array(PIX6);
+for (var i = 0; i < PIX6; i++) { img6[i] = (i * 97) & 255; }
+function clamp(v) {
+    if (v < 0) { return 0; }
+    if (v > 255) { return 255; }
+    return v;
+}
+function adjust(brightness, contrast) {
+    var sum = 0;
+    for (var i = 0; i < PIX6; i++) {
+        var v = img6[i];
+        v = ((v - 128) * contrast >> 6) + 128 + brightness;
+        v = clamp(v);
+        img6[i] = v;
+        sum = (sum + v) & 1048575;
+    }
+    return sum;
+}
+function run() {
+    for (var i = 0; i < PIX6; i++) { img6[i] = (i * 97) & 255; }
+    return adjust(3, 70) + adjust(-2, 60);
+}
+";
+
+const K07: &str = "
+// imaging-desaturate: rgb → gray over a large int array.
+var PIX7 = 6144;
+var rgb = new Array(PIX7 * 3);
+for (var i = 0; i < PIX7 * 3; i++) { rgb[i] = (i * 31) & 255; }
+function desaturate() {
+    var sum = 0;
+    for (var p = 0; p < PIX7; p++) {
+        var r = rgb[p * 3]; var g = rgb[p * 3 + 1]; var b = rgb[p * 3 + 2];
+        var gray = (r * 77 + g * 151 + b * 28) >> 8;
+        rgb[p * 3] = gray; rgb[p * 3 + 1] = gray; rgb[p * 3 + 2] = gray;
+        sum = (sum + gray) & 1048575;
+    }
+    return sum;
+}
+function run() {
+    for (var i = 0; i < PIX7 * 3; i++) { rgb[i] = (i * 31) & 255; }
+    return desaturate();
+}
+";
+
+const K08: &str = "
+// imaging-gaussian-blur: separable blur over a float image. The write
+// footprint (thousands of doubles) is what breaks RTM's L1-bounded
+// transactions in the paper.
+var BW = 96; var BH = 64;
+var src8 = new Array(BW * BH);
+var dst8 = new Array(BW * BH);
+for (var i = 0; i < BW * BH; i++) { src8[i] = (i % 251) * 1.0; }
+function blurH() {
+    for (var y = 0; y < BH; y++) {
+        for (var x = 2; x < BW - 2; x++) {
+            var idx = y * BW + x;
+            dst8[idx] = (src8[idx - 2] + 4.0 * src8[idx - 1] + 6.0 * src8[idx]
+                + 4.0 * src8[idx + 1] + src8[idx + 2]) * 0.0625;
+        }
+    }
+}
+function blurV() {
+    for (var y = 2; y < BH - 2; y++) {
+        for (var x = 0; x < BW; x++) {
+            var idx = y * BW + x;
+            src8[idx] = (dst8[idx - 2 * BW] + 4.0 * dst8[idx - BW] + 6.0 * dst8[idx]
+                + 4.0 * dst8[idx + BW] + dst8[idx + 2 * BW]) * 0.0625;
+        }
+    }
+}
+function run() {
+    for (var i = 0; i < BW * BH; i++) { src8[i] = (i % 251) * 1.0; }
+    blurH(); blurV();
+    var s = 0.0;
+    for (var i = 0; i < BW * BH; i += 7) { s += src8[i]; }
+    return Math.floor(s);
+}
+";
+
+const K09: &str = "
+// json-parse-financial: tokenizing a quote string (runtime dominated).
+var quotes = '{sym:IBM,px:12550,qty:300}|{sym:AAPL,px:18230,qty:120}|{sym:MSFT,px:31005,qty:75}';
+function parseInt10(s) {
+    var v = 0;
+    for (var i = 0; i < s.length; i++) { v = v * 10 + (s.charCodeAt(i) - 48); }
+    return v;
+}
+function run() {
+    var total = 0;
+    for (var rep = 0; rep < 12; rep++) {
+        var i = 0;
+        while (i < quotes.length) {
+            var c = quotes.charCodeAt(i);
+            if (c >= 48 && c <= 57) {
+                var j = i;
+                while (j < quotes.length && quotes.charCodeAt(j) >= 48 && quotes.charCodeAt(j) <= 57) { j++; }
+                total += parseInt10(quotes.substring(i, j));
+                i = j;
+            } else { i++; }
+        }
+    }
+    return total & 16777215;
+}
+";
+
+const K10: &str = "
+// json-stringify-tinderbox: building a report string (runtime dominated).
+function run() {
+    var out = '';
+    for (var i = 0; i < 40; i++) {
+        out = out + '{id:' + i + ',ok:' + (i % 3 == 0 ? 'true' : 'false') + '}';
+        if (out.length > 600) { out = out.substring(out.length - 300, out.length); }
+    }
+    return out.length + out.charCodeAt(5);
+}
+";
+
+const K11: &str = "
+// stanford-crypto-aes: larger s-box rounds over a 256-byte state.
+var sbox11 = new Array(256);
+for (var i = 0; i < 256; i++) { sbox11[i] = (i * 11 + 7) & 255; }
+var state11 = new Array(256);
+function encrypt(rounds) {
+    for (var i = 0; i < 256; i++) { state11[i] = i; }
+    for (var r = 0; r < rounds; r++) {
+        for (var i = 0; i < 256; i++) {
+            state11[i] = sbox11[state11[i] ^ ((r * 17 + i) & 255)];
+        }
+        for (var i = 0; i < 252; i += 4) {
+            var t = state11[i];
+            state11[i] = state11[i + 1] ^ t;
+            state11[i + 1] = state11[i + 2] ^ t;
+            state11[i + 2] = state11[i + 3] ^ t;
+            state11[i + 3] = t;
+        }
+    }
+    var h = 0;
+    for (var i = 0; i < 256; i++) { h = (h * 33 + state11[i]) & 16777215; }
+    return h;
+}
+function run() { return encrypt(16); }
+";
+
+const K12: &str = "
+// stanford-crypto-ccm: counter-mode xor with MAC accumulation.
+var block12 = new Array(128);
+function ccm(n) {
+    for (var i = 0; i < 128; i++) { block12[i] = (i * 3) & 255; }
+    var mac = 0;
+    for (var ctr = 0; ctr < n; ctr++) {
+        var key = (ctr * 2654435761) | 0;
+        for (var i = 0; i < 128; i++) {
+            var ks = (key >> (i & 15)) & 255;
+            block12[i] = block12[i] ^ ks;
+            mac = (mac + block12[i] * (i + 1)) | 0;
+        }
+    }
+    return mac | 0;
+}
+function run() { return ccm(40); }
+";
+
+const K13: &str = "
+// stanford-crypto-pbkdf2: iterated keyed mixing.
+function prf(key, data) {
+    var h = key | 0;
+    h = (h ^ data) | 0;
+    h = (h * 1103515245 + 12345) | 0;
+    h = (h ^ (h >>> 13)) | 0;
+    return h;
+}
+function pbkdf2(iters) {
+    var u = 1234567;
+    var out = 0;
+    for (var i = 0; i < iters; i++) {
+        u = prf(u, i);
+        out = (out ^ u) | 0;
+    }
+    return out;
+}
+function run() { return pbkdf2(4000); }
+";
+
+const K14: &str = "
+// stanford-crypto-sha256-iterative: 32-bit compressions over a schedule.
+var w14 = new Array(64);
+function sha256block(seed) {
+    for (var t = 0; t < 16; t++) { w14[t] = (seed * (t + 3)) | 0; }
+    for (var t = 16; t < 64; t++) {
+        var x = w14[t - 15]; var y = w14[t - 2];
+        var s0 = ((x >>> 7) | (x << 25)) ^ ((x >>> 18) | (x << 14)) ^ (x >>> 3);
+        var s1 = ((y >>> 17) | (y << 15)) ^ ((y >>> 19) | (y << 13)) ^ (y >>> 10);
+        w14[t] = (w14[t - 16] + s0 + w14[t - 7] + s1) | 0;
+    }
+    var a = 1779033703; var b = -1150833019; var c = 1013904242; var d = -1521486534;
+    var e = 1359893119; var f = -1694144372; var g = 528734635; var h = 1541459225;
+    for (var t = 0; t < 64; t++) {
+        var S1 = ((e >>> 6) | (e << 26)) ^ ((e >>> 11) | (e << 21)) ^ ((e >>> 25) | (e << 7));
+        var ch = (e & f) ^ (~e & g);
+        var t1 = (h + S1 + ch + w14[t]) | 0;
+        var S0 = ((a >>> 2) | (a << 30)) ^ ((a >>> 13) | (a << 19)) ^ ((a >>> 22) | (a << 10));
+        var mj = (a & b) ^ (a & c) ^ (b & c);
+        var t2 = (S0 + mj) | 0;
+        h = g; g = f; f = e; e = (d + t1) | 0;
+        d = c; c = b; b = a; a = (t1 + t2) | 0;
+    }
+    return (a ^ e) | 0;
+}
+function run() {
+    var hsh = 0;
+    for (var k = 0; k < 8; k++) { hsh = (hsh + sha256block(k + 99)) | 0; }
+    return hsh;
+}
+";

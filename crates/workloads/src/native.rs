@@ -1,0 +1,388 @@
+//! Native ("C") reference implementations for Figure 1.
+//!
+//! The paper's Figure 1 compares scripting-language runtimes to C. We
+//! cannot meaningfully compare wall-clock time of host Rust against
+//! *simulated* instruction counts, so each native kernel counts **abstract
+//! operations** (one per arithmetic op, comparison, load or store — the
+//! work a C compiler would emit roughly one instruction for). That count is
+//! directly comparable with the simulator's dynamic instruction counts and
+//! plays the figure's "C = 1.0" role. See DESIGN.md §2.
+
+/// Result of a native kernel: its checksum and abstract operation count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NativeRun {
+    /// Checksum (matches the MiniJS kernel's `run()` value where the
+    /// algorithms are identical).
+    pub checksum: f64,
+    /// Abstract operations executed.
+    pub ops: u64,
+}
+
+/// Runs the native counterpart of the named Shootout kernel.
+///
+/// # Panics
+///
+/// Panics for unknown kernel ids.
+pub fn run_native(id: &str) -> NativeRun {
+    match id {
+        "binarytrees" => binarytrees(),
+        "fannkuchredux" => fannkuchredux(),
+        "fibo" => fibo(),
+        "harmonic" => harmonic(),
+        "hash" => hash(),
+        "heapsort" => heapsort(),
+        "matrix" => matrix(),
+        "nbody" => nbody(),
+        "random" => random(),
+        "sieve" => sieve(),
+        "takfp" => takfp(),
+        other => panic!("unknown native kernel `{other}`"),
+    }
+}
+
+struct Tree {
+    l: Option<Box<Tree>>,
+    r: Option<Box<Tree>>,
+    v: i32,
+}
+
+fn binarytrees() -> NativeRun {
+    let mut ops = 0u64;
+    fn make(d: i32, ops: &mut u64) -> Tree {
+        *ops += 4;
+        if d <= 0 {
+            return Tree { l: None, r: None, v: 1 };
+        }
+        Tree {
+            l: Some(Box::new(make(d - 1, ops))),
+            r: Some(Box::new(make(d - 1, ops))),
+            v: d,
+        }
+    }
+    fn check(t: &Tree, ops: &mut u64) -> i32 {
+        *ops += 3;
+        match (&t.l, &t.r) {
+            (Some(l), Some(r)) => t.v + check(l, ops) - check(r, ops),
+            _ => t.v,
+        }
+    }
+    let mut total = 0i32;
+    for d in 2..=6 {
+        let t = make(d, &mut ops);
+        total += check(&t, &mut ops);
+        ops += 2;
+    }
+    NativeRun { checksum: total as f64, ops }
+}
+
+fn fannkuchredux() -> NativeRun {
+    let n = 7usize;
+    let mut ops = 0u64;
+    let mut perm = vec![0i32; n];
+    let mut perm1: Vec<i32> = (0..n as i32).collect();
+    let mut count = vec![0i32; n];
+    let mut max_flips = 0;
+    let mut checksum = 0i32;
+    let mut sign = 1;
+    let mut r = n;
+    for _ in 0..400 {
+        while r != 1 {
+            count[r - 1] = r as i32;
+            r -= 1;
+            ops += 2;
+        }
+        perm.copy_from_slice(&perm1);
+        ops += n as u64;
+        let mut flips = 0;
+        let mut k = perm[0];
+        while k != 0 {
+            let half = (k + 1) / 2;
+            for i in 0..half {
+                perm.swap(i as usize, (k - i) as usize);
+                ops += 3;
+            }
+            flips += 1;
+            k = perm[0];
+            ops += 2;
+        }
+        max_flips = max_flips.max(flips);
+        checksum += sign * flips;
+        sign = -sign;
+        ops += 3;
+        loop {
+            if r == n {
+                return NativeRun {
+                    checksum: (max_flips * 1000 + (checksum & 255)) as f64,
+                    ops,
+                };
+            }
+            let p0 = perm1[0];
+            for i in 0..r {
+                perm1[i] = perm1[i + 1];
+                ops += 2;
+            }
+            perm1[r] = p0;
+            count[r] -= 1;
+            ops += 2;
+            if count[r] > 0 {
+                break;
+            }
+            r += 1;
+        }
+    }
+    NativeRun { checksum: (max_flips * 1000 + (checksum & 255)) as f64, ops }
+}
+
+fn fibo() -> NativeRun {
+    fn fib(n: i32, ops: &mut u64) -> i32 {
+        *ops += 3;
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1, ops) + fib(n - 2, ops)
+        }
+    }
+    let mut ops = 0;
+    let v = fib(16, &mut ops);
+    NativeRun { checksum: v as f64, ops }
+}
+
+fn harmonic() -> NativeRun {
+    let mut sum = 0.0f64;
+    let mut ops = 0u64;
+    for i in 1..=6000 {
+        sum += 1.0 / i as f64;
+        ops += 3;
+    }
+    NativeRun { checksum: (sum * 1e6).floor(), ops }
+}
+
+fn hash() -> NativeRun {
+    let mut table = vec![-1i64; 512];
+    let mut hits = 0i64;
+    let mut ops = 0u64;
+    for i in 0..1500i64 {
+        let key = (((i * 2654435761) as u64 >> 8) & 511) as usize;
+        if table[key] == i - 512 {
+            hits += 1;
+        }
+        table[key] = i;
+        ops += 5;
+    }
+    NativeRun { checksum: hits as f64, ops }
+}
+
+fn heapsort() -> NativeRun {
+    const HN: usize = 400;
+    let mut heap = [0i64; HN];
+    let mut seed = 12345i64;
+    let mut ops = 0u64;
+    for slot in heap.iter_mut() {
+        seed = (seed * 1103515245 + 12345) & 2147483647;
+        *slot = seed % 10000;
+        ops += 4;
+    }
+    fn sift(heap: &mut [i64; HN], start: usize, end: usize, ops: &mut u64) {
+        let mut root = start;
+        while root * 2 + 1 <= end {
+            let mut child = root * 2 + 1;
+            if child + 1 <= end && heap[child] < heap[child + 1] {
+                child += 1;
+            }
+            *ops += 6;
+            if heap[root] < heap[child] {
+                heap.swap(root, child);
+                root = child;
+            } else {
+                return;
+            }
+        }
+    }
+    let mut s = (HN - 2) / 2;
+    loop {
+        sift(&mut heap, s, HN - 1, &mut ops);
+        if s == 0 {
+            break;
+        }
+        s -= 1;
+    }
+    for e in (1..HN).rev() {
+        heap.swap(e, 0);
+        sift(&mut heap, 0, e - 1, &mut ops);
+        ops += 3;
+    }
+    let mut check = 0;
+    for i in 1..HN {
+        if heap[i] >= heap[i - 1] {
+            check += 1;
+        }
+        ops += 3;
+    }
+    NativeRun { checksum: check as f64, ops }
+}
+
+fn matrix() -> NativeRun {
+    const M: usize = 18;
+    let mk = || -> Vec<i64> { (0..M * M).map(|i| i as i64 + 1).collect() };
+    let mut a = mk();
+    let mut b = mk();
+    let mut c = mk();
+    let mut ops = (M * M * 3) as u64;
+    fn mmult(a: &[i64], b: &[i64], c: &mut [i64], ops: &mut u64) {
+        const M: usize = 18;
+        for i in 0..M {
+            for j in 0..M {
+                let mut s = 0i64;
+                for k in 0..M {
+                    s = (s + a[i * M + k] * b[k * M + j]) as i32 as i64;
+                    *ops += 4;
+                }
+                c[i * M + j] = s;
+                *ops += 2;
+            }
+        }
+    }
+    for _ in 0..4 {
+        let bc = b.clone();
+        mmult(&a, &bc, &mut c, &mut ops);
+        let cc = c.clone();
+        mmult(&bc, &cc, &mut a, &mut ops);
+        let _ = &mut b;
+    }
+    NativeRun { checksum: ((a[0] + a[M * M - 1]) as i32) as f64, ops }
+}
+
+fn nbody() -> NativeRun {
+    let mut px: [f64; 5] = [0.0, 4.84, 8.34, 12.89, 15.37];
+    let mut py = [0.0, -1.16, 4.12, -15.11, -25.91];
+    let mut vx = [0.0, 0.60, -1.01, 1.08, 0.97];
+    let mut vy = [0.0, 2.81, 1.82, 0.86, 0.59];
+    let mass = [39.47, 0.037, 0.011, 0.0017, 0.002];
+    let mut ops = 0u64;
+    for _ in 0..100 {
+        for i in 0..5 {
+            for j in i + 1..5 {
+                let dx = px[i] - px[j];
+                let dy = py[i] - py[j];
+                let d2 = dx * dx + dy * dy;
+                let mag = 0.01 / (d2 * d2.sqrt());
+                vx[i] -= dx * mass[j] * mag;
+                vy[i] -= dy * mass[j] * mag;
+                vx[j] += dx * mass[i] * mag;
+                vy[j] += dy * mass[i] * mag;
+                ops += 22;
+            }
+        }
+        for i in 0..5 {
+            px[i] += 0.01 * vx[i];
+            py[i] += 0.01 * vy[i];
+            ops += 6;
+        }
+    }
+    let mut e = 0.0f64;
+    for i in 0..5 {
+        e += 0.5 * mass[i] * (vx[i] * vx[i] + vy[i] * vy[i]);
+        ops += 7;
+    }
+    NativeRun { checksum: (e * 1e6).floor(), ops }
+}
+
+fn random() -> NativeRun {
+    const IM: i64 = 139968;
+    const IA: i64 = 3877;
+    const IC: i64 = 29573;
+    let mut seed = 42i64;
+    let mut last = 0.0f64;
+    let mut ops = 0u64;
+    for _ in 0..4000 {
+        seed = (seed * IA + IC) % IM;
+        last = 100.0 * seed as f64 / IM as f64;
+        ops += 6;
+    }
+    NativeRun { checksum: (last * 1000.0).floor(), ops }
+}
+
+fn sieve() -> NativeRun {
+    let mut count = 0u64;
+    let mut ops = 0u64;
+    let mut flags = [false; 1024];
+    for _ in 0..4 {
+        count = 0;
+        for f in flags.iter_mut().skip(2) {
+            *f = true;
+            ops += 1;
+        }
+        for i in 2..1024usize {
+            ops += 2;
+            if flags[i] {
+                let mut k = i + i;
+                while k < 1024 {
+                    flags[k] = false;
+                    k += i;
+                    ops += 2;
+                }
+                count += 1;
+            }
+        }
+    }
+    NativeRun { checksum: count as f64, ops }
+}
+
+fn takfp() -> NativeRun {
+    fn tak(x: f64, y: f64, z: f64, ops: &mut u64) -> f64 {
+        *ops += 4;
+        if y >= x {
+            z
+        } else {
+            tak(
+                tak(x - 1.0, y, z, ops),
+                tak(y - 1.0, z, x, ops),
+                tak(z - 1.0, x, y, ops),
+                ops,
+            )
+        }
+    }
+    let mut ops = 0;
+    let v = tak(18.0, 12.0, 6.0, &mut ops);
+    NativeRun { checksum: v, ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_native_kernels_run() {
+        for id in [
+            "binarytrees",
+            "fannkuchredux",
+            "fibo",
+            "harmonic",
+            "hash",
+            "heapsort",
+            "matrix",
+            "nbody",
+            "random",
+            "sieve",
+            "takfp",
+        ] {
+            let r = run_native(id);
+            assert!(r.ops > 0, "{id} counted no ops");
+        }
+    }
+
+    #[test]
+    fn fibo_checksum() {
+        assert_eq!(run_native("fibo").checksum, 987.0);
+    }
+
+    #[test]
+    fn sieve_checksum_is_prime_count() {
+        assert_eq!(run_native("sieve").checksum, 172.0); // primes below 1024
+    }
+
+    #[test]
+    fn takfp_value() {
+        assert_eq!(run_native("takfp").checksum, 7.0);
+    }
+}

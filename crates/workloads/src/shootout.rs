@@ -1,0 +1,234 @@
+//! Shootout-style kernels for the paper's motivating Figure 1, matching
+//! the benchmarks named there: binarytrees, fannkuchredux, fibo, harmonic,
+//! hash, heapsort, matrix, nbody, random, sieve, takfp.
+//!
+//! [`crate::native`] holds Rust reference implementations with abstract
+//! operation counters standing in for the figure's "C" baseline.
+
+use crate::{Suite, Workload};
+
+fn w(id: &'static str, source: &'static str) -> Workload {
+    Workload { id, name: id, suite: Suite::Shootout, in_avgs: true, source }
+}
+
+/// The 11 Shootout workloads of Figure 1, in the figure's order.
+pub fn shootout() -> Vec<Workload> {
+    vec![
+        w("binarytrees", BINARYTREES),
+        w("fannkuchredux", FANNKUCHREDUX),
+        w("fibo", FIBO),
+        w("harmonic", HARMONIC),
+        w("hash", HASH),
+        w("heapsort", HEAPSORT),
+        w("matrix", MATRIX),
+        w("nbody", NBODY),
+        w("random", RANDOM),
+        w("sieve", SIEVE),
+        w("takfp", TAKFP),
+    ]
+}
+
+const BINARYTREES: &str = "
+function make(depth) {
+    if (depth <= 0) { return {l: null, r: null, v: 1}; }
+    return {l: make(depth - 1), r: make(depth - 1), v: depth};
+}
+function check(n) {
+    if (n.l == null) { return n.v; }
+    return n.v + check(n.l) - check(n.r);
+}
+function run() {
+    var total = 0;
+    for (var d = 2; d <= 6; d++) { total += check(make(d)); }
+    return total;
+}
+";
+
+const FANNKUCHREDUX: &str = "
+function run() {
+    var n = 7;
+    var perm = new Array(n); var perm1 = new Array(n); var count = new Array(n);
+    for (var i = 0; i < n; i++) { perm1[i] = i; }
+    var maxFlips = 0; var checksum = 0; var r = n; var iters = 0; var sign = 1;
+    while (iters < 400) {
+        iters++;
+        while (r != 1) { count[r - 1] = r; r--; }
+        for (var i = 0; i < n; i++) { perm[i] = perm1[i]; }
+        var flips = 0; var k = perm[0];
+        while (k != 0) {
+            var half = (k + 1) >> 1;
+            for (var i = 0; i < half; i++) { var t = perm[i]; perm[i] = perm[k - i]; perm[k - i] = t; }
+            flips++; k = perm[0];
+        }
+        if (flips > maxFlips) { maxFlips = flips; }
+        checksum += sign * flips; sign = -sign;
+        while (r != n) {
+            var p0 = perm1[0];
+            for (var i = 0; i < r; i++) { perm1[i] = perm1[i + 1]; }
+            perm1[r] = p0;
+            count[r] = count[r] - 1;
+            if (count[r] > 0) { break; }
+            r++;
+        }
+        if (r == n) { break; }
+    }
+    return maxFlips * 1000 + (checksum & 255);
+}
+";
+
+const FIBO: &str = "
+function fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+function run() { return fib(16); }
+";
+
+const HARMONIC: &str = "
+function run() {
+    var sum = 0.0;
+    for (var i = 1; i <= 6000; i++) { sum += 1.0 / i; }
+    return Math.floor(sum * 1e6);
+}
+";
+
+const HASH: &str = "
+// Hash-table workload modelled with object property insertion + lookup.
+function run() {
+    var table = new Array(512);
+    for (var i = 0; i < 512; i++) { table[i] = -1; }
+    var hits = 0;
+    for (var i = 0; i < 1500; i++) {
+        var key = ((i * 2654435761) >>> 8) & 511;
+        if (table[key] == i - 512) { hits++; }
+        table[key] = i;
+    }
+    return hits;
+}
+";
+
+const HEAPSORT: &str = "
+var HN = 400;
+var heap = new Array(HN);
+function siftDown(start, end) {
+    var root = start;
+    while (root * 2 + 1 <= end) {
+        var child = root * 2 + 1;
+        if (child + 1 <= end && heap[child] < heap[child + 1]) { child++; }
+        if (heap[root] < heap[child]) {
+            var t = heap[root]; heap[root] = heap[child]; heap[child] = t;
+            root = child;
+        } else { return; }
+    }
+}
+function run() {
+    var seed = 12345;
+    for (var i = 0; i < HN; i++) {
+        seed = (seed * 1103515245 + 12345) & 2147483647;
+        heap[i] = seed % 10000;
+    }
+    for (var s = ((HN - 2) / 2) | 0; s >= 0; s--) { siftDown(s, HN - 1); }
+    for (var e = HN - 1; e > 0; e--) {
+        var t = heap[e]; heap[e] = heap[0]; heap[0] = t;
+        siftDown(0, e - 1);
+    }
+    var check = 0;
+    for (var i = 1; i < HN; i++) { if (heap[i] >= heap[i - 1]) { check++; } }
+    return check;
+}
+";
+
+const MATRIX: &str = "
+var MSZ = 18;
+function mkmatrix() {
+    var m = new Array(MSZ * MSZ);
+    for (var i = 0; i < MSZ * MSZ; i++) { m[i] = i + 1; }
+    return m;
+}
+function mmult(a, b, c) {
+    for (var i = 0; i < MSZ; i++) {
+        for (var j = 0; j < MSZ; j++) {
+            var s = 0;
+            for (var k = 0; k < MSZ; k++) { s = (s + a[i * MSZ + k] * b[k * MSZ + j]) | 0; }
+            c[i * MSZ + j] = s;
+        }
+    }
+}
+function run() {
+    var a = mkmatrix(); var b = mkmatrix(); var c = mkmatrix();
+    for (var iter = 0; iter < 4; iter++) { mmult(a, b, c); mmult(b, c, a); }
+    return (a[0] + a[MSZ * MSZ - 1]) | 0;
+}
+";
+
+const NBODY: &str = "
+var px = [0.0, 4.84, 8.34, 12.89, 15.37];
+var py = [0.0, -1.16, 4.12, -15.11, -25.91];
+var vx = [0.0, 0.60, -1.01, 1.08, 0.97];
+var vy = [0.0, 2.81, 1.82, 0.86, 0.59];
+var mass = [39.47, 0.037, 0.011, 0.0017, 0.002];
+var px0 = [0.0, 4.84, 8.34, 12.89, 15.37];
+var py0 = [0.0, -1.16, 4.12, -15.11, -25.91];
+var vx0 = [0.0, 0.60, -1.01, 1.08, 0.97];
+var vy0 = [0.0, 2.81, 1.82, 0.86, 0.59];
+function reset() {
+    for (var i = 0; i < 5; i++) { px[i] = px0[i]; py[i] = py0[i]; vx[i] = vx0[i]; vy[i] = vy0[i]; }
+}
+function advance(dt) {
+    for (var i = 0; i < 5; i++) {
+        for (var j = i + 1; j < 5; j++) {
+            var dx = px[i] - px[j]; var dy = py[i] - py[j];
+            var d2 = dx * dx + dy * dy;
+            var mag = dt / (d2 * Math.sqrt(d2));
+            vx[i] -= dx * mass[j] * mag; vy[i] -= dy * mass[j] * mag;
+            vx[j] += dx * mass[i] * mag; vy[j] += dy * mass[i] * mag;
+        }
+    }
+    for (var i = 0; i < 5; i++) { px[i] += dt * vx[i]; py[i] += dt * vy[i]; }
+}
+function run() {
+    reset();
+    for (var k = 0; k < 100; k++) { advance(0.01); }
+    var e = 0.0;
+    for (var i = 0; i < 5; i++) { e += 0.5 * mass[i] * (vx[i] * vx[i] + vy[i] * vy[i]); }
+    return Math.floor(e * 1e6);
+}
+";
+
+const RANDOM: &str = "
+var IM = 139968; var IA = 3877; var IC = 29573;
+var seed = 42;
+function genRandom(max) {
+    seed = (seed * IA + IC) % IM;
+    return max * seed / IM;
+}
+function run() {
+    seed = 42;
+    var last = 0.0;
+    for (var i = 0; i < 4000; i++) { last = genRandom(100.0); }
+    return Math.floor(last * 1000);
+}
+";
+
+const SIEVE: &str = "
+function run() {
+    var flags = new Array(1024);
+    var count = 0;
+    for (var iter = 0; iter < 4; iter++) {
+        count = 0;
+        for (var i = 2; i < 1024; i++) { flags[i] = true; }
+        for (var i = 2; i < 1024; i++) {
+            if (flags[i]) {
+                for (var k = i + i; k < 1024; k += i) { flags[k] = false; }
+                count++;
+            }
+        }
+    }
+    return count;
+}
+";
+
+const TAKFP: &str = "
+function tak(x, y, z) {
+    if (y >= x) { return z; }
+    return tak(tak(x - 1.0, y, z), tak(y - 1.0, z, x), tak(z - 1.0, x, y));
+}
+function run() { return tak(18.0, 12.0, 6.0); }
+";

@@ -1,0 +1,647 @@
+//! SunSpider-style workloads S01–S26 (paper Table III).
+//!
+//! Each kernel reproduces its namesake's *workload category*; `AvgS`
+//! membership follows the paper exactly (S02/S08/S09 are the "dead code"
+//! exclusions, S17 and S21–S26 the "95% non-FTL" string/runtime-dominated
+//! exclusions).
+
+use crate::{Suite, Workload};
+
+fn w(id: &'static str, name: &'static str, in_avgs: bool, source: &'static str) -> Workload {
+    Workload { id, name, suite: Suite::SunSpider, in_avgs, source }
+}
+
+/// The 26 SunSpider workloads in alphabetical (paper) order.
+pub fn sunspider() -> Vec<Workload> {
+    vec![
+        w("S01", "3d-cube", true, S01),
+        w("S02", "3d-morph", false, S02),
+        w("S03", "3d-raytrace", true, S03),
+        w("S04", "access-binary-trees", true, S04),
+        w("S05", "access-fannkuch", true, S05),
+        w("S06", "access-nbody", true, S06),
+        w("S07", "access-nsieve", true, S07),
+        w("S08", "bitops-3bit-bits-in-byte", false, S08),
+        w("S09", "bitops-bits-in-byte", false, S09),
+        w("S10", "bitops-bitwise-and", true, S10),
+        w("S11", "bitops-nsieve-bits", true, S11),
+        w("S12", "controlflow-recursive", true, S12),
+        w("S13", "crypto-aes", true, S13),
+        w("S14", "crypto-md5", true, S14),
+        w("S15", "crypto-sha1", true, S15),
+        w("S16", "date-format-tofte", true, S16),
+        w("S17", "date-format-xparb", false, S17),
+        w("S18", "math-cordic", true, S18),
+        w("S19", "math-partial-sums", true, S19),
+        w("S20", "math-spectral-norm", true, S20),
+        w("S21", "regexp-dna", false, S21),
+        w("S22", "string-base64", false, S22),
+        w("S23", "string-fasta", false, S23),
+        w("S24", "string-tagcloud", false, S24),
+        w("S25", "string-unpack-code", false, S25),
+        w("S26", "string-validate-input", false, S26),
+    ]
+}
+
+const S01: &str = "
+// 3d-cube: rotate a vertex cloud with a 3x3 matrix, accumulate coordinates.
+var NV = 120;
+var xs = new Array(NV); var ys = new Array(NV); var zs = new Array(NV);
+for (var i = 0; i < NV; i++) { xs[i] = i * 0.25; ys[i] = i * 0.5 - 3.0; zs[i] = 1.5 - i * 0.125; }
+function rotate(angle) {
+    var c = Math.cos(angle); var s = Math.sin(angle);
+    var acc = 0.0;
+    for (var i = 0; i < NV; i++) {
+        var x = xs[i]; var y = ys[i]; var z = zs[i];
+        var nx = x * c - z * s;
+        var nz = x * s + z * c;
+        var ny = y * c - nz * s;
+        xs[i] = nx; ys[i] = ny; zs[i] = nz;
+        acc += nx + ny + nz;
+    }
+    return acc;
+}
+function run() {
+    for (var i = 0; i < NV; i++) { xs[i] = i * 0.25; ys[i] = i * 0.5 - 3.0; zs[i] = 1.5 - i * 0.125; }
+    var t = 0.0;
+    for (var k = 0; k < 8; k++) { t += rotate(0.1 * (k + 1)); }
+    return Math.floor(t * 1000) % 100000;
+}
+";
+
+const S02: &str = "
+// 3d-morph: sinusoidal morphing of a height field.
+var N2 = 180;
+var field = new Array(N2);
+for (var i = 0; i < N2; i++) { field[i] = 0.0; }
+function morph(phase) {
+    var s = 0.0;
+    for (var i = 0; i < N2; i++) {
+        field[i] = Math.sin((i + phase) * 0.05) * 2.0;
+        s += field[i];
+    }
+    return s;
+}
+function run() {
+    var t = 0.0;
+    for (var k = 0; k < 6; k++) { t += morph(k); }
+    return Math.floor(t * 100);
+}
+";
+
+const S03: &str = "
+// 3d-raytrace: ray-sphere intersection tests over a small scene.
+var NS = 12;
+var sx = new Array(NS); var sy = new Array(NS); var sz = new Array(NS); var sr = new Array(NS);
+for (var i = 0; i < NS; i++) { sx[i] = i - 6; sy[i] = (i % 3) - 1; sz[i] = 5 + i; sr[i] = 1.0 + (i % 2); }
+function trace(ox, oy, dx, dy) {
+    var hits = 0; var tmin = 1e9;
+    for (var i = 0; i < NS; i++) {
+        var cx = sx[i] - ox; var cy = sy[i] - oy; var cz = sz[i];
+        var b = cx * dx + cy * dy + cz * 0.8;
+        var c = cx * cx + cy * cy + cz * cz - sr[i] * sr[i];
+        var disc = b * b - c;
+        if (disc > 0) {
+            var t = b - Math.sqrt(disc);
+            if (t > 0 && t < tmin) { tmin = t; hits++; }
+        }
+    }
+    return hits;
+}
+function run() {
+    var total = 0;
+    for (var py = 0; py < 12; py++) {
+        for (var px = 0; px < 16; px++) {
+            total += trace(px * 0.1 - 0.8, py * 0.1 - 0.6, 0.05, 0.02);
+        }
+    }
+    return total;
+}
+";
+
+const S04: &str = "
+// access-binary-trees: allocate and walk small binary trees of objects.
+function make(depth) {
+    if (depth <= 0) { return {left: null, right: null, item: 1}; }
+    return {left: make(depth - 1), right: make(depth - 1), item: depth};
+}
+function check(node) {
+    if (node.left == null) { return node.item; }
+    return node.item + check(node.left) - check(node.right);
+}
+function run() {
+    var total = 0;
+    for (var k = 0; k < 4; k++) {
+        var t = make(6);
+        total += check(t);
+    }
+    return total;
+}
+";
+
+const S05: &str = "
+// access-fannkuch: pancake flipping over a permutation array.
+function fannkuch(n) {
+    var perm = new Array(n); var perm1 = new Array(n); var count = new Array(n);
+    for (var i = 0; i < n; i++) { perm1[i] = i; }
+    var maxFlips = 0; var r = n; var iters = 0;
+    while (iters < 300) {
+        iters++;
+        while (r != 1) { count[r - 1] = r; r--; }
+        for (var i = 0; i < n; i++) { perm[i] = perm1[i]; }
+        var flips = 0;
+        var k = perm[0];
+        while (k != 0) {
+            var half = (k + 1) >> 1;
+            for (var i = 0; i < half; i++) {
+                var t = perm[i]; perm[i] = perm[k - i]; perm[k - i] = t;
+            }
+            flips++;
+            k = perm[0];
+        }
+        if (flips > maxFlips) { maxFlips = flips; }
+        while (r != n) {
+            var p0 = perm1[0];
+            for (var i = 0; i < r; i++) { perm1[i] = perm1[i + 1]; }
+            perm1[r] = p0;
+            count[r] = count[r] - 1;
+            if (count[r] > 0) { break; }
+            r++;
+        }
+        if (r == n) { break; }
+    }
+    return maxFlips;
+}
+function run() { return fannkuch(7); }
+";
+
+const S06: &str = "
+// access-nbody: planetary dynamics over an array of body objects.
+var bodies = [
+    {x: 0.0, y: 0.0, z: 0.0, vx: 0.0, vy: 0.0, vz: 0.0, mass: 39.47},
+    {x: 4.84, y: -1.16, z: -0.10, vx: 0.60, vy: 2.81, vz: -0.02, mass: 0.037},
+    {x: 8.34, y: 4.12, z: -0.40, vx: -1.01, vy: 1.82, vz: 0.008, mass: 0.011},
+    {x: 12.89, y: -15.11, z: -0.22, vx: 1.08, vy: 0.86, vz: -0.01, mass: 0.0017},
+    {x: 15.37, y: -25.91, z: 0.17, vx: 0.97, vy: 0.59, vz: -0.03, mass: 0.002}
+];
+function advance(dt) {
+    var n = bodies.length;
+    for (var i = 0; i < n; i++) {
+        var bi = bodies[i];
+        for (var j = i + 1; j < n; j++) {
+            var bj = bodies[j];
+            var dx = bi.x - bj.x; var dy = bi.y - bj.y; var dz = bi.z - bj.z;
+            var d2 = dx * dx + dy * dy + dz * dz;
+            var mag = dt / (d2 * Math.sqrt(d2));
+            bi.vx -= dx * bj.mass * mag; bi.vy -= dy * bj.mass * mag; bi.vz -= dz * bj.mass * mag;
+            bj.vx += dx * bi.mass * mag; bj.vy += dy * bi.mass * mag; bj.vz += dz * bi.mass * mag;
+        }
+    }
+    for (var i = 0; i < n; i++) {
+        var b = bodies[i];
+        b.x += dt * b.vx; b.y += dt * b.vy; b.z += dt * b.vz;
+    }
+}
+function energy() {
+    var e = 0.0;
+    for (var i = 0; i < bodies.length; i++) {
+        var b = bodies[i];
+        e += 0.5 * b.mass * (b.vx * b.vx + b.vy * b.vy + b.vz * b.vz);
+    }
+    return e;
+}
+var init6 = [
+    [0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    [4.84, -1.16, -0.10, 0.60, 2.81, -0.02],
+    [8.34, 4.12, -0.40, -1.01, 1.82, 0.008],
+    [12.89, -15.11, -0.22, 1.08, 0.86, -0.01],
+    [15.37, -25.91, 0.17, 0.97, 0.59, -0.03]
+];
+function run() {
+    for (var i = 0; i < bodies.length; i++) {
+        var b = bodies[i]; var s0 = init6[i];
+        b.x = s0[0]; b.y = s0[1]; b.z = s0[2]; b.vx = s0[3]; b.vy = s0[4]; b.vz = s0[5];
+    }
+    for (var k = 0; k < 60; k++) { advance(0.01); }
+    return Math.floor(energy() * 1e6);
+}
+";
+
+const S07: &str = "
+// access-nsieve: sieve of Eratosthenes over a boolean array.
+function nsieve(m) {
+    var isPrime = new Array(m);
+    for (var i = 2; i < m; i++) { isPrime[i] = true; }
+    var count = 0;
+    for (var i = 2; i < m; i++) {
+        if (isPrime[i]) {
+            count++;
+            for (var k = i + i; k < m; k += i) { isPrime[k] = false; }
+        }
+    }
+    return count;
+}
+function run() { return nsieve(1500) + nsieve(800); }
+";
+
+const S08: &str = "
+// bitops-3bit-bits-in-byte: population count via 3-bit groups.
+function bits(b) {
+    var c = b & 1;
+    c += (b >> 1) & 1; c += (b >> 2) & 1; c += (b >> 3) & 1;
+    c += (b >> 4) & 1; c += (b >> 5) & 1; c += (b >> 6) & 1; c += (b >> 7) & 1;
+    return c;
+}
+function run() {
+    var sum = 0;
+    for (var i = 0; i < 1024; i++) { sum += bits(i & 255); }
+    return sum;
+}
+";
+
+const S09: &str = "
+// bitops-bits-in-byte: shifting popcount.
+function bitsinbyte(b) {
+    var m = 1; var c = 0;
+    while (m < 256) {
+        if (b & m) { c++; }
+        m <<= 1;
+    }
+    return c;
+}
+function run() {
+    var sum = 0;
+    for (var i = 0; i < 1024; i++) { sum += bitsinbyte(i & 255); }
+    return sum;
+}
+";
+
+const S10: &str = "
+// bitops-bitwise-and: long chain of & operations on a global.
+var bitwiseAndValue = 4294967296;
+function step(n) {
+    var v = bitwiseAndValue;
+    for (var i = 0; i < n; i++) { v = v & i; v = (v + i) & 16777215; }
+    bitwiseAndValue = v;
+    return v;
+}
+function run() {
+    bitwiseAndValue = 600;
+    var t = 0;
+    for (var k = 0; k < 4; k++) { t += step(700); }
+    return t;
+}
+";
+
+const S11: &str = "
+// bitops-nsieve-bits: bit-packed sieve.
+function primes(m) {
+    var n = (m >> 5) + 1;
+    var a = new Array(n);
+    for (var i = 0; i < n; i++) { a[i] = -1; }
+    var count = 0;
+    for (var i = 2; i < m; i++) {
+        if (a[i >> 5] & (1 << (i & 31))) {
+            count++;
+            for (var k = i + i; k < m; k += i) {
+                a[k >> 5] = a[k >> 5] & ~(1 << (k & 31));
+            }
+        }
+    }
+    return count;
+}
+function run() { return primes(2000); }
+";
+
+const S12: &str = "
+// controlflow-recursive: ackermann / fib / tak mix.
+function ack(m, n) {
+    if (m == 0) { return n + 1; }
+    if (n == 0) { return ack(m - 1, 1); }
+    return ack(m - 1, ack(m, n - 1));
+}
+function fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+function tak(x, y, z) {
+    if (y >= x) { return z; }
+    return tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y));
+}
+function run() { return ack(2, 4) + fib(13) + tak(9, 5, 2); }
+";
+
+const S13: &str = "
+// crypto-aes: s-box substitutions and xor rounds over byte arrays.
+var sbox = new Array(256);
+for (var i = 0; i < 256; i++) { sbox[i] = (i * 7 + 99) & 255; }
+var state13 = new Array(64);
+function rounds(n) {
+    for (var i = 0; i < 64; i++) { state13[i] = i; }
+    for (var r = 0; r < n; r++) {
+        for (var i = 0; i < 64; i++) {
+            state13[i] = sbox[state13[i]] ^ ((r + i) & 255);
+        }
+        for (var i = 0; i < 63; i++) {
+            state13[i] = (state13[i] + state13[i + 1]) & 255;
+        }
+    }
+    var h = 0;
+    for (var i = 0; i < 64; i++) { h = (h * 31 + state13[i]) & 16777215; }
+    return h;
+}
+function run() { return rounds(24); }
+";
+
+const S14: &str = "
+// crypto-md5: 32-bit mixing with wraparound adds (overflow-check heavy).
+function md5mix(blocks) {
+    var a = 1732584193; var b = -271733879; var c = -1732584194; var d = 271733878;
+    for (var i = 0; i < blocks; i++) {
+        var x = (i * 2654435761) | 0;
+        a = (a + ((b & c) | (~b & d)) + x) | 0;
+        a = ((a << 7) | (a >>> 25)) | 0;
+        d = (d + ((a & b) | (~a & c)) + (x ^ 858993459)) | 0;
+        d = ((d << 12) | (d >>> 20)) | 0;
+        c = (c + ((d & a) | (~d & b)) + (x + 1518500249)) | 0;
+        c = ((c << 17) | (c >>> 15)) | 0;
+        b = (b + (c ^ d ^ a) + (x ^ 1859775393)) | 0;
+        b = ((b << 22) | (b >>> 10)) | 0;
+    }
+    return (a ^ b ^ c ^ d) | 0;
+}
+function run() { return md5mix(900); }
+";
+
+const S15: &str = "
+// crypto-sha1: rotate-xor rounds over a message schedule array.
+var sched = new Array(80);
+function sha1block(seed) {
+    for (var t = 0; t < 16; t++) { sched[t] = (seed * (t + 1)) | 0; }
+    for (var t = 16; t < 80; t++) {
+        var v = sched[t - 3] ^ sched[t - 8] ^ sched[t - 14] ^ sched[t - 16];
+        sched[t] = (v << 1) | (v >>> 31);
+    }
+    var a = 1732584193; var b = -271733879; var c = -1732584194; var d = 271733878; var e = -1009589776;
+    for (var t = 0; t < 80; t++) {
+        var f = (b & c) | (~b & d);
+        var tmp = (((a << 5) | (a >>> 27)) + f + e + sched[t] + 1518500249) | 0;
+        e = d; d = c; c = (b << 30) | (b >>> 2); b = a; a = tmp;
+    }
+    return (a ^ e) | 0;
+}
+function run() {
+    var h = 0;
+    for (var k = 0; k < 10; k++) { h = (h + sha1block(k + 7)) | 0; }
+    return h;
+}
+";
+
+const S16: &str = "
+// date-format-tofte: formatting loop mixing int arithmetic and strings.
+var monthNames = ['Jan','Feb','Mar','Apr','May','Jun','Jul','Aug','Sep','Oct','Nov','Dec'];
+function pad2(n) {
+    if (n < 10) { return '0' + n; }
+    return '' + n;
+}
+function formatDay(day) {
+    var month = day % 12;
+    var dom = (day * 7) % 28 + 1;
+    var h = (day * 13) % 24;
+    var m = (day * 29) % 60;
+    return monthNames[month] + ' ' + pad2(dom) + ' ' + pad2(h) + ':' + pad2(m);
+}
+function run() {
+    var total = 0;
+    for (var d = 0; d < 120; d++) {
+        var s = formatDay(d);
+        total += s.length + s.charCodeAt(0);
+    }
+    return total;
+}
+";
+
+const S17: &str = "
+// date-format-xparb: string-building dominated (95% non-FTL).
+function numToWords(n) {
+    var ones = ['zero','one','two','three','four','five','six','seven','eight','nine'];
+    var out = '';
+    while (n > 0) {
+        out = ones[n % 10] + '-' + out;
+        n = Math.floor(n / 10);
+    }
+    return out;
+}
+function run() {
+    var total = 0;
+    for (var i = 1; i < 90; i++) {
+        var s = numToWords(i * 37);
+        total += s.length;
+    }
+    return total;
+}
+";
+
+const S18: &str = "
+// math-cordic: CORDIC sine/cosine with a lookup table — the paper's
+// redundant-load example lives in exactly this shape.
+var angles = new Array(25);
+var kvalues = new Array(25);
+for (var i = 0; i < 25; i++) { angles[i] = Math.atan(Math.pow(2, -i)) * 65536; kvalues[i] = i; }
+var cordicState = {x: 0, y: 0};
+function cordicsincos(target) {
+    var x = 39797;
+    var y = 0;
+    var ta = 0;
+    for (var i = 0; i < 25; i++) {
+        var shift = i;
+        if (ta < target) {
+            var nx = x - (y >> shift);
+            y = y + (x >> shift);
+            x = nx;
+            ta = ta + angles[i];
+        } else {
+            var nx2 = x + (y >> shift);
+            y = y - (x >> shift);
+            x = nx2;
+            ta = ta - angles[i];
+        }
+        cordicState.x = x;
+        cordicState.y = y;
+    }
+    return cordicState.x + cordicState.y;
+}
+function run() {
+    var total = 0;
+    for (var k = 0; k < 80; k++) { total = (total + cordicsincos(k * 1000)) | 0; }
+    return total;
+}
+";
+
+const S19: &str = "
+// math-partial-sums: classic float series.
+function partial(n) {
+    var a1 = 0.0; var a2 = 0.0; var a3 = 0.0; var a4 = 0.0; var a5 = 0.0;
+    var twothirds = 2.0 / 3.0;
+    var alt = -1.0;
+    for (var k = 1; k <= n; k++) {
+        var k2 = k * k; var k3 = k2 * k;
+        var sk = Math.sin(k); var ck = Math.cos(k);
+        alt = -alt;
+        a1 += Math.pow(twothirds, k - 1);
+        a2 += 1.0 / (k3 * sk * sk);
+        a3 += 1.0 / (k3 * ck * ck);
+        a4 += 1.0 / k;
+        a5 += alt / k;
+    }
+    return a1 + a2 + a3 + a4 + a5;
+}
+function run() { return Math.floor(partial(220) * 10000); }
+";
+
+const S20: &str = "
+// math-spectral-norm: matrix-free A*v products.
+function a(i, j) { return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1); }
+function av(v, out, n) {
+    for (var i = 0; i < n; i++) {
+        var s = 0.0;
+        for (var j = 0; j < n; j++) { s += a(i, j) * v[j]; }
+        out[i] = s;
+    }
+}
+function atv(v, out, n) {
+    for (var i = 0; i < n; i++) {
+        var s = 0.0;
+        for (var j = 0; j < n; j++) { s += a(j, i) * v[j]; }
+        out[i] = s;
+    }
+}
+function run() {
+    var n = 24;
+    var u = new Array(n); var v = new Array(n); var t = new Array(n);
+    for (var i = 0; i < n; i++) { u[i] = 1.0; }
+    for (var k = 0; k < 6; k++) {
+        av(u, t, n); atv(t, v, n);
+        av(v, t, n); atv(t, u, n);
+    }
+    var vBv = 0.0; var vv = 0.0;
+    for (var i = 0; i < n; i++) { vBv += u[i] * v[i]; vv += v[i] * v[i]; }
+    return Math.floor(Math.sqrt(vBv / vv) * 1e9);
+}
+";
+
+const S21: &str = "
+// regexp-dna: sequence scanning with indexOf (runtime dominated).
+var dna = '';
+var bases = 'acgt';
+for (var i = 0; i < 300; i++) { dna = dna + bases.charAt((i * 7) % 4); }
+function countPattern(p) {
+    var count = 0; var pos = 0;
+    while (true) {
+        var found = dna.substring(pos, dna.length).indexOf(p);
+        if (found < 0) { break; }
+        count++;
+        pos = pos + found + 1;
+        if (pos >= dna.length) { break; }
+    }
+    return count;
+}
+function run() {
+    return countPattern('ac') + countPattern('gt') + countPattern('ca') + countPattern('acg');
+}
+";
+
+const S22: &str = "
+// string-base64: char-code packing (string runtime dominated).
+var alphabet = 'ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/';
+function encode3(a, b, c) {
+    var n = (a << 16) | (b << 8) | c;
+    return alphabet.charAt((n >> 18) & 63) + alphabet.charAt((n >> 12) & 63)
+        + alphabet.charAt((n >> 6) & 63) + alphabet.charAt(n & 63);
+}
+function run() {
+    var out = '';
+    for (var i = 0; i < 60; i++) {
+        out = out + encode3(i & 255, (i * 3) & 255, (i * 7) & 255);
+    }
+    return out.length + out.charCodeAt(17);
+}
+";
+
+const S23: &str = "
+// string-fasta: weighted random sequence emission.
+var lookup = 'acgtacgtacgtacgtacgtacgtacgtBDHKMNRSVWY';
+function fasta(n) {
+    var out = '';
+    var seed = 42;
+    for (var i = 0; i < n; i++) {
+        seed = (seed * 3877 + 29573) % 139968;
+        var idx = Math.floor(lookup.length * seed / 139968);
+        out = out + lookup.charAt(idx);
+    }
+    return out;
+}
+function run() {
+    var s = fasta(240);
+    return s.length + s.charCodeAt(7) + s.charCodeAt(99);
+}
+";
+
+const S24: &str = "
+// string-tagcloud: object/string table building (runtime dominated).
+function run() {
+    var tags = new Array(40);
+    for (var i = 0; i < 40; i++) {
+        tags[i] = {name: 'tag' + i, weight: (i * 37) % 19};
+    }
+    var total = 0;
+    for (var i = 0; i < 40; i++) {
+        var t = tags[i];
+        var label = t.name + ':' + t.weight;
+        total += label.length + t.weight;
+    }
+    return total;
+}
+";
+
+const S25: &str = "
+// string-unpack-code: tokenizing a packed string (runtime dominated).
+var packed = 'ab|cd|efg|h|ijkl|mn|op|q|rstu|vw|xyz|0|12|345|67|89';
+function run() {
+    var total = 0;
+    var token = '';
+    for (var i = 0; i < packed.length; i++) {
+        var ch = packed.charAt(i);
+        if (ch == '|') {
+            total += token.length * 3 + token.charCodeAt(0);
+            token = '';
+        } else {
+            token = token + ch;
+        }
+    }
+    total += token.length;
+    return total;
+}
+";
+
+const S26: &str = "
+// string-validate-input: per-character validation (runtime dominated).
+function isDigit(c) { return c >= 48 && c <= 57; }
+function isAlpha(c) { return (c >= 97 && c <= 122) || (c >= 65 && c <= 90); }
+function validate(s) {
+    var ok = 0;
+    for (var i = 0; i < s.length; i++) {
+        var c = s.charCodeAt(i);
+        if (isDigit(c) || isAlpha(c) || c == 64 || c == 46) { ok++; }
+    }
+    return ok;
+}
+function run() {
+    var total = 0;
+    total += validate('user123@example.com');
+    total += validate('not valid!! input##');
+    total += validate('Alice.Smith42@mail.example.org');
+    for (var k = 0; k < 30; k++) { total += validate('probe' + k + '@host' + k); }
+    return total;
+}
+";

@@ -1,0 +1,80 @@
+//! Every workload must produce the same checksum under every architecture
+//! (the NoMap transformations are semantics-preserving) and at every tier
+//! cap.
+
+use nomap_vm::{Architecture, TierLimit};
+use nomap_workloads::{evaluation_suites, run_workload, shootout, RunSpec, Workload};
+
+/// Debug builds simulate ~10× slower; sample the suites so plain
+/// `cargo test --workspace` stays fast. Release builds sweep everything.
+fn all_workloads() -> Vec<Workload> {
+    let all: Vec<Workload> = evaluation_suites().into_iter().chain(shootout()).collect();
+    if cfg!(debug_assertions) {
+        all.into_iter().step_by(4).collect()
+    } else {
+        all
+    }
+}
+
+#[test]
+fn checksums_identical_across_architectures() {
+    for w in &all_workloads() {
+        let mut reference = None;
+        for arch in Architecture::ALL {
+            let out = run_workload(w, RunSpec::quick(arch))
+                .unwrap_or_else(|e| panic!("{} under {arch:?}: {e}", w.id));
+            match &reference {
+                None => reference = Some(out.checksum),
+                Some(r) => assert_eq!(
+                    out.checksum, *r,
+                    "{} diverged under {arch:?}",
+                    w.id
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn checksums_identical_across_tier_caps() {
+    for w in &all_workloads() {
+        let mut reference = None;
+        for limit in [
+            TierLimit::Interpreter,
+            TierLimit::Baseline,
+            TierLimit::Dfg,
+            TierLimit::Ftl,
+        ] {
+            let mut spec = RunSpec::quick(Architecture::Base);
+            spec.config.tier_limit = limit;
+            spec.warmup = 30;
+            let out = run_workload(w, spec)
+                .unwrap_or_else(|e| panic!("{} at {limit:?}: {e}", w.id));
+            match &reference {
+                None => reference = Some(out.checksum),
+                Some(r) => assert_eq!(
+                    out.checksum, *r,
+                    "{} diverged at {limit:?}",
+                    w.id
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn native_checksums_match_minijs_where_shared() {
+    // These Shootout kernels are algorithm-identical between MiniJS and
+    // the native Rust reference.
+    for id in ["fibo", "harmonic", "sieve", "takfp", "random", "hash", "heapsort", "nbody"] {
+        let w = shootout().into_iter().find(|w| w.id == id).unwrap();
+        let js = run_workload(&w, RunSpec::quick(Architecture::Base)).unwrap();
+        let native = nomap_workloads::native::run_native(id);
+        let js_num = if js.checksum.is_int32() {
+            js.checksum.as_int32() as f64
+        } else {
+            js.checksum.as_number()
+        };
+        assert_eq!(js_num, native.checksum, "{id}");
+    }
+}

@@ -1,0 +1,83 @@
+//! The paper's Figure 4 example, end to end.
+//!
+//! `obj.sum += obj.values[idx]` in a loop is the paper's running example of
+//! SMPs crippling optimization: property checks, bounds checks, hole checks
+//! and overflow checks guard Stack Map Points every iteration, so the FTL
+//! tier cannot keep `obj.sum` in a register or hoist the loads of
+//! `obj.values`. This example runs the kernel under every architecture of
+//! Table II and shows the per-iteration instruction and check counts
+//! collapsing exactly the way §IV describes.
+//!
+//! Run with: `cargo run --release -p nomap-vm --example fig4_walkthrough`
+
+use nomap_vm::{Architecture, CheckKind, Vm};
+
+const FIG4: &str = "
+    var obj = {values: new Array(1000), sum: 0};
+    for (var j = 0; j < 1000; j++) { obj.values[j] = j % 100; }
+    function kernel() {
+        obj.sum = 0;
+        var len = obj.values.length;
+        for (var idx = 0; idx < len; idx++) {
+            var value = obj.values[idx];
+            obj.sum += value;
+        }
+        return obj.sum;
+    }
+    function run() { return kernel(); }
+";
+
+fn main() -> Result<(), nomap_vm::VmError> {
+    println!("Figure 4 kernel: for (idx...) obj.sum += obj.values[idx]\n");
+    println!(
+        "{:<10} {:>9} {:>8} {:>9} {:>7} {:>9} {:>7} {:>8} {:>8}",
+        "config", "insts", "Bounds", "Overflow", "Type", "Property", "Other", "commits", "deopts"
+    );
+    let mut base_insts = 0u64;
+    for arch in Architecture::ALL {
+        let mut vm = Vm::new(FIG4, arch)?;
+        vm.run_main()?;
+        let expect = vm.call("run", &[])?;
+        for _ in 0..200 {
+            assert_eq!(vm.call("run", &[])?, expect);
+        }
+        vm.reset_stats();
+        vm.call("run", &[])?;
+        let s = &vm.stats;
+        if arch == Architecture::Base {
+            base_insts = s.total_insts();
+        }
+        println!(
+            "{:<10} {:>9} {:>8} {:>9} {:>7} {:>9} {:>7} {:>8} {:>8}",
+            arch.name(),
+            s.total_insts(),
+            s.checks(CheckKind::Bounds),
+            s.checks(CheckKind::Overflow),
+            s.checks(CheckKind::Type),
+            s.checks(CheckKind::Property),
+            s.checks(CheckKind::Other),
+            s.tx_committed,
+            s.deopts,
+        );
+        if arch == Architecture::NoMap {
+            let saved = 100.0 * (1.0 - s.total_insts() as f64 / base_insts as f64);
+            println!(
+                "{:<10} ↳ NoMap removes {saved:.1}% of Base's instructions on this kernel",
+                ""
+            );
+        }
+    }
+    println!(
+        "\nWhat to look for (paper §IV):\n\
+         • Base        — every iteration re-executes bounds/overflow/type/property checks.\n\
+         • NoMap_S     — SMPs became aborts; loads of obj.values hoist, obj.sum promotes\n\
+         •               to a register (Fig. 4(d)'s `reg`), type checks on the phi vanish.\n\
+         • NoMap_B     — the per-iteration bounds check is replaced by ONE check sunk\n\
+         •               below the loop (Fig. 6).\n\
+         • NoMap       — overflow checks disappear; the Sticky Overflow Flag is checked\n\
+         •               once at XEnd (Fig. 7).\n\
+         • NoMap_BC    — the unrealistic floor: every remaining in-transaction check gone.\n\
+         • NoMap_RTM   — same code on heavyweight HTM: costlier commits, smaller wins."
+    );
+    Ok(())
+}

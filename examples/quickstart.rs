@@ -1,0 +1,64 @@
+//! Quickstart: compile a MiniJS program, let it tier up to FTL under the
+//! full NoMap architecture, and inspect what happened.
+//!
+//! Run with: `cargo run --release -p nomap-vm --example quickstart`
+
+use nomap_vm::{Architecture, CheckKind, InstCategory, Vm};
+
+fn main() -> Result<(), nomap_vm::VmError> {
+    let source = "
+        function dot(a, b, n) {
+            var s = 0;
+            for (var i = 0; i < n; i++) { s += a[i] * b[i]; }
+            return s;
+        }
+        var n = 256;
+        var xs = new Array(n); var ys = new Array(n);
+        for (var i = 0; i < n; i++) { xs[i] = i % 17; ys[i] = i % 23; }
+        function run() { return dot(xs, ys, n); }
+    ";
+
+    let mut vm = Vm::new(source, Architecture::NoMap)?;
+    vm.run_main()?; // top-level setup (arrays, globals)
+
+    // First call runs in the interpreter; repeated calls promote `dot`
+    // through Baseline and DFG up to FTL, where NoMap wraps its loop in a
+    // hardware transaction.
+    let expected = vm.call("run", &[])?;
+    for _ in 0..150 {
+        assert_eq!(vm.call("run", &[])?, expected);
+    }
+    println!("checksum: {expected:?}");
+    println!("`dot` now runs at tier: {:?}", vm.current_tier("dot").unwrap());
+
+    // Measure one steady-state call.
+    vm.reset_stats();
+    let again = vm.call("run", &[])?;
+    assert_eq!(again, expected);
+
+    let s = &vm.stats;
+    println!("\nsteady-state dynamics of one run():");
+    println!("  total instructions : {}", s.total_insts());
+    for c in InstCategory::ALL {
+        println!("  {:<18} : {}", format!("{c:?}"), s.insts(c));
+    }
+    println!("  cycles (TM/non-TM) : {} / {}", s.cycles_tm, s.cycles_non_tm);
+    println!(
+        "  transactions       : {} begun, {} committed",
+        s.tx_begun, s.tx_committed
+    );
+    println!("  checks executed    :");
+    for k in CheckKind::ALL {
+        println!(
+            "    {:<9}: {} ({:.2}/100 insts)",
+            format!("{k:?}"),
+            s.checks(k),
+            s.checks_per_100(k)
+        );
+    }
+    println!(
+        "  avg transaction write footprint: {:.0} bytes",
+        s.tx_character.footprint_avg()
+    );
+    Ok(())
+}

@@ -1,0 +1,215 @@
+//! Targeted deoptimization and abort scenarios: every way a speculation can
+//! fail after tier-up must fall back to the Baseline tier (or roll back the
+//! transaction) and still compute correct JavaScript semantics.
+
+use nomap_vm::{Architecture, Tier, Value, Vm};
+
+fn hot_vm(src: &str, arch: Architecture, hot_fn: &str) -> Vm {
+    let mut vm = Vm::new(src, arch).expect("compiles");
+    vm.run_main().expect("main");
+    for _ in 0..200 {
+        vm.call("run", &[]).expect("warmup");
+    }
+    assert_eq!(vm.current_tier(hot_fn), Some(Tier::Ftl), "{hot_fn} must be hot");
+    vm
+}
+
+/// Type speculation fails: a double flows into int32-speculated code.
+#[test]
+fn type_change_deopts_correctly() {
+    let src = "
+        function addup(a) {
+            var s = 0;
+            for (var i = 0; i < a.length; i++) { s += a[i]; }
+            return s;
+        }
+        var ints = new Array(50);
+        for (var i = 0; i < 50; i++) { ints[i] = i; }
+        function run() { return addup(ints); }
+        function poison() { ints[25] = 0.5; return addup(ints); }
+        function heal() { ints[25] = 25; return 0; }
+    ";
+    for arch in [Architecture::Base, Architecture::NoMap] {
+        let mut vm = hot_vm(src, arch, "addup");
+        let poisoned = vm.call("poison", &[]).unwrap();
+        assert_eq!(poisoned.as_number(), (0..50).sum::<i32>() as f64 - 25.0 + 0.5, "{arch:?}");
+        vm.call("heal", &[]).unwrap();
+        assert_eq!(vm.call("run", &[]).unwrap(), Value::new_int32((0..50).sum()));
+    }
+}
+
+/// Bounds speculation fails: the loop suddenly reads past the array.
+#[test]
+fn out_of_bounds_read_yields_undefined() {
+    let src = "
+        var arr = new Array(40);
+        for (var i = 0; i < 40; i++) { arr[i] = 1; }
+        var limit = 40;
+        function count() {
+            var s = 0;
+            for (var i = 0; i < limit; i++) {
+                if (arr[i] == undefined) { s += 100; } else { s += arr[i]; }
+            }
+            return s;
+        }
+        function run() { return count(); }
+        function overrun() { limit = 45; return count(); }
+    ";
+    for arch in [Architecture::Base, Architecture::NoMap] {
+        let mut vm = hot_vm(src, arch, "count");
+        let v = vm.call("overrun", &[]).unwrap();
+        assert_eq!(v, Value::new_int32(40 + 5 * 100), "{arch:?}");
+    }
+}
+
+/// Hole speculation fails: an element is deleted (hole) mid-array.
+#[test]
+fn hole_read_yields_undefined() {
+    let src = "
+        var arr = new Array(30);
+        for (var i = 0; i < 30; i++) { arr[i] = 2; }
+        var holey = new Array(30);
+        for (var i = 0; i < 30; i++) { if (i != 15) { holey[i] = 2; } }
+        function total(a) {
+            var s = 0;
+            for (var i = 0; i < 30; i++) {
+                var v = a[i];
+                if (v == undefined) { s += 1000; } else { s += v; }
+            }
+            return s;
+        }
+        function run() { return total(arr); }
+        function punch() { return total(holey); }
+    ";
+    for arch in [Architecture::Base, Architecture::NoMap] {
+        let mut vm = hot_vm(src, arch, "total");
+        assert_eq!(vm.call("punch", &[]).unwrap(), Value::new_int32(29 * 2 + 1000), "{arch:?}");
+    }
+}
+
+/// Shape speculation fails: objects with a different hidden class arrive.
+#[test]
+fn shape_change_deopts_correctly() {
+    let src = "
+        function get(o) { return o.x + o.y; }
+        var normal = {x: 1, y: 2};
+        var flipped = {y: 20, x: 10};
+        function run() { return get(normal); }
+        function flip() { return get(flipped); }
+    ";
+    for arch in [Architecture::Base, Architecture::NoMap] {
+        let mut vm = hot_vm(src, arch, "get");
+        assert_eq!(vm.call("flip", &[]).unwrap(), Value::new_int32(30), "{arch:?}");
+        assert_eq!(vm.call("run", &[]).unwrap(), Value::new_int32(3));
+    }
+}
+
+/// Property write suddenly needs a shape transition.
+#[test]
+fn transition_after_tier_up() {
+    let src = "
+        var sink = {v: 0};
+        function bump(o, n) {
+            var s = 0;
+            for (var i = 0; i < n; i++) { o.v = i; s += o.v; }
+            return s;
+        }
+        function run() { return bump(sink, 40); }
+        function fresh() { var o = {other: 1}; o.v = 5; return bump(o, 10); }
+    ";
+    for arch in [Architecture::Base, Architecture::NoMap] {
+        let mut vm = hot_vm(src, arch, "bump");
+        assert_eq!(vm.call("fresh", &[]).unwrap(), Value::new_int32((0..10).sum()), "{arch:?}");
+    }
+}
+
+/// Overflow mid-transaction: the SOF path must roll back and re-execute in
+/// double precision.
+#[test]
+fn sof_abort_produces_double_result() {
+    let src = "
+        function series(start, n) {
+            var s = start;
+            for (var i = 0; i < n; i++) { s = s + 3; }
+            return s;
+        }
+        function run() { return series(1, 50); }
+        function big() { return series(2147483600, 50); }
+    ";
+    let mut vm = hot_vm(src, Architecture::NoMap, "series");
+    let v = vm.call("big", &[]).unwrap();
+    assert_eq!(v.as_number(), 2147483600.0 + 150.0);
+    assert!(vm.stats.total_aborts() > 0, "the overflow had to abort a transaction");
+    // Steady state resumes fine afterwards.
+    assert_eq!(vm.call("run", &[]).unwrap(), Value::new_int32(151));
+}
+
+/// Array elongation (append) after in-bounds speculation.
+#[test]
+fn append_after_tier_up() {
+    let src = "
+        function fill(a, n) {
+            for (var i = 0; i < n; i++) { a[i] = i; }
+            return a.length;
+        }
+        var buf = new Array(64);
+        function run() { return fill(buf, 64); }
+        function grow() { return fill(new Array(4), 64); }
+    ";
+    for arch in [Architecture::Base, Architecture::NoMap] {
+        let mut vm = hot_vm(src, arch, "fill");
+        assert_eq!(vm.call("grow", &[]).unwrap(), Value::new_int32(64), "{arch:?}");
+    }
+}
+
+/// Megamorphic call site: many shapes at one property access.
+#[test]
+fn megamorphic_site_stays_correct() {
+    let src = "
+        function pick(o) { return o.k; }
+        var o1 = {k: 1}; var o2 = {a: 0, k: 2}; var o3 = {b: 0, c: 0, k: 3};
+        var o4 = {d: 0, e: 0, f: 0, k: 4}; var o5 = {g: 0, h: 0, i: 0, j: 0, k: 5};
+        function run() {
+            return pick(o1) + pick(o2) + pick(o3) + pick(o4) + pick(o5);
+        }
+    ";
+    for arch in [Architecture::Base, Architecture::NoMap] {
+        let mut vm = Vm::new(src, arch).unwrap();
+        vm.run_main().unwrap();
+        for _ in 0..200 {
+            assert_eq!(vm.call("run", &[]).unwrap(), Value::new_int32(15), "{arch:?}");
+        }
+    }
+}
+
+/// Capacity ladder: a huge write footprint must shrink transaction scope
+/// without changing results.
+#[test]
+fn capacity_ladder_converges() {
+    let src = "
+        var N = 40000;
+        var big = new Array(N);
+        function smash(seed) {
+            var acc = 0;
+            for (var i = 0; i < N; i++) {
+                big[i] = (i ^ seed) & 1023;
+                acc = (acc + big[i]) & 1048575;
+            }
+            return acc;
+        }
+        function run() { return smash(99); }
+    ";
+    let mut vm = Vm::new(src, Architecture::NoMap).unwrap();
+    vm.run_main().unwrap();
+    let expect = vm.call("run", &[]).unwrap();
+    for _ in 0..250 {
+        assert_eq!(vm.call("run", &[]).unwrap(), expect);
+    }
+    // 40k words ≈ 320KB of writes: cannot fit the 256KB L2 budget in one
+    // transaction, so the ladder must have engaged...
+    vm.reset_stats();
+    vm.call("run", &[]).unwrap();
+    // ...and steady state still commits transactions (tiled) or gave up
+    // (TxnScope::None); either way no capacity aborts remain.
+    assert_eq!(vm.stats.tx_aborts[1], 0, "steady state must stop capacity-aborting");
+}

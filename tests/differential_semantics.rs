@@ -1,0 +1,122 @@
+//! Differential testing: randomly generated numeric MiniJS programs must
+//! produce identical results in the interpreter and in fully-optimized
+//! NoMap FTL code. This is the workhorse safety net for the entire
+//! speculation/deopt/transaction machinery.
+
+use proptest::prelude::*;
+
+use nomap_vm::{Architecture, TierLimit, Vm, VmConfig};
+
+/// A tiny expression AST we generate and print as MiniJS.
+#[derive(Debug, Clone)]
+enum E {
+    A,
+    B,
+    I,
+    Lit(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shl(Box<E>, Box<E>),
+    Shr(Box<E>, Box<E>),
+    UShr(Box<E>, Box<E>),
+    Neg(Box<E>),
+    Ternary(Box<E>, Box<E>, Box<E>),
+}
+
+impl E {
+    fn render(&self) -> String {
+        match self {
+            E::A => "a".into(),
+            E::B => "b".into(),
+            E::I => "i".into(),
+            E::Lit(v) => format!("({v})"),
+            E::Add(x, y) => format!("({} + {})", x.render(), y.render()),
+            E::Sub(x, y) => format!("({} - {})", x.render(), y.render()),
+            E::Mul(x, y) => format!("({} * {})", x.render(), y.render()),
+            E::And(x, y) => format!("({} & {})", x.render(), y.render()),
+            E::Or(x, y) => format!("({} | {})", x.render(), y.render()),
+            E::Xor(x, y) => format!("({} ^ {})", x.render(), y.render()),
+            E::Shl(x, y) => format!("({} << ({} & 7))", x.render(), y.render()),
+            E::Shr(x, y) => format!("({} >> ({} & 7))", x.render(), y.render()),
+            E::UShr(x, y) => format!("({} >>> ({} & 7))", x.render(), y.render()),
+            E::Neg(x) => format!("(-{})", x.render()),
+            E::Ternary(c, x, y) =>
+
+                format!("(({} & 1) ? {} : {})", c.render(), x.render(), y.render()),
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        Just(E::A),
+        Just(E::B),
+        Just(E::I),
+        (-1000i32..1000).prop_map(E::Lit),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Add(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Sub(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Mul(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::And(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Or(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Xor(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Shl(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Shr(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::UShr(Box::new(x), Box::new(y))),
+            inner.clone().prop_map(|x| E::Neg(Box::new(x))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, x, y)| E::Ternary(Box::new(c), Box::new(x), Box::new(y))),
+        ]
+    })
+}
+
+fn program_for(e: &E) -> String {
+    format!(
+        "function f(a, b, i) {{ return {}; }}
+         function run() {{
+             var s = 0;
+             for (var i = 0; i < 30; i++) {{
+                 s = (s ^ f(i * 3 - 20, 7 - i, i)) | 0;
+             }}
+             return s;
+         }}",
+        e.render()
+    )
+}
+
+fn checksum(src: &str, arch: Architecture, limit: TierLimit) -> Result<String, String> {
+    let mut cfg = VmConfig::new(arch);
+    cfg.tier_limit = limit;
+    let mut vm = Vm::with_config(src, cfg).map_err(|e| e.to_string())?;
+    vm.run_main().map_err(|e| e.to_string())?;
+    let mut last = String::new();
+    for _ in 0..90 {
+        let v = vm.call("run", &[]).map_err(|e| e.to_string())?;
+        last = format!("{v:?}");
+    }
+    Ok(last)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case compiles + runs 3 VMs to steady state
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_numeric_programs_agree_across_tiers(e in expr_strategy()) {
+        let src = program_for(&e);
+        let interp = checksum(&src, Architecture::Base, TierLimit::Interpreter)
+            .expect("interpreter run");
+        let ftl = checksum(&src, Architecture::Base, TierLimit::Ftl).expect("ftl run");
+        let nomap = checksum(&src, Architecture::NoMap, TierLimit::Ftl).expect("nomap run");
+        prop_assert_eq!(&interp, &ftl, "Base FTL diverged for {}", e.render());
+        prop_assert_eq!(&interp, &nomap, "NoMap diverged for {}", e.render());
+    }
+}

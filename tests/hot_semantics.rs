@@ -1,0 +1,243 @@
+//! Table-driven semantic corners, each driven hot so the FTL paths (not
+//! just the interpreter) execute them: float↔int conversions, modulo,
+//! shifts, ternaries, string fallbacks, Math inlining.
+
+use nomap_vm::{Architecture, Value, Vm};
+
+/// Runs `src` hot under Base and NoMap. Values are compared *numerically*:
+/// a hot tier may legitimately return `Double(42)` where the interpreter
+/// returned `Int32(42)` (real engines behave the same; JavaScript cannot
+/// observe the representation).
+fn run_hot(src: &str) -> (Value, Value) {
+    let mut results = Vec::new();
+    for arch in [Architecture::Base, Architecture::NoMap] {
+        let mut vm = Vm::new(src, arch).expect("compiles");
+        vm.run_main().expect("main");
+        let first = vm.call("run", &[]).expect("first");
+        for _ in 0..200 {
+            let v = vm.call("run", &[]).expect("hot");
+            if v.is_number() && first.is_number() {
+                assert_eq!(v.as_number(), first.as_number(), "{arch:?} drifted");
+            } else {
+                assert_eq!(v, first, "{arch:?} drifted");
+            }
+        }
+        results.push(first);
+    }
+    (results[0], results[1])
+}
+
+fn check(src: &str, expect: f64) {
+    let (base, nomap) = run_hot(src);
+    assert_eq!(
+        base.as_number(),
+        nomap.as_number(),
+        "architectures disagree for {src}"
+    );
+    assert_eq!(base.as_number(), expect, "wrong value for {src}");
+}
+
+#[test]
+fn floor_division_as_array_index() {
+    check(
+        "var a = new Array(50);
+         for (var i = 0; i < 50; i++) { a[i] = i * 2; }
+         function run() {
+             var s = 0;
+             for (var i = 0; i < 100; i++) { s += a[Math.floor(i / 2)]; }
+             return s;
+         }",
+        (0..100).map(|i| (i / 2) * 2).sum::<i32>() as f64,
+    );
+}
+
+#[test]
+fn integer_modulo_stays_int() {
+    check(
+        "function run() {
+             var s = 0;
+             for (var i = 1; i < 200; i++) { s += i % 7; }
+             return s;
+         }",
+        (1..200).map(|i| i % 7).sum::<i32>() as f64,
+    );
+}
+
+#[test]
+fn float_modulo() {
+    check(
+        "function run() {
+             var s = 0.0;
+             for (var i = 0; i < 100; i++) { s += (i * 1.5) % 4.0; }
+             return Math.floor(s * 100);
+         }",
+        {
+            let mut s = 0.0f64;
+            for i in 0..100 {
+                s += (i as f64 * 1.5) % 4.0;
+            }
+            (s * 100.0).floor()
+        },
+    );
+}
+
+#[test]
+fn unsigned_shift_produces_large_values() {
+    check(
+        "function run() {
+             var s = 0.0;
+             for (var i = 0; i < 64; i++) { s += (-1 >>> (i & 7)); }
+             return Math.floor(s / 1000000);
+         }",
+        {
+            let mut s = 0.0f64;
+            for i in 0..64u32 {
+                s += ((-1i32 as u32) >> (i & 7)) as f64;
+            }
+            (s / 1_000_000.0).floor()
+        },
+    );
+}
+
+#[test]
+fn ternary_in_hot_loop() {
+    check(
+        "function run() {
+             var s = 0;
+             for (var i = 0; i < 150; i++) { s += (i & 1) ? i : -i; }
+             return s;
+         }",
+        (0..150).map(|i| if i & 1 == 1 { i } else { -i }).sum::<i32>() as f64,
+    );
+}
+
+#[test]
+fn logical_operators_short_circuit() {
+    check(
+        "var calls = 0;
+         function bump() { calls = calls + 1; return 1; }
+         function run() {
+             calls = 0;
+             var s = 0;
+             for (var i = 0; i < 50; i++) {
+                 var v = (i > 24) && bump();
+                 if (v) { s++; }
+                 var w = (i > 24) || bump();
+                 if (w) { s++; }
+             }
+             return s * 1000 + calls;
+         }",
+        {
+            // i in 25..50: && calls bump (25 calls); i in 0..25: || calls
+            // bump (25 calls). s: && truthy 25 times, || truthy 50 times.
+            (75 * 1000 + 50) as f64
+        },
+    );
+}
+
+#[test]
+fn negation_of_doubles_and_ints() {
+    check(
+        "function run() {
+             var s = 0.0;
+             for (var i = 1; i < 80; i++) {
+                 s += -i;
+                 s += -(i * 0.5);
+             }
+             return s;
+         }",
+        (1..80).map(|i| -(i as f64) - (i as f64 * 0.5)).sum::<f64>(),
+    );
+}
+
+#[test]
+fn string_concat_in_warm_code() {
+    let (base, _) = run_hot(
+        "function run() {
+             var s = '';
+             for (var i = 0; i < 10; i++) { s = s + i; }
+             return s.length;
+         }",
+    );
+    assert_eq!(base, Value::new_int32(10));
+}
+
+#[test]
+fn math_inlining_matches_runtime() {
+    check(
+        "function run() {
+             var s = 0.0;
+             for (var i = 1; i < 60; i++) {
+                 s += Math.sqrt(i) + Math.abs(-i) + Math.min(i, 10) + Math.max(i, 20);
+             }
+             return Math.floor(s * 1000);
+         }",
+        {
+            let mut s = 0.0f64;
+            for i in 1..60 {
+                let f = i as f64;
+                s += f.sqrt() + f + f.min(10.0) + f.max(20.0);
+            }
+            (s * 1000.0).floor()
+        },
+    );
+}
+
+#[test]
+fn nested_loops_with_break_continue() {
+    check(
+        "function run() {
+             var s = 0;
+             for (var i = 0; i < 30; i++) {
+                 for (var j = 0; j < 30; j++) {
+                     if (j == i) { continue; }
+                     if (j > 20) { break; }
+                     s++;
+                 }
+             }
+             return s;
+         }",
+        {
+            let mut s = 0;
+            for i in 0..30 {
+                for j in 0..30 {
+                    if j == i {
+                        continue;
+                    }
+                    if j > 20 {
+                        break;
+                    }
+                    s += 1;
+                }
+            }
+            s as f64
+        },
+    );
+}
+
+#[test]
+fn do_while_hot() {
+    check(
+        "function run() {
+             var s = 0;
+             var i = 100;
+             do { s += i; i--; } while (i > 0);
+             return s;
+         }",
+        (1..=100).sum::<i32>() as f64,
+    );
+}
+
+#[test]
+fn typeof_results() {
+    let (base, _) = run_hot(
+        "function t(x) { return typeof x; }
+         function run() {
+             var s = '';
+             s = s + t(1) + '/' + t('a') + '/' + t(true) + '/' + t(undefined) + '/' + t(null);
+             return s.length;
+         }",
+    );
+    let expect = "number/string/boolean/undefined/object".len() as i32;
+    assert_eq!(base, Value::new_int32(expect));
+}

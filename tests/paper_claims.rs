@@ -1,0 +1,192 @@
+//! The paper's qualitative claims, asserted as tests: each configuration
+//! of Table II must show its characteristic effect on the right kernel.
+
+use nomap_vm::{Architecture, CheckKind, InstCategory, Vm};
+
+fn steady(src: &str, arch: Architecture) -> Vm {
+    let mut vm = Vm::new(src, arch).expect("compiles");
+    vm.run_main().expect("main");
+    let expect = vm.call("run", &[]).expect("first");
+    for _ in 0..200 {
+        assert_eq!(vm.call("run", &[]).expect("warm"), expect);
+    }
+    vm.reset_stats();
+    vm.call("run", &[]).expect("measured");
+    vm
+}
+
+const ARRAY_LOOP: &str = "
+    var data = new Array(500);
+    for (var i = 0; i < 500; i++) { data[i] = i % 13; }
+    function work() {
+        var s = 0;
+        for (var i = 0; i < 500; i++) { s += data[i]; }
+        return s;
+    }
+    function run() { return work(); }
+";
+
+/// §IV-C1 / Fig. 6: NoMap_B combines per-iteration bounds checks into one.
+#[test]
+fn bounds_combining_reduces_bounds_checks() {
+    let s_checks = steady(ARRAY_LOOP, Architecture::NoMapS)
+        .stats
+        .checks(CheckKind::Bounds);
+    let b_checks = steady(ARRAY_LOOP, Architecture::NoMapB)
+        .stats
+        .checks(CheckKind::Bounds);
+    assert!(
+        b_checks * 10 < s_checks,
+        "bounds checks should collapse: NoMap_S={s_checks} NoMap_B={b_checks}"
+    );
+}
+
+/// §IV-C2 / Fig. 7: the SOF removes per-operation overflow checks.
+#[test]
+fn sof_removes_overflow_checks() {
+    let b = steady(ARRAY_LOOP, Architecture::NoMapB)
+        .stats
+        .checks(CheckKind::Overflow);
+    let full = steady(ARRAY_LOOP, Architecture::NoMap)
+        .stats
+        .checks(CheckKind::Overflow);
+    assert!(b > 0, "NoMap_B still executes overflow checks");
+    assert_eq!(full, 0, "NoMap removes every in-transaction overflow check");
+}
+
+/// RTM has no SOF (paper §VI-B), so overflow checks stay.
+#[test]
+fn rtm_keeps_overflow_checks() {
+    let rtm = steady(ARRAY_LOOP, Architecture::NoMapRtm)
+        .stats
+        .checks(CheckKind::Overflow);
+    assert!(rtm > 0, "RTM cannot use the Sticky Overflow Flag");
+}
+
+/// Table II ordering on instruction counts for a transaction-friendly
+/// kernel: Base ≥ NoMap_S ≥ NoMap_B ≥ NoMap ≥ NoMap_BC.
+#[test]
+fn instruction_counts_follow_table_ii_order() {
+    let counts: Vec<u64> = [
+        Architecture::Base,
+        Architecture::NoMapS,
+        Architecture::NoMapB,
+        Architecture::NoMap,
+        Architecture::NoMapBc,
+    ]
+    .iter()
+    .map(|&a| steady(ARRAY_LOOP, a).stats.total_insts())
+    .collect();
+    for w in counts.windows(2) {
+        assert!(w[0] >= w[1], "expected monotone improvement, got {counts:?}");
+    }
+    assert!(
+        counts[4] < counts[0],
+        "NoMap_BC must clearly beat Base: {counts:?}"
+    );
+}
+
+/// Fig. 8/9 category structure: under Base everything FTL is NoTM; under
+/// NoMap the hot loop moves into TMOpt.
+#[test]
+fn categories_shift_into_transactions() {
+    let base = steady(ARRAY_LOOP, Architecture::Base);
+    assert_eq!(base.stats.insts(InstCategory::TmOpt), 0);
+    assert_eq!(base.stats.insts(InstCategory::TmUnopt), 0);
+    assert!(base.stats.insts(InstCategory::NoTm) > 0);
+
+    let nomap = steady(ARRAY_LOOP, Architecture::NoMap);
+    assert!(nomap.stats.insts(InstCategory::TmOpt) > 0, "hot loop runs transactionally");
+    assert!(
+        nomap.stats.insts(InstCategory::TmOpt) > nomap.stats.insts(InstCategory::NoTm),
+        "the loop dominates this kernel"
+    );
+}
+
+/// Functions called from inside a transaction count as TMUnopt (paper
+/// §VII-A's K05/K06 observation).
+#[test]
+fn callee_work_counts_as_tmunopt() {
+    let src = "
+        function helper(x) { return (x * 3) & 255; }
+        var data = new Array(200);
+        for (var i = 0; i < 200; i++) { data[i] = i; }
+        function work() {
+            var s = 0;
+            for (var i = 0; i < 200; i++) { s += helper(data[i]); }
+            return s;
+        }
+        function run() { return work(); }
+    ";
+    let vm = steady(src, Architecture::NoMap);
+    assert!(
+        vm.stats.insts(InstCategory::TmUnopt) > 0,
+        "helper() inside work()'s transaction is TMUnopt"
+    );
+}
+
+/// §III-A2: in steady state, checks (practically) never fail.
+#[test]
+fn steady_state_has_no_deopts() {
+    let vm = steady(ARRAY_LOOP, Architecture::Base);
+    assert_eq!(vm.stats.deopts, 0);
+    let vm = steady(ARRAY_LOOP, Architecture::NoMap);
+    assert_eq!(vm.stats.total_aborts(), 0, "no aborts in steady state");
+}
+
+/// Table IV: committed transactions report a bounded write footprint that
+/// fits the 256KB L2 budget.
+#[test]
+fn transaction_footprints_fit_rot_budget() {
+    let src = "
+        var buf = new Array(2000);
+        function fill() {
+            for (var i = 0; i < 2000; i++) { buf[i] = i & 7; }
+            return buf[1999];
+        }
+        function run() { return fill(); }
+    ";
+    let vm = steady(src, Architecture::NoMap);
+    let c = vm.stats.tx_character;
+    assert!(c.committed > 0);
+    assert!(c.footprint_max >= 2000 * 8, "2000 words written: {}", c.footprint_max);
+    assert!(c.footprint_max <= 256 * 1024, "fits the L2 budget");
+    assert!(c.max_assoc >= 1 && c.max_assoc <= 8);
+}
+
+/// The Fence/XBegin/XEnd cycle overheads appear under NoMap but not Base.
+#[test]
+fn htm_overheads_only_under_transactions() {
+    let base = steady(ARRAY_LOOP, Architecture::Base);
+    assert_eq!(base.stats.tx_begun, 0);
+    assert_eq!(base.stats.cycles_tm, 0);
+    let nomap = steady(ARRAY_LOOP, Architecture::NoMap);
+    assert!(nomap.stats.tx_begun > 0);
+    assert!(nomap.stats.cycles_tm > 0);
+}
+
+/// §V-A: irrevocable events (I/O) abort the transaction; the Baseline
+/// re-execution performs them non-transactionally, exactly once per
+/// iteration.
+#[test]
+fn print_inside_transaction_aborts_first() {
+    let src = "
+        function work(n) {
+            var s = 0;
+            for (var i = 0; i < n; i++) {
+                s += i;
+                if (i == 3 && n > 90) { print(i); }
+            }
+            return s;
+        }
+        function run() { return work(80); }
+        function noisy() { return work(100); }
+    ";
+    let mut vm = steady(src, Architecture::NoMap);
+    let before = vm.output().matches('3').count();
+    let v = vm.call("noisy", &[]).unwrap();
+    assert_eq!(v.as_number(), (0..100).sum::<i32>() as f64);
+    let after = vm.output().matches('3').count();
+    assert_eq!(after - before, 1, "the print ran exactly once");
+    assert!(vm.stats.total_aborts() > 0, "the I/O aborted the transaction");
+}

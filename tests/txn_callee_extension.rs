@@ -1,0 +1,123 @@
+//! Tests for the transaction-aware-callee extension (beyond the paper;
+//! addresses the `TMUnopt` limitation of §VII-A: "instructions in a
+//! function that is called from within a transaction ... cannot take
+//! advantage of being inside a transaction").
+
+use nomap_vm::{Architecture, InstCategory, Value, Vm, VmConfig};
+
+/// K05-shaped kernel: a helper called once per hot-loop iteration.
+const HELPER_LOOP: &str = "
+    function helper(x) { return ((x * 3) + 1) & 255; }
+    var data = new Array(300);
+    for (var i = 0; i < 300; i++) { data[i] = i; }
+    function work() {
+        var s = 0;
+        for (var i = 0; i < 300; i++) { s += helper(data[i]); }
+        return s;
+    }
+    function run() { return work(); }
+";
+
+fn steady(config: VmConfig) -> Vm {
+    let mut vm = Vm::with_config(HELPER_LOOP, config).expect("compiles");
+    vm.run_main().expect("main");
+    let expect = vm.call("run", &[]).expect("first");
+    for _ in 0..250 {
+        assert_eq!(vm.call("run", &[]).expect("warm"), expect);
+    }
+    vm.reset_stats();
+    vm.call("run", &[]).expect("measured");
+    vm
+}
+
+#[test]
+fn extension_is_off_by_default() {
+    let vm = steady(VmConfig::new(Architecture::NoMap));
+    assert!(
+        vm.stats.insts(InstCategory::TmUnopt) > 0,
+        "paper configuration keeps the callee transaction-unaware"
+    );
+}
+
+#[test]
+fn callee_variant_moves_work_into_tmopt() {
+    let mut cfg = VmConfig::new(Architecture::NoMap);
+    cfg.txn_callees = true;
+    let vm = steady(cfg);
+    assert_eq!(
+        vm.stats.insts(InstCategory::TmUnopt),
+        0,
+        "the helper now runs transaction-aware code"
+    );
+    assert!(vm.stats.insts(InstCategory::TmOpt) > 0);
+}
+
+#[test]
+fn callee_variant_reduces_instructions() {
+    let base = steady(VmConfig::new(Architecture::NoMap));
+    let mut cfg = VmConfig::new(Architecture::NoMap);
+    cfg.txn_callees = true;
+    let ext = steady(cfg);
+    assert!(
+        ext.stats.total_insts() < base.stats.total_insts(),
+        "callee SMPs removed: {} vs {}",
+        ext.stats.total_insts(),
+        base.stats.total_insts()
+    );
+}
+
+#[test]
+fn results_identical_with_extension() {
+    for (label, on) in [("off", false), ("on", true)] {
+        let mut cfg = VmConfig::new(Architecture::NoMap);
+        cfg.txn_callees = on;
+        let mut vm = Vm::with_config(HELPER_LOOP, cfg).unwrap();
+        vm.run_main().unwrap();
+        for _ in 0..250 {
+            let v = vm.call("run", &[]).unwrap();
+            let expect: i32 = (0..300).map(|x| ((x * 3) + 1) & 255).sum();
+            assert_eq!(v, Value::new_int32(expect), "txn_callees={label}");
+        }
+    }
+}
+
+/// A failing check inside the callee variant must abort the *caller's*
+/// transaction and recover through its Baseline fallback, preserving
+/// JavaScript semantics.
+#[test]
+fn callee_check_failure_aborts_callers_transaction() {
+    let src = "
+        function pick(a, i) { return a[i]; }
+        var arr = new Array(100);
+        for (var i = 0; i < 100; i++) { arr[i] = 1; }
+        var limit = 100;
+        function work() {
+            var s = 0;
+            for (var i = 0; i < limit; i++) {
+                var v = pick(arr, i);
+                if (v == undefined) { s += 50; } else { s += v; }
+            }
+            return s;
+        }
+        function run() { return work(); }
+        function overrun() { limit = 105; var r = work(); limit = 100; return r; }
+    ";
+    let mut cfg = VmConfig::new(Architecture::NoMap);
+    cfg.txn_callees = true;
+    let mut vm = Vm::with_config(src, cfg).unwrap();
+    vm.run_main().unwrap();
+    for _ in 0..250 {
+        assert_eq!(vm.call("run", &[]).unwrap(), Value::new_int32(100));
+    }
+    vm.reset_stats();
+    // Out-of-bounds reads now hit pick()'s abort-mode bounds check: the
+    // caller's transaction rolls back and Baseline recomputes correctly.
+    let v = vm.call("overrun", &[]).unwrap();
+    assert_eq!(v, Value::new_int32(100 + 5 * 50));
+    assert!(
+        vm.stats.total_aborts() > 0,
+        "the callee's failed check aborted the caller's transaction"
+    );
+    // Steady state recovers.
+    assert_eq!(vm.call("run", &[]).unwrap(), Value::new_int32(100));
+}
