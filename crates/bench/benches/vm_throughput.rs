@@ -1,9 +1,13 @@
-//! Criterion benches: host-side throughput of the simulator on
-//! representative kernels, one group per paper artifact family. These do
-//! not regenerate paper numbers (the `src/bin/*` binaries do); they track
-//! the reproduction's own performance so simulator regressions are caught.
+//! Host-side throughput of the simulator on representative kernels, one
+//! group per paper artifact family. These do not regenerate paper numbers
+//! (the `src/bin/*` binaries do); they track the reproduction's own
+//! performance so simulator regressions are caught.
+//!
+//! Plain `std::time` harness (no external bench framework): each kernel is
+//! timed over a fixed iteration count and reported as ns/iter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use nomap_vm::{Architecture, Vm};
 use nomap_workloads::{shootout, sunspider};
 
@@ -16,9 +20,11 @@ fn warm_vm(src: &str, arch: Architecture) -> Vm {
     vm
 }
 
-fn bench_steady_state(c: &mut Criterion) {
-    let mut group = c.benchmark_group("steady_state");
-    group.sample_size(10);
+fn report(name: &str, iters: u32, total_ns: u128) {
+    println!("{name:<28} {:>12} ns/iter ({iters} iters)", total_ns / iters as u128);
+}
+
+fn bench_steady_state() {
     for (pick, arch) in [
         ("fibo", Architecture::Base),
         ("fibo", Architecture::NoMap),
@@ -27,29 +33,31 @@ fn bench_steady_state(c: &mut Criterion) {
     ] {
         let w = shootout().into_iter().find(|w| w.id == pick).unwrap();
         let mut vm = warm_vm(w.source, arch);
-        group.bench_function(format!("{pick}/{}", arch.name()), |b| {
-            b.iter(|| vm.call("run", &[]).unwrap());
-        });
+        let iters = 10;
+        let t = Instant::now();
+        for _ in 0..iters {
+            vm.call("run", &[]).unwrap();
+        }
+        report(&format!("steady_state/{pick}/{}", arch.name()), iters, t.elapsed().as_nanos());
     }
-    group.finish();
 }
 
-fn bench_compilation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tier_up");
-    group.sample_size(10);
+fn bench_compilation() {
     let w = sunspider().into_iter().find(|w| w.id == "S14").unwrap();
-    group.bench_function("S14/cold_to_ftl", |b| {
-        b.iter(|| {
-            let mut vm = Vm::new(w.source, Architecture::NoMap).unwrap();
-            vm.run_main().unwrap();
-            for _ in 0..80 {
-                vm.call("run", &[]).unwrap();
-            }
-            vm.stats.total_insts()
-        });
-    });
-    group.finish();
+    let iters = 10;
+    let t = Instant::now();
+    for _ in 0..iters {
+        let mut vm = Vm::new(w.source, Architecture::NoMap).unwrap();
+        vm.run_main().unwrap();
+        for _ in 0..80 {
+            vm.call("run", &[]).unwrap();
+        }
+        std::hint::black_box(vm.stats.total_insts());
+    }
+    report("tier_up/S14/cold_to_ftl", iters, t.elapsed().as_nanos());
 }
 
-criterion_group!(benches, bench_steady_state, bench_compilation);
-criterion_main!(benches);
+fn main() {
+    bench_steady_state();
+    bench_compilation();
+}

@@ -7,7 +7,7 @@
 //!    against capacity aborts; sweep the chunk size on a large-footprint
 //!    kernel.
 
-use nomap_bench::heading;
+use nomap_bench::{heading, Report};
 use nomap_vm::PassConfig;
 use nomap_vm::{Architecture, Vm, VmConfig};
 use nomap_workloads::{kraken, sunspider};
@@ -27,7 +27,10 @@ fn steady(config: VmConfig, src: &str) -> nomap_vm::ExecStats {
 }
 
 fn main() {
-    heading("Ablation 1 — optimizer passes under NoMap (S13 crypto-aes, S18 cordic, K07 desaturate)");
+    let mut report = Report::from_env("ablation");
+    heading(
+        "Ablation 1 — optimizer passes under NoMap (S13 crypto-aes, S18 cordic, K07 desaturate)",
+    );
     let picks: Vec<_> = sunspider()
         .into_iter()
         .filter(|w| w.id == "S13" || w.id == "S18")
@@ -51,6 +54,19 @@ fn main() {
             if name == "full" {
                 full = s.total_insts();
             }
+            report.stats(w.id, &format!("passes:{name}"), &s);
+            report.row(vec![
+                ("section", "optimizer".into()),
+                ("bench", w.id.into()),
+                ("variant", name.into()),
+                ("insts", s.total_insts().into()),
+                ("cycles", s.total_cycles().into()),
+                ("checks", s.total_checks().into()),
+                (
+                    "insts_vs_full_pct",
+                    (100.0 * (s.total_insts() as f64 - full as f64) / full as f64).into(),
+                ),
+            ]);
             println!(
                 "{:<6} {:<10} {:>12} {:>12} {:>9}  ({:+.1}% vs full)",
                 w.id,
@@ -82,6 +98,17 @@ fn main() {
         let mut cfg = VmConfig::new(Architecture::NoMap);
         cfg.initial_scope = Some(scope);
         let s = steady(cfg, k07.source);
+        report.stats(k07.id, &format!("scope:{name}"), &s);
+        report.row(vec![
+            ("section", "tile-size".into()),
+            ("bench", k07.id.into()),
+            ("scope", name.into()),
+            ("insts", s.total_insts().into()),
+            ("cycles", s.total_cycles().into()),
+            ("commits", s.tx_committed.into()),
+            ("capacity_aborts", s.tx_aborts[1].into()),
+            ("footprint_avg_kb", (s.tx_character.footprint_avg() / 1024.0).into()),
+        ]);
         println!(
             "{:<16} {:>12} {:>12} {:>9} {:>10} {:>14.1}",
             name,
@@ -98,15 +125,22 @@ fn main() {
     );
 
     heading("Ablation 3 — transaction-aware callees (extension; the paper's TMUnopt limitation)");
-    println!(
-        "{:<22} {:>12} {:>12} {:>10} {:>10}",
-        "config", "insts", "cycles", "TMUnopt", "TMOpt"
-    );
+    println!("{:<22} {:>12} {:>12} {:>10} {:>10}", "config", "insts", "cycles", "TMUnopt", "TMOpt");
     let k05 = kraken().into_iter().find(|w| w.id == "K05").unwrap();
     for (name, on) in [("NoMap (paper)", false), ("NoMap + txn callees", true)] {
         let mut cfg = VmConfig::new(Architecture::NoMap);
         cfg.txn_callees = on;
         let s = steady(cfg, k05.source);
+        report.stats(k05.id, name, &s);
+        report.row(vec![
+            ("section", "txn-callees".into()),
+            ("bench", k05.id.into()),
+            ("config", name.into()),
+            ("insts", s.total_insts().into()),
+            ("cycles", s.total_cycles().into()),
+            ("tm_unopt", s.insts(nomap_vm::InstCategory::TmUnopt).into()),
+            ("tm_opt", s.insts(nomap_vm::InstCategory::TmOpt).into()),
+        ]);
         println!(
             "{:<22} {:>12} {:>12} {:>10} {:>10}",
             name,
@@ -121,4 +155,5 @@ fn main() {
          of the caller's transaction, eliminating the TMUnopt category the\n\
          paper observes on K05/K06."
     );
+    report.finish();
 }

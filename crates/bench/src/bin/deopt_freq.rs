@@ -2,18 +2,14 @@
 //! suite 1000 times and observes <50 deoptimizations over ~85M FTL calls;
 //! here each workload runs a configurable number of times (default 50).
 
-use nomap_bench::heading;
+use nomap_bench::{heading, Report};
 use nomap_vm::{Architecture, Vm};
 use nomap_workloads::evaluation_suites;
 
 fn main() {
-    let reps: u32 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(50);
-    heading(&format!(
-        "Deoptimization frequency (Base config, {reps} repetitions per benchmark)"
-    ));
+    let reps: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(50);
+    heading(&format!("Deoptimization frequency (Base config, {reps} repetitions per benchmark)"));
+    let mut report = Report::from_env("deopt_freq");
     let mut total_deopts = 0u64;
     let mut total_runs = 0u64;
     let mut with_deopts = 0usize;
@@ -29,6 +25,12 @@ fn main() {
         }
         total_runs += reps as u64;
         total_deopts += vm.stats.deopts;
+        report.stats(w.id, "Base", &vm.stats);
+        report.row(vec![
+            ("bench", w.id.into()),
+            ("deopts", vm.stats.deopts.into()),
+            ("runs", (reps as u64).into()),
+        ]);
         if vm.stats.deopts > 0 {
             with_deopts += 1;
             println!("{:<6} {} deopts in {} runs", w.id, vm.stats.deopts, reps);
@@ -39,4 +41,11 @@ fn main() {
          ({with_deopts} benchmarks ever deoptimized)"
     );
     println!("(paper: <50 deoptimizations in ~85M FTL function calls; after ~50 iterations checks practically never fail)");
+    report.row(vec![
+        ("bench", "total".into()),
+        ("deopts", total_deopts.into()),
+        ("runs", total_runs.into()),
+        ("benchmarks_with_deopts", with_deopts.into()),
+    ]);
+    report.finish();
 }

@@ -6,12 +6,13 @@
 //! tier-capped configurations of this VM, which span the same
 //! interpreter-to-JIT spectrum the figure illustrates.
 
-use nomap_bench::{geo_mean, heading, measure_capped, STEADY_MEASURED};
+use nomap_bench::{geo_mean, heading, measure_capped, Report, STEADY_MEASURED};
 use nomap_vm::TierLimit;
 use nomap_workloads::{native::run_native, shootout};
 
 fn main() {
     heading("Figure 1 — Shootout execution time normalized to C (log scale)");
+    let mut report = Report::from_env("fig1");
     let configs = [
         ("JS-FTL", TierLimit::Ftl),
         ("JS-DFG", TierLimit::Dfg),
@@ -26,20 +27,37 @@ fn main() {
     for w in shootout() {
         let native = run_native(w.id);
         let c_cycles = native.ops as f64;
+        report.row(vec![
+            ("bench", w.id.into()),
+            ("config", "C".into()),
+            ("native_ops", native.ops.into()),
+        ]);
         let mut row = format!("{:<15} {:>7.2}", w.id, 1.0);
         for (ci, (_, limit)) in configs.iter().enumerate() {
             let m = measure_capped(&w, *limit).expect("workload runs");
             let per_run = m.stats.total_cycles() as f64 / STEADY_MEASURED as f64;
             let ratio = per_run / c_cycles;
             ratios[ci].push(ratio);
+            report.stats(w.id, configs[ci].0, &m.stats);
+            report.row(vec![
+                ("bench", w.id.into()),
+                ("config", configs[ci].0.into()),
+                ("ratio_vs_c", ratio.into()),
+            ]);
             row.push_str(&format!(" {:>10.2}", ratio));
         }
         println!("{row}");
     }
     let mut mean_row = format!("{:<15} {:>7.2}", "mean", 1.0);
-    for r in &ratios {
+    for (ci, r) in ratios.iter().enumerate() {
+        report.row(vec![
+            ("bench", "mean".into()),
+            ("config", configs[ci].0.into()),
+            ("ratio_vs_c", geo_mean(r).into()),
+        ]);
         mean_row.push_str(&format!(" {:>10.2}", geo_mean(r)));
     }
     println!("{mean_row}");
     println!("\n(ratios are simulated cycles vs native abstract ops; see EXPERIMENTS.md)");
+    report.finish();
 }

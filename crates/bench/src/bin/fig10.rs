@@ -2,21 +2,17 @@
 //! Base and broken into TMTime / NonTMTime. Pass `--kraken` for Figure 11;
 //! default is Figure 10 (SunSpider).
 
-use nomap_bench::{heading, mean, measure, subset};
+use nomap_bench::{heading, mean, measure, subset, Report};
 use nomap_vm::Architecture;
 use nomap_workloads::{evaluation_suites, Suite};
 
 fn main() {
     let kraken = std::env::args().any(|a| a == "--kraken");
     let (suite, fig) = if kraken { (Suite::Kraken, "11") } else { (Suite::SunSpider, "10") };
-    heading(&format!(
-        "Figure {fig} — normalized execution time ({suite:?}): TMTime/NonTMTime"
-    ));
+    heading(&format!("Figure {fig} — normalized execution time ({suite:?}): TMTime/NonTMTime"));
+    let mut report = Report::from_env(&format!("fig{fig}"));
     let all = evaluation_suites();
-    println!(
-        "{:<6} {:<10} {:>9} {:>10} {:>8}",
-        "bench", "config", "TMTime", "NonTMTime", "total"
-    );
+    println!("{:<6} {:<10} {:>9} {:>10} {:>8}", "bench", "config", "TMTime", "NonTMTime", "total");
     let mut totals: Vec<Vec<f64>> = vec![Vec::new(); Architecture::ALL.len()];
     let mut totals_t: Vec<Vec<f64>> = vec![Vec::new(); Architecture::ALL.len()];
     for w in subset(&all, suite, false) {
@@ -30,6 +26,19 @@ fn main() {
             };
             let tm = m.stats.cycles_tm as f64 / base_cycles;
             let non = m.stats.cycles_non_tm as f64 / base_cycles;
+            report.stats(w.id, arch.name(), &m.stats);
+            report.row(vec![
+                ("bench", w.id.into()),
+                ("config", arch.name().into()),
+                (
+                    "normalized",
+                    nomap_trace::obj(vec![
+                        ("tm_time", tm.into()),
+                        ("non_tm_time", non.into()),
+                        ("total", (tm + non).into()),
+                    ]),
+                ),
+            ]);
             if w.in_avgs {
                 println!(
                     "{:<6} {:<10} {:>9.3} {:>10.3} {:>8.3}",
@@ -47,16 +56,17 @@ fn main() {
     println!("\nNormalized execution time (1.0 = Base):");
     println!("{:<10} {:>8} {:>8}", "config", "AvgS", "AvgT");
     for (ai, arch) in Architecture::ALL.iter().enumerate() {
-        println!(
-            "{:<10} {:>8.3} {:>8.3}",
-            arch.name(),
-            mean(&totals[ai]),
-            mean(&totals_t[ai])
-        );
+        println!("{:<10} {:>8.3} {:>8.3}", arch.name(), mean(&totals[ai]), mean(&totals_t[ai]));
+        report.row(vec![
+            ("config", arch.name().into()),
+            ("avgs", mean(&totals[ai]).into()),
+            ("avgt", mean(&totals_t[ai]).into()),
+        ]);
     }
     if suite == Suite::SunSpider {
         println!("\n(paper AvgS: NoMap 0.833 — a 16.7% reduction; NoMap_RTM 0.935)");
     } else {
         println!("\n(paper AvgS: NoMap 0.911 — an 8.9% reduction; NoMap_RTM ~1.0)");
     }
+    report.finish();
 }

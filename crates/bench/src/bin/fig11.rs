@@ -5,6 +5,7 @@ fn main() {
     std::process::exit(
         std::process::Command::new(std::env::current_exe().unwrap().with_file_name("fig10"))
             .arg("--kraken")
+            .args(std::env::args().skip(1))
             .status()
             .map(|s| s.code().unwrap_or(1))
             .unwrap_or(1),

@@ -2,11 +2,12 @@
 //! broken into Bounds / Overflow / Type / Property / Other, for SunSpider
 //! (a) and Kraken (b).
 
-use nomap_bench::{heading, mean, measure, subset};
+use nomap_bench::{heading, mean, measure, subset, Report};
 use nomap_vm::{Architecture, CheckKind};
 use nomap_workloads::{evaluation_suites, Suite};
 
 fn main() {
+    let mut report = Report::from_env("fig3");
     let all = evaluation_suites();
     for (suite, label) in [(Suite::SunSpider, "(a) SunSpider"), (Suite::Kraken, "(b) Kraken")] {
         heading(&format!(
@@ -22,11 +23,24 @@ fn main() {
         let mut totals_t = Vec::new();
         for w in subset(&all, suite, false) {
             let m = measure(&w, Architecture::Base).expect("run");
-            let row: Vec<f64> = CheckKind::ALL
-                .iter()
-                .map(|&k| m.stats.checks_per_100(k))
-                .collect();
+            let row: Vec<f64> = CheckKind::ALL.iter().map(|&k| m.stats.checks_per_100(k)).collect();
             let total: f64 = row.iter().sum();
+            report.stats(w.id, "Base", &m.stats);
+            report.row(vec![
+                ("suite", format!("{suite:?}").into()),
+                ("bench", w.id.into()),
+                (
+                    "checks_per_100",
+                    nomap_trace::obj(vec![
+                        ("bounds", row[0].into()),
+                        ("overflow", row[1].into()),
+                        ("type", row[2].into()),
+                        ("property", row[3].into()),
+                        ("other", row[4].into()),
+                        ("total", total.into()),
+                    ]),
+                ),
+            ]);
             if w.in_avgs {
                 println!(
                     "{:<6} {:>8.2} {:>9.2} {:>7.2} {:>9.2} {:>7.2} {:>7.2}",
@@ -62,6 +76,26 @@ fn main() {
             mean(&per_kind_t[4]),
             mean(&totals_t)
         );
+        for (avg, kinds, totals) in
+            [("AvgS", &per_kind, &totals_s), ("AvgT", &per_kind_t, &totals_t)]
+        {
+            report.row(vec![
+                ("suite", format!("{suite:?}").into()),
+                ("bench", avg.into()),
+                (
+                    "checks_per_100",
+                    nomap_trace::obj(vec![
+                        ("bounds", mean(&kinds[0]).into()),
+                        ("overflow", mean(&kinds[1]).into()),
+                        ("type", mean(&kinds[2]).into()),
+                        ("property", mean(&kinds[3]).into()),
+                        ("other", mean(&kinds[4]).into()),
+                        ("total", mean(totals).into()),
+                    ]),
+                ),
+            ]);
+        }
     }
     println!("\n(paper AvgT: 8.1 checks/100 in SunSpider, 8.5 in Kraken — one check every ~12 instructions)");
+    report.finish();
 }

@@ -2,7 +2,7 @@
 //! normalized to Base and broken into NoFTL / NoTM / TMUnopt / TMOpt.
 //! Pass `--kraken` for Figure 9; default is Figure 8 (SunSpider).
 
-use nomap_bench::{heading, mean, measure, subset};
+use nomap_bench::{heading, mean, measure, subset, Report};
 use nomap_vm::{Architecture, InstCategory};
 use nomap_workloads::{evaluation_suites, Suite};
 
@@ -16,6 +16,7 @@ fn run(suite: Suite, fig: &str) {
     heading(&format!(
         "Figure {fig} — normalized instruction counts ({suite:?}): NoFTL/NoTM/TMUnopt/TMOpt"
     ));
+    let mut report = Report::from_env(&format!("fig{fig}"));
     let all = evaluation_suites();
     println!(
         "{:<6} {:<10} {:>8} {:>8} {:>9} {:>8} {:>8}",
@@ -34,6 +35,21 @@ fn run(suite: Suite, fig: &str) {
             };
             let frac = |c: InstCategory| m.stats.insts(c) as f64 / base_total;
             let total = m.stats.total_insts() as f64 / base_total;
+            report.stats(w.id, arch.name(), &m.stats);
+            report.row(vec![
+                ("bench", w.id.into()),
+                ("config", arch.name().into()),
+                (
+                    "normalized",
+                    nomap_trace::obj(vec![
+                        ("no_ftl", frac(InstCategory::NoFtl).into()),
+                        ("no_tm", frac(InstCategory::NoTm).into()),
+                        ("tm_unopt", frac(InstCategory::TmUnopt).into()),
+                        ("tm_opt", frac(InstCategory::TmOpt).into()),
+                        ("total", total.into()),
+                    ]),
+                ),
+            ]);
             if w.in_avgs {
                 println!(
                     "{:<6} {:<10} {:>8.3} {:>8.3} {:>9.3} {:>8.3} {:>8.3}",
@@ -53,16 +69,17 @@ fn run(suite: Suite, fig: &str) {
     println!("\nNormalized total instructions (1.0 = Base):");
     println!("{:<10} {:>8} {:>8}", "config", "AvgS", "AvgT");
     for (ai, arch) in Architecture::ALL.iter().enumerate() {
-        println!(
-            "{:<10} {:>8.3} {:>8.3}",
-            arch.name(),
-            mean(&totals[ai]),
-            mean(&totals_t[ai])
-        );
+        println!("{:<10} {:>8.3} {:>8.3}", arch.name(), mean(&totals[ai]), mean(&totals_t[ai]));
+        report.row(vec![
+            ("config", arch.name().into()),
+            ("avgs", mean(&totals[ai]).into()),
+            ("avgt", mean(&totals_t[ai]).into()),
+        ]);
     }
     if suite == Suite::SunSpider {
         println!("\n(paper AvgS: NoMap_S 0.937, NoMap_B 0.914, NoMap 0.858, NoMap_BC 0.829, NoMap_RTM 0.949)");
     } else {
         println!("\n(paper AvgS: NoMap 0.885, NoMap_BC 0.820, NoMap_RTM ~1.0)");
     }
+    report.finish();
 }

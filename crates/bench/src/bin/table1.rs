@@ -1,31 +1,27 @@
 //! Table I: speedup of each JavaScriptCore tier over the Interpreter, for
 //! the SunSpider and Kraken suites (AvgS and AvgT columns).
 
-use nomap_bench::{geo_mean, heading, measure_capped, subset};
+use nomap_bench::{geo_mean, heading, measure_capped, subset, Report};
 use nomap_vm::TierLimit;
 use nomap_workloads::{evaluation_suites, Suite};
 
 fn main() {
     heading("Table I — Speedup of tiers over the Interpreter");
+    let mut report = Report::from_env("table1");
     let suites = [(Suite::SunSpider, "SunSpider"), (Suite::Kraken, "Kraken")];
-    let tiers = [
-        ("Baseline", TierLimit::Baseline),
-        ("DFG", TierLimit::Dfg),
-        ("FTL", TierLimit::Ftl),
-    ];
+    let tiers =
+        [("Baseline", TierLimit::Baseline), ("DFG", TierLimit::Dfg), ("FTL", TierLimit::Ftl)];
     println!(
         "{:<10} {:>14} {:>14} {:>14} {:>14}",
         "Highest", "SunSpider", "SunSpider", "Kraken", "Kraken"
     );
-    println!(
-        "{:<10} {:>14} {:>14} {:>14} {:>14}",
-        "Tier", "AvgS", "AvgT", "AvgS", "AvgT"
-    );
+    println!("{:<10} {:>14} {:>14} {:>14} {:>14}", "Tier", "AvgS", "AvgT", "AvgS", "AvgT");
     // Baseline: interpreter cycles per workload.
     let mut interp: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
     let all = evaluation_suites();
     for w in &all {
         let m = measure_capped(w, TierLimit::Interpreter).expect("interp run");
+        report.stats(w.id, "Interpreter", &m.stats);
         interp.insert(w.id.to_owned(), m.stats.total_cycles() as f64);
     }
     for (name, limit) in tiers {
@@ -37,9 +33,22 @@ fn main() {
                     .iter()
                     .map(|w| {
                         let m = measure_capped(w, limit).expect("tier run");
-                        interp[w.id] / m.stats.total_cycles().max(1) as f64
+                        let speedup = interp[w.id] / m.stats.total_cycles().max(1) as f64;
+                        report.stats(w.id, name, &m.stats);
+                        report.row(vec![
+                            ("bench", w.id.into()),
+                            ("tier", name.into()),
+                            ("speedup_vs_interp", speedup.into()),
+                        ]);
+                        speedup
                     })
                     .collect();
+                report.row(vec![
+                    ("tier", name.into()),
+                    ("suite", format!("{suite:?}").into()),
+                    ("avg", if avgs { "AvgS" } else { "AvgT" }.into()),
+                    ("speedup_vs_interp", geo_mean(&speedups).into()),
+                ]);
                 cols.push(geo_mean(&speedups));
             }
         }
@@ -49,4 +58,5 @@ fn main() {
         );
     }
     println!("\n(paper: Baseline 2.13/1.88/1.22/0.87, DFG 7.71/6.64/8.45/6.67, FTL 11.48/9.37/15.03/10.94)");
+    report.finish();
 }

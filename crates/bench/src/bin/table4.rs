@@ -2,12 +2,13 @@
 //! and maximum write footprint, and the maximum cache associativity any
 //! set needed to hold speculative state.
 
-use nomap_bench::{heading, mean, measure, subset};
+use nomap_bench::{heading, mean, measure, subset, Report};
 use nomap_vm::Architecture;
 use nomap_workloads::{evaluation_suites, Suite};
 
 fn main() {
     heading("Table IV — transaction characterization under NoMap (ROT)");
+    let mut report = Report::from_env("table4");
     println!(
         "{:<10} {:>14} {:>14} {:>10} {:>14} {:>12}",
         "suite", "wrFoot avg KB", "wrFoot max KB", "max assoc", "insts/txn avg", "commits"
@@ -22,6 +23,7 @@ fn main() {
         let mut commits = 0u64;
         for w in &ws {
             let m = measure(w, Architecture::NoMap).expect("nomap run");
+            report.stats(w.id, "NoMap", &m.stats);
             let c = m.stats.tx_character;
             if c.committed > 0 {
                 avg_foot.push(c.footprint_avg() / 1024.0);
@@ -40,6 +42,15 @@ fn main() {
             mean(&insts),
             commits
         );
+        report.row(vec![
+            ("suite", label.into()),
+            ("footprint_avg_kb", mean(&avg_foot).into()),
+            ("footprint_max_kb", (max_foot as f64 / 1024.0).into()),
+            ("max_assoc", max_assoc.into()),
+            ("insts_per_txn_avg", mean(&insts).into()),
+            ("commits", commits.into()),
+        ]);
     }
     println!("\n(paper: avg write footprints of 44.9KB/47.4KB fit amply in the 256KB L2)");
+    report.finish();
 }

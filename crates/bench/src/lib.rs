@@ -5,7 +5,11 @@
 //! plain-text table/bar rendering they share. DESIGN.md carries the
 //! experiment index mapping binaries to paper artifacts.
 
-use nomap_vm::{Architecture, ExecStats, TierLimit, VmError};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use nomap_trace::{check_name, obj, JsonValue, SCHEMA_VERSION};
+use nomap_vm::{Architecture, CheckKind, ExecStats, InstCategory, TierLimit, VmError};
 use nomap_workloads::{run_workload, RunSpec, Suite, Workload};
 
 /// Number of measured `run()` calls in [`RunSpec::steady`]; divide window
@@ -62,10 +66,7 @@ pub fn mean(xs: &[f64]) -> f64 {
 /// Filters a suite's workloads: all of them (`AvgT`) or the paper's `AvgS`
 /// subset.
 pub fn subset(ws: &[Workload], suite: Suite, avgs_only: bool) -> Vec<Workload> {
-    ws.iter()
-        .filter(|w| w.suite == suite && (!avgs_only || w.in_avgs))
-        .cloned()
-        .collect()
+    ws.iter().filter(|w| w.suite == suite && (!avgs_only || w.in_avgs)).cloned().collect()
 }
 
 /// Renders a unicode bar of `frac` (0..=1+) scaled to `width` cells.
@@ -85,6 +86,125 @@ pub fn bar(frac: f64, width: usize) -> String {
 pub fn heading(title: &str) {
     println!("\n{title}");
     println!("{}", "=".repeat(title.len()));
+}
+
+/// Machine-readable mirror of an experiment binary's printed tables.
+///
+/// Every binary builds one `Report` named after the paper artifact it
+/// regenerates (`fig8`, `table4`, ...). Rows accumulate as JSON Lines —
+/// each stamped with the trace schema version and the artifact id — and
+/// [`Report::finish`] writes them to the path given by `--json <path>` on
+/// the command line or the `NOMAP_JSON` environment variable. With neither
+/// set the report is a no-op, so the human-readable output stays the
+/// default interface.
+pub struct Report {
+    artifact: String,
+    dest: Option<PathBuf>,
+    lines: Vec<String>,
+}
+
+impl Report {
+    /// Creates a report for `artifact`, resolving the destination from
+    /// `--json <path>` in the process arguments or `NOMAP_JSON`.
+    pub fn from_env(artifact: &str) -> Report {
+        let args: Vec<String> = std::env::args().collect();
+        let dest = args
+            .iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1).cloned())
+            .or_else(|| std::env::var("NOMAP_JSON").ok())
+            .map(PathBuf::from);
+        Report::to_path(artifact, dest)
+    }
+
+    /// Creates a report writing to `dest` (`None` = disabled). Exposed for
+    /// tests; binaries use [`Report::from_env`].
+    pub fn to_path(artifact: &str, dest: Option<PathBuf>) -> Report {
+        Report { artifact: artifact.to_owned(), dest, lines: Vec::new() }
+    }
+
+    /// Whether a destination is configured (rows are dropped otherwise).
+    pub fn enabled(&self) -> bool {
+        self.dest.is_some()
+    }
+
+    /// Appends one JSONL row; `members` follow the `v`/`artifact` envelope.
+    pub fn row(&mut self, members: Vec<(&str, JsonValue)>) {
+        if self.dest.is_none() {
+            return;
+        }
+        let mut all: Vec<(&str, JsonValue)> =
+            vec![("v", SCHEMA_VERSION.into()), ("artifact", self.artifact.clone().into())];
+        all.extend(members);
+        self.lines.push(obj(all).render());
+    }
+
+    /// Appends the canonical per-measurement row: the full [`ExecStats`]
+    /// breakdown for one (workload, configuration) pair.
+    pub fn stats(&mut self, bench: &str, config: &str, s: &ExecStats) {
+        if self.dest.is_none() {
+            return;
+        }
+        let insts = obj(vec![
+            ("no_ftl", s.insts(InstCategory::NoFtl).into()),
+            ("no_tm", s.insts(InstCategory::NoTm).into()),
+            ("tm_unopt", s.insts(InstCategory::TmUnopt).into()),
+            ("tm_opt", s.insts(InstCategory::TmOpt).into()),
+            ("total", s.total_insts().into()),
+        ]);
+        let cycles = obj(vec![
+            ("tm", s.cycles_tm.into()),
+            ("non_tm", s.cycles_non_tm.into()),
+            ("total", s.total_cycles().into()),
+        ]);
+        let mut checks: Vec<(&str, JsonValue)> =
+            CheckKind::ALL.iter().map(|&k| (check_name(k), JsonValue::from(s.checks(k)))).collect();
+        checks.push(("total", s.total_checks().into()));
+        let tx = obj(vec![
+            ("begun", s.tx_begun.into()),
+            ("committed", s.tx_committed.into()),
+            ("aborts_check", s.tx_aborts[0].into()),
+            ("aborts_capacity", s.tx_aborts[1].into()),
+            ("aborts_sticky", s.tx_aborts[2].into()),
+            ("footprint_avg", s.tx_character.footprint_avg().into()),
+            ("footprint_max", s.tx_character.footprint_max.into()),
+            ("max_assoc", s.tx_character.max_assoc.into()),
+            ("insts_avg", s.tx_character.insts_avg().into()),
+        ]);
+        self.row(vec![
+            ("bench", bench.into()),
+            ("config", config.into()),
+            ("insts", insts),
+            ("cycles", cycles),
+            ("checks", obj(checks)),
+            ("tx", tx),
+            ("deopts", s.deopts.into()),
+            ("dfg_compiles", s.dfg_compiles.into()),
+            ("ftl_compiles", s.ftl_compiles.into()),
+        ]);
+    }
+
+    /// Writes the accumulated rows. Failures are reported on stderr but do
+    /// not fail the experiment — the printed tables are already out.
+    pub fn finish(self) {
+        let Some(path) = self.dest else { return };
+        let write = || -> std::io::Result<()> {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+            for line in &self.lines {
+                writeln!(f, "{line}")?;
+            }
+            f.flush()
+        };
+        match write() {
+            Ok(()) => eprintln!(
+                "json: {} rows for {} written to {}",
+                self.lines.len(),
+                self.artifact,
+                path.display()
+            ),
+            Err(e) => eprintln!("json: failed to write {}: {e}", path.display()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -116,5 +236,41 @@ mod tests {
     fn bar_renders() {
         assert_eq!(bar(0.5, 4), "██  ");
         assert!(bar(0.0, 3).trim().is_empty());
+    }
+
+    #[test]
+    fn disabled_report_is_a_no_op() {
+        let mut r = Report::to_path("fig0", None);
+        assert!(!r.enabled());
+        r.row(vec![("x", 1u64.into())]);
+        r.stats("S00", "Base", &ExecStats::new());
+        assert!(r.lines.is_empty());
+        r.finish(); // must not create anything
+    }
+
+    #[test]
+    fn report_rows_carry_envelope_and_stats_breakdown() {
+        let path =
+            std::env::temp_dir().join(format!("nomap-report-test-{}.jsonl", std::process::id()));
+        let mut r = Report::to_path("table9", Some(path.clone()));
+        assert!(r.enabled());
+        r.row(vec![("note", "summary".into()), ("ratio", 0.5f64.into())]);
+        let mut s = ExecStats::new();
+        s.add_insts(InstCategory::TmOpt, nomap_vm::Tier::Ftl, 10);
+        s.tx_begun = 3;
+        r.stats("K07", "NoMap", &s);
+        r.finish();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(line.starts_with(&format!("{{\"v\":{SCHEMA_VERSION},\"artifact\":\"table9\"")));
+        }
+        assert!(lines[0].contains("\"ratio\":0.5"));
+        assert!(lines[1].contains("\"bench\":\"K07\""));
+        assert!(lines[1].contains("\"tm_opt\":10"));
+        assert!(lines[1].contains("\"begun\":3"));
     }
 }

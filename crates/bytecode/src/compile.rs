@@ -71,10 +71,7 @@ pub fn compile_ast(ast: &nomap_frontend::Program) -> Result<Program, CompileErro
     for (i, f) in ast.functions.iter().enumerate() {
         let id = FuncId(1 + i as u32);
         if function_ids.insert(f.name.clone(), id).is_some() {
-            return Err(CompileError::new(
-                format!("duplicate function `{}`", f.name),
-                f.span,
-            ));
+            return Err(CompileError::new(format!("duplicate function `{}`", f.name), f.span));
         }
     }
 
@@ -642,9 +639,7 @@ impl<'a> FuncCompiler<'a> {
                 self.reset_temps(mark);
                 Ok(dst)
             }
-            ExprKind::MethodCall(recv, name, args) => {
-                self.method_call(recv, name, args, e.span)
-            }
+            ExprKind::MethodCall(recv, name, args) => self.method_call(recv, name, args, e.span),
             ExprKind::Member(obj, name) => {
                 let dst = self.temp(e.span)?;
                 let mark = self.temp_mark();
@@ -704,7 +699,11 @@ impl<'a> FuncCompiler<'a> {
     fn emit_number(&mut self, dst: Reg, n: f64, span: Span) -> Result<(), CompileError> {
         // Integral values in int32 range load as int immediates, matching
         // JavaScript engines' int32 fast path.
-        if n.fract() == 0.0 && n >= i32::MIN as f64 && n <= i32::MAX as f64 && !(n == 0.0 && n.is_sign_negative()) {
+        if n.fract() == 0.0
+            && n >= i32::MIN as f64
+            && n <= i32::MAX as f64
+            && !(n == 0.0 && n.is_sign_negative())
+        {
             self.emit(Op::LoadInt { dst, value: n as i32 });
         } else {
             let cid = self.constant(Const::Num(n), span)?;
@@ -745,16 +744,12 @@ impl<'a> FuncCompiler<'a> {
                 return Ok(dst);
             }
             if ns == "Math" || ns == "String" {
-                return Err(CompileError::new(
-                    format!("unknown built-in `{ns}.{name}`"),
-                    span,
-                ));
+                return Err(CompileError::new(format!("unknown built-in `{ns}.{name}`"), span));
             }
         }
         // Receiver intrinsics: the receiver becomes argument 0.
-        let intr = Intrinsic::from_method(name).ok_or_else(|| {
-            CompileError::new(format!("unknown method `.{name}()`"), span)
-        })?;
+        let intr = Intrinsic::from_method(name)
+            .ok_or_else(|| CompileError::new(format!("unknown method `.{name}()`"), span))?;
         let dst = self.temp(span)?;
         let mark = self.temp_mark();
         let argv = self.next_temp;
@@ -787,26 +782,24 @@ impl<'a> FuncCompiler<'a> {
         span: Span,
     ) -> Result<Reg, CompileError> {
         match target {
-            AssignTarget::Ident(name) => {
-                match op {
-                    None => {
-                        let v = self.expr(value)?;
-                        self.store_var(name, v, span)?;
-                        Ok(v)
-                    }
-                    Some(op) => {
-                        let dst = self.temp(span)?;
-                        let mark = self.temp_mark();
-                        let cur = self.load_var(name, span)?;
-                        let v = self.expr(value)?;
-                        let site = self.site();
-                        self.emit(Op::Binary { op: lower_binop(op), dst, a: cur, b: v, site });
-                        self.reset_temps(mark);
-                        self.store_var(name, dst, span)?;
-                        Ok(dst)
-                    }
+            AssignTarget::Ident(name) => match op {
+                None => {
+                    let v = self.expr(value)?;
+                    self.store_var(name, v, span)?;
+                    Ok(v)
                 }
-            }
+                Some(op) => {
+                    let dst = self.temp(span)?;
+                    let mark = self.temp_mark();
+                    let cur = self.load_var(name, span)?;
+                    let v = self.expr(value)?;
+                    let site = self.site();
+                    self.emit(Op::Binary { op: lower_binop(op), dst, a: cur, b: v, site });
+                    self.reset_temps(mark);
+                    self.store_var(name, dst, span)?;
+                    Ok(dst)
+                }
+            },
             AssignTarget::Member(obj, name) => {
                 let o = self.expr(obj)?;
                 let n = self.name(name);
@@ -1019,19 +1012,13 @@ mod tests {
         let p = compile_program("function add(a, b) { return a + b; }").unwrap();
         let f = p.function_named("add").unwrap();
         assert_eq!(f.param_count, 2);
-        assert!(f
-            .code
-            .iter()
-            .any(|op| matches!(op, Op::Binary { op: BinaryOp::Add, .. })));
+        assert!(f.code.iter().any(|op| matches!(op, Op::Binary { op: BinaryOp::Add, .. })));
         assert!(matches!(f.code.last(), Some(Op::Return { .. })));
     }
 
     #[test]
     fn hoists_vars_to_locals() {
-        let p = compile_program(
-            "function f() { if (true) { var x = 1; } return x; }",
-        )
-        .unwrap();
+        let p = compile_program("function f() { if (true) { var x = 1; } return x; }").unwrap();
         let f = p.function_named("f").unwrap();
         assert_eq!(f.local_count, 1);
     }
@@ -1112,14 +1099,8 @@ mod tests {
     fn int_literals_use_loadint() {
         let p = compile_program("var x = 3; var y = 2.5;").unwrap();
         let main = &p.functions[0];
-        assert!(main
-            .code
-            .iter()
-            .any(|op| matches!(op, Op::LoadInt { value: 3, .. })));
-        assert!(main
-            .code
-            .iter()
-            .any(|op| matches!(op, Op::LoadConst { .. })));
+        assert!(main.code.iter().any(|op| matches!(op, Op::LoadInt { value: 3, .. })));
+        assert!(main.code.iter().any(|op| matches!(op, Op::LoadConst { .. })));
     }
 
     #[test]

@@ -77,11 +77,7 @@ impl BinaryOp {
     pub fn is_int_producing(self) -> bool {
         matches!(
             self,
-            BinaryOp::BitAnd
-                | BinaryOp::BitOr
-                | BinaryOp::BitXor
-                | BinaryOp::Shl
-                | BinaryOp::Shr
+            BinaryOp::BitAnd | BinaryOp::BitOr | BinaryOp::BitXor | BinaryOp::Shl | BinaryOp::Shr
         )
     }
 }
@@ -294,10 +290,7 @@ mod tests {
 
     #[test]
     fn intrinsic_resolution() {
-        assert_eq!(
-            Intrinsic::from_namespace("Math", "sqrt"),
-            Some(Intrinsic::MathSqrt)
-        );
+        assert_eq!(Intrinsic::from_namespace("Math", "sqrt"), Some(Intrinsic::MathSqrt));
         assert_eq!(Intrinsic::from_namespace("Math", "nope"), None);
         assert_eq!(Intrinsic::from_method("push"), Some(Intrinsic::ArrayPush));
         assert!(Intrinsic::MathSin.is_pure_math());

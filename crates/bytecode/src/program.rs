@@ -135,9 +135,7 @@ impl Program {
 
     /// Looks up a function by source name.
     pub fn function_named(&self, name: &str) -> Option<&Function> {
-        self.function_ids
-            .get(name)
-            .map(|&id| &self.functions[id.0 as usize])
+        self.function_ids.get(name).map(|&id| &self.functions[id.0 as usize])
     }
 
     /// Returns the function for `id`.

@@ -1,57 +1,86 @@
 //! Property tests over the AST→bytecode compiler: generated programs must
 //! compile to structurally well-formed code (valid jump targets, in-range
-//! registers, dense profiling sites).
-
-use proptest::prelude::*;
+//! registers, dense profiling sites). Program generation uses a
+//! deterministic splitmix PRNG so each run covers the same corpus.
 
 use nomap_bytecode::{compile_program, Op};
 
-/// Generates a small statement-soup program from templates.
-fn program_strategy() -> impl Strategy<Value = String> {
-    let stmt = prop_oneof![
-        (0i32..100).prop_map(|n| format!("x = x + {n};")),
-        (1i32..20).prop_map(|n| format!("for (var i = 0; i < {n}; i++) {{ x += i; }}")),
-        (1i32..10).prop_map(|n| format!("while (x > {n}) {{ x -= {n}; }}")),
-        (0i32..50).prop_map(|n| format!("if (x > {n}) {{ x = {n}; }} else {{ x = x | 1; }}")),
-        Just("a.push(x);".to_owned()),
-        Just("x = a.length;".to_owned()),
-        (0i32..8).prop_map(|n| format!("a[{n}] = x; x = a[{n}];")),
-        Just("o.f = x; x = o.f;".to_owned()),
-        (0i32..6).prop_map(|n| format!("x += helper(x, {n});")),
-        Just("do { x--; } while (x > 100);".to_owned()),
-        (1i32..5).prop_map(|n| {
-            format!("for (var j = 0; j < {n}; j++) {{ if (j == 2) continue; if (x > 900) break; x++; }}")
-        }),
-    ];
-    proptest::collection::vec(stmt, 1..12).prop_map(|stmts| {
-        format!(
-            "function helper(p, q) {{ return (p & 255) + q; }}
-             var x = 10;
-             var a = [1, 2, 3];
-             var o = {{f: 0}};
-             function run() {{
-                 {}
-                 return x;
-             }}",
-            stmts.join("\n                 ")
-        )
-    })
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+/// One random statement from the template pool.
+fn gen_stmt(rng: &mut Rng) -> String {
+    match rng.below(11) {
+        0 => format!("x = x + {};", rng.below(100)),
+        1 => format!("for (var i = 0; i < {}; i++) {{ x += i; }}", 1 + rng.below(19)),
+        2 => {
+            let n = 1 + rng.below(9);
+            format!("while (x > {n}) {{ x -= {n}; }}")
+        }
+        3 => {
+            let n = rng.below(50);
+            format!("if (x > {n}) {{ x = {n}; }} else {{ x = x | 1; }}")
+        }
+        4 => "a.push(x);".to_owned(),
+        5 => "x = a.length;".to_owned(),
+        6 => {
+            let n = rng.below(8);
+            format!("a[{n}] = x; x = a[{n}];")
+        }
+        7 => "o.f = x; x = o.f;".to_owned(),
+        8 => format!("x += helper(x, {});", rng.below(6)),
+        9 => "do { x--; } while (x > 100);".to_owned(),
+        _ => format!(
+            "for (var j = 0; j < {}; j++) {{ if (j == 2) continue; if (x > 900) break; x++; }}",
+            1 + rng.below(4)
+        ),
+    }
+}
 
-    #[test]
-    fn generated_programs_compile_well_formed(src in program_strategy()) {
+/// Generates a small statement-soup program from templates.
+fn gen_program(rng: &mut Rng) -> String {
+    let n = 1 + rng.below(11) as usize;
+    let stmts: Vec<String> = (0..n).map(|_| gen_stmt(rng)).collect();
+    format!(
+        "function helper(p, q) {{ return (p & 255) + q; }}
+         var x = 10;
+         var a = [1, 2, 3];
+         var o = {{f: 0}};
+         function run() {{
+             {}
+             return x;
+         }}",
+        stmts.join("\n             ")
+    )
+}
+
+#[test]
+fn generated_programs_compile_well_formed() {
+    let mut rng = Rng(0xB17E_C0DE);
+    for case in 0..64 {
+        let src = gen_program(&mut rng);
         let p = compile_program(&src).expect("template programs are valid");
         for f in &p.functions {
             let n = f.code.len() as u32;
-            prop_assert!(n > 0);
+            assert!(n > 0, "case {case}");
             let ends_in_return = matches!(f.code.last(), Some(Op::Return { .. }));
-            prop_assert!(ends_in_return);
+            assert!(ends_in_return, "case {case}");
             for (i, op) in f.code.iter().enumerate() {
                 if let Some(t) = op.jump_target() {
-                    prop_assert!(t < n, "{}: jump at {} to {} out of {}", f.name, i, t, n);
+                    assert!(t < n, "{}: jump at {} to {} out of {}", f.name, i, t, n);
                 }
                 // Registers in range.
                 let regs: Vec<u16> = match *op {
@@ -66,7 +95,7 @@ proptest! {
                     _ => vec![],
                 };
                 for r in regs {
-                    prop_assert!(
+                    assert!(
                         r <= f.register_count,
                         "{}: register r{} out of {}",
                         f.name,
@@ -82,19 +111,23 @@ proptest! {
                     .iter()
                     .enumerate()
                     .any(|(i, op)| op.jump_target() == Some(h) && h <= i as u32);
-                prop_assert!(has_back_edge, "{}: header {} has no back edge", f.name, h);
+                assert!(has_back_edge, "{}: header {} has no back edge", f.name, h);
             }
         }
     }
+}
 
-    /// Compiling is deterministic.
-    #[test]
-    fn compilation_is_deterministic(src in program_strategy()) {
+/// Compiling is deterministic.
+#[test]
+fn compilation_is_deterministic() {
+    let mut rng = Rng(0xD3_7E12);
+    for _ in 0..16 {
+        let src = gen_program(&mut rng);
         let a = compile_program(&src).unwrap();
         let b = compile_program(&src).unwrap();
         for (fa, fb) in a.functions.iter().zip(&b.functions) {
-            prop_assert_eq!(&fa.code, &fb.code);
-            prop_assert_eq!(fa.register_count, fb.register_count);
+            assert_eq!(fa.code, fb.code);
+            assert_eq!(fa.register_count, fb.register_count);
         }
     }
 }

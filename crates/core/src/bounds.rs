@@ -59,11 +59,8 @@ pub fn combine_bounds_checks(f: &mut IrFunc) -> usize {
                 }
             }
         }
-        let sunk: Vec<(ValueId, ValueId)> = combined
-            .iter()
-            .filter(|(_, _, inc)| *inc)
-            .map(|&(phi, len, _)| (phi, len))
-            .collect();
+        let sunk: Vec<(ValueId, ValueId)> =
+            combined.iter().filter(|(_, _, inc)| *inc).map(|&(phi, len, _)| (phi, len)).collect();
         // Sink below the loop: split each exit edge ONCE and emit every
         // combined check into the same landing block (indices used are
         // strictly below the exit value for step ≥ 1).
@@ -116,8 +113,8 @@ pub fn combine_bounds_checks(f: &mut IrFunc) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nomap_ir::node::Ty;
     use nomap_bytecode::FuncId;
+    use nomap_ir::node::Ty;
 
     /// for (i = 0; i < n; i++) { guard(i >=u len); use a[i] }
     fn loop_with_bounds_check(step: i32) -> IrFunc {
@@ -135,7 +132,11 @@ mod tests {
         let oob = f.append(body, Inst::new(InstKind::ICmp { cond: Cond::AboveEq, a: phi, b: len }));
         f.append(
             body,
-            Inst::new(InstKind::Guard { kind: CheckKind::Bounds, cond: oob, mode: CheckMode::Abort }),
+            Inst::new(InstKind::Guard {
+                kind: CheckKind::Bounds,
+                cond: oob,
+                mode: CheckMode::Abort,
+            }),
         );
         let stepc = f.append(body, Inst::new(InstKind::ConstI32(step.abs())));
         let next = if step > 0 {
@@ -170,12 +171,7 @@ mod tests {
                 loops.iter().any(|l| l.contains(b)) == in_loop_body
             })
             .flat_map(|(_, b)| &b.insts)
-            .filter(|&&v| {
-                matches!(
-                    f.inst(v).kind,
-                    InstKind::Guard { kind: CheckKind::Bounds, .. }
-                )
-            })
+            .filter(|&&v| matches!(f.inst(v).kind, InstKind::Guard { kind: CheckKind::Bounds, .. }))
             .count()
     }
 

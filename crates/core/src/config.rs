@@ -62,7 +62,9 @@ impl Architecture {
     pub fn combines_bounds(self) -> bool {
         matches!(
             self,
-            Architecture::NoMapB | Architecture::NoMap | Architecture::NoMapBc
+            Architecture::NoMapB
+                | Architecture::NoMap
+                | Architecture::NoMapBc
                 | Architecture::NoMapRtm
         )
     }

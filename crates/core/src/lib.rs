@@ -17,7 +17,10 @@ mod txn;
 
 pub use bounds::combine_bounds_checks;
 pub use config::Architecture;
-pub use pipeline::{compile_dfg, compile_ftl, compile_ftl_with, compile_txn_callee};
+pub use pipeline::{
+    compile_dfg, compile_ftl, compile_ftl_with, compile_ftl_with_report, compile_txn_callee,
+    CompileReport,
+};
 pub use sof::remove_overflow_checks;
 pub use txn::{
     abort_all_checks, next_scope, place_transactions, strip_all_checks, TxnScope, DEFAULT_TILE,

@@ -10,7 +10,7 @@
 
 use nomap_bytecode::Function;
 use nomap_ir::passes::{run_pipeline, PassConfig};
-use nomap_ir::{build_ir, BuildError, SpecLevel};
+use nomap_ir::{build_ir, BuildError, CheckMode, IrFunc, SpecLevel};
 use nomap_jit::{lower, CodegenQuality, CompiledFn};
 use nomap_machine::Tier;
 use nomap_runtime::Runtime;
@@ -77,19 +77,56 @@ pub fn compile_ftl_with(
     scope: TxnScope,
     passes: PassConfig,
 ) -> Result<CompiledFn, BuildError> {
+    compile_ftl_with_report(func, rt, arch, scope, passes).map(|(code, _)| code)
+}
+
+/// What one FTL compilation's transaction/optimizer passes achieved
+/// (feeds the tracing layer's pass-outcome events).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileReport {
+    /// Transactions placed around loops (§IV-B).
+    pub transactions_placed: usize,
+    /// Deopt-mode checks converted to transaction aborts by placement.
+    pub checks_to_aborts: usize,
+    /// Bounds checks removed by combining (§IV-C1).
+    pub bounds_combined: usize,
+    /// Overflow checks removed via the sticky overflow flag (§IV-C2).
+    pub overflow_removed: usize,
+}
+
+fn abort_mode_checks(ir: &IrFunc) -> usize {
+    ir.insts.iter().filter(|i| i.check_mode() == Some(CheckMode::Abort)).count()
+}
+
+/// [`compile_ftl_with`], also reporting what the transaction passes did.
+///
+/// # Errors
+///
+/// Propagates IR construction failures.
+pub fn compile_ftl_with_report(
+    func: &Function,
+    rt: &mut Runtime,
+    arch: Architecture,
+    scope: TxnScope,
+    passes: PassConfig,
+) -> Result<(CompiledFn, CompileReport), BuildError> {
     let (mut ir, info) = build_ir(func, rt, SpecLevel::Ftl)?;
     let txn_aware = arch.uses_transactions() && scope != TxnScope::None;
+    let mut report = CompileReport::default();
     if txn_aware {
-        place_transactions(&mut ir, &info, scope);
+        report.transactions_placed = place_transactions(&mut ir, &info, scope);
+        report.checks_to_aborts = abort_mode_checks(&ir);
     }
     run_pipeline(&mut ir, passes);
     if txn_aware {
         let mut changed = false;
         if arch.combines_bounds() {
-            changed |= combine_bounds_checks(&mut ir) > 0;
+            report.bounds_combined = combine_bounds_checks(&mut ir);
+            changed |= report.bounds_combined > 0;
         }
         if arch.removes_overflow() {
-            changed |= remove_overflow_checks(&mut ir) > 0;
+            report.overflow_removed = remove_overflow_checks(&mut ir);
+            changed |= report.overflow_removed > 0;
         }
         if arch.strips_all_checks() {
             strip_all_checks(&mut ir);
@@ -101,7 +138,7 @@ pub fn compile_ftl_with(
             run_pipeline(&mut ir, passes);
         }
     }
-    Ok(lower(&ir, CodegenQuality::Ftl, Tier::Ftl, txn_aware))
+    Ok((lower(&ir, CodegenQuality::Ftl, Tier::Ftl, txn_aware), report))
 }
 
 /// Compiles the *transaction-aware callee* variant of `func`: every check
@@ -189,8 +226,7 @@ mod tests {
         let p = sum_loop_program();
         let f = p.function_named("sum").unwrap();
         let mut rt = Runtime::new();
-        let c =
-            compile_ftl(f, &mut rt, Architecture::NoMapS, TxnScope::InnerTiled(64)).unwrap();
+        let c = compile_ftl(f, &mut rt, Architecture::NoMapS, TxnScope::InnerTiled(64)).unwrap();
         let xbegins = c.code.iter().filter(|i| matches!(i, MachInst::XBegin { .. })).count();
         assert!(xbegins >= 2, "tiled loop restarts its transaction");
     }

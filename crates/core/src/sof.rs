@@ -17,7 +17,9 @@ pub fn remove_overflow_checks(f: &mut IrFunc) -> usize {
     for inst in &mut f.insts {
         let is_overflow_check = matches!(
             inst.kind,
-            CheckedAddI32 { .. } | CheckedSubI32 { .. } | CheckedMulI32 { .. }
+            CheckedAddI32 { .. }
+                | CheckedSubI32 { .. }
+                | CheckedMulI32 { .. }
                 | CheckedNegI32 { .. }
         );
         if is_overflow_check && inst.check_mode() == Some(CheckMode::Abort) {
@@ -57,14 +59,9 @@ mod tests {
     #[test]
     fn type_checks_are_untouched() {
         let mut f = IrFunc::new(FuncId(0), "t", 0, 0);
-        let c = f.append(
-            f.entry,
-            Inst::new(InstKind::Const(nomap_runtime::Value::new_int32(1))),
-        );
-        let chk = f.append(
-            f.entry,
-            Inst::new(InstKind::CheckInt32 { v: c, mode: CheckMode::Abort }),
-        );
+        let c = f.append(f.entry, Inst::new(InstKind::Const(nomap_runtime::Value::new_int32(1))));
+        let chk =
+            f.append(f.entry, Inst::new(InstKind::CheckInt32 { v: c, mode: CheckMode::Abort }));
         let boxed = f.append(f.entry, Inst::new(InstKind::BoxI32(chk)));
         f.append(f.entry, Inst::new(InstKind::Return { v: boxed }));
         assert_eq!(remove_overflow_checks(&mut f), 0);

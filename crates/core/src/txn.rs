@@ -61,13 +61,15 @@ pub fn place_transactions(f: &mut IrFunc, info: &BuildInfo, scope: TxnScope) -> 
     let selected: Vec<Loop> = loops
         .iter()
         .filter(|l| {
-            let is_inner = !loops
-                .iter()
-                .any(|l2| l2.header != l.header && l.body.contains(&l2.header));
-            let is_outer = !loops
-                .iter()
-                .any(|l2| l2.header != l.header && l2.body.contains(&l.header));
-            if want_inner { is_inner } else { is_outer }
+            let is_inner =
+                !loops.iter().any(|l2| l2.header != l.header && l.body.contains(&l2.header));
+            let is_outer =
+                !loops.iter().any(|l2| l2.header != l.header && l2.body.contains(&l.header));
+            if want_inner {
+                is_inner
+            } else {
+                is_outer
+            }
         })
         .cloned()
         .collect();
@@ -186,11 +188,7 @@ fn strip_mine(f: &mut IrFunc, l: &Loop, header_osr: &OsrState, tile: u32, prehea
     for &p in &header_preds {
         phi_inputs.insert(p, zero);
     }
-    let phi = f.insert_at(
-        l.header,
-        0,
-        Inst::new(InstKind::Phi { inputs: vec![], ty: Ty::I32 }),
-    );
+    let phi = f.insert_at(l.header, 0, Inst::new(InstKind::Phi { inputs: vec![], ty: Ty::I32 }));
 
     for &latch in &l.latches {
         // Only unconditional back edges are strip-mined; a conditional
@@ -214,11 +212,7 @@ fn strip_mine(f: &mut IrFunc, l: &Loop, header_osr: &OsrState, tile: u32, prehea
         let commit = f.split_edge(latch, l.header);
         // Turn the latch terminator into a branch: commit or direct header.
         let term = f.terminator(latch);
-        f.inst_mut(term).kind = InstKind::Branch {
-            cond,
-            then_b: commit,
-            else_b: l.header,
-        };
+        f.inst_mut(term).kind = InstKind::Branch { cond, then_b: commit, else_b: l.header };
         // Commit block: XEnd; XBegin(latch-edge fallback); jump to header.
         let latch_osr = remap_osr_for_latch(f, l, header_osr, latch);
         f.insert_at(commit, 0, Inst::new(InstKind::XEnd));
@@ -231,8 +225,8 @@ fn strip_mine(f: &mut IrFunc, l: &Loop, header_osr: &OsrState, tile: u32, prehea
         // Header gains `latch` (direct) and `commit` as predecessors.
         let preds = &mut f.blocks[l.header.0 as usize].preds;
         preds.push(latch); // direct edge (was rerouted to commit by split)
-        // Fix: split_edge replaced latch with commit in preds; we re-add
-        // latch for the direct (else) edge. Phi inputs must follow.
+                           // Fix: split_edge replaced latch with commit in preds; we re-add
+                           // latch for the direct (else) edge. Phi inputs must follow.
         let latch_pos_in_old = header_preds.iter().position(|&p| p == latch);
         let insts = f.blocks[l.header.0 as usize].insts.clone();
         for &pv in &insts {
@@ -252,10 +246,8 @@ fn strip_mine(f: &mut IrFunc, l: &Loop, header_osr: &OsrState, tile: u32, prehea
 
     // Finalize the counter phi inputs in predecessor order.
     let preds_now = f.blocks[l.header.0 as usize].preds.clone();
-    let inputs: Vec<ValueId> = preds_now
-        .iter()
-        .map(|p| phi_inputs.get(p).copied().unwrap_or(zero))
-        .collect();
+    let inputs: Vec<ValueId> =
+        preds_now.iter().map(|p| phi_inputs.get(p).copied().unwrap_or(zero)).collect();
     if let InstKind::Phi { inputs: slots, .. } = &mut f.inst_mut(phi).kind {
         *slots = inputs;
     }
@@ -272,14 +264,8 @@ mod tests {
     #[test]
     fn ladder_steps() {
         assert_eq!(next_scope(TxnScope::Nest, false), TxnScope::Inner);
-        assert_eq!(
-            next_scope(TxnScope::Inner, false),
-            TxnScope::InnerTiled(DEFAULT_TILE)
-        );
-        assert_eq!(
-            next_scope(TxnScope::InnerTiled(256), false),
-            TxnScope::InnerTiled(64)
-        );
+        assert_eq!(next_scope(TxnScope::Inner, false), TxnScope::InnerTiled(DEFAULT_TILE));
+        assert_eq!(next_scope(TxnScope::InnerTiled(256), false), TxnScope::InnerTiled(64));
         assert_eq!(next_scope(TxnScope::InnerTiled(16), false), TxnScope::None);
         // A call inside the overflowing transaction removes it immediately.
         assert_eq!(next_scope(TxnScope::Nest, true), TxnScope::None);

@@ -129,71 +129,156 @@ impl<'src> Lexer<'src> {
             b'.' if self.peek2().is_ascii_digit() => return self.lex_number(),
             b'"' | b'\'' => return self.lex_string(),
             b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'$' => return Ok(self.lex_ident()),
-            b'(' => { self.bump(); TokenKind::LParen }
-            b')' => { self.bump(); TokenKind::RParen }
-            b'{' => { self.bump(); TokenKind::LBrace }
-            b'}' => { self.bump(); TokenKind::RBrace }
-            b'[' => { self.bump(); TokenKind::LBracket }
-            b']' => { self.bump(); TokenKind::RBracket }
-            b';' => { self.bump(); TokenKind::Semi }
-            b',' => { self.bump(); TokenKind::Comma }
-            b'.' => { self.bump(); TokenKind::Dot }
-            b':' => { self.bump(); TokenKind::Colon }
-            b'?' => { self.bump(); TokenKind::Question }
-            b'~' => { self.bump(); TokenKind::Tilde }
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b'[' => {
+                self.bump();
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.bump();
+                TokenKind::RBracket
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semi
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b'.' => {
+                self.bump();
+                TokenKind::Dot
+            }
+            b':' => {
+                self.bump();
+                TokenKind::Colon
+            }
+            b'?' => {
+                self.bump();
+                TokenKind::Question
+            }
+            b'~' => {
+                self.bump();
+                TokenKind::Tilde
+            }
             b'+' => {
                 self.bump();
                 match self.peek() {
-                    b'+' => { self.bump(); TokenKind::PlusPlus }
-                    b'=' => { self.bump(); TokenKind::PlusAssign }
+                    b'+' => {
+                        self.bump();
+                        TokenKind::PlusPlus
+                    }
+                    b'=' => {
+                        self.bump();
+                        TokenKind::PlusAssign
+                    }
                     _ => TokenKind::Plus,
                 }
             }
             b'-' => {
                 self.bump();
                 match self.peek() {
-                    b'-' => { self.bump(); TokenKind::MinusMinus }
-                    b'=' => { self.bump(); TokenKind::MinusAssign }
+                    b'-' => {
+                        self.bump();
+                        TokenKind::MinusMinus
+                    }
+                    b'=' => {
+                        self.bump();
+                        TokenKind::MinusAssign
+                    }
                     _ => TokenKind::Minus,
                 }
             }
             b'*' => {
                 self.bump();
-                if self.peek() == b'=' { self.bump(); TokenKind::StarAssign } else { TokenKind::Star }
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::StarAssign
+                } else {
+                    TokenKind::Star
+                }
             }
             b'/' => {
                 self.bump();
-                if self.peek() == b'=' { self.bump(); TokenKind::SlashAssign } else { TokenKind::Slash }
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::SlashAssign
+                } else {
+                    TokenKind::Slash
+                }
             }
             b'%' => {
                 self.bump();
-                if self.peek() == b'=' { self.bump(); TokenKind::PercentAssign } else { TokenKind::Percent }
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::PercentAssign
+                } else {
+                    TokenKind::Percent
+                }
             }
             b'&' => {
                 self.bump();
                 match self.peek() {
-                    b'&' => { self.bump(); TokenKind::AmpAmp }
-                    b'=' => { self.bump(); TokenKind::AmpAssign }
+                    b'&' => {
+                        self.bump();
+                        TokenKind::AmpAmp
+                    }
+                    b'=' => {
+                        self.bump();
+                        TokenKind::AmpAssign
+                    }
                     _ => TokenKind::Amp,
                 }
             }
             b'|' => {
                 self.bump();
                 match self.peek() {
-                    b'|' => { self.bump(); TokenKind::PipePipe }
-                    b'=' => { self.bump(); TokenKind::PipeAssign }
+                    b'|' => {
+                        self.bump();
+                        TokenKind::PipePipe
+                    }
+                    b'=' => {
+                        self.bump();
+                        TokenKind::PipeAssign
+                    }
                     _ => TokenKind::Pipe,
                 }
             }
             b'^' => {
                 self.bump();
-                if self.peek() == b'=' { self.bump(); TokenKind::CaretAssign } else { TokenKind::Caret }
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::CaretAssign
+                } else {
+                    TokenKind::Caret
+                }
             }
             b'!' => {
                 self.bump();
                 if self.peek() == b'=' {
                     self.bump();
-                    if self.peek() == b'=' { self.bump(); TokenKind::NotEqEq } else { TokenKind::NotEq }
+                    if self.peek() == b'=' {
+                        self.bump();
+                        TokenKind::NotEqEq
+                    } else {
+                        TokenKind::NotEq
+                    }
                 } else {
                     TokenKind::Bang
                 }
@@ -202,7 +287,12 @@ impl<'src> Lexer<'src> {
                 self.bump();
                 if self.peek() == b'=' {
                     self.bump();
-                    if self.peek() == b'=' { self.bump(); TokenKind::EqEqEq } else { TokenKind::EqEq }
+                    if self.peek() == b'=' {
+                        self.bump();
+                        TokenKind::EqEqEq
+                    } else {
+                        TokenKind::EqEq
+                    }
                 } else {
                     TokenKind::Assign
                 }
@@ -210,10 +300,18 @@ impl<'src> Lexer<'src> {
             b'<' => {
                 self.bump();
                 match self.peek() {
-                    b'=' => { self.bump(); TokenKind::Le }
+                    b'=' => {
+                        self.bump();
+                        TokenKind::Le
+                    }
                     b'<' => {
                         self.bump();
-                        if self.peek() == b'=' { self.bump(); TokenKind::ShlAssign } else { TokenKind::Shl }
+                        if self.peek() == b'=' {
+                            self.bump();
+                            TokenKind::ShlAssign
+                        } else {
+                            TokenKind::Shl
+                        }
                     }
                     _ => TokenKind::Lt,
                 }
@@ -221,15 +319,26 @@ impl<'src> Lexer<'src> {
             b'>' => {
                 self.bump();
                 match self.peek() {
-                    b'=' => { self.bump(); TokenKind::Ge }
+                    b'=' => {
+                        self.bump();
+                        TokenKind::Ge
+                    }
                     b'>' => {
                         self.bump();
                         match self.peek() {
                             b'>' => {
                                 self.bump();
-                                if self.peek() == b'=' { self.bump(); TokenKind::UShrAssign } else { TokenKind::UShr }
+                                if self.peek() == b'=' {
+                                    self.bump();
+                                    TokenKind::UShrAssign
+                                } else {
+                                    TokenKind::UShr
+                                }
                             }
-                            b'=' => { self.bump(); TokenKind::ShrAssign }
+                            b'=' => {
+                                self.bump();
+                                TokenKind::ShrAssign
+                            }
                             _ => TokenKind::Shr,
                         }
                     }
@@ -271,7 +380,10 @@ impl<'src> Lexer<'src> {
             while self.peek().is_ascii_digit() {
                 self.bump();
             }
-        } else if self.peek() == b'.' && !self.peek2().is_ascii_alphanumeric() && self.peek2() != b'_' {
+        } else if self.peek() == b'.'
+            && !self.peek2().is_ascii_alphanumeric()
+            && self.peek2() != b'_'
+        {
             // Trailing dot as in `1.` — consume it as part of the number
             // unless it starts a property access like `0..toString` (not
             // supported anyway).
@@ -346,10 +458,7 @@ impl<'src> Lexer<'src> {
                 s.push(c as char);
             }
         }
-        Ok(Token::new(
-            TokenKind::Str(s),
-            Span::new(start as u32, self.pos as u32, line),
-        ))
+        Ok(Token::new(TokenKind::Str(s), Span::new(start as u32, self.pos as u32, line)))
     }
 
     fn lex_ident(&mut self) -> Token {
@@ -372,12 +481,7 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::new(src)
-            .tokenize()
-            .unwrap()
-            .into_iter()
-            .map(|t| t.kind)
-            .collect()
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
     }
 
     #[test]

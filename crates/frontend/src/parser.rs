@@ -223,11 +223,7 @@ impl Parser {
         let mut decls = Vec::new();
         loop {
             let (name, _) = self.expect_ident()?;
-            let init = if self.eat(&TokenKind::Assign) {
-                Some(self.assignment()?)
-            } else {
-                None
-            };
+            let init = if self.eat(&TokenKind::Assign) { Some(self.assignment()?) } else { None };
             decls.push((name, init));
             if !self.eat(&TokenKind::Comma) {
                 break;
@@ -289,17 +285,11 @@ impl Parser {
             self.expect(&TokenKind::Semi)?;
             Some(Box::new(Stmt::new(StmtKind::Expr(e), espan)))
         };
-        let cond = if self.peek_kind() == &TokenKind::Semi {
-            None
-        } else {
-            Some(self.expression()?)
-        };
+        let cond =
+            if self.peek_kind() == &TokenKind::Semi { None } else { Some(self.expression()?) };
         self.expect(&TokenKind::Semi)?;
-        let step = if self.peek_kind() == &TokenKind::RParen {
-            None
-        } else {
-            Some(self.expression()?)
-        };
+        let step =
+            if self.peek_kind() == &TokenKind::RParen { None } else { Some(self.expression()?) };
         self.expect(&TokenKind::RParen)?;
         let body = Box::new(self.statement()?);
         Ok(Stmt::new(StmtKind::For { init, cond, step, body }, span))
@@ -328,10 +318,7 @@ impl Parser {
         self.depth += 1;
         if self.depth > Self::MAX_DEPTH {
             self.depth -= 1;
-            return Err(ParseError::new(
-                "expression is nested too deeply",
-                self.peek().span,
-            ));
+            return Err(ParseError::new("expression is nested too deeply", self.peek().span));
         }
         let r = self.assignment_inner();
         self.depth -= 1;
@@ -359,10 +346,7 @@ impl Parser {
         self.bump();
         let value = self.assignment()?;
         let target = Self::as_assign_target(lhs)?;
-        Ok(Expr::new(
-            ExprKind::Assign(target, op, Box::new(value)),
-            span,
-        ))
+        Ok(Expr::new(ExprKind::Assign(target, op, Box::new(value)), span))
     }
 
     fn ternary(&mut self) -> Result<Expr, ParseError> {
@@ -372,10 +356,7 @@ impl Parser {
             let a = self.assignment()?;
             self.expect(&TokenKind::Colon)?;
             let b = self.assignment()?;
-            Ok(Expr::new(
-                ExprKind::Ternary(Box::new(cond), Box::new(a), Box::new(b)),
-                span,
-            ))
+            Ok(Expr::new(ExprKind::Ternary(Box::new(cond), Box::new(a), Box::new(b)), span))
         } else {
             Ok(cond)
         }
@@ -386,10 +367,7 @@ impl Parser {
         while self.eat(&TokenKind::PipePipe) {
             let rhs = self.logical_and()?;
             let span = lhs.span;
-            lhs = Expr::new(
-                ExprKind::Logical(LogOp::Or, Box::new(lhs), Box::new(rhs)),
-                span,
-            );
+            lhs = Expr::new(ExprKind::Logical(LogOp::Or, Box::new(lhs), Box::new(rhs)), span);
         }
         Ok(lhs)
     }
@@ -399,10 +377,7 @@ impl Parser {
         while self.eat(&TokenKind::AmpAmp) {
             let rhs = self.bit_or()?;
             let span = lhs.span;
-            lhs = Expr::new(
-                ExprKind::Logical(LogOp::And, Box::new(lhs), Box::new(rhs)),
-                span,
-            );
+            lhs = Expr::new(ExprKind::Logical(LogOp::And, Box::new(lhs), Box::new(rhs)), span);
         }
         Ok(lhs)
     }
@@ -504,10 +479,7 @@ impl Parser {
                 self.bump();
                 let operand = self.unary()?;
                 let target = Self::as_assign_target(operand)?;
-                return Ok(Expr::new(
-                    ExprKind::IncrDecr { target, is_incr, prefix: true },
-                    span,
-                ));
+                return Ok(Expr::new(ExprKind::IncrDecr { target, is_incr, prefix: true }, span));
             }
             _ => None,
         };
@@ -706,10 +678,7 @@ impl Parser {
                 let end = self.expect(&TokenKind::RBrace)?.span;
                 Ok(Expr::new(ExprKind::Object(fields), span.merge(end)))
             }
-            other => Err(ParseError::new(
-                format!("unexpected token {other} in expression"),
-                span,
-            )),
+            other => Err(ParseError::new(format!("unexpected token {other} in expression"), span)),
         }
     }
 }
@@ -806,10 +775,7 @@ mod tests {
     #[test]
     fn ternary_and_logical() {
         assert!(matches!(expr("a ? b : c").kind, ExprKind::Ternary(_, _, _)));
-        assert!(matches!(
-            expr("a && b || c").kind,
-            ExprKind::Logical(LogOp::Or, _, _)
-        ));
+        assert!(matches!(expr("a && b || c").kind, ExprKind::Logical(LogOp::Or, _, _)));
     }
 
     #[test]

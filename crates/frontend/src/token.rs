@@ -109,45 +109,45 @@ pub enum TokenKind {
     Colon,
     Question,
 
-    Assign,       // =
-    Plus,         // +
-    Minus,        // -
-    Star,         // *
-    Slash,        // /
-    Percent,      // %
-    PlusAssign,   // +=
-    MinusAssign,  // -=
-    StarAssign,   // *=
-    SlashAssign,  // /=
-    PercentAssign,// %=
-    AmpAssign,    // &=
-    PipeAssign,   // |=
-    CaretAssign,  // ^=
-    ShlAssign,    // <<=
-    ShrAssign,    // >>=
-    UShrAssign,   // >>>=
-    PlusPlus,     // ++
-    MinusMinus,   // --
+    Assign,        // =
+    Plus,          // +
+    Minus,         // -
+    Star,          // *
+    Slash,         // /
+    Percent,       // %
+    PlusAssign,    // +=
+    MinusAssign,   // -=
+    StarAssign,    // *=
+    SlashAssign,   // /=
+    PercentAssign, // %=
+    AmpAssign,     // &=
+    PipeAssign,    // |=
+    CaretAssign,   // ^=
+    ShlAssign,     // <<=
+    ShrAssign,     // >>=
+    UShrAssign,    // >>>=
+    PlusPlus,      // ++
+    MinusMinus,    // --
 
-    Amp,          // &
-    Pipe,         // |
-    Caret,        // ^
-    Tilde,        // ~
-    AmpAmp,       // &&
-    PipePipe,     // ||
-    Bang,         // !
+    Amp,      // &
+    Pipe,     // |
+    Caret,    // ^
+    Tilde,    // ~
+    AmpAmp,   // &&
+    PipePipe, // ||
+    Bang,     // !
 
-    Lt,           // <
-    Gt,           // >
-    Le,           // <=
-    Ge,           // >=
-    EqEq,         // ==
-    NotEq,        // !=
-    EqEqEq,       // ===
-    NotEqEq,      // !==
-    Shl,          // <<
-    Shr,          // >>
-    UShr,         // >>>
+    Lt,      // <
+    Gt,      // >
+    Le,      // <=
+    Ge,      // >=
+    EqEq,    // ==
+    NotEq,   // !=
+    EqEqEq,  // ===
+    NotEqEq, // !==
+    Shl,     // <<
+    Shr,     // >>
+    UShr,    // >>>
 
     /// End of input.
     Eof,

@@ -177,11 +177,7 @@ fn grow_loop_body(f: &IrFunc, header: BlockId, latch: BlockId, body: &mut HashSe
 /// (multiple entry edges), in which case the caller skips the loop.
 pub fn ensure_preheader(f: &mut IrFunc, l: &Loop) -> Option<BlockId> {
     let preds: Vec<BlockId> = f.blocks[l.header.0 as usize].preds.clone();
-    let entries: Vec<BlockId> = preds
-        .iter()
-        .copied()
-        .filter(|p| !l.latches.contains(p))
-        .collect();
+    let entries: Vec<BlockId> = preds.iter().copied().filter(|p| !l.latches.contains(p)).collect();
     if entries.len() != 1 {
         return None;
     }
@@ -213,24 +209,17 @@ pub fn defined_outside(f: &IrFunc, l: &Loop, v: ValueId) -> bool {
 
 /// True when `b` contains any instruction for which `pred` holds.
 pub fn block_any(f: &IrFunc, b: BlockId, mut pred: impl FnMut(&Inst) -> bool) -> bool {
-    f.blocks[b.0 as usize]
-        .insts
-        .iter()
-        .any(|&v| pred(f.inst(v)))
+    f.blocks[b.0 as usize].insts.iter().any(|&v| pred(f.inst(v)))
 }
 
 /// True when the loop contains an instruction satisfying `pred`.
 pub fn loop_any(f: &IrFunc, l: &Loop, mut pred: impl FnMut(&Inst) -> bool) -> bool {
-    l.body
-        .iter()
-        .any(|&b| block_any(f, b, &mut pred))
+    l.body.iter().any(|&b| block_any(f, b, &mut pred))
 }
 
 /// True when the loop contains a call (runtime or JS).
 pub fn loop_has_call(f: &IrFunc, l: &Loop) -> bool {
-    loop_any(f, l, |i| {
-        matches!(i.kind, InstKind::CallRuntime { .. } | InstKind::CallJs { .. })
-    })
+    loop_any(f, l, |i| matches!(i.kind, InstKind::CallRuntime { .. } | InstKind::CallJs { .. }))
 }
 
 #[cfg(test)]

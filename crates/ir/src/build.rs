@@ -283,8 +283,7 @@ impl<'a> Builder<'a> {
                 .iter()
                 .take_while(|&&i| matches!(self.f.inst(i).kind, InstKind::Phi { .. }))
                 .count();
-            self.f
-                .insert_at(block, pos, Inst::new(InstKind::Const(Value::UNDEFINED)))
+            self.f.insert_at(block, pos, Inst::new(InstKind::Const(Value::UNDEFINED)))
         } else {
             let phi = self.add_phi(block);
             self.write_var(bc_block, reg, phi);
@@ -295,12 +294,7 @@ impl<'a> Builder<'a> {
     }
 
     fn bc_of_block(&self, b: BlockId) -> u32 {
-        *self
-            .block_of
-            .iter()
-            .find(|(_, &v)| v == b)
-            .expect("block has a bc leader")
-            .0
+        *self.block_of.iter().find(|(_, &v)| v == b).expect("block has a bc leader").0
     }
 
     fn add_phi_operands(&mut self, bc_block: u32, reg: u16, phi: ValueId) -> ValueId {
@@ -442,19 +436,10 @@ impl<'a> Builder<'a> {
         self.write_var(self.cur_bc_block, reg.0, boxed);
     }
 
-    fn runtime_call(
-        &mut self,
-        func: RuntimeFn,
-        args: &[Reg],
-        dst: Option<Reg>,
-        site: SiteId,
-    ) {
+    fn runtime_call(&mut self, func: RuntimeFn, args: &[Reg], dst: Option<Reg>, site: SiteId) {
         let argv: Vec<ValueId> = args.iter().map(|&r| self.read_boxed(r)).collect();
-        let v = self.emit(InstKind::CallRuntime {
-            func,
-            args: argv,
-            site: Some((self.bc.id, site)),
-        });
+        let v =
+            self.emit(InstKind::CallRuntime { func, args: argv, site: Some((self.bc.id, site)) });
         if let Some(d) = dst {
             self.write_reg(d, v);
         }
@@ -518,12 +503,7 @@ impl<'a> Builder<'a> {
             self.seal(0);
         }
 
-        let leaders: Vec<u32> = self
-            .leaders
-            .iter()
-            .copied()
-            .filter(|&l| l != u32::MAX)
-            .collect();
+        let leaders: Vec<u32> = self.leaders.iter().copied().filter(|&l| l != u32::MAX).collect();
         for &l in &leaders {
             self.translate_block(l)?;
             // Mark edges out of this block as filled; seal targets whose
@@ -607,9 +587,7 @@ impl<'a> Builder<'a> {
                     Const::Num(n) => Value::new_number(*n),
                     Const::Str(s) => {
                         let id = self.rt.strings.intern(s);
-                        self.rt
-                            .string_value(id)
-                            .map_err(|e| BuildError(e.to_string()))?
+                        self.rt.string_value(id).map_err(|e| BuildError(e.to_string()))?
                     }
                 };
                 self.rt.take_charged(); // interning is compile-time work
@@ -636,7 +614,9 @@ impl<'a> Builder<'a> {
                 let v = self.read_var(self.cur_bc_block, src.0);
                 self.write_var(self.cur_bc_block, dst.0, v);
             }
-            Op::Binary { op: bop, dst, a, b, site } => self.translate_binary(bc, bop, dst, a, b, site),
+            Op::Binary { op: bop, dst, a, b, site } => {
+                self.translate_binary(bc, bop, dst, a, b, site)
+            }
             Op::Unary { op: uop, dst, a, site } => self.translate_unary(bc, uop, dst, a, site),
             Op::Jump { target } => {
                 let t = self.block_of[&target];
@@ -646,11 +626,8 @@ impl<'a> Builder<'a> {
                 let t = self.block_of[&target];
                 let next = self.block_of[&(bc + 1)];
                 let c = self.truthiness(cond, bc);
-                let (then_b, else_b) = if matches!(op, Op::JumpIfTrue { .. }) {
-                    (t, next)
-                } else {
-                    (next, t)
-                };
+                let (then_b, else_b) =
+                    if matches!(op, Op::JumpIfTrue { .. }) { (t, next) } else { (next, t) };
                 self.emit(InstKind::Branch { cond: c, then_b, else_b });
             }
             Op::NewObject { dst } => {
@@ -664,8 +641,8 @@ impl<'a> Builder<'a> {
                 let length = self.rt.length_name == Some(name);
                 if length && p.kinds_a.is_only(ValueKind::Array) {
                     let o = self.read_boxed(obj);
-                    let addr =
-                        self.emit_with_osr(InstKind::CheckArray { v: o, mode: CheckMode::Deopt }, bc);
+                    let addr = self
+                        .emit_with_osr(InstKind::CheckArray { v: o, mode: CheckMode::Deopt }, bc);
                     let len = self.emit(InstKind::LoadField {
                         base: addr,
                         offset: ARR_LEN,
@@ -737,8 +714,8 @@ impl<'a> Builder<'a> {
                     && p.count > 0
                 {
                     let a = self.read_boxed(arr);
-                    let addr =
-                        self.emit_with_osr(InstKind::CheckArray { v: a, mode: CheckMode::Deopt }, bc);
+                    let addr = self
+                        .emit_with_osr(InstKind::CheckArray { v: a, mode: CheckMode::Deopt }, bc);
                     let iv = self.read_boxed(idx);
                     let i = self.use_i32(iv, bc);
                     let len = self.emit(InstKind::LoadField {
@@ -749,7 +726,11 @@ impl<'a> Builder<'a> {
                     });
                     let oob = self.emit(InstKind::ICmp { cond: Cond::AboveEq, a: i, b: len });
                     self.emit_with_osr(
-                        InstKind::Guard { kind: CheckKind::Bounds, cond: oob, mode: CheckMode::Deopt },
+                        InstKind::Guard {
+                            kind: CheckKind::Bounds,
+                            cond: oob,
+                            mode: CheckMode::Deopt,
+                        },
                         bc,
                     );
                     let storage = self.emit(InstKind::LoadField {
@@ -760,7 +741,8 @@ impl<'a> Builder<'a> {
                     });
                     let val = self.emit(InstKind::LoadElem { storage, index: i });
                     let hole_bits = self.emit(InstKind::ConstRaw(Value::HOLE.to_bits()));
-                    let is_hole = self.emit(InstKind::ICmp { cond: Cond::Eq, a: val, b: hole_bits });
+                    let is_hole =
+                        self.emit(InstKind::ICmp { cond: Cond::Eq, a: val, b: hole_bits });
                     self.emit_with_osr(
                         InstKind::Guard {
                             kind: CheckKind::Other,
@@ -782,8 +764,8 @@ impl<'a> Builder<'a> {
                     && p.count > 0
                 {
                     let a = self.read_boxed(arr);
-                    let addr =
-                        self.emit_with_osr(InstKind::CheckArray { v: a, mode: CheckMode::Deopt }, bc);
+                    let addr = self
+                        .emit_with_osr(InstKind::CheckArray { v: a, mode: CheckMode::Deopt }, bc);
                     let iv = self.read_boxed(idx);
                     let i = self.use_i32(iv, bc);
                     let len = self.emit(InstKind::LoadField {
@@ -794,7 +776,11 @@ impl<'a> Builder<'a> {
                     });
                     let oob = self.emit(InstKind::ICmp { cond: Cond::AboveEq, a: i, b: len });
                     self.emit_with_osr(
-                        InstKind::Guard { kind: CheckKind::Bounds, cond: oob, mode: CheckMode::Deopt },
+                        InstKind::Guard {
+                            kind: CheckKind::Bounds,
+                            cond: oob,
+                            mode: CheckMode::Deopt,
+                        },
                         bc,
                     );
                     let storage = self.emit(InstKind::LoadField {
@@ -820,9 +806,8 @@ impl<'a> Builder<'a> {
                 self.emit(InstKind::StoreGlobal { addr, name, v });
             }
             Op::Call { dst, func, argv, argc, .. } => {
-                let args: Vec<ValueId> = (0..argc as u16)
-                    .map(|i| self.read_boxed(Reg(argv.0 + i)))
-                    .collect();
+                let args: Vec<ValueId> =
+                    (0..argc as u16).map(|i| self.read_boxed(Reg(argv.0 + i))).collect();
                 let v = self.emit(InstKind::CallJs { callee: func, args });
                 self.write_reg(dst, v);
             }
@@ -873,8 +858,12 @@ impl<'a> Builder<'a> {
                     let ia = self.use_i32(av, bc);
                     let ib = self.use_i32(bv, bc);
                     let kind = match op {
-                        BinaryOp::Add => InstKind::CheckedAddI32 { a: ia, b: ib, mode: CheckMode::Deopt },
-                        BinaryOp::Sub => InstKind::CheckedSubI32 { a: ia, b: ib, mode: CheckMode::Deopt },
+                        BinaryOp::Add => {
+                            InstKind::CheckedAddI32 { a: ia, b: ib, mode: CheckMode::Deopt }
+                        }
+                        BinaryOp::Sub => {
+                            InstKind::CheckedSubI32 { a: ia, b: ib, mode: CheckMode::Deopt }
+                        }
                         _ => InstKind::CheckedMulI32 { a: ia, b: ib, mode: CheckMode::Deopt },
                     };
                     let r = self.emit_with_osr(kind, bc);
@@ -892,7 +881,10 @@ impl<'a> Builder<'a> {
                     self.generic_binary(op, dst, a, b, site);
                 }
             }
-            BinaryOp::BitAnd | BinaryOp::BitOr | BinaryOp::BitXor | BinaryOp::Shl
+            BinaryOp::BitAnd
+            | BinaryOp::BitOr
+            | BinaryOp::BitXor
+            | BinaryOp::Shl
             | BinaryOp::Shr => {
                 if ints {
                     let av = self.read_boxed(a);
@@ -927,8 +919,14 @@ impl<'a> Builder<'a> {
                     self.generic_binary(op, dst, a, b, site);
                 }
             }
-            BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge | BinaryOp::Eq
-            | BinaryOp::NotEq | BinaryOp::StrictEq | BinaryOp::StrictNotEq => {
+            BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
+            | BinaryOp::Ge
+            | BinaryOp::Eq
+            | BinaryOp::NotEq
+            | BinaryOp::StrictEq
+            | BinaryOp::StrictNotEq => {
                 let cond = match op {
                     BinaryOp::Lt => Cond::Lt,
                     BinaryOp::Le => Cond::Le,
@@ -958,15 +956,7 @@ impl<'a> Builder<'a> {
         }
     }
 
-    fn float_binary(
-        &mut self,
-        bc: u32,
-        op: BinaryOp,
-        dst: Reg,
-        a: Reg,
-        b: Reg,
-        p: &SiteProfile,
-    ) {
+    fn float_binary(&mut self, bc: u32, op: BinaryOp, dst: Reg, a: Reg, b: Reg, p: &SiteProfile) {
         let fop = match op {
             BinaryOp::Add => crate::node::FBinOp::Add,
             BinaryOp::Sub => crate::node::FBinOp::Sub,
@@ -1001,10 +991,8 @@ impl<'a> Builder<'a> {
             UnaryOp::Neg if p.kinds_a.is_int32_only() && !p.overflowed && p.count > 0 => {
                 let av = self.read_boxed(a);
                 let ia = self.use_i32(av, bc);
-                let r = self.emit_with_osr(
-                    InstKind::CheckedNegI32 { a: ia, mode: CheckMode::Deopt },
-                    bc,
-                );
+                let r = self
+                    .emit_with_osr(InstKind::CheckedNegI32 { a: ia, mode: CheckMode::Deopt }, bc);
                 self.write_reg(dst, r);
             }
             UnaryOp::Neg if p.kinds_a.is_numeric() && p.count > 0 => {

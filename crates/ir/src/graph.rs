@@ -57,7 +57,12 @@ pub struct IrFunc {
 
 impl IrFunc {
     /// Creates an empty function with one (entry) block.
-    pub fn new(func: FuncId, name: impl Into<String>, param_count: u16, bytecode_regs: u16) -> Self {
+    pub fn new(
+        func: FuncId,
+        name: impl Into<String>,
+        param_count: u16,
+        bytecode_regs: u16,
+    ) -> Self {
         IrFunc {
             func,
             name: name.into(),
@@ -118,10 +123,7 @@ impl IrFunc {
     ///
     /// Panics if the block is empty.
     pub fn terminator(&self, b: BlockId) -> ValueId {
-        *self.blocks[b.0 as usize]
-            .insts
-            .last()
-            .expect("block has a terminator")
+        *self.blocks[b.0 as usize].insts.last().expect("block has a terminator")
     }
 
     /// Successor blocks of `b`, from its terminator.
@@ -183,11 +185,8 @@ impl IrFunc {
     pub fn redirect_edge(&mut self, from: BlockId, old: BlockId, new: BlockId) {
         let t = self.terminator(from);
         match &mut self.inst_mut(t).kind {
-            InstKind::Jump { target } => {
-                if *target == old {
-                    *target = new;
-                }
-            }
+            InstKind::Jump { target } if *target == old => *target = new,
+            InstKind::Jump { .. } => {}
             InstKind::Branch { then_b, else_b, .. } => {
                 if *then_b == old {
                     *then_b = new;
@@ -256,10 +255,9 @@ impl IrFunc {
                             b.preds.len()
                         ));
                     }
-                    if b.insts[..i]
-                        .iter()
-                        .any(|&p| !matches!(self.inst(p).kind, InstKind::Phi { .. } | InstKind::Nop))
-                    {
+                    if b.insts[..i].iter().any(|&p| {
+                        !matches!(self.inst(p).kind, InstKind::Phi { .. } | InstKind::Nop)
+                    }) {
                         return Err(format!("{v}: phi after non-phi in {bid}"));
                     }
                 }
@@ -318,11 +316,7 @@ mod tests {
         let c = f.append(f.entry, Inst::new(InstKind::ConstI32(1)));
         let cb = f.append(
             f.entry,
-            Inst::new(InstKind::ICmp {
-                cond: nomap_machine::Cond::Eq,
-                a: c,
-                b: c,
-            }),
+            Inst::new(InstKind::ICmp { cond: nomap_machine::Cond::Eq, a: c, b: c }),
         );
         f.append(f.entry, Inst::new(InstKind::Branch { cond: cb, then_b, else_b }));
         let v1 = f.append(then_b, Inst::new(InstKind::ConstI32(1)));
@@ -415,10 +409,8 @@ mod tests {
     fn check_mode_roundtrip_via_graph() {
         let mut f = IrFunc::new(FuncId(0), "m", 0, 0);
         let c = f.append(f.entry, Inst::new(InstKind::Const(Value::new_int32(1))));
-        let chk = f.append(
-            f.entry,
-            Inst::new(InstKind::CheckInt32 { v: c, mode: CheckMode::Deopt }),
-        );
+        let chk =
+            f.append(f.entry, Inst::new(InstKind::CheckInt32 { v: c, mode: CheckMode::Deopt }));
         f.inst_mut(chk).set_check_mode(CheckMode::Abort);
         assert_eq!(f.inst(chk).check_mode(), Some(CheckMode::Abort));
     }

@@ -175,11 +175,7 @@ pub enum InstKind {
 
     // ---- calls -------------------------------------------------------------
     /// Call a runtime helper (clobbers all memory). Boxed arguments.
-    CallRuntime {
-        func: RuntimeFn,
-        args: Vec<ValueId>,
-        site: Option<(FuncId, SiteId)>,
-    },
+    CallRuntime { func: RuntimeFn, args: Vec<ValueId>, site: Option<(FuncId, SiteId)> },
     /// Call another MiniJS function (clobbers all memory).
     CallJs { callee: FuncId, args: Vec<ValueId> },
 
@@ -241,14 +237,39 @@ impl Inst {
     pub fn ty(&self) -> Ty {
         use InstKind::*;
         match &self.kind {
-            Nop | Guard { .. } | StoreField { .. } | StoreElem { .. } | StoreGlobal { .. }
-            | XBegin | XEnd | Jump { .. } | Branch { .. } | Return { .. } => Ty::None,
-            Param(_) | Const(_) | BoxI32(_) | BoxF64(_) | BoxBool(_) | LoadElem { .. }
-            | LoadGlobal { .. } | CallRuntime { .. } | CallJs { .. } => Ty::Boxed,
-            ConstI32(_) | CheckInt32 { .. } | CheckF64ToI32 { .. } | CheckedAddI32 { .. }
-            | CheckedSubI32 { .. } | CheckedMulI32 { .. } | CheckedNegI32 { .. } | IBin { .. }
+            Nop
+            | Guard { .. }
+            | StoreField { .. }
+            | StoreElem { .. }
+            | StoreGlobal { .. }
+            | XBegin
+            | XEnd
+            | Jump { .. }
+            | Branch { .. }
+            | Return { .. } => Ty::None,
+            Param(_)
+            | Const(_)
+            | BoxI32(_)
+            | BoxF64(_)
+            | BoxBool(_)
+            | LoadElem { .. }
+            | LoadGlobal { .. }
+            | CallRuntime { .. }
+            | CallJs { .. } => Ty::Boxed,
+            ConstI32(_)
+            | CheckInt32 { .. }
+            | CheckF64ToI32 { .. }
+            | CheckedAddI32 { .. }
+            | CheckedSubI32 { .. }
+            | CheckedMulI32 { .. }
+            | CheckedNegI32 { .. }
+            | IBin { .. }
             | CheckedUShr { .. } => Ty::I32,
-            ConstF64(_) | CheckNumber { .. } | I32ToF64(_) | FBin { .. } | FNeg(_)
+            ConstF64(_)
+            | CheckNumber { .. }
+            | I32ToF64(_)
+            | FBin { .. }
+            | FNeg(_)
             | MathOp { .. } => Ty::F64,
             ConstRaw(_) | CheckShape { .. } | CheckArray { .. } | CheckString { .. } => Ty::Raw,
             ConstBool(_) | CheckBool { .. } | ICmp { .. } | FCmp { .. } | BNot(_) => Ty::Bool,
@@ -262,14 +283,17 @@ impl Inst {
     pub fn check_kind(&self) -> Option<CheckKind> {
         use InstKind::*;
         let (kind, mode) = match &self.kind {
-            CheckInt32 { mode, .. } | CheckNumber { mode, .. } | CheckBool { mode, .. }
-            | CheckArray { mode, .. } | CheckString { mode, .. }
+            CheckInt32 { mode, .. }
+            | CheckNumber { mode, .. }
+            | CheckBool { mode, .. }
+            | CheckArray { mode, .. }
+            | CheckString { mode, .. }
             | CheckF64ToI32 { mode, .. } => (CheckKind::Type, *mode),
             CheckShape { mode, .. } => (CheckKind::Property, *mode),
-            CheckedAddI32 { mode, .. } | CheckedSubI32 { mode, .. }
-            | CheckedMulI32 { mode, .. } | CheckedNegI32 { mode, .. } => {
-                (CheckKind::Overflow, *mode)
-            }
+            CheckedAddI32 { mode, .. }
+            | CheckedSubI32 { mode, .. }
+            | CheckedMulI32 { mode, .. }
+            | CheckedNegI32 { mode, .. } => (CheckKind::Overflow, *mode),
             CheckedUShr { mode, .. } => (CheckKind::Other, *mode),
             Guard { kind, mode, .. } => (*kind, *mode),
             _ => return None,
@@ -329,8 +353,7 @@ impl Inst {
     /// True when this instruction is a Stack Map Point (a `Deopt`-mode
     /// check or a transaction begin, both of which need OSR state).
     pub fn is_smp(&self) -> bool {
-        matches!(self.kind, InstKind::XBegin)
-            || self.check_mode() == Some(CheckMode::Deopt)
+        matches!(self.kind, InstKind::XBegin) || self.check_mode() == Some(CheckMode::Deopt)
     }
 
     /// May this instruction read memory of class `alias`?
@@ -367,11 +390,21 @@ impl Inst {
     pub fn has_effect(&self) -> bool {
         use InstKind::*;
         match &self.kind {
-            StoreField { .. } | StoreElem { .. } | StoreGlobal { .. } | CallRuntime { .. }
-            | CallJs { .. } | XBegin | XEnd | Jump { .. } | Branch { .. } | Return { .. } => true,
+            StoreField { .. }
+            | StoreElem { .. }
+            | StoreGlobal { .. }
+            | CallRuntime { .. }
+            | CallJs { .. }
+            | XBegin
+            | XEnd
+            | Jump { .. }
+            | Branch { .. }
+            | Return { .. } => true,
             // SOF-mode arithmetic still sets the sticky flag.
-            CheckedAddI32 { mode, .. } | CheckedSubI32 { mode, .. }
-            | CheckedMulI32 { mode, .. } | CheckedNegI32 { mode, .. } => {
+            CheckedAddI32 { mode, .. }
+            | CheckedSubI32 { mode, .. }
+            | CheckedMulI32 { mode, .. }
+            | CheckedNegI32 { mode, .. } => {
                 matches!(mode, CheckMode::Sof)
             }
             _ => self.check_kind().is_some(),
@@ -384,9 +417,23 @@ impl Inst {
         use InstKind::*;
         matches!(
             self.kind,
-            Param(_) | Const(_) | ConstI32(_) | ConstF64(_) | ConstRaw(_) | ConstBool(_)
-                | BoxI32(_) | BoxF64(_) | BoxBool(_) | I32ToF64(_) | IBin { .. } | FBin { .. }
-                | FNeg(_) | ICmp { .. } | FCmp { .. } | BNot(_) | MathOp { .. }
+            Param(_)
+                | Const(_)
+                | ConstI32(_)
+                | ConstF64(_)
+                | ConstRaw(_)
+                | ConstBool(_)
+                | BoxI32(_)
+                | BoxF64(_)
+                | BoxBool(_)
+                | I32ToF64(_)
+                | IBin { .. }
+                | FBin { .. }
+                | FNeg(_)
+                | ICmp { .. }
+                | FCmp { .. }
+                | BNot(_)
+                | MathOp { .. }
         )
     }
 
@@ -394,17 +441,42 @@ impl Inst {
     pub fn operands(&self) -> Vec<ValueId> {
         use InstKind::*;
         match &self.kind {
-            Nop | Param(_) | Const(_) | ConstI32(_) | ConstF64(_) | ConstRaw(_) | ConstBool(_)
-            | LoadGlobal { .. } | XBegin | XEnd | Jump { .. } => vec![],
+            Nop
+            | Param(_)
+            | Const(_)
+            | ConstI32(_)
+            | ConstF64(_)
+            | ConstRaw(_)
+            | ConstBool(_)
+            | LoadGlobal { .. }
+            | XBegin
+            | XEnd
+            | Jump { .. } => vec![],
             Phi { inputs, .. } => inputs.clone(),
-            CheckInt32 { v, .. } | CheckNumber { v, .. } | CheckBool { v, .. }
-            | CheckShape { v, .. } | CheckArray { v, .. } | CheckString { v, .. }
-            | CheckF64ToI32 { v, .. } | BoxI32(v) | BoxF64(v) | BoxBool(v) | I32ToF64(v)
-            | CheckedNegI32 { a: v, .. } | FNeg(v) | BNot(v) | Return { v }
+            CheckInt32 { v, .. }
+            | CheckNumber { v, .. }
+            | CheckBool { v, .. }
+            | CheckShape { v, .. }
+            | CheckArray { v, .. }
+            | CheckString { v, .. }
+            | CheckF64ToI32 { v, .. }
+            | BoxI32(v)
+            | BoxF64(v)
+            | BoxBool(v)
+            | I32ToF64(v)
+            | CheckedNegI32 { a: v, .. }
+            | FNeg(v)
+            | BNot(v)
+            | Return { v }
             | StoreGlobal { v, .. } => vec![*v],
-            CheckedAddI32 { a, b, .. } | CheckedSubI32 { a, b, .. }
-            | CheckedMulI32 { a, b, .. } | IBin { a, b, .. } | CheckedUShr { a, b, .. }
-            | FBin { a, b, .. } | ICmp { a, b, .. } | FCmp { a, b, .. } => vec![*a, *b],
+            CheckedAddI32 { a, b, .. }
+            | CheckedSubI32 { a, b, .. }
+            | CheckedMulI32 { a, b, .. }
+            | IBin { a, b, .. }
+            | CheckedUShr { a, b, .. }
+            | FBin { a, b, .. }
+            | ICmp { a, b, .. }
+            | FCmp { a, b, .. } => vec![*a, *b],
             Guard { cond, .. } => vec![*cond],
             MathOp { args, .. } => args.clone(),
             LoadField { base, .. } => vec![*base],
@@ -421,21 +493,46 @@ impl Inst {
     pub fn map_operands(&mut self, mut f: impl FnMut(ValueId) -> ValueId) {
         use InstKind::*;
         match &mut self.kind {
-            Nop | Param(_) | Const(_) | ConstI32(_) | ConstF64(_) | ConstRaw(_) | ConstBool(_)
-            | LoadGlobal { .. } | XBegin | XEnd | Jump { .. } => {}
+            Nop
+            | Param(_)
+            | Const(_)
+            | ConstI32(_)
+            | ConstF64(_)
+            | ConstRaw(_)
+            | ConstBool(_)
+            | LoadGlobal { .. }
+            | XBegin
+            | XEnd
+            | Jump { .. } => {}
             Phi { inputs, .. } => {
                 for v in inputs {
                     *v = f(*v);
                 }
             }
-            CheckInt32 { v, .. } | CheckNumber { v, .. } | CheckBool { v, .. }
-            | CheckShape { v, .. } | CheckArray { v, .. } | CheckString { v, .. }
-            | CheckF64ToI32 { v, .. } | BoxI32(v) | BoxF64(v) | BoxBool(v) | I32ToF64(v)
-            | CheckedNegI32 { a: v, .. } | FNeg(v) | BNot(v) | Return { v }
+            CheckInt32 { v, .. }
+            | CheckNumber { v, .. }
+            | CheckBool { v, .. }
+            | CheckShape { v, .. }
+            | CheckArray { v, .. }
+            | CheckString { v, .. }
+            | CheckF64ToI32 { v, .. }
+            | BoxI32(v)
+            | BoxF64(v)
+            | BoxBool(v)
+            | I32ToF64(v)
+            | CheckedNegI32 { a: v, .. }
+            | FNeg(v)
+            | BNot(v)
+            | Return { v }
             | StoreGlobal { v, .. } => *v = f(*v),
-            CheckedAddI32 { a, b, .. } | CheckedSubI32 { a, b, .. }
-            | CheckedMulI32 { a, b, .. } | IBin { a, b, .. } | CheckedUShr { a, b, .. }
-            | FBin { a, b, .. } | ICmp { a, b, .. } | FCmp { a, b, .. } => {
+            CheckedAddI32 { a, b, .. }
+            | CheckedSubI32 { a, b, .. }
+            | CheckedMulI32 { a, b, .. }
+            | IBin { a, b, .. }
+            | CheckedUShr { a, b, .. }
+            | FBin { a, b, .. }
+            | ICmp { a, b, .. }
+            | FCmp { a, b, .. } => {
                 *a = f(*a);
                 *b = f(*b);
             }
@@ -546,10 +643,7 @@ mod tests {
     #[test]
     fn types_are_consistent() {
         assert_eq!(Inst::new(InstKind::ConstI32(3)).ty(), Ty::I32);
-        assert_eq!(
-            Inst::new(InstKind::BoxI32(ValueId(0))).ty(),
-            Ty::Boxed
-        );
+        assert_eq!(Inst::new(InstKind::BoxI32(ValueId(0))).ty(), Ty::Boxed);
         assert_eq!(
             Inst::new(InstKind::ICmp { cond: Cond::Eq, a: ValueId(0), b: ValueId(1) }).ty(),
             Ty::Bool

@@ -231,7 +231,6 @@ fn fold_i32(
 pub fn untag_phis(f: &mut IrFunc) -> bool {
     let mut changed = false;
     for bi in 0..f.blocks.len() {
-
         let phis: Vec<ValueId> = f.blocks[bi]
             .insts
             .iter()
@@ -275,17 +274,11 @@ pub fn untag_phis(f: &mut IrFunc) -> bool {
                     InstKind::BoxF64(x) if fits(crate::node::Ty::F64, &mut ty) => {
                         unboxed.push(Unboxed::Value(*x));
                     }
-                    InstKind::Const(c)
-                        if c.is_int32() && fits(crate::node::Ty::I32, &mut ty) =>
-                    {
-                        unboxed
-                            .push(Unboxed::NewConst(InstKind::ConstI32(c.as_int32()), input));
+                    InstKind::Const(c) if c.is_int32() && fits(crate::node::Ty::I32, &mut ty) => {
+                        unboxed.push(Unboxed::NewConst(InstKind::ConstI32(c.as_int32()), input));
                     }
-                    InstKind::Const(c)
-                        if c.is_double() && fits(crate::node::Ty::F64, &mut ty) =>
-                    {
-                        unboxed
-                            .push(Unboxed::NewConst(InstKind::ConstF64(c.as_double()), input));
+                    InstKind::Const(c) if c.is_double() && fits(crate::node::Ty::F64, &mut ty) => {
+                        unboxed.push(Unboxed::NewConst(InstKind::ConstF64(c.as_double()), input));
                     }
                     _ => {
                         ok = false;
@@ -307,10 +300,7 @@ pub fn untag_phis(f: &mut IrFunc) -> bool {
             if !has_check_use {
                 continue;
             }
-            let twin = f.add_inst(Inst::new(InstKind::Phi {
-                inputs: vec![],
-                ty,
-            }));
+            let twin = f.add_inst(Inst::new(InstKind::Phi { inputs: vec![], ty }));
             // Place the twin among the leading phis.
             let pos = f.blocks[bi]
                 .insts
@@ -394,10 +384,9 @@ pub fn gvn(f: &mut IrFunc) {
             // Kill loads clobbered by this instruction.
             recent_loads.retain(|(alias, _)| !inst.may_write(*alias));
             if let Some((alias, key)) = load_key(&inst.kind) {
-                if let Some(&(_, prev)) = recent_loads
-                    .iter()
-                    .find(|(a2, p)| *a2 == alias && load_key(&f.inst(*p).kind) == Some((alias, key.clone())))
-                {
+                if let Some(&(_, prev)) = recent_loads.iter().find(|(a2, p)| {
+                    *a2 == alias && load_key(&f.inst(*p).kind) == Some((alias, key.clone()))
+                }) {
                     f.inst_mut(v).kind = InstKind::Nop;
                     f.inst_mut(v).osr = None;
                     f.replace_all_uses(v, prev);
@@ -553,10 +542,7 @@ pub fn licm(f: &mut IrFunc) {
 
 fn hoistable(f: &IrFunc, l: &Loop, v: ValueId) -> bool {
     let inst = f.inst(v);
-    let invariant_operands = inst
-        .operands()
-        .iter()
-        .all(|&o| defined_outside(f, l, o) || o == v);
+    let invariant_operands = inst.operands().iter().all(|&o| defined_outside(f, l, o) || o == v);
     if !invariant_operands {
         return false;
     }
@@ -566,10 +552,8 @@ fn hoistable(f: &IrFunc, l: &Loop, v: ValueId) -> bool {
     // Loads hoist when the loop cannot clobber their class. Deopt-mode
     // checks report may_write(*) = true, so SMPs block this in Base mode.
     if let Some((alias, _)) = load_key(&inst.kind) {
-        let clobbered = l
-            .body
-            .iter()
-            .any(|&b| crate::analysis::block_any(f, b, |i| i.may_write(alias)));
+        let clobbered =
+            l.body.iter().any(|&b| crate::analysis::block_any(f, b, |i| i.may_write(alias)));
         return !clobbered;
     }
     // Abort-mode checks can move freely inside the transaction (§IV-C);
@@ -591,10 +575,7 @@ pub fn promote_accumulators(f: &mut IrFunc) -> bool {
     let loops = find_loops(f, &doms);
     for l in &loops {
         // Only innermost loops (no other loop header inside).
-        if loops
-            .iter()
-            .any(|l2| l2.header != l.header && l.body.contains(&l2.header))
-        {
+        if loops.iter().any(|l2| l2.header != l.header && l.body.contains(&l2.header)) {
             continue;
         }
         // Calls or SMPs in the loop block everything.
@@ -613,17 +594,11 @@ pub fn promote_accumulators(f: &mut IrFunc) -> bool {
                 match &inst.kind {
                     InstKind::LoadField { base, offset, alias, .. } => {
                         *alias_counts.entry(*alias).or_default() += 1;
-                        locs.entry(LocKey::Field(*base, *offset, *alias))
-                            .or_default()
-                            .0
-                            .push(v);
+                        locs.entry(LocKey::Field(*base, *offset, *alias)).or_default().0.push(v);
                     }
                     InstKind::StoreField { base, offset, alias, .. } => {
                         *alias_counts.entry(*alias).or_default() += 1;
-                        locs.entry(LocKey::Field(*base, *offset, *alias))
-                            .or_default()
-                            .1
-                            .push(v);
+                        locs.entry(LocKey::Field(*base, *offset, *alias)).or_default().1.push(v);
                     }
                     InstKind::LoadGlobal { addr, name } => {
                         *alias_counts.entry(Alias::Global(*name)).or_default() += 1;
@@ -705,12 +680,9 @@ fn promote_one(
     let Some(preheader) = ensure_preheader(f, l) else { return };
     // Initial value: load in the preheader.
     let init_kind = match key {
-        LocKey::Field(base, offset, alias) => InstKind::LoadField {
-            base,
-            offset,
-            alias,
-            ty: crate::node::Ty::Boxed,
-        },
+        LocKey::Field(base, offset, alias) => {
+            InstKind::LoadField { base, offset, alias, ty: crate::node::Ty::Boxed }
+        }
         LocKey::Global(addr, name) => InstKind::LoadGlobal { addr, name },
     };
     let init = f.insert_before_terminator(preheader, Inst::new(init_kind));
@@ -724,11 +696,8 @@ fn promote_one(
         .iter()
         .map(|p| if l.latches.contains(p) { stored_value } else { init })
         .collect();
-    let phi = f.insert_at(
-        l.header,
-        0,
-        Inst::new(InstKind::Phi { inputs, ty: crate::node::Ty::Boxed }),
-    );
+    let phi =
+        f.insert_at(l.header, 0, Inst::new(InstKind::Phi { inputs, ty: crate::node::Ty::Boxed }));
     // Loads inside the loop see the running value: loads that execute
     // before the store (they dominate it) see the phi.
     for &ld in loads {
@@ -744,15 +713,8 @@ fn promote_one(
     for (from, to) in exits {
         // Value at the exit: the stored value if the store's block ran
         // before the exit (store block dominates `from`), otherwise the phi.
-        let sb = def_block
-            .get(&stored_value)
-            .copied()
-            .unwrap_or(l.header);
-        let val = if doms.dominates(sb, from) && l.body.contains(&sb) {
-            stored_value
-        } else {
-            phi
-        };
+        let sb = def_block.get(&stored_value).copied().unwrap_or(l.header);
+        let val = if doms.dominates(sb, from) && l.body.contains(&sb) { stored_value } else { phi };
         let mid = f.split_edge(from, to);
         let kind = match (&store_kind, key) {
             (InstKind::StoreField { .. }, LocKey::Field(base, offset, alias)) => {
@@ -778,10 +740,8 @@ pub fn dce(f: &mut IrFunc) {
     for b in &f.blocks {
         for &v in &b.insts {
             let inst = f.inst(v);
-            if inst.is_terminator() || inst.has_effect() {
-                if live.insert(v) {
-                    work.push(v);
-                }
+            if (inst.is_terminator() || inst.has_effect()) && live.insert(v) {
+                work.push(v);
             }
         }
     }

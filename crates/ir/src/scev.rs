@@ -52,12 +52,8 @@ pub fn induction_vars(f: &IrFunc, l: &Loop) -> Vec<IndVar> {
         }
         let init = inputs[entry_pos];
         // All latch inputs must be the same update value.
-        let latch_inputs: Vec<ValueId> = inputs
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != entry_pos)
-            .map(|(_, &x)| x)
-            .collect();
+        let latch_inputs: Vec<ValueId> =
+            inputs.iter().enumerate().filter(|(i, _)| *i != entry_pos).map(|(_, &x)| x).collect();
         let Some((&first, rest)) = latch_inputs.split_first() else { continue };
         if rest.iter().any(|&x| x != first) {
             continue;

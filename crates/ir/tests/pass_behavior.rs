@@ -25,10 +25,13 @@ use nomap_runtime::Value;
 /// ```
 struct LoopIr {
     f: IrFunc,
+    // Some labels exist only to document the shape in the diagram above.
+    #[allow(dead_code)]
     header: BlockId,
     body: BlockId,
     #[allow(dead_code)]
     exit: BlockId,
+    #[allow(dead_code)]
     guard: ValueId,
     len_load: ValueId,
     acc_load: ValueId,
@@ -53,7 +56,8 @@ fn build_loop(mode: CheckMode) -> LoopIr {
         body,
         Inst::new(InstKind::LoadField { base, offset: 1, alias: Alias::ArrayLen, ty: Ty::I32 }),
     );
-    let oob = f.append(body, Inst::new(InstKind::ICmp { cond: Cond::AboveEq, a: phi, b: len_load }));
+    let oob =
+        f.append(body, Inst::new(InstKind::ICmp { cond: Cond::AboveEq, a: phi, b: len_load }));
     let mut g = Inst::new(InstKind::Guard { kind: CheckKind::Bounds, cond: oob, mode });
     if mode == CheckMode::Deopt {
         g.osr = Some(nomap_ir::OsrState { bc: 3, regs: vec![Some(phi), None, None, None] });
@@ -61,27 +65,28 @@ fn build_loop(mode: CheckMode) -> LoopIr {
     let guard = f.append(body, g);
     let acc_load = f.append(
         body,
-        Inst::new(InstKind::LoadField { base, offset: 5, alias: Alias::PropSlot(0), ty: Ty::Boxed }),
+        Inst::new(InstKind::LoadField {
+            base,
+            offset: 5,
+            alias: Alias::PropSlot(0),
+            ty: Ty::Boxed,
+        }),
     );
     let unb = f.append(body, Inst::new(InstKind::CheckInt32 { v: acc_load, mode }));
     if mode == CheckMode::Deopt {
         f.inst_mut(unb).osr =
             Some(nomap_ir::OsrState { bc: 4, regs: vec![Some(phi), None, None, None] });
     }
-    let sum = f.append(
-        body,
-        Inst::new(InstKind::CheckedAddI32 { a: unb, b: phi, mode: CheckMode::Sof }),
-    );
+    let sum =
+        f.append(body, Inst::new(InstKind::CheckedAddI32 { a: unb, b: phi, mode: CheckMode::Sof }));
     let boxed = f.append(body, Inst::new(InstKind::BoxI32(sum)));
     let acc_store = f.append(
         body,
         Inst::new(InstKind::StoreField { base, offset: 5, v: boxed, alias: Alias::PropSlot(0) }),
     );
     let one = f.append(body, Inst::new(InstKind::ConstI32(1)));
-    let next = f.append(
-        body,
-        Inst::new(InstKind::CheckedAddI32 { a: phi, b: one, mode: CheckMode::Sof }),
-    );
+    let next =
+        f.append(body, Inst::new(InstKind::CheckedAddI32 { a: phi, b: one, mode: CheckMode::Sof }));
     f.append(body, Inst::new(InstKind::Jump { target: header }));
     if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(phi).kind {
         inputs.push(next);
@@ -94,11 +99,7 @@ fn build_loop(mode: CheckMode) -> LoopIr {
 }
 
 fn block_of(f: &IrFunc, v: ValueId) -> Option<BlockId> {
-    f.blocks
-        .iter()
-        .enumerate()
-        .find(|(_, b)| b.insts.contains(&v))
-        .map(|(i, _)| BlockId(i as u32))
+    f.blocks.iter().enumerate().find(|(_, b)| b.insts.contains(&v)).map(|(i, _)| BlockId(i as u32))
 }
 
 #[test]
@@ -109,10 +110,7 @@ fn licm_hoists_loads_across_aborts_but_not_smps() {
     let b = block_of(&l.f, l.len_load).expect("load still placed");
     let doms = Dominators::compute(&l.f);
     let loops = find_loops(&l.f, &doms);
-    assert!(
-        !loops[0].contains(b),
-        "Abort mode: len load must hoist out of the loop"
-    );
+    assert!(!loops[0].contains(b), "Abort mode: len load must hoist out of the loop");
     assert_eq!(l.f.verify(), Ok(()));
 
     // Deopt mode: the SMP clobbers memory; the load must stay.
@@ -129,26 +127,22 @@ fn promotion_sinks_the_accumulator_only_without_smps() {
     // The in-loop load/store became Nops; a store exists on the exit edge.
     assert!(matches!(l.f.inst(l.acc_load).kind, InstKind::Nop));
     assert!(matches!(l.f.inst(l.acc_store).kind, InstKind::Nop));
-    let exit_stores = l
-        .f
-        .blocks
-        .iter()
-        .enumerate()
-        .filter(|(bi, b)| {
-            BlockId(*bi as u32) != l.body
-                && b.insts.iter().any(|&v| {
-                    matches!(l.f.inst(v).kind, InstKind::StoreField { offset: 5, .. })
-                })
-        })
-        .count();
+    let exit_stores =
+        l.f.blocks
+            .iter()
+            .enumerate()
+            .filter(|(bi, b)| {
+                BlockId(*bi as u32) != l.body
+                    && b.insts.iter().any(|&v| {
+                        matches!(l.f.inst(v).kind, InstKind::StoreField { offset: 5, .. })
+                    })
+            })
+            .count();
     assert!(exit_stores >= 1, "the final value is stored after the loop");
     assert_eq!(l.f.verify(), Ok(()));
 
     let mut l = build_loop(CheckMode::Deopt);
-    assert!(
-        !promote_accumulators(&mut l.f),
-        "SMPs block store sinking (paper §III-A3)"
-    );
+    assert!(!promote_accumulators(&mut l.f), "SMPs block store sinking (paper §III-A3)");
 }
 
 #[test]
@@ -165,10 +159,7 @@ fn gvn_removes_dominated_duplicate_checks() {
     f.append(f.entry, Inst::new(InstKind::Return { v: boxed }));
     f.compute_preds();
     gvn(&mut f);
-    assert!(
-        matches!(f.inst(c2).kind, InstKind::Nop),
-        "second identical check is redundant"
-    );
+    assert!(matches!(f.inst(c2).kind, InstKind::Nop), "second identical check is redundant");
     assert!(matches!(f.inst(c1).kind, InstKind::CheckInt32 { .. }));
 }
 
@@ -203,10 +194,8 @@ fn constfold_eliminates_box_unbox_pairs() {
     let mut f = IrFunc::new(FuncId(0), "t", 0, 1);
     let k = f.append(f.entry, Inst::new(InstKind::ConstI32(3)));
     let boxed = f.append(f.entry, Inst::new(InstKind::BoxI32(k)));
-    let unboxed = f.append(
-        f.entry,
-        Inst::new(InstKind::CheckInt32 { v: boxed, mode: CheckMode::Abort }),
-    );
+    let unboxed =
+        f.append(f.entry, Inst::new(InstKind::CheckInt32 { v: boxed, mode: CheckMode::Abort }));
     let sum = f.append(
         f.entry,
         Inst::new(InstKind::CheckedAddI32 { a: unboxed, b: k, mode: CheckMode::Abort }),
@@ -248,9 +237,6 @@ fn untag_phis_removes_loop_carried_type_checks() {
     assert_eq!(f.verify(), Ok(()));
 
     assert!(untag_phis(&mut f), "untagging applies");
-    assert!(
-        matches!(f.inst(unb).kind, InstKind::Nop),
-        "the per-iteration type check is gone"
-    );
+    assert!(matches!(f.inst(unb).kind, InstKind::Nop), "the per-iteration type check is gone");
     assert_eq!(f.verify(), Ok(()));
 }

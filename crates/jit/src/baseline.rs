@@ -298,10 +298,7 @@ mod tests {
 
     #[test]
     fn branches_are_resolved() {
-        let p = compile_program(
-            "function f(n) { if (n > 1) { return 1; } return 2; }",
-        )
-        .unwrap();
+        let p = compile_program("function f(n) { if (n > 1) { return 1; } return 2; }").unwrap();
         let mut rt = Runtime::new();
         let c = compile_baseline(p.function_named("f").unwrap(), &mut rt);
         for inst in &c.code {

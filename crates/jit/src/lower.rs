@@ -10,10 +10,8 @@ use std::collections::HashMap;
 
 use nomap_ir::node::{FBinOp, IBinOp, InstKind};
 use nomap_ir::{CheckMode, IrFunc, OsrState, Ty, ValueId};
-use nomap_machine::{
-    CheckKind, Cond, Label, MReg, MachInst, SmpId, Tier,
-};
 use nomap_machine::{Alu64Op, IAlu32Op};
+use nomap_machine::{CheckKind, Cond, Label, MReg, MachInst, SmpId, Tier};
 use nomap_runtime::{pack_header, HeapKind, Value};
 
 use crate::code::{CompiledFn, StackMapEntry, ValueRepr};
@@ -106,10 +104,7 @@ impl<'a> Lowerer<'a> {
                     let dst = self.reg_of[v.0 as usize].expect("phi reg");
                     for (pi, &input) in inputs.iter().enumerate() {
                         let p = block.preds[pi];
-                        edge_moves
-                            .entry((p.0, b.0))
-                            .or_default()
-                            .push((dst, input));
+                        edge_moves.entry((p.0, b.0)).or_default().push((dst, input));
                     }
                 }
             }
@@ -170,8 +165,7 @@ impl<'a> Lowerer<'a> {
     }
 
     fn reg(&self, v: ValueId) -> MReg {
-        self.reg_of[v.0 as usize]
-            .unwrap_or_else(|| panic!("value {v} used before definition"))
+        self.reg_of[v.0 as usize].unwrap_or_else(|| panic!("value {v} used before definition"))
     }
 
     fn def(&mut self, v: ValueId) -> MReg {
@@ -209,11 +203,8 @@ impl<'a> Lowerer<'a> {
     }
 
     fn smp(&mut self, osr: &OsrState) -> SmpId {
-        let regs = osr
-            .regs
-            .iter()
-            .map(|slot| slot.map(|v| (self.reg(v), self.repr_of(v))))
-            .collect();
+        let regs =
+            osr.regs.iter().map(|slot| slot.map(|v| (self.reg(v), self.repr_of(v)))).collect();
         self.stack_maps.push(StackMapEntry { bc: osr.bc, regs });
         SmpId(self.stack_maps.len() as u32 - 1)
     }
@@ -273,7 +264,12 @@ impl<'a> Lowerer<'a> {
                 let rv = self.reg(*inner);
                 if *mode != CheckMode::Removed {
                     let c = SCRATCH;
-                    self.emit(MachInst::CmpImm { dst: c, a: rv, imm: INT32_TAG, cond: Cond::Below });
+                    self.emit(MachInst::CmpImm {
+                        dst: c,
+                        a: rv,
+                        imm: INT32_TAG,
+                        cond: Cond::Below,
+                    });
                     self.guard(*mode, c, CheckKind::Type, osr);
                 }
                 let dst = self.def(v);
@@ -607,9 +603,8 @@ impl<'a> Lowerer<'a> {
             moves.iter().copied().filter(|(d, s)| d != s).collect();
         while !pending.is_empty() {
             // Emit any move whose destination is not a pending source.
-            if let Some(i) = pending
-                .iter()
-                .position(|&(d, _)| !pending.iter().any(|&(_, s)| s == d))
+            if let Some(i) =
+                pending.iter().position(|&(d, _)| !pending.iter().any(|&(_, s)| s == d))
             {
                 let (d, s) = pending.remove(i);
                 self.emit(MachInst::Mov { dst: d, src: s });
@@ -652,7 +647,7 @@ mod tests {
         // Swap: r1 <- r2, r2 <- r1.
         l.emit_parallel_moves(&[(MReg(1), MReg(2)), (MReg(2), MReg(1))]);
         // Simulate.
-        let mut regs = vec![0u64; 11];
+        let mut regs = [0u64; 11];
         regs[1] = 100;
         regs[2] = 200;
         for inst in &l.code {
@@ -670,10 +665,8 @@ mod tests {
         let mut f = IrFunc::new(FuncId(0), "t", 0, 0);
         let a = f.append(f.entry, Inst::new(InstKind::ConstI32(1)));
         let b = f.append(f.entry, Inst::new(InstKind::ConstI32(2)));
-        let s = f.append(
-            f.entry,
-            Inst::new(InstKind::CheckedAddI32 { a, b, mode: CheckMode::Abort }),
-        );
+        let s =
+            f.append(f.entry, Inst::new(InstKind::CheckedAddI32 { a, b, mode: CheckMode::Abort }));
         let boxed = f.append(f.entry, Inst::new(InstKind::BoxI32(s)));
         f.append(f.entry, Inst::new(InstKind::Return { v: boxed }));
         f.compute_preds();
@@ -708,10 +701,8 @@ mod tests {
         let mut f = IrFunc::new(FuncId(0), "t", 0, 0);
         let a = f.append(f.entry, Inst::new(InstKind::ConstI32(1)));
         let b = f.append(f.entry, Inst::new(InstKind::ConstI32(2)));
-        let s = f.append(
-            f.entry,
-            Inst::new(InstKind::CheckedAddI32 { a, b, mode: CheckMode::Removed }),
-        );
+        let s = f
+            .append(f.entry, Inst::new(InstKind::CheckedAddI32 { a, b, mode: CheckMode::Removed }));
         let boxed = f.append(f.entry, Inst::new(InstKind::BoxI32(s)));
         f.append(f.entry, Inst::new(InstKind::Return { v: boxed }));
         f.compute_preds();

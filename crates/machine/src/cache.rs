@@ -76,9 +76,7 @@ pub struct Cache {
 impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(cfg: CacheConfig) -> Self {
-        let sets = (0..cfg.sets())
-            .map(|_| vec![Line::default(); cfg.ways as usize])
-            .collect();
+        let sets = (0..cfg.sets()).map(|_| vec![Line::default(); cfg.ways as usize]).collect();
         Cache { cfg, sets, tick: 0 }
     }
 
@@ -99,11 +97,8 @@ impl Cache {
         // LRU (whose eviction the HTM must observe).
         let victim = if let Some(i) = lines.iter().position(|l| !l.valid) {
             i
-        } else if let Some((i, _)) = lines
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| !l.sw)
-            .min_by_key(|(_, l)| l.lru)
+        } else if let Some((i, _)) =
+            lines.iter().enumerate().filter(|(_, l)| !l.sw).min_by_key(|(_, l)| l.lru)
         {
             i
         } else {
@@ -131,11 +126,7 @@ impl Cache {
 
     /// Number of lines currently marked speculative.
     pub fn sw_line_count(&self) -> u64 {
-        self.sets
-            .iter()
-            .flatten()
-            .filter(|l| l.valid && l.sw)
-            .count() as u64
+        self.sets.iter().flatten().filter(|l| l.valid && l.sw).count() as u64
     }
 
     /// Geometry.
@@ -209,10 +200,7 @@ impl CacheSim {
         } else {
             self.counts[2] += 1;
         }
-        (
-            if l2_hit { AccessOutcome::L2 } else { AccessOutcome::Memory },
-            ev1 || ev2,
-        )
+        (if l2_hit { AccessOutcome::L2 } else { AccessOutcome::Memory }, ev1 || ev2)
     }
 
     /// Commit/abort: clear speculative bits at both levels.
@@ -253,8 +241,8 @@ mod tests {
         c.access(64, false);
         c.access(0, false); // line 0 is now MRU
         c.access(128, false); // evicts line 64
-        assert_eq!(c.access(0, false).0, true);
-        assert_eq!(c.access(64, false).0, false);
+        assert!(c.access(0, false).0);
+        assert!(!c.access(64, false).0);
     }
 
     #[test]
@@ -264,7 +252,7 @@ mod tests {
         c.access(0, true); // SW line, LRU
         c.access(64, false);
         c.access(128, false); // should evict line 64 (non-SW) not line 0
-        assert_eq!(c.access(0, false).0, true);
+        assert!(c.access(0, false).0);
         assert_eq!(c.sw_line_count(), 1);
     }
 

@@ -294,10 +294,7 @@ mod tests {
         for i in 0..8 {
             tx.on_read(&model, i * sets * words_per_line).unwrap();
         }
-        assert_eq!(
-            tx.on_read(&model, 8 * sets * words_per_line),
-            Err(AbortReason::Capacity)
-        );
+        assert_eq!(tx.on_read(&model, 8 * sets * words_per_line), Err(AbortReason::Capacity));
     }
 
     #[test]

@@ -191,12 +191,7 @@ pub enum MachInst {
     StoreGlobal { src: MReg, addr: u64 },
     /// Call a runtime helper. Counts `call_overhead` plus the helper's
     /// charged instructions as `NoFTL` work.
-    CallRt {
-        dst: MReg,
-        func: RuntimeFn,
-        args: Vec<MReg>,
-        site: Option<(FuncId, SiteId)>,
-    },
+    CallRt { dst: MReg, func: RuntimeFn, args: Vec<MReg>, site: Option<(FuncId, SiteId)> },
     /// Call another MiniJS function (through the VM's code cache).
     CallJs { dst: MReg, callee: FuncId, args: Vec<MReg> },
     /// Return `src`.

@@ -1,25 +1,47 @@
-//! Property tests on the cache and HTM models.
-
-use proptest::prelude::*;
+//! Property tests on the cache and HTM models, driven by a deterministic
+//! splitmix PRNG (no external crates) so every run covers the same corpus.
 
 use nomap_machine::{AbortReason, Cache, CacheConfig, CacheSim, HtmModel, TxState};
 use nomap_runtime::Memory;
 
-proptest! {
-    /// An access immediately repeated always hits.
-    #[test]
-    fn repeat_access_hits(addrs in proptest::collection::vec(0u64..1_000_000, 1..64)) {
-        let mut c = Cache::new(CacheConfig::l1d());
-        for &a in &addrs {
-            c.access(a * 8, false);
-            let (hit, _) = c.access(a * 8, false);
-            prop_assert!(hit, "immediate re-access of {a:#x} must hit");
-        }
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
-    /// A working set smaller than one way per set never evicts itself.
-    #[test]
-    fn small_working_set_stays_resident(start in 0u64..4096) {
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// An access immediately repeated always hits.
+#[test]
+fn repeat_access_hits() {
+    let mut rng = Rng(0xCAC4E);
+    for _ in 0..16 {
+        let mut c = Cache::new(CacheConfig::l1d());
+        let n = 1 + rng.below(63);
+        for _ in 0..n {
+            let a = rng.below(1_000_000);
+            c.access(a * 8, false);
+            let (hit, _) = c.access(a * 8, false);
+            assert!(hit, "immediate re-access of {a:#x} must hit");
+        }
+    }
+}
+
+/// A working set smaller than one way per set never evicts itself.
+#[test]
+fn small_working_set_stays_resident() {
+    let mut rng = Rng(0x5E7);
+    for _ in 0..16 {
+        let start = rng.below(4096);
         let cfg = CacheConfig::l1d();
         let lines = cfg.sets(); // one line per set
         let mut c = Cache::new(cfg);
@@ -28,17 +50,18 @@ proptest! {
             for i in 0..lines {
                 let (hit, _) = c.access(base + i * cfg.line_bytes, false);
                 if round > 0 {
-                    prop_assert!(hit, "round {round}, line {i}");
+                    assert!(hit, "round {round}, line {i}");
                 }
             }
         }
     }
+}
 
-    /// The transactional undo log restores arbitrary write sequences.
-    #[test]
-    fn tx_rollback_is_exact(
-        writes in proptest::collection::vec((0u64..256, any::<u64>()), 1..100)
-    ) {
+/// The transactional undo log restores arbitrary write sequences.
+#[test]
+fn tx_rollback_is_exact() {
+    let mut rng = Rng(0x0110);
+    for _ in 0..16 {
         let model = HtmModel::rot();
         let mut mem = Memory::new();
         let base = mem.alloc(256).unwrap();
@@ -48,8 +71,10 @@ proptest! {
         let before: Vec<u64> = (0..256).map(|i| mem.peek(base + i)).collect();
         let mut tx = TxState::new();
         tx.begin();
-        for &(off, v) in &writes {
-            let addr = base + off;
+        let writes = 1 + rng.below(99);
+        for _ in 0..writes {
+            let addr = base + rng.below(256);
+            let v = rng.next_u64();
             let old = mem.peek(addr);
             mem.poke(addr, v);
             // Capacity can't trigger: 256 words = 32 lines spread over sets.
@@ -57,28 +82,30 @@ proptest! {
         }
         tx.abort(&mut mem);
         for (i, &b) in before.iter().enumerate() {
-            prop_assert_eq!(mem.peek(base + i as u64), b);
+            assert_eq!(mem.peek(base + i as u64), b);
         }
     }
+}
 
-    /// Write-footprint accounting is line-exact: distinct lines touched ×
-    /// line size.
-    #[test]
-    fn footprint_counts_distinct_lines(offsets in proptest::collection::vec(0u64..512, 1..80)) {
+/// Write-footprint accounting is line-exact: distinct lines touched ×
+/// line size.
+#[test]
+fn footprint_counts_distinct_lines() {
+    let mut rng = Rng(0xF007);
+    for _ in 0..16 {
         let model = HtmModel::rot();
         let mut tx = TxState::new();
         tx.begin();
         let base = 0x1000_0000u64;
         let mut lines = std::collections::HashSet::new();
-        for &o in &offsets {
+        let n = 1 + rng.below(79);
+        for _ in 0..n {
+            let o = rng.below(512);
             tx.on_write(&model, base + o, 0).unwrap();
             lines.insert((base + o) * 8 / model.write_cache.line_bytes);
         }
         let out = tx.end(&model).unwrap().unwrap();
-        prop_assert_eq!(
-            out.write_footprint_bytes,
-            lines.len() as u64 * model.write_cache.line_bytes
-        );
+        assert_eq!(out.write_footprint_bytes, lines.len() as u64 * model.write_cache.line_bytes);
     }
 }
 

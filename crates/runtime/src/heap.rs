@@ -248,7 +248,6 @@ impl Memory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn read_write_roundtrip_all_regions() {
@@ -286,10 +285,7 @@ mod tests {
         m.drain_log(|acc| log.push(acc));
         assert_eq!(
             log,
-            vec![
-                Access::Write { addr: a, old: 0 },
-                Access::Write { addr: a, old: 1 },
-            ]
+            vec![Access::Write { addr: a, old: 0 }, Access::Write { addr: a, old: 1 },]
         );
         assert_eq!(m.pending_log_len(), 0);
     }
@@ -320,21 +316,26 @@ mod tests {
         assert_eq!(m.peek(0xFFFF_0000_0000_0007), 0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_last_write_wins(values in proptest::collection::vec(any::<u64>(), 1..20)) {
+    #[test]
+    fn prop_last_write_wins() {
+        let mut rng = crate::rng::Lcg::new(11);
+        for _ in 0..64 {
             let mut m = Memory::new();
             let a = m.alloc(1).unwrap();
-            for &v in &values {
-                m.write(a, v);
+            let n = 1 + rng.next_u64() % 19;
+            let mut last = 0;
+            for _ in 0..n {
+                last = rng.next_u64();
+                m.write(a, last);
             }
-            prop_assert_eq!(m.peek(a), *values.last().unwrap());
+            assert_eq!(m.peek(a), last);
         }
+    }
 
-        #[test]
-        fn prop_rollback_restores_initial_state(
-            writes in proptest::collection::vec((0u64..64, any::<u64>()), 1..40)
-        ) {
+    #[test]
+    fn prop_rollback_restores_initial_state() {
+        let mut rng = crate::rng::Lcg::new(12);
+        for _ in 0..64 {
             let mut m = Memory::new();
             let base = m.alloc(64).unwrap();
             // Seed some initial values (unlogged).
@@ -342,8 +343,10 @@ mod tests {
                 m.poke(base + i, i * 3);
             }
             m.clear_log();
-            for &(off, v) in &writes {
-                m.write(base + off, v);
+            let n = 1 + rng.next_u64() % 39;
+            for _ in 0..n {
+                let off = rng.next_u64() % 64;
+                m.write(base + off, rng.next_u64());
             }
             // Undo in reverse, as the HTM abort path does.
             let mut log = Vec::new();
@@ -354,7 +357,7 @@ mod tests {
                 }
             }
             for i in 0..64 {
-                prop_assert_eq!(m.peek(base + i), i * 3);
+                assert_eq!(m.peek(base + i), i * 3);
             }
         }
     }

@@ -160,7 +160,11 @@ impl Runtime {
         if n.is_nan() {
             "NaN".to_owned()
         } else if n.is_infinite() {
-            if n > 0.0 { "Infinity".to_owned() } else { "-Infinity".to_owned() }
+            if n > 0.0 {
+                "Infinity".to_owned()
+            } else {
+                "-Infinity".to_owned()
+            }
         } else if n == 0.0 {
             "0".to_owned()
         } else {
@@ -287,11 +291,7 @@ impl Runtime {
             BinaryOp::Mul => x * y,
             BinaryOp::Div => x / y,
             BinaryOp::Mod => x % y,
-            other => {
-                return Err(RuntimeError::Unsupported(format!(
-                    "generic_arith on {other:?}"
-                )))
-            }
+            other => return Err(RuntimeError::Unsupported(format!("generic_arith on {other:?}"))),
         };
         let v = Value::new_number(r);
         self.record_result(site, v);
@@ -320,9 +320,7 @@ impl Runtime {
                 Value::new_number(r as f64)
             }
             other => {
-                return Err(RuntimeError::Unsupported(format!(
-                    "generic_bitwise on {other:?}"
-                )))
+                return Err(RuntimeError::Unsupported(format!("generic_bitwise on {other:?}")))
             }
         };
         self.record_result(site, v);
@@ -368,9 +366,7 @@ impl Runtime {
                 }
             }
             other => {
-                return Err(RuntimeError::Unsupported(format!(
-                    "generic_compare on {other:?}"
-                )))
+                return Err(RuntimeError::Unsupported(format!("generic_compare on {other:?}")))
             }
         };
         let v = Value::new_bool(result);
@@ -483,9 +479,7 @@ impl Runtime {
         self.charge(charge);
         if !obj.is_cell() {
             if obj.is_null() || obj.is_undefined() {
-                return Err(RuntimeError::TypeError(
-                    "property read on null/undefined".into(),
-                ));
+                return Err(RuntimeError::TypeError("property read on null/undefined".into()));
             }
             return Ok(Value::UNDEFINED); // numbers/bools have no own props
         }
@@ -553,9 +547,7 @@ impl Runtime {
         let addr = obj.as_cell();
         let header = self.mem.read(addr);
         if HeapKind::from_header(header) != HeapKind::Object {
-            return Err(RuntimeError::TypeError(
-                "property write on array/string".into(),
-            ));
+            return Err(RuntimeError::TypeError("property write on array/string".into()));
         }
         let shape = header_shape(header);
         if let Some(slot) = self.shapes.lookup(shape, name) {
@@ -1066,7 +1058,6 @@ impl RuntimeFn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn rt() -> Runtime {
         let mut rt = Runtime::new();
@@ -1077,13 +1068,9 @@ mod tests {
     #[test]
     fn int_add_fast_path_and_overflow() {
         let mut rt = rt();
-        let v = rt
-            .generic_add(Value::new_int32(2), Value::new_int32(3), None)
-            .unwrap();
+        let v = rt.generic_add(Value::new_int32(2), Value::new_int32(3), None).unwrap();
         assert_eq!(v, Value::new_int32(5));
-        let v = rt
-            .generic_add(Value::new_int32(i32::MAX), Value::new_int32(1), None)
-            .unwrap();
+        let v = rt.generic_add(Value::new_int32(i32::MAX), Value::new_int32(1), None).unwrap();
         assert!(v.is_double());
         assert_eq!(v.as_double(), i32::MAX as f64 + 1.0);
     }
@@ -1092,11 +1079,9 @@ mod tests {
     fn overflow_is_profiled() {
         let mut rt = rt();
         let site = Some((FuncId(0), SiteId(0)));
-        rt.generic_add(Value::new_int32(1), Value::new_int32(2), site)
-            .unwrap();
+        rt.generic_add(Value::new_int32(1), Value::new_int32(2), site).unwrap();
         assert!(!rt.profiles.site(FuncId(0), SiteId(0)).unwrap().overflowed);
-        rt.generic_add(Value::new_int32(i32::MAX), Value::new_int32(1), site)
-            .unwrap();
+        rt.generic_add(Value::new_int32(i32::MAX), Value::new_int32(1), site).unwrap();
         assert!(rt.profiles.site(FuncId(0), SiteId(0)).unwrap().overflowed);
     }
 
@@ -1115,9 +1100,7 @@ mod tests {
         assert_eq!(v, Value::new_int32(2));
         let v = rt.generic_add(Value::NULL, Value::new_int32(1), None).unwrap();
         assert_eq!(v, Value::new_int32(1));
-        let v = rt
-            .generic_add(Value::UNDEFINED, Value::new_int32(1), None)
-            .unwrap();
+        let v = rt.generic_add(Value::UNDEFINED, Value::new_int32(1), None).unwrap();
         assert!(v.is_double() && v.as_double().is_nan());
     }
 
@@ -1165,12 +1148,7 @@ mod tests {
             .unwrap();
         assert_eq!(v.as_number(), u32::MAX as f64);
         let v = rt
-            .generic_bitwise(
-                BinaryOp::BitAnd,
-                Value::new_double(5.9),
-                Value::new_int32(3),
-                None,
-            )
+            .generic_bitwise(BinaryOp::BitAnd, Value::new_double(5.9), Value::new_int32(3), None)
             .unwrap();
         assert_eq!(v, Value::new_int32(1)); // ToInt32 truncates 5.9 → 5
     }
@@ -1197,28 +1175,18 @@ mod tests {
         let mut rt = rt();
         // 1 === 1.0
         let t = rt
-            .generic_compare(
-                BinaryOp::StrictEq,
-                Value::new_int32(1),
-                Value::new_double(1.0),
-                None,
-            )
+            .generic_compare(BinaryOp::StrictEq, Value::new_int32(1), Value::new_double(1.0), None)
             .unwrap();
         assert_eq!(t, Value::TRUE);
         // null == undefined but null !== undefined
-        let t = rt
-            .generic_compare(BinaryOp::Eq, Value::NULL, Value::UNDEFINED, None)
-            .unwrap();
+        let t = rt.generic_compare(BinaryOp::Eq, Value::NULL, Value::UNDEFINED, None).unwrap();
         assert_eq!(t, Value::TRUE);
-        let t = rt
-            .generic_compare(BinaryOp::StrictEq, Value::NULL, Value::UNDEFINED, None)
-            .unwrap();
+        let t =
+            rt.generic_compare(BinaryOp::StrictEq, Value::NULL, Value::UNDEFINED, None).unwrap();
         assert_eq!(t, Value::FALSE);
         // "5" == 5
         let five = rt.intern_value("5").unwrap();
-        let t = rt
-            .generic_compare(BinaryOp::Eq, five, Value::new_int32(5), None)
-            .unwrap();
+        let t = rt.generic_compare(BinaryOp::Eq, five, Value::new_int32(5), None).unwrap();
         assert_eq!(t, Value::TRUE);
         // object identity
         let o1 = rt.new_object().unwrap();
@@ -1277,10 +1245,7 @@ mod tests {
             rt.put_prop(o, NameId(i), Value::new_int32(i as i32), None).unwrap();
         }
         for i in 0..32 {
-            assert_eq!(
-                rt.get_prop(o, NameId(i), None).unwrap(),
-                Value::new_int32(i as i32)
-            );
+            assert_eq!(rt.get_prop(o, NameId(i), None).unwrap(), Value::new_int32(i as i32));
         }
     }
 
@@ -1289,10 +1254,7 @@ mod tests {
         let mut rt = rt();
         assert!(rt.get_prop(Value::NULL, NameId(0), None).is_err());
         assert!(rt.get_prop(Value::UNDEFINED, NameId(0), None).is_err());
-        assert_eq!(
-            rt.get_prop(Value::new_int32(3), NameId(0), None).unwrap(),
-            Value::UNDEFINED
-        );
+        assert_eq!(rt.get_prop(Value::new_int32(3), NameId(0), None).unwrap(), Value::UNDEFINED);
     }
 
     #[test]
@@ -1339,9 +1301,7 @@ mod tests {
     fn push_pop() {
         let mut rt = rt();
         let a = rt.new_array(0).unwrap();
-        let len = rt
-            .call_intrinsic(Intrinsic::ArrayPush, &[a, Value::new_int32(4)], None)
-            .unwrap();
+        let len = rt.call_intrinsic(Intrinsic::ArrayPush, &[a, Value::new_int32(4)], None).unwrap();
         assert_eq!(len, Value::new_int32(1));
         let v = rt.call_intrinsic(Intrinsic::ArrayPop, &[a], None).unwrap();
         assert_eq!(v, Value::new_int32(4));
@@ -1366,9 +1326,7 @@ mod tests {
             .unwrap();
         assert_eq!(rt.string_contents(sub), "el");
         let idx = rt.intern_value("ll").unwrap();
-        let found = rt
-            .call_intrinsic(Intrinsic::StringIndexOf, &[s, idx], None)
-            .unwrap();
+        let found = rt.call_intrinsic(Intrinsic::StringIndexOf, &[s, idx], None).unwrap();
         assert_eq!(found, Value::new_int32(2));
         let built = rt
             .call_intrinsic(
@@ -1383,9 +1341,7 @@ mod tests {
     #[test]
     fn math_intrinsics() {
         let mut rt = rt();
-        let v = rt
-            .call_intrinsic(Intrinsic::MathFloor, &[Value::new_double(2.7)], None)
-            .unwrap();
+        let v = rt.call_intrinsic(Intrinsic::MathFloor, &[Value::new_double(2.7)], None).unwrap();
         assert_eq!(v, Value::new_int32(2));
         let v = rt
             .call_intrinsic(Intrinsic::MathPow, &[Value::new_int32(2), Value::new_int32(10)], None)
@@ -1436,9 +1392,7 @@ mod tests {
             .unwrap();
         assert_eq!(v, Value::new_int32(5));
         let o = RuntimeFn::NewObject.dispatch(&mut rt, &[], None).unwrap();
-        RuntimeFn::PutProp(NameId(9))
-            .dispatch(&mut rt, &[o, Value::new_int32(1)], None)
-            .unwrap();
+        RuntimeFn::PutProp(NameId(9)).dispatch(&mut rt, &[o, Value::new_int32(1)], None).unwrap();
         let v = RuntimeFn::GetProp(NameId(9)).dispatch(&mut rt, &[o], None).unwrap();
         assert_eq!(v, Value::new_int32(1));
     }
@@ -1455,37 +1409,54 @@ mod tests {
         assert_eq!(f64_to_int32(-5.9), -5);
     }
 
-    proptest! {
-        #[test]
-        fn prop_int_add_matches_f64(a: i32, b: i32) {
+    #[test]
+    fn prop_int_add_matches_f64() {
+        let mut rng = crate::rng::Lcg::new(21);
+        for _ in 0..1024 {
+            let a = rng.next_u64() as u32 as i32;
+            let b = rng.next_u64() as u32 as i32;
             let mut rt = Runtime::new();
             let v = rt.generic_add(Value::new_int32(a), Value::new_int32(b), None).unwrap();
-            prop_assert_eq!(v.as_number(), a as f64 + b as f64);
+            assert_eq!(v.as_number(), a as f64 + b as f64);
         }
+    }
 
-        #[test]
-        fn prop_bitand_matches(a: i32, b: i32) {
+    #[test]
+    fn prop_bitand_matches() {
+        let mut rng = crate::rng::Lcg::new(22);
+        for _ in 0..1024 {
+            let a = rng.next_u64() as u32 as i32;
+            let b = rng.next_u64() as u32 as i32;
             let mut rt = Runtime::new();
             let v = rt
                 .generic_bitwise(BinaryOp::BitAnd, Value::new_int32(a), Value::new_int32(b), None)
                 .unwrap();
-            prop_assert_eq!(v.as_int32(), a & b);
+            assert_eq!(v.as_int32(), a & b);
         }
+    }
 
-        #[test]
-        fn prop_to_int32_agrees_with_wrapping(d in -1.0e12f64..1.0e12) {
+    #[test]
+    fn prop_to_int32_agrees_with_wrapping() {
+        let mut rng = crate::rng::Lcg::new(23);
+        for _ in 0..1024 {
+            let d = (rng.next_f64() - 0.5) * 2.0e12;
             let wrapped = f64_to_int32(d);
             let expect = (d.trunc() as i64 & 0xFFFF_FFFF) as u32 as i32;
-            prop_assert_eq!(wrapped, expect);
+            assert_eq!(wrapped, expect, "d = {d}");
         }
+    }
 
-        #[test]
-        fn prop_array_put_get_roundtrip(idx in 0u32..200, val: i32) {
+    #[test]
+    fn prop_array_put_get_roundtrip() {
+        let mut rng = crate::rng::Lcg::new(24);
+        for _ in 0..256 {
+            let idx = (rng.next_u64() % 200) as u32;
+            let val = rng.next_u64() as u32 as i32;
             let mut rt = Runtime::new();
             let a = rt.new_array(4).unwrap();
             rt.put_index(a, Value::new_number(idx as f64), Value::new_int32(val), None).unwrap();
             let v = rt.get_index(a, Value::new_number(idx as f64), None).unwrap();
-            prop_assert_eq!(v, Value::new_int32(val));
+            assert_eq!(v, Value::new_int32(val));
         }
     }
 }

@@ -77,11 +77,7 @@ impl ShapeTable {
         let slot = parent.slot_count;
         let mut slots = parent.slots.clone();
         slots.insert(name, slot);
-        let child = Shape {
-            slots,
-            transitions: HashMap::new(),
-            slot_count: slot + 1,
-        };
+        let child = Shape { slots, transitions: HashMap::new(), slot_count: slot + 1 };
         let child_id = ShapeId(self.shapes.len() as u32);
         self.shapes.push(child);
         self.shapes[shape.0 as usize].transitions.insert(name, child_id);

@@ -253,7 +253,6 @@ impl From<bool> for Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn int32_roundtrip_extremes() {
@@ -289,13 +288,7 @@ mod tests {
 
     #[test]
     fn specials_are_distinct() {
-        let all = [
-            Value::UNDEFINED,
-            Value::NULL,
-            Value::TRUE,
-            Value::FALSE,
-            Value::HOLE,
-        ];
+        let all = [Value::UNDEFINED, Value::NULL, Value::TRUE, Value::FALSE, Value::HOLE];
         for (i, a) in all.iter().enumerate() {
             for (j, b) in all.iter().enumerate() {
                 assert_eq!(i == j, a == b);
@@ -318,38 +311,50 @@ mod tests {
         let _ = Value::new_cell(0x10);
     }
 
-    proptest! {
-        #[test]
-        fn prop_int32_roundtrip(v: i32) {
-            prop_assert_eq!(Value::new_int32(v).as_int32(), v);
+    #[test]
+    fn prop_int32_roundtrip() {
+        let mut rng = crate::rng::Lcg::new(1);
+        for _ in 0..4096 {
+            let v = rng.next_u64() as u32 as i32;
+            assert_eq!(Value::new_int32(v).as_int32(), v);
         }
+    }
 
-        #[test]
-        fn prop_double_roundtrip(v: f64) {
+    #[test]
+    fn prop_double_roundtrip() {
+        let mut rng = crate::rng::Lcg::new(2);
+        for _ in 0..4096 {
+            let v = f64::from_bits(rng.next_u64());
             let e = Value::new_double(v);
-            prop_assert!(e.is_double());
+            assert!(e.is_double());
             if v.is_nan() {
-                prop_assert!(e.as_double().is_nan());
+                assert!(e.as_double().is_nan());
             } else {
-                prop_assert_eq!(e.as_double().to_bits(), v.to_bits());
+                assert_eq!(e.as_double().to_bits(), v.to_bits());
             }
         }
+    }
 
-        #[test]
-        fn prop_classes_are_exclusive(bits: u64) {
-            let v = Value::from_bits(bits);
-            let classes =
-                v.is_int32() as u8 + v.is_double() as u8 + v.is_cell() as u8;
-            prop_assert!(classes <= 1);
+    #[test]
+    fn prop_classes_are_exclusive() {
+        let mut rng = crate::rng::Lcg::new(3);
+        for _ in 0..4096 {
+            let v = Value::from_bits(rng.next_u64());
+            let classes = v.is_int32() as u8 + v.is_double() as u8 + v.is_cell() as u8;
+            assert!(classes <= 1);
         }
+    }
 
-        #[test]
-        fn prop_number_matches_f64(v: f64) {
+    #[test]
+    fn prop_number_matches_f64() {
+        let mut rng = crate::rng::Lcg::new(4);
+        for _ in 0..4096 {
+            let v = f64::from_bits(rng.next_u64());
             let e = Value::new_number(v);
             if v.is_nan() {
-                prop_assert!(e.as_number().is_nan());
+                assert!(e.as_number().is_nan());
             } else {
-                prop_assert_eq!(e.as_number(), v);
+                assert_eq!(e.as_number(), v);
             }
         }
     }

@@ -1,0 +1,347 @@
+//! Structured lifecycle events emitted by the VM.
+//!
+//! Every observable point in a run — tier-up compilation, OSR
+//! deoptimization, transaction begin/commit/abort, §V-C ladder steps and
+//! optimizer-pass outcomes — is one [`TraceEvent`]. Events are plain data:
+//! they can be buffered, rendered as a human-readable timeline, or
+//! serialized as JSON Lines (schema [`SCHEMA_VERSION`]).
+
+use nomap_machine::{AbortReason, CheckKind, Tier};
+
+use crate::json::{obj, JsonValue};
+
+/// JSONL schema version stamped on every serialized event. Bump when event
+/// fields change incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One VM lifecycle event.
+///
+/// `seq` (assigned by the tracer) and `cycles` (total cycles at emission)
+/// order events; both are deterministic across runs of the same program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A function was compiled by a tier (Interp→Baseline→DFG→FTL tier-up,
+    /// or an FTL recompile after a ladder step / profile correction).
+    TierUp {
+        /// Function id.
+        func: u32,
+        /// Function name.
+        name: String,
+        /// Tier that compiled.
+        tier: Tier,
+        /// Compile "cost": static machine instructions emitted.
+        code_len: usize,
+        /// Transaction scope the code was compiled at (FTL under a
+        /// transactional architecture only), e.g. `"Nest"`.
+        scope: Option<String>,
+        /// True for the transaction-aware callee variant.
+        txn_callee: bool,
+    },
+    /// An OSR exit (deoptimization) to the Baseline tier (§III-A2).
+    Deopt {
+        /// Function id.
+        func: u32,
+        /// Function name.
+        name: String,
+        /// Stack-map-point id taken.
+        smp: u32,
+        /// Bytecode offset the Baseline frame resumes at.
+        bc: u32,
+        /// The check kind that fired.
+        kind: CheckKind,
+    },
+    /// An outermost transaction began.
+    TxBegin {
+        /// Function owning the transaction.
+        func: u32,
+        /// Function name.
+        name: String,
+    },
+    /// An outermost transaction committed.
+    TxCommit {
+        /// Function owning the transaction.
+        func: u32,
+        /// Write footprint in bytes (distinct lines × line size).
+        footprint_bytes: u64,
+        /// Peak speculative ways demanded of any one cache set.
+        max_assoc: u32,
+        /// Dynamic instructions executed inside the transaction.
+        instructions: u64,
+    },
+    /// A transaction aborted.
+    TxAbort {
+        /// Function owning the transaction (`None` when the owner frame is
+        /// not on the stack, e.g. a guest error unwound it).
+        func: Option<u32>,
+        /// Why it aborted.
+        reason: AbortReason,
+        /// Write footprint in bytes at the moment of the abort.
+        footprint_bytes: u64,
+        /// Buffered writes rolled back.
+        undone_words: u64,
+        /// Dynamic instructions executed inside the doomed transaction.
+        instructions: u64,
+    },
+    /// A §V-C transaction-scope ladder step after a capacity abort.
+    LadderStep {
+        /// Function whose FTL code is being rescoped.
+        func: u32,
+        /// Function name.
+        name: String,
+        /// Scope before the step, e.g. `"Nest"`.
+        from: String,
+        /// Scope after the step, e.g. `"Inner"`.
+        to: String,
+        /// Whether the overflowing transaction contained a call (which
+        /// removes the transaction entirely).
+        saw_call: bool,
+    },
+    /// FTL code was invalidated for recompilation because repeated check
+    /// aborts showed its speculation was stale.
+    Recompile {
+        /// Function being recompiled.
+        func: u32,
+        /// Function name.
+        name: String,
+        /// Check-caused aborts that triggered the recompile.
+        check_aborts: u32,
+    },
+    /// Optimizer-pass outcomes for one FTL compilation (§IV-C).
+    PassOutcome {
+        /// Function compiled.
+        func: u32,
+        /// Function name.
+        name: String,
+        /// Transactions placed around loops.
+        transactions_placed: usize,
+        /// Deopt-mode checks converted to transaction aborts.
+        checks_to_aborts: usize,
+        /// Bounds checks removed by combining (§IV-C1).
+        bounds_combined: usize,
+        /// Overflow checks removed via SOF (§IV-C2).
+        overflow_removed: usize,
+    },
+}
+
+/// Names a tier for rendering/serialization.
+pub fn tier_name(tier: Tier) -> &'static str {
+    match tier {
+        Tier::Interpreter => "interpreter",
+        Tier::Baseline => "baseline",
+        Tier::Dfg => "dfg",
+        Tier::Ftl => "ftl",
+        Tier::Runtime => "runtime",
+    }
+}
+
+/// Names a check kind for rendering/serialization.
+pub fn check_name(kind: CheckKind) -> &'static str {
+    match kind {
+        CheckKind::Bounds => "bounds",
+        CheckKind::Overflow => "overflow",
+        CheckKind::Type => "type",
+        CheckKind::Property => "property",
+        CheckKind::Other => "other",
+    }
+}
+
+/// Names an abort reason for rendering/serialization (check aborts carry
+/// the check kind separately).
+pub fn abort_reason_name(reason: AbortReason) -> &'static str {
+    match reason {
+        AbortReason::Check(_) => "check",
+        AbortReason::Capacity => "capacity",
+        AbortReason::StickyOverflow => "sticky-overflow",
+    }
+}
+
+impl TraceEvent {
+    /// Short event-type tag (stable; used as the JSONL `ev` member and the
+    /// metrics counter key).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::TierUp { .. } => "tier-up",
+            TraceEvent::Deopt { .. } => "deopt",
+            TraceEvent::TxBegin { .. } => "tx-begin",
+            TraceEvent::TxCommit { .. } => "tx-commit",
+            TraceEvent::TxAbort { .. } => "tx-abort",
+            TraceEvent::LadderStep { .. } => "ladder-step",
+            TraceEvent::Recompile { .. } => "recompile",
+            TraceEvent::PassOutcome { .. } => "pass-outcome",
+        }
+    }
+
+    /// Serializes the event (with its envelope) as one JSON object.
+    pub fn to_json(&self, seq: u64, cycles: u64) -> JsonValue {
+        let mut m: Vec<(&str, JsonValue)> = vec![
+            ("v", SCHEMA_VERSION.into()),
+            ("seq", seq.into()),
+            ("cycles", cycles.into()),
+            ("ev", self.kind().into()),
+        ];
+        match self {
+            TraceEvent::TierUp { func, name, tier, code_len, scope, txn_callee } => {
+                m.push(("func", (*func).into()));
+                m.push(("name", name.as_str().into()));
+                m.push(("tier", tier_name(*tier).into()));
+                m.push(("code_len", (*code_len).into()));
+                match scope {
+                    Some(s) => m.push(("scope", s.as_str().into())),
+                    None => m.push(("scope", JsonValue::Null)),
+                }
+                if *txn_callee {
+                    m.push(("txn_callee", true.into()));
+                }
+            }
+            TraceEvent::Deopt { func, name, smp, bc, kind } => {
+                m.push(("func", (*func).into()));
+                m.push(("name", name.as_str().into()));
+                m.push(("smp", (*smp).into()));
+                m.push(("bc", (*bc).into()));
+                m.push(("kind", check_name(*kind).into()));
+            }
+            TraceEvent::TxBegin { func, name } => {
+                m.push(("func", (*func).into()));
+                m.push(("name", name.as_str().into()));
+            }
+            TraceEvent::TxCommit { func, footprint_bytes, max_assoc, instructions } => {
+                m.push(("func", (*func).into()));
+                m.push(("footprint_bytes", (*footprint_bytes).into()));
+                m.push(("max_assoc", (*max_assoc).into()));
+                m.push(("instructions", (*instructions).into()));
+            }
+            TraceEvent::TxAbort { func, reason, footprint_bytes, undone_words, instructions } => {
+                match func {
+                    Some(f) => m.push(("func", (*f).into())),
+                    None => m.push(("func", JsonValue::Null)),
+                }
+                m.push(("reason", abort_reason_name(*reason).into()));
+                if let AbortReason::Check(kind) = reason {
+                    m.push(("check", check_name(*kind).into()));
+                }
+                m.push(("footprint_bytes", (*footprint_bytes).into()));
+                m.push(("undone_words", (*undone_words).into()));
+                m.push(("instructions", (*instructions).into()));
+            }
+            TraceEvent::LadderStep { func, name, from, to, saw_call } => {
+                m.push(("func", (*func).into()));
+                m.push(("name", name.as_str().into()));
+                m.push(("from", from.as_str().into()));
+                m.push(("to", to.as_str().into()));
+                m.push(("saw_call", (*saw_call).into()));
+            }
+            TraceEvent::Recompile { func, name, check_aborts } => {
+                m.push(("func", (*func).into()));
+                m.push(("name", name.as_str().into()));
+                m.push(("check_aborts", (*check_aborts).into()));
+            }
+            TraceEvent::PassOutcome {
+                func,
+                name,
+                transactions_placed,
+                checks_to_aborts,
+                bounds_combined,
+                overflow_removed,
+            } => {
+                m.push(("func", (*func).into()));
+                m.push(("name", name.as_str().into()));
+                m.push(("transactions_placed", (*transactions_placed).into()));
+                m.push(("checks_to_aborts", (*checks_to_aborts).into()));
+                m.push(("bounds_combined", (*bounds_combined).into()));
+                m.push(("overflow_removed", (*overflow_removed).into()));
+            }
+        }
+        obj(m)
+    }
+
+    /// One-line human rendering for the `nomap trace` timeline.
+    pub fn render(&self, seq: u64, cycles: u64) -> String {
+        let body = match self {
+            TraceEvent::TierUp { name, tier, code_len, scope, txn_callee, .. } => {
+                let variant = if *txn_callee { " (txn-callee)" } else { "" };
+                match scope {
+                    Some(s) => format!(
+                        "tier-up      {name} → {}{variant}  [{code_len} insts, scope {s}]",
+                        tier_name(*tier)
+                    ),
+                    None => format!(
+                        "tier-up      {name} → {}{variant}  [{code_len} insts]",
+                        tier_name(*tier)
+                    ),
+                }
+            }
+            TraceEvent::Deopt { name, smp, bc, kind, .. } => {
+                format!("deopt        {name} smp#{smp} → bc {bc}  [{} check]", check_name(*kind))
+            }
+            TraceEvent::TxBegin { name, .. } => format!("tx-begin     {name}"),
+            TraceEvent::TxCommit { footprint_bytes, max_assoc, instructions, .. } => format!(
+                "tx-commit    {instructions} insts, {footprint_bytes} B written, assoc {max_assoc}"
+            ),
+            TraceEvent::TxAbort { reason, footprint_bytes, undone_words, instructions, .. } => {
+                let why = match reason {
+                    AbortReason::Check(kind) => format!("check:{}", check_name(*kind)),
+                    other => abort_reason_name(*other).to_owned(),
+                };
+                format!(
+                    "tx-abort     {why}  [{instructions} insts, {footprint_bytes} B footprint, {undone_words} words undone]"
+                )
+            }
+            TraceEvent::LadderStep { name, from, to, saw_call, .. } => {
+                let call = if *saw_call { ", saw call" } else { "" };
+                format!("ladder       {name}: {from} → {to}{call}")
+            }
+            TraceEvent::Recompile { name, check_aborts, .. } => {
+                format!("recompile    {name} after {check_aborts} check aborts")
+            }
+            TraceEvent::PassOutcome {
+                name,
+                transactions_placed,
+                checks_to_aborts,
+                bounds_combined,
+                overflow_removed,
+                ..
+            } => format!(
+                "passes       {name}: {transactions_placed} txns, {checks_to_aborts} checks→aborts, {bounds_combined} bounds combined, {overflow_removed} overflow removed"
+            ),
+        };
+        format!("[{seq:>5}] @{cycles:<12} {body}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_envelope_has_schema_and_kind() {
+        let ev = TraceEvent::TxAbort {
+            func: Some(3),
+            reason: AbortReason::Check(CheckKind::Bounds),
+            footprint_bytes: 128,
+            undone_words: 4,
+            instructions: 77,
+        };
+        let s = ev.to_json(9, 1234).render();
+        assert!(s.starts_with(&format!(
+            "{{\"v\":{SCHEMA_VERSION},\"seq\":9,\"cycles\":1234,\"ev\":\"tx-abort\""
+        )));
+        assert!(s.contains("\"reason\":\"check\""));
+        assert!(s.contains("\"check\":\"bounds\""));
+        assert!(s.contains("\"footprint_bytes\":128"));
+    }
+
+    #[test]
+    fn render_is_one_line() {
+        let ev = TraceEvent::TierUp {
+            func: 0,
+            name: "run".into(),
+            tier: Tier::Ftl,
+            code_len: 42,
+            scope: Some("Nest".into()),
+            txn_callee: false,
+        };
+        let line = ev.render(1, 10);
+        assert!(!line.contains('\n'));
+        assert!(line.contains("run → ftl"));
+    }
+}

@@ -1,0 +1,430 @@
+//! Aggregated metrics derived from the event stream.
+//!
+//! Where the event sinks answer "what happened, in order", the metrics
+//! registry answers "how much, overall": event counts, per-reason abort
+//! breakdowns, transaction write-footprint and length distributions, and
+//! per-function tier-residency instruction counts. Like
+//! `nomap_machine::ExecStats`, everything merges, so per-shard registries
+//! can be combined into one report.
+
+use std::collections::BTreeMap;
+
+use nomap_machine::{AbortReason, Tier};
+
+use crate::event::{abort_reason_name, check_name, tier_name, TraceEvent};
+use crate::json::{obj, JsonValue};
+
+/// Power-of-two-bucketed histogram over `u64` samples.
+///
+/// Bucket `i` holds samples whose value needs `i` bits (bucket 0 is the
+/// value 0, bucket 1 is 1, bucket 2 is 2–3, bucket 3 is 4–7, …), which is
+/// plenty of resolution for footprints and instruction counts while keeping
+/// the histogram fixed-size and trivially mergeable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; 65], count: 0, sum: 0, max: 0 }
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive value range covered by bucket `i`.
+fn bucket_range(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        _ => (1u64 << (i - 1), (1u64 << (i - 1)) | ((1u64 << (i - 1)) - 1)),
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(low, high, count)` ranges, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| {
+                let (lo, hi) = bucket_range(i);
+                (lo, hi, *n)
+            })
+            .collect()
+    }
+
+    /// Compact single-line rendering, e.g. `n=12 mean=96.0 max=512 [64..127:9 512..1023:3]`.
+    pub fn summary(&self) -> String {
+        let ranges: Vec<String> = self
+            .nonzero_buckets()
+            .iter()
+            .map(
+                |(lo, hi, n)| {
+                    if lo == hi {
+                        format!("{lo}:{n}")
+                    } else {
+                        format!("{lo}..{hi}:{n}")
+                    }
+                },
+            )
+            .collect();
+        format!("n={} mean={:.1} max={} [{}]", self.count, self.mean(), self.max, ranges.join(" "))
+    }
+
+    /// JSON object with count/sum/max/mean and the non-empty buckets.
+    pub fn to_json(&self) -> JsonValue {
+        let buckets = self
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(lo, hi, n)| obj(vec![("lo", lo.into()), ("hi", hi.into()), ("count", n.into())]))
+            .collect();
+        obj(vec![
+            ("count", self.count.into()),
+            ("sum", self.sum.into()),
+            ("max", self.max.into()),
+            ("mean", self.mean().into()),
+            ("buckets", JsonValue::Array(buckets)),
+        ])
+    }
+}
+
+/// Per-function instruction counts by tier (the tier-residency profile:
+/// where does each function's dynamic execution actually happen?).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TierResidency {
+    insts: [u64; 5],
+}
+
+fn tier_index(tier: Tier) -> usize {
+    match tier {
+        Tier::Interpreter => 0,
+        Tier::Baseline => 1,
+        Tier::Dfg => 2,
+        Tier::Ftl => 3,
+        Tier::Runtime => 4,
+    }
+}
+
+const TIER_ORDER: [Tier; 5] =
+    [Tier::Interpreter, Tier::Baseline, Tier::Dfg, Tier::Ftl, Tier::Runtime];
+
+impl TierResidency {
+    /// Instructions retired in `tier`.
+    pub fn get(&self, tier: Tier) -> u64 {
+        self.insts[tier_index(tier)]
+    }
+
+    /// Total instructions across all tiers.
+    pub fn total(&self) -> u64 {
+        self.insts.iter().sum()
+    }
+}
+
+/// The mergeable metrics registry fed by the tracer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Metrics {
+    /// Events seen, keyed by `TraceEvent::kind()`.
+    pub counters: BTreeMap<String, u64>,
+    /// Transaction aborts keyed by reason (`check:bounds`, `capacity`,
+    /// `sticky-overflow`, …).
+    pub aborts_by_reason: BTreeMap<String, u64>,
+    /// Write footprint (bytes) of committed transactions.
+    pub commit_footprint: Histogram,
+    /// Dynamic instructions per committed transaction.
+    pub commit_instructions: Histogram,
+    /// Write footprint (bytes) of aborted transactions at the abort point.
+    pub abort_footprint: Histogram,
+    /// Per-function tier-residency instruction counts, keyed by function
+    /// name. Fed by the VM (not derivable from lifecycle events alone).
+    pub residency: BTreeMap<String, TierResidency>,
+}
+
+impl Metrics {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments a named counter.
+    pub fn bump(&mut self, key: &str) {
+        *self.counters.entry(key.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Updates the registry from one event. Called by the tracer on emit.
+    pub fn observe(&mut self, event: &TraceEvent) {
+        self.bump(event.kind());
+        match event {
+            TraceEvent::TxCommit { footprint_bytes, instructions, .. } => {
+                self.commit_footprint.record(*footprint_bytes);
+                self.commit_instructions.record(*instructions);
+            }
+            TraceEvent::TxAbort { reason, footprint_bytes, .. } => {
+                let key = match reason {
+                    AbortReason::Check(kind) => format!("check:{}", check_name(*kind)),
+                    other => abort_reason_name(*other).to_owned(),
+                };
+                *self.aborts_by_reason.entry(key).or_insert(0) += 1;
+                self.abort_footprint.record(*footprint_bytes);
+            }
+            _ => {}
+        }
+    }
+
+    /// Credits `insts` retired instructions in `tier` to function `name`.
+    pub fn record_residency(&mut self, name: &str, tier: Tier, insts: u64) {
+        if insts == 0 {
+            return;
+        }
+        let entry = self.residency.entry(name.to_owned()).or_default();
+        entry.insts[tier_index(tier)] += insts;
+    }
+
+    /// Folds another registry into this one (counters add, histograms
+    /// merge, residency sums per function and tier).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.aborts_by_reason {
+            *self.aborts_by_reason.entry(k.clone()).or_insert(0) += v;
+        }
+        self.commit_footprint.merge(&other.commit_footprint);
+        self.commit_instructions.merge(&other.commit_instructions);
+        self.abort_footprint.merge(&other.abort_footprint);
+        for (name, res) in &other.residency {
+            let entry = self.residency.entry(name.clone()).or_default();
+            for (a, b) in entry.insts.iter_mut().zip(res.insts.iter()) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Multi-line human-readable summary (the `nomap trace` summary table).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("event counts:\n");
+        for (k, v) in &self.counters {
+            out.push_str(&format!("  {k:<14} {v}\n"));
+        }
+        if !self.aborts_by_reason.is_empty() {
+            out.push_str("aborts by reason:\n");
+            for (k, v) in &self.aborts_by_reason {
+                out.push_str(&format!("  {k:<20} {v}\n"));
+            }
+        }
+        if self.commit_footprint.count > 0 {
+            out.push_str(&format!(
+                "commit footprint (bytes): {}\n",
+                self.commit_footprint.summary()
+            ));
+            out.push_str(&format!(
+                "commit length (insts):    {}\n",
+                self.commit_instructions.summary()
+            ));
+        }
+        if self.abort_footprint.count > 0 {
+            out.push_str(&format!(
+                "abort footprint (bytes):  {}\n",
+                self.abort_footprint.summary()
+            ));
+        }
+        if !self.residency.is_empty() {
+            out.push_str("tier residency (insts by function):\n");
+            out.push_str(&format!(
+                "  {:<18} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+                "function", "interp", "baseline", "dfg", "ftl", "runtime"
+            ));
+            for (name, res) in &self.residency {
+                out.push_str(&format!(
+                    "  {:<18} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+                    name,
+                    res.get(Tier::Interpreter),
+                    res.get(Tier::Baseline),
+                    res.get(Tier::Dfg),
+                    res.get(Tier::Ftl),
+                    res.get(Tier::Runtime),
+                ));
+            }
+        }
+        out
+    }
+
+    /// JSON rendering of the full registry.
+    pub fn to_json(&self) -> JsonValue {
+        let counters =
+            self.counters.iter().map(|(k, v)| (k.clone(), JsonValue::from(*v))).collect();
+        let aborts =
+            self.aborts_by_reason.iter().map(|(k, v)| (k.clone(), JsonValue::from(*v))).collect();
+        let residency = self
+            .residency
+            .iter()
+            .map(|(name, res)| {
+                let tiers = TIER_ORDER
+                    .iter()
+                    .map(|t| (tier_name(*t).to_owned(), JsonValue::from(res.get(*t))))
+                    .collect();
+                (name.clone(), JsonValue::Object(tiers))
+            })
+            .collect();
+        obj(vec![
+            ("counters", JsonValue::Object(counters)),
+            ("aborts_by_reason", JsonValue::Object(aborts)),
+            ("commit_footprint", self.commit_footprint.to_json()),
+            ("commit_instructions", self.commit_instructions.to_json()),
+            ("abort_footprint", self.abort_footprint.to_json()),
+            ("tier_residency", JsonValue::Object(residency)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use nomap_machine::CheckKind;
+
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 8);
+        assert_eq!(h.max, 1024);
+        let buckets = h.nonzero_buckets();
+        assert!(buckets.contains(&(0, 0, 1)));
+        assert!(buckets.contains(&(2, 3, 2)));
+        assert!(buckets.contains(&(4, 7, 2)));
+        assert!(buckets.contains(&(1024, 2047, 1)));
+    }
+
+    #[test]
+    fn histogram_merge_matches_direct_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut direct = Histogram::new();
+        for v in [3, 9, 200] {
+            a.record(v);
+            direct.record(v);
+        }
+        for v in [0, 9, 4096] {
+            b.record(v);
+            direct.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, direct);
+        assert_eq!(a.mean(), direct.mean());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut m = Metrics::new();
+        m.observe(&TraceEvent::TxCommit {
+            func: 1,
+            footprint_bytes: 64,
+            max_assoc: 2,
+            instructions: 500,
+        });
+        m.observe(&TraceEvent::TxAbort {
+            func: Some(1),
+            reason: AbortReason::Capacity,
+            footprint_bytes: 4096,
+            undone_words: 100,
+            instructions: 9000,
+        });
+        m.record_residency("run", Tier::Ftl, 12345);
+
+        let snapshot = m.clone();
+        m.merge(&Metrics::new());
+        assert_eq!(m, snapshot, "merging an empty registry must be a no-op");
+
+        let mut empty = Metrics::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot, "merging into an empty registry must copy");
+    }
+
+    #[test]
+    fn merge_sums_counters_aborts_and_residency() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        for _ in 0..3 {
+            a.observe(&TraceEvent::TxAbort {
+                func: Some(0),
+                reason: AbortReason::Check(CheckKind::Bounds),
+                footprint_bytes: 8,
+                undone_words: 1,
+                instructions: 10,
+            });
+        }
+        b.observe(&TraceEvent::TxAbort {
+            func: Some(0),
+            reason: AbortReason::Check(CheckKind::Bounds),
+            footprint_bytes: 16,
+            undone_words: 2,
+            instructions: 20,
+        });
+        b.observe(&TraceEvent::TxAbort {
+            func: Some(0),
+            reason: AbortReason::StickyOverflow,
+            footprint_bytes: 0,
+            undone_words: 0,
+            instructions: 5,
+        });
+        a.record_residency("f", Tier::Interpreter, 100);
+        b.record_residency("f", Tier::Interpreter, 11);
+        b.record_residency("f", Tier::Ftl, 7);
+        b.record_residency("g", Tier::Baseline, 2);
+
+        a.merge(&b);
+        assert_eq!(a.counters["tx-abort"], 5);
+        assert_eq!(a.aborts_by_reason["check:bounds"], 4);
+        assert_eq!(a.aborts_by_reason["sticky-overflow"], 1);
+        assert_eq!(a.abort_footprint.count, 5);
+        assert_eq!(a.residency["f"].get(Tier::Interpreter), 111);
+        assert_eq!(a.residency["f"].get(Tier::Ftl), 7);
+        assert_eq!(a.residency["g"].get(Tier::Baseline), 2);
+        assert_eq!(a.residency["f"].total(), 118);
+    }
+}

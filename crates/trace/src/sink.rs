@@ -1,0 +1,174 @@
+//! Trace sinks: where emitted events go.
+//!
+//! Two built-in sinks cover the common cases — a bounded in-memory ring
+//! buffer for post-hoc queries from tests and the CLI, and a JSON-Lines
+//! writer for offline analysis. Custom sinks implement [`TraceSink`].
+
+use std::io::Write;
+
+use crate::event::TraceEvent;
+
+/// A consumer of trace events. `seq` and `cycles` form the deterministic
+/// envelope (emission order and the VM cycle counter at emission).
+pub trait TraceSink {
+    /// Called once per emitted event, in emission order.
+    fn record(&mut self, seq: u64, cycles: u64, event: &TraceEvent);
+
+    /// Flushes any buffered output. Called by `Tracer::flush` and on drop
+    /// of the owning tracer where applicable.
+    fn flush(&mut self) {}
+}
+
+/// An event plus its envelope, as retained by [`RingSink`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recorded {
+    /// Emission sequence number (0-based, monotonic).
+    pub seq: u64,
+    /// VM cycle counter when the event was emitted.
+    pub cycles: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Bounded in-memory buffer keeping the most recent events. When full, the
+/// oldest event is dropped and [`RingSink::dropped`] is incremented, so a
+/// long run cannot exhaust memory while the tail — usually what a
+/// post-mortem query wants — is always available.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: Vec<Recorded>,
+    capacity: usize,
+    head: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink { buf: Vec::new(), capacity: capacity.max(1), head: 0, dropped: 0 }
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> Vec<Recorded> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        if self.buf.len() < self.capacity {
+            out.extend(self.buf.iter().cloned());
+        } else {
+            out.extend(self.buf[self.head..].iter().cloned());
+            out.extend(self.buf[..self.head].iter().cloned());
+        }
+        out
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, seq: u64, cycles: u64, event: &TraceEvent) {
+        let rec = Recorded { seq, cycles, event: event.clone() };
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Streams events as JSON Lines: one compact JSON object per line, each
+/// stamped with the schema version (`"v"`). Any line can be parsed on its
+/// own, so partial files from interrupted runs remain usable.
+pub struct JsonlSink<W: Write> {
+    out: W,
+    /// I/O errors are counted rather than panicking the VM; tracing must
+    /// never take down the run it observes.
+    pub write_errors: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, write_errors: 0 }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, seq: u64, cycles: u64, event: &TraceEvent) {
+        let mut line = event.to_json(seq, cycles).render();
+        line.push('\n');
+        if self.out.write_all(line.as_bytes()).is_err() {
+            self.write_errors += 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.out.flush().is_err() {
+            self.write_errors += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u32) -> TraceEvent {
+        TraceEvent::TxBegin { func: n, name: format!("f{n}") }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let mut ring = RingSink::new(3);
+        for i in 0..5u32 {
+            ring.record(i as u64, i as u64 * 10, &ev(i));
+        }
+        let got = ring.events();
+        assert_eq!(got.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn ring_below_capacity_returns_all() {
+        let mut ring = RingSink::new(8);
+        ring.record(0, 0, &ev(0));
+        ring.record(1, 5, &ev(1));
+        assert_eq!(ring.events().len(), 2);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn jsonl_emits_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(0, 1, &ev(0));
+        sink.record(1, 2, &ev(1));
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"ev\":\"tx-begin\""));
+        }
+    }
+}

@@ -2,21 +2,25 @@
 //!
 //! ```text
 //! nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]
+//! nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]
 //! nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]
 //! nomap archs
 //! ```
 //!
 //! The script's top level runs once; if it defines `run()`, that function is
-//! warmed to steady state and measured.
+//! warmed to steady state and measured. `trace` replays the same protocol
+//! with lifecycle-event tracing enabled and prints a timeline plus a
+//! metrics summary (optionally streaming every event as JSON Lines).
 
 use std::process::ExitCode;
 
-use nomap_vm::{Architecture, CheckKind, InstCategory, Tier, TierLimit, Vm, VmConfig};
+use nomap_vm::{Architecture, CheckKind, InstCategory, JsonlSink, Tier, TierLimit, Vm, VmConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("archs") => {
             for a in Architecture::ALL {
@@ -26,7 +30,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage:\n  nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]\n  nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]\n  nomap archs"
+                "usage:\n  nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]\n  nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]\n  nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]\n  nomap archs"
             );
             ExitCode::from(2)
         }
@@ -48,10 +52,7 @@ fn parse_tier_limit(s: &str) -> Option<TierLimit> {
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn build_vm(args: &[String]) -> Result<(Vm, bool), String> {
@@ -63,8 +64,7 @@ fn build_vm(args: &[String]) -> Result<(Vm, bool), String> {
     };
     let mut config = VmConfig::new(arch);
     if let Some(s) = flag_value(args, "--tier") {
-        config.tier_limit =
-            parse_tier_limit(s).ok_or_else(|| format!("unknown tier cap `{s}`"))?;
+        config.tier_limit = parse_tier_limit(s).ok_or_else(|| format!("unknown tier cap `{s}`"))?;
     }
     let vm = Vm::with_config(&src, config).map_err(|e| e.to_string())?;
     let stats = args.iter().any(|a| a == "--stats");
@@ -79,37 +79,27 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let warmup: u32 = flag_value(args, "--warmup")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(120);
+    let warmup: u32 = flag_value(args, "--warmup").and_then(|s| s.parse().ok()).unwrap_or(120);
     if let Err(e) = vm.run_main() {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
     print!("{}", vm.output());
     if vm.program.function_ids.contains_key("run") {
-        let mut last = None;
         for _ in 0..warmup {
-            match vm.call("run", &[]) {
-                Ok(v) => last = Some(v),
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
+            if let Err(e) = vm.call("run", &[]) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
             }
         }
         vm.reset_stats();
         match vm.call("run", &[]) {
-            Ok(v) => {
-                println!("run() = {v:?}");
-                last = Some(v);
-            }
+            Ok(v) => println!("run() = {v:?}"),
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         }
-        let _ = last;
     }
     if want_stats {
         let s = &vm.stats;
@@ -118,7 +108,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
         for c in InstCategory::ALL {
             println!("  {:<8}   : {}", format!("{c:?}"), s.insts(c));
         }
-        println!("cycles       : {} (TM {}, non-TM {})", s.total_cycles(), s.cycles_tm, s.cycles_non_tm);
+        println!(
+            "cycles       : {} (TM {}, non-TM {})",
+            s.total_cycles(),
+            s.cycles_tm,
+            s.cycles_non_tm
+        );
         println!("checks       : {}", s.total_checks());
         for k in CheckKind::ALL {
             println!("  {:<9}  : {}", format!("{k:?}"), s.checks(k));
@@ -130,6 +125,69 @@ fn cmd_run(args: &[String]) -> ExitCode {
             s.total_aborts()
         );
         println!("deopts       : {}", s.deopts);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let (mut vm, _) = match build_vm(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let warmup: u32 = flag_value(args, "--warmup").and_then(|s| s.parse().ok()).unwrap_or(120);
+    let ring: usize = flag_value(args, "--ring").and_then(|s| s.parse().ok()).unwrap_or(65536);
+    let show_last: usize = flag_value(args, "--last").and_then(|s| s.parse().ok()).unwrap_or(40);
+    vm.enable_tracing(ring);
+    let jsonl_path = flag_value(args, "--jsonl").map(str::to_owned);
+    if let Some(path) = &jsonl_path {
+        match std::fs::File::create(path) {
+            Ok(f) => vm.add_trace_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(f)))),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = vm.run_main() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    print!("{}", vm.output());
+    if vm.program.function_ids.contains_key("run") {
+        for _ in 0..=warmup {
+            if let Err(e) = vm.call("run", &[]) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    vm.flush_trace();
+
+    let events = vm.trace();
+    let total = vm.trace_emitted();
+    println!("--- event timeline ({} under {}) ---", total, vm.config.arch.name());
+    if events.len() < total as usize {
+        println!("(ring retained the most recent {} of {total} events)", events.len());
+    }
+    let skip = events.len().saturating_sub(show_last);
+    if skip > 0 {
+        println!("... {skip} earlier events (rerun with --last N to see more) ...");
+    }
+    for rec in &events[skip..] {
+        println!("{}", rec.event.render(rec.seq, rec.cycles));
+    }
+    println!();
+    println!("--- trace summary ---");
+    print!("{}", vm.trace_metrics().summary());
+    println!(
+        "compiles: {} dfg, {} ftl; deopts: {}",
+        vm.stats.dfg_compiles, vm.stats.ftl_compiles, vm.stats.deopts
+    );
+    if let Some(path) = &jsonl_path {
+        println!("jsonl: {total} events written to {path}");
     }
     ExitCode::SUCCESS
 }
@@ -176,9 +234,7 @@ fn cmd_disasm(args: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         None => {
-            eprintln!(
-                "error: `{func}` has no {tier:?} code (not hot enough, or unknown function)"
-            );
+            eprintln!("error: `{func}` has no {tier:?} code (not hot enough, or unknown function)");
             ExitCode::FAILURE
         }
     }

@@ -7,8 +7,9 @@ use std::rc::Rc;
 
 use nomap_bytecode::{FuncId, Intrinsic};
 use nomap_jit::{CompiledFn, StackMapEntry, ValueRepr};
-use nomap_machine::{AbortReason, HtmKind, InstCategory, MReg, MachInst, Tier};
+use nomap_machine::{AbortReason, CheckKind, HtmKind, InstCategory, MReg, MachInst, Tier};
 use nomap_runtime::{Access, Value};
+use nomap_trace::TraceEvent;
 
 use crate::error::{Flow, VmError};
 use crate::vm::{TxFallback, Vm};
@@ -75,6 +76,10 @@ impl Vm {
             InstCategory::TmUnopt
         };
         self.stats.add_insts(cat, code.tier, n);
+        if self.tracer.is_enabled() {
+            let name = self.funcs[code.func.0 as usize].name.clone();
+            self.tracer.record_residency(&name, code.tier, n);
+        }
         let cycles = n * self.timing.per_inst;
         if in_tx {
             self.stats.cycles_tm += cycles;
@@ -153,6 +158,12 @@ impl Vm {
     /// counters, and returns the unwinding signal.
     pub(crate) fn trigger_abort(&mut self, reason: AbortReason) -> Flow {
         self.stats.add_abort(reason);
+        // Footprint/length must be sampled before the rollback wipes them.
+        let trace_ctx = if self.tracer.is_enabled() {
+            Some((self.tx.write_footprint_bytes(&self.htm), self.tx.instructions))
+        } else {
+            None
+        };
         // Roll back (the undo log already holds pre-transaction values).
         let undone = self.tx.abort(&mut self.rt.mem);
         self.rt.mem.clear_log(); // rollback pokes are not program traffic
@@ -160,6 +171,17 @@ impl Vm {
         let cycles = self.timing.abort_base + self.timing.abort_per_word * undone as u64;
         self.stats.cycles_non_tm += cycles;
         let owner = self.tx_fallback.as_ref().map(|f| f.func);
+        if let Some((footprint_bytes, instructions)) = trace_ctx {
+            let ev = TraceEvent::TxAbort {
+                func: owner.map(|f| f.0),
+                reason,
+                footprint_bytes,
+                undone_words: undone as u64,
+                instructions,
+            };
+            let now = self.stats.total_cycles();
+            self.tracer.emit(now, move || ev);
+        }
         if let Some(func) = owner {
             match reason {
                 AbortReason::Capacity => {
@@ -254,9 +276,20 @@ fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
                 });
             }
             MachInst::NegI32 { dst, a } => {
-                int32_arith(vm, r, dst, a, None, |x, _| {
-                    if x == 0 { None } else { x.checked_neg() }
-                });
+                int32_arith(
+                    vm,
+                    r,
+                    dst,
+                    a,
+                    None,
+                    |x, _| {
+                        if x == 0 {
+                            None
+                        } else {
+                            x.checked_neg()
+                        }
+                    },
+                );
             }
             MachInst::FAlu { op, dst, a, b } => {
                 r[dst.0 as usize] = op.apply_bits(r[a.0 as usize], r[b.0 as usize]);
@@ -283,8 +316,7 @@ fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
                 r[dst.0 as usize] = Value::new_int32(r[src.0 as usize] as u32 as i32).to_bits();
             }
             MachInst::BoxF64 { dst, src } => {
-                r[dst.0 as usize] =
-                    Value::new_double(f64::from_bits(r[src.0 as usize])).to_bits();
+                r[dst.0 as usize] = Value::new_double(f64::from_bits(r[src.0 as usize])).to_bits();
             }
             MachInst::BoxBool { dst, src } => {
                 r[dst.0 as usize] = Value::new_bool(r[src.0 as usize] != 0).to_bits();
@@ -300,14 +332,8 @@ fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
                 r[dst.0 as usize] = (x.wrapping_shr(y) as i32) as i64 as u64;
             }
             MachInst::MathF64 { intr, dst, args } => {
-                let a0 = args
-                    .first()
-                    .map(|m| f64::from_bits(r[m.0 as usize]))
-                    .unwrap_or(f64::NAN);
-                let a1 = args
-                    .get(1)
-                    .map(|m| f64::from_bits(r[m.0 as usize]))
-                    .unwrap_or(f64::NAN);
+                let a0 = args.first().map(|m| f64::from_bits(r[m.0 as usize])).unwrap_or(f64::NAN);
+                let a1 = args.get(1).map(|m| f64::from_bits(r[m.0 as usize])).unwrap_or(f64::NAN);
                 let (val, extra) = exec_math(vm, intr, a0, a1);
                 r[dst.0 as usize] = val.to_bits();
                 if extra > 0 {
@@ -395,17 +421,14 @@ fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
                 if vm.tx.active()
                     && matches!(func, nomap_runtime::RuntimeFn::Intrinsic(Intrinsic::Print))
                 {
-                    let flow = vm.trigger_abort(AbortReason::Check(
-                        nomap_machine::CheckKind::Other,
-                    ));
+                    let flow =
+                        vm.trigger_abort(AbortReason::Check(nomap_machine::CheckKind::Other));
                     return handle_own_abort(vm, frame, flow);
                 }
                 let argv: Vec<Value> =
                     args.iter().map(|m| Value::from_bits(r[m.0 as usize])).collect();
                 vm.rt.charge(vm.rt.costs.call_overhead);
-                let result = func
-                    .dispatch(&mut vm.rt, &argv, site)
-                    .map_err(VmError::from)?;
+                let result = func.dispatch(&mut vm.rt, &argv, site).map_err(VmError::from)?;
                 let charged = vm.rt.take_charged();
                 vm.count_runtime(charged);
                 r[dst.0 as usize] = result.to_bits();
@@ -445,7 +468,7 @@ fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
                     vm.stats.add_check(kind);
                 }
                 if r[cond.0 as usize] != 0 {
-                    take_deopt(vm, frame, smp)?;
+                    take_deopt(vm, frame, smp, kind)?;
                 }
             }
             MachInst::DeoptIfOverflow { smp } => {
@@ -453,7 +476,7 @@ fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
                     vm.stats.add_check(nomap_machine::CheckKind::Overflow);
                 }
                 if vm_of(vm) {
-                    take_deopt(vm, frame, smp)?;
+                    take_deopt(vm, frame, smp, CheckKind::Overflow)?;
                 }
             }
             MachInst::AbortIf { cond, kind } => {
@@ -466,8 +489,8 @@ fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
             MachInst::AbortIfOverflow => {
                 vm.stats.add_check(nomap_machine::CheckKind::Overflow);
                 if vm_of(vm) {
-                    let flow = vm
-                        .trigger_abort(AbortReason::Check(nomap_machine::CheckKind::Overflow));
+                    let flow =
+                        vm.trigger_abort(AbortReason::Check(nomap_machine::CheckKind::Overflow));
                     return handle_own_abort(vm, frame, flow);
                 }
             }
@@ -485,6 +508,14 @@ fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
                     });
                     vm.tx_saw_call = false;
                     vm.stats.tx_begun += 1;
+                    if vm.tracer.is_enabled() {
+                        let ev = TraceEvent::TxBegin {
+                            func: frame.code.func.0,
+                            name: vm.funcs[frame.code.func.0 as usize].name.clone(),
+                        };
+                        let now = vm.stats.total_cycles();
+                        vm.tracer.emit(now, move || ev);
+                    }
                 }
                 let cyc = vm.timing.xbegin_cycles(vm.htm.kind);
                 vm.stats.cycles_tm += cyc;
@@ -497,6 +528,16 @@ fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
                     vm.tx_fallback = None;
                     let cyc = vm.timing.xend_cycles(vm.htm.kind);
                     vm.stats.cycles_non_tm += cyc;
+                    if vm.tracer.is_enabled() {
+                        let ev = TraceEvent::TxCommit {
+                            func: frame.code.func.0,
+                            footprint_bytes: outcome.write_footprint_bytes,
+                            max_assoc: outcome.max_assoc,
+                            instructions: outcome.instructions,
+                        };
+                        let now = vm.stats.total_cycles();
+                        vm.tracer.emit(now, move || ev);
+                    }
                 }
                 Ok(None) => {}
                 Err(reason) => {
@@ -572,10 +613,16 @@ fn handle_own_abort(vm: &mut Vm, frame: &mut Frame, flow: Flow) -> Result<Value,
     }
 }
 
-/// OSR exit: deoptimize this frame to Baseline through stack map `smp`.
-/// Inside a transaction this becomes a full abort (the paper's TMUnopt
-/// SMPs): roll back and re-enter through the transaction fallback instead.
-fn take_deopt(vm: &mut Vm, frame: &mut Frame, smp: nomap_machine::SmpId) -> Result<(), Flow> {
+/// OSR exit: deoptimize this frame to Baseline through stack map `smp`
+/// because a `kind` check failed. Inside a transaction this becomes a full
+/// abort (the paper's TMUnopt SMPs): roll back and re-enter through the
+/// transaction fallback instead.
+fn take_deopt(
+    vm: &mut Vm,
+    frame: &mut Frame,
+    smp: nomap_machine::SmpId,
+    kind: CheckKind,
+) -> Result<(), Flow> {
     vm.stats.deopts += 1;
     vm.rt.profiles.func_mut(frame.code.func).deopt_count += 1;
     if vm.tx.active() {
@@ -597,6 +644,17 @@ fn take_deopt(vm: &mut Vm, frame: &mut Frame, smp: nomap_machine::SmpId) -> Resu
     let entry = frame.code.stack_maps[smp.0 as usize].clone();
     let values = snapshot(frame, &entry);
     let func = frame.code.func;
+    if vm.tracer.is_enabled() {
+        let ev = TraceEvent::Deopt {
+            func: func.0,
+            name: vm.funcs[func.0 as usize].name.clone(),
+            smp: smp.0,
+            bc: entry.bc,
+            kind,
+        };
+        let now = vm.stats.total_cycles();
+        vm.tracer.emit(now, move || ev);
+    }
     materialize_baseline(vm, frame, func, entry.bc, &values);
     Ok(())
 }

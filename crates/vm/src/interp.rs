@@ -47,8 +47,7 @@ pub(crate) fn interpret(vm: &mut Vm, id: FuncId, args: &[Value]) -> Result<Value
             }
             Op::Unary { op, dst, a, site: s } => {
                 let va = regs[a.0 as usize];
-                regs[dst.0 as usize] =
-                    RuntimeFn::Unary(op).dispatch(&mut vm.rt, &[va], site(s))?;
+                regs[dst.0 as usize] = RuntimeFn::Unary(op).dispatch(&mut vm.rt, &[va], site(s))?;
             }
             Op::Jump { target } => {
                 if target <= pc {
@@ -69,8 +68,7 @@ pub(crate) fn interpret(vm: &mut Vm, id: FuncId, args: &[Value]) -> Result<Value
             Op::NewObject { dst } => regs[dst.0 as usize] = vm.rt.new_object()?,
             Op::NewArray { dst, len } => {
                 let l = regs[len.0 as usize];
-                regs[dst.0 as usize] =
-                    RuntimeFn::NewArray.dispatch(&mut vm.rt, &[l], None)?;
+                regs[dst.0 as usize] = RuntimeFn::NewArray.dispatch(&mut vm.rt, &[l], None)?;
             }
             Op::GetProp { dst, obj, name, site: s } => {
                 let o = regs[obj.0 as usize];
@@ -100,13 +98,12 @@ pub(crate) fn interpret(vm: &mut Vm, id: FuncId, args: &[Value]) -> Result<Value
                 vm.rt.put_global(name, v);
             }
             Op::Call { dst, func: callee, argv, argc, .. } => {
-                let args: Vec<Value> = (0..argc as usize)
-                    .map(|i| regs[argv.0 as usize + i])
-                    .collect();
+                let args: Vec<Value> =
+                    (0..argc as usize).map(|i| regs[argv.0 as usize + i]).collect();
                 // Account for this opcode before recursing so attribution
                 // nests correctly.
                 vm.rt.charge(vm.rt.costs.js_call);
-                account(vm)?;
+                account(vm, id)?;
                 let r = vm.call_function(callee, &args)?;
                 regs[dst.0 as usize] = r;
                 pc = next;
@@ -116,23 +113,21 @@ pub(crate) fn interpret(vm: &mut Vm, id: FuncId, args: &[Value]) -> Result<Value
                 // Irrevocable I/O aborts the enclosing transaction first
                 // (paper §V-A).
                 if vm.tx.active() && intr == nomap_bytecode::Intrinsic::Print {
-                    return Err(vm.trigger_abort(
-                        nomap_machine::AbortReason::Check(nomap_machine::CheckKind::Other),
-                    ));
+                    return Err(vm.trigger_abort(nomap_machine::AbortReason::Check(
+                        nomap_machine::CheckKind::Other,
+                    )));
                 }
-                let args: Vec<Value> = (0..argc as usize)
-                    .map(|i| regs[argv.0 as usize + i])
-                    .collect();
-                regs[dst.0 as usize] =
-                    vm.rt.call_intrinsic(intr, &args, site(s))?;
+                let args: Vec<Value> =
+                    (0..argc as usize).map(|i| regs[argv.0 as usize + i]).collect();
+                regs[dst.0 as usize] = vm.rt.call_intrinsic(intr, &args, site(s))?;
             }
             Op::Return { src } => {
                 let v = regs[src.0 as usize];
-                account(vm)?;
+                account(vm, id)?;
                 return Ok(v);
             }
         }
-        account(vm)?;
+        account(vm, id)?;
         pc = next;
     }
 }
@@ -141,9 +136,13 @@ pub(crate) fn interpret(vm: &mut Vm, id: FuncId, args: &[Value]) -> Result<Value
 /// attributes the instructions, processes memory traffic and advances the
 /// cycle model. Interpreted code can run *inside* a transaction (called
 /// from FTL NoMap code), so capacity aborts can surface here too.
-fn account(vm: &mut Vm) -> Result<(), Flow> {
+fn account(vm: &mut Vm, id: FuncId) -> Result<(), Flow> {
     let insts = vm.rt.costs.interp_dispatch + vm.rt.take_charged();
     vm.stats.add_insts(InstCategory::NoFtl, Tier::Interpreter, insts);
+    if vm.tracer.is_enabled() {
+        let name = vm.funcs[id.0 as usize].name.clone();
+        vm.tracer.record_residency(&name, Tier::Interpreter, insts);
+    }
     let cycles = insts * vm.timing.per_inst;
     if vm.tx.active() {
         vm.stats.cycles_tm += cycles;

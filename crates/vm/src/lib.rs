@@ -40,5 +40,6 @@ pub use nomap_core::{Architecture, TxnScope};
 pub use nomap_ir::passes::PassConfig;
 pub use nomap_machine::{CheckKind, ExecStats, InstCategory, Tier, TxCharacter};
 pub use nomap_runtime::Value;
+pub use nomap_trace::{JsonlSink, Metrics, Recorded, TraceEvent, Tracer};
 pub use tiering::{TierLimit, TierThresholds};
 pub use vm::{Vm, VmConfig};

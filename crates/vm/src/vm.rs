@@ -4,12 +4,13 @@ use std::rc::Rc;
 
 use nomap_bytecode::{compile_program, FuncId, Function, Program};
 use nomap_core::{
-    compile_dfg, compile_ftl_with, compile_txn_callee, next_scope, Architecture, TxnScope,
+    compile_dfg, compile_ftl_with_report, compile_txn_callee, next_scope, Architecture, TxnScope,
 };
 use nomap_ir::passes::PassConfig;
 use nomap_jit::{compile_baseline, CompiledFn};
 use nomap_machine::{CacheSim, ExecStats, HtmModel, Tier, Timing, TxState};
 use nomap_runtime::{Access, Runtime, Value};
+use nomap_trace::{Metrics, Recorded, TraceEvent, TraceSink, Tracer};
 
 use crate::error::{Flow, VmError};
 use crate::tiering::{TierLimit, TierThresholds};
@@ -74,14 +75,7 @@ impl CodeState {
         } else {
             TxnScope::None
         };
-        CodeState {
-            baseline: None,
-            dfg: None,
-            ftl: None,
-            ftl_callee: None,
-            scope,
-            check_aborts: 0,
-        }
+        CodeState { baseline: None, dfg: None, ftl: None, ftl_callee: None, scope, check_aborts: 0 }
     }
 }
 
@@ -122,6 +116,8 @@ pub struct Vm {
     pub(crate) log_buf: Vec<Access>,
     /// Machine overflow flag (set by int32 arithmetic).
     pub(crate) of: bool,
+    /// Lifecycle-event tracer (disabled by default; observation-only).
+    pub(crate) tracer: Tracer,
 }
 
 impl Vm {
@@ -142,16 +138,11 @@ impl Vm {
     pub fn with_config(source: &str, config: VmConfig) -> Result<Vm, VmError> {
         let program = compile_program(source)?;
         let mut rt = Runtime::new();
-        rt.length_name = Some(program.interner.get("length").map_or_else(
-            || {
-                // Not referenced by the program; reserve an id that no
-                // program name can collide with.
-                nomap_bytecode::NameId(u32::MAX)
-            },
-            |id| id,
-        ));
-        let funcs: Vec<Rc<Function>> =
-            program.functions.iter().cloned().map(Rc::new).collect();
+        // When "length" is not referenced by the program, reserve an id
+        // that no program name can collide with.
+        rt.length_name =
+            Some(program.interner.get("length").unwrap_or(nomap_bytecode::NameId(u32::MAX)));
+        let funcs: Vec<Rc<Function>> = program.functions.iter().cloned().map(Rc::new).collect();
         let code = (0..funcs.len()).map(|_| CodeState::new(&config)).collect();
         let stack_base = rt.mem.stack_base();
         Ok(Vm {
@@ -171,6 +162,7 @@ impl Vm {
             tx_saw_call: false,
             log_buf: Vec::new(),
             of: false,
+            tracer: Tracer::disabled(),
         })
     }
 
@@ -276,6 +268,49 @@ impl Vm {
         ])
     }
 
+    // ---- tracing ---------------------------------------------------------
+
+    /// Enables lifecycle-event tracing with an in-memory ring retaining the
+    /// most recent `ring_capacity` events. Tracing is observation-only: it
+    /// never changes [`ExecStats`] or program results.
+    pub fn enable_tracing(&mut self, ring_capacity: usize) {
+        self.tracer = Tracer::enabled(ring_capacity);
+    }
+
+    /// Attaches an additional trace sink (e.g. a
+    /// [`nomap_trace::JsonlSink`]). Only useful after [`Vm::enable_tracing`].
+    pub fn add_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.tracer.add_sink(sink);
+    }
+
+    /// Events retained in the trace ring, oldest first (empty when tracing
+    /// is disabled).
+    pub fn trace(&self) -> Vec<Recorded> {
+        self.tracer.events()
+    }
+
+    /// Aggregated trace metrics (counters, abort breakdowns, histograms,
+    /// tier residency).
+    pub fn trace_metrics(&self) -> &Metrics {
+        self.tracer.metrics()
+    }
+
+    /// Total events emitted since tracing was enabled (including events the
+    /// ring has since evicted).
+    pub fn trace_emitted(&self) -> u64 {
+        self.tracer.emitted()
+    }
+
+    /// Flushes attached trace sinks.
+    pub fn flush_trace(&mut self) {
+        self.tracer.flush();
+    }
+
+    /// Source-level name of `id` (`"«main»"` for the top-level script).
+    pub fn func_name(&self, id: FuncId) -> &str {
+        &self.funcs[id.0 as usize].name
+    }
+
     // ---- internal --------------------------------------------------------
 
     pub(crate) fn call_function(&mut self, id: FuncId, args: &[Value]) -> Result<Value, Flow> {
@@ -323,21 +358,37 @@ impl Vm {
             && self.code[id.0 as usize].baseline.is_none()
         {
             let c = compile_baseline(&func, &mut self.rt);
+            self.emit_tier_up(id, Tier::Baseline, c.code.len(), None, false);
             self.code[id.0 as usize].baseline = Some(Rc::new(c));
         }
         if limit.allows(Tier::Dfg) && hot >= th.dfg && self.code[id.0 as usize].dfg.is_none() {
             let c = compile_dfg(&func, &mut self.rt).map_err(VmError::from)?;
+            self.stats.dfg_compiles += 1;
+            self.emit_tier_up(id, Tier::Dfg, c.code.len(), None, false);
             self.code[id.0 as usize].dfg = Some(Rc::new(c));
-            self.stats.ftl_compiles += 0; // dfg compiles are not tracked
         }
         if limit.allows(Tier::Ftl) && hot >= th.ftl && self.code[id.0 as usize].ftl.is_none() {
             let scope = self.code[id.0 as usize].scope;
             let passes = self.config.ftl_passes.unwrap_or_else(PassConfig::ftl);
-            let c = compile_ftl_with(&func, &mut self.rt, self.config.arch, scope, passes)
-                .map_err(VmError::from)?;
+            let (c, report) =
+                compile_ftl_with_report(&func, &mut self.rt, self.config.arch, scope, passes)
+                    .map_err(VmError::from)?;
+            self.stats.ftl_compiles += 1;
+            self.emit_tier_up(id, Tier::Ftl, c.code.len(), Some(scope), false);
+            if self.tracer.is_enabled() {
+                let ev = TraceEvent::PassOutcome {
+                    func: id.0,
+                    name: func.name.clone(),
+                    transactions_placed: report.transactions_placed,
+                    checks_to_aborts: report.checks_to_aborts,
+                    bounds_combined: report.bounds_combined,
+                    overflow_removed: report.overflow_removed,
+                };
+                let cycles = self.stats.total_cycles();
+                self.tracer.emit(cycles, move || ev);
+            }
             self.code[id.0 as usize].ftl = Some(Rc::new(c));
             self.code[id.0 as usize].check_aborts = 0;
-            self.stats.ftl_compiles += 1;
         }
         if self.config.txn_callees
             && self.config.arch.uses_transactions()
@@ -348,19 +399,57 @@ impl Vm {
             let passes = self.config.ftl_passes.unwrap_or_else(PassConfig::ftl);
             let c = compile_txn_callee(&func, &mut self.rt, self.config.arch, passes)
                 .map_err(VmError::from)?;
+            self.emit_tier_up(id, Tier::Ftl, c.code.len(), None, true);
             self.code[id.0 as usize].ftl_callee = Some(Rc::new(c));
         }
         Ok(())
+    }
+
+    /// Emits a [`TraceEvent::TierUp`] for a fresh compilation of `id`.
+    fn emit_tier_up(
+        &mut self,
+        id: FuncId,
+        tier: Tier,
+        code_len: usize,
+        scope: Option<TxnScope>,
+        txn_callee: bool,
+    ) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let ev = TraceEvent::TierUp {
+            func: id.0,
+            name: self.funcs[id.0 as usize].name.clone(),
+            tier,
+            code_len,
+            scope: scope.map(|s| format!("{s:?}")),
+            txn_callee,
+        };
+        let cycles = self.stats.total_cycles();
+        self.tracer.emit(cycles, move || ev);
     }
 
     /// Steps the §V-C ladder after a capacity abort of `func`'s transaction
     /// and schedules a recompile.
     pub(crate) fn shrink_transactions(&mut self, func: FuncId, saw_call: bool) {
         let cs = &mut self.code[func.0 as usize];
+        let from = cs.scope;
         cs.scope = next_scope(cs.scope, saw_call);
+        let to = cs.scope;
         cs.ftl = None; // recompiled at the next call with the new scope
         cs.ftl_callee = None;
         self.rt.profiles.func_mut(func).capacity_aborts += 1;
+        if self.tracer.is_enabled() {
+            let ev = TraceEvent::LadderStep {
+                func: func.0,
+                name: self.funcs[func.0 as usize].name.clone(),
+                from: format!("{from:?}"),
+                to: format!("{to:?}"),
+                saw_call,
+            };
+            let cycles = self.stats.total_cycles();
+            self.tracer.emit(cycles, move || ev);
+        }
     }
 
     /// Too many check aborts: profiles have been corrected by the Baseline
@@ -369,9 +458,19 @@ impl Vm {
         let cs = &mut self.code[func.0 as usize];
         cs.check_aborts += 1;
         if cs.check_aborts >= 10 {
+            let check_aborts = cs.check_aborts;
             cs.ftl = None;
             cs.ftl_callee = None;
             cs.check_aborts = 0;
+            if self.tracer.is_enabled() {
+                let ev = TraceEvent::Recompile {
+                    func: func.0,
+                    name: self.funcs[func.0 as usize].name.clone(),
+                    check_aborts,
+                };
+                let cycles = self.stats.total_cycles();
+                self.tracer.emit(cycles, move || ev);
+            }
         }
     }
 

@@ -2,7 +2,7 @@
 //! same answers, and the NoMap configurations must show the paper's
 //! qualitative effects.
 
-use nomap_vm::{Architecture, TierLimit, Tier, Value, Vm, VmConfig};
+use nomap_vm::{Architecture, Tier, TierLimit, Value, Vm, VmConfig};
 
 const SUM_LOOP: &str = "
     function sum(a, n) {
@@ -94,12 +94,7 @@ fn tier_limits_are_respected() {
 #[test]
 fn tiers_get_faster() {
     let mut insts = Vec::new();
-    for limit in [
-        TierLimit::Interpreter,
-        TierLimit::Baseline,
-        TierLimit::Dfg,
-        TierLimit::Ftl,
-    ] {
+    for limit in [TierLimit::Interpreter, TierLimit::Baseline, TierLimit::Dfg, TierLimit::Ftl] {
         let mut cfg = VmConfig::new(Architecture::Base);
         cfg.tier_limit = limit;
         let mut vm = Vm::with_config(SUM_LOOP, cfg).unwrap();
@@ -123,10 +118,7 @@ fn nomap_reduces_instructions_vs_base() {
     let (nomap, _) = run_hot(FIG4, Architecture::NoMap, 200);
     let bi = base.stats.total_insts();
     let ni = nomap.stats.total_insts();
-    assert!(
-        ni < bi,
-        "NoMap should beat Base on the Fig.4 kernel: base={bi} nomap={ni}"
-    );
+    assert!(ni < bi, "NoMap should beat Base on the Fig.4 kernel: base={bi} nomap={ni}");
 }
 
 #[test]
@@ -172,10 +164,7 @@ fn overflow_deopts_and_recovers() {
         let mut vm = Vm::new(src, arch).unwrap();
         vm.run_main().unwrap();
         for _ in 0..200 {
-            assert_eq!(
-                vm.call("run_small", &[]).unwrap(),
-                Value::new_int32(100_000_000)
-            );
+            assert_eq!(vm.call("run_small", &[]).unwrap(), Value::new_int32(100_000_000));
         }
         assert_eq!(vm.current_tier("acc"), Some(Tier::Ftl));
         let v = vm.call("run_big", &[]).unwrap();

@@ -83,7 +83,8 @@ mod tests {
             name: "tiny",
             suite: Suite::Shootout,
             in_avgs: false,
-            source: "function run() { var s = 0; for (var i = 0; i < 50; i++) { s += i; } return s; }",
+            source:
+                "function run() { var s = 0; for (var i = 0; i < 50; i++) { s += i; } return s; }",
         };
         let out = run_workload(&w, RunSpec::quick(nomap_vm::Architecture::Base)).unwrap();
         assert_eq!(out.checksum, Value::new_int32(1225));

@@ -78,30 +78,22 @@ mod tests {
 
     #[test]
     fn avgs_membership_matches_table_iii() {
-        let s: Vec<&str> = sunspider()
-            .iter()
-            .filter(|w| w.in_avgs)
-            .map(|w| w.id)
-            .collect();
+        let s: Vec<&str> = sunspider().iter().filter(|w| w.in_avgs).map(|w| w.id).collect();
         assert_eq!(
             s,
             [
-                "S01", "S03", "S04", "S05", "S06", "S07", "S10", "S11", "S12", "S13", "S14",
-                "S15", "S16", "S18", "S19", "S20"
+                "S01", "S03", "S04", "S05", "S06", "S07", "S10", "S11", "S12", "S13", "S14", "S15",
+                "S16", "S18", "S19", "S20"
             ]
         );
         let k: Vec<&str> = kraken().iter().filter(|w| w.in_avgs).map(|w| w.id).collect();
-        assert_eq!(
-            k,
-            ["K01", "K05", "K06", "K07", "K08", "K11", "K12", "K13", "K14"]
-        );
+        assert_eq!(k, ["K01", "K05", "K06", "K07", "K08", "K11", "K12", "K13", "K14"]);
     }
 
     #[test]
     fn all_sources_parse() {
         for w in evaluation_suites().iter().chain(shootout().iter()) {
-            nomap_bytecode::compile_program(w.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.id));
+            nomap_bytecode::compile_program(w.source).unwrap_or_else(|e| panic!("{}: {e}", w.id));
         }
     }
 }

@@ -53,11 +53,7 @@ fn binarytrees() -> NativeRun {
         if d <= 0 {
             return Tree { l: None, r: None, v: 1 };
         }
-        Tree {
-            l: Some(Box::new(make(d - 1, ops))),
-            r: Some(Box::new(make(d - 1, ops))),
-            v: d,
-        }
+        Tree { l: Some(Box::new(make(d - 1, ops))), r: Some(Box::new(make(d - 1, ops))), v: d }
     }
     fn check(t: &Tree, ops: &mut u64) -> i32 {
         *ops += 3;
@@ -111,10 +107,7 @@ fn fannkuchredux() -> NativeRun {
         ops += 3;
         loop {
             if r == n {
-                return NativeRun {
-                    checksum: (max_flips * 1000 + (checksum & 255)) as f64,
-                    ops,
-                };
+                return NativeRun { checksum: (max_flips * 1000 + (checksum & 255)) as f64, ops };
             }
             let p0 = perm1[0];
             for i in 0..r {
@@ -184,9 +177,9 @@ fn heapsort() -> NativeRun {
     }
     fn sift(heap: &mut [i64; HN], start: usize, end: usize, ops: &mut u64) {
         let mut root = start;
-        while root * 2 + 1 <= end {
+        while root * 2 < end {
             let mut child = root * 2 + 1;
-            if child + 1 <= end && heap[child] < heap[child + 1] {
+            if child < end && heap[child] < heap[child + 1] {
                 child += 1;
             }
             *ops += 6;
@@ -334,12 +327,7 @@ fn takfp() -> NativeRun {
         if y >= x {
             z
         } else {
-            tak(
-                tak(x - 1.0, y, z, ops),
-                tak(y - 1.0, z, x, ops),
-                tak(z - 1.0, x, y, ops),
-                ops,
-            )
+            tak(tak(x - 1.0, y, z, ops), tak(y - 1.0, z, x, ops), tak(z - 1.0, x, y, ops), ops)
         }
     }
     let mut ops = 0;

@@ -25,11 +25,7 @@ fn checksums_identical_across_architectures() {
                 .unwrap_or_else(|e| panic!("{} under {arch:?}: {e}", w.id));
             match &reference {
                 None => reference = Some(out.checksum),
-                Some(r) => assert_eq!(
-                    out.checksum, *r,
-                    "{} diverged under {arch:?}",
-                    w.id
-                ),
+                Some(r) => assert_eq!(out.checksum, *r, "{} diverged under {arch:?}", w.id),
             }
         }
     }
@@ -39,24 +35,15 @@ fn checksums_identical_across_architectures() {
 fn checksums_identical_across_tier_caps() {
     for w in &all_workloads() {
         let mut reference = None;
-        for limit in [
-            TierLimit::Interpreter,
-            TierLimit::Baseline,
-            TierLimit::Dfg,
-            TierLimit::Ftl,
-        ] {
+        for limit in [TierLimit::Interpreter, TierLimit::Baseline, TierLimit::Dfg, TierLimit::Ftl] {
             let mut spec = RunSpec::quick(Architecture::Base);
             spec.config.tier_limit = limit;
             spec.warmup = 30;
-            let out = run_workload(w, spec)
-                .unwrap_or_else(|e| panic!("{} at {limit:?}: {e}", w.id));
+            let out =
+                run_workload(w, spec).unwrap_or_else(|e| panic!("{} at {limit:?}: {e}", w.id));
             match &reference {
                 None => reference = Some(out.checksum),
-                Some(r) => assert_eq!(
-                    out.checksum, *r,
-                    "{} diverged at {limit:?}",
-                    w.id
-                ),
+                Some(r) => assert_eq!(out.checksum, *r, "{} diverged at {limit:?}", w.id),
             }
         }
     }

@@ -46,21 +46,18 @@ fn main() -> Result<(), nomap_vm::VmError> {
         }
         let s = &vm.stats;
         println!("── {} ──", arch.name());
-        println!("  capacity aborts (measured window)      : {} (ladder already settled)", s.tx_aborts[1]);
+        println!(
+            "  capacity aborts (measured window)      : {} (ladder already settled)",
+            s.tx_aborts[1]
+        );
         println!("  committed transactions (steady state) : {}", s.tx_committed);
         println!(
             "  write footprint avg/max                : {:.1} KB / {:.1} KB",
             s.tx_character.footprint_avg() / 1024.0,
             s.tx_character.footprint_max as f64 / 1024.0
         );
-        println!(
-            "  max speculative ways needed in a set   : {}",
-            s.tx_character.max_assoc
-        );
-        println!(
-            "  instructions per committed transaction : {:.0}",
-            s.tx_character.insts_avg()
-        );
+        println!("  max speculative ways needed in a set   : {}", s.tx_character.max_assoc);
+        println!("  instructions per committed transaction : {:.0}", s.tx_character.insts_avg());
         println!();
     }
     println!(

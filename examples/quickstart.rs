@@ -43,10 +43,7 @@ fn main() -> Result<(), nomap_vm::VmError> {
         println!("  {:<18} : {}", format!("{c:?}"), s.insts(c));
     }
     println!("  cycles (TM/non-TM) : {} / {}", s.cycles_tm, s.cycles_non_tm);
-    println!(
-        "  transactions       : {} begun, {} committed",
-        s.tx_begun, s.tx_committed
-    );
+    println!("  transactions       : {} begun, {} committed", s.tx_begun, s.tx_committed);
     println!("  checks executed    :");
     for k in CheckKind::ALL {
         println!(
@@ -56,9 +53,6 @@ fn main() -> Result<(), nomap_vm::VmError> {
             s.checks_per_100(k)
         );
     }
-    println!(
-        "  avg transaction write footprint: {:.0} bytes",
-        s.tx_character.footprint_avg()
-    );
+    println!("  avg transaction write footprint: {:.0} bytes", s.tx_character.footprint_avg());
     Ok(())
 }

@@ -1,0 +1,85 @@
+//! A tour of the `nomap-trace` observability layer.
+//!
+//! Runs a kernel whose write footprint overflows the HTM capacity, with
+//! lifecycle tracing enabled, then walks the recorded event stream: the
+//! abort-reason histogram, every §V-C ladder transition, the tier-up
+//! timeline for the hot function, and the metrics-registry summary that
+//! aggregates what the bounded ring may have evicted.
+//!
+//! Run with: `cargo run --release -p nomap-vm --example trace_tour`
+
+use nomap_vm::{Architecture, TraceEvent, Vm};
+
+// 40 K slots smashed per run: ~320 KB of speculative writes, comfortably
+// past the 256 KB ROT budget, so the scope ladder has to engage.
+const KERNEL: &str = "
+    var N = 40000;
+    var big = new Array(N);
+    function smash(seed) {
+        var acc = 0;
+        for (var i = 0; i < N; i++) {
+            big[i] = (i ^ seed) & 1023;
+            acc = (acc + big[i]) & 1048575;
+        }
+        return acc;
+    }
+    function run() { return smash(41); }
+";
+
+fn main() -> Result<(), nomap_vm::VmError> {
+    let mut vm = Vm::new(KERNEL, Architecture::NoMap)?;
+    vm.enable_tracing(1 << 16);
+    vm.run_main()?;
+    for _ in 0..60 {
+        vm.call("run", &[])?;
+    }
+    vm.flush_trace();
+
+    let events = vm.trace();
+    println!(
+        "captured {} lifecycle events ({} retained in the ring)\n",
+        vm.trace_emitted(),
+        events.len()
+    );
+
+    println!("-- abort reasons (from the metrics registry) --");
+    let metrics = vm.trace_metrics();
+    for (reason, count) in &metrics.aborts_by_reason {
+        println!("{reason:<16} {count:>6} aborts");
+    }
+    println!(
+        "abort write footprint: mean {:.0} B, max {} B over {} aborts",
+        metrics.abort_footprint.mean(),
+        metrics.abort_footprint.max,
+        metrics.abort_footprint.count
+    );
+
+    println!("\n-- §V-C ladder transitions --");
+    for rec in &events {
+        if let TraceEvent::LadderStep { name, from, to, saw_call, .. } = &rec.event {
+            println!(
+                "[{:>5}] {name}: {from} -> {to}{}",
+                rec.seq,
+                if *saw_call { "  (loop body calls out)" } else { "" }
+            );
+        }
+    }
+
+    println!("\n-- tier-up timeline for `smash` --");
+    for rec in &events {
+        if let TraceEvent::TierUp { name, tier, code_len, scope, .. } = &rec.event {
+            if name == "smash" {
+                println!(
+                    "[{:>5}] @{:<10} -> {tier:?} ({code_len} insts{})",
+                    rec.seq,
+                    rec.cycles,
+                    scope.as_deref().map(|s| format!(", scope {s}")).unwrap_or_default()
+                );
+            }
+        }
+    }
+
+    println!("\n-- metrics summary --");
+    print!("{}", metrics.summary());
+    Ok(())
+}

@@ -2,10 +2,28 @@
 //! produce identical results in the interpreter and in fully-optimized
 //! NoMap FTL code. This is the workhorse safety net for the entire
 //! speculation/deopt/transaction machinery.
-
-use proptest::prelude::*;
+//!
+//! Generation is driven by a deterministic splitmix PRNG (no external
+//! crates), so every CI run exercises the same program set.
 
 use nomap_vm::{Architecture, TierLimit, Vm, VmConfig};
+
+/// Deterministic splitmix64 (same construction as `nomap_runtime::Lcg`).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
 
 /// A tiny expression AST we generate and print as MiniJS.
 #[derive(Debug, Clone)]
@@ -44,36 +62,39 @@ impl E {
             E::Shr(x, y) => format!("({} >> ({} & 7))", x.render(), y.render()),
             E::UShr(x, y) => format!("({} >>> ({} & 7))", x.render(), y.render()),
             E::Neg(x) => format!("(-{})", x.render()),
-            E::Ternary(c, x, y) =>
-
-                format!("(({} & 1) ? {} : {})", c.render(), x.render(), y.render()),
+            E::Ternary(c, x, y) => {
+                format!("(({} & 1) ? {} : {})", c.render(), x.render(), y.render())
+            }
         }
     }
 }
 
-fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        Just(E::A),
-        Just(E::B),
-        Just(E::I),
-        (-1000i32..1000).prop_map(E::Lit),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Add(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Sub(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Mul(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::And(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Or(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Xor(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Shl(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Shr(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::UShr(Box::new(x), Box::new(y))),
-            inner.clone().prop_map(|x| E::Neg(Box::new(x))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, x, y)| E::Ternary(Box::new(c), Box::new(x), Box::new(y))),
-        ]
-    })
+/// Random expression of bounded depth; leaves mix the three variables and
+/// small literals.
+fn gen_expr(rng: &mut Rng, depth: u32) -> E {
+    if depth == 0 || rng.below(4) == 0 {
+        return match rng.below(4) {
+            0 => E::A,
+            1 => E::B,
+            2 => E::I,
+            _ => E::Lit(rng.below(2000) as i32 - 1000),
+        };
+    }
+    let op = rng.below(11);
+    let x = Box::new(gen_expr(rng, depth - 1));
+    match op {
+        0 => E::Add(x, Box::new(gen_expr(rng, depth - 1))),
+        1 => E::Sub(x, Box::new(gen_expr(rng, depth - 1))),
+        2 => E::Mul(x, Box::new(gen_expr(rng, depth - 1))),
+        3 => E::And(x, Box::new(gen_expr(rng, depth - 1))),
+        4 => E::Or(x, Box::new(gen_expr(rng, depth - 1))),
+        5 => E::Xor(x, Box::new(gen_expr(rng, depth - 1))),
+        6 => E::Shl(x, Box::new(gen_expr(rng, depth - 1))),
+        7 => E::Shr(x, Box::new(gen_expr(rng, depth - 1))),
+        8 => E::UShr(x, Box::new(gen_expr(rng, depth - 1))),
+        9 => E::Neg(x),
+        _ => E::Ternary(x, Box::new(gen_expr(rng, depth - 1)), Box::new(gen_expr(rng, depth - 1))),
+    }
 }
 
 fn program_for(e: &E) -> String {
@@ -103,20 +124,17 @@ fn checksum(src: &str, arch: Architecture, limit: TierLimit) -> Result<String, S
     Ok(last)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, // each case compiles + runs 3 VMs to steady state
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn random_numeric_programs_agree_across_tiers(e in expr_strategy()) {
+#[test]
+fn random_numeric_programs_agree_across_tiers() {
+    let mut rng = Rng(0x5EED_CAFE);
+    for case in 0..24 {
+        let e = gen_expr(&mut rng, 4);
         let src = program_for(&e);
-        let interp = checksum(&src, Architecture::Base, TierLimit::Interpreter)
-            .expect("interpreter run");
+        let interp =
+            checksum(&src, Architecture::Base, TierLimit::Interpreter).expect("interpreter run");
         let ftl = checksum(&src, Architecture::Base, TierLimit::Ftl).expect("ftl run");
         let nomap = checksum(&src, Architecture::NoMap, TierLimit::Ftl).expect("nomap run");
-        prop_assert_eq!(&interp, &ftl, "Base FTL diverged for {}", e.render());
-        prop_assert_eq!(&interp, &nomap, "NoMap diverged for {}", e.render());
+        assert_eq!(interp, ftl, "case {case}: Base FTL diverged for {}", e.render());
+        assert_eq!(interp, nomap, "case {case}: NoMap diverged for {}", e.render());
     }
 }

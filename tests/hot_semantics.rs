@@ -29,11 +29,7 @@ fn run_hot(src: &str) -> (Value, Value) {
 
 fn check(src: &str, expect: f64) {
     let (base, nomap) = run_hot(src);
-    assert_eq!(
-        base.as_number(),
-        nomap.as_number(),
-        "architectures disagree for {src}"
-    );
+    assert_eq!(base.as_number(), nomap.as_number(), "architectures disagree for {src}");
     assert_eq!(base.as_number(), expect, "wrong value for {src}");
 }
 

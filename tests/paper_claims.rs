@@ -29,12 +29,8 @@ const ARRAY_LOOP: &str = "
 /// §IV-C1 / Fig. 6: NoMap_B combines per-iteration bounds checks into one.
 #[test]
 fn bounds_combining_reduces_bounds_checks() {
-    let s_checks = steady(ARRAY_LOOP, Architecture::NoMapS)
-        .stats
-        .checks(CheckKind::Bounds);
-    let b_checks = steady(ARRAY_LOOP, Architecture::NoMapB)
-        .stats
-        .checks(CheckKind::Bounds);
+    let s_checks = steady(ARRAY_LOOP, Architecture::NoMapS).stats.checks(CheckKind::Bounds);
+    let b_checks = steady(ARRAY_LOOP, Architecture::NoMapB).stats.checks(CheckKind::Bounds);
     assert!(
         b_checks * 10 < s_checks,
         "bounds checks should collapse: NoMap_S={s_checks} NoMap_B={b_checks}"
@@ -44,12 +40,8 @@ fn bounds_combining_reduces_bounds_checks() {
 /// §IV-C2 / Fig. 7: the SOF removes per-operation overflow checks.
 #[test]
 fn sof_removes_overflow_checks() {
-    let b = steady(ARRAY_LOOP, Architecture::NoMapB)
-        .stats
-        .checks(CheckKind::Overflow);
-    let full = steady(ARRAY_LOOP, Architecture::NoMap)
-        .stats
-        .checks(CheckKind::Overflow);
+    let b = steady(ARRAY_LOOP, Architecture::NoMapB).stats.checks(CheckKind::Overflow);
+    let full = steady(ARRAY_LOOP, Architecture::NoMap).stats.checks(CheckKind::Overflow);
     assert!(b > 0, "NoMap_B still executes overflow checks");
     assert_eq!(full, 0, "NoMap removes every in-transaction overflow check");
 }
@@ -57,9 +49,7 @@ fn sof_removes_overflow_checks() {
 /// RTM has no SOF (paper §VI-B), so overflow checks stay.
 #[test]
 fn rtm_keeps_overflow_checks() {
-    let rtm = steady(ARRAY_LOOP, Architecture::NoMapRtm)
-        .stats
-        .checks(CheckKind::Overflow);
+    let rtm = steady(ARRAY_LOOP, Architecture::NoMapRtm).stats.checks(CheckKind::Overflow);
     assert!(rtm > 0, "RTM cannot use the Sticky Overflow Flag");
 }
 
@@ -80,10 +70,7 @@ fn instruction_counts_follow_table_ii_order() {
     for w in counts.windows(2) {
         assert!(w[0] >= w[1], "expected monotone improvement, got {counts:?}");
     }
-    assert!(
-        counts[4] < counts[0],
-        "NoMap_BC must clearly beat Base: {counts:?}"
-    );
+    assert!(counts[4] < counts[0], "NoMap_BC must clearly beat Base: {counts:?}");
 }
 
 /// Fig. 8/9 category structure: under Base everything FTL is NoTM; under

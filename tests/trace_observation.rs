@@ -1,0 +1,331 @@
+//! Tracing is observation-only: enabling it must not change execution
+//! statistics or program results, and the emitted stream must cover the
+//! full lifecycle (tier-ups, transaction begin/commit/abort, ladder steps)
+//! with JSONL output that parses line by line.
+
+use nomap_trace::{JsonlSink, Metrics, TraceEvent, SCHEMA_VERSION};
+use nomap_vm::{Architecture, Vm};
+
+/// A workload big enough to tier to FTL, commit transactions, and overflow
+/// the 256 KB ROT write budget (forcing capacity aborts and §V-C ladder
+/// steps).
+const LADDER_SRC: &str = "
+    var N = 40000;
+    var big = new Array(N);
+    function smash(seed) {
+        var acc = 0;
+        for (var i = 0; i < N; i++) {
+            big[i] = (i ^ seed) & 1023;
+            acc = (acc + big[i]) & 1048575;
+        }
+        return acc;
+    }
+    function run() { return smash(99); }
+";
+
+fn run_workload(vm: &mut Vm) -> String {
+    vm.run_main().unwrap();
+    let mut last = String::new();
+    for _ in 0..60 {
+        last = format!("{:?}", vm.call("run", &[]).unwrap());
+    }
+    last
+}
+
+#[test]
+fn tracing_does_not_change_stats_or_results() {
+    let mut plain = Vm::new(LADDER_SRC, Architecture::NoMap).unwrap();
+    let r1 = run_workload(&mut plain);
+
+    let mut traced = Vm::new(LADDER_SRC, Architecture::NoMap).unwrap();
+    traced.enable_tracing(4096);
+    traced.add_trace_sink(Box::new(JsonlSink::new(Vec::new())));
+    let r2 = run_workload(&mut traced);
+
+    assert_eq!(r1, r2, "tracing changed the program result");
+    assert_eq!(plain.stats, traced.stats, "tracing changed ExecStats");
+    assert!(traced.trace_emitted() > 0, "enabled tracer emitted nothing");
+}
+
+#[test]
+fn lifecycle_events_cover_the_transactional_workload() {
+    let mut vm = Vm::new(LADDER_SRC, Architecture::NoMap).unwrap();
+    vm.enable_tracing(65536);
+    run_workload(&mut vm);
+
+    let events = vm.trace();
+    assert!(!events.is_empty());
+
+    let mut ftl_tier_ups = 0;
+    let mut commits = 0;
+    let mut aborts_with_footprint = 0;
+    let mut ladder_steps = 0;
+    let mut last_seq = None;
+    for rec in &events {
+        if let Some(prev) = last_seq {
+            assert!(rec.seq > prev, "events out of order");
+        }
+        last_seq = Some(rec.seq);
+        match &rec.event {
+            TraceEvent::TierUp { tier, .. } if *tier == nomap_machine::Tier::Ftl => {
+                ftl_tier_ups += 1;
+            }
+            TraceEvent::TxCommit { instructions, .. } => {
+                assert!(*instructions > 0, "committed transaction ran no instructions");
+                commits += 1;
+            }
+            TraceEvent::TxAbort { footprint_bytes, .. } if *footprint_bytes > 0 => {
+                aborts_with_footprint += 1;
+            }
+            TraceEvent::LadderStep { from, to, .. } => {
+                assert_ne!(from, to, "ladder step did not change scope");
+                ladder_steps += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(ftl_tier_ups >= 1, "no FTL tier-up observed");
+    assert!(commits >= 1, "no transaction commit observed");
+    assert!(aborts_with_footprint >= 1, "no abort with a write footprint observed");
+    assert!(ladder_steps >= 1, "no §V-C ladder step observed");
+
+    // The metrics registry agrees with the event stream (and, unlike the
+    // ring, never evicts: the footprint histogram must have seen the
+    // capacity aborts too).
+    let m = vm.trace_metrics();
+    assert!(m.abort_footprint.max > 0, "metrics lost the abort footprints");
+    assert!(m.counters["tx-commit"] >= commits, "metrics saw fewer commits than the ring");
+    assert!(m.commit_footprint.count >= 1);
+    assert!(!m.aborts_by_reason.is_empty());
+    assert!(m.residency.contains_key("smash"), "no tier residency for the hot function");
+
+    // Metrics registries merge like ExecStats.
+    let mut merged = Metrics::new();
+    merged.merge(m);
+    merged.merge(&Metrics::new());
+    assert_eq!(&merged, m);
+}
+
+#[test]
+fn jsonl_stream_parses_line_by_line() {
+    let src = "
+        function work(n) {
+            var s = 0;
+            for (var i = 0; i < n; i++) { s = (s + i * i) | 0; }
+            return s;
+        }
+        function run() { return work(500); }
+    ";
+    let mut vm = Vm::new(src, Architecture::NoMap).unwrap();
+    vm.enable_tracing(16);
+    vm.add_trace_sink(Box::new(CollectingJsonl::default()));
+    vm.run_main().unwrap();
+    for _ in 0..200 {
+        vm.call("run", &[]).unwrap();
+    }
+    vm.flush_trace();
+
+    let lines = COLLECTED.with(|c| c.borrow().clone());
+    assert!(!lines.is_empty());
+    for (i, line) in lines.iter().enumerate() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("line {i} not JSON ({e}): {line}"));
+        let obj = match v {
+            json::V::Object(m) => m,
+            other => panic!("line {i} is not an object: {other:?}"),
+        };
+        assert_eq!(
+            obj.iter().find(|(k, _)| k == "v").map(|(_, v)| v.clone()),
+            Some(json::V::Num(SCHEMA_VERSION as f64)),
+            "line {i} missing schema version"
+        );
+        assert!(obj.iter().any(|(k, _)| k == "ev"), "line {i} missing event kind");
+        assert!(obj.iter().any(|(k, _)| k == "seq"), "line {i} missing seq");
+    }
+}
+
+// The JSONL sink writes through `io::Write`; collect lines in thread-local
+// storage so the test can inspect them after the VM consumed the sink.
+std::thread_local! {
+    static COLLECTED: std::cell::RefCell<Vec<String>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+#[derive(Default)]
+struct CollectingJsonl {
+    buf: Vec<u8>,
+}
+
+impl nomap_trace::TraceSink for CollectingJsonl {
+    fn record(&mut self, seq: u64, cycles: u64, event: &TraceEvent) {
+        let mut inner = JsonlSink::new(std::mem::take(&mut self.buf));
+        inner.record(seq, cycles, event);
+        self.buf = inner.into_inner();
+    }
+
+    fn flush(&mut self) {
+        let text = String::from_utf8(std::mem::take(&mut self.buf)).unwrap();
+        COLLECTED.with(|c| {
+            c.borrow_mut().extend(text.lines().map(str::to_owned));
+        });
+    }
+}
+
+/// Minimal recursive-descent JSON parser — just enough to prove each JSONL
+/// line is well-formed without pulling in a dependency.
+mod json {
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum V {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Array(Vec<V>),
+        Object(Vec<(String, V)>),
+    }
+
+    pub fn parse(s: &str) -> Result<V, String> {
+        let b = s.as_bytes();
+        let mut i = 0;
+        let v = value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing data at byte {i}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<V, String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => object(b, i),
+            Some(b'[') => array(b, i),
+            Some(b'"') => Ok(V::Str(string(b, i)?)),
+            Some(b't') => lit(b, i, "true", V::Bool(true)),
+            Some(b'f') => lit(b, i, "false", V::Bool(false)),
+            Some(b'n') => lit(b, i, "null", V::Null),
+            Some(_) => number(b, i),
+            None => Err("unexpected end".into()),
+        }
+    }
+
+    fn lit(b: &[u8], i: &mut usize, word: &str, v: V) -> Result<V, String> {
+        if b[*i..].starts_with(word.as_bytes()) {
+            *i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {i}"))
+        }
+    }
+
+    fn number(b: &[u8], i: &mut usize) -> Result<V, String> {
+        let start = *i;
+        while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *i += 1;
+        }
+        std::str::from_utf8(&b[start..*i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(V::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(b: &[u8], i: &mut usize) -> Result<String, String> {
+        *i += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match b.get(*i) {
+                Some(b'"') => {
+                    *i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *i += 1;
+                    match b.get(*i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = std::str::from_utf8(&b[*i + 1..*i + 5])
+                                .map_err(|_| "bad \\u escape".to_owned())?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_owned())?;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            *i += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    *i += 1;
+                }
+                Some(_) => {
+                    let rest = std::str::from_utf8(&b[*i..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    *i += c.len_utf8();
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(b: &[u8], i: &mut usize) -> Result<V, String> {
+        *i += 1; // '['
+        let mut items = Vec::new();
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b']') {
+            *i += 1;
+            return Ok(V::Array(items));
+        }
+        loop {
+            items.push(value(b, i)?);
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b']') => {
+                    *i += 1;
+                    return Ok(V::Array(items));
+                }
+                _ => return Err(format!("bad array at byte {i}")),
+            }
+        }
+    }
+
+    fn object(b: &[u8], i: &mut usize) -> Result<V, String> {
+        *i += 1; // '{'
+        let mut members = Vec::new();
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b'}') {
+            *i += 1;
+            return Ok(V::Object(members));
+        }
+        loop {
+            skip_ws(b, i);
+            let key = string(b, i)?;
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b':') {
+                return Err(format!("missing ':' at byte {i}"));
+            }
+            *i += 1;
+            members.push((key, value(b, i)?));
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b'}') => {
+                    *i += 1;
+                    return Ok(V::Object(members));
+                }
+                _ => return Err(format!("bad object at byte {i}")),
+            }
+        }
+    }
+}
