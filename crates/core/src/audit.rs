@@ -1,0 +1,337 @@
+//! Pass-sanitized ("audited") compilation: the normal tier pipelines with
+//! the `nomap-verify` layers interleaved.
+//!
+//! The audited entry points run the exact transformation sequence of their
+//! plain counterparts ([`crate::compile_ftl_with_report`] etc. — both
+//! share one implementation), but:
+//!
+//! * the strict SSA verifier and the transaction-safety checker run after
+//!   **every** stage (post-build, post-placement, after each optimizer
+//!   pass, after each check-removal pass);
+//! * `combine_bounds_checks` is translation-validated against the IR
+//!   snapshot taken right before it ran;
+//! * with [`AuditOptions::seed_scope`], the static write-footprint
+//!   estimator predicts guaranteed HTM capacity aborts and re-compiles at
+//!   the transaction scope the §V-C ladder would otherwise reach only
+//!   after runtime aborts and recompiles;
+//! * when any stage produces an **error** diagnostic, lowering is skipped
+//!   and [`FtlAudit::code`] is `None` — broken IR never reaches the
+//!   back end.
+
+use nomap_bytecode::Function;
+use nomap_ir::passes::PassConfig;
+use nomap_ir::IrFunc;
+use nomap_jit::CompiledFn;
+use nomap_runtime::Runtime;
+use nomap_verify::footprint::estimate_footprint;
+use nomap_verify::{has_errors, validate_bounds_combining, verify_func, Diagnostic, ScopeAdvice};
+
+use crate::config::Architecture;
+use crate::pipeline::{compile_dfg_ir, compile_ftl_ir, compile_txn_callee_ir, CompileReport};
+use crate::txn::TxnScope;
+
+/// What the audited pipelines should do beyond plain compilation.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditOptions {
+    /// Run the verifier layers between every stage.
+    pub verify: bool,
+    /// Seed the initial transaction scope from the footprint estimate.
+    pub seed_scope: bool,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        AuditOptions { verify: true, seed_scope: false }
+    }
+}
+
+/// Outcome of one audited compilation.
+#[derive(Debug)]
+pub struct FtlAudit {
+    /// The compiled function; `None` when an error diagnostic fired.
+    pub code: Option<CompiledFn>,
+    /// What the transaction passes did (for the final compile).
+    pub report: CompileReport,
+    /// Scope the caller asked for.
+    pub scope_requested: TxnScope,
+    /// Scope actually compiled (differs only under `seed_scope`).
+    pub scope_used: TxnScope,
+    /// Verification stages that ran.
+    pub stages: usize,
+    /// Every finding, in stage order (warnings included).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl FtlAudit {
+    /// True when no *error* diagnostics fired (warnings allowed).
+    pub fn clean(&self) -> bool {
+        !has_errors(&self.diagnostics)
+    }
+}
+
+/// The verification hooks threaded through the shared pipeline
+/// implementation.
+pub(crate) struct Auditor {
+    verify: bool,
+    sof_allowed: bool,
+    entry_depth: u32,
+    pub(crate) stages: usize,
+    pub(crate) diags: Vec<Diagnostic>,
+}
+
+impl Auditor {
+    pub(crate) fn new(verify: bool, sof_allowed: bool, entry_depth: u32) -> Self {
+        Auditor { verify, sof_allowed, entry_depth, stages: 0, diags: Vec::new() }
+    }
+
+    /// Whether stage snapshots (for translation validation) are needed.
+    pub(crate) fn verifying(&self) -> bool {
+        self.verify
+    }
+
+    /// Runs SSA + transaction-safety verification on `ir`, tagging findings
+    /// with `stage`.
+    pub(crate) fn check(&mut self, ir: &IrFunc, stage: &str) {
+        if !self.verify {
+            return;
+        }
+        self.stages += 1;
+        let mut ds = verify_func(ir, self.entry_depth, self.sof_allowed);
+        for d in &mut ds {
+            d.stage = stage.to_string();
+        }
+        self.diags.extend(ds);
+    }
+
+    /// Translation-validates one `combine_bounds_checks` application.
+    pub(crate) fn validate_bounds(&mut self, before: &IrFunc, after: &IrFunc) {
+        if !self.verify {
+            return;
+        }
+        self.stages += 1;
+        let mut ds = validate_bounds_combining(before, after);
+        for d in &mut ds {
+            d.stage = "bounds-tv".to_string();
+        }
+        self.diags.extend(ds);
+    }
+}
+
+/// Maps the estimator's advice onto a requested scope, never climbing the
+/// ladder (a user-requested lower rung stays).
+pub(crate) fn apply_advice(requested: TxnScope, advice: ScopeAdvice) -> TxnScope {
+    match advice {
+        ScopeAdvice::Keep => requested,
+        ScopeAdvice::Disable => TxnScope::None,
+        ScopeAdvice::Tile(t) => match requested {
+            TxnScope::None => TxnScope::None,
+            TxnScope::InnerTiled(cur) => TxnScope::InnerTiled(cur.min(t)),
+            TxnScope::Nest | TxnScope::Inner => TxnScope::InnerTiled(t),
+        },
+    }
+}
+
+/// Audited [`crate::compile_ftl_with_report`].
+///
+/// # Errors
+///
+/// Propagates IR construction failures. Verifier findings are *not*
+/// errors at this level — they are returned in [`FtlAudit::diagnostics`]
+/// with [`FtlAudit::code`] set to `None`.
+pub fn compile_ftl_audited(
+    func: &Function,
+    rt: &mut Runtime,
+    arch: Architecture,
+    scope: TxnScope,
+    passes: PassConfig,
+    opts: AuditOptions,
+) -> Result<FtlAudit, nomap_ir::BuildError> {
+    let sof_allowed = arch.htm_model().has_sof;
+    let mut auditor = Auditor::new(opts.verify, sof_allowed, 0);
+    let (ir, report, txn_aware) =
+        compile_ftl_ir(func, rt, arch, scope, passes, Some(&mut auditor))?;
+
+    let mut scope_used = scope;
+    let mut final_ir = ir;
+    let mut final_report = report;
+    let mut final_txn_aware = txn_aware;
+    if opts.seed_scope && txn_aware {
+        let est = estimate_footprint(&final_ir, &arch.htm_model());
+        for mut d in est.diags {
+            d.stage = "footprint".to_string();
+            auditor.diags.push(d);
+        }
+        let advised = apply_advice(scope, est.advice);
+        if advised != scope {
+            let (ir2, rep2, aware2) =
+                compile_ftl_ir(func, rt, arch, advised, passes, Some(&mut auditor))?;
+            final_ir = ir2;
+            final_report = rep2;
+            final_txn_aware = aware2;
+            scope_used = advised;
+        }
+    }
+
+    let code = if has_errors(&auditor.diags) {
+        None
+    } else {
+        Some(nomap_jit::lower(
+            &final_ir,
+            nomap_jit::CodegenQuality::Ftl,
+            nomap_machine::Tier::Ftl,
+            final_txn_aware,
+        ))
+    };
+    Ok(FtlAudit {
+        code,
+        report: final_report,
+        scope_requested: scope,
+        scope_used,
+        stages: auditor.stages,
+        diagnostics: auditor.diags,
+    })
+}
+
+/// Audited [`crate::compile_txn_callee`]: verification runs at transaction
+/// entry depth 1 — the whole body executes under the caller's `XBegin`.
+///
+/// # Errors
+///
+/// Propagates IR construction failures.
+pub fn compile_txn_callee_audited(
+    func: &Function,
+    rt: &mut Runtime,
+    arch: Architecture,
+    passes: PassConfig,
+    opts: AuditOptions,
+) -> Result<FtlAudit, nomap_ir::BuildError> {
+    let mut auditor = Auditor::new(opts.verify, arch.htm_model().has_sof, 1);
+    let ir = compile_txn_callee_ir(func, rt, arch, passes, Some(&mut auditor))?;
+    let code = if has_errors(&auditor.diags) {
+        None
+    } else {
+        let mut c =
+            nomap_jit::lower(&ir, nomap_jit::CodegenQuality::Ftl, nomap_machine::Tier::Ftl, true);
+        c.txn_callee = true;
+        Some(c)
+    };
+    Ok(FtlAudit {
+        code,
+        report: CompileReport::default(),
+        scope_requested: TxnScope::None,
+        scope_used: TxnScope::None,
+        stages: auditor.stages,
+        diagnostics: auditor.diags,
+    })
+}
+
+/// Audited [`crate::compile_dfg`].
+///
+/// # Errors
+///
+/// Propagates IR construction failures.
+pub fn compile_dfg_audited(
+    func: &Function,
+    rt: &mut Runtime,
+    opts: AuditOptions,
+) -> Result<FtlAudit, nomap_ir::BuildError> {
+    let mut auditor = Auditor::new(opts.verify, true, 0);
+    let ir = compile_dfg_ir(func, rt, Some(&mut auditor))?;
+    let code = if has_errors(&auditor.diags) {
+        None
+    } else {
+        Some(nomap_jit::lower(&ir, nomap_jit::CodegenQuality::Dfg, nomap_machine::Tier::Dfg, false))
+    };
+    Ok(FtlAudit {
+        code,
+        report: CompileReport::default(),
+        scope_requested: TxnScope::None,
+        scope_used: TxnScope::None,
+        stages: auditor.stages,
+        diagnostics: auditor.diags,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomap_bytecode::compile_program;
+
+    fn sum_loop() -> nomap_bytecode::Program {
+        compile_program(
+            "function sum(a, n) {
+                var s = 0;
+                for (var i = 0; i < n; i++) { s = s + a[i]; }
+                return s;
+            }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn audited_compile_is_clean_and_runs_every_stage() {
+        let p = sum_loop();
+        let f = p.function_named("sum").unwrap();
+        let mut rt = Runtime::new();
+        let audit = compile_ftl_audited(
+            f,
+            &mut rt,
+            Architecture::NoMap,
+            TxnScope::Nest,
+            PassConfig::ftl(),
+            AuditOptions::default(),
+        )
+        .unwrap();
+        assert!(audit.clean(), "sanitizer found: {:?}", audit.diagnostics);
+        assert!(audit.code.is_some());
+        assert_eq!(audit.scope_used, TxnScope::Nest);
+        // post-build, post-placement, 2×6 optimizer passes (×2 rounds),
+        // bounds TV, post-bounds, post-sof, final — at the very least.
+        assert!(audit.stages > 12, "only {} stages ran", audit.stages);
+
+        // Plain and audited compilation must agree on what the passes did.
+        let (_, plain) = crate::compile_ftl_with_report(
+            f,
+            &mut rt,
+            Architecture::NoMap,
+            TxnScope::Nest,
+            PassConfig::ftl(),
+        )
+        .unwrap();
+        assert_eq!(audit.report, plain);
+    }
+
+    #[test]
+    fn audited_dfg_and_callee_are_clean() {
+        let p = sum_loop();
+        let f = p.function_named("sum").unwrap();
+        let mut rt = Runtime::new();
+        let dfg = compile_dfg_audited(f, &mut rt, AuditOptions::default()).unwrap();
+        assert!(dfg.clean(), "{:?}", dfg.diagnostics);
+        assert!(dfg.code.is_some());
+        let callee = compile_txn_callee_audited(
+            f,
+            &mut rt,
+            Architecture::NoMap,
+            PassConfig::ftl(),
+            AuditOptions::default(),
+        )
+        .unwrap();
+        assert!(callee.clean(), "{:?}", callee.diagnostics);
+        assert!(callee.code.as_ref().is_some_and(|c| c.txn_callee));
+        assert!(callee.stages > 12);
+    }
+
+    #[test]
+    fn advice_never_climbs_the_ladder() {
+        use ScopeAdvice::*;
+        assert_eq!(apply_advice(TxnScope::Nest, Keep), TxnScope::Nest);
+        assert_eq!(apply_advice(TxnScope::Nest, Tile(64)), TxnScope::InnerTiled(64));
+        assert_eq!(apply_advice(TxnScope::Inner, Tile(64)), TxnScope::InnerTiled(64));
+        // Already tiled tighter than advised: stay tight.
+        assert_eq!(apply_advice(TxnScope::InnerTiled(16), Tile(64)), TxnScope::InnerTiled(16));
+        assert_eq!(apply_advice(TxnScope::InnerTiled(128), Tile(64)), TxnScope::InnerTiled(64));
+        assert_eq!(apply_advice(TxnScope::None, Tile(64)), TxnScope::None);
+        assert_eq!(apply_advice(TxnScope::Nest, Disable), TxnScope::None);
+    }
+}

@@ -21,6 +21,18 @@ use nomap_machine::{CheckKind, Cond};
 /// Runs the pass; returns how many in-loop bounds checks were combined
 /// away.
 pub fn combine_bounds_checks(f: &mut IrFunc) -> usize {
+    combine_impl(f, true)
+}
+
+/// Deliberately broken variant for mutation-testing the translation
+/// validator: skips the proof that the checked index is a monotonic
+/// induction variable and combines the check against an arbitrary one.
+#[cfg(test)]
+pub(crate) fn combine_bounds_checks_unsound(f: &mut IrFunc) -> usize {
+    combine_impl(f, false)
+}
+
+fn combine_impl(f: &mut IrFunc, require_monotonic: bool) -> usize {
     let doms = Dominators::compute(f);
     let loops = find_loops(f, &doms);
     let mut removed = 0;
@@ -48,7 +60,14 @@ pub fn combine_bounds_checks(f: &mut IrFunc) -> usize {
                 if !defined_outside(f, l, len) {
                     continue;
                 }
-                let Some(iv) = ivs.iter().find(|iv| iv.phi == idx) else { continue };
+                // THE soundness proof of §IV-C1: the checked index must be
+                // a monotonic induction variable. The mutation-test variant
+                // skips it and pretends the first IV was checked.
+                let iv = match ivs.iter().find(|iv| iv.phi == idx) {
+                    Some(iv) => iv,
+                    None if !require_monotonic => &ivs[0],
+                    None => continue,
+                };
                 // Remove the in-loop check; record one combined check per
                 // (iv, len, direction).
                 f.inst_mut(v).kind = InstKind::Nop;
@@ -194,6 +213,70 @@ mod tests {
         assert_eq!(count_bounds_guards(&f, true), 0);
         assert_eq!(count_bounds_guards(&f, false), 1); // hoisted to preheader
         assert_eq!(f.verify(), Ok(()));
+    }
+
+    /// Mutation test for the translation validator: weaken the pass by
+    /// dropping the §IV-C1 monotonicity proof and the validator must
+    /// reject the output, while the sound pass removes nothing on the
+    /// same input.
+    #[test]
+    fn translation_validator_catches_unsound_combining() {
+        // Loop with a genuine IV `i` and a second, non-affine phi `j`
+        // (j += i each iteration); the bounds guard tests `j`.
+        let mut f = IrFunc::new(FuncId(0), "t", 0, 0);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        let zero = f.append(f.entry, Inst::new(InstKind::ConstI32(0)));
+        let n = f.append(f.entry, Inst::new(InstKind::ConstI32(100)));
+        let len = f.append(f.entry, Inst::new(InstKind::ConstI32(100)));
+        f.append(f.entry, Inst::new(InstKind::Jump { target: header }));
+        let i = f.append(header, Inst::new(InstKind::Phi { inputs: vec![zero], ty: Ty::I32 }));
+        let j = f.append(header, Inst::new(InstKind::Phi { inputs: vec![zero], ty: Ty::I32 }));
+        let cmp = f.append(header, Inst::new(InstKind::ICmp { cond: Cond::Lt, a: i, b: n }));
+        f.append(header, Inst::new(InstKind::Branch { cond: cmp, then_b: body, else_b: exit }));
+        let oob = f.append(body, Inst::new(InstKind::ICmp { cond: Cond::AboveEq, a: j, b: len }));
+        f.append(
+            body,
+            Inst::new(InstKind::Guard {
+                kind: CheckKind::Bounds,
+                cond: oob,
+                mode: CheckMode::Abort,
+            }),
+        );
+        let one = f.append(body, Inst::new(InstKind::ConstI32(1)));
+        let i2 = f.append(
+            body,
+            Inst::new(InstKind::CheckedAddI32 { a: i, b: one, mode: CheckMode::Abort }),
+        );
+        let j2 = f.append(
+            body,
+            Inst::new(InstKind::CheckedAddI32 { a: j, b: i, mode: CheckMode::Abort }),
+        );
+        f.append(body, Inst::new(InstKind::Jump { target: header }));
+        if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(i).kind {
+            inputs.push(i2);
+        }
+        if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(j).kind {
+            inputs.push(j2);
+        }
+        let u = f.append(exit, Inst::new(InstKind::Const(nomap_runtime::Value::UNDEFINED)));
+        f.append(exit, Inst::new(InstKind::Return { v: u }));
+        f.compute_preds();
+
+        // The sound pass proves nothing about `j` and leaves the check alone.
+        let mut strict = f.clone();
+        assert_eq!(combine_bounds_checks(&mut strict), 0);
+        assert!(nomap_verify::validate_bounds_combining(&f, &strict).is_empty());
+
+        // The weakened pass deletes it; the validator must refuse the result.
+        let mut mutated = f.clone();
+        assert_eq!(combine_bounds_checks_unsound(&mut mutated), 1);
+        let diags = nomap_verify::validate_bounds_combining(&f, &mutated);
+        assert!(
+            diags.iter().any(|d| d.code == nomap_verify::DiagCode::BoundsNotInduction),
+            "validator must flag the deleted non-induction check: {diags:?}"
+        );
     }
 
     #[test]

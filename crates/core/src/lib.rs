@@ -9,12 +9,16 @@
 //! The crate also defines the six evaluated architectures (Table II) and
 //! the §V-C transaction-scope ladder used when capacity aborts strike.
 
+mod audit;
 mod bounds;
 mod config;
 mod pipeline;
 mod sof;
 mod txn;
 
+pub use audit::{
+    compile_dfg_audited, compile_ftl_audited, compile_txn_callee_audited, AuditOptions, FtlAudit,
+};
 pub use bounds::combine_bounds_checks;
 pub use config::Architecture;
 pub use pipeline::{

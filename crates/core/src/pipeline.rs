@@ -9,15 +9,45 @@
 //!   now-abortable checks, then one more cleanup round.
 
 use nomap_bytecode::Function;
-use nomap_ir::passes::{run_pipeline, PassConfig};
+use nomap_ir::passes::{run_pipeline, run_pipeline_observed, PassConfig};
 use nomap_ir::{build_ir, BuildError, CheckMode, IrFunc, SpecLevel};
 use nomap_jit::{lower, CodegenQuality, CompiledFn};
 use nomap_machine::Tier;
 use nomap_runtime::Runtime;
 
+use crate::audit::Auditor;
 use crate::config::Architecture;
 use crate::txn::{abort_all_checks, place_transactions, strip_all_checks, TxnScope};
 use crate::{combine_bounds_checks, remove_overflow_checks};
+
+/// Runs one verifier stage when an auditor is attached.
+fn audit(auditor: &mut Option<&mut Auditor>, ir: &IrFunc, stage: &str) {
+    if let Some(a) = auditor.as_deref_mut() {
+        a.check(ir, stage);
+    }
+}
+
+/// Runs the optimizer; with a verifying auditor attached, the strict
+/// verifier runs after every individual pass (the "pass sanitizer").
+fn run_passes(ir: &mut IrFunc, passes: PassConfig, auditor: &mut Option<&mut Auditor>) {
+    match auditor.as_deref_mut() {
+        Some(a) if a.verifying() => {
+            run_pipeline_observed(ir, passes, &mut |f, pass| {
+                a.check(f, &format!("after:{pass}"));
+            });
+        }
+        _ => run_pipeline(ir, passes),
+    }
+}
+
+/// Clones `ir` only when a verifying auditor will want a pre-pass snapshot
+/// for translation validation.
+fn snapshot_for(auditor: &Option<&mut Auditor>, ir: &IrFunc) -> Option<IrFunc> {
+    match auditor {
+        Some(a) if a.verifying() => Some(ir.clone()),
+        _ => None,
+    }
+}
 
 /// Compiles `func` at the DFG tier.
 ///
@@ -25,9 +55,21 @@ use crate::{combine_bounds_checks, remove_overflow_checks};
 ///
 /// Propagates IR construction failures.
 pub fn compile_dfg(func: &Function, rt: &mut Runtime) -> Result<CompiledFn, BuildError> {
-    let (mut ir, _info) = build_ir(func, rt, SpecLevel::Dfg)?;
-    run_pipeline(&mut ir, PassConfig::dfg());
+    let ir = compile_dfg_ir(func, rt, None)?;
     Ok(lower(&ir, CodegenQuality::Dfg, Tier::Dfg, false))
+}
+
+/// DFG pipeline up to (but excluding) lowering, with optional auditing.
+pub(crate) fn compile_dfg_ir(
+    func: &Function,
+    rt: &mut Runtime,
+    mut auditor: Option<&mut Auditor>,
+) -> Result<IrFunc, BuildError> {
+    let (mut ir, _info) = build_ir(func, rt, SpecLevel::Dfg)?;
+    audit(&mut auditor, &ir, "post-build");
+    run_passes(&mut ir, PassConfig::dfg(), &mut auditor);
+    audit(&mut auditor, &ir, "final");
+    Ok(ir)
 }
 
 /// Compiles `func` at the FTL tier under `arch`, wrapping transactions at
@@ -110,35 +152,61 @@ pub fn compile_ftl_with_report(
     scope: TxnScope,
     passes: PassConfig,
 ) -> Result<(CompiledFn, CompileReport), BuildError> {
+    let (ir, report, txn_aware) = compile_ftl_ir(func, rt, arch, scope, passes, None)?;
+    Ok((lower(&ir, CodegenQuality::Ftl, Tier::Ftl, txn_aware), report))
+}
+
+/// FTL pipeline up to (but excluding) lowering, with optional auditing.
+/// The single implementation behind both [`compile_ftl_with_report`] and
+/// the audited entry points — no drift between the sanitized and the plain
+/// compilation sequence.
+pub(crate) fn compile_ftl_ir(
+    func: &Function,
+    rt: &mut Runtime,
+    arch: Architecture,
+    scope: TxnScope,
+    passes: PassConfig,
+    mut auditor: Option<&mut Auditor>,
+) -> Result<(IrFunc, CompileReport, bool), BuildError> {
     let (mut ir, info) = build_ir(func, rt, SpecLevel::Ftl)?;
+    audit(&mut auditor, &ir, "post-build");
     let txn_aware = arch.uses_transactions() && scope != TxnScope::None;
     let mut report = CompileReport::default();
     if txn_aware {
         report.transactions_placed = place_transactions(&mut ir, &info, scope);
         report.checks_to_aborts = abort_mode_checks(&ir);
+        audit(&mut auditor, &ir, "post-placement");
     }
-    run_pipeline(&mut ir, passes);
+    run_passes(&mut ir, passes, &mut auditor);
     if txn_aware {
         let mut changed = false;
         if arch.combines_bounds() {
+            let snapshot = snapshot_for(&auditor, &ir);
             report.bounds_combined = combine_bounds_checks(&mut ir);
+            if let (Some(before), Some(a)) = (&snapshot, auditor.as_deref_mut()) {
+                a.validate_bounds(before, &ir);
+            }
+            audit(&mut auditor, &ir, "post-bounds");
             changed |= report.bounds_combined > 0;
         }
         if arch.removes_overflow() {
             report.overflow_removed = remove_overflow_checks(&mut ir);
+            audit(&mut auditor, &ir, "post-sof");
             changed |= report.overflow_removed > 0;
         }
         if arch.strips_all_checks() {
             strip_all_checks(&mut ir);
+            audit(&mut auditor, &ir, "post-strip");
             changed = true;
         }
         if changed {
             // One more cleanup round: dead compare chains behind removed
             // checks, newly hoistable code, etc.
-            run_pipeline(&mut ir, passes);
+            run_passes(&mut ir, passes, &mut auditor);
         }
     }
-    Ok((lower(&ir, CodegenQuality::Ftl, Tier::Ftl, txn_aware), report))
+    audit(&mut auditor, &ir, "final");
+    Ok((ir, report, txn_aware))
 }
 
 /// Compiles the *transaction-aware callee* variant of `func`: every check
@@ -155,26 +223,50 @@ pub fn compile_txn_callee(
     arch: Architecture,
     passes: PassConfig,
 ) -> Result<CompiledFn, BuildError> {
-    let (mut ir, _info) = build_ir(func, rt, SpecLevel::Ftl)?;
-    abort_all_checks(&mut ir);
-    run_pipeline(&mut ir, passes);
-    let mut changed = false;
-    if arch.combines_bounds() {
-        changed |= combine_bounds_checks(&mut ir) > 0;
-    }
-    if arch.removes_overflow() {
-        changed |= remove_overflow_checks(&mut ir) > 0;
-    }
-    if arch.strips_all_checks() {
-        strip_all_checks(&mut ir);
-        changed = true;
-    }
-    if changed {
-        run_pipeline(&mut ir, passes);
-    }
+    let ir = compile_txn_callee_ir(func, rt, arch, passes, None)?;
     let mut code = lower(&ir, CodegenQuality::Ftl, Tier::Ftl, true);
     code.txn_callee = true;
     Ok(code)
+}
+
+/// Transaction-callee pipeline up to (but excluding) lowering, with
+/// optional auditing. Auditors verify at entry depth 1: the whole body
+/// runs under the caller's transaction.
+pub(crate) fn compile_txn_callee_ir(
+    func: &Function,
+    rt: &mut Runtime,
+    arch: Architecture,
+    passes: PassConfig,
+    mut auditor: Option<&mut Auditor>,
+) -> Result<IrFunc, BuildError> {
+    let (mut ir, _info) = build_ir(func, rt, SpecLevel::Ftl)?;
+    abort_all_checks(&mut ir);
+    audit(&mut auditor, &ir, "post-abort-conversion");
+    run_passes(&mut ir, passes, &mut auditor);
+    let mut changed = false;
+    if arch.combines_bounds() {
+        let snapshot = snapshot_for(&auditor, &ir);
+        let combined = combine_bounds_checks(&mut ir);
+        if let (Some(before), Some(a)) = (&snapshot, auditor.as_deref_mut()) {
+            a.validate_bounds(before, &ir);
+        }
+        audit(&mut auditor, &ir, "post-bounds");
+        changed |= combined > 0;
+    }
+    if arch.removes_overflow() {
+        changed |= remove_overflow_checks(&mut ir) > 0;
+        audit(&mut auditor, &ir, "post-sof");
+    }
+    if arch.strips_all_checks() {
+        strip_all_checks(&mut ir);
+        audit(&mut auditor, &ir, "post-strip");
+        changed = true;
+    }
+    if changed {
+        run_passes(&mut ir, passes, &mut auditor);
+    }
+    audit(&mut auditor, &ir, "final");
+    Ok(ir)
 }
 
 #[cfg(test)]

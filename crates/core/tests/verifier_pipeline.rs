@@ -1,0 +1,224 @@
+//! Property test (satellite of the static-analysis PR): for randomly
+//! generated MiniJS programs, every tier pipeline under every architecture
+//! must produce verifier-clean IR at every stage — the pass sanitizer
+//! finds no SSA, dominance, phi, or transaction-safety violations, and
+//! every bounds-combining application survives translation validation.
+//!
+//! The generator is a deterministic splitmix64-driven grammar walk (no
+//! external fuzzing deps): nested counted loops, array reads/writes,
+//! branches, compound assignments, break/continue. Failures print the
+//! seed and the full source, so any regression is replayable.
+
+use nomap_core::{
+    compile_dfg_audited, compile_ftl_audited, compile_txn_callee_audited, Architecture,
+    AuditOptions, TxnScope,
+};
+use nomap_ir::passes::PassConfig;
+use nomap_runtime::Runtime;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn pick<'a>(&mut self, xs: &'a [&'a str]) -> &'a str {
+        xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+struct Gen {
+    rng: Rng,
+    src: String,
+    /// Scalar variables in scope.
+    vars: Vec<String>,
+    /// Loop nesting depth (gates break/continue and loop recursion).
+    depth: u32,
+    next_var: u32,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen { rng: Rng(seed), src: String::new(), vars: Vec::new(), depth: 0, next_var: 0 }
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.next_var += 1;
+        format!("{prefix}{}", self.next_var)
+    }
+
+    fn var(&mut self) -> String {
+        self.vars[self.rng.below(self.vars.len() as u64) as usize].clone()
+    }
+
+    /// A small arithmetic expression over in-scope scalars, constants and
+    /// array reads.
+    fn expr(&mut self, budget: u32) -> String {
+        if budget == 0 || self.rng.below(3) == 0 {
+            return match self.rng.below(3) {
+                0 => format!("{}", self.rng.below(100)),
+                1 => self.var(),
+                _ => format!("a[{} % 64]", self.var()),
+            };
+        }
+        let op = self.rng.pick(&["+", "-", "*", "&", "|", "^"]);
+        let l = self.expr(budget - 1);
+        let r = self.expr(budget - 1);
+        format!("({l} {op} {r})")
+    }
+
+    fn cond(&mut self) -> String {
+        let op = self.rng.pick(&["<", "<=", ">", ">=", "==", "!="]);
+        let l = self.var();
+        let r = self.expr(1);
+        format!("{l} {op} {r}")
+    }
+
+    fn stmt(&mut self, budget: u32) {
+        match self.rng.below(if self.depth > 0 { 7 } else { 5 }) {
+            0 if budget > 0 && self.depth < 3 => self.for_loop(budget - 1),
+            1 if budget > 0 => self.if_stmt(budget - 1),
+            2 => {
+                let i = self.var();
+                let e = self.expr(2);
+                self.src.push_str(&format!("a[{i} % 64] = {e};\n"));
+            }
+            3 => {
+                let v = self.fresh("t");
+                let e = self.expr(2);
+                self.src.push_str(&format!("var {v} = {e};\n"));
+                self.vars.push(v);
+            }
+            // Arms 5/6 are only reachable inside a loop.
+            5 => {
+                let c = self.cond();
+                self.src.push_str(&format!("if ({c}) {{ break; }}\n"));
+            }
+            6 => {
+                let c = self.cond();
+                self.src.push_str(&format!("if ({c}) {{ continue; }}\n"));
+            }
+            // 4, plus guard fall-throughs from 0/1: plain assignment.
+            _ => {
+                let v = self.var();
+                let e = self.expr(2);
+                let op = self.rng.pick(&["=", "+=", "-=", "*="]);
+                self.src.push_str(&format!("{v} {op} {e};\n"));
+            }
+        }
+    }
+
+    fn block(&mut self, budget: u32) {
+        let n = 1 + self.rng.below(3);
+        for _ in 0..n {
+            self.stmt(budget);
+        }
+    }
+
+    fn for_loop(&mut self, budget: u32) {
+        let i = self.fresh("i");
+        let bound = match self.rng.below(3) {
+            0 => "n".to_string(),
+            1 => format!("{}", 2 + self.rng.below(200)),
+            _ => format!("{}", 1000 + self.rng.below(100_000)),
+        };
+        let step = self.rng.pick(&["++", " += 2"]);
+        self.src.push_str(&format!("for (var {i} = 0; {i} < {bound}; {i}{step}) {{\n"));
+        self.vars.push(i);
+        self.depth += 1;
+        self.block(budget);
+        self.depth -= 1;
+        self.vars.pop();
+        self.src.push_str("}\n");
+    }
+
+    fn if_stmt(&mut self, budget: u32) {
+        let c = self.cond();
+        self.src.push_str(&format!("if ({c}) {{\n"));
+        self.block(budget);
+        if self.rng.below(2) == 0 {
+            self.src.push_str("} else {\n");
+            self.block(budget);
+        }
+        self.src.push_str("}\n");
+    }
+
+    fn function(mut self) -> String {
+        self.src.push_str("function f(a, n) {\nvar s = 0;\nvar x = 1;\n");
+        self.vars = vec!["s".into(), "x".into(), "n".into()];
+        let n = 2 + self.rng.below(3);
+        for _ in 0..n {
+            self.stmt(3);
+        }
+        self.src.push_str("return s;\n}\n");
+        self.src
+    }
+}
+
+#[test]
+fn random_programs_are_verifier_clean_on_every_architecture() {
+    let scopes =
+        [TxnScope::Nest, TxnScope::Inner, TxnScope::InnerTiled(8), TxnScope::InnerTiled(256)];
+    for seed in 0..48u64 {
+        let src = Gen::new(seed.wrapping_mul(0x5851_f42d_4c95_7f2d) + 1).function();
+        let program = match nomap_bytecode::compile_program(&src) {
+            Ok(p) => p,
+            Err(e) => panic!("seed {seed}: generator produced invalid MiniJS ({e:?}):\n{src}"),
+        };
+        let f = program.function_named("f").unwrap();
+        let mut rt = Runtime::new();
+        let opts = AuditOptions { verify: true, seed_scope: false };
+
+        let dfg = compile_dfg_audited(f, &mut rt, opts).unwrap();
+        assert!(dfg.clean(), "seed {seed} dfg: {:?}\n{src}", dfg.diagnostics);
+
+        for arch in Architecture::ALL {
+            let scope = scopes[(seed % scopes.len() as u64) as usize];
+            let audit =
+                compile_ftl_audited(f, &mut rt, arch, scope, PassConfig::ftl(), opts).unwrap();
+            assert!(
+                audit.clean(),
+                "seed {seed} {arch:?} {scope:?}: {:?}\n{src}",
+                audit.diagnostics
+            );
+            assert!(audit.code.is_some());
+
+            let callee =
+                compile_txn_callee_audited(f, &mut rt, arch, PassConfig::ftl(), opts).unwrap();
+            assert!(callee.clean(), "seed {seed} {arch:?} callee: {:?}\n{src}", callee.diagnostics);
+        }
+    }
+}
+
+/// Scope seeding on random programs must terminate, never upgrade the
+/// requested rung, and still end verifier-clean.
+#[test]
+fn random_programs_seed_scope_cleanly() {
+    for seed in 100..124u64 {
+        let src = Gen::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) + 7).function();
+        let program = nomap_bytecode::compile_program(&src).unwrap();
+        let f = program.function_named("f").unwrap();
+        let mut rt = Runtime::new();
+        let opts = AuditOptions { verify: true, seed_scope: true };
+        let audit = compile_ftl_audited(
+            f,
+            &mut rt,
+            Architecture::NoMap,
+            TxnScope::Nest,
+            PassConfig::ftl(),
+            opts,
+        )
+        .unwrap();
+        assert!(audit.clean(), "seed {seed}: {:?}\n{src}", audit.diagnostics);
+        assert!(audit.code.is_some());
+    }
+}

@@ -125,7 +125,7 @@ pub fn find_loops(f: &IrFunc, doms: &Dominators) -> Vec<Loop> {
         if !doms.reachable(b) {
             continue;
         }
-        for s in f.succs(b) {
+        for s in f.succ_iter(b) {
             if doms.dominates(s, b) {
                 // Back edge b → s.
                 if let Some(l) = loops.iter_mut().find(|l| l.header == s) {
@@ -143,7 +143,7 @@ pub fn find_loops(f: &IrFunc, doms: &Dominators) -> Vec<Loop> {
     for l in &mut loops {
         let mut exits = Vec::new();
         for &b in &l.body {
-            for s in f.succs(b) {
+            for s in f.succ_iter(b) {
                 if !l.body.contains(&s) {
                     exits.push((b, s));
                 }
@@ -220,6 +220,94 @@ pub fn loop_any(f: &IrFunc, l: &Loop, mut pred: impl FnMut(&Inst) -> bool) -> bo
 /// True when the loop contains a call (runtime or JS).
 pub fn loop_has_call(f: &IrFunc, l: &Loop) -> bool {
     loop_any(f, l, |i| matches!(i.kind, InstKind::CallRuntime { .. } | InstKind::CallJs { .. }))
+}
+
+/// Per-block transaction nesting depths, as determined by `XBegin`/`XEnd`
+/// placement.
+#[derive(Debug, Clone)]
+pub struct TxnDepthInfo {
+    /// `(entry_depth, exit_depth)` per block; `None` for unreachable blocks.
+    pub depths: Vec<Option<(u32, u32)>>,
+    /// Blocks whose predecessors disagree on the entry depth.
+    pub conflicts: Vec<BlockId>,
+    /// Blocks containing an `XEnd` with no open transaction.
+    pub underflows: Vec<BlockId>,
+}
+
+impl TxnDepthInfo {
+    /// Transaction depth at the point just *before* executing `v` in `b`,
+    /// or `None` when `b` is unreachable or doesn't contain `v`.
+    pub fn depth_before(&self, f: &IrFunc, b: BlockId, v: ValueId) -> Option<u32> {
+        let (mut depth, _) = self.depths[b.0 as usize]?;
+        for &i in &f.blocks[b.0 as usize].insts {
+            if i == v {
+                return Some(depth);
+            }
+            match f.inst(i).kind {
+                InstKind::XBegin => depth += 1,
+                InstKind::XEnd => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+/// Computes the transaction nesting depth entering and leaving every
+/// reachable block, starting from `entry_depth` at the function entry
+/// (non-zero for transaction callees inlined under a caller's `XBegin`).
+///
+/// Forward dataflow over reverse post-order: a block's entry depth is the
+/// exit depth of its first already-visited predecessor; a second pass flags
+/// any predecessor that disagrees (recorded in `conflicts`). `XEnd` below
+/// depth zero clamps and is recorded in `underflows`.
+pub fn txn_depths(f: &IrFunc, entry_depth: u32) -> TxnDepthInfo {
+    let rpo = f.rpo();
+    let n = f.blocks.len();
+    let mut depths: Vec<Option<(u32, u32)>> = vec![None; n];
+    let mut underflows = Vec::new();
+    for &b in &rpo {
+        let din = if b == f.entry {
+            entry_depth
+        } else {
+            f.blocks[b.0 as usize]
+                .preds
+                .iter()
+                .find_map(|p| depths[p.0 as usize].map(|(_, out)| out))
+                .unwrap_or(entry_depth)
+        };
+        let mut d = din;
+        let mut underflowed = false;
+        for &v in &f.blocks[b.0 as usize].insts {
+            match f.inst(v).kind {
+                InstKind::XBegin => d += 1,
+                InstKind::XEnd => {
+                    if d == 0 {
+                        underflowed = true;
+                    } else {
+                        d -= 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if underflowed {
+            underflows.push(b);
+        }
+        depths[b.0 as usize] = Some((din, d));
+    }
+    let mut conflicts = Vec::new();
+    for &b in &rpo {
+        let Some((din, _)) = depths[b.0 as usize] else { continue };
+        let disagrees = f.blocks[b.0 as usize]
+            .preds
+            .iter()
+            .any(|p| matches!(depths[p.0 as usize], Some((_, out)) if out != din));
+        if disagrees {
+            conflicts.push(b);
+        }
+    }
+    TxnDepthInfo { depths, conflicts, underflows }
 }
 
 #[cfg(test)]
@@ -331,5 +419,64 @@ mod tests {
         assert_eq!(loops[0].header, inner_h); // innermost first
         assert_eq!(loops[1].header, outer_h);
         assert!(loops[1].body.contains(&inner_b));
+    }
+
+    #[test]
+    fn txn_depths_tracks_begin_end() {
+        // entry [XBegin] → mid [XEnd] → exit
+        let mut f = IrFunc::new(FuncId(0), "txn", 0, 0);
+        let mid = f.new_block();
+        let exit = f.new_block();
+        f.append(f.entry, Inst::new(InstKind::XBegin));
+        f.append(f.entry, Inst::new(InstKind::Jump { target: mid }));
+        let xe = f.append(mid, Inst::new(InstKind::XEnd));
+        f.append(mid, Inst::new(InstKind::Jump { target: exit }));
+        let u = f.append(exit, Inst::new(InstKind::Const(nomap_runtime::Value::UNDEFINED)));
+        f.append(exit, Inst::new(InstKind::Return { v: u }));
+        f.compute_preds();
+        let info = txn_depths(&f, 0);
+        assert_eq!(info.depths[f.entry.0 as usize], Some((0, 1)));
+        assert_eq!(info.depths[mid.0 as usize], Some((1, 0)));
+        assert_eq!(info.depths[exit.0 as usize], Some((0, 0)));
+        assert!(info.conflicts.is_empty() && info.underflows.is_empty());
+        assert_eq!(info.depth_before(&f, mid, xe), Some(1));
+    }
+
+    #[test]
+    fn txn_depths_flags_underflow_and_conflict() {
+        // entry → (then [XBegin] | else) → join: join's preds disagree, and
+        // a stray XEnd in else underflows.
+        let mut f = IrFunc::new(FuncId(0), "bad", 0, 0);
+        let then_b = f.new_block();
+        let else_b = f.new_block();
+        let join = f.new_block();
+        let c = f.append(f.entry, Inst::new(InstKind::ConstI32(1)));
+        let cond = f.append(f.entry, Inst::new(InstKind::ICmp { cond: Cond::Eq, a: c, b: c }));
+        f.append(f.entry, Inst::new(InstKind::Branch { cond, then_b, else_b }));
+        f.append(then_b, Inst::new(InstKind::XBegin));
+        f.append(then_b, Inst::new(InstKind::Jump { target: join }));
+        f.append(else_b, Inst::new(InstKind::XEnd));
+        f.append(else_b, Inst::new(InstKind::Jump { target: join }));
+        let u = f.append(join, Inst::new(InstKind::Const(nomap_runtime::Value::UNDEFINED)));
+        f.append(join, Inst::new(InstKind::Return { v: u }));
+        f.compute_preds();
+        let info = txn_depths(&f, 0);
+        assert_eq!(info.underflows, vec![else_b]);
+        assert_eq!(info.conflicts, vec![join]);
+    }
+
+    #[test]
+    fn txn_depths_callee_entry_depth() {
+        let mut f = IrFunc::new(FuncId(0), "callee", 0, 0);
+        let xe = f.append(f.entry, Inst::new(InstKind::XEnd));
+        let u = f.append(f.entry, Inst::new(InstKind::Const(nomap_runtime::Value::UNDEFINED)));
+        f.append(f.entry, Inst::new(InstKind::Return { v: u }));
+        f.compute_preds();
+        // At depth 1 (txn callee) the XEnd is legal; at depth 0 it underflows.
+        let ok = txn_depths(&f, 1);
+        assert!(ok.underflows.is_empty());
+        assert_eq!(ok.depth_before(&f, f.entry, xe), Some(1));
+        let bad = txn_depths(&f, 0);
+        assert_eq!(bad.underflows, vec![f.entry]);
     }
 }

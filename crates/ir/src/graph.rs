@@ -36,6 +36,50 @@ impl fmt::Display for BlockId {
     }
 }
 
+/// Non-allocating iterator over a block's successors (at most two). Holds
+/// the targets by value, so the function can be mutated while iterating.
+#[derive(Debug, Clone, Copy)]
+pub struct Succs {
+    targets: [BlockId; 2],
+    len: u8,
+    next: u8,
+}
+
+impl Succs {
+    fn empty() -> Self {
+        Succs { targets: [BlockId(0); 2], len: 0, next: 0 }
+    }
+
+    fn one(t: BlockId) -> Self {
+        Succs { targets: [t, BlockId(0)], len: 1, next: 0 }
+    }
+
+    fn two(a: BlockId, b: BlockId) -> Self {
+        Succs { targets: [a, b], len: 2, next: 0 }
+    }
+}
+
+impl Iterator for Succs {
+    type Item = BlockId;
+
+    fn next(&mut self) -> Option<BlockId> {
+        if self.next < self.len {
+            let t = self.targets[self.next as usize];
+            self.next += 1;
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.len - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Succs {}
+
 /// An IR function under construction or optimization.
 #[derive(Debug, Clone)]
 pub struct IrFunc {
@@ -126,16 +170,23 @@ impl IrFunc {
         *self.blocks[b.0 as usize].insts.last().expect("block has a terminator")
     }
 
-    /// Successor blocks of `b`, from its terminator.
+    /// Successor blocks of `b` as a non-allocating iterator. Prefer this
+    /// over [`IrFunc::succs`] in hot loops (RPO, predecessor recomputation,
+    /// the verifier).
+    pub fn succ_iter(&self, b: BlockId) -> Succs {
+        let block = &self.blocks[b.0 as usize];
+        let Some(&term) = block.insts.last() else { return Succs::empty() };
+        match &self.inst(term).kind {
+            InstKind::Jump { target } => Succs::one(*target),
+            InstKind::Branch { then_b, else_b, .. } => Succs::two(*then_b, *else_b),
+            _ => Succs::empty(),
+        }
+    }
+
+    /// Successor blocks of `b`, from its terminator (allocating
+    /// convenience; see [`IrFunc::succ_iter`]).
     pub fn succs(&self, b: BlockId) -> Vec<BlockId> {
-        if self.blocks[b.0 as usize].insts.is_empty() {
-            return vec![];
-        }
-        match &self.inst(self.terminator(b)).kind {
-            InstKind::Jump { target } => vec![*target],
-            InstKind::Branch { then_b, else_b, .. } => vec![*then_b, *else_b],
-            _ => vec![],
-        }
+        self.succ_iter(b).collect()
     }
 
     /// Recomputes every block's predecessor list. Phi inputs must be kept
@@ -145,7 +196,7 @@ impl IrFunc {
             b.preds.clear();
         }
         for b in 0..self.blocks.len() as u32 {
-            for s in self.succs(BlockId(b)) {
+            for s in self.succ_iter(BlockId(b)) {
                 self.blocks[s.0 as usize].preds.push(BlockId(b));
             }
         }
@@ -158,10 +209,9 @@ impl IrFunc {
         let mut stack = vec![(self.entry, 0usize)];
         visited[self.entry.0 as usize] = true;
         while let Some((b, i)) = stack.pop() {
-            let succs = self.succs(b);
-            if i < succs.len() {
+            let mut succs = self.succ_iter(b);
+            if let Some(s) = succs.nth(i) {
                 stack.push((b, i + 1));
-                let s = succs[i];
                 if !visited[s.0 as usize] {
                     visited[s.0 as usize] = true;
                     stack.push((s, 0));
@@ -201,16 +251,42 @@ impl IrFunc {
 
     /// Splits the edge `from → to`, inserting a fresh block that jumps to
     /// `to`. Fixes preds and `to`'s phi input bookkeeping (the new block
-    /// simply replaces `from` in `to.preds`).
+    /// replaces `from` in `to.preds`).
+    ///
+    /// Parallel edges (a `Branch` whose arms both target `to`) are both
+    /// funnelled through the single new block: `mid` records one pred entry
+    /// per redirected edge, while `to` keeps exactly one pred entry for the
+    /// one `mid → to` edge — surplus entries and their phi inputs are
+    /// dropped (the parallel edges came from the same block, so the surplus
+    /// inputs are redundant).
     pub fn split_edge(&mut self, from: BlockId, to: BlockId) -> BlockId {
+        let parallel = self.succ_iter(from).filter(|&s| s == to).count();
         let mid = self.new_block();
         let jump = self.add_inst(Inst::new(InstKind::Jump { target: to }));
         self.blocks[mid.0 as usize].insts.push(jump);
         self.redirect_edge(from, to, mid);
-        self.blocks[mid.0 as usize].preds = vec![from];
-        for p in &mut self.blocks[to.0 as usize].preds {
-            if *p == from {
-                *p = mid;
+        self.blocks[mid.0 as usize].preds = vec![from; parallel];
+        let positions: Vec<usize> = self.blocks[to.0 as usize]
+            .preds
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p == from)
+            .map(|(i, _)| i)
+            .collect();
+        if let Some(&first) = positions.first() {
+            self.blocks[to.0 as usize].preds[first] = mid;
+            // Remove surplus entries (and matching phi inputs) back to
+            // front so earlier indices stay valid.
+            for &pos in positions.iter().skip(1).rev() {
+                self.blocks[to.0 as usize].preds.remove(pos);
+                let insts = self.blocks[to.0 as usize].insts.clone();
+                for v in insts {
+                    if let InstKind::Phi { inputs, .. } = &mut self.inst_mut(v).kind {
+                        if pos < inputs.len() {
+                            inputs.remove(pos);
+                        }
+                    }
+                }
             }
         }
         mid
@@ -226,12 +302,21 @@ impl IrFunc {
     }
 
     /// Checks structural invariants; returns a description of the first
-    /// violation.
+    /// violation. This is the cheap in-pass sanity check; the
+    /// `nomap-verify` crate layers full dominance-based SSA verification on
+    /// top of it.
     ///
     /// # Errors
     ///
     /// Returns a human-readable violation description.
     pub fn verify(&self) -> Result<(), String> {
+        if !self.blocks[self.entry.0 as usize].preds.is_empty() {
+            return Err(format!(
+                "entry {} has {} preds (must have none)",
+                self.entry,
+                self.blocks[self.entry.0 as usize].preds.len()
+            ));
+        }
         for (bi, b) in self.blocks.iter().enumerate() {
             let bid = BlockId(bi as u32);
             if b.insts.is_empty() {
@@ -265,14 +350,29 @@ impl IrFunc {
                     if op.0 as usize >= self.insts.len() {
                         return Err(format!("{v}: operand {op} out of range"));
                     }
+                    if matches!(self.inst(op).kind, InstKind::Nop) {
+                        return Err(format!("{v}: operand {op} references a dead (Nop) value"));
+                    }
                 }
             }
-            for s in self.succs(bid) {
+            for s in self.succ_iter(bid) {
                 if s.0 as usize >= self.blocks.len() {
                     return Err(format!("{bid}: successor {s} out of range"));
                 }
-                if !self.blocks[s.0 as usize].preds.contains(&bid) {
-                    return Err(format!("{bid} → {s} missing from preds"));
+                let edges = self.succ_iter(bid).filter(|&x| x == s).count();
+                let entries = self.blocks[s.0 as usize].preds.iter().filter(|&&p| p == bid).count();
+                if edges != entries {
+                    return Err(format!(
+                        "{bid} → {s}: {edges} edge(s) but {entries} pred entr(y/ies)"
+                    ));
+                }
+            }
+            for &p in &b.preds {
+                if p.0 as usize >= self.blocks.len() {
+                    return Err(format!("{bid}: pred {p} out of range"));
+                }
+                if !self.succ_iter(p).any(|s| s == bid) {
+                    return Err(format!("{bid} lists pred {p} but {p} has no edge to it"));
                 }
             }
         }
@@ -374,6 +474,77 @@ mod tests {
         assert!(f.blocks[join.0 as usize].preds.contains(&mid));
         assert!(!f.blocks[join.0 as usize].preds.contains(&then_b));
         assert_eq!(f.verify(), Ok(()));
+    }
+
+    #[test]
+    fn succ_iter_matches_succs() {
+        let f = diamond();
+        for b in 0..f.blocks.len() {
+            let bid = BlockId(b as u32);
+            assert_eq!(f.succ_iter(bid).collect::<Vec<_>>(), f.succs(bid));
+            assert_eq!(f.succ_iter(bid).len(), f.succs(bid).len());
+        }
+    }
+
+    /// A `Branch` whose arms both target the same block contributes two
+    /// parallel edges; splitting that edge must collapse them into a single
+    /// `mid → to` edge with matching phi inputs.
+    #[test]
+    fn split_parallel_edge_collapses_phi_inputs() {
+        let mut f = IrFunc::new(FuncId(0), "par", 0, 0);
+        let join = f.new_block();
+        let c = f.append(f.entry, Inst::new(InstKind::ConstI32(1)));
+        let cb = f.append(
+            f.entry,
+            Inst::new(InstKind::ICmp { cond: nomap_machine::Cond::Eq, a: c, b: c }),
+        );
+        f.append(f.entry, Inst::new(InstKind::Branch { cond: cb, then_b: join, else_b: join }));
+        let phi = f.append(join, Inst::new(InstKind::Phi { inputs: vec![c, c], ty: Ty::I32 }));
+        let boxed = f.append(join, Inst::new(InstKind::BoxI32(phi)));
+        f.append(join, Inst::new(InstKind::Return { v: boxed }));
+        f.compute_preds();
+        assert_eq!(f.verify(), Ok(()));
+
+        let mid = f.split_edge(f.entry, join);
+        // Both branch arms now target mid; mid has one jump into join.
+        assert_eq!(f.succ_iter(f.entry).collect::<Vec<_>>(), vec![mid, mid]);
+        assert_eq!(f.blocks[mid.0 as usize].preds, vec![f.entry, f.entry]);
+        assert_eq!(f.blocks[join.0 as usize].preds, vec![mid]);
+        match &f.inst(phi).kind {
+            InstKind::Phi { inputs, .. } => assert_eq!(inputs.len(), 1),
+            _ => unreachable!(),
+        }
+        assert_eq!(f.verify(), Ok(()));
+    }
+
+    #[test]
+    fn verify_catches_entry_with_preds() {
+        let mut f = diamond();
+        f.blocks[f.entry.0 as usize].preds.push(BlockId(1));
+        assert!(f.verify().unwrap_err().contains("entry"));
+    }
+
+    #[test]
+    fn verify_catches_nop_operand() {
+        let mut f = diamond();
+        // Nop out v1, which the join phi still references.
+        let v1 = f.blocks[1].insts[0];
+        f.inst_mut(v1).kind = InstKind::Nop;
+        assert!(f.verify().unwrap_err().contains("Nop"));
+    }
+
+    #[test]
+    fn verify_catches_pred_edge_mismatch() {
+        let mut f = diamond();
+        let join = BlockId(3);
+        // Claim an extra pred entry for an edge that exists only once.
+        f.blocks[join.0 as usize].preds.push(BlockId(1));
+        let phi_id = f.blocks[join.0 as usize].insts[0];
+        if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(phi_id).kind {
+            let v = inputs[0];
+            inputs.push(v);
+        }
+        assert!(f.verify().is_err());
     }
 
     #[test]

@@ -29,5 +29,5 @@ pub mod passes;
 pub mod scev;
 
 pub use build::{build_ir, BuildError, SpecLevel};
-pub use graph::{BlockId, IrFunc, ValueId};
+pub use graph::{BlockId, IrFunc, Succs, ValueId};
 pub use node::{Alias, CheckMode, Inst, InstKind, OsrState, Ty};

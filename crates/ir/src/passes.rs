@@ -48,21 +48,39 @@ impl PassConfig {
 /// Runs the configured pipeline to a fixpoint (two rounds are enough for
 /// the patterns that matter; more iterations would only burn compile time).
 pub fn run_pipeline(f: &mut IrFunc, config: PassConfig) {
+    run_pipeline_observed(f, config, &mut |_, _| {});
+}
+
+/// Like [`run_pipeline`], but invokes `observer` after every individual
+/// pass with the pass name. The pass sanitizer hangs the strict verifier
+/// off this hook; with a no-op observer the cost is identical to
+/// [`run_pipeline`].
+pub fn run_pipeline_observed(
+    f: &mut IrFunc,
+    config: PassConfig,
+    observer: &mut dyn FnMut(&IrFunc, &'static str),
+) {
     for _ in 0..2 {
         constfold(f);
+        observer(f, "constfold");
         if config.untag {
             untag_phis(f);
+            observer(f, "untag_phis");
         }
         if config.gvn {
             gvn(f);
+            observer(f, "gvn");
         }
         if config.licm {
             licm(f);
+            observer(f, "licm");
         }
         if config.promote {
             while promote_accumulators(f) {}
+            observer(f, "promote_accumulators");
         }
         dce(f);
+        observer(f, "dce");
     }
     debug_assert_eq!(f.verify(), Ok(()));
 }
@@ -513,17 +531,27 @@ fn load_key(kind: &InstKind) -> Option<(Alias, Vec<u64>)> {
 /// the loop may clobber them — in `Base` mode every SMP does) and
 /// `Abort`-mode checks.
 pub fn licm(f: &mut IrFunc) {
+    let has_txn = f.insts.iter().any(|i| matches!(i.kind, InstKind::XBegin));
     let doms = Dominators::compute(f);
     let loops = find_loops(f, &doms);
     for l in &loops {
         let Some(preheader) = ensure_preheader(f, l) else { continue };
+        // Abort-mode checks must stay inside their transaction. Hoisting
+        // inserts before the preheader terminator — i.e. after any XBegin
+        // living there — so the preheader's *exit* depth decides. When the
+        // function places no transactions itself (txn callees run entirely
+        // under the caller's XBegin, and non-txn tiers have no abort
+        // checks), the hoist is unconstrained.
+        let abort_in_txn = !has_txn
+            || crate::analysis::txn_depths(f, 0).depths[preheader.0 as usize]
+                .is_some_and(|(_, exit)| exit >= 1);
         let mut moved = true;
         while moved {
             moved = false;
             for &b in &l.body.clone() {
                 let insts = f.blocks[b.0 as usize].insts.clone();
                 for v in insts {
-                    if !hoistable(f, l, v) {
+                    if !hoistable(f, l, v, abort_in_txn) {
                         continue;
                     }
                     // Move v to the preheader.
@@ -540,7 +568,7 @@ pub fn licm(f: &mut IrFunc) {
     }
 }
 
-fn hoistable(f: &IrFunc, l: &Loop, v: ValueId) -> bool {
+fn hoistable(f: &IrFunc, l: &Loop, v: ValueId, abort_in_txn: bool) -> bool {
     let inst = f.inst(v);
     let invariant_operands = inst.operands().iter().all(|&o| defined_outside(f, l, o) || o == v);
     if !invariant_operands {
@@ -558,9 +586,11 @@ fn hoistable(f: &IrFunc, l: &Loop, v: ValueId) -> bool {
     }
     // Abort-mode checks can move freely inside the transaction (§IV-C);
     // hoisting one above the loop is safe — a spurious early abort only
-    // costs performance, never correctness.
+    // costs performance, never correctness. But the destination must still
+    // be transactional: landing outside every XBegin would execute an
+    // abort with no transaction to roll back.
     if inst.check_mode() == Some(CheckMode::Abort) {
-        return true;
+        return abort_in_txn;
     }
     false
 }

@@ -121,6 +121,82 @@ fn licm_hoists_loads_across_aborts_but_not_smps() {
 }
 
 #[test]
+fn licm_never_hoists_abort_checks_out_of_the_transaction() {
+    // Nested loops with the transaction scoped to the inner one (§V-C
+    // "Inner"): XBegin lives in the inner preheader, XEnd on the inner
+    // exit. An abort-mode check in the inner body whose operands are
+    // invariant w.r.t. BOTH loops may hoist into the inner preheader (still
+    // inside the transaction) but must never reach the outer preheader —
+    // there is no transaction to roll back out there.
+    let mut f = IrFunc::new(FuncId(0), "nest", 0, 0);
+    let outer_h = f.new_block();
+    let inner_ph = f.new_block();
+    let inner_h = f.new_block();
+    let inner_b = f.new_block();
+    let inner_done = f.new_block();
+    let exit = f.new_block();
+
+    let zero = f.append(f.entry, Inst::new(InstKind::ConstI32(0)));
+    let n = f.append(f.entry, Inst::new(InstKind::ConstI32(10)));
+    let fail = f.append(f.entry, Inst::new(InstKind::ConstBool(false)));
+    f.append(f.entry, Inst::new(InstKind::Jump { target: outer_h }));
+
+    let ophi = f.append(outer_h, Inst::new(InstKind::Phi { inputs: vec![zero], ty: Ty::I32 }));
+    let ocond = f.append(outer_h, Inst::new(InstKind::ICmp { cond: Cond::Lt, a: ophi, b: n }));
+    f.append(outer_h, Inst::new(InstKind::Branch { cond: ocond, then_b: inner_ph, else_b: exit }));
+
+    f.append(inner_ph, Inst::new(InstKind::XBegin));
+    f.append(inner_ph, Inst::new(InstKind::Jump { target: inner_h }));
+
+    let iphi = f.append(inner_h, Inst::new(InstKind::Phi { inputs: vec![zero], ty: Ty::I32 }));
+    let icond = f.append(inner_h, Inst::new(InstKind::ICmp { cond: Cond::Lt, a: iphi, b: n }));
+    f.append(
+        inner_h,
+        Inst::new(InstKind::Branch { cond: icond, then_b: inner_b, else_b: inner_done }),
+    );
+
+    let guard = f.append(
+        inner_b,
+        Inst::new(InstKind::Guard { kind: CheckKind::Type, cond: fail, mode: CheckMode::Abort }),
+    );
+    let one = f.append(inner_b, Inst::new(InstKind::ConstI32(1)));
+    let inext = f.append(
+        inner_b,
+        Inst::new(InstKind::CheckedAddI32 { a: iphi, b: one, mode: CheckMode::Sof }),
+    );
+    f.append(inner_b, Inst::new(InstKind::Jump { target: inner_h }));
+    if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(iphi).kind {
+        inputs.push(inext);
+    }
+
+    f.append(inner_done, Inst::new(InstKind::XEnd));
+    let one2 = f.append(inner_done, Inst::new(InstKind::ConstI32(1)));
+    let onext = f.append(
+        inner_done,
+        Inst::new(InstKind::CheckedAddI32 { a: ophi, b: one2, mode: CheckMode::Sof }),
+    );
+    f.append(inner_done, Inst::new(InstKind::Jump { target: outer_h }));
+    if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(ophi).kind {
+        inputs.push(onext);
+    }
+
+    let u = f.append(exit, Inst::new(InstKind::Const(Value::UNDEFINED)));
+    f.append(exit, Inst::new(InstKind::Return { v: u }));
+    f.compute_preds();
+    assert_eq!(f.verify(), Ok(()));
+
+    licm(&mut f);
+    assert_eq!(f.verify(), Ok(()));
+    let b = block_of(&f, guard).expect("guard still placed");
+    let depths = nomap_ir::analysis::txn_depths(&f, 0);
+    let depth = depths.depth_before(&f, b, guard).expect("guard reachable");
+    assert!(
+        depth >= 1,
+        "abort-mode guard hoisted outside the transaction (landed in {b} at depth {depth})"
+    );
+}
+
+#[test]
 fn promotion_sinks_the_accumulator_only_without_smps() {
     let mut l = build_loop(CheckMode::Abort);
     assert!(promote_accumulators(&mut l.f), "promotes in abort mode");

@@ -11,8 +11,8 @@ use nomap_machine::{AbortReason, CheckKind, Tier};
 use crate::json::{obj, JsonValue};
 
 /// JSONL schema version stamped on every serialized event. Bump when event
-/// fields change incompatibly.
-pub const SCHEMA_VERSION: u32 = 1;
+/// fields change incompatibly. (v2 added the `verify` event.)
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One VM lifecycle event.
 ///
@@ -106,6 +106,23 @@ pub enum TraceEvent {
         /// Check-caused aborts that triggered the recompile.
         check_aborts: u32,
     },
+    /// One pass-sanitized (audited) compilation's verifier outcome.
+    Verify {
+        /// Function compiled.
+        func: u32,
+        /// Function name.
+        name: String,
+        /// Verification stages that ran (post-build, post-placement,
+        /// after each pass, bounds TV, final, ...).
+        stages: usize,
+        /// Findings across all stages, warnings included.
+        diagnostics: usize,
+        /// True when no *error* diagnostics fired.
+        clean: bool,
+        /// Scope chosen by footprint-based seeding when it differs from
+        /// the requested one, e.g. `"InnerTiled(64)"`.
+        seeded_scope: Option<String>,
+    },
     /// Optimizer-pass outcomes for one FTL compilation (§IV-C).
     PassOutcome {
         /// Function compiled.
@@ -167,6 +184,7 @@ impl TraceEvent {
             TraceEvent::TxAbort { .. } => "tx-abort",
             TraceEvent::LadderStep { .. } => "ladder-step",
             TraceEvent::Recompile { .. } => "recompile",
+            TraceEvent::Verify { .. } => "verify",
             TraceEvent::PassOutcome { .. } => "pass-outcome",
         }
     }
@@ -235,6 +253,17 @@ impl TraceEvent {
                 m.push(("name", name.as_str().into()));
                 m.push(("check_aborts", (*check_aborts).into()));
             }
+            TraceEvent::Verify { func, name, stages, diagnostics, clean, seeded_scope } => {
+                m.push(("func", (*func).into()));
+                m.push(("name", name.as_str().into()));
+                m.push(("stages", (*stages).into()));
+                m.push(("diagnostics", (*diagnostics).into()));
+                m.push(("clean", (*clean).into()));
+                match seeded_scope {
+                    Some(s) => m.push(("seeded_scope", s.as_str().into())),
+                    None => m.push(("seeded_scope", JsonValue::Null)),
+                }
+            }
             TraceEvent::PassOutcome {
                 func,
                 name,
@@ -293,6 +322,16 @@ impl TraceEvent {
             TraceEvent::Recompile { name, check_aborts, .. } => {
                 format!("recompile    {name} after {check_aborts} check aborts")
             }
+            TraceEvent::Verify { name, stages, diagnostics, clean, seeded_scope, .. } => {
+                let verdict = if *clean { "clean" } else { "DIRTY" };
+                let seeded = match seeded_scope {
+                    Some(s) => format!(", seeded {s}"),
+                    None => String::new(),
+                };
+                format!(
+                    "verify       {name}: {verdict}  [{stages} stages, {diagnostics} findings{seeded}]"
+                )
+            }
             TraceEvent::PassOutcome {
                 name,
                 transactions_placed,
@@ -328,6 +367,26 @@ mod tests {
         assert!(s.contains("\"reason\":\"check\""));
         assert!(s.contains("\"check\":\"bounds\""));
         assert!(s.contains("\"footprint_bytes\":128"));
+    }
+
+    #[test]
+    fn verify_event_serializes_and_renders() {
+        let ev = TraceEvent::Verify {
+            func: 4,
+            name: "hot".into(),
+            stages: 17,
+            diagnostics: 1,
+            clean: true,
+            seeded_scope: Some("InnerTiled(64)".into()),
+        };
+        assert_eq!(ev.kind(), "verify");
+        let s = ev.to_json(2, 50).render();
+        assert!(s.contains("\"ev\":\"verify\""));
+        assert!(s.contains("\"stages\":17"));
+        assert!(s.contains("\"clean\":true"));
+        assert!(s.contains("\"seeded_scope\":\"InnerTiled(64)\""));
+        let line = ev.render(2, 50);
+        assert!(line.contains("hot: clean") && line.contains("seeded InnerTiled(64)"));
     }
 
     #[test]

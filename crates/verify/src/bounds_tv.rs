@@ -1,0 +1,182 @@
+//! Layer 3: translation validation for bounds-check combining (§IV-C1).
+//!
+//! `combine_bounds_checks` deletes every per-iteration `Guard(Bounds)` on a
+//! monotonic induction variable and replaces it with one extreme-index
+//! check (sunk below the loop for increasing variables, hoisted above it
+//! for decreasing ones). Rather than trusting the pass, this validator
+//! re-derives the justification from scratch on the *input* IR and checks
+//! the compensation on the *output* IR:
+//!
+//! 1. every deleted check (a `Guard(Bounds, Abort)` that became `Nop`)
+//!    must sit in a loop, test a phi that `scev` independently proves to be
+//!    an affine induction variable with non-zero constant step, against a
+//!    loop-invariant length;
+//! 2. the output must contain the implied extreme check: for an increasing
+//!    variable, `ICmp(Gt, phi, len)` + `Guard(Bounds, Abort)` on **every**
+//!    exit edge of the loop (the phi's exit value is `> every index used`
+//!    for step ≥ 1, so `exit_value ≤ len` implies every deleted
+//!    `index < len`); for a decreasing variable, `ICmp(AboveEq, init,
+//!    len)` + guard in the preheader (the first index is the largest).
+//!
+//! Passes only `Nop`-out instructions in place, so `ValueId`s are stable
+//! between the two sides and the deleted set is computed by direct
+//! comparison.
+
+use nomap_ir::analysis::{defined_outside, find_loops, Dominators, Loop};
+use nomap_ir::scev::induction_vars;
+use nomap_ir::{BlockId, CheckMode, InstKind, IrFunc, ValueId};
+use nomap_machine::{CheckKind, Cond};
+
+use crate::diag::{DiagCode, Diagnostic};
+
+/// Validates one application of `combine_bounds_checks`: `before` is the
+/// IR immediately prior to the pass, `after` immediately after. Returns a
+/// diagnostic per deleted check that cannot be re-proven.
+pub fn validate_bounds_combining(before: &IrFunc, after: &IrFunc) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let deleted: Vec<ValueId> = (0..before.insts.len() as u32)
+        .map(ValueId)
+        .filter(|&v| {
+            matches!(
+                before.inst(v).kind,
+                InstKind::Guard { kind: CheckKind::Bounds, mode: CheckMode::Abort, .. }
+            ) && matches!(after.inst(v).kind, InstKind::Nop)
+        })
+        .collect();
+    if deleted.is_empty() {
+        return diags;
+    }
+
+    let doms = Dominators::compute(before);
+    let loops = find_loops(before, &doms);
+    let after_doms = Dominators::compute(after);
+    let after_loops = find_loops(after, &after_doms);
+
+    for v in deleted {
+        let Some(guard_block) = block_of(before, v) else {
+            // Unplaced guards can't have been "deleted from a loop".
+            diags.push(no_loop(before, v));
+            continue;
+        };
+        let InstKind::Guard { cond, .. } = before.inst(v).kind else { unreachable!() };
+        let (idx, len) = match before.inst(cond).kind {
+            InstKind::ICmp { cond: Cond::AboveEq, a, b } => (a, b),
+            _ => {
+                diags.push(Diagnostic::new(
+                    DiagCode::BoundsNotInduction,
+                    &before.name,
+                    Some(guard_block),
+                    Some(v),
+                    format!("deleted bounds check {v} does not test ICmp(AboveEq, idx, len)"),
+                ));
+                continue;
+            }
+        };
+
+        // Candidate loops: every loop containing the guard, innermost
+        // first (find_loops already sorts by body size). The pass may have
+        // justified the deletion against any of them.
+        let containing: Vec<&Loop> = loops.iter().filter(|l| l.contains(guard_block)).collect();
+        if containing.is_empty() {
+            diags.push(no_loop(before, v));
+            continue;
+        }
+
+        let mut best = DiagCode::BoundsNotInduction;
+        let mut proven = false;
+        for l in &containing {
+            let ivs = induction_vars(before, l);
+            let Some(iv) = ivs.iter().find(|iv| iv.phi == idx) else { continue };
+            if !defined_outside(before, l, len) {
+                best = DiagCode::BoundsLenVariant;
+                continue;
+            }
+            best = DiagCode::BoundsNoCompensation;
+            if compensation_present(after, &after_loops, l.header, iv.increasing(), idx, len) {
+                proven = true;
+                break;
+            }
+        }
+        if !proven {
+            let what = match best {
+                DiagCode::BoundsNotInduction => format!(
+                    "index {idx} of deleted check {v} is not a proven monotonic \
+                     induction variable of any enclosing loop"
+                ),
+                DiagCode::BoundsLenVariant => format!(
+                    "length {len} of deleted check {v} is not invariant in the \
+                     loop that owns index {idx}"
+                ),
+                _ => format!(
+                    "no extreme-index compensation check found for deleted check {v} \
+                     (index {idx}, length {len})"
+                ),
+            };
+            diags.push(Diagnostic::new(best, &before.name, Some(guard_block), Some(v), what));
+        }
+    }
+    diags
+}
+
+fn no_loop(before: &IrFunc, v: ValueId) -> Diagnostic {
+    Diagnostic::new(
+        DiagCode::BoundsNoLoop,
+        &before.name,
+        block_of(before, v),
+        Some(v),
+        format!("bounds check {v} was deleted outside any loop"),
+    )
+}
+
+fn block_of(f: &IrFunc, v: ValueId) -> Option<BlockId> {
+    f.blocks.iter().enumerate().find(|(_, b)| b.insts.contains(&v)).map(|(i, _)| BlockId(i as u32))
+}
+
+/// Does `after` contain the extreme-index check implied by deleting the
+/// per-iteration checks of `(phi, len)` in the loop headed at `header`?
+fn compensation_present(
+    after: &IrFunc,
+    after_loops: &[Loop],
+    header: BlockId,
+    increasing: bool,
+    phi: ValueId,
+    len: ValueId,
+) -> bool {
+    let Some(l) = after_loops.iter().find(|l| l.header == header) else {
+        return false;
+    };
+    if increasing {
+        // Every exit edge must land in a block performing
+        // Guard(Bounds, Abort, ICmp(Gt, phi, len)).
+        !l.exits.is_empty()
+            && l.exits.iter().all(|&(_, target)| has_check(after, target, Cond::Gt, phi, len))
+    } else {
+        // The preheader (unique non-latch predecessor of the header) must
+        // perform Guard(Bounds, Abort, ICmp(AboveEq, init, len)). The init
+        // value is whatever the phi receives along that entry edge.
+        let preds = &after.blocks[header.0 as usize].preds;
+        let entries: Vec<(usize, BlockId)> = preds
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !l.latches.contains(p))
+            .map(|(i, &p)| (i, p))
+            .collect();
+        let &[(entry_pos, preheader)] = entries.as_slice() else { return false };
+        let InstKind::Phi { inputs, .. } = &after.inst(phi).kind else { return false };
+        let Some(&init) = inputs.get(entry_pos) else { return false };
+        has_check(after, preheader, Cond::AboveEq, init, len)
+    }
+}
+
+/// Does `block` contain `Guard(Bounds, Abort)` over `ICmp(cond, a, b)`?
+fn has_check(f: &IrFunc, block: BlockId, cond: Cond, a: ValueId, b: ValueId) -> bool {
+    f.blocks[block.0 as usize].insts.iter().any(|&v| {
+        let InstKind::Guard { kind: CheckKind::Bounds, cond: c, mode: CheckMode::Abort } =
+            f.inst(v).kind
+        else {
+            return false;
+        };
+        matches!(f.inst(c).kind, InstKind::ICmp { cond: ic, a: ia, b: ib }
+            if ic == cond && ia == a && ib == b)
+    })
+}

@@ -1,0 +1,257 @@
+//! Structured diagnostics shared by every verifier layer.
+
+use std::fmt;
+
+use nomap_ir::{BlockId, ValueId};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// The IR is wrong; lowering it would miscompile. Compilation must not
+    /// proceed.
+    Error,
+    /// The IR is legal but predicted to perform badly (e.g. a transaction
+    /// guaranteed to overflow HTM capacity).
+    Warning,
+}
+
+/// Every finding the verifier layers can produce. The kebab-case string
+/// form (see [`DiagCode::as_str`]) is the stable identifier used in lint
+/// output, trace events, and the DESIGN.md catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagCode {
+    // ---- strict SSA/CFG layer ---------------------------------------------
+    /// The entry block has predecessors.
+    EntryHasPreds,
+    /// A reachable block does not end in a terminator.
+    NoTerminator,
+    /// A terminator appears before the end of a block.
+    MidBlockTerminator,
+    /// A phi's input count differs from its block's predecessor count.
+    PhiArityMismatch,
+    /// A phi appears below a non-phi instruction.
+    PhiAfterNonPhi,
+    /// A phi input's definition does not dominate the corresponding
+    /// predecessor.
+    PhiInputUndominated,
+    /// An operand's `ValueId` is outside the instruction arena.
+    OperandOutOfRange,
+    /// An operand references a `Nop` (dead) instruction.
+    OperandNop,
+    /// An operand is not placed in any block, or its definition does not
+    /// dominate the use.
+    OperandUndominated,
+    /// The same instruction is placed in more than one position.
+    DuplicatePlacement,
+    /// A block's predecessor list disagrees with the actual CFG edges.
+    PredSuccMismatch,
+
+    // ---- transaction-safety layer -----------------------------------------
+    /// An `Abort`-mode check can execute with no transaction open.
+    AbortOutsideTxn,
+    /// `Sof`-mode arithmetic can execute with no transaction open, so no
+    /// `XEnd` would ever test the sticky overflow flag.
+    SofOutsideTxn,
+    /// An `XEnd` can execute with no open transaction.
+    XendUnderflow,
+    /// Predecessors disagree on the transaction depth entering a block.
+    TxnDepthConflict,
+    /// A `Return` executes while a transaction opened by this function is
+    /// still uncommitted.
+    TxnOpenAtReturn,
+    /// An `XBegin` carries no OSR fallback state.
+    XbeginMissingOsr,
+    /// `Sof`-mode arithmetic on a machine whose HTM has no sticky overflow
+    /// flag.
+    SofUnsupported,
+
+    // ---- bounds-combining translation validation --------------------------
+    /// A deleted per-iteration bounds check does not test a proven
+    /// monotonic induction variable.
+    BoundsNotInduction,
+    /// A deleted bounds check's length operand is not loop-invariant.
+    BoundsLenVariant,
+    /// No extreme-index compensation check covers a deleted bounds check.
+    BoundsNoCompensation,
+    /// A bounds check was deleted outside any loop.
+    BoundsNoLoop,
+
+    // ---- write-footprint estimation ----------------------------------------
+    /// The static lower bound on distinct written lines exceeds what the
+    /// HTM can buffer: the transaction is guaranteed to capacity-abort.
+    CapacityOverflowPredicted,
+}
+
+impl DiagCode {
+    /// Stable kebab-case identifier.
+    pub fn as_str(&self) -> &'static str {
+        use DiagCode::*;
+        match self {
+            EntryHasPreds => "entry-has-preds",
+            NoTerminator => "no-terminator",
+            MidBlockTerminator => "mid-block-terminator",
+            PhiArityMismatch => "phi-arity-mismatch",
+            PhiAfterNonPhi => "phi-after-non-phi",
+            PhiInputUndominated => "phi-input-undominated",
+            OperandOutOfRange => "operand-out-of-range",
+            OperandNop => "operand-nop",
+            OperandUndominated => "operand-undominated",
+            DuplicatePlacement => "duplicate-placement",
+            PredSuccMismatch => "pred-succ-mismatch",
+            AbortOutsideTxn => "abort-outside-txn",
+            SofOutsideTxn => "sof-outside-txn",
+            XendUnderflow => "xend-underflow",
+            TxnDepthConflict => "txn-depth-conflict",
+            TxnOpenAtReturn => "txn-open-at-return",
+            XbeginMissingOsr => "xbegin-missing-osr",
+            SofUnsupported => "sof-unsupported",
+            BoundsNotInduction => "bounds-not-induction",
+            BoundsLenVariant => "bounds-len-variant",
+            BoundsNoCompensation => "bounds-no-compensation",
+            BoundsNoLoop => "bounds-no-loop",
+            CapacityOverflowPredicted => "capacity-overflow-predicted",
+        }
+    }
+
+    /// Severity of this code.
+    pub fn severity(&self) -> Severity {
+        match self {
+            DiagCode::CapacityOverflowPredicted => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One verifier finding, locatable down to a block and instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// What was found.
+    pub code: DiagCode,
+    /// Function name the finding is in.
+    pub func: String,
+    /// Verification stage that produced it (e.g. `"post-build"`,
+    /// `"after:licm"`).
+    pub stage: String,
+    /// Block, when the finding is block-local.
+    pub block: Option<BlockId>,
+    /// Instruction, when the finding is instruction-local.
+    pub value: Option<ValueId>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no stage (filled in by the driver).
+    pub fn new(
+        code: DiagCode,
+        func: &str,
+        block: Option<BlockId>,
+        value: Option<ValueId>,
+        message: String,
+    ) -> Self {
+        Diagnostic { code, func: func.to_string(), stage: String::new(), block, value, message }
+    }
+
+    /// Severity shortcut.
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// Is this an error (as opposed to a warning)?
+    pub fn is_error(&self) -> bool {
+        self.severity() == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev}[{}] {}", self.code, self.func)?;
+        if !self.stage.is_empty() {
+            write!(f, " ({})", self.stage)?;
+        }
+        if let Some(b) = self.block {
+            write!(f, " {b}")?;
+        }
+        if let Some(v) = self.value {
+            write!(f, " {v}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// True when any diagnostic in the slice is an error.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(Diagnostic::is_error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_kebab_case_and_unique() {
+        let all = [
+            DiagCode::EntryHasPreds,
+            DiagCode::NoTerminator,
+            DiagCode::MidBlockTerminator,
+            DiagCode::PhiArityMismatch,
+            DiagCode::PhiAfterNonPhi,
+            DiagCode::PhiInputUndominated,
+            DiagCode::OperandOutOfRange,
+            DiagCode::OperandNop,
+            DiagCode::OperandUndominated,
+            DiagCode::DuplicatePlacement,
+            DiagCode::PredSuccMismatch,
+            DiagCode::AbortOutsideTxn,
+            DiagCode::SofOutsideTxn,
+            DiagCode::XendUnderflow,
+            DiagCode::TxnDepthConflict,
+            DiagCode::TxnOpenAtReturn,
+            DiagCode::XbeginMissingOsr,
+            DiagCode::SofUnsupported,
+            DiagCode::BoundsNotInduction,
+            DiagCode::BoundsLenVariant,
+            DiagCode::BoundsNoCompensation,
+            DiagCode::BoundsNoLoop,
+            DiagCode::CapacityOverflowPredicted,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for c in all {
+            let s = c.as_str();
+            assert!(s.chars().all(|ch| ch.is_ascii_lowercase() || ch == '-'), "{s}");
+            assert!(seen.insert(s), "duplicate code string {s}");
+        }
+    }
+
+    #[test]
+    fn display_mentions_code_and_location() {
+        let d = Diagnostic::new(
+            DiagCode::OperandNop,
+            "f",
+            Some(BlockId(2)),
+            Some(ValueId(7)),
+            "v7 uses dead v3".into(),
+        );
+        let s = d.to_string();
+        assert!(s.contains("operand-nop") && s.contains('f'));
+        assert!(d.is_error());
+        assert!(!Diagnostic::new(
+            DiagCode::CapacityOverflowPredicted,
+            "f",
+            None,
+            None,
+            String::new()
+        )
+        .is_error());
+    }
+}

@@ -1,0 +1,240 @@
+//! Layer 4: static write-footprint estimation (§V-C seeding).
+//!
+//! The runtime transaction ladder (`Nest → Inner → InnerTiled → None`)
+//! discovers HTM capacity limits *empirically*: each rung costs a capacity
+//! abort, a rollback, and a recompile. Much of that is statically
+//! predictable. For every innermost loop this estimator derives a **proven
+//! lower bound** on the distinct cache lines the loop's element stores
+//! write per full execution:
+//!
+//! * the trip count must be a compile-time constant (constant-bounded
+//!   header compare over a `scev` induction variable with constant init);
+//! * only stores that execute on every iteration (their block dominates a
+//!   latch) and whose address is an affine function of the induction
+//!   variable are counted — everything else contributes zero, keeping the
+//!   bound sound;
+//! * evenly-spaced lines spread over the write cache's sets round-robin,
+//!   so by pigeonhole `lines > sets × ways` guarantees some set overflows
+//!   its associativity — the exact capacity-abort condition of
+//!   [`nomap_machine::HtmModel`].
+//!
+//! When the bound proves a guaranteed abort, the estimator recommends the
+//! ladder rung that would actually fit: a strip-mine tile sized to half
+//! the write capacity, or no transaction at all when the loop calls out
+//! (the ladder blames callees for overflows, per the paper). A wrong
+//! *non-proof* merely leaves the runtime ladder to do its usual job; the
+//! recommendation never loosens safety, only skips predictably-doomed
+//! rungs.
+
+use nomap_ir::analysis::{find_loops, loop_has_call, Dominators, Loop};
+use nomap_ir::scev::{induction_vars, IndVar};
+use nomap_ir::{BlockId, InstKind, IrFunc};
+use nomap_machine::HtmModel;
+use nomap_runtime::WORD_BYTES;
+
+use crate::diag::{DiagCode, Diagnostic};
+
+/// What the estimator recommends for the initial `TxnScope`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeAdvice {
+    /// No proven overflow: keep whatever scope the ladder would start at.
+    Keep,
+    /// Innermost transactions overflow; start strip-mined at this tile.
+    Tile(u32),
+    /// An overflowing loop contains a call: start with no transactions.
+    Disable,
+}
+
+/// Footprint facts for one innermost loop.
+#[derive(Debug, Clone, Copy)]
+pub struct LoopFootprint {
+    /// Loop header.
+    pub header: BlockId,
+    /// Constant trip count, when proven.
+    pub trip: Option<u32>,
+    /// Proven-distinct cache lines written per full loop execution.
+    pub lines_lower_bound: u64,
+    /// Bytes of proven element-store traffic per iteration.
+    pub bytes_per_iter: u64,
+    /// Whether the loop contains a call.
+    pub has_call: bool,
+    /// Whether the lower bound exceeds the HTM's write capacity.
+    pub overflows: bool,
+}
+
+/// The whole estimate.
+#[derive(Debug, Clone)]
+pub struct FootprintEstimate {
+    /// Per-innermost-loop facts.
+    pub loops: Vec<LoopFootprint>,
+    /// Total lines the write cache can buffer (`sets × ways`).
+    pub capacity_lines: u64,
+    /// Recommended initial scope.
+    pub advice: ScopeAdvice,
+    /// `capacity-overflow-predicted` warnings, one per overflowing loop.
+    pub diags: Vec<Diagnostic>,
+}
+
+/// Estimates the write footprint of every innermost loop of `f` against
+/// `model` and recommends an initial transaction scope.
+pub fn estimate_footprint(f: &IrFunc, model: &HtmModel) -> FootprintEstimate {
+    let cache = model.write_cache;
+    let capacity_lines = cache.sets() * cache.ways as u64;
+    let doms = Dominators::compute(f);
+    let loops = find_loops(f, &doms);
+    let mut out = Vec::new();
+    let mut diags = Vec::new();
+    let mut advice = ScopeAdvice::Keep;
+
+    for l in &loops {
+        let innermost = !loops.iter().any(|l2| l2.header != l.header && l.contains(l2.header));
+        if !innermost {
+            continue;
+        }
+        let ivs = induction_vars(f, l);
+        let trip = constant_trip(f, l, &ivs);
+        let has_call = loop_has_call(f, l);
+        let mut bytes_per_iter = 0u64;
+        let mut lines = 0u64;
+        for &b in &l.body {
+            // Only stores guaranteed to run every iteration count toward
+            // the lower bound.
+            if !l.latches.iter().any(|&latch| doms.dominates(b, latch)) {
+                continue;
+            }
+            for &v in &f.blocks[b.0 as usize].insts {
+                let InstKind::StoreElem { index, .. } = f.inst(v).kind else { continue };
+                let Some(iv) = ivs.iter().find(|iv| iv.phi == index || iv.update == index) else {
+                    continue;
+                };
+                let stride = iv.step.unsigned_abs() as u64 * WORD_BYTES;
+                bytes_per_iter += WORD_BYTES;
+                if let Some(n) = trip {
+                    lines += store_lines(n as u64, stride, cache.line_bytes);
+                }
+            }
+        }
+        let overflows = lines > capacity_lines;
+        if overflows {
+            diags.push(Diagnostic::new(
+                DiagCode::CapacityOverflowPredicted,
+                &f.name,
+                Some(l.header),
+                None,
+                format!(
+                    "loop at {} writes ≥ {lines} distinct lines per transaction but the \
+                     HTM buffers at most {capacity_lines}: guaranteed capacity abort",
+                    l.header
+                ),
+            ));
+            let next = if has_call {
+                ScopeAdvice::Disable
+            } else {
+                ScopeAdvice::Tile(pick_tile(bytes_per_iter, &cache))
+            };
+            advice = merge_advice(advice, next);
+        }
+        out.push(LoopFootprint {
+            header: l.header,
+            trip,
+            lines_lower_bound: lines,
+            bytes_per_iter,
+            has_call,
+            overflows,
+        });
+    }
+    FootprintEstimate { loops: out, capacity_lines, advice, diags }
+}
+
+/// Lower bound on distinct cache lines touched by `n` stores spaced
+/// `stride` bytes apart.
+fn store_lines(n: u64, stride: u64, line_bytes: u64) -> u64 {
+    if n == 0 || stride == 0 {
+        return 0;
+    }
+    if stride >= line_bytes {
+        n
+    } else {
+        // Evenly spaced within lines: floor undercounts by at most one
+        // line, keeping the bound sound.
+        n * stride / line_bytes
+    }
+}
+
+/// A strip-mine tile whose per-transaction footprint targets half the
+/// write capacity (headroom for field stores the bound ignored), clamped
+/// to a sane range.
+fn pick_tile(bytes_per_iter: u64, cache: &nomap_machine::CacheConfig) -> u32 {
+    let budget = cache.size_bytes / 2;
+    let t = budget.checked_div(bytes_per_iter).unwrap_or(u64::MAX);
+    t.clamp(16, 256) as u32
+}
+
+fn merge_advice(a: ScopeAdvice, b: ScopeAdvice) -> ScopeAdvice {
+    use ScopeAdvice::*;
+    match (a, b) {
+        (Disable, _) | (_, Disable) => Disable,
+        (Tile(x), Tile(y)) => Tile(x.min(y)),
+        (Tile(x), Keep) | (Keep, Tile(x)) => Tile(x),
+        (Keep, Keep) => Keep,
+    }
+}
+
+/// Constant trip count from the header's exit compare, when the bound,
+/// the induction variable's init, and its step are all compile-time
+/// constants.
+fn constant_trip(f: &IrFunc, l: &Loop, ivs: &[IndVar]) -> Option<u32> {
+    let header = &f.blocks[l.header.0 as usize];
+    let &term = header.insts.last()?;
+    let InstKind::Branch { cond, then_b, else_b } = f.inst(term).kind else { return None };
+    // One arm must leave the loop; `cond` keeps iterating on the other.
+    let body_on_true = l.contains(then_b) && !l.contains(else_b);
+    let exit_on_true = !l.contains(then_b) && l.contains(else_b);
+    if !body_on_true && !exit_on_true {
+        return None;
+    }
+    let InstKind::ICmp { cond: cc, a, b } = f.inst(cond).kind else { return None };
+    let iv = ivs.iter().find(|iv| iv.phi == a)?;
+    let init = const_i32(f, iv.init)?;
+    let bound = const_i32(f, b)?;
+    use nomap_machine::Cond;
+    let step = iv.step;
+    // Normalize to "continue while phi CC bound".
+    let (cc, negated) = if body_on_true { (cc, false) } else { (cc, true) };
+    let trip = match (cc, negated, step > 0) {
+        // while (phi < bound), step > 0
+        (Cond::Lt, false, true) | (Cond::AboveEq, true, true) => {
+            ceil_div((bound as i64) - (init as i64), step as i64)
+        }
+        // while (phi <= bound), step > 0
+        (Cond::Le, false, true) | (Cond::Gt, true, true) => {
+            ceil_div((bound as i64) - (init as i64) + 1, step as i64)
+        }
+        // while (phi > bound), step < 0
+        (Cond::Gt, false, false) | (Cond::Le, true, false) => {
+            ceil_div((init as i64) - (bound as i64), -(step as i64))
+        }
+        // while (phi >= bound), step < 0
+        (Cond::Ge, false, false) | (Cond::Lt, true, false) => {
+            ceil_div((init as i64) - (bound as i64) + 1, -(step as i64))
+        }
+        _ => return None,
+    };
+    u32::try_from(trip.max(0)).ok()
+}
+
+fn ceil_div(a: i64, b: i64) -> i64 {
+    if a <= 0 {
+        0
+    } else {
+        (a + b - 1) / b
+    }
+}
+
+fn const_i32(f: &IrFunc, v: nomap_ir::ValueId) -> Option<i32> {
+    match f.inst(v).kind {
+        InstKind::ConstI32(c) => Some(c),
+        InstKind::Const(val) if val.is_int32() => Some(val.as_int32()),
+        _ => None,
+    }
+}

@@ -1,0 +1,46 @@
+//! `nomap-verify` — static analysis for the NoMap JIT.
+//!
+//! NoMap's speedup comes from *deleting* checks inside hardware
+//! transactions: SMPs become aborts, per-iteration bounds checks collapse
+//! into one extreme-index check (§IV-C1), overflow checks dissolve into
+//! the sticky overflow flag (§IV-C2). Every one of those deletions is a
+//! soundness bet. This crate turns the bets into machine-checked
+//! invariants, in four layers:
+//!
+//! 1. [`ssa::verify_ssa`] — strict dominance-based SSA/CFG verification,
+//!    run between every optimization pass under the pass sanitizer;
+//! 2. [`txn::check_txn_safety`] — proves every abort-mode check and every
+//!    SOF update executes under an `XBegin` and unwinds through an `XEnd`;
+//! 3. [`bounds_tv::validate_bounds_combining`] — translation validation
+//!    re-proving each deleted bounds check from the `scev` facts;
+//! 4. [`footprint::estimate_footprint`] — a static write-footprint lower
+//!    bound that predicts guaranteed HTM capacity aborts and seeds the
+//!    §V-C transaction-scope ladder.
+//!
+//! All layers speak [`diag::Diagnostic`], the structured currency of the
+//! `nomap lint` CLI, trace events, and CI.
+
+pub mod bounds_tv;
+pub mod diag;
+pub mod footprint;
+pub mod ssa;
+pub mod txn;
+
+pub use bounds_tv::validate_bounds_combining;
+pub use diag::{has_errors, DiagCode, Diagnostic, Severity};
+pub use footprint::{estimate_footprint, FootprintEstimate, LoopFootprint, ScopeAdvice};
+pub use ssa::verify_ssa;
+pub use txn::check_txn_safety;
+
+/// Convenience: the full static gauntlet for one function at a fixed
+/// transaction entry depth — strict SSA plus transaction safety. (Bounds
+/// translation validation needs a before/after pair and footprint needs an
+/// HTM model; callers invoke those layers directly.)
+pub fn verify_func(f: &nomap_ir::IrFunc, entry_depth: u32, sof_allowed: bool) -> Vec<Diagnostic> {
+    let mut diags = verify_ssa(f);
+    if diags.is_empty() {
+        // Depth dataflow assumes a structurally sound CFG.
+        diags.extend(check_txn_safety(f, entry_depth, sof_allowed));
+    }
+    diags
+}

@@ -1,0 +1,291 @@
+//! Layer 1: strict SSA/CFG verification.
+//!
+//! Goes beyond the cheap `IrFunc::verify` structural scan by computing
+//! dominators and proving:
+//!
+//! * **def-before-use** — every operand (including the OSR register
+//!   snapshots of stack map points) is defined at a program point that
+//!   dominates the use;
+//! * **phi/pred correspondence** — each phi input's definition dominates
+//!   the end of the corresponding predecessor, in predecessor-list order,
+//!   which is exactly the invariant `redirect_edge`/`split_edge` must
+//!   maintain;
+//! * **placement discipline** — every referenced value is placed exactly
+//!   once, terminators close blocks, the entry has no predecessors, and
+//!   predecessor lists agree edge-for-edge (as multisets) with the actual
+//!   successor structure.
+//!
+//! Unreachable blocks are skipped for the dominance-based checks (passes
+//! legitimately strand them) but still participate in the structural edge
+//! checks when non-empty.
+
+use nomap_ir::analysis::Dominators;
+use nomap_ir::{BlockId, InstKind, IrFunc, ValueId};
+
+use crate::diag::{DiagCode, Diagnostic};
+
+/// Where (if anywhere) each value is placed.
+struct Placement {
+    /// `ValueId → (block, index)`; `None` when unplaced or duplicated.
+    slot: Vec<Option<(BlockId, u32)>>,
+}
+
+/// Runs the strict verifier; returns every finding (empty = clean).
+pub fn verify_ssa(f: &IrFunc) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let doms = Dominators::compute(f);
+
+    if !f.blocks[f.entry.0 as usize].preds.is_empty() {
+        diags.push(Diagnostic::new(
+            DiagCode::EntryHasPreds,
+            &f.name,
+            Some(f.entry),
+            None,
+            format!("entry has {} predecessor(s)", f.blocks[f.entry.0 as usize].preds.len()),
+        ));
+    }
+
+    let placement = place_values(f, &mut diags);
+    check_structure(f, &doms, &mut diags);
+    check_uses(f, &doms, &placement, &mut diags);
+    diags
+}
+
+/// Builds the placement map, flagging duplicates.
+fn place_values(f: &IrFunc, diags: &mut Vec<Diagnostic>) -> Placement {
+    let mut slot: Vec<Option<(BlockId, u32)>> = vec![None; f.insts.len()];
+    let mut dup = vec![false; f.insts.len()];
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for (i, &v) in b.insts.iter().enumerate() {
+            if v.0 as usize >= slot.len() {
+                continue; // flagged as out-of-range at the use site
+            }
+            if slot[v.0 as usize].is_some() {
+                dup[v.0 as usize] = true;
+            } else {
+                slot[v.0 as usize] = Some((BlockId(bi as u32), i as u32));
+            }
+        }
+    }
+    for (vi, &d) in dup.iter().enumerate() {
+        if d {
+            let v = ValueId(vi as u32);
+            diags.push(Diagnostic::new(
+                DiagCode::DuplicatePlacement,
+                &f.name,
+                slot[vi].map(|(b, _)| b),
+                Some(v),
+                format!("{v} is placed more than once"),
+            ));
+            slot[vi] = None;
+        }
+    }
+    Placement { slot }
+}
+
+/// Terminator, phi-shape, and edge/pred agreement checks.
+fn check_structure(f: &IrFunc, doms: &Dominators, diags: &mut Vec<Diagnostic>) {
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let bid = BlockId(bi as u32);
+        if b.insts.is_empty() {
+            if doms.reachable(bid) && bid != f.entry {
+                diags.push(Diagnostic::new(
+                    DiagCode::NoTerminator,
+                    &f.name,
+                    Some(bid),
+                    None,
+                    format!("reachable {bid} is empty"),
+                ));
+            }
+            continue;
+        }
+        let last = *b.insts.last().unwrap();
+        if !f.inst(last).is_terminator() {
+            diags.push(Diagnostic::new(
+                DiagCode::NoTerminator,
+                &f.name,
+                Some(bid),
+                Some(last),
+                format!("{bid} does not end in a terminator"),
+            ));
+        }
+        let mut seen_non_phi = false;
+        for (i, &v) in b.insts.iter().enumerate() {
+            let inst = f.inst(v);
+            if inst.is_terminator() && i + 1 != b.insts.len() {
+                diags.push(Diagnostic::new(
+                    DiagCode::MidBlockTerminator,
+                    &f.name,
+                    Some(bid),
+                    Some(v),
+                    format!("terminator {v} in the middle of {bid}"),
+                ));
+            }
+            match &inst.kind {
+                InstKind::Phi { inputs, .. } => {
+                    if seen_non_phi {
+                        diags.push(Diagnostic::new(
+                            DiagCode::PhiAfterNonPhi,
+                            &f.name,
+                            Some(bid),
+                            Some(v),
+                            format!("phi {v} below a non-phi instruction"),
+                        ));
+                    }
+                    if inputs.len() != b.preds.len() {
+                        diags.push(Diagnostic::new(
+                            DiagCode::PhiArityMismatch,
+                            &f.name,
+                            Some(bid),
+                            Some(v),
+                            format!(
+                                "phi {v} has {} inputs but {bid} has {} preds",
+                                inputs.len(),
+                                b.preds.len()
+                            ),
+                        ));
+                    }
+                }
+                InstKind::Nop => {}
+                _ => seen_non_phi = true,
+            }
+        }
+        // Edge/pred multiset agreement, both directions.
+        for s in f.succ_iter(bid) {
+            if s.0 as usize >= f.blocks.len() {
+                diags.push(Diagnostic::new(
+                    DiagCode::PredSuccMismatch,
+                    &f.name,
+                    Some(bid),
+                    None,
+                    format!("{bid} targets out-of-range {s}"),
+                ));
+                continue;
+            }
+            let edges = f.succ_iter(bid).filter(|&x| x == s).count();
+            let entries = f.blocks[s.0 as usize].preds.iter().filter(|&&p| p == bid).count();
+            if edges != entries {
+                diags.push(Diagnostic::new(
+                    DiagCode::PredSuccMismatch,
+                    &f.name,
+                    Some(bid),
+                    None,
+                    format!("{edges} edge(s) {bid} → {s} but {entries} pred entr(y/ies)"),
+                ));
+            }
+        }
+        for &p in &b.preds {
+            if p.0 as usize >= f.blocks.len() || !f.succ_iter(p).any(|s| s == bid) {
+                diags.push(Diagnostic::new(
+                    DiagCode::PredSuccMismatch,
+                    &f.name,
+                    Some(bid),
+                    None,
+                    format!("{bid} lists pred {p} but {p} has no edge to it"),
+                ));
+            }
+        }
+    }
+}
+
+/// Dominance-based def-before-use for operands, OSR snapshots, and phi
+/// inputs (checked against the corresponding predecessor).
+fn check_uses(f: &IrFunc, doms: &Dominators, placement: &Placement, diags: &mut Vec<Diagnostic>) {
+    for &bid in &doms.rpo {
+        let b = &f.blocks[bid.0 as usize];
+        for (i, &v) in b.insts.iter().enumerate() {
+            let inst = f.inst(v);
+            if matches!(inst.kind, InstKind::Nop) {
+                continue;
+            }
+            if let InstKind::Phi { inputs, .. } = &inst.kind {
+                if inputs.len() != b.preds.len() {
+                    continue; // arity already reported; positions are meaningless
+                }
+                for (j, &input) in inputs.iter().enumerate() {
+                    let pred = b.preds[j];
+                    if let Some(code) = check_operand(f, doms, placement, input, None) {
+                        push_use_diag(f, diags, code, bid, v, input, "phi input");
+                        continue;
+                    }
+                    let (db, _) = placement.slot[input.0 as usize].unwrap();
+                    if !doms.reachable(pred) || !doms.dominates(db, pred) {
+                        diags.push(Diagnostic::new(
+                            DiagCode::PhiInputUndominated,
+                            &f.name,
+                            Some(bid),
+                            Some(v),
+                            format!(
+                                "phi {v} input {input} (from {db}) does not dominate \
+                                 predecessor {pred}"
+                            ),
+                        ));
+                    }
+                }
+            } else {
+                for op in inst.operands() {
+                    if let Some(code) = check_operand(f, doms, placement, op, Some((bid, i as u32)))
+                    {
+                        push_use_diag(f, diags, code, bid, v, op, "operand");
+                    }
+                }
+            }
+            // OSR register snapshots are materialized at the deopt point, so
+            // they need to dominate the instruction exactly like operands.
+            if let Some(osr) = &inst.osr {
+                for op in osr.regs.iter().flatten() {
+                    if let Some(code) =
+                        check_operand(f, doms, placement, *op, Some((bid, i as u32)))
+                    {
+                        push_use_diag(f, diags, code, bid, v, *op, "OSR register");
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn push_use_diag(
+    f: &IrFunc,
+    diags: &mut Vec<Diagnostic>,
+    code: DiagCode,
+    bid: BlockId,
+    user: ValueId,
+    used: ValueId,
+    role: &str,
+) {
+    diags.push(Diagnostic::new(
+        code,
+        &f.name,
+        Some(bid),
+        Some(user),
+        format!("{user} {role} {used}: {}", code.as_str()),
+    ));
+}
+
+/// Checks one use; `at` is the use position for straight-line dominance
+/// (`None` for phi inputs, whose position check happens at the edge).
+fn check_operand(
+    f: &IrFunc,
+    doms: &Dominators,
+    placement: &Placement,
+    op: ValueId,
+    at: Option<(BlockId, u32)>,
+) -> Option<DiagCode> {
+    if op.0 as usize >= f.insts.len() {
+        return Some(DiagCode::OperandOutOfRange);
+    }
+    if matches!(f.inst(op).kind, InstKind::Nop) {
+        return Some(DiagCode::OperandNop);
+    }
+    let Some((db, dp)) = placement.slot[op.0 as usize] else {
+        return Some(DiagCode::OperandUndominated);
+    };
+    if let Some((ub, up)) = at {
+        let ok = if db == ub { dp < up } else { doms.reachable(db) && doms.dominates(db, ub) };
+        if !ok {
+            return Some(DiagCode::OperandUndominated);
+        }
+    }
+    None
+}

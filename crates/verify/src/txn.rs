@@ -1,0 +1,132 @@
+//! Layer 2: transaction-safety checking.
+//!
+//! NoMap's check conversion (SMP → abort, §IV-B) and SOF-based overflow
+//! removal (§IV-C2) are only sound while a transaction is open:
+//!
+//! * an `Abort`-mode check that fails with no transaction has nothing to
+//!   roll back — memory written since the (nonexistent) `XBegin` stays;
+//! * `Sof`-mode arithmetic relies on the **outermost `XEnd`** testing the
+//!   sticky overflow flag; if control can reach the arithmetic outside any
+//!   transaction, the overflow is silently dropped.
+//!
+//! The checker runs the [`nomap_ir::analysis::txn_depths`] dataflow (every
+//! predecessor of a block must agree on the open-transaction depth) and
+//! then walks each reachable block with the running depth, proving that
+//! every abort check and every SOF update sits at depth ≥ 1 — i.e. is
+//! dominated by an `XBegin` on every path — and that every `Return` is at
+//! the function's entry depth, so each opened transaction reaches an
+//! `XEnd` (which is where SOF is tested) before the frame unwinds.
+//!
+//! `entry_depth` is 0 for normal compilation and 1 for transaction-aware
+//! callees, whose whole body executes under the caller's transaction.
+
+use nomap_ir::analysis::txn_depths;
+use nomap_ir::{CheckMode, InstKind, IrFunc};
+
+use crate::diag::{DiagCode, Diagnostic};
+
+/// Runs the transaction-safety checker. `sof_allowed` reports whether the
+/// target HTM provides a sticky overflow flag (`HtmModel::has_sof`);
+/// without one, `Sof`-mode arithmetic is unimplementable and flagged.
+pub fn check_txn_safety(f: &IrFunc, entry_depth: u32, sof_allowed: bool) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let info = txn_depths(f, entry_depth);
+
+    for &b in &info.conflicts {
+        diags.push(Diagnostic::new(
+            DiagCode::TxnDepthConflict,
+            &f.name,
+            Some(b),
+            None,
+            format!("predecessors of {b} disagree on the transaction depth"),
+        ));
+    }
+    for &b in &info.underflows {
+        diags.push(Diagnostic::new(
+            DiagCode::XendUnderflow,
+            &f.name,
+            Some(b),
+            None,
+            format!("{b} contains an XEnd with no open transaction"),
+        ));
+    }
+
+    for (bi, pair) in info.depths.iter().enumerate() {
+        let Some((entry, _)) = pair else { continue };
+        let bid = nomap_ir::BlockId(bi as u32);
+        let mut depth = *entry;
+        for &v in &f.blocks[bi].insts {
+            let inst = f.inst(v);
+            match inst.kind {
+                InstKind::XBegin => {
+                    if inst.osr.is_none() && entry_depth == 0 && depth == 0 {
+                        // The outermost XBegin is the abort landing pad: it
+                        // must know how to fall back to Baseline.
+                        diags.push(Diagnostic::new(
+                            DiagCode::XbeginMissingOsr,
+                            &f.name,
+                            Some(bid),
+                            Some(v),
+                            format!("outermost XBegin {v} carries no OSR fallback state"),
+                        ));
+                    }
+                    depth += 1;
+                }
+                InstKind::XEnd => depth = depth.saturating_sub(1),
+                InstKind::Return { .. } => {
+                    if depth != entry_depth {
+                        diags.push(Diagnostic::new(
+                            DiagCode::TxnOpenAtReturn,
+                            &f.name,
+                            Some(bid),
+                            Some(v),
+                            format!(
+                                "return {v} at transaction depth {depth} \
+                                 (entry depth {entry_depth}): an opened transaction \
+                                 never reaches its XEnd"
+                            ),
+                        ));
+                    }
+                }
+                _ => {
+                    if inst.check_mode() == Some(CheckMode::Abort) && depth == 0 {
+                        diags.push(Diagnostic::new(
+                            DiagCode::AbortOutsideTxn,
+                            &f.name,
+                            Some(bid),
+                            Some(v),
+                            format!("abort-mode check {v} can execute with no transaction open"),
+                        ));
+                    }
+                    if inst.check_mode() == Some(CheckMode::Sof) {
+                        if depth == 0 {
+                            diags.push(Diagnostic::new(
+                                DiagCode::SofOutsideTxn,
+                                &f.name,
+                                Some(bid),
+                                Some(v),
+                                format!(
+                                    "SOF-mode arithmetic {v} can execute outside any \
+                                     transaction; no XEnd would test the flag"
+                                ),
+                            ));
+                        }
+                        if !sof_allowed {
+                            diags.push(Diagnostic::new(
+                                DiagCode::SofUnsupported,
+                                &f.name,
+                                Some(bid),
+                                Some(v),
+                                format!(
+                                    "SOF-mode arithmetic {v} on an HTM without a \
+                                         sticky overflow flag"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    diags
+}

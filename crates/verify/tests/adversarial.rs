@@ -1,0 +1,514 @@
+//! Adversarial corpus: for every diagnostic in the catalogue, a known-bad
+//! IR function that must trigger it — and a known-good twin that must not.
+
+use nomap_bytecode::FuncId;
+use nomap_ir::node::{Inst, InstKind, OsrState, Ty};
+use nomap_ir::{BlockId, CheckMode, IrFunc, ValueId};
+use nomap_machine::{CheckKind, Cond, HtmModel};
+use nomap_runtime::Value;
+use nomap_verify::{
+    check_txn_safety, estimate_footprint, validate_bounds_combining, verify_ssa, DiagCode,
+    ScopeAdvice,
+};
+
+fn codes(diags: &[nomap_verify::Diagnostic]) -> Vec<DiagCode> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+/// entry → (then|else) → join, with a phi at the join.
+fn diamond() -> (IrFunc, BlockId, BlockId, BlockId, ValueId) {
+    let mut f = IrFunc::new(FuncId(0), "t", 0, 0);
+    let then_b = f.new_block();
+    let else_b = f.new_block();
+    let join = f.new_block();
+    let c = f.append(f.entry, Inst::new(InstKind::ConstI32(1)));
+    let cb = f.append(f.entry, Inst::new(InstKind::ICmp { cond: Cond::Eq, a: c, b: c }));
+    f.append(f.entry, Inst::new(InstKind::Branch { cond: cb, then_b, else_b }));
+    let v1 = f.append(then_b, Inst::new(InstKind::ConstI32(1)));
+    f.append(then_b, Inst::new(InstKind::Jump { target: join }));
+    let v2 = f.append(else_b, Inst::new(InstKind::ConstI32(2)));
+    f.append(else_b, Inst::new(InstKind::Jump { target: join }));
+    let phi = f.append(join, Inst::new(InstKind::Phi { inputs: vec![v1, v2], ty: Ty::I32 }));
+    let boxed = f.append(join, Inst::new(InstKind::BoxI32(phi)));
+    f.append(join, Inst::new(InstKind::Return { v: boxed }));
+    f.compute_preds();
+    (f, then_b, else_b, join, phi)
+}
+
+/// entry → header ⇄ body → exit with a bounds guard on the IV in the body.
+fn guarded_loop(step: i32) -> (IrFunc, BlockId, BlockId, BlockId, ValueId, ValueId, ValueId) {
+    let mut f = IrFunc::new(FuncId(0), "loop", 0, 0);
+    let header = f.new_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+    let init = f.append(f.entry, Inst::new(InstKind::ConstI32(if step > 0 { 0 } else { 99 })));
+    let n = f.append(f.entry, Inst::new(InstKind::ConstI32(100)));
+    let len = f.append(f.entry, Inst::new(InstKind::ConstI32(100)));
+    f.append(f.entry, Inst::new(InstKind::Jump { target: header }));
+    let phi = f.append(header, Inst::new(InstKind::Phi { inputs: vec![init], ty: Ty::I32 }));
+    let cmp = f.append(header, Inst::new(InstKind::ICmp { cond: Cond::Lt, a: phi, b: n }));
+    f.append(header, Inst::new(InstKind::Branch { cond: cmp, then_b: body, else_b: exit }));
+    let oob = f.append(body, Inst::new(InstKind::ICmp { cond: Cond::AboveEq, a: phi, b: len }));
+    let guard = f.append(
+        body,
+        Inst::new(InstKind::Guard { kind: CheckKind::Bounds, cond: oob, mode: CheckMode::Abort }),
+    );
+    let stepc = f.append(body, Inst::new(InstKind::ConstI32(step.abs())));
+    let next = if step > 0 {
+        f.append(
+            body,
+            Inst::new(InstKind::CheckedAddI32 { a: phi, b: stepc, mode: CheckMode::Sof }),
+        )
+    } else {
+        f.append(
+            body,
+            Inst::new(InstKind::CheckedSubI32 { a: phi, b: stepc, mode: CheckMode::Sof }),
+        )
+    };
+    f.append(body, Inst::new(InstKind::Jump { target: header }));
+    if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(phi).kind {
+        inputs.push(next);
+    }
+    let u = f.append(exit, Inst::new(InstKind::Const(Value::UNDEFINED)));
+    f.append(exit, Inst::new(InstKind::Return { v: u }));
+    f.compute_preds();
+    (f, header, body, exit, phi, len, guard)
+}
+
+// ---------------------------------------------------------------- SSA layer
+
+#[test]
+fn clean_diamond_is_clean() {
+    let (f, ..) = diamond();
+    assert!(verify_ssa(&f).is_empty());
+}
+
+#[test]
+fn entry_has_preds_fires() {
+    let (mut f, then_b, ..) = diamond();
+    f.blocks[f.entry.0 as usize].preds.push(then_b);
+    assert!(codes(&verify_ssa(&f)).contains(&DiagCode::EntryHasPreds));
+}
+
+#[test]
+fn no_terminator_fires() {
+    let (mut f, then_b, ..) = diamond();
+    // Drop then's jump: block ends in a ConstI32.
+    f.blocks[then_b.0 as usize].insts.pop();
+    assert!(codes(&verify_ssa(&f)).contains(&DiagCode::NoTerminator));
+}
+
+#[test]
+fn no_terminator_fires_for_reachable_empty_block() {
+    let (mut f, then_b, ..) = diamond();
+    f.blocks[then_b.0 as usize].insts.clear();
+    assert!(codes(&verify_ssa(&f)).contains(&DiagCode::NoTerminator));
+}
+
+#[test]
+fn mid_block_terminator_fires() {
+    let mut f = IrFunc::new(FuncId(0), "bad", 0, 0);
+    let c = f.append(f.entry, Inst::new(InstKind::Const(Value::UNDEFINED)));
+    f.append(f.entry, Inst::new(InstKind::Return { v: c }));
+    f.append(f.entry, Inst::new(InstKind::Return { v: c }));
+    f.compute_preds();
+    assert!(codes(&verify_ssa(&f)).contains(&DiagCode::MidBlockTerminator));
+}
+
+#[test]
+fn phi_arity_mismatch_fires() {
+    let (mut f, _, _, _, phi) = diamond();
+    if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(phi).kind {
+        inputs.pop();
+    }
+    assert!(codes(&verify_ssa(&f)).contains(&DiagCode::PhiArityMismatch));
+}
+
+#[test]
+fn phi_after_non_phi_fires() {
+    let (mut f, _, _, join, phi) = diamond();
+    // Move the phi below the BoxI32.
+    let insts = &mut f.blocks[join.0 as usize].insts;
+    let pos = insts.iter().position(|&v| v == phi).unwrap();
+    insts.swap(pos, pos + 1);
+    assert!(codes(&verify_ssa(&f)).contains(&DiagCode::PhiAfterNonPhi));
+}
+
+#[test]
+fn phi_input_undominated_fires() {
+    let (mut f, _, _, _, phi) = diamond();
+    // Swap the phi inputs: each now names the value from the *other* branch.
+    if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(phi).kind {
+        inputs.swap(0, 1);
+    }
+    assert!(codes(&verify_ssa(&f)).contains(&DiagCode::PhiInputUndominated));
+}
+
+#[test]
+fn operand_out_of_range_fires() {
+    let (mut f, _, _, join, _) = diamond();
+    let boxed = f.blocks[join.0 as usize].insts[1];
+    f.inst_mut(boxed).kind = InstKind::BoxI32(ValueId(9999));
+    assert!(codes(&verify_ssa(&f)).contains(&DiagCode::OperandOutOfRange));
+}
+
+#[test]
+fn operand_nop_fires() {
+    let (mut f, then_b, ..) = diamond();
+    let v1 = f.blocks[then_b.0 as usize].insts[0];
+    f.inst_mut(v1).kind = InstKind::Nop;
+    assert!(codes(&verify_ssa(&f)).contains(&DiagCode::OperandNop));
+}
+
+#[test]
+fn operand_undominated_fires_across_blocks() {
+    let (mut f, then_b, else_b, _, _) = diamond();
+    // else uses a value defined only in then: neither dominates the other.
+    let v1 = f.blocks[then_b.0 as usize].insts[0];
+    let v2 = f.blocks[else_b.0 as usize].insts[0];
+    f.inst_mut(v2).kind = InstKind::BoxI32(v1);
+    assert!(codes(&verify_ssa(&f)).contains(&DiagCode::OperandUndominated));
+}
+
+#[test]
+fn operand_undominated_fires_in_block_use_before_def() {
+    let mut f = IrFunc::new(FuncId(0), "bad", 0, 0);
+    let user = f.append(f.entry, Inst::new(InstKind::BoxI32(ValueId(1))));
+    let _def = f.append(f.entry, Inst::new(InstKind::ConstI32(4)));
+    f.append(f.entry, Inst::new(InstKind::Return { v: user }));
+    f.compute_preds();
+    assert!(codes(&verify_ssa(&f)).contains(&DiagCode::OperandUndominated));
+}
+
+#[test]
+fn operand_undominated_fires_for_osr_regs() {
+    let (mut f, then_b, else_b, _, _) = diamond();
+    // A Deopt guard in else whose OSR snapshot names a then-only value.
+    let v1 = f.blocks[then_b.0 as usize].insts[0];
+    let fail = f.insert_at(else_b, 0, Inst::new(InstKind::ConstBool(false)));
+    let mut g =
+        Inst::new(InstKind::Guard { kind: CheckKind::Type, cond: fail, mode: CheckMode::Deopt });
+    g.osr = Some(OsrState { bc: 0, regs: vec![Some(v1)] });
+    f.insert_at(else_b, 1, g);
+    assert!(codes(&verify_ssa(&f)).contains(&DiagCode::OperandUndominated));
+}
+
+#[test]
+fn duplicate_placement_fires() {
+    let (mut f, then_b, else_b, _, _) = diamond();
+    let v1 = f.blocks[then_b.0 as usize].insts[0];
+    f.blocks[else_b.0 as usize].insts.insert(0, v1);
+    assert!(codes(&verify_ssa(&f)).contains(&DiagCode::DuplicatePlacement));
+}
+
+#[test]
+fn pred_succ_mismatch_fires() {
+    let (mut f, _, _, join, phi) = diamond();
+    // Claim a pred entry for a second then→join edge that doesn't exist.
+    let then_b = BlockId(1);
+    f.blocks[join.0 as usize].preds.push(then_b);
+    if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(phi).kind {
+        let v = inputs[0];
+        inputs.push(v);
+    }
+    assert!(codes(&verify_ssa(&f)).contains(&DiagCode::PredSuccMismatch));
+}
+
+// -------------------------------------------------------------- txn layer
+
+/// entry [XBegin] → mid [work, XEnd] → exit, clean.
+fn txn_func(with_osr: bool) -> (IrFunc, BlockId, BlockId) {
+    let mut f = IrFunc::new(FuncId(0), "txn", 0, 1);
+    let mid = f.new_block();
+    let exit = f.new_block();
+    let mut xb = Inst::new(InstKind::XBegin);
+    if with_osr {
+        xb.osr = Some(OsrState { bc: 0, regs: vec![None] });
+    }
+    f.append(f.entry, xb);
+    f.append(f.entry, Inst::new(InstKind::Jump { target: mid }));
+    let a = f.append(mid, Inst::new(InstKind::ConstI32(1)));
+    let sum = f.append(mid, Inst::new(InstKind::CheckedAddI32 { a, b: a, mode: CheckMode::Sof }));
+    let fail = f.append(mid, Inst::new(InstKind::ConstBool(false)));
+    f.append(
+        mid,
+        Inst::new(InstKind::Guard { kind: CheckKind::Type, cond: fail, mode: CheckMode::Abort }),
+    );
+    f.append(mid, Inst::new(InstKind::XEnd));
+    f.append(mid, Inst::new(InstKind::Jump { target: exit }));
+    let boxed = f.append(exit, Inst::new(InstKind::BoxI32(sum)));
+    f.append(exit, Inst::new(InstKind::Return { v: boxed }));
+    f.compute_preds();
+    (f, mid, exit)
+}
+
+#[test]
+fn clean_txn_is_clean() {
+    let (f, ..) = txn_func(true);
+    assert!(verify_ssa(&f).is_empty());
+    assert!(check_txn_safety(&f, 0, true).is_empty());
+}
+
+#[test]
+fn abort_outside_txn_fires() {
+    let (mut f, mid, _) = txn_func(true);
+    // Remove the XBegin: the abort check now runs outside any transaction.
+    let xb = f.blocks[f.entry.0 as usize].insts.remove(0);
+    f.inst_mut(xb).kind = InstKind::Nop;
+    let got = codes(&check_txn_safety(&f, 0, true));
+    assert!(got.contains(&DiagCode::AbortOutsideTxn), "{got:?}");
+    assert!(got.contains(&DiagCode::SofOutsideTxn), "{got:?}");
+    assert!(got.contains(&DiagCode::XendUnderflow), "{got:?}");
+    let _ = mid;
+}
+
+#[test]
+fn xend_underflow_fires() {
+    let mut f = IrFunc::new(FuncId(0), "bad", 0, 0);
+    f.append(f.entry, Inst::new(InstKind::XEnd));
+    let u = f.append(f.entry, Inst::new(InstKind::Const(Value::UNDEFINED)));
+    f.append(f.entry, Inst::new(InstKind::Return { v: u }));
+    f.compute_preds();
+    assert!(codes(&check_txn_safety(&f, 0, true)).contains(&DiagCode::XendUnderflow));
+    // At depth 1 the XEnd no longer underflows — but it now closes the
+    // *caller's* transaction, so the return-depth check flags it instead.
+    let at_depth_1 = codes(&check_txn_safety(&f, 1, true));
+    assert!(!at_depth_1.contains(&DiagCode::XendUnderflow));
+    assert!(at_depth_1.contains(&DiagCode::TxnOpenAtReturn));
+}
+
+#[test]
+fn txn_callee_with_abort_checks_is_clean_at_depth_1() {
+    // The abort_all_checks shape: abort-mode checks, no XBegin/XEnd of its
+    // own — legal only under a caller's transaction.
+    let mut f = IrFunc::new(FuncId(0), "callee", 0, 0);
+    let a = f.append(f.entry, Inst::new(InstKind::ConstI32(1)));
+    let sum =
+        f.append(f.entry, Inst::new(InstKind::CheckedAddI32 { a, b: a, mode: CheckMode::Abort }));
+    let boxed = f.append(f.entry, Inst::new(InstKind::BoxI32(sum)));
+    f.append(f.entry, Inst::new(InstKind::Return { v: boxed }));
+    f.compute_preds();
+    assert!(check_txn_safety(&f, 1, true).is_empty());
+    assert!(codes(&check_txn_safety(&f, 0, true)).contains(&DiagCode::AbortOutsideTxn));
+}
+
+#[test]
+fn txn_depth_conflict_fires() {
+    // entry → (then [XBegin] | else) → join: preds disagree at the join.
+    let (mut f, then_b, _, _, _) = diamond();
+    let mut xb = Inst::new(InstKind::XBegin);
+    xb.osr = Some(OsrState { bc: 0, regs: vec![] });
+    f.insert_at(then_b, 0, xb);
+    assert!(codes(&check_txn_safety(&f, 0, true)).contains(&DiagCode::TxnDepthConflict));
+}
+
+#[test]
+fn txn_open_at_return_fires() {
+    let (mut f, mid, _) = txn_func(true);
+    // Drop the XEnd: the transaction is still open at the return.
+    let pos = f.blocks[mid.0 as usize]
+        .insts
+        .iter()
+        .position(|&v| matches!(f.inst(v).kind, InstKind::XEnd))
+        .unwrap();
+    let xe = f.blocks[mid.0 as usize].insts.remove(pos);
+    f.inst_mut(xe).kind = InstKind::Nop;
+    assert!(codes(&check_txn_safety(&f, 0, true)).contains(&DiagCode::TxnOpenAtReturn));
+}
+
+#[test]
+fn xbegin_missing_osr_fires() {
+    let (f, ..) = txn_func(false);
+    assert!(codes(&check_txn_safety(&f, 0, true)).contains(&DiagCode::XbeginMissingOsr));
+}
+
+#[test]
+fn sof_unsupported_fires() {
+    let (f, ..) = txn_func(true);
+    assert!(check_txn_safety(&f, 0, true).is_empty());
+    assert!(codes(&check_txn_safety(&f, 0, false)).contains(&DiagCode::SofUnsupported));
+}
+
+// ----------------------------------------------- bounds translation validation
+
+#[test]
+fn honest_combining_validates() {
+    // Simulate the real pass on an increasing loop: nop the guard, split
+    // the exit edge, emit the extreme check in the landing block.
+    let (before, _, _, exit, phi, len, guard) = guarded_loop(1);
+    let mut after = before.clone();
+    after.inst_mut(guard).kind = InstKind::Nop;
+    let header = BlockId(1);
+    let mid = after.split_edge(header, exit);
+    let cmp = after.insert_at(mid, 0, Inst::new(InstKind::ICmp { cond: Cond::Gt, a: phi, b: len }));
+    after.insert_at(
+        mid,
+        1,
+        Inst::new(InstKind::Guard { kind: CheckKind::Bounds, cond: cmp, mode: CheckMode::Abort }),
+    );
+    assert_eq!(validate_bounds_combining(&before, &after), vec![]);
+}
+
+#[test]
+fn honest_decreasing_combining_validates() {
+    let (before, _, _, _, phi, len, guard) = guarded_loop(-1);
+    let mut after = before.clone();
+    after.inst_mut(guard).kind = InstKind::Nop;
+    // Preheader is the entry block; init is the phi's entry input.
+    let init = match &after.inst(phi).kind {
+        InstKind::Phi { inputs, .. } => inputs[0],
+        _ => unreachable!(),
+    };
+    let cmp = after.insert_before_terminator(
+        after.entry,
+        Inst::new(InstKind::ICmp { cond: Cond::AboveEq, a: init, b: len }),
+    );
+    after.insert_before_terminator(
+        after.entry,
+        Inst::new(InstKind::Guard { kind: CheckKind::Bounds, cond: cmp, mode: CheckMode::Abort }),
+    );
+    assert_eq!(validate_bounds_combining(&before, &after), vec![]);
+}
+
+#[test]
+fn bounds_no_compensation_fires() {
+    let (before, _, _, _, _, _, guard) = guarded_loop(1);
+    let mut after = before.clone();
+    after.inst_mut(guard).kind = InstKind::Nop; // deleted, nothing added
+    assert!(codes(&validate_bounds_combining(&before, &after))
+        .contains(&DiagCode::BoundsNoCompensation));
+}
+
+#[test]
+fn bounds_not_induction_fires() {
+    // The guard tests a non-IV phi (the "weakened pass" scenario): replace
+    // the IV update so scev cannot prove monotonicity.
+    let (mut before, _, body, _, phi, _, guard) = guarded_loop(1);
+    // Make the latch input a fresh load-like opaque value instead of phi+1.
+    let opaque = before.insert_at(body, 0, Inst::new(InstKind::ConstRaw(7)));
+    if let InstKind::Phi { inputs, .. } = &mut before.inst_mut(phi).kind {
+        inputs[1] = opaque;
+    }
+    let mut after = before.clone();
+    after.inst_mut(guard).kind = InstKind::Nop;
+    assert!(
+        codes(&validate_bounds_combining(&before, &after)).contains(&DiagCode::BoundsNotInduction)
+    );
+}
+
+#[test]
+fn bounds_len_variant_fires() {
+    let (mut before, _, body, _, _, _, guard) = guarded_loop(1);
+    // Redefine the guard condition against a length computed inside the loop.
+    let inner_len = before.insert_at(body, 0, Inst::new(InstKind::ConstI32(50)));
+    let phi = ValueId(4);
+    let cond = before.insert_at(
+        body,
+        1,
+        Inst::new(InstKind::ICmp { cond: Cond::AboveEq, a: phi, b: inner_len }),
+    );
+    before.inst_mut(guard).kind =
+        InstKind::Guard { kind: CheckKind::Bounds, cond, mode: CheckMode::Abort };
+    let mut after = before.clone();
+    after.inst_mut(guard).kind = InstKind::Nop;
+    assert!(
+        codes(&validate_bounds_combining(&before, &after)).contains(&DiagCode::BoundsLenVariant)
+    );
+}
+
+#[test]
+fn bounds_no_loop_fires() {
+    let mut before = IrFunc::new(FuncId(0), "straight", 0, 0);
+    let i = before.append(before.entry, Inst::new(InstKind::ConstI32(0)));
+    let len = before.append(before.entry, Inst::new(InstKind::ConstI32(10)));
+    let cond = before
+        .append(before.entry, Inst::new(InstKind::ICmp { cond: Cond::AboveEq, a: i, b: len }));
+    let guard = before.append(
+        before.entry,
+        Inst::new(InstKind::Guard { kind: CheckKind::Bounds, cond, mode: CheckMode::Abort }),
+    );
+    let u = before.append(before.entry, Inst::new(InstKind::Const(Value::UNDEFINED)));
+    before.append(before.entry, Inst::new(InstKind::Return { v: u }));
+    before.compute_preds();
+    let mut after = before.clone();
+    after.inst_mut(guard).kind = InstKind::Nop;
+    assert!(codes(&validate_bounds_combining(&before, &after)).contains(&DiagCode::BoundsNoLoop));
+}
+
+// ------------------------------------------------------------- footprint
+
+/// `for (i = 0; i < trip; i++) a[i] = i;` — with an optional call.
+fn store_loop(trip: i32, with_call: bool) -> IrFunc {
+    let mut f = IrFunc::new(FuncId(0), "store", 0, 0);
+    let header = f.new_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+    let zero = f.append(f.entry, Inst::new(InstKind::ConstI32(0)));
+    let n = f.append(f.entry, Inst::new(InstKind::ConstI32(trip)));
+    let storage = f.append(f.entry, Inst::new(InstKind::ConstRaw(0x1000)));
+    f.append(f.entry, Inst::new(InstKind::Jump { target: header }));
+    let phi = f.append(header, Inst::new(InstKind::Phi { inputs: vec![zero], ty: Ty::I32 }));
+    let cmp = f.append(header, Inst::new(InstKind::ICmp { cond: Cond::Lt, a: phi, b: n }));
+    f.append(header, Inst::new(InstKind::Branch { cond: cmp, then_b: body, else_b: exit }));
+    let boxed = f.append(body, Inst::new(InstKind::BoxI32(phi)));
+    f.append(body, Inst::new(InstKind::StoreElem { storage, index: phi, v: boxed }));
+    if with_call {
+        f.append(body, Inst::new(InstKind::CallJs { callee: FuncId(1), args: vec![] }));
+    }
+    let one = f.append(body, Inst::new(InstKind::ConstI32(1)));
+    let next =
+        f.append(body, Inst::new(InstKind::CheckedAddI32 { a: phi, b: one, mode: CheckMode::Sof }));
+    f.append(body, Inst::new(InstKind::Jump { target: header }));
+    if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(phi).kind {
+        inputs.push(next);
+    }
+    let u = f.append(exit, Inst::new(InstKind::Const(Value::UNDEFINED)));
+    f.append(exit, Inst::new(InstKind::Return { v: u }));
+    f.compute_preds();
+    f
+}
+
+#[test]
+fn footprint_predicts_overflow_and_tiles() {
+    let f = store_loop(100_000, false);
+    let est = estimate_footprint(&f, &HtmModel::rot());
+    assert_eq!(est.capacity_lines, 4096); // 256 KB / 64 B = 4096 lines
+    assert_eq!(est.loops.len(), 1);
+    let lf = &est.loops[0];
+    assert_eq!(lf.trip, Some(100_000));
+    // 100k words × 8 B / 64 B per line = 12 500 lines ≫ 4096.
+    assert_eq!(lf.lines_lower_bound, 12_500);
+    assert!(lf.overflows);
+    assert!(matches!(est.advice, ScopeAdvice::Tile(t) if (16..=256).contains(&t)));
+    assert!(codes(&est.diags).contains(&DiagCode::CapacityOverflowPredicted));
+    assert!(est.diags.iter().all(|d| !d.is_error()), "capacity prediction is a warning");
+}
+
+#[test]
+fn footprint_small_loop_keeps_scope() {
+    let f = store_loop(100, false);
+    let est = estimate_footprint(&f, &HtmModel::rot());
+    assert_eq!(est.advice, ScopeAdvice::Keep);
+    assert!(est.diags.is_empty());
+    assert!(!est.loops[0].overflows);
+}
+
+#[test]
+fn footprint_overflowing_loop_with_call_disables() {
+    let f = store_loop(100_000, true);
+    let est = estimate_footprint(&f, &HtmModel::rot());
+    assert_eq!(est.advice, ScopeAdvice::Disable);
+    assert!(est.loops[0].has_call);
+}
+
+#[test]
+fn footprint_rtm_is_tighter() {
+    // 32 KB L1D bounds writes under RTM: a loop that fits ROT can overflow
+    // RTM. 2000 words = 16 KB = 250 lines > 512? No — pick 10k words:
+    // 10 000 × 8 / 64 = 1250 lines > 512 (32 KB / 64 B).
+    let f = store_loop(10_000, false);
+    let rot = estimate_footprint(&f, &HtmModel::rot());
+    let rtm = estimate_footprint(&f, &HtmModel::rtm());
+    assert!(!rot.loops[0].overflows);
+    assert!(rtm.loops[0].overflows);
+}

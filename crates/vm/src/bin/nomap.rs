@@ -3,6 +3,7 @@
 //! ```text
 //! nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]
 //! nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]
+//! nomap lint <file.js> [--arch <name>] [--warmup N] [--json]
 //! nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]
 //! nomap archs
 //! ```
@@ -14,6 +15,7 @@
 
 use std::process::ExitCode;
 
+use nomap_trace::{obj, JsonValue};
 use nomap_vm::{Architecture, CheckKind, InstCategory, JsonlSink, Tier, TierLimit, Vm, VmConfig};
 
 fn main() -> ExitCode {
@@ -21,6 +23,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("archs") => {
             for a in Architecture::ALL {
@@ -30,7 +33,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage:\n  nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]\n  nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]\n  nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]\n  nomap archs"
+                "usage:\n  nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]\n  nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]\n  nomap lint <file.js> [--arch <name>] [--warmup N] [--json]\n  nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]\n  nomap archs"
             );
             ExitCode::from(2)
         }
@@ -190,6 +193,81 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         println!("jsonl: {total} events written to {path}");
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let file = match args.first() {
+        Some(f) => f,
+        None => {
+            eprintln!("error: missing script path");
+            return ExitCode::from(2);
+        }
+    };
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let arch = match flag_value(args, "--arch") {
+        Some(s) => match parse_arch(s) {
+            Some(a) => a,
+            None => {
+                eprintln!("error: unknown architecture `{s}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => Architecture::NoMap,
+    };
+    let warmup: u32 = flag_value(args, "--warmup").and_then(|s| s.parse().ok()).unwrap_or(150);
+    let as_json = args.iter().any(|a| a == "--json");
+    let report = match nomap_vm::lint_source(&src, arch, warmup) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let errors = report.errors().count();
+    if as_json {
+        for d in &report.diagnostics {
+            let m: Vec<(&str, JsonValue)> = vec![
+                ("code", d.code.as_str().into()),
+                ("severity", if d.is_error() { "error".into() } else { "warning".into() }),
+                ("func", d.func.as_str().into()),
+                ("stage", d.stage.as_str().into()),
+                ("block", d.block.map_or(JsonValue::Null, |b| b.0.into())),
+                ("value", d.value.map_or(JsonValue::Null, |v| v.0.into())),
+                ("message", d.message.as_str().into()),
+            ];
+            println!("{}", obj(m).render());
+        }
+        let summary: Vec<(&str, JsonValue)> = vec![
+            ("functions", report.functions.into()),
+            ("stages", report.stages.into()),
+            ("findings", report.diagnostics.len().into()),
+            ("errors", errors.into()),
+            ("clean", report.clean().into()),
+        ];
+        println!("{}", obj(summary).render());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "{file}: {} function(s), {} verification stage(s), {} finding(s) ({errors} error(s)) under {}",
+            report.functions,
+            report.stages,
+            report.diagnostics.len(),
+            arch.name()
+        );
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_disasm(args: &[String]) -> ExitCode {

@@ -16,6 +16,9 @@ pub enum VmError {
     Runtime(RuntimeError),
     /// JIT compilation failure.
     Jit(String),
+    /// The pass sanitizer found broken IR during an audited compilation
+    /// (see `VmConfig::sanitize`); the offending code was not installed.
+    Verifier(String),
     /// Guest recursion exceeded the VM's limit.
     StackOverflow,
     /// A named function was not found.
@@ -28,6 +31,7 @@ impl fmt::Display for VmError {
             VmError::Compile(m) => write!(f, "compile error: {m}"),
             VmError::Runtime(e) => write!(f, "{e}"),
             VmError::Jit(m) => write!(f, "jit error: {m}"),
+            VmError::Verifier(m) => write!(f, "verifier error: {m}"),
             VmError::StackOverflow => write!(f, "guest stack overflow"),
             VmError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
         }

@@ -32,14 +32,17 @@
 mod error;
 mod exec;
 mod interp;
+mod lint;
 mod tiering;
 mod vm;
 
 pub use error::VmError;
-pub use nomap_core::{Architecture, TxnScope};
+pub use lint::{lint_source, LintReport};
+pub use nomap_core::{Architecture, AuditOptions, TxnScope};
 pub use nomap_ir::passes::PassConfig;
 pub use nomap_machine::{CheckKind, ExecStats, InstCategory, Tier, TxCharacter};
 pub use nomap_runtime::Value;
 pub use nomap_trace::{JsonlSink, Metrics, Recorded, TraceEvent, Tracer};
+pub use nomap_verify::{DiagCode, Diagnostic, Severity};
 pub use tiering::{TierLimit, TierThresholds};
 pub use vm::{Vm, VmConfig};

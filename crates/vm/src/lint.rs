@@ -1,0 +1,140 @@
+//! `nomap lint` — static analysis of a MiniJS program without measuring it.
+//!
+//! Linting compiles every function of the program through the *audited*
+//! tier pipelines (DFG, FTL at the architecture's transaction scope, and
+//! the transaction-aware callee variant) with the full `nomap-verify`
+//! gauntlet between every stage, and collects the structured diagnostics.
+//! An optional warmup run of the guest program first populates the
+//! profiles, so the lint sees the same speculative IR a real run would
+//! JIT — without warmup, unprofiled sites fall back to runtime calls and
+//! much less IR exists to verify.
+
+use nomap_core::{
+    compile_dfg_audited, compile_ftl_audited, compile_txn_callee_audited, Architecture,
+    AuditOptions, TxnScope,
+};
+use nomap_ir::passes::PassConfig;
+use nomap_verify::{has_errors, Diagnostic};
+
+use crate::error::VmError;
+use crate::vm::{Vm, VmConfig};
+
+/// What one lint pass over a program found.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Functions analyzed (audited compilations may be several per
+    /// function: DFG + FTL + callee variant).
+    pub functions: usize,
+    /// Total verification stages run across all compilations.
+    pub stages: usize,
+    /// Every finding, warnings included, in function order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// True when no *error* diagnostics fired (warnings allowed).
+    pub fn clean(&self) -> bool {
+        !has_errors(&self.diagnostics)
+    }
+
+    /// Error findings only.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.is_error())
+    }
+}
+
+/// Lints `source` under `arch`: every function, audited at every tier.
+///
+/// `warmup` runs the guest that many extra times through its `run()`
+/// entry (after the top level) so profiles are realistic; `0` lints the
+/// unprofiled program. Guest runtime errors during warmup do not fail the
+/// lint — partial profiles are still better than none.
+///
+/// # Errors
+///
+/// Returns [`VmError::Compile`] when `source` does not parse, or
+/// [`VmError::Jit`] when IR construction itself fails. Verifier findings
+/// are *not* errors here; they are the report's payload.
+pub fn lint_source(source: &str, arch: Architecture, warmup: u32) -> Result<LintReport, VmError> {
+    // Plain config: the warmup must behave exactly like an unaudited run.
+    let mut config = VmConfig::new(arch);
+    config.sanitize = false;
+    config.seed_scope = false;
+    let mut vm = Vm::with_config(source, config)?;
+    if warmup > 0 {
+        let _ = vm.run_main();
+        if vm.program.function_ids.contains_key("run") {
+            for _ in 0..warmup {
+                if vm.call("run", &[]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+
+    let scope = if arch.uses_transactions() { TxnScope::Nest } else { TxnScope::None };
+    // seed_scope runs the footprint estimator too, so guaranteed capacity
+    // aborts surface as warnings in the report.
+    let opts = AuditOptions { verify: true, seed_scope: true };
+    let passes = PassConfig::ftl();
+    let mut report = LintReport::default();
+    for id in 0..vm.funcs.len() {
+        let func = vm.funcs[id].clone();
+        report.functions += 1;
+
+        let dfg = compile_dfg_audited(&func, &mut vm.rt, opts)?;
+        report.stages += dfg.stages;
+        report.diagnostics.extend(dfg.diagnostics);
+
+        let ftl = compile_ftl_audited(&func, &mut vm.rt, arch, scope, passes, opts)?;
+        report.stages += ftl.stages;
+        report.diagnostics.extend(ftl.diagnostics);
+
+        if arch.uses_transactions() {
+            let callee = compile_txn_callee_audited(&func, &mut vm.rt, arch, passes, opts)?;
+            report.stages += callee.stages;
+            report.diagnostics.extend(callee.diagnostics);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+        function sum(a, n) {
+            var s = 0;
+            for (var i = 0; i < n; i++) { s += a[i]; }
+            return s;
+        }
+        var data = new Array(64);
+        for (var j = 0; j < 64; j++) { data[j] = j; }
+        function run() { return sum(data, 64); }
+    ";
+
+    #[test]
+    fn lint_clean_program_is_clean() {
+        let report = lint_source(SRC, Architecture::NoMap, 150).unwrap();
+        assert!(report.clean(), "{:?}", report.diagnostics);
+        assert!(report.functions >= 2); // main + sum + run
+        assert!(report.stages > 30, "only {} stages", report.stages);
+    }
+
+    #[test]
+    fn lint_runs_on_every_architecture_without_warmup() {
+        for arch in Architecture::ALL {
+            let report = lint_source(SRC, arch, 0).unwrap();
+            assert!(report.clean(), "{arch:?}: {:?}", report.diagnostics);
+        }
+    }
+
+    #[test]
+    fn lint_rejects_bad_source() {
+        assert!(matches!(
+            lint_source("function f( {", Architecture::NoMap, 0),
+            Err(VmError::Compile(_))
+        ));
+    }
+}

@@ -4,7 +4,9 @@ use std::rc::Rc;
 
 use nomap_bytecode::{compile_program, FuncId, Function, Program};
 use nomap_core::{
-    compile_dfg, compile_ftl_with_report, compile_txn_callee, next_scope, Architecture, TxnScope,
+    compile_dfg, compile_dfg_audited, compile_ftl_audited, compile_ftl_with_report,
+    compile_txn_callee, compile_txn_callee_audited, next_scope, Architecture, AuditOptions,
+    FtlAudit, TxnScope,
 };
 use nomap_ir::passes::PassConfig;
 use nomap_jit::{compile_baseline, CompiledFn};
@@ -37,6 +39,15 @@ pub struct VmConfig {
     /// when they are called from inside a transaction. Off by default so
     /// the standard experiments match the paper's configurations.
     pub txn_callees: bool,
+    /// Pass sanitizer: run the `nomap-verify` static verifier between
+    /// every optimizer pass of every JIT compilation, and refuse to
+    /// install code whose IR fails ([`VmError::Verifier`]). Defaults to
+    /// the `NOMAP_SANITIZE` environment variable (any value but `0`).
+    pub sanitize: bool,
+    /// Seed each function's initial transaction scope from the static
+    /// write-footprint estimate, skipping §V-C ladder steps the estimator
+    /// can prove would happen.
+    pub seed_scope: bool,
 }
 
 impl VmConfig {
@@ -50,8 +61,34 @@ impl VmConfig {
             initial_scope: None,
             ftl_passes: None,
             txn_callees: false,
+            sanitize: std::env::var_os("NOMAP_SANITIZE").is_some_and(|v| v != "0"),
+            seed_scope: false,
         }
     }
+
+    /// True when any compilation should go through the audited pipeline.
+    fn audited(&self) -> bool {
+        self.sanitize || self.seed_scope
+    }
+
+    fn audit_options(&self) -> AuditOptions {
+        AuditOptions { verify: self.sanitize, seed_scope: self.seed_scope }
+    }
+}
+
+/// Summarizes a dirty audit as a [`VmError::Verifier`] (first few findings,
+/// plus a count of the rest).
+fn verifier_error(name: &str, audit: &FtlAudit) -> VmError {
+    let shown = 3;
+    let mut msg = format!("{name}: IR verification failed with ");
+    msg.push_str(&format!("{} finding(s): ", audit.diagnostics.len()));
+    let rendered: Vec<String> =
+        audit.diagnostics.iter().take(shown).map(ToString::to_string).collect();
+    msg.push_str(&rendered.join("; "));
+    if audit.diagnostics.len() > shown {
+        msg.push_str(&format!("; ... and {} more", audit.diagnostics.len() - shown));
+    }
+    VmError::Verifier(msg)
 }
 
 /// Per-function code-cache state.
@@ -362,17 +399,49 @@ impl Vm {
             self.code[id.0 as usize].baseline = Some(Rc::new(c));
         }
         if limit.allows(Tier::Dfg) && hot >= th.dfg && self.code[id.0 as usize].dfg.is_none() {
-            let c = compile_dfg(&func, &mut self.rt).map_err(VmError::from)?;
+            let c = if self.config.sanitize {
+                let mut audit =
+                    compile_dfg_audited(&func, &mut self.rt, self.config.audit_options())
+                        .map_err(VmError::from)?;
+                self.emit_verify(id, &func.name, &audit);
+                let Some(code) = audit.code.take() else {
+                    return Err(verifier_error(&func.name, &audit).into());
+                };
+                code
+            } else {
+                compile_dfg(&func, &mut self.rt).map_err(VmError::from)?
+            };
             self.stats.dfg_compiles += 1;
             self.emit_tier_up(id, Tier::Dfg, c.code.len(), None, false);
             self.code[id.0 as usize].dfg = Some(Rc::new(c));
         }
         if limit.allows(Tier::Ftl) && hot >= th.ftl && self.code[id.0 as usize].ftl.is_none() {
-            let scope = self.code[id.0 as usize].scope;
+            let mut scope = self.code[id.0 as usize].scope;
             let passes = self.config.ftl_passes.unwrap_or_else(PassConfig::ftl);
-            let (c, report) =
+            let (c, report) = if self.config.audited() {
+                let mut audit = compile_ftl_audited(
+                    &func,
+                    &mut self.rt,
+                    self.config.arch,
+                    scope,
+                    passes,
+                    self.config.audit_options(),
+                )
+                .map_err(VmError::from)?;
+                self.emit_verify(id, &func.name, &audit);
+                // Footprint seeding may have stepped the ladder statically;
+                // keep the per-function state in sync so later capacity
+                // aborts continue from the seeded rung.
+                scope = audit.scope_used;
+                self.code[id.0 as usize].scope = scope;
+                let Some(code) = audit.code.take() else {
+                    return Err(verifier_error(&func.name, &audit).into());
+                };
+                (code, audit.report)
+            } else {
                 compile_ftl_with_report(&func, &mut self.rt, self.config.arch, scope, passes)
-                    .map_err(VmError::from)?;
+                    .map_err(VmError::from)?
+            };
             self.stats.ftl_compiles += 1;
             self.emit_tier_up(id, Tier::Ftl, c.code.len(), Some(scope), false);
             if self.tracer.is_enabled() {
@@ -397,12 +466,46 @@ impl Vm {
             && self.code[id.0 as usize].ftl_callee.is_none()
         {
             let passes = self.config.ftl_passes.unwrap_or_else(PassConfig::ftl);
-            let c = compile_txn_callee(&func, &mut self.rt, self.config.arch, passes)
+            let c = if self.config.sanitize {
+                let mut audit = compile_txn_callee_audited(
+                    &func,
+                    &mut self.rt,
+                    self.config.arch,
+                    passes,
+                    self.config.audit_options(),
+                )
                 .map_err(VmError::from)?;
+                self.emit_verify(id, &func.name, &audit);
+                let Some(code) = audit.code.take() else {
+                    return Err(verifier_error(&func.name, &audit).into());
+                };
+                code
+            } else {
+                compile_txn_callee(&func, &mut self.rt, self.config.arch, passes)
+                    .map_err(VmError::from)?
+            };
             self.emit_tier_up(id, Tier::Ftl, c.code.len(), None, true);
             self.code[id.0 as usize].ftl_callee = Some(Rc::new(c));
         }
         Ok(())
+    }
+
+    /// Emits a [`TraceEvent::Verify`] for one audited compilation.
+    fn emit_verify(&mut self, id: FuncId, name: &str, audit: &FtlAudit) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let ev = TraceEvent::Verify {
+            func: id.0,
+            name: name.to_owned(),
+            stages: audit.stages,
+            diagnostics: audit.diagnostics.len(),
+            clean: audit.clean(),
+            seeded_scope: (audit.scope_used != audit.scope_requested)
+                .then(|| format!("{:?}", audit.scope_used)),
+        };
+        let cycles = self.stats.total_cycles();
+        self.tracer.emit(cycles, move || ev);
     }
 
     /// Emits a [`TraceEvent::TierUp`] for a fresh compilation of `id`.

@@ -1,0 +1,125 @@
+//! End-to-end pass-sanitizer and scope-seeding behavior.
+
+use nomap_vm::{Architecture, TraceEvent, Vm, VmConfig};
+
+const SUM_SRC: &str = "
+    function sum(a, n) {
+        var s = 0;
+        for (var i = 0; i < n; i++) { s += a[i]; }
+        return s;
+    }
+    var data = new Array(64);
+    for (var j = 0; j < 64; j++) { data[j] = j; }
+    function run() { return sum(data, 64); }
+";
+
+/// A store loop whose write footprint (40k elements, ~5000 cache lines)
+/// is statically guaranteed to overflow any modelled HTM (4096 lines).
+const FILL_SRC: &str = "
+    var data = new Array(40000);
+    function fill() {
+        for (var i = 0; i < 40000; i++) { data[i] = i; }
+        return data[39999];
+    }
+    function run() { return fill(); }
+";
+
+fn warm(vm: &mut Vm, n: u32) -> nomap_vm::Value {
+    vm.run_main().unwrap();
+    let mut last = vm.call("run", &[]).unwrap();
+    for _ in 0..n {
+        last = vm.call("run", &[]).unwrap();
+    }
+    last
+}
+
+#[test]
+fn sanitized_run_matches_plain_run_and_verifies_every_compile() {
+    let mut plain_cfg = VmConfig::new(Architecture::NoMap);
+    plain_cfg.sanitize = false;
+    let mut plain = Vm::with_config(SUM_SRC, plain_cfg).unwrap();
+    let expected = warm(&mut plain, 200);
+
+    let mut cfg = VmConfig::new(Architecture::NoMap);
+    cfg.sanitize = true;
+    cfg.txn_callees = true; // audit the callee-variant path too
+    let mut vm = Vm::with_config(SUM_SRC, cfg).unwrap();
+    vm.enable_tracing(4096);
+    let got = warm(&mut vm, 200);
+    assert_eq!(got, expected);
+
+    let verifies: Vec<_> = vm
+        .trace()
+        .into_iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::Verify { stages, diagnostics, clean, .. } => {
+                Some((stages, diagnostics, clean))
+            }
+            _ => None,
+        })
+        .collect();
+    // Every DFG/FTL/callee compile of a hot function went through audit.
+    assert!(verifies.len() >= 3, "expected audited compiles, saw {}", verifies.len());
+    for (stages, diagnostics, clean) in verifies {
+        assert!(clean, "dirty compile slipped through ({diagnostics} findings)");
+        assert!(stages > 0);
+    }
+    let counters = &vm.trace_metrics().counters;
+    // Every FTL compile (pass-outcome) had a matching verify event, and the
+    // DFG + callee compiles add more on top.
+    assert!(
+        counters.get("verify").copied().unwrap_or(0)
+            > counters.get("pass-outcome").copied().unwrap_or(0)
+    );
+}
+
+#[test]
+fn footprint_seeding_skips_runtime_ladder_steps() {
+    // Without seeding: Nest overflows capacity at runtime; the §V-C
+    // ladder steps down (capacity abort → recompile) at least once.
+    let mut cfg = VmConfig::new(Architecture::NoMap);
+    cfg.sanitize = false;
+    let mut unseeded = Vm::with_config(FILL_SRC, cfg).unwrap();
+    unseeded.enable_tracing(1 << 16);
+    let expected = warm(&mut unseeded, 8);
+    let unseeded_steps = unseeded.trace_metrics().counters.get("ladder-step").copied().unwrap_or(0);
+    assert!(unseeded_steps > 0, "expected runtime ladder steps without seeding");
+
+    // With seeding: the estimator predicts the overflow at compile time
+    // and starts tiled — same result, no runtime ladder steps at all.
+    let mut cfg = VmConfig::new(Architecture::NoMap);
+    cfg.sanitize = false;
+    cfg.seed_scope = true;
+    let mut seeded = Vm::with_config(FILL_SRC, cfg).unwrap();
+    seeded.enable_tracing(1 << 16);
+    let got = warm(&mut seeded, 8);
+    assert_eq!(got, expected);
+    assert_eq!(
+        seeded.trace_metrics().counters.get("ladder-step").copied().unwrap_or(0),
+        0,
+        "seeding should pre-empt the ladder"
+    );
+
+    let seeded_scopes: Vec<_> = seeded
+        .trace()
+        .into_iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::Verify { seeded_scope, .. } => Some(seeded_scope),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        seeded_scopes.iter().any(|s| s.as_deref().is_some_and(|s| s.starts_with("InnerTiled"))),
+        "fill() should have been seeded to a tiled scope: {seeded_scopes:?}"
+    );
+}
+
+#[test]
+fn sanitizer_plus_seeding_compose() {
+    let mut cfg = VmConfig::new(Architecture::NoMap);
+    cfg.sanitize = true;
+    cfg.seed_scope = true;
+    let mut vm = Vm::with_config(FILL_SRC, cfg).unwrap();
+    let v = warm(&mut vm, 8);
+    assert_eq!(format!("{v:?}"), "Int32(39999)");
+}

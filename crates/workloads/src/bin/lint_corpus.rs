@@ -1,0 +1,66 @@
+//! CI helper: lint every bundled workload through the audited pipelines
+//! and fail when any *error* diagnostic fires. (The `nomap` CLI lints one
+//! file; this binary owns the corpus so CI needs no file-system staging.)
+//!
+//! ```text
+//! lint_corpus [arch-name] [--warmup N]
+//! ```
+
+use std::process::ExitCode;
+
+use nomap_vm::{lint_source, Architecture};
+use nomap_workloads::{kraken, shootout, sunspider, Workload};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arch = match args.iter().find(|a| !a.starts_with("--") && a.parse::<u32>().is_err()) {
+        Some(s) => match Architecture::ALL.into_iter().find(|a| a.name().eq_ignore_ascii_case(s)) {
+            Some(a) => a,
+            None => {
+                eprintln!("unknown architecture `{s}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => Architecture::NoMap,
+    };
+    let warmup: u32 = args
+        .iter()
+        .position(|a| a == "--warmup")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+
+    let suites: [&[Workload]; 3] = [&sunspider(), &kraken(), &shootout()];
+    let mut linted = 0usize;
+    let mut stages = 0usize;
+    let mut warnings = 0usize;
+    let mut errors = 0usize;
+    for w in suites.iter().flat_map(|s| s.iter()) {
+        let report = match lint_source(w.source, arch, warmup) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: lint failed: {e}", w.id);
+                return ExitCode::FAILURE;
+            }
+        };
+        for d in &report.diagnostics {
+            if d.is_error() {
+                errors += 1;
+                println!("{}: {d}", w.id);
+            } else {
+                warnings += 1;
+            }
+        }
+        stages += report.stages;
+        linted += 1;
+    }
+    println!(
+        "linted {linted} workloads under {}: {stages} verification stages, {errors} errors, {warnings} warnings",
+        arch.name()
+    );
+    if errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
