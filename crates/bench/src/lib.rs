@@ -9,7 +9,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 use nomap_trace::{check_name, obj, JsonValue, SCHEMA_VERSION};
-use nomap_vm::{Architecture, CheckKind, ExecStats, InstCategory, TierLimit, VmError};
+use nomap_vm::{Architecture, BenchRows, CheckKind, ExecStats, InstCategory, TierLimit, VmError};
 use nomap_workloads::{run_workload, RunSpec, Suite, Workload};
 
 /// Number of measured `run()` calls in [`RunSpec::steady`]; divide window
@@ -97,35 +97,65 @@ pub fn heading(title: &str) {
 /// the command line or the `NOMAP_JSON` environment variable. With neither
 /// set the report is a no-op, so the human-readable output stays the
 /// default interface.
+///
+/// Independently, `--bench-dir <dir>` (or `NOMAP_BENCH_DIR`) makes
+/// [`Report::finish`] also write the canonical `BENCH_<artifact>.json`
+/// cycle-count document consumed by `nomap bench-diff` — the perf
+/// observatory's regression-gate input. Every [`Report::stats`] call feeds
+/// it, so each (bench, config) the binary measures becomes one row.
 pub struct Report {
     artifact: String,
     dest: Option<PathBuf>,
     lines: Vec<String>,
+    bench_dir: Option<PathBuf>,
+    bench_rows: BenchRows,
 }
 
 impl Report {
     /// Creates a report for `artifact`, resolving the destination from
-    /// `--json <path>` in the process arguments or `NOMAP_JSON`.
+    /// `--json <path>` in the process arguments or `NOMAP_JSON`, and the
+    /// bench-cycle directory from `--bench-dir <dir>` or `NOMAP_BENCH_DIR`.
     pub fn from_env(artifact: &str) -> Report {
         let args: Vec<String> = std::env::args().collect();
-        let dest = args
-            .iter()
-            .position(|a| a == "--json")
-            .and_then(|i| args.get(i + 1).cloned())
-            .or_else(|| std::env::var("NOMAP_JSON").ok())
-            .map(PathBuf::from);
-        Report::to_path(artifact, dest)
+        let flag = |name: &str, env: &str| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1).cloned())
+                .or_else(|| std::env::var(env).ok())
+                .map(PathBuf::from)
+        };
+        let mut r = Report::to_path(artifact, flag("--json", "NOMAP_JSON"));
+        r.bench_dir = flag("--bench-dir", "NOMAP_BENCH_DIR");
+        r
     }
 
     /// Creates a report writing to `dest` (`None` = disabled). Exposed for
     /// tests; binaries use [`Report::from_env`].
     pub fn to_path(artifact: &str, dest: Option<PathBuf>) -> Report {
-        Report { artifact: artifact.to_owned(), dest, lines: Vec::new() }
+        Report {
+            artifact: artifact.to_owned(),
+            dest,
+            lines: Vec::new(),
+            bench_dir: None,
+            bench_rows: BenchRows::new(artifact),
+        }
+    }
+
+    /// Directs the canonical `BENCH_<artifact>.json` into `dir`. Exposed
+    /// for tests; binaries use [`Report::from_env`].
+    pub fn with_bench_dir(mut self, dir: Option<PathBuf>) -> Report {
+        self.bench_dir = dir;
+        self
     }
 
     /// Whether a destination is configured (rows are dropped otherwise).
     pub fn enabled(&self) -> bool {
         self.dest.is_some()
+    }
+
+    /// The bench-cycle rows accumulated so far.
+    pub fn bench_rows(&self) -> &BenchRows {
+        &self.bench_rows
     }
 
     /// Appends one JSONL row; `members` follow the `v`/`artifact` envelope.
@@ -142,6 +172,9 @@ impl Report {
     /// Appends the canonical per-measurement row: the full [`ExecStats`]
     /// breakdown for one (workload, configuration) pair.
     pub fn stats(&mut self, bench: &str, config: &str, s: &ExecStats) {
+        if self.bench_dir.is_some() {
+            self.bench_rows.push(bench, config, s.total_cycles(), s.total_insts());
+        }
         if self.dest.is_none() {
             return;
         }
@@ -187,6 +220,24 @@ impl Report {
     /// Writes the accumulated rows. Failures are reported on stderr but do
     /// not fail the experiment — the printed tables are already out.
     pub fn finish(self) {
+        if let Some(dir) = &self.bench_dir {
+            let path = dir.join(format!("BENCH_{}.json", self.artifact));
+            let write = || -> std::io::Result<()> {
+                std::fs::create_dir_all(dir)?;
+                let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+                writeln!(f, "{}", self.bench_rows.to_json().render())?;
+                f.flush()
+            };
+            match write() {
+                Ok(()) => eprintln!(
+                    "bench: {} cycle rows for {} written to {}",
+                    self.bench_rows.rows.len(),
+                    self.artifact,
+                    path.display()
+                ),
+                Err(e) => eprintln!("bench: failed to write {}: {e}", path.display()),
+            }
+        }
         let Some(path) = self.dest else { return };
         let write = || -> std::io::Result<()> {
             let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
@@ -246,6 +297,30 @@ mod tests {
         r.stats("S00", "Base", &ExecStats::new());
         assert!(r.lines.is_empty());
         r.finish(); // must not create anything
+    }
+
+    #[test]
+    fn bench_dir_emits_canonical_cycle_document() {
+        let dir = std::env::temp_dir().join(format!("nomap-bench-test-{}", std::process::id()));
+        let mut r = Report::to_path("fig0", None).with_bench_dir(Some(dir.clone()));
+        let mut s = ExecStats::new();
+        s.cycles_tm = 70;
+        s.cycles_non_tm = 30;
+        s.add_insts(InstCategory::TmOpt, nomap_vm::Tier::Ftl, 10);
+        r.stats("S01", "NoMap", &s);
+        r.stats("S01", "NoMap", &ExecStats::new()); // dup keeps first
+        assert_eq!(r.bench_rows().rows.len(), 1);
+        r.finish();
+
+        let path = dir.join("BENCH_fig0.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+        let rows = BenchRows::parse(&text).unwrap();
+        assert_eq!(rows.artifact, "fig0");
+        assert_eq!(rows.rows.len(), 1);
+        assert_eq!(rows.rows[0].cycles, 100);
+        assert_eq!(rows.rows[0].insts, 10);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Cycle attribution: charge every simulated cycle to a region key.
+//!
+//! [`ExecStats`](crate::ExecStats) answers "how many cycles, total"; the
+//! [`CycleLedger`] answers "which function, which tier, and *why*": was a
+//! cycle spent in straight-line code, inside a transaction body, replaying
+//! a loop in Baseline after a capacity abort stepped the §V-C ladder,
+//! re-executing after a deoptimization, compiling, or paying for a failed
+//! check? Region keys are (function × tier × [`RegionKind`]) and the ledger
+//! is exact: the VM routes every cycle it adds to `ExecStats` through the
+//! ledger as well, so the attributed total equals the `ExecStats` total
+//! with no residue beyond the explicit [`RegionKey::OTHER_FUNC`] bucket.
+//!
+//! The ledger is plain mergeable data (like `ExecStats`); the VM owns the
+//! policy of *when* to charge, and `nomap-profile` turns ledgers into
+//! ranked hot-spot reports.
+
+use std::collections::BTreeMap;
+
+use crate::inst::CheckKind;
+use crate::stats::Tier;
+
+/// Why a cycle was spent (the profiler's cost taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegionKind {
+    /// Ordinary non-transactional execution.
+    Main,
+    /// Execution inside a transaction (body work plus XBegin/XEnd
+    /// overhead).
+    TxnBody,
+    /// Baseline re-execution after a transactional abort, and the rollback
+    /// cost of capacity aborts — the price of riding the §V-C retry
+    /// ladder.
+    TxnRetryLadder,
+    /// JIT compilation. Reserved: the steady-state cycle model excludes
+    /// compile time (paper methodology), so this region is zero unless a
+    /// future timing model charges it.
+    Compile,
+    /// Baseline re-execution after an OSR exit (deoptimization replay),
+    /// including the OSR materialization itself.
+    DeoptReplay,
+    /// Rollback/abort cost attributable to a failed check of this kind.
+    Check(CheckKind),
+    /// Anything the VM could not attribute more precisely.
+    Other,
+}
+
+impl RegionKind {
+    /// Stable kebab-case name (used in reports, JSON and trace events).
+    pub fn name(self) -> &'static str {
+        match self {
+            RegionKind::Main => "main",
+            RegionKind::TxnBody => "txn-body",
+            RegionKind::TxnRetryLadder => "txn-retry-ladder",
+            RegionKind::Compile => "compile",
+            RegionKind::DeoptReplay => "deopt-replay",
+            RegionKind::Check(CheckKind::Bounds) => "check:bounds",
+            RegionKind::Check(CheckKind::Overflow) => "check:overflow",
+            RegionKind::Check(CheckKind::Type) => "check:type",
+            RegionKind::Check(CheckKind::Property) => "check:property",
+            RegionKind::Check(CheckKind::Other) => "check:other",
+            RegionKind::Other => "other",
+        }
+    }
+}
+
+/// One attribution scope: which function, executing in which tier, doing
+/// what kind of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionKey {
+    /// Function id (`OTHER_FUNC` when no guest frame was executing).
+    pub func: u32,
+    /// Tier whose code (or on whose behalf the runtime) was executing.
+    pub tier: Tier,
+    /// Why the cycles were spent.
+    pub kind: RegionKind,
+}
+
+impl RegionKey {
+    /// Sentinel function id for cycles charged outside any guest frame.
+    pub const OTHER_FUNC: u32 = u32::MAX;
+}
+
+/// The mergeable cycle-attribution ledger.
+///
+/// Invariant maintained by the VM: [`CycleLedger::total`] equals the sum
+/// over all regions, and — when profiling is enabled for a whole
+/// measurement window — equals `ExecStats::total_cycles()` for the same
+/// window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleLedger {
+    regions: BTreeMap<RegionKey, u64>,
+    total: u64,
+}
+
+impl CycleLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `cycles` to `key`.
+    #[inline]
+    pub fn charge(&mut self, key: RegionKey, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        *self.regions.entry(key).or_insert(0) += cycles;
+        self.total += cycles;
+    }
+
+    /// Total cycles attributed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Cycles attributed to `key` (0 when never charged).
+    pub fn get(&self, key: RegionKey) -> u64 {
+        self.regions.get(&key).copied().unwrap_or(0)
+    }
+
+    /// All regions with their cycle counts, in key order.
+    pub fn regions(&self) -> impl Iterator<Item = (&RegionKey, &u64)> {
+        self.regions.iter()
+    }
+
+    /// Number of distinct regions charged.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when nothing has been charged.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Cycles summed per function (collapsing tier and kind).
+    pub fn by_func(&self) -> BTreeMap<u32, u64> {
+        let mut out = BTreeMap::new();
+        for (k, v) in &self.regions {
+            *out.entry(k.func).or_insert(0) += v;
+        }
+        out
+    }
+
+    /// Cycles summed per region kind (collapsing function and tier).
+    pub fn by_kind(&self) -> BTreeMap<RegionKind, u64> {
+        let mut out = BTreeMap::new();
+        for (k, v) in &self.regions {
+            *out.entry(k.kind).or_insert(0) += v;
+        }
+        out
+    }
+
+    /// Folds another ledger into this one (suite/shard aggregation).
+    pub fn merge(&mut self, other: &CycleLedger) {
+        for (k, v) in &other.regions {
+            *self.regions.entry(*k).or_insert(0) += v;
+        }
+        self.total += other.total;
+    }
+
+    /// Clears the ledger (measurement-window reset, paired with
+    /// `ExecStats` reset so the conservation invariant keeps holding).
+    pub fn reset(&mut self) {
+        self.regions.clear();
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(func: u32, tier: Tier, kind: RegionKind) -> RegionKey {
+        RegionKey { func, tier, kind }
+    }
+
+    #[test]
+    fn charge_accumulates_and_totals() {
+        let mut l = CycleLedger::new();
+        l.charge(key(0, Tier::Ftl, RegionKind::TxnBody), 10);
+        l.charge(key(0, Tier::Ftl, RegionKind::TxnBody), 5);
+        l.charge(key(1, Tier::Baseline, RegionKind::TxnRetryLadder), 7);
+        l.charge(key(1, Tier::Baseline, RegionKind::Main), 0); // no-op
+        assert_eq!(l.total(), 22);
+        assert_eq!(l.get(key(0, Tier::Ftl, RegionKind::TxnBody)), 15);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.by_func()[&0], 15);
+        assert_eq!(l.by_kind()[&RegionKind::TxnRetryLadder], 7);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = CycleLedger::new();
+        a.charge(key(0, Tier::Ftl, RegionKind::Main), 3);
+        a.charge(key(2, Tier::Runtime, RegionKind::Check(CheckKind::Bounds)), 9);
+        let mut b = CycleLedger::new();
+        b.charge(key(0, Tier::Ftl, RegionKind::Main), 4);
+        b.charge(key(5, Tier::Interpreter, RegionKind::DeoptReplay), 1);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total(), 17);
+        assert_eq!(ab.get(key(0, Tier::Ftl, RegionKind::Main)), 7);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut l = CycleLedger::new();
+        l.charge(key(3, Tier::Dfg, RegionKind::TxnBody), 42);
+        let snapshot = l.clone();
+        l.merge(&CycleLedger::new());
+        assert_eq!(l, snapshot);
+        let mut empty = CycleLedger::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(RegionKind::Main.name(), "main");
+        assert_eq!(RegionKind::TxnRetryLadder.name(), "txn-retry-ladder");
+        assert_eq!(RegionKind::Check(CheckKind::Overflow).name(), "check:overflow");
+        assert_eq!(RegionKind::DeoptReplay.name(), "deopt-replay");
+    }
+}

@@ -29,7 +29,7 @@ pub struct Label(pub u32);
 pub struct SmpId(pub u32);
 
 /// Paper Figure 3's check taxonomy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CheckKind {
     /// Array-bounds check.
     Bounds,

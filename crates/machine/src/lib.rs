@@ -12,6 +12,7 @@
 //! stepping loop lives in `nomap-vm`, which owns the code cache and tiering
 //! state the executor must consult.
 
+mod attrib;
 mod cache;
 pub mod disasm;
 mod htm;
@@ -19,6 +20,7 @@ mod inst;
 mod stats;
 mod timing;
 
+pub use attrib::{CycleLedger, RegionKey, RegionKind};
 pub use cache::{AccessOutcome, Cache, CacheConfig, CacheSim};
 pub use htm::{AbortReason, HtmKind, HtmModel, TxOutcome, TxState};
 pub use inst::{Alu64Op, CheckKind, Cond, FAluOp, IAlu32Op, Label, MReg, MachInst, SmpId};

@@ -1,0 +1,295 @@
+//! The canonical bench-cycle format and the regression comparator.
+//!
+//! Every experiment binary emits a `BENCH_<artifact>.json` alongside its
+//! human-readable output: one row per (bench, config) with the deterministic
+//! simulated cycle and instruction counts. Because the simulator is fully
+//! deterministic, *any* cycle difference between two runs of the same
+//! source is a real behaviour change — the CI gate compares fresh files
+//! against the committed `results/baselines/` set with a small threshold
+//! only so intentional model tweaks can be landed together with refreshed
+//! baselines.
+
+use std::collections::BTreeMap;
+
+use nomap_trace::{obj, JsonValue};
+
+use crate::json_in::{parse_json, Json};
+
+/// One measured configuration of one benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRow {
+    /// Benchmark name (e.g. `splay`).
+    pub bench: String,
+    /// Configuration label (e.g. `NoMap`, `Baseline (checks)`).
+    pub config: String,
+    /// Simulated cycles for the measured window.
+    pub cycles: u64,
+    /// Dynamic instructions for the measured window.
+    pub insts: u64,
+}
+
+/// A full `BENCH_<artifact>.json` document.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BenchRows {
+    /// Artifact the rows belong to (`fig8`, `table1`, ...).
+    pub artifact: String,
+    /// Measured rows, in emission order.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchRows {
+    /// Empty row set for `artifact`.
+    pub fn new(artifact: &str) -> Self {
+        BenchRows { artifact: artifact.to_owned(), rows: Vec::new() }
+    }
+
+    /// Appends a row. A duplicate (bench, config) key keeps the *first*
+    /// recording: some artifacts measure a workload set twice for different
+    /// figures of merit (e.g. table1's AvgS column) and the repeated rows
+    /// are identical by determinism.
+    pub fn push(&mut self, bench: &str, config: &str, cycles: u64, insts: u64) {
+        if self.rows.iter().any(|r| r.bench == bench && r.config == config) {
+            return;
+        }
+        self.rows.push(BenchRow {
+            bench: bench.to_owned(),
+            config: config.to_owned(),
+            cycles,
+            insts,
+        });
+    }
+
+    /// Rows keyed by `(bench, config)` for comparison.
+    pub fn keyed(&self) -> BTreeMap<(String, String), &BenchRow> {
+        self.rows.iter().map(|r| ((r.bench.clone(), r.config.clone()), r)).collect()
+    }
+
+    /// Renders the canonical JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                obj(vec![
+                    ("bench", r.bench.as_str().into()),
+                    ("config", r.config.as_str().into()),
+                    ("cycles", r.cycles.into()),
+                    ("insts", r.insts.into()),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("v", u64::from(nomap_trace::SCHEMA_VERSION).into()),
+            ("artifact", self.artifact.as_str().into()),
+            ("rows", JsonValue::Array(rows)),
+        ])
+    }
+
+    /// Parses a canonical document produced by [`BenchRows::to_json`].
+    pub fn parse(text: &str) -> Result<BenchRows, String> {
+        let doc = parse_json(text)?;
+        let artifact =
+            doc.get("artifact").and_then(Json::as_str).ok_or("missing \"artifact\"")?.to_owned();
+        let rows_json = doc.get("rows").and_then(Json::as_array).ok_or("missing \"rows\"")?;
+        let mut out = BenchRows::new(&artifact);
+        for (i, row) in rows_json.iter().enumerate() {
+            let field =
+                |name: &str| row.get(name).ok_or_else(|| format!("row {i}: missing \"{name}\""));
+            let bench = field("bench")?.as_str().ok_or_else(|| format!("row {i}: bad bench"))?;
+            let config = field("config")?.as_str().ok_or_else(|| format!("row {i}: bad config"))?;
+            let cycles = field("cycles")?.as_u64().ok_or_else(|| format!("row {i}: bad cycles"))?;
+            let insts = field("insts")?.as_u64().ok_or_else(|| format!("row {i}: bad insts"))?;
+            out.push(bench, config, cycles, insts);
+        }
+        Ok(out)
+    }
+}
+
+/// One (bench, config) whose cycle count moved between two row sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Benchmark name.
+    pub bench: String,
+    /// Configuration label.
+    pub config: String,
+    /// Cycles in the old (baseline) set.
+    pub old_cycles: u64,
+    /// Cycles in the new (candidate) set.
+    pub new_cycles: u64,
+    /// Relative change, `(new - old) / old` (positive = slower).
+    pub delta: f64,
+}
+
+impl DiffEntry {
+    /// `bench/config  old -> new  (+1.23%)` rendering.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}/{}  {} -> {} ({:+.2}%)",
+            self.bench,
+            self.config,
+            self.old_cycles,
+            self.new_cycles,
+            self.delta * 100.0
+        )
+    }
+}
+
+/// Outcome of comparing a candidate row set against a baseline.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchDiff {
+    /// Rows slower than baseline by more than the threshold.
+    pub regressions: Vec<DiffEntry>,
+    /// Rows faster than baseline by more than the threshold.
+    pub improvements: Vec<DiffEntry>,
+    /// Rows that moved but stayed within the threshold.
+    pub within: Vec<DiffEntry>,
+    /// (bench, config) keys present only in the baseline.
+    pub missing: Vec<(String, String)>,
+    /// (bench, config) keys present only in the candidate.
+    pub added: Vec<(String, String)>,
+}
+
+impl BenchDiff {
+    /// True when the candidate is acceptable: nothing regressed and no
+    /// baseline row disappeared. (Additions and improvements pass.)
+    pub fn is_ok(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+
+    /// Multi-line human-readable report.
+    pub fn render(&self, threshold: f64) -> String {
+        let mut out = String::new();
+        if self.is_ok() && self.improvements.is_empty() && self.within.is_empty() {
+            out.push_str("no cycle changes\n");
+        }
+        for e in &self.regressions {
+            out.push_str(&format!("REGRESSION  {}\n", e.describe()));
+        }
+        for (b, c) in &self.missing {
+            out.push_str(&format!("MISSING     {b}/{c} (in baseline, not in candidate)\n"));
+        }
+        for e in &self.improvements {
+            out.push_str(&format!("improved    {}\n", e.describe()));
+        }
+        for e in &self.within {
+            out.push_str(&format!("within {:.0}%   {}\n", threshold * 100.0, e.describe()));
+        }
+        for (b, c) in &self.added {
+            out.push_str(&format!("added       {b}/{c}\n"));
+        }
+        out
+    }
+}
+
+/// Compares candidate rows against baseline rows. A row regresses when its
+/// cycles exceed the baseline by more than `threshold` (e.g. `0.02` = 2%).
+pub fn bench_diff(old: &BenchRows, new: &BenchRows, threshold: f64) -> BenchDiff {
+    let old_keyed = old.keyed();
+    let new_keyed = new.keyed();
+    let mut diff = BenchDiff::default();
+    for (key, old_row) in &old_keyed {
+        let Some(new_row) = new_keyed.get(key) else {
+            diff.missing.push(key.clone());
+            continue;
+        };
+        if old_row.cycles == new_row.cycles {
+            continue;
+        }
+        let delta = if old_row.cycles == 0 {
+            // A zero-cycle baseline can only regress.
+            f64::INFINITY
+        } else {
+            (new_row.cycles as f64 - old_row.cycles as f64) / old_row.cycles as f64
+        };
+        let entry = DiffEntry {
+            bench: key.0.clone(),
+            config: key.1.clone(),
+            old_cycles: old_row.cycles,
+            new_cycles: new_row.cycles,
+            delta,
+        };
+        if delta > threshold {
+            diff.regressions.push(entry);
+        } else if delta < -threshold {
+            diff.improvements.push(entry);
+        } else {
+            diff.within.push(entry);
+        }
+    }
+    for key in new_keyed.keys() {
+        if !old_keyed.contains_key(key) {
+            diff.added.push(key.clone());
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(pairs: &[(&str, &str, u64)]) -> BenchRows {
+        let mut r = BenchRows::new("test");
+        for (b, c, cy) in pairs {
+            r.push(b, c, *cy, cy * 2);
+        }
+        r
+    }
+
+    #[test]
+    fn json_round_trip_preserves_rows() {
+        let r = rows(&[("splay", "NoMap", 1000), ("splay", "Baseline", 1500)]);
+        let text = r.to_json().render();
+        let back = BenchRows::parse(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn duplicate_keys_keep_first_recording() {
+        let mut r = BenchRows::new("table1");
+        r.push("crypto", "NoMap", 10, 20);
+        r.push("crypto", "NoMap", 999, 999);
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].cycles, 10);
+    }
+
+    #[test]
+    fn detects_regression_beyond_threshold() {
+        let old = rows(&[("a", "x", 1000), ("b", "x", 1000)]);
+        let new = rows(&[("a", "x", 1030), ("b", "x", 1010)]);
+        let diff = bench_diff(&old, &new, 0.02);
+        assert!(!diff.is_ok());
+        assert_eq!(diff.regressions.len(), 1);
+        assert_eq!(diff.regressions[0].bench, "a");
+        assert!((diff.regressions[0].delta - 0.03).abs() < 1e-9);
+        assert_eq!(diff.within.len(), 1);
+        assert!(diff.render(0.02).contains("REGRESSION"));
+    }
+
+    #[test]
+    fn improvements_and_additions_pass() {
+        let old = rows(&[("a", "x", 1000)]);
+        let new = rows(&[("a", "x", 900), ("c", "x", 5)]);
+        let diff = bench_diff(&old, &new, 0.02);
+        assert!(diff.is_ok());
+        assert_eq!(diff.improvements.len(), 1);
+        assert_eq!(diff.added, vec![("c".to_owned(), "x".to_owned())]);
+    }
+
+    #[test]
+    fn missing_baseline_rows_fail() {
+        let old = rows(&[("a", "x", 1000), ("b", "x", 1000)]);
+        let new = rows(&[("a", "x", 1000)]);
+        let diff = bench_diff(&old, &new, 0.02);
+        assert!(!diff.is_ok());
+        assert_eq!(diff.missing, vec![("b".to_owned(), "x".to_owned())]);
+    }
+
+    #[test]
+    fn identical_sets_are_clean() {
+        let r = rows(&[("a", "x", 1000)]);
+        let diff = bench_diff(&r, &r.clone(), 0.0);
+        assert!(diff.is_ok());
+        assert!(diff.render(0.0).contains("no cycle changes"));
+    }
+}

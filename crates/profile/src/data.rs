@@ -1,0 +1,182 @@
+//! The raw profile a VM run produces: the cycle ledger plus the per-site
+//! tables the hot-spot report ranks.
+
+use std::collections::BTreeMap;
+
+use nomap_machine::{AbortReason, CheckKind, CycleLedger, RegionKey, Tier};
+use nomap_trace::Histogram;
+
+/// One deoptimization site: a (function, SMP) pair with the bytecode
+/// offset the Baseline frame resumed at and the check kind that fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeoptSite {
+    /// Bytecode offset of the Baseline re-entry.
+    pub bc: u32,
+    /// Check kind that fired (the kind of the *first* hit is kept; sites
+    /// are keyed by SMP, whose kind never changes across hits).
+    pub kind: CheckKind,
+    /// Times this SMP was taken.
+    pub count: u64,
+}
+
+/// Everything the VM-side profiler collects for one measurement window.
+///
+/// All fields merge commutatively, mirroring `ExecStats::merge`, so
+/// per-shard profiles can be folded into one suite profile.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileData {
+    /// Exact cycle attribution (total == `ExecStats::total_cycles()`).
+    pub ledger: CycleLedger,
+    /// Dynamic instructions per (function, tier) — the denominator for
+    /// check densities.
+    pub insts: BTreeMap<(u32, Tier), u64>,
+    /// Executed checks per (function, check kind).
+    pub checks: BTreeMap<(u32, CheckKind), u64>,
+    /// Deoptimization sites keyed by (function, SMP id).
+    pub deopt_sites: BTreeMap<(u32, u32), DeoptSite>,
+    /// Transaction aborts per (function, reason name); the function is the
+    /// transaction owner (`RegionKey::OTHER_FUNC` when unowned).
+    pub aborts: BTreeMap<(u32, String), u64>,
+    /// Write-footprint sketch (bytes at abort) per aborting function.
+    pub abort_footprint: BTreeMap<u32, Histogram>,
+}
+
+/// Stable reason name for abort bookkeeping (check aborts keep their kind:
+/// `check:bounds`, ...; the rest match `nomap_trace::abort_reason_name`).
+pub fn abort_key(reason: AbortReason) -> String {
+    match reason {
+        AbortReason::Check(k) => {
+            format!("check:{}", nomap_trace::check_name(k))
+        }
+        AbortReason::Capacity => "capacity".to_owned(),
+        AbortReason::StickyOverflow => "sticky-overflow".to_owned(),
+    }
+}
+
+impl ProfileData {
+    /// Empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `cycles` to an attribution scope (delegates to the ledger).
+    #[inline]
+    pub fn charge(&mut self, key: RegionKey, cycles: u64) {
+        self.ledger.charge(key, cycles);
+    }
+
+    /// Credits `n` dynamic instructions to (func, tier).
+    #[inline]
+    pub fn record_insts(&mut self, func: u32, tier: Tier, n: u64) {
+        if n > 0 {
+            *self.insts.entry((func, tier)).or_insert(0) += n;
+        }
+    }
+
+    /// Records one executed check of `kind` in `func`.
+    #[inline]
+    pub fn record_check(&mut self, func: u32, kind: CheckKind) {
+        *self.checks.entry((func, kind)).or_insert(0) += 1;
+    }
+
+    /// Records one taken deoptimization at (func, smp).
+    pub fn record_deopt(&mut self, func: u32, smp: u32, bc: u32, kind: CheckKind) {
+        self.deopt_sites.entry((func, smp)).or_insert(DeoptSite { bc, kind, count: 0 }).count += 1;
+    }
+
+    /// Records one transaction abort owned by `func` with the footprint at
+    /// the abort point.
+    pub fn record_abort(&mut self, func: u32, reason: AbortReason, footprint_bytes: u64) {
+        *self.aborts.entry((func, abort_key(reason))).or_insert(0) += 1;
+        self.abort_footprint.entry(func).or_default().record(footprint_bytes);
+    }
+
+    /// Clears the profile (measurement-window reset).
+    pub fn reset(&mut self) {
+        *self = ProfileData::default();
+    }
+
+    /// Total instructions credited to `func` across all tiers.
+    pub fn func_insts(&self, func: u32) -> u64 {
+        self.insts.iter().filter(|((f, _), _)| *f == func).map(|(_, n)| n).sum()
+    }
+
+    /// Folds another profile into this one.
+    pub fn merge(&mut self, other: &ProfileData) {
+        self.ledger.merge(&other.ledger);
+        for (k, v) in &other.insts {
+            *self.insts.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.checks {
+            *self.checks.entry(*k).or_insert(0) += v;
+        }
+        for (k, site) in &other.deopt_sites {
+            self.deopt_sites
+                .entry(*k)
+                .or_insert(DeoptSite { bc: site.bc, kind: site.kind, count: 0 })
+                .count += site.count;
+        }
+        for (k, v) in &other.aborts {
+            *self.aborts.entry(k.clone()).or_insert(0) += v;
+        }
+        for (f, h) in &other.abort_footprint {
+            self.abort_footprint.entry(*f).or_default().merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use nomap_machine::RegionKind;
+
+    use super::*;
+
+    fn sample() -> ProfileData {
+        let mut p = ProfileData::new();
+        p.charge(RegionKey { func: 0, tier: Tier::Ftl, kind: RegionKind::TxnBody }, 100);
+        p.record_insts(0, Tier::Ftl, 80);
+        p.record_check(0, CheckKind::Bounds);
+        p.record_deopt(0, 3, 12, CheckKind::Type);
+        p.record_abort(0, AbortReason::Capacity, 4096);
+        p
+    }
+
+    #[test]
+    fn merge_is_commutative_across_all_tables() {
+        let a = sample();
+        let mut b = sample();
+        b.charge(RegionKey { func: 1, tier: Tier::Baseline, kind: RegionKind::Main }, 7);
+        b.record_abort(0, AbortReason::Check(CheckKind::Bounds), 64);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.ledger.total(), 207);
+        assert_eq!(ab.checks[&(0, CheckKind::Bounds)], 2);
+        assert_eq!(ab.deopt_sites[&(0, 3)].count, 2);
+        assert_eq!(ab.aborts[&(0, "capacity".to_owned())], 2);
+        assert_eq!(ab.aborts[&(0, "check:bounds".to_owned())], 1);
+        assert_eq!(ab.abort_footprint[&0].count, 3);
+        assert_eq!(ab.func_insts(0), 160);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut p = sample();
+        let snapshot = p.clone();
+        p.merge(&ProfileData::new());
+        assert_eq!(p, snapshot);
+        let mut empty = ProfileData::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn abort_keys_are_stable() {
+        assert_eq!(abort_key(AbortReason::Capacity), "capacity");
+        assert_eq!(abort_key(AbortReason::StickyOverflow), "sticky-overflow");
+        assert_eq!(abort_key(AbortReason::Check(CheckKind::Type)), "check:type");
+    }
+}

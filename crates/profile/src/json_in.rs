@@ -1,0 +1,245 @@
+//! A minimal recursive-descent JSON reader.
+//!
+//! `nomap-trace` has a JSON *writer* ([`nomap_trace::JsonValue`]); the
+//! observatory also needs to read its own output back (bench-diff compares
+//! two `BENCH_*.json` files). This is the matching reader — small, strict
+//! enough for files we produced ourselves, and dependency-free.
+
+/// A parsed JSON value. Numbers are kept as `f64` (every value we read back
+/// — cycle and instruction counts — is well inside the 2^53 exact-integer
+/// range).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in source order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object (None for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a whole number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// data rejected).
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    let v = value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at byte {i}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => Ok(Json::Str(string(b, i)?)),
+        Some(b't') => lit(b, i, "true", Json::Bool(true)),
+        Some(b'f') => lit(b, i, "false", Json::Bool(false)),
+        Some(b'n') => lit(b, i, "null", Json::Null),
+        Some(_) => number(b, i),
+        None => Err("unexpected end".into()),
+    }
+}
+
+fn lit(b: &[u8], i: &mut usize, word: &str, v: Json) -> Result<Json, String> {
+    if b[*i..].starts_with(word.as_bytes()) {
+        *i += word.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {i}"))
+    }
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    let start = *i;
+    while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *i += 1;
+    }
+    std::str::from_utf8(&b[start..*i])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    *i += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match b.get(*i) {
+            Some(b'"') => {
+                *i += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        if *i + 5 > b.len() {
+                            return Err("bad \\u escape".into());
+                        }
+                        let hex = std::str::from_utf8(&b[*i + 1..*i + 5])
+                            .map_err(|_| "bad \\u escape".to_owned())?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_owned())?;
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        *i += 4;
+                    }
+                    _ => return Err("bad escape".into()),
+                }
+                *i += 1;
+            }
+            Some(_) => {
+                let rest = std::str::from_utf8(&b[*i..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *i += c.len_utf8();
+            }
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn array(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    *i += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(value(b, i)?);
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected , or ] at byte {i}")),
+        }
+    }
+}
+
+fn object(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    *i += 1; // '{'
+    let mut pairs = Vec::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(Json::Object(pairs));
+    }
+    loop {
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected object key at byte {i}"));
+        }
+        let key = string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected : at byte {i}"));
+        }
+        *i += 1;
+        pairs.push((key, value(b, i)?));
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(Json::Object(pairs));
+            }
+            _ => return Err(format!("expected , or }} at byte {i}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = r#"{"v":3,"rows":[{"bench":"splay","cycles":12345},{"bench":"crypto","cycles":0}],"ok":true,"note":null}"#;
+        let j = parse_json(doc).unwrap();
+        assert_eq!(j.get("v").and_then(Json::as_u64), Some(3));
+        let rows = j.get("rows").and_then(Json::as_array).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("bench").and_then(Json::as_str), Some("splay"));
+        assert_eq!(rows[0].get("cycles").and_then(Json::as_u64), Some(12345));
+        assert_eq!(j.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(j.get("note"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_trailing_data_and_bad_syntax() {
+        assert!(parse_json("{} x").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("[1,2").is_err());
+        assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn round_trips_escapes() {
+        let j = parse_json(r#""a\"b\\c\nd""#).unwrap();
+        assert_eq!(j.as_str(), Some("a\"b\\c\nd"));
+    }
+}

@@ -1,0 +1,28 @@
+//! Cycle-attribution profiling and the perf-regression observatory.
+//!
+//! Three layers, all offline/passive (the VM feeds them, nothing here
+//! executes guest code):
+//!
+//! - [`ProfileData`] — the raw per-run profile the VM collects when
+//!   profiling is enabled: the exact [`nomap_machine::CycleLedger`]
+//!   (every simulated cycle charged to a function × tier × region-kind
+//!   scope), per-function check counts, deoptimization sites, abort
+//!   reasons and write-footprint percentile sketches. Mergeable like
+//!   `ExecStats`, so suite aggregation works shard-by-shard.
+//! - [`HotSpotReport`] — renders a `ProfileData` as the `nomap profile`
+//!   tables: hot regions ranked by attributed cycles, per-function abort
+//!   and check-kind breakdowns, deopt sites, and check densities; as text
+//!   or JSON.
+//! - [`BenchRows`] / [`bench_diff`] — the canonical `BENCH_<artifact>.json`
+//!   cycle-count format every experiment binary emits, plus the regression
+//!   comparator behind `nomap bench-diff` and the CI perf gate.
+
+mod bench;
+mod data;
+mod json_in;
+mod report;
+
+pub use bench::{bench_diff, BenchDiff, BenchRow, BenchRows, DiffEntry};
+pub use data::{DeoptSite, ProfileData};
+pub use json_in::{parse_json, Json};
+pub use report::HotSpotReport;

@@ -11,8 +11,10 @@ use nomap_machine::{AbortReason, CheckKind, Tier};
 use crate::json::{obj, JsonValue};
 
 /// JSONL schema version stamped on every serialized event. Bump when event
-/// fields change incompatibly. (v2 added the `verify` event.)
-pub const SCHEMA_VERSION: u32 = 2;
+/// fields change incompatibly. (v2 added the `verify` event; v3 added the
+/// `cycle-region` attribution event and the stream header line written by
+/// [`crate::JsonlSink`].)
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One VM lifecycle event.
 ///
@@ -123,6 +125,25 @@ pub enum TraceEvent {
         /// the requested one, e.g. `"InnerTiled(64)"`.
         seeded_scope: Option<String>,
     },
+    /// Cycle-attribution summary for one profiler region (schema v3).
+    ///
+    /// Emitted when the VM flushes its cycle-attribution profile: one event
+    /// per (function × tier × region-kind) scope, carrying the cycles the
+    /// ledger charged to it. The sum over all `cycle-region` events of one
+    /// flush equals `ExecStats::total_cycles()` for the profiled window.
+    CycleRegion {
+        /// Function id (`u32::MAX` = the explicit "other" bucket).
+        func: u32,
+        /// Function name (`"«other»"` for the other bucket).
+        name: String,
+        /// Tier the cycles were spent in.
+        tier: Tier,
+        /// Region kind name (`main`, `txn-body`, `txn-retry-ladder`,
+        /// `compile`, `deopt-replay`, `check:<kind>`, `other`).
+        region: String,
+        /// Cycles attributed to this scope.
+        cycles: u64,
+    },
     /// Optimizer-pass outcomes for one FTL compilation (§IV-C).
     PassOutcome {
         /// Function compiled.
@@ -185,6 +206,7 @@ impl TraceEvent {
             TraceEvent::LadderStep { .. } => "ladder-step",
             TraceEvent::Recompile { .. } => "recompile",
             TraceEvent::Verify { .. } => "verify",
+            TraceEvent::CycleRegion { .. } => "cycle-region",
             TraceEvent::PassOutcome { .. } => "pass-outcome",
         }
     }
@@ -264,6 +286,13 @@ impl TraceEvent {
                     None => m.push(("seeded_scope", JsonValue::Null)),
                 }
             }
+            TraceEvent::CycleRegion { func, name, tier, region, cycles } => {
+                m.push(("func", (*func).into()));
+                m.push(("name", name.as_str().into()));
+                m.push(("tier", tier_name(*tier).into()));
+                m.push(("region", region.as_str().into()));
+                m.push(("region_cycles", (*cycles).into()));
+            }
             TraceEvent::PassOutcome {
                 func,
                 name,
@@ -332,6 +361,9 @@ impl TraceEvent {
                     "verify       {name}: {verdict}  [{stages} stages, {diagnostics} findings{seeded}]"
                 )
             }
+            TraceEvent::CycleRegion { name, tier, region, cycles, .. } => {
+                format!("cycles       {name} [{}/{region}]  {cycles}", tier_name(*tier))
+            }
             TraceEvent::PassOutcome {
                 name,
                 transactions_placed,
@@ -387,6 +419,25 @@ mod tests {
         assert!(s.contains("\"seeded_scope\":\"InnerTiled(64)\""));
         let line = ev.render(2, 50);
         assert!(line.contains("hot: clean") && line.contains("seeded InnerTiled(64)"));
+    }
+
+    #[test]
+    fn cycle_region_serializes_and_renders() {
+        let ev = TraceEvent::CycleRegion {
+            func: 7,
+            name: "smash".into(),
+            tier: Tier::Ftl,
+            region: "txn-body".into(),
+            cycles: 123456,
+        };
+        assert_eq!(ev.kind(), "cycle-region");
+        let s = ev.to_json(0, 999).render();
+        assert!(s.contains("\"ev\":\"cycle-region\""));
+        assert!(s.contains("\"tier\":\"ftl\""));
+        assert!(s.contains("\"region\":\"txn-body\""));
+        assert!(s.contains("\"region_cycles\":123456"));
+        let line = ev.render(0, 999);
+        assert!(line.contains("smash") && line.contains("ftl/txn-body") && line.contains("123456"));
     }
 
     #[test]

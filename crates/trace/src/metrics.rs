@@ -73,6 +73,26 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Approximate `p`-th percentile (0.0..=1.0) from the power-of-two
+    /// sketch: the upper bound of the bucket containing the `p`-th sample.
+    /// Exact to within one power of two — plenty for "p90 footprint"
+    /// reporting — and mergeable, unlike a sorted-sample quantile.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (_, hi) = bucket_range(i);
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+
     /// Mean sample value (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -179,6 +199,9 @@ pub struct Metrics {
     /// Per-function tier-residency instruction counts, keyed by function
     /// name. Fed by the VM (not derivable from lifecycle events alone).
     pub residency: BTreeMap<String, TierResidency>,
+    /// Attributed cycles from `cycle-region` events (schema v3), keyed by
+    /// `function/tier/region`, e.g. `smash/ftl/txn-body`.
+    pub cycles_by_region: BTreeMap<String, u64>,
 }
 
 impl Metrics {
@@ -207,6 +230,10 @@ impl Metrics {
                 };
                 *self.aborts_by_reason.entry(key).or_insert(0) += 1;
                 self.abort_footprint.record(*footprint_bytes);
+            }
+            TraceEvent::CycleRegion { name, tier, region, cycles, .. } => {
+                let key = format!("{name}/{}/{region}", tier_name(*tier));
+                *self.cycles_by_region.entry(key).or_insert(0) += cycles;
             }
             _ => {}
         }
@@ -239,6 +266,9 @@ impl Metrics {
                 *a += b;
             }
         }
+        for (k, v) in &other.cycles_by_region {
+            *self.cycles_by_region.entry(k.clone()).or_insert(0) += v;
+        }
     }
 
     /// Multi-line human-readable summary (the `nomap trace` summary table).
@@ -269,6 +299,12 @@ impl Metrics {
                 "abort footprint (bytes):  {}\n",
                 self.abort_footprint.summary()
             ));
+        }
+        if !self.cycles_by_region.is_empty() {
+            out.push_str("attributed cycles by region:\n");
+            for (k, v) in &self.cycles_by_region {
+                out.push_str(&format!("  {k:<36} {v}\n"));
+            }
         }
         if !self.residency.is_empty() {
             out.push_str("tier residency (insts by function):\n");
@@ -308,6 +344,8 @@ impl Metrics {
                 (name.clone(), JsonValue::Object(tiers))
             })
             .collect();
+        let regions =
+            self.cycles_by_region.iter().map(|(k, v)| (k.clone(), JsonValue::from(*v))).collect();
         obj(vec![
             ("counters", JsonValue::Object(counters)),
             ("aborts_by_reason", JsonValue::Object(aborts)),
@@ -315,6 +353,7 @@ impl Metrics {
             ("commit_instructions", self.commit_instructions.to_json()),
             ("abort_footprint", self.abort_footprint.to_json()),
             ("tier_residency", JsonValue::Object(residency)),
+            ("cycles_by_region", JsonValue::Object(regions)),
         ])
     }
 }
@@ -356,6 +395,53 @@ mod tests {
         a.merge(&b);
         assert_eq!(a, direct);
         assert_eq!(a.mean(), direct.mean());
+    }
+
+    #[test]
+    fn percentile_walks_the_sketch() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(Histogram::new().percentile(0.5), 0);
+        // p50 of 1..=100 lands in the 32..63 bucket; the sketch reports the
+        // bucket's upper bound.
+        assert_eq!(h.percentile(0.5), 63);
+        assert_eq!(h.percentile(1.0), 100); // capped at the observed max
+        assert!(h.percentile(0.1) <= h.percentile(0.9));
+    }
+
+    #[test]
+    fn cycle_region_events_aggregate_and_merge_commutatively() {
+        let ev1 = TraceEvent::CycleRegion {
+            func: 0,
+            name: "smash".into(),
+            tier: Tier::Ftl,
+            region: "txn-body".into(),
+            cycles: 100,
+        };
+        let ev2 = TraceEvent::CycleRegion {
+            func: 0,
+            name: "smash".into(),
+            tier: Tier::Baseline,
+            region: "txn-retry-ladder".into(),
+            cycles: 40,
+        };
+        let mut a = Metrics::new();
+        a.observe(&ev1);
+        let mut b = Metrics::new();
+        b.observe(&ev2);
+        b.observe(&ev1);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "metrics merge must be commutative");
+        assert_eq!(ab.cycles_by_region["smash/ftl/txn-body"], 200);
+        assert_eq!(ab.cycles_by_region["smash/baseline/txn-retry-ladder"], 40);
+        assert_eq!(ab.counters["cycle-region"], 3);
+        assert!(ab.summary().contains("attributed cycles by region"));
     }
 
     #[test]

@@ -92,8 +92,13 @@ impl TraceSink for RingSink {
 /// Streams events as JSON Lines: one compact JSON object per line, each
 /// stamped with the schema version (`"v"`). Any line can be parsed on its
 /// own, so partial files from interrupted runs remain usable.
+///
+/// The first line written is a header object
+/// (`{"v":N,"ev":"header","schema":N}`) carrying the schema version, so
+/// offline consumers can dispatch on the version before reading any event.
 pub struct JsonlSink<W: Write> {
     out: W,
+    header_written: bool,
     /// I/O errors are counted rather than panicking the VM; tracing must
     /// never take down the run it observes.
     pub write_errors: u64,
@@ -102,18 +107,34 @@ pub struct JsonlSink<W: Write> {
 impl<W: Write> JsonlSink<W> {
     /// Wraps a writer.
     pub fn new(out: W) -> Self {
-        JsonlSink { out, write_errors: 0 }
+        JsonlSink { out, header_written: false, write_errors: 0 }
     }
 
     /// Consumes the sink, returning the writer.
     pub fn into_inner(mut self) -> W {
+        self.ensure_header();
         let _ = self.out.flush();
         self.out
+    }
+
+    /// Writes the schema header line once, before the first event (or at
+    /// flush time for streams that never saw an event).
+    fn ensure_header(&mut self) {
+        if self.header_written {
+            return;
+        }
+        self.header_written = true;
+        let line =
+            format!("{{\"v\":{v},\"ev\":\"header\",\"schema\":{v}}}\n", v = crate::SCHEMA_VERSION);
+        if self.out.write_all(line.as_bytes()).is_err() {
+            self.write_errors += 1;
+        }
     }
 }
 
 impl<W: Write> TraceSink for JsonlSink<W> {
     fn record(&mut self, seq: u64, cycles: u64, event: &TraceEvent) {
+        self.ensure_header();
         let mut line = event.to_json(seq, cycles).render();
         line.push('\n');
         if self.out.write_all(line.as_bytes()).is_err() {
@@ -122,6 +143,7 @@ impl<W: Write> TraceSink for JsonlSink<W> {
     }
 
     fn flush(&mut self) {
+        self.ensure_header();
         if self.out.flush().is_err() {
             self.write_errors += 1;
         }
@@ -158,17 +180,37 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_emits_one_line_per_event() {
+    fn jsonl_emits_header_then_one_line_per_event() {
         let mut sink = JsonlSink::new(Vec::new());
         sink.record(0, 1, &ev(0));
         sink.record(1, 2, &ev(1));
         let bytes = sink.into_inner();
         let text = String::from_utf8(bytes).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2);
-        for line in lines {
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            format!("{{\"v\":{v},\"ev\":\"header\",\"schema\":{v}}}", v = crate::SCHEMA_VERSION),
+            "first line must be the schema header"
+        );
+        for line in &lines[1..] {
             assert!(line.starts_with('{') && line.ends_with('}'));
             assert!(line.contains("\"ev\":\"tx-begin\""));
         }
+    }
+
+    #[test]
+    fn jsonl_header_appears_exactly_once_even_for_empty_streams() {
+        let sink = JsonlSink::new(Vec::new());
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 1, "flushed empty stream still carries the header");
+        assert!(text.contains("\"ev\":\"header\""));
+
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.flush();
+        sink.record(0, 1, &ev(0));
+        sink.flush();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.matches("\"ev\":\"header\"").count(), 1);
     }
 }

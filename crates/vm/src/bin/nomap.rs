@@ -3,6 +3,8 @@
 //! ```text
 //! nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]
 //! nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]
+//! nomap profile <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--top N] [--json]
+//! nomap bench-diff <old> <new> [--threshold PCT]
 //! nomap lint <file.js> [--arch <name>] [--warmup N] [--json]
 //! nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]
 //! nomap archs
@@ -12,17 +14,27 @@
 //! warmed to steady state and measured. `trace` replays the same protocol
 //! with lifecycle-event tracing enabled and prints a timeline plus a
 //! metrics summary (optionally streaming every event as JSON Lines).
+//! `profile` runs with cycle attribution enabled and prints the hot-spot
+//! tables (every simulated cycle charged to a function × tier × region
+//! scope). `bench-diff` compares two `BENCH_*.json` cycle-count files (or
+//! two directories of them) and exits nonzero on regressions — the CI perf
+//! gate.
 
 use std::process::ExitCode;
 
 use nomap_trace::{obj, JsonValue};
-use nomap_vm::{Architecture, CheckKind, InstCategory, JsonlSink, Tier, TierLimit, Vm, VmConfig};
+use nomap_vm::{
+    bench_diff, Architecture, BenchRows, CheckKind, HotSpotReport, InstCategory, JsonlSink, Tier,
+    TierLimit, Vm, VmConfig,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("bench-diff") => cmd_bench_diff(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("archs") => {
@@ -33,7 +45,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage:\n  nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]\n  nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]\n  nomap lint <file.js> [--arch <name>] [--warmup N] [--json]\n  nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]\n  nomap archs"
+                "usage:\n  nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]\n  nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]\n  nomap profile <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--top N] [--json]\n  nomap bench-diff <old> <new> [--threshold PCT]\n  nomap lint <file.js> [--arch <name>] [--warmup N] [--json]\n  nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]\n  nomap archs"
             );
             ExitCode::from(2)
         }
@@ -193,6 +205,115 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         println!("jsonl: {total} events written to {path}");
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let (mut vm, _) = match build_vm(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let warmup: u32 = flag_value(args, "--warmup").and_then(|s| s.parse().ok()).unwrap_or(120);
+    let top: usize = flag_value(args, "--top").and_then(|s| s.parse().ok()).unwrap_or(20);
+    let as_json = args.iter().any(|a| a == "--json");
+    // Profile the whole execution — warm-up included — so tier-up, deopt
+    // replay and the §V-C retry ladder all show up in the attribution.
+    vm.enable_profiling();
+    if let Err(e) = vm.run_main() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !as_json {
+        print!("{}", vm.output());
+    }
+    if vm.program.function_ids.contains_key("run") {
+        for _ in 0..=warmup {
+            if let Err(e) = vm.call("run", &[]) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report =
+        HotSpotReport::new(vm.profile().expect("profiling enabled").clone(), vm.profile_names())
+            .with_stats_total(vm.stats.total_cycles());
+    if as_json {
+        println!("{}", report.to_json().render());
+    } else {
+        println!("--- cycle attribution ({}) ---", vm.config.arch.name());
+        print!("{}", report.render_text(top));
+    }
+    ExitCode::SUCCESS
+}
+
+/// Loads one `BENCH_*.json` file, or every `BENCH_*.json` under a
+/// directory merged into one row set keyed by artifact-qualified bench
+/// names.
+fn load_bench_rows(path: &str) -> Result<BenchRows, String> {
+    let meta = std::fs::metadata(path).map_err(|e| format!("{path}: {e}"))?;
+    if !meta.is_dir() {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return BenchRows::parse(&text).map_err(|e| format!("{path}: {e}"));
+    }
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(path)
+        .map_err(|e| format!("{path}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("{path}: no BENCH_*.json files"));
+    }
+    let mut merged = BenchRows::new("all");
+    for file in &files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        let rows = BenchRows::parse(&text).map_err(|e| format!("{}: {e}", file.display()))?;
+        for r in &rows.rows {
+            merged.push(&format!("{}/{}", rows.artifact, r.bench), &r.config, r.cycles, r.insts);
+        }
+    }
+    Ok(merged)
+}
+
+fn cmd_bench_diff(args: &[String]) -> ExitCode {
+    let (Some(old_path), Some(new_path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: nomap bench-diff <old.json|dir> <new.json|dir> [--threshold PCT]");
+        return ExitCode::from(2);
+    };
+    let threshold_pct: f64 = match flag_value(args, "--threshold").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(2.0),
+        Err(_) => {
+            eprintln!("error: --threshold wants a percentage (e.g. 2)");
+            return ExitCode::from(2);
+        }
+    };
+    let threshold = threshold_pct / 100.0;
+    let (old, new) = match (load_bench_rows(old_path), load_bench_rows(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diff = bench_diff(&old, &new, threshold);
+    print!("{}", diff.render(threshold));
+    if diff.is_ok() {
+        println!("bench-diff OK: {} row(s) within {threshold_pct}% of baseline", new.rows.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench-diff FAILED: {} regression(s), {} missing row(s) (threshold {threshold_pct}%)",
+            diff.regressions.len(),
+            diff.missing.len()
+        );
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_lint(args: &[String]) -> ExitCode {

@@ -7,11 +7,14 @@ use std::rc::Rc;
 
 use nomap_bytecode::{FuncId, Intrinsic};
 use nomap_jit::{CompiledFn, StackMapEntry, ValueRepr};
-use nomap_machine::{AbortReason, CheckKind, HtmKind, InstCategory, MReg, MachInst, Tier};
+use nomap_machine::{
+    AbortReason, CheckKind, HtmKind, InstCategory, MReg, MachInst, RegionKind, Tier,
+};
 use nomap_runtime::{Access, Value};
 use nomap_trace::TraceEvent;
 
 use crate::error::{Flow, VmError};
+use crate::profiler::ReplayMode;
 use crate::vm::{TxFallback, Vm};
 
 /// One executing machine frame (lives on the Rust stack across JS calls).
@@ -28,8 +31,10 @@ pub(crate) fn run_machine(
     args: &[Value],
 ) -> Result<Value, Flow> {
     let saved_stack = vm.stack_top;
+    let saved_mode = vm.profiler_enter(code.func.0, code.tier);
     let mut frame = enter_frame(vm, code, args);
     let result = exec_loop(vm, &mut frame);
+    vm.profiler_exit(saved_mode);
     vm.stack_top = saved_stack;
     result
 }
@@ -82,23 +87,25 @@ impl Vm {
         }
         let cycles = n * self.timing.per_inst;
         if in_tx {
-            self.stats.cycles_tm += cycles;
             self.tx.instructions += n;
-        } else {
-            self.stats.cycles_non_tm += cycles;
         }
+        let kind = self.exec_kind(in_tx);
+        self.add_cycles(in_tx, cycles, code.func.0, code.tier, kind);
+        self.profiler_insts(code.func.0, code.tier, n);
     }
 
     /// Attributes runtime-helper work (always `NoFTL`, paper §VII-A).
     pub(crate) fn count_runtime(&mut self, n: u64) {
         self.stats.add_insts(InstCategory::NoFtl, Tier::Runtime, n);
         let cycles = n * self.timing.per_inst;
-        if self.tx.active() {
-            self.stats.cycles_tm += cycles;
+        let in_tx = self.tx.active();
+        if in_tx {
             self.tx.instructions += n;
-        } else {
-            self.stats.cycles_non_tm += cycles;
         }
+        let (func, _) = self.profiler_ctx();
+        let kind = self.exec_kind(in_tx);
+        self.add_cycles(in_tx, cycles, func, Tier::Runtime, kind);
+        self.profiler_insts(func, Tier::Runtime, n);
     }
 
     /// Drains the simulated-memory access log into the cache simulator and
@@ -109,6 +116,8 @@ impl Vm {
         self.rt.mem.swap_log(&mut buf);
         let in_tx = self.tx.active();
         let rtm = self.htm.kind == HtmKind::Rtm;
+        let (pfunc, ptier) = self.profiler_ctx();
+        let kind = self.exec_kind(in_tx);
         let mut abort = None;
         for &acc in &buf {
             match acc {
@@ -123,11 +132,7 @@ impl Vm {
                             }
                         }
                     }
-                    if in_tx {
-                        self.stats.cycles_tm += cyc;
-                    } else {
-                        self.stats.cycles_non_tm += cyc;
-                    }
+                    self.add_cycles(in_tx, cyc, pfunc, ptier, kind);
                 }
                 Access::Write { addr, old } => {
                     let sw = in_tx;
@@ -135,16 +140,12 @@ impl Vm {
                     let sw_l2 = sw;
                     let (outcome, _) = self.cache.access_word(addr, sw_l1, sw_l2);
                     let cyc = self.timing.mem_cycles(outcome);
-                    if in_tx {
-                        self.stats.cycles_tm += cyc;
-                        if abort.is_none() {
-                            if let Err(r) = self.tx.on_write(&self.htm, addr, old) {
-                                abort = Some(r);
-                            }
+                    if in_tx && abort.is_none() {
+                        if let Err(r) = self.tx.on_write(&self.htm, addr, old) {
+                            abort = Some(r);
                         }
-                    } else {
-                        self.stats.cycles_non_tm += cyc;
                     }
+                    self.add_cycles(in_tx, cyc, pfunc, ptier, kind);
                 }
             }
         }
@@ -159,7 +160,7 @@ impl Vm {
     pub(crate) fn trigger_abort(&mut self, reason: AbortReason) -> Flow {
         self.stats.add_abort(reason);
         // Footprint/length must be sampled before the rollback wipes them.
-        let trace_ctx = if self.tracer.is_enabled() {
+        let obs_ctx = if self.tracer.is_enabled() || self.profiler.is_some() {
             Some((self.tx.write_footprint_bytes(&self.htm), self.tx.instructions))
         } else {
             None
@@ -169,9 +170,23 @@ impl Vm {
         self.rt.mem.clear_log(); // rollback pokes are not program traffic
         self.cache.flash_clear_sw();
         let cycles = self.timing.abort_base + self.timing.abort_per_word * undone as u64;
-        self.stats.cycles_non_tm += cycles;
         let owner = self.tx_fallback.as_ref().map(|f| f.func);
-        if let Some((footprint_bytes, instructions)) = trace_ctx {
+        // Rollback cycles are attributed to what caused the abort: the
+        // failed check's kind, or the retry ladder for capacity aborts.
+        let abort_kind = match reason {
+            AbortReason::Check(k) => RegionKind::Check(k),
+            AbortReason::Capacity => RegionKind::TxnRetryLadder,
+            AbortReason::StickyOverflow => RegionKind::Check(CheckKind::Overflow),
+        };
+        let (pfunc, ptier) = self.profiler_ctx();
+        let afunc = owner.map(|f| f.0).unwrap_or(pfunc);
+        self.add_cycles(false, cycles, afunc, ptier, abort_kind);
+        if let Some((footprint_bytes, _)) = obs_ctx {
+            if let Some(p) = &mut self.profiler {
+                p.data.record_abort(afunc, reason, footprint_bytes);
+            }
+        }
+        if let (Some((footprint_bytes, instructions)), true) = (obs_ctx, self.tracer.is_enabled()) {
             let ev = TraceEvent::TxAbort {
                 func: owner.map(|f| f.0),
                 reason,
@@ -217,8 +232,13 @@ fn materialize_baseline(
     func: FuncId,
     bc: u32,
     values: &[Option<Value>],
+    mode: ReplayMode,
 ) {
     let baseline = vm.baseline_code(func);
+    // From here to the frame's return, cycles are replay cost: the frame's
+    // profiling context switches to Baseline under the given mode (and the
+    // materialization work below is charged under it too).
+    vm.profiler_frame_switch(func.0, Tier::Baseline, mode);
     let frame_base = vm.stack_top;
     vm.stack_top += baseline.frame_words as u64;
     for (i, v) in values.iter().enumerate() {
@@ -448,7 +468,14 @@ fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
                         // Are we the owner of the aborted transaction?
                         match vm.tx_fallback.take() {
                             Some(fb) if fb.depth == vm.depth => {
-                                materialize_baseline(vm, frame, fb.func, fb.bc, &fb.regs);
+                                materialize_baseline(
+                                    vm,
+                                    frame,
+                                    fb.func,
+                                    fb.bc,
+                                    &fb.regs,
+                                    ReplayMode::TxnRetry,
+                                );
                                 continue;
                             }
                             fb => {
@@ -466,6 +493,7 @@ fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
             MachInst::DeoptIf { cond, smp, kind } => {
                 if frame.code.tier == Tier::Ftl {
                     vm.stats.add_check(kind);
+                    vm.profiler_check(frame.code.func.0, kind);
                 }
                 if r[cond.0 as usize] != 0 {
                     take_deopt(vm, frame, smp, kind)?;
@@ -474,6 +502,7 @@ fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
             MachInst::DeoptIfOverflow { smp } => {
                 if frame.code.tier == Tier::Ftl {
                     vm.stats.add_check(nomap_machine::CheckKind::Overflow);
+                    vm.profiler_check(frame.code.func.0, nomap_machine::CheckKind::Overflow);
                 }
                 if vm_of(vm) {
                     take_deopt(vm, frame, smp, CheckKind::Overflow)?;
@@ -481,6 +510,7 @@ fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
             }
             MachInst::AbortIf { cond, kind } => {
                 vm.stats.add_check(kind);
+                vm.profiler_check(frame.code.func.0, kind);
                 if r[cond.0 as usize] != 0 {
                     let flow = vm.trigger_abort(AbortReason::Check(kind));
                     return handle_own_abort(vm, frame, flow);
@@ -488,6 +518,7 @@ fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
             }
             MachInst::AbortIfOverflow => {
                 vm.stats.add_check(nomap_machine::CheckKind::Overflow);
+                vm.profiler_check(frame.code.func.0, nomap_machine::CheckKind::Overflow);
                 if vm_of(vm) {
                     let flow =
                         vm.trigger_abort(AbortReason::Check(nomap_machine::CheckKind::Overflow));
@@ -518,7 +549,7 @@ fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
                     }
                 }
                 let cyc = vm.timing.xbegin_cycles(vm.htm.kind);
-                vm.stats.cycles_tm += cyc;
+                vm.add_cycles(true, cyc, frame.code.func.0, frame.code.tier, RegionKind::TxnBody);
             }
             MachInst::XEnd => match vm.tx.end(&vm.htm) {
                 Ok(Some(outcome)) => {
@@ -527,7 +558,14 @@ fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
                     vm.cache.flash_clear_sw();
                     vm.tx_fallback = None;
                     let cyc = vm.timing.xend_cycles(vm.htm.kind);
-                    vm.stats.cycles_non_tm += cyc;
+                    // Commit overhead is part of the transaction's cost.
+                    vm.add_cycles(
+                        false,
+                        cyc,
+                        frame.code.func.0,
+                        frame.code.tier,
+                        RegionKind::TxnBody,
+                    );
                     if vm.tracer.is_enabled() {
                         let ev = TraceEvent::TxCommit {
                             func: frame.code.func.0,
@@ -599,7 +637,7 @@ fn handle_own_abort(vm: &mut Vm, frame: &mut Frame, flow: Flow) -> Result<Value,
     match flow {
         Flow::TxAbort => match vm.tx_fallback.take() {
             Some(fb) if fb.depth == vm.depth => {
-                materialize_baseline(vm, frame, fb.func, fb.bc, &fb.regs);
+                materialize_baseline(vm, frame, fb.func, fb.bc, &fb.regs, ReplayMode::TxnRetry);
                 // Resume the loop by recursing into the (now Baseline)
                 // frame.
                 exec_loop(vm, frame)
@@ -625,12 +663,16 @@ fn take_deopt(
 ) -> Result<(), Flow> {
     vm.stats.deopts += 1;
     vm.rt.profiles.func_mut(frame.code.func).deopt_count += 1;
+    if vm.profiler.is_some() {
+        let bc = frame.code.stack_maps[smp.0 as usize].bc;
+        vm.profiler_deopt(frame.code.func.0, smp.0, bc, kind);
+    }
     if vm.tx.active() {
         let flow = vm.trigger_abort(AbortReason::Check(nomap_machine::CheckKind::Other));
         match flow {
             Flow::TxAbort => match vm.tx_fallback.take() {
                 Some(fb) if fb.depth == vm.depth => {
-                    materialize_baseline(vm, frame, fb.func, fb.bc, &fb.regs);
+                    materialize_baseline(vm, frame, fb.func, fb.bc, &fb.regs, ReplayMode::TxnRetry);
                     return Ok(());
                 }
                 fb => {
@@ -655,7 +697,7 @@ fn take_deopt(
         let now = vm.stats.total_cycles();
         vm.tracer.emit(now, move || ev);
     }
-    materialize_baseline(vm, frame, func, entry.bc, &values);
+    materialize_baseline(vm, frame, func, entry.bc, &values, ReplayMode::DeoptReplay);
     Ok(())
 }
 

@@ -13,6 +13,13 @@ use crate::vm::Vm;
 
 /// Runs `id` in the interpreter.
 pub(crate) fn interpret(vm: &mut Vm, id: FuncId, args: &[Value]) -> Result<Value, Flow> {
+    let saved_mode = vm.profiler_enter(id.0, Tier::Interpreter);
+    let result = interpret_inner(vm, id, args);
+    vm.profiler_exit(saved_mode);
+    result
+}
+
+fn interpret_inner(vm: &mut Vm, id: FuncId, args: &[Value]) -> Result<Value, Flow> {
     let func = vm.funcs[id.0 as usize].clone();
     let mut regs = vec![Value::UNDEFINED; func.register_count as usize];
     let n = args.len().min(func.param_count as usize);
@@ -144,12 +151,13 @@ fn account(vm: &mut Vm, id: FuncId) -> Result<(), Flow> {
         vm.tracer.record_residency(&name, Tier::Interpreter, insts);
     }
     let cycles = insts * vm.timing.per_inst;
-    if vm.tx.active() {
-        vm.stats.cycles_tm += cycles;
+    let in_tx = vm.tx.active();
+    if in_tx {
         vm.tx.instructions += insts;
-    } else {
-        vm.stats.cycles_non_tm += cycles;
     }
+    let kind = vm.exec_kind(in_tx);
+    vm.add_cycles(in_tx, cycles, id.0, Tier::Interpreter, kind);
+    vm.profiler_insts(id.0, Tier::Interpreter, insts);
     if let Some(reason) = vm.process_memory_traffic() {
         return Err(vm.trigger_abort(reason));
     }

@@ -33,6 +33,7 @@ mod error;
 mod exec;
 mod interp;
 mod lint;
+mod profiler;
 mod tiering;
 mod vm;
 
@@ -40,7 +41,10 @@ pub use error::VmError;
 pub use lint::{lint_source, LintReport};
 pub use nomap_core::{Architecture, AuditOptions, TxnScope};
 pub use nomap_ir::passes::PassConfig;
-pub use nomap_machine::{CheckKind, ExecStats, InstCategory, Tier, TxCharacter};
+pub use nomap_machine::{
+    CheckKind, CycleLedger, ExecStats, InstCategory, RegionKey, RegionKind, Tier, TxCharacter,
+};
+pub use nomap_profile::{bench_diff, BenchRows, HotSpotReport, ProfileData};
 pub use nomap_runtime::Value;
 pub use nomap_trace::{JsonlSink, Metrics, Recorded, TraceEvent, Tracer};
 pub use nomap_verify::{DiagCode, Diagnostic, Severity};

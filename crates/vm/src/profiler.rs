@@ -1,0 +1,73 @@
+//! The VM-side cycle-attribution profiler state.
+//!
+//! [`nomap_profile::ProfileData`] is the passive data model; this module
+//! holds the live context the executor needs to *fill* it: which guest
+//! frame is running (so runtime-helper and memory cycles have an owner) and
+//! whether the current frame is a Baseline re-execution after a
+//! transactional abort or a deoptimization (so replay cycles land in the
+//! `txn-retry-ladder` / `deopt-replay` regions instead of `main`).
+//!
+//! The profiler is optional (`Vm::enable_profiling`) and observation-only:
+//! with it disabled every charge site degenerates to the exact pre-existing
+//! `ExecStats` update, and with it enabled neither `ExecStats` nor program
+//! results change — only the ledger fills in. The VM routes every cycle
+//! through one choke point (`Vm::add_cycles`), which is what makes the
+//! conservation invariant (ledger total == `ExecStats::total_cycles()`)
+//! structural rather than aspirational.
+
+use nomap_machine::{RegionKey, RegionKind, Tier};
+use nomap_profile::ProfileData;
+
+/// Why the current frame is executing: straight-line progress, the §V-C
+/// retry ladder (Baseline re-execution after a transactional abort), or a
+/// deoptimization replay (Baseline re-execution after an OSR exit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReplayMode {
+    /// Ordinary forward execution.
+    Normal,
+    /// Re-executing in Baseline after a transactional abort.
+    TxnRetry,
+    /// Re-executing in Baseline after a deoptimization.
+    DeoptReplay,
+}
+
+/// Live profiling state owned by the VM when profiling is enabled.
+#[derive(Debug)]
+pub(crate) struct Profiler {
+    /// The profile being collected.
+    pub data: ProfileData,
+    /// Stack of (function id, tier) for the guest frames currently
+    /// executing; the top owns runtime-helper and memory cycles.
+    pub ctx: Vec<(u32, Tier)>,
+    /// Replay mode of the currently executing frame. Callees inherit it:
+    /// work done on behalf of a retry/replay is part of its cost.
+    pub mode: ReplayMode,
+}
+
+impl Profiler {
+    pub fn new() -> Self {
+        Profiler { data: ProfileData::new(), ctx: Vec::new(), mode: ReplayMode::Normal }
+    }
+
+    /// The frame cycles should be attributed to (the `<vm>` bucket outside
+    /// any guest frame, e.g. top-level compilation triggers).
+    #[inline]
+    pub fn ctx_top(&self) -> (u32, Tier) {
+        self.ctx.last().copied().unwrap_or((RegionKey::OTHER_FUNC, Tier::Runtime))
+    }
+
+    /// Region kind for ordinary execution cycles: transactional work is
+    /// `txn-body`; outside a transaction the frame's replay mode decides.
+    #[inline]
+    pub fn exec_kind(&self, in_tx: bool) -> RegionKind {
+        if in_tx {
+            RegionKind::TxnBody
+        } else {
+            match self.mode {
+                ReplayMode::Normal => RegionKind::Main,
+                ReplayMode::TxnRetry => RegionKind::TxnRetryLadder,
+                ReplayMode::DeoptReplay => RegionKind::DeoptReplay,
+            }
+        }
+    }
+}

@@ -10,11 +10,13 @@ use nomap_core::{
 };
 use nomap_ir::passes::PassConfig;
 use nomap_jit::{compile_baseline, CompiledFn};
-use nomap_machine::{CacheSim, ExecStats, HtmModel, Tier, Timing, TxState};
+use nomap_machine::{CacheSim, ExecStats, HtmModel, RegionKey, RegionKind, Tier, Timing, TxState};
+use nomap_profile::ProfileData;
 use nomap_runtime::{Access, Runtime, Value};
 use nomap_trace::{Metrics, Recorded, TraceEvent, TraceSink, Tracer};
 
 use crate::error::{Flow, VmError};
+use crate::profiler::{Profiler, ReplayMode};
 use crate::tiering::{TierLimit, TierThresholds};
 use crate::{exec, interp};
 
@@ -155,6 +157,8 @@ pub struct Vm {
     pub(crate) of: bool,
     /// Lifecycle-event tracer (disabled by default; observation-only).
     pub(crate) tracer: Tracer,
+    /// Cycle-attribution profiler (disabled by default; observation-only).
+    pub(crate) profiler: Option<Box<Profiler>>,
 }
 
 impl Vm {
@@ -200,6 +204,7 @@ impl Vm {
             log_buf: Vec::new(),
             of: false,
             tracer: Tracer::disabled(),
+            profiler: None,
         })
     }
 
@@ -258,9 +263,14 @@ impl Vm {
     }
 
     /// Clears the statistics window (call after warmup for steady-state
-    /// measurement; caches and code stay warm).
+    /// measurement; caches and code stay warm). The profiler ledger resets
+    /// with it, so the cycle-conservation invariant keeps holding for the
+    /// new window.
     pub fn reset_stats(&mut self) {
         self.stats = ExecStats::new();
+        if let Some(p) = &mut self.profiler {
+            p.data.reset();
+        }
     }
 
     /// The tier whose code would run if `name` were called now (test and
@@ -346,6 +356,178 @@ impl Vm {
     /// Source-level name of `id` (`"«main»"` for the top-level script).
     pub fn func_name(&self, id: FuncId) -> &str {
         &self.funcs[id.0 as usize].name
+    }
+
+    // ---- profiling -------------------------------------------------------
+
+    /// Enables cycle attribution: every simulated cycle is charged to a
+    /// (function × tier × region) scope. Observation-only, like tracing —
+    /// `ExecStats` and program results are unchanged — and zero-cost when
+    /// left disabled (one `Option` test per charge).
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Some(Box::new(Profiler::new()));
+    }
+
+    /// Whether cycle attribution is being collected.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// The profile collected since [`Vm::enable_profiling`] (or the last
+    /// [`Vm::reset_stats`]); `None` when profiling is disabled.
+    pub fn profile(&self) -> Option<&ProfileData> {
+        self.profiler.as_ref().map(|p| &p.data)
+    }
+
+    /// Function-id → name table for the collected profile (report
+    /// rendering).
+    pub fn profile_names(&self) -> std::collections::BTreeMap<u32, String> {
+        self.funcs.iter().enumerate().map(|(i, f)| (i as u32, f.name.clone())).collect()
+    }
+
+    /// Emits the ledger as schema-v3 [`TraceEvent::CycleRegion`] events,
+    /// one per region, through the tracer (no-op unless both profiling and
+    /// tracing are enabled). Call at the end of a measurement window.
+    pub fn flush_profile_to_trace(&mut self) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let regions: Vec<(RegionKey, u64)> = match &self.profiler {
+            Some(p) => p.data.ledger.regions().map(|(k, v)| (*k, *v)).collect(),
+            None => return,
+        };
+        let now = self.stats.total_cycles();
+        for (key, cycles) in regions {
+            let name = if key.func == RegionKey::OTHER_FUNC {
+                "<vm>".to_owned()
+            } else {
+                self.funcs
+                    .get(key.func as usize)
+                    .map(|f| f.name.clone())
+                    .unwrap_or_else(|| format!("fn#{}", key.func))
+            };
+            let ev = TraceEvent::CycleRegion {
+                func: key.func,
+                name,
+                tier: key.tier,
+                region: key.kind.name().to_owned(),
+                cycles,
+            };
+            self.tracer.emit(now, move || ev);
+        }
+    }
+
+    /// The one place simulated cycles enter [`ExecStats`]. Routing every
+    /// charge site (executor, interpreter, runtime helpers, memory system,
+    /// abort rollback, HTM overheads) through here is what makes the
+    /// profiler's conservation invariant — ledger total ==
+    /// `ExecStats::total_cycles()` — structural.
+    #[inline]
+    pub(crate) fn add_cycles(
+        &mut self,
+        in_tx: bool,
+        cycles: u64,
+        func: u32,
+        tier: Tier,
+        kind: RegionKind,
+    ) {
+        if in_tx {
+            self.stats.cycles_tm += cycles;
+        } else {
+            self.stats.cycles_non_tm += cycles;
+        }
+        if let Some(p) = &mut self.profiler {
+            p.data.charge(RegionKey { func, tier, kind }, cycles);
+        }
+    }
+
+    /// Region kind for ordinary execution cycles at this moment
+    /// ([`RegionKind::Main`] when profiling is disabled — the value is
+    /// unused in that case).
+    #[inline]
+    pub(crate) fn exec_kind(&self, in_tx: bool) -> RegionKind {
+        match &self.profiler {
+            Some(p) => p.exec_kind(in_tx),
+            None => RegionKind::Main,
+        }
+    }
+
+    /// (function, tier) owning unattributed work right now (runtime
+    /// helpers, memory traffic).
+    #[inline]
+    pub(crate) fn profiler_ctx(&self) -> (u32, Tier) {
+        match &self.profiler {
+            Some(p) => p.ctx_top(),
+            None => (RegionKey::OTHER_FUNC, Tier::Runtime),
+        }
+    }
+
+    /// Pushes a frame context; returns the caller's replay mode for
+    /// [`Vm::profiler_exit`]. The new frame inherits the mode (work done on
+    /// behalf of a retry/replay is part of its cost).
+    #[inline]
+    pub(crate) fn profiler_enter(&mut self, func: u32, tier: Tier) -> ReplayMode {
+        match &mut self.profiler {
+            Some(p) => {
+                p.ctx.push((func, tier));
+                p.mode
+            }
+            None => ReplayMode::Normal,
+        }
+    }
+
+    /// Pops the frame context pushed by [`Vm::profiler_enter`] and restores
+    /// the caller's replay mode.
+    #[inline]
+    pub(crate) fn profiler_exit(&mut self, saved: ReplayMode) {
+        if let Some(p) = &mut self.profiler {
+            p.ctx.pop();
+            p.mode = saved;
+        }
+    }
+
+    /// The current frame switched tiers in place (OSR / transaction
+    /// fallback materialized a Baseline frame): retarget the context and
+    /// enter `mode`.
+    #[inline]
+    pub(crate) fn profiler_frame_switch(&mut self, func: u32, tier: Tier, mode: ReplayMode) {
+        if let Some(p) = &mut self.profiler {
+            if let Some(top) = p.ctx.last_mut() {
+                *top = (func, tier);
+            }
+            p.mode = mode;
+        }
+    }
+
+    /// Credits dynamic instructions to the profile (check-density
+    /// denominator). No-op when disabled.
+    #[inline]
+    pub(crate) fn profiler_insts(&mut self, func: u32, tier: Tier, n: u64) {
+        if let Some(p) = &mut self.profiler {
+            p.data.record_insts(func, tier, n);
+        }
+    }
+
+    /// Records one executed check. No-op when disabled.
+    #[inline]
+    pub(crate) fn profiler_check(&mut self, func: u32, kind: nomap_machine::CheckKind) {
+        if let Some(p) = &mut self.profiler {
+            p.data.record_check(func, kind);
+        }
+    }
+
+    /// Records one taken deoptimization site. No-op when disabled.
+    #[inline]
+    pub(crate) fn profiler_deopt(
+        &mut self,
+        func: u32,
+        smp: u32,
+        bc: u32,
+        kind: nomap_machine::CheckKind,
+    ) {
+        if let Some(p) = &mut self.profiler {
+            p.data.record_deopt(func, smp, bc, kind);
+        }
     }
 
     // ---- internal --------------------------------------------------------

@@ -1,14 +1,18 @@
-//! A tour of the `nomap-trace` observability layer.
+//! A tour of the `nomap-trace` observability layer and the cycle-
+//! attribution profiler built on top of it.
 //!
 //! Runs a kernel whose write footprint overflows the HTM capacity, with
-//! lifecycle tracing enabled, then walks the recorded event stream: the
-//! abort-reason histogram, every §V-C ladder transition, the tier-up
-//! timeline for the hot function, and the metrics-registry summary that
-//! aggregates what the bounded ring may have evicted.
+//! lifecycle tracing *and* cycle attribution enabled, then walks the
+//! recorded event stream: the abort-reason histogram, every §V-C ladder
+//! transition, the tier-up timeline for the hot function, the metrics-
+//! registry summary that aggregates what the bounded ring may have
+//! evicted — and finally the profiler's hot-region ranking, where every
+//! simulated cycle is charged to a function × tier × region scope and the
+//! ledger total provably equals the `ExecStats` cycle count.
 //!
 //! Run with: `cargo run --release -p nomap-vm --example trace_tour`
 
-use nomap_vm::{Architecture, TraceEvent, Vm};
+use nomap_vm::{Architecture, HotSpotReport, TraceEvent, Vm};
 
 // 40 K slots smashed per run: ~320 KB of speculative writes, comfortably
 // past the 256 KB ROT budget, so the scope ladder has to engage.
@@ -29,6 +33,7 @@ const KERNEL: &str = "
 fn main() -> Result<(), nomap_vm::VmError> {
     let mut vm = Vm::new(KERNEL, Architecture::NoMap)?;
     vm.enable_tracing(1 << 16);
+    vm.enable_profiling();
     vm.run_main()?;
     for _ in 0..60 {
         vm.call("run", &[])?;
@@ -81,5 +86,23 @@ fn main() -> Result<(), nomap_vm::VmError> {
 
     println!("\n-- metrics summary --");
     print!("{}", metrics.summary());
+
+    // The profiler side of the tour: every cycle the simulator charged is
+    // attributed to an (function, tier, region) scope. Flushing the ledger
+    // re-emits it through the tracer as schema-v3 cycle-region events, so
+    // the metrics registry sees the same totals as the ledger.
+    vm.flush_profile_to_trace();
+    let report =
+        HotSpotReport::new(vm.profile().expect("profiling on").clone(), vm.profile_names())
+            .with_stats_total(vm.stats.total_cycles());
+    println!("\n-- cycle attribution: hot regions (top 8) --");
+    print!("{}", report.render_text(8));
+    let by_region: u64 = vm.trace_metrics().cycles_by_region.values().sum();
+    println!(
+        "\nledger total {} == metrics cycle-region total {} == ExecStats total {}",
+        report.data().ledger.total(),
+        by_region,
+        vm.stats.total_cycles()
+    );
     Ok(())
 }

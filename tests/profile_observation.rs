@@ -1,0 +1,128 @@
+//! Cycle-attribution profiling is observation-only and exact: enabling it
+//! must not change execution statistics or program results, and the ledger
+//! must account for every single cycle `ExecStats` counts — across
+//! transactions, capacity aborts, §V-C ladder retries and steady state.
+
+use nomap_vm::{Architecture, ProfileData, RegionKind, Vm};
+
+/// Same shape as the trace-observation workload: tiers to FTL, commits
+/// transactions, overflows the ROT write budget (capacity aborts + ladder
+/// steps), so cycles land in main, txn-body, txn-retry-ladder and check
+/// regions.
+const LADDER_SRC: &str = "
+    var N = 40000;
+    var big = new Array(N);
+    function smash(seed) {
+        var acc = 0;
+        for (var i = 0; i < N; i++) {
+            big[i] = (i ^ seed) & 1023;
+            acc = (acc + big[i]) & 1048575;
+        }
+        return acc;
+    }
+    function run() { return smash(99); }
+";
+
+fn run_workload(vm: &mut Vm) -> String {
+    vm.run_main().unwrap();
+    let mut last = String::new();
+    for _ in 0..60 {
+        last = format!("{:?}", vm.call("run", &[]).unwrap());
+    }
+    last
+}
+
+#[test]
+fn profiling_does_not_change_stats_or_results() {
+    let mut plain = Vm::new(LADDER_SRC, Architecture::NoMap).unwrap();
+    let r1 = run_workload(&mut plain);
+
+    let mut profiled = Vm::new(LADDER_SRC, Architecture::NoMap).unwrap();
+    profiled.enable_profiling();
+    let r2 = run_workload(&mut profiled);
+
+    assert_eq!(r1, r2, "profiling changed the program result");
+    assert_eq!(plain.stats, profiled.stats, "profiling changed ExecStats");
+    assert!(
+        profiled.profile().is_some_and(|p| !p.ledger.is_empty()),
+        "enabled profiler collected nothing"
+    );
+}
+
+#[test]
+fn ledger_conserves_every_cycle_and_feeds_schema_v3() {
+    let mut vm = Vm::new(LADDER_SRC, Architecture::NoMap).unwrap();
+    vm.enable_tracing(16);
+    vm.enable_profiling();
+    run_workload(&mut vm);
+
+    // Conservation: every cycle ExecStats counted is attributed; the only
+    // slack allowed by design is the explicit `<vm>`/other bucket, which is
+    // itself part of the ledger total.
+    let profile = vm.profile().unwrap().clone();
+    assert_eq!(profile.ledger.total(), vm.stats.total_cycles(), "ledger lost or invented cycles");
+
+    // The transactional workload populates the interesting regions.
+    let by_kind = profile.ledger.by_kind();
+    assert!(by_kind.contains_key(&RegionKind::Main), "no main-region cycles");
+    assert!(by_kind.contains_key(&RegionKind::TxnBody), "no transactional cycles");
+    assert!(
+        by_kind.contains_key(&RegionKind::TxnRetryLadder),
+        "capacity aborts attributed no retry-ladder cycles"
+    );
+    assert!(!profile.aborts.is_empty(), "no abort reasons recorded");
+    assert!(
+        profile.abort_footprint.values().any(|h| h.max > 0),
+        "no abort write footprints sketched"
+    );
+    assert!(!profile.checks.is_empty(), "no executed checks recorded");
+
+    // Ledger regions flow through the tracer as schema-v3 cycle-region
+    // events, and the metrics registry aggregates them without loss.
+    let emitted_before = vm.trace_emitted();
+    vm.flush_profile_to_trace();
+    assert!(vm.trace_emitted() > emitted_before, "flush emitted no events");
+    let metrics_total: u64 = vm.trace_metrics().cycles_by_region.values().sum();
+    assert_eq!(
+        metrics_total,
+        profile.ledger.total(),
+        "metrics aggregation disagrees with the ledger"
+    );
+
+    // A window reset clears the ledger with the stats, so the invariant
+    // holds for the next measurement window too.
+    vm.reset_stats();
+    assert_eq!(vm.profile().unwrap().ledger.total(), 0);
+    vm.call("run", &[]).unwrap();
+    assert_eq!(
+        vm.profile().unwrap().ledger.total(),
+        vm.stats.total_cycles(),
+        "conservation broke after reset_stats"
+    );
+}
+
+#[test]
+fn vm_profiles_merge_commutatively() {
+    let collect = |calls: usize| {
+        let mut vm = Vm::new(LADDER_SRC, Architecture::NoMap).unwrap();
+        vm.enable_profiling();
+        vm.run_main().unwrap();
+        for _ in 0..calls {
+            vm.call("run", &[]).unwrap();
+        }
+        vm.profile().unwrap().clone()
+    };
+    let a = collect(30);
+    let b = collect(45);
+
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab, ba, "VM profile merge must be commutative");
+    assert_eq!(ab.ledger.total(), a.ledger.total() + b.ledger.total());
+
+    let mut empty = ProfileData::new();
+    empty.merge(&a);
+    assert_eq!(empty, a, "merge into empty must copy");
+}

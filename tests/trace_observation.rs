@@ -126,7 +126,7 @@ fn jsonl_stream_parses_line_by_line() {
     vm.flush_trace();
 
     let lines = COLLECTED.with(|c| c.borrow().clone());
-    assert!(!lines.is_empty());
+    assert!(lines.len() >= 2, "expected a header plus events");
     for (i, line) in lines.iter().enumerate() {
         let v = json::parse(line).unwrap_or_else(|e| panic!("line {i} not JSON ({e}): {line}"));
         let obj = match v {
@@ -139,8 +139,21 @@ fn jsonl_stream_parses_line_by_line() {
             "line {i} missing schema version"
         );
         assert!(obj.iter().any(|(k, _)| k == "ev"), "line {i} missing event kind");
-        assert!(obj.iter().any(|(k, _)| k == "seq"), "line {i} missing seq");
+        if i == 0 {
+            // The stream opens with the schema header (v3+): no envelope,
+            // just the version consumers dispatch on.
+            assert_eq!(
+                obj.iter().find(|(k, _)| k == "ev").map(|(_, v)| v.clone()),
+                Some(json::V::Str("header".to_owned())),
+                "first line must be the schema header"
+            );
+            assert!(obj.iter().any(|(k, _)| k == "schema"), "header missing schema field");
+        } else {
+            assert!(obj.iter().any(|(k, _)| k == "seq"), "line {i} missing seq");
+        }
     }
+    let headers = lines.iter().filter(|l| l.contains("\"ev\":\"header\"")).count();
+    assert_eq!(headers, 1, "schema header must appear exactly once");
 }
 
 // The JSONL sink writes through `io::Write`; collect lines in thread-local
@@ -150,20 +163,28 @@ std::thread_local! {
         const { std::cell::RefCell::new(Vec::new()) };
 }
 
-#[derive(Default)]
+/// One persistent `JsonlSink` for the whole stream (so its schema header is
+/// written once), drained into `COLLECTED` at flush.
 struct CollectingJsonl {
-    buf: Vec<u8>,
+    inner: JsonlSink<Vec<u8>>,
+}
+
+impl Default for CollectingJsonl {
+    fn default() -> Self {
+        CollectingJsonl { inner: JsonlSink::new(Vec::new()) }
+    }
 }
 
 impl nomap_trace::TraceSink for CollectingJsonl {
     fn record(&mut self, seq: u64, cycles: u64, event: &TraceEvent) {
-        let mut inner = JsonlSink::new(std::mem::take(&mut self.buf));
-        inner.record(seq, cycles, event);
-        self.buf = inner.into_inner();
+        self.inner.record(seq, cycles, event);
     }
 
     fn flush(&mut self) {
-        let text = String::from_utf8(std::mem::take(&mut self.buf)).unwrap();
+        // The test flushes once, at end of stream; consuming the sink here
+        // is the only way to reach the bytes behind `io::Write`.
+        let sink = std::mem::replace(&mut self.inner, JsonlSink::new(Vec::new()));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
         COLLECTED.with(|c| {
             c.borrow_mut().extend(text.lines().map(str::to_owned));
         });
