@@ -24,7 +24,10 @@ use nomap_ir::IrFunc;
 use nomap_jit::CompiledFn;
 use nomap_runtime::Runtime;
 use nomap_verify::footprint::estimate_footprint;
-use nomap_verify::{has_errors, validate_bounds_combining, verify_func, Diagnostic, ScopeAdvice};
+use nomap_verify::{
+    check_fail_warnings, has_errors, validate_bounds_combining, validate_check_elision,
+    verify_func, Diagnostic, ScopeAdvice,
+};
 
 use crate::config::Architecture;
 use crate::pipeline::{compile_dfg_ir, compile_ftl_ir, compile_txn_callee_ir, CompileReport};
@@ -112,6 +115,34 @@ impl Auditor {
         let mut ds = validate_bounds_combining(before, after);
         for d in &mut ds {
             d.stage = "bounds-tv".to_string();
+        }
+        self.diags.extend(ds);
+    }
+
+    /// Translation-validates one `prove_checks` application: every elided
+    /// check must carry an independently re-derivable `ProvedSafe` witness.
+    pub(crate) fn validate_elision(&mut self, before: &IrFunc, after: &IrFunc) {
+        if !self.verify {
+            return;
+        }
+        self.stages += 1;
+        let mut ds = validate_check_elision(before, after);
+        for d in &mut ds {
+            d.stage = "absint-tv".to_string();
+        }
+        self.diags.extend(ds);
+    }
+
+    /// Census warnings: reachable checks the range analysis proves *must*
+    /// fail (legal but statically dead speculation).
+    pub(crate) fn census(&mut self, ir: &IrFunc) {
+        if !self.verify {
+            return;
+        }
+        self.stages += 1;
+        let mut ds = check_fail_warnings(ir);
+        for d in &mut ds {
+            d.stage = "census".to_string();
         }
         self.diags.extend(ds);
     }
@@ -206,7 +237,7 @@ pub fn compile_txn_callee_audited(
     opts: AuditOptions,
 ) -> Result<FtlAudit, nomap_ir::BuildError> {
     let mut auditor = Auditor::new(opts.verify, arch.htm_model().has_sof, 1);
-    let ir = compile_txn_callee_ir(func, rt, arch, passes, Some(&mut auditor))?;
+    let (ir, report) = compile_txn_callee_ir(func, rt, arch, passes, Some(&mut auditor))?;
     let code = if has_errors(&auditor.diags) {
         None
     } else {
@@ -217,7 +248,7 @@ pub fn compile_txn_callee_audited(
     };
     Ok(FtlAudit {
         code,
-        report: CompileReport::default(),
+        report,
         scope_requested: TxnScope::None,
         scope_used: TxnScope::None,
         stages: auditor.stages,
@@ -236,7 +267,7 @@ pub fn compile_dfg_audited(
     opts: AuditOptions,
 ) -> Result<FtlAudit, nomap_ir::BuildError> {
     let mut auditor = Auditor::new(opts.verify, true, 0);
-    let ir = compile_dfg_ir(func, rt, Some(&mut auditor))?;
+    let (ir, report) = compile_dfg_ir(func, rt, Some(&mut auditor))?;
     let code = if has_errors(&auditor.diags) {
         None
     } else {
@@ -244,7 +275,7 @@ pub fn compile_dfg_audited(
     };
     Ok(FtlAudit {
         code,
-        report: CompileReport::default(),
+        report,
         scope_requested: TxnScope::None,
         scope_used: TxnScope::None,
         stages: auditor.stages,

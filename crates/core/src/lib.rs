@@ -22,8 +22,8 @@ pub use audit::{
 pub use bounds::combine_bounds_checks;
 pub use config::Architecture;
 pub use pipeline::{
-    compile_dfg, compile_ftl, compile_ftl_with, compile_ftl_with_report, compile_txn_callee,
-    CompileReport,
+    compile_dfg, compile_dfg_with_report, compile_ftl, compile_ftl_with, compile_ftl_with_report,
+    compile_txn_callee, CompileReport,
 };
 pub use sof::remove_overflow_checks;
 pub use txn::{

@@ -9,8 +9,8 @@
 //!   now-abortable checks, then one more cleanup round.
 
 use nomap_bytecode::Function;
-use nomap_ir::passes::{run_pipeline, run_pipeline_observed, PassConfig};
-use nomap_ir::{build_ir, BuildError, CheckMode, IrFunc, SpecLevel};
+use nomap_ir::passes::{prove_checks, run_pipeline, run_pipeline_observed, PassConfig};
+use nomap_ir::{build_ir, BuildError, CheckMode, IrFunc, ProveStats, SpecLevel};
 use nomap_jit::{lower, CodegenQuality, CompiledFn};
 use nomap_machine::Tier;
 use nomap_runtime::Runtime;
@@ -49,14 +49,54 @@ fn snapshot_for(auditor: &Option<&mut Auditor>, ir: &IrFunc) -> Option<IrFunc> {
     }
 }
 
+/// Proof-carrying check elision, shared by every tier pipeline: run the
+/// abstract interpreter, delete proved-safe checks, translation-validate
+/// each deletion against the pre-pass snapshot, surface proved-to-fail
+/// checks as census warnings, and give the optimizer one more round when
+/// anything was deleted (elided checks unpin OSR state and open up code
+/// motion). Runs *after* bounds combining so the two validators see
+/// disjoint deletion sets.
+fn prove_stage(
+    ir: &mut IrFunc,
+    passes: PassConfig,
+    auditor: &mut Option<&mut Auditor>,
+) -> ProveStats {
+    let snapshot = snapshot_for(auditor, ir);
+    let stats = prove_checks(ir);
+    if let (Some(before), Some(a)) = (&snapshot, auditor.as_deref_mut()) {
+        a.validate_elision(before, ir);
+    }
+    if let Some(a) = auditor.as_deref_mut() {
+        a.census(ir);
+    }
+    audit(auditor, ir, "post-prove");
+    if stats.total_elided() > 0 {
+        run_passes(ir, passes, auditor);
+    }
+    stats
+}
+
 /// Compiles `func` at the DFG tier.
 ///
 /// # Errors
 ///
 /// Propagates IR construction failures.
 pub fn compile_dfg(func: &Function, rt: &mut Runtime) -> Result<CompiledFn, BuildError> {
-    let ir = compile_dfg_ir(func, rt, None)?;
-    Ok(lower(&ir, CodegenQuality::Dfg, Tier::Dfg, false))
+    compile_dfg_with_report(func, rt).map(|(code, _)| code)
+}
+
+/// [`compile_dfg`], also reporting what the prove pass did (the DFG tier
+/// runs no transaction passes, so only the `prove` stats are populated).
+///
+/// # Errors
+///
+/// Propagates IR construction failures.
+pub fn compile_dfg_with_report(
+    func: &Function,
+    rt: &mut Runtime,
+) -> Result<(CompiledFn, CompileReport), BuildError> {
+    let (ir, report) = compile_dfg_ir(func, rt, None)?;
+    Ok((lower(&ir, CodegenQuality::Dfg, Tier::Dfg, false), report))
 }
 
 /// DFG pipeline up to (but excluding) lowering, with optional auditing.
@@ -64,12 +104,16 @@ pub(crate) fn compile_dfg_ir(
     func: &Function,
     rt: &mut Runtime,
     mut auditor: Option<&mut Auditor>,
-) -> Result<IrFunc, BuildError> {
+) -> Result<(IrFunc, CompileReport), BuildError> {
     let (mut ir, _info) = build_ir(func, rt, SpecLevel::Dfg)?;
     audit(&mut auditor, &ir, "post-build");
     run_passes(&mut ir, PassConfig::dfg(), &mut auditor);
+    let report = CompileReport {
+        prove: prove_stage(&mut ir, PassConfig::dfg(), &mut auditor),
+        ..CompileReport::default()
+    };
     audit(&mut auditor, &ir, "final");
-    Ok(ir)
+    Ok((ir, report))
 }
 
 /// Compiles `func` at the FTL tier under `arch`, wrapping transactions at
@@ -134,6 +178,8 @@ pub struct CompileReport {
     pub bounds_combined: usize,
     /// Overflow checks removed via the sticky overflow flag (§IV-C2).
     pub overflow_removed: usize,
+    /// What the proof-carrying check-elision pass decided and deleted.
+    pub prove: ProveStats,
 }
 
 fn abort_mode_checks(ir: &IrFunc) -> usize {
@@ -205,6 +251,7 @@ pub(crate) fn compile_ftl_ir(
             run_passes(&mut ir, passes, &mut auditor);
         }
     }
+    report.prove = prove_stage(&mut ir, passes, &mut auditor);
     audit(&mut auditor, &ir, "final");
     Ok((ir, report, txn_aware))
 }
@@ -223,7 +270,7 @@ pub fn compile_txn_callee(
     arch: Architecture,
     passes: PassConfig,
 ) -> Result<CompiledFn, BuildError> {
-    let ir = compile_txn_callee_ir(func, rt, arch, passes, None)?;
+    let (ir, _report) = compile_txn_callee_ir(func, rt, arch, passes, None)?;
     let mut code = lower(&ir, CodegenQuality::Ftl, Tier::Ftl, true);
     code.txn_callee = true;
     Ok(code)
@@ -238,24 +285,26 @@ pub(crate) fn compile_txn_callee_ir(
     arch: Architecture,
     passes: PassConfig,
     mut auditor: Option<&mut Auditor>,
-) -> Result<IrFunc, BuildError> {
+) -> Result<(IrFunc, CompileReport), BuildError> {
     let (mut ir, _info) = build_ir(func, rt, SpecLevel::Ftl)?;
     abort_all_checks(&mut ir);
     audit(&mut auditor, &ir, "post-abort-conversion");
     run_passes(&mut ir, passes, &mut auditor);
+    let mut report = CompileReport::default();
     let mut changed = false;
     if arch.combines_bounds() {
         let snapshot = snapshot_for(&auditor, &ir);
-        let combined = combine_bounds_checks(&mut ir);
+        report.bounds_combined = combine_bounds_checks(&mut ir);
         if let (Some(before), Some(a)) = (&snapshot, auditor.as_deref_mut()) {
             a.validate_bounds(before, &ir);
         }
         audit(&mut auditor, &ir, "post-bounds");
-        changed |= combined > 0;
+        changed |= report.bounds_combined > 0;
     }
     if arch.removes_overflow() {
-        changed |= remove_overflow_checks(&mut ir) > 0;
+        report.overflow_removed = remove_overflow_checks(&mut ir);
         audit(&mut auditor, &ir, "post-sof");
+        changed |= report.overflow_removed > 0;
     }
     if arch.strips_all_checks() {
         strip_all_checks(&mut ir);
@@ -265,8 +314,9 @@ pub(crate) fn compile_txn_callee_ir(
     if changed {
         run_passes(&mut ir, passes, &mut auditor);
     }
+    report.prove = prove_stage(&mut ir, passes, &mut auditor);
     audit(&mut auditor, &ir, "final");
-    Ok(ir)
+    Ok((ir, report))
 }
 
 #[cfg(test)]

@@ -1,0 +1,782 @@
+//! Flow- and branch-sensitive abstract interpretation over the SSA IR:
+//! a product lattice of int32 value ranges ([`crate::ranges::Interval`])
+//! and NaN-box type tags ([`crate::ranges::TagSet`]), producing a
+//! machine-checkable verdict for every guarded check.
+//!
+//! This is the static counterpart of the paper's dynamic observation
+//! (§III, Fig. 1) that FTL checks almost never fail: where NoMap turns an
+//! SMP into a transaction abort and *bets* on the check holding, the
+//! abstract interpreter *proves* a subset of checks infeasible so the
+//! `prove_checks` pass can delete them outright — in every tier,
+//! including Base and DFG where no transaction is available.
+//!
+//! Analysis structure (ABCD-style, on SSA):
+//!
+//! * One global fact per SSA value (ranges for `I32` values, tag sets for
+//!   `Boxed` values), computed by an ascending Kleene iteration in reverse
+//!   post-order with **widening at loop-header phis** after two bumps,
+//!   followed by two descending (narrowing) sweeps.
+//! * **Branch refinement**: inside a block `B`, a value's range is the
+//!   meet of its global range with every constraint implied by dominating
+//!   branch conditions — conditions on edges `p → d` where `d` is `B` or a
+//!   dominator of `B` with the single predecessor `p`. Phi inputs are
+//!   additionally refined by the condition on their incoming edge, which
+//!   covers latch-guarded (do-while) loops.
+//! * **`scev::IndVar` seeding**: a recognized induction phi whose update
+//!   is overflow-checked can never pass its initial value in the
+//!   direction opposite its step, so its range is clamped on that side —
+//!   a fact the plain join can lose once widening fires.
+//!
+//! Soundness: every transfer function over-approximates the concrete
+//! semantics, failing executions of `Deopt`/`Abort` checks define no
+//! value, and refinements only ever meet with conditions that are true on
+//! every path into the refined block. The final state is reached by
+//! monotone ascent to a post-fixpoint plus bounded descending steps, so
+//! it over-approximates the collecting semantics at every program point.
+
+use std::collections::{BTreeMap, HashSet};
+
+use nomap_machine::Cond;
+
+use crate::analysis::{find_loops, Dominators};
+use crate::graph::{BlockId, IrFunc, ValueId};
+use crate::node::{CheckMode, InstKind, Ty};
+use crate::ranges::{Interval, TagSet};
+use crate::scev;
+
+/// Outcome of the analysis for one guarded check site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The check can never fire; `witness` records the proof obligation
+    /// that was discharged (operand ranges / tag sets).
+    ProvedSafe {
+        /// Human-readable proof sketch, re-derivable by `absint_tv`.
+        witness: String,
+    },
+    /// The check fires on every execution that reaches it.
+    ProvedFail,
+    /// Neither provable: the check stays.
+    Unknown,
+}
+
+/// Analysis result: per-check verdicts plus the underlying facts.
+#[derive(Debug, Clone)]
+pub struct Absint {
+    /// Verdict for every reachable `Deopt`/`Abort`-mode check, keyed by
+    /// the check instruction's value id.
+    pub verdicts: BTreeMap<ValueId, Verdict>,
+    ranges: Vec<Interval>,
+    tags: Vec<TagSet>,
+}
+
+impl Absint {
+    /// Global (unrefined) range of an `I32` value; `EMPTY` for untracked
+    /// or unreachable values.
+    pub fn range_of(&self, v: ValueId) -> Interval {
+        self.ranges[v.0 as usize]
+    }
+
+    /// Tag set of a boxed value; `NONE` for untracked values.
+    pub fn tags_of(&self, v: ValueId) -> TagSet {
+        self.tags[v.0 as usize]
+    }
+}
+
+/// Widening threshold: a header phi may grow this many times before its
+/// moving bound jumps to the int32 extreme.
+const WIDEN_AFTER: u8 = 2;
+/// Hard cap on ascending sweeps (widening converges far earlier).
+const MAX_SWEEPS: usize = 64;
+/// Descending (narrowing) sweeps after the ascending fixpoint.
+const NARROW_SWEEPS: usize = 2;
+
+/// Runs the analysis. Predecessor lists must be up to date (as the
+/// optimizer pipelines maintain them); the function is not mutated.
+pub fn analyze(f: &IrFunc) -> Absint {
+    Analyzer::new(f).run()
+}
+
+/// Unconstrained meet operand (wider than any tracked i32 range).
+const UNCONSTRAINED: Interval = Interval { lo: i64::MIN, hi: i64::MAX };
+
+struct Analyzer<'a> {
+    f: &'a IrFunc,
+    doms: Dominators,
+    /// Loop headers (phi widening points).
+    headers: HashSet<BlockId>,
+    /// Per-block refinement chain: branch conditions (with polarity) that
+    /// hold on every path into the block.
+    chains: Vec<Vec<(ValueId, bool)>>,
+    /// Induction-phi clamps from `scev` (see module docs).
+    iv_seed: BTreeMap<ValueId, Interval>,
+    ranges: Vec<Interval>,
+    tags: Vec<TagSet>,
+    phi_bumps: Vec<u8>,
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(f: &'a IrFunc) -> Self {
+        let doms = Dominators::compute(f);
+        let loops = find_loops(f, &doms);
+        let headers: HashSet<BlockId> = loops.iter().map(|l| l.header).collect();
+
+        // Induction-variable seeding: an IndVar whose overflow check is
+        // real (Deopt/Abort) cannot wrap, so it never crosses its initial
+        // value against the step direction.
+        let mut iv_seed = BTreeMap::new();
+        for l in &loops {
+            for iv in scev::induction_vars(f, l) {
+                let checked = matches!(
+                    f.inst(iv.update).check_mode(),
+                    Some(CheckMode::Deopt) | Some(CheckMode::Abort)
+                );
+                if !checked {
+                    continue;
+                }
+                let clamp = if let InstKind::ConstI32(init) = f.inst(iv.init).kind {
+                    if iv.increasing() {
+                        Interval::new(init as i64, Interval::FULL.hi)
+                    } else {
+                        Interval::new(Interval::FULL.lo, init as i64)
+                    }
+                } else {
+                    continue;
+                };
+                iv_seed.insert(iv.phi, clamp);
+            }
+        }
+
+        let n = f.insts.len();
+        let chains = build_chains(f, &doms);
+        Analyzer {
+            f,
+            doms,
+            headers,
+            chains,
+            iv_seed,
+            ranges: vec![Interval::EMPTY; n],
+            tags: vec![TagSet::NONE; n],
+            phi_bumps: vec![0; n],
+        }
+    }
+
+    fn run(mut self) -> Absint {
+        // Ascending phase (with widening).
+        let mut converged = false;
+        for _ in 0..MAX_SWEEPS {
+            if !self.sweep(true) {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            // Should be unreachable (widening bounds the chain); bail to
+            // "no facts, no verdicts" rather than judge a non-fixpoint.
+            debug_assert!(false, "absint failed to converge in {MAX_SWEEPS} sweeps");
+            let n = self.f.insts.len();
+            return Absint {
+                verdicts: BTreeMap::new(),
+                ranges: vec![Interval::FULL; n],
+                tags: vec![TagSet::ANY; n],
+            };
+        }
+        // Descending phase (bounded narrowing).
+        for _ in 0..NARROW_SWEEPS {
+            if !self.sweep(false) {
+                break;
+            }
+        }
+        let verdicts = self.judge();
+        Absint { verdicts, ranges: self.ranges, tags: self.tags }
+    }
+
+    /// One pass over all reachable blocks in RPO. Returns true when any
+    /// fact changed. `ascending` selects join-and-widen (sound ascent)
+    /// versus plain recomputation (sound descent from a post-fixpoint).
+    fn sweep(&mut self, ascending: bool) -> bool {
+        let mut changed = false;
+        for &b in &self.doms.rpo.clone() {
+            for &v in &self.f.blocks[b.0 as usize].insts {
+                let i = v.0 as usize;
+                match self.f.inst(v).ty() {
+                    Ty::I32 => {
+                        let mut new = self.compute_range(v, b);
+                        if let Some(clamp) = self.iv_seed.get(&v) {
+                            new = new.meet(*clamp);
+                        }
+                        let old = self.ranges[i];
+                        let stored = if ascending {
+                            let joined = old.join(new);
+                            if joined != old
+                                && self.headers.contains(&b)
+                                && matches!(self.f.inst(v).kind, InstKind::Phi { .. })
+                            {
+                                self.phi_bumps[i] = self.phi_bumps[i].saturating_add(1);
+                                if self.phi_bumps[i] > WIDEN_AFTER {
+                                    old.widen(joined)
+                                } else {
+                                    joined
+                                }
+                            } else {
+                                joined
+                            }
+                        } else {
+                            new
+                        };
+                        if stored != old {
+                            self.ranges[i] = stored;
+                            changed = true;
+                        }
+                    }
+                    Ty::Boxed => {
+                        let new = self.compute_tags(v);
+                        let stored = if ascending { self.tags[i].join(new) } else { new };
+                        if stored != self.tags[i] {
+                            self.tags[i] = stored;
+                            changed = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        changed
+    }
+
+    /// Range of `v` as seen from inside block `b`: the global range met
+    /// with every dominating branch constraint on `v`.
+    fn eval_range(&self, v: ValueId, b: BlockId) -> Interval {
+        let mut r = self.ranges[v.0 as usize];
+        for &(cond, polarity) in &self.chains[b.0 as usize] {
+            r = r.meet(self.constraint_on(v, cond, polarity, 0));
+        }
+        r
+    }
+
+    /// The constraint a branch condition (taken with `polarity`) puts on
+    /// `v`, or [`UNCONSTRAINED`].
+    fn constraint_on(&self, v: ValueId, cond: ValueId, polarity: bool, depth: u8) -> Interval {
+        if depth > 4 {
+            return UNCONSTRAINED;
+        }
+        match &self.f.inst(cond).kind {
+            InstKind::BNot(x) => self.constraint_on(v, *x, !polarity, depth + 1),
+            InstKind::ICmp { cond: c, a, b } => {
+                let c = if polarity { *c } else { negate(*c) };
+                if *a == v && self.f.inst(*b).ty() == Ty::I32 {
+                    bound_from(c, self.ranges[b.0 as usize])
+                } else if *b == v && self.f.inst(*a).ty() == Ty::I32 {
+                    bound_from(swap(c), self.ranges[a.0 as usize])
+                } else {
+                    UNCONSTRAINED
+                }
+            }
+            _ => UNCONSTRAINED,
+        }
+    }
+
+    /// Transfer function for one `I32`-typed instruction evaluated in its
+    /// defining block's context.
+    fn compute_range(&self, v: ValueId, b: BlockId) -> Interval {
+        use InstKind::*;
+        let full = Interval::FULL;
+        match &self.f.inst(v).kind {
+            ConstI32(x) => Interval::constant(*x as i64),
+            Phi { inputs, .. } => {
+                let preds = &self.f.blocks[b.0 as usize].preds;
+                let mut r = Interval::EMPTY;
+                for (i, &input) in inputs.iter().enumerate() {
+                    let Some(&p) = preds.get(i) else { continue };
+                    let mut edge = self.eval_range(input, p);
+                    // Refine by the condition on the incoming edge itself
+                    // (covers latch-guarded loops).
+                    if let Branch { cond, then_b, else_b } = &self.f.inst(self.f.terminator(p)).kind
+                    {
+                        if then_b != else_b {
+                            let polarity = *then_b == b;
+                            edge = edge.meet(self.constraint_on(input, *cond, polarity, 0));
+                        }
+                    }
+                    r = r.join(edge);
+                }
+                r
+            }
+            CheckedAddI32 { a, b: rhs, mode } => {
+                let r = self.eval_range(*a, b).add(self.eval_range(*rhs, b));
+                checked_result(r, *mode)
+            }
+            CheckedSubI32 { a, b: rhs, mode } => {
+                let r = self.eval_range(*a, b).sub(self.eval_range(*rhs, b));
+                checked_result(r, *mode)
+            }
+            CheckedMulI32 { a, b: rhs, mode } => {
+                let r = self.eval_range(*a, b).mul(self.eval_range(*rhs, b));
+                checked_result(r, *mode)
+            }
+            CheckedNegI32 { a, mode } => {
+                let r = self.eval_range(*a, b).neg();
+                checked_result(r, *mode)
+            }
+            CheckedUShr { a, .. } => {
+                let ia = self.eval_range(*a, b);
+                if !ia.is_empty() && ia.lo >= 0 {
+                    // (x as u32) >> s with x >= 0 never exceeds x.
+                    Interval::new(0, ia.hi)
+                } else {
+                    full
+                }
+            }
+            IBin { op, a, b: rhs } => {
+                let ia = self.eval_range(*a, b);
+                let ib = self.eval_range(*rhs, b);
+                if ia.is_empty() || ib.is_empty() {
+                    return full;
+                }
+                use crate::node::IBinOp::*;
+                match op {
+                    And if ia.lo >= 0 && ib.lo >= 0 => Interval::new(0, ia.hi.min(ib.hi)),
+                    // For non-negative x, y: x|y <= x+y and x^y <= x+y.
+                    Or | Xor if ia.lo >= 0 && ib.lo >= 0 => {
+                        Interval::new(0, (ia.hi + ib.hi).min(full.hi))
+                    }
+                    // Arithmetic shift keeps the sign and never grows the
+                    // magnitude.
+                    Sar => Interval::new(ia.lo.min(0), ia.hi.max(0)),
+                    _ => full,
+                }
+            }
+            // Payload of a passing speculation: any int32.
+            CheckInt32 { .. } | CheckF64ToI32 { .. } => full,
+            _ => full,
+        }
+    }
+
+    /// Transfer function for one boxed value.
+    fn compute_tags(&self, v: ValueId) -> TagSet {
+        use InstKind::*;
+        match &self.f.inst(v).kind {
+            Const(val) => TagSet::of_value(*val),
+            BoxI32(_) => TagSet::INT,
+            BoxF64(_) => TagSet::DOUBLE,
+            BoxBool(_) => TagSet::BOOL,
+            Phi { inputs, .. } => {
+                let mut t = TagSet::NONE;
+                for &input in inputs {
+                    t = t.join(self.tags[input.0 as usize]);
+                }
+                t
+            }
+            _ => TagSet::ANY,
+        }
+    }
+
+    /// Abstract truth value of a Bool-typed SSA value in block `b`.
+    fn abstract_bool(&self, v: ValueId, b: BlockId, depth: u8) -> Option<bool> {
+        if depth > 4 {
+            return None;
+        }
+        match &self.f.inst(v).kind {
+            InstKind::ConstBool(k) => Some(*k),
+            InstKind::BNot(x) => self.abstract_bool(*x, b, depth + 1).map(|k| !k),
+            InstKind::ICmp { cond, a, b: rhs } => {
+                if self.f.inst(*a).ty() != Ty::I32 || self.f.inst(*rhs).ty() != Ty::I32 {
+                    return None;
+                }
+                let ia = self.eval_range(*a, b);
+                let ib = self.eval_range(*rhs, b);
+                definite_cmp(*cond, ia, ib)
+            }
+            _ => None,
+        }
+    }
+
+    /// Produces the verdict map over all reachable checks.
+    fn judge(&self) -> BTreeMap<ValueId, Verdict> {
+        use InstKind::*;
+        let mut out = BTreeMap::new();
+        for &b in &self.doms.rpo {
+            for &v in &self.f.blocks[b.0 as usize].insts {
+                let inst = self.f.inst(v);
+                if inst.check_kind().is_none() {
+                    continue;
+                }
+                let verdict = match &inst.kind {
+                    CheckedAddI32 { a, b: rhs, .. } => {
+                        let ia = self.eval_range(*a, b);
+                        let ib = self.eval_range(*rhs, b);
+                        overflow_verdict(ia.add(ib), &format!("{ia}+{ib}"))
+                    }
+                    CheckedSubI32 { a, b: rhs, .. } => {
+                        let ia = self.eval_range(*a, b);
+                        let ib = self.eval_range(*rhs, b);
+                        overflow_verdict(ia.sub(ib), &format!("{ia}-{ib}"))
+                    }
+                    CheckedMulI32 { a, b: rhs, .. } => {
+                        let ia = self.eval_range(*a, b);
+                        let ib = self.eval_range(*rhs, b);
+                        let r = ia.mul(ib);
+                        // Negative zero fires when the result is 0 with a
+                        // negative operand; impossible when both operands
+                        // are non-negative or neither can be zero.
+                        let negzero_safe = (!ia.is_empty() && !ib.is_empty())
+                            && ((ia.lo >= 0 && ib.lo >= 0) || !ia.contains(0) || !ib.contains(0));
+                        match overflow_verdict(r, &format!("{ia}*{ib}")) {
+                            Verdict::ProvedSafe { witness } if negzero_safe => {
+                                Verdict::ProvedSafe {
+                                    witness: format!("{witness}, no negative zero"),
+                                }
+                            }
+                            Verdict::ProvedSafe { .. } => Verdict::Unknown,
+                            other => other,
+                        }
+                    }
+                    CheckedNegI32 { a, .. } => {
+                        let ia = self.eval_range(*a, b);
+                        if !ia.is_empty() && !ia.contains(0) && !ia.contains(i32::MIN as i64) {
+                            Verdict::ProvedSafe {
+                                witness: format!("neg {ia} avoids 0 and i32::MIN"),
+                            }
+                        } else if !ia.is_empty()
+                            && (ia == Interval::constant(0)
+                                || ia == Interval::constant(i32::MIN as i64))
+                        {
+                            Verdict::ProvedFail
+                        } else {
+                            Verdict::Unknown
+                        }
+                    }
+                    CheckedUShr { a, .. } => {
+                        let ia = self.eval_range(*a, b);
+                        if !ia.is_empty() && ia.lo >= 0 {
+                            Verdict::ProvedSafe { witness: format!("ushr of non-negative {ia}") }
+                        } else if !ia.is_empty() && ia.hi < 0 {
+                            Verdict::ProvedFail
+                        } else {
+                            Verdict::Unknown
+                        }
+                    }
+                    CheckInt32 { v: x, .. } => self.tag_verdict(*x, TagSet::INT, "int32"),
+                    CheckNumber { v: x, .. } => self.tag_verdict(*x, TagSet::NUMBER, "number"),
+                    CheckBool { v: x, .. } => self.tag_verdict(*x, TagSet::BOOL, "bool"),
+                    CheckShape { v: x, .. }
+                    | CheckArray { v: x, .. }
+                    | CheckString { v: x, .. } => {
+                        // Kind/shape facts are not tracked, so only the
+                        // always-fails direction is decidable.
+                        let t = self.tags[x.0 as usize];
+                        if !t.is_none() && t.meet(TagSet::CELL).is_none() {
+                            Verdict::ProvedFail
+                        } else {
+                            Verdict::Unknown
+                        }
+                    }
+                    CheckF64ToI32 { .. } => Verdict::Unknown,
+                    Guard { cond, .. } => match self.abstract_bool(*cond, b, 0) {
+                        Some(false) => Verdict::ProvedSafe {
+                            witness: "guard condition provably false".to_owned(),
+                        },
+                        Some(true) => Verdict::ProvedFail,
+                        None => Verdict::Unknown,
+                    },
+                    _ => Verdict::Unknown,
+                };
+                out.insert(v, verdict);
+            }
+        }
+        out
+    }
+
+    fn tag_verdict(&self, v: ValueId, want: TagSet, name: &str) -> Verdict {
+        let t = self.tags[v.0 as usize];
+        if t.is_none() {
+            Verdict::Unknown
+        } else if t.subset_of(want) {
+            Verdict::ProvedSafe { witness: format!("tags {} always {name}", t.describe()) }
+        } else if t.meet(want).is_none() {
+            Verdict::ProvedFail
+        } else {
+            Verdict::Unknown
+        }
+    }
+}
+
+/// Result range of a checked int32 op: exact when the check is enforced
+/// (failing executions define no value), conservatively full-int32 when
+/// the op may silently wrap (`Sof`/`Removed`).
+fn checked_result(r: Interval, mode: CheckMode) -> Interval {
+    match mode {
+        CheckMode::Deopt | CheckMode::Abort => r.meet(Interval::FULL),
+        CheckMode::Sof | CheckMode::Removed => {
+            if r.subset_of(Interval::FULL) {
+                r
+            } else {
+                Interval::FULL
+            }
+        }
+    }
+}
+
+fn overflow_verdict(r: Interval, expr: &str) -> Verdict {
+    if r.is_empty() {
+        Verdict::Unknown
+    } else if r.subset_of(Interval::FULL) {
+        Verdict::ProvedSafe { witness: format!("{expr} = {r} within i32") }
+    } else if r.meet(Interval::FULL).is_empty() {
+        Verdict::ProvedFail
+    } else {
+        Verdict::Unknown
+    }
+}
+
+/// Negation of a condition (`!(a < b)` is `a >= b`, ...).
+fn negate(c: Cond) -> Cond {
+    match c {
+        Cond::Eq => Cond::Ne,
+        Cond::Ne => Cond::Eq,
+        Cond::Lt => Cond::Ge,
+        Cond::Le => Cond::Gt,
+        Cond::Gt => Cond::Le,
+        Cond::Ge => Cond::Lt,
+        Cond::Below => Cond::AboveEq,
+        Cond::AboveEq => Cond::Below,
+    }
+}
+
+/// Operand swap (`a < b` is `b > a`, ...).
+fn swap(c: Cond) -> Cond {
+    match c {
+        Cond::Eq => Cond::Eq,
+        Cond::Ne => Cond::Ne,
+        Cond::Lt => Cond::Gt,
+        Cond::Le => Cond::Ge,
+        Cond::Gt => Cond::Lt,
+        Cond::Ge => Cond::Le,
+        Cond::Below => Cond::AboveEq, // "a below b" gives "b above a" >= a+1; keep coarse
+        Cond::AboveEq => Cond::Below,
+    }
+}
+
+/// Interval constraint on the left operand of `v <c> other`, given the
+/// other operand's range. [`UNCONSTRAINED`] when nothing convex follows.
+fn bound_from(c: Cond, other: Interval) -> Interval {
+    if other.is_empty() {
+        return UNCONSTRAINED;
+    }
+    match c {
+        Cond::Eq => other,
+        Cond::Ne => UNCONSTRAINED,
+        Cond::Lt => Interval { lo: UNCONSTRAINED.lo, hi: other.hi - 1 },
+        Cond::Le => Interval { lo: UNCONSTRAINED.lo, hi: other.hi },
+        Cond::Gt => Interval { lo: other.lo + 1, hi: UNCONSTRAINED.hi },
+        Cond::Ge => Interval { lo: other.lo, hi: UNCONSTRAINED.hi },
+        // Unsigned below a non-negative bound pins the value into
+        // [0, hi-1]: negative int32s sign-extend to huge unsigned words.
+        Cond::Below if other.lo >= 0 => Interval::new(0, other.hi - 1),
+        _ => UNCONSTRAINED,
+    }
+}
+
+/// Definite truth of `a <c> b` over intervals, `None` when undecided.
+/// `Below`/`AboveEq` compare the sign-extended words unsigned.
+fn definite_cmp(c: Cond, a: Interval, b: Interval) -> Option<bool> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    match c {
+        Cond::Eq => {
+            if a.lo == a.hi && b.lo == b.hi && a.lo == b.lo {
+                Some(true)
+            } else if a.meet(b).is_empty() {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        Cond::Ne => definite_cmp(Cond::Eq, a, b).map(|k| !k),
+        Cond::Lt => {
+            if a.hi < b.lo {
+                Some(true)
+            } else if a.lo >= b.hi {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        Cond::Le => definite_cmp(Cond::Gt, a, b).map(|k| !k),
+        Cond::Gt => definite_cmp(Cond::Lt, b, a),
+        Cond::Ge => definite_cmp(Cond::Lt, a, b).map(|k| !k),
+        Cond::Below => {
+            let (alo, ahi) = a.as_unsigned()?;
+            let (blo, bhi) = b.as_unsigned()?;
+            if ahi < blo {
+                Some(true)
+            } else if alo >= bhi {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        Cond::AboveEq => definite_cmp(Cond::Below, a, b).map(|k| !k),
+    }
+}
+
+/// For each reachable block, the chain of branch conditions (and their
+/// polarity) known to hold on entry: conditions guarding single-entry
+/// dominators of the block.
+fn build_chains(f: &IrFunc, doms: &Dominators) -> Vec<Vec<(ValueId, bool)>> {
+    let mut chains = vec![Vec::new(); f.blocks.len()];
+    for &b in &doms.rpo {
+        let mut chain = Vec::new();
+        let mut d = Some(b);
+        while let Some(cur) = d {
+            let preds = &f.blocks[cur.0 as usize].preds;
+            if preds.len() == 1 {
+                let p = preds[0];
+                if let InstKind::Branch { cond, then_b, else_b } = &f.inst(f.terminator(p)).kind {
+                    if then_b != else_b {
+                        if *then_b == cur {
+                            chain.push((*cond, true));
+                        } else if *else_b == cur {
+                            chain.push((*cond, false));
+                        }
+                    }
+                }
+            }
+            d = doms.idom(cur);
+        }
+        chains[b.0 as usize] = chain;
+    }
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use nomap_machine::CheckKind;
+    use nomap_runtime::Value;
+
+    use super::*;
+    use crate::node::Inst;
+
+    /// `for (i = 0; i < n; i++) { t = i + 1; }` with `n` an opaque
+    /// parameter payload: the loop-counter increment cannot overflow
+    /// because the dominating `i < n` bounds `i` away from `i32::MAX`.
+    #[test]
+    fn loop_counter_increment_is_proved_safe() {
+        use InstKind::*;
+        let mut f = IrFunc::new(nomap_bytecode::FuncId(0), "t", 1, 4);
+        let entry = f.entry;
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+
+        let n_boxed = f.append(entry, Inst::new(Param(0)));
+        let n = f.append(entry, Inst::new(CheckInt32 { v: n_boxed, mode: CheckMode::Deopt }));
+        let zero = f.append(entry, Inst::new(ConstI32(0)));
+        let one = f.append(entry, Inst::new(ConstI32(1)));
+        f.append(entry, Inst::new(Jump { target: header }));
+
+        let phi = f.append(header, Inst::new(Phi { inputs: vec![zero], ty: Ty::I32 }));
+        let cmp = f.append(header, Inst::new(ICmp { cond: Cond::Lt, a: phi, b: n }));
+        f.append(header, Inst::new(Branch { cond: cmp, then_b: body, else_b: exit }));
+
+        let inc =
+            f.append(body, Inst::new(CheckedAddI32 { a: phi, b: one, mode: CheckMode::Deopt }));
+        f.append(body, Inst::new(Jump { target: header }));
+        if let Phi { inputs, .. } = &mut f.inst_mut(phi).kind {
+            inputs.push(inc);
+        }
+
+        let ret = f.append(exit, Inst::new(Const(Value::UNDEFINED)));
+        f.append(exit, Inst::new(Return { v: ret }));
+        f.compute_preds();
+        f.verify().unwrap();
+
+        let a = analyze(&f);
+        // The counter phi stays at or above its init.
+        assert!(a.range_of(phi).lo >= 0, "phi range {}", a.range_of(phi));
+        assert!(
+            matches!(a.verdicts[&inc], Verdict::ProvedSafe { .. }),
+            "increment verdict {:?}",
+            a.verdicts[&inc]
+        );
+        // The bounding comparison itself stays undecided.
+        assert!(!a.verdicts.contains_key(&cmp));
+    }
+
+    /// An accumulator `s += i` has no bound, so its overflow check must
+    /// stay `Unknown`; a type check on a phi of two boxed ints is proved.
+    #[test]
+    fn unbounded_accumulator_stays_unknown_and_tags_prove_types() {
+        use InstKind::*;
+        let mut f = IrFunc::new(nomap_bytecode::FuncId(0), "t", 1, 4);
+        let entry = f.entry;
+        let then_b = f.new_block();
+        let else_b = f.new_block();
+        let join = f.new_block();
+
+        let p = f.append(entry, Inst::new(Param(0)));
+        let pv = f.append(entry, Inst::new(CheckInt32 { v: p, mode: CheckMode::Deopt }));
+        let zero = f.append(entry, Inst::new(ConstI32(0)));
+        let cmp = f.append(entry, Inst::new(ICmp { cond: Cond::Lt, a: pv, b: zero }));
+        f.append(entry, Inst::new(Branch { cond: cmp, then_b, else_b }));
+
+        let a_box = f.append(then_b, Inst::new(BoxI32(zero)));
+        f.append(then_b, Inst::new(Jump { target: join }));
+        let b_box = f.append(else_b, Inst::new(Const(Value::new_int32(7))));
+        f.append(else_b, Inst::new(Jump { target: join }));
+
+        let phi = f.append(join, Inst::new(Phi { inputs: vec![a_box, b_box], ty: Ty::Boxed }));
+        let unboxed = f.append(join, Inst::new(CheckInt32 { v: phi, mode: CheckMode::Deopt }));
+        let sum =
+            f.append(join, Inst::new(CheckedAddI32 { a: unboxed, b: pv, mode: CheckMode::Deopt }));
+        let rb = f.append(join, Inst::new(BoxI32(sum)));
+        f.append(join, Inst::new(Return { v: rb }));
+        f.compute_preds();
+        f.verify().unwrap();
+
+        let a = analyze(&f);
+        assert_eq!(a.tags_of(phi), TagSet::INT);
+        assert!(matches!(a.verdicts[&unboxed], Verdict::ProvedSafe { .. }));
+        // pv is a full-range int32, so the sum may overflow.
+        assert_eq!(a.verdicts[&sum], Verdict::Unknown);
+        // The guard-kind taxonomy is what prove_checks keys stats by.
+        assert_eq!(f.inst(unboxed).check_kind(), Some(CheckKind::Type));
+    }
+
+    /// Branch refinement proves a guard along the taken edge: inside
+    /// `if (x < 10)`, the guard `x >= 100` is provably false.
+    #[test]
+    fn dominating_branch_condition_proves_guard_false() {
+        use InstKind::*;
+        let mut f = IrFunc::new(nomap_bytecode::FuncId(0), "t", 1, 4);
+        let entry = f.entry;
+        let then_b = f.new_block();
+        let exit = f.new_block();
+
+        let p = f.append(entry, Inst::new(Param(0)));
+        let x = f.append(entry, Inst::new(CheckInt32 { v: p, mode: CheckMode::Deopt }));
+        let ten = f.append(entry, Inst::new(ConstI32(10)));
+        let hundred = f.append(entry, Inst::new(ConstI32(100)));
+        let cmp = f.append(entry, Inst::new(ICmp { cond: Cond::Lt, a: x, b: ten }));
+        f.append(entry, Inst::new(Branch { cond: cmp, then_b, else_b: exit }));
+
+        let ge100 = f.append(then_b, Inst::new(ICmp { cond: Cond::Ge, a: x, b: hundred }));
+        let guard = f.append(
+            then_b,
+            Inst::new(Guard { kind: CheckKind::Other, cond: ge100, mode: CheckMode::Deopt }),
+        );
+        f.append(then_b, Inst::new(Jump { target: exit }));
+
+        let ret = f.append(exit, Inst::new(Const(Value::UNDEFINED)));
+        f.append(exit, Inst::new(Return { v: ret }));
+        f.compute_preds();
+        f.verify().unwrap();
+
+        let a = analyze(&f);
+        assert!(
+            matches!(a.verdicts[&guard], Verdict::ProvedSafe { .. }),
+            "guard verdict {:?}",
+            a.verdicts[&guard]
+        );
+    }
+}

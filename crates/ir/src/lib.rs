@@ -21,13 +21,18 @@
 //!   elimination), LICM, loop accumulator promotion (the paper's
 //!   `obj.sum`-to-register example, Fig. 4), and DCE.
 
+pub mod absint;
 pub mod analysis;
 pub mod build;
 pub mod graph;
 pub mod node;
 pub mod passes;
+pub mod ranges;
 pub mod scev;
 
+pub use absint::{analyze, Absint, Verdict};
 pub use build::{build_ir, BuildError, SpecLevel};
 pub use graph::{BlockId, IrFunc, Succs, ValueId};
 pub use node::{Alias, CheckMode, Inst, InstKind, OsrState, Ty};
+pub use passes::ProveStats;
+pub use ranges::{Interval, TagSet};

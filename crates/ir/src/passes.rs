@@ -204,6 +204,105 @@ pub fn constfold(f: &mut IrFunc) {
                 None => {}
             }
         }
+        changed |= prune_dead_branches(f);
+    }
+}
+
+/// Rewrites `Branch` on a constant condition into `Jump` and detaches the
+/// dead edge (predecessor entry plus the corresponding phi inputs), so
+/// branch-sensitive analyses never see facts from a statically dead path.
+/// The untaken block may become unreachable; it keeps a structurally
+/// consistent (possibly empty) predecessor list.
+fn prune_dead_branches(f: &mut IrFunc) -> bool {
+    let mut changed = false;
+    for bi in 0..f.blocks.len() {
+        let b = BlockId(bi as u32);
+        if f.blocks[bi].insts.is_empty() {
+            continue;
+        }
+        let term = f.terminator(b);
+        let InstKind::Branch { cond, then_b, else_b } = f.inst(term).kind else { continue };
+        let InstKind::ConstBool(k) = f.inst(cond).kind else { continue };
+        let (taken, dead) = if k { (then_b, else_b) } else { (else_b, then_b) };
+        f.inst_mut(term).kind = InstKind::Jump { target: taken };
+        if then_b == else_b {
+            // Parallel edges: one survives. `compute_preds` pushes the
+            // then-edge entry first and edge edits preserve relative
+            // order, so drop the second entry when the then-edge is taken.
+            let positions: Vec<usize> = f.blocks[dead.0 as usize]
+                .preds
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| **p == b)
+                .map(|(i, _)| i)
+                .collect();
+            if positions.len() >= 2 {
+                remove_pred(f, dead, if k { positions[1] } else { positions[0] });
+            }
+        } else if let Some(pos) = f.blocks[dead.0 as usize].preds.iter().position(|&p| p == b) {
+            remove_pred(f, dead, pos);
+        }
+        changed = true;
+    }
+    if changed {
+        remove_unreachable_blocks(f);
+    }
+    changed
+}
+
+/// Fully detaches every block unreachable from the entry: its edges into
+/// still-reachable successors are removed (phi inputs in sync), its
+/// instructions become `Nop`, and it ends up empty with no predecessors.
+/// Without this, a pruned branch could leave a dead block as a live
+/// block's predecessor, and phis over that edge would reference values
+/// that no longer dominate anything.
+fn remove_unreachable_blocks(f: &mut IrFunc) {
+    let mut reachable = vec![false; f.blocks.len()];
+    let mut work = vec![f.entry];
+    reachable[f.entry.0 as usize] = true;
+    while let Some(b) = work.pop() {
+        if f.blocks[b.0 as usize].insts.is_empty() {
+            continue;
+        }
+        for s in f.succs(b) {
+            if !std::mem::replace(&mut reachable[s.0 as usize], true) {
+                work.push(s);
+            }
+        }
+    }
+    for (bi, live) in reachable.into_iter().enumerate() {
+        if live || f.blocks[bi].insts.is_empty() {
+            continue;
+        }
+        let b = BlockId(bi as u32);
+        for s in f.succs(b) {
+            while let Some(pos) = f.blocks[s.0 as usize].preds.iter().position(|&p| p == b) {
+                remove_pred(f, s, pos);
+            }
+        }
+        let insts = std::mem::take(&mut f.blocks[bi].insts);
+        for v in insts {
+            f.inst_mut(v).kind = InstKind::Nop;
+            f.inst_mut(v).osr = None;
+        }
+        f.blocks[bi].preds.clear();
+    }
+}
+
+/// Drops predecessor entry `pos` of `block`, keeping phi inputs in sync.
+fn remove_pred(f: &mut IrFunc, block: BlockId, pos: usize) {
+    f.blocks[block.0 as usize].preds.remove(pos);
+    let insts = f.blocks[block.0 as usize].insts.clone();
+    for v in insts {
+        match &mut f.inst_mut(v).kind {
+            InstKind::Phi { inputs, .. } => {
+                if pos < inputs.len() {
+                    inputs.remove(pos);
+                }
+            }
+            InstKind::Nop => {}
+            _ => break, // phis (and leftover nops) lead the block
+        }
     }
 }
 
@@ -757,6 +856,107 @@ fn promote_one(
         };
         f.insert_at(mid, 0, Inst::new(kind));
     }
+}
+
+// --------------------------------------------------------------- prove_checks
+
+/// Tallies from one [`prove_checks`] run, per check kind (indexed by
+/// [`nomap_machine::CheckKind::index`]). `proved_safe + proved_fail +
+/// unknown` is the number of reachable checks analyzed; `elided` counts
+/// the proved-safe checks actually deleted (equal to `proved_safe` for the
+/// sound pass).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProveStats {
+    /// Checks proved infeasible (and elided), per kind.
+    pub proved_safe: [u32; 5],
+    /// Checks proved to fire on every execution reaching them, per kind.
+    pub proved_fail: [u32; 5],
+    /// Checks the analysis could not decide, per kind.
+    pub unknown: [u32; 5],
+    /// Checks deleted, per kind.
+    pub elided: [u32; 5],
+}
+
+impl ProveStats {
+    /// Total checks deleted.
+    pub fn total_elided(&self) -> u32 {
+        self.elided.iter().sum()
+    }
+
+    /// Total checks proved safe.
+    pub fn total_proved_safe(&self) -> u32 {
+        self.proved_safe.iter().sum()
+    }
+
+    /// Total checks proved to always fail.
+    pub fn total_proved_fail(&self) -> u32 {
+        self.proved_fail.iter().sum()
+    }
+
+    /// Total undecided checks.
+    pub fn total_unknown(&self) -> u32 {
+        self.unknown.iter().sum()
+    }
+
+    /// Total reachable checks analyzed.
+    pub fn total_checks(&self) -> u32 {
+        self.total_proved_safe() + self.total_proved_fail() + self.total_unknown()
+    }
+}
+
+/// Proof-carrying check elision: runs the abstract interpreter
+/// ([`crate::absint`]) and deletes every check it proves infeasible —
+/// standalone guards become `Nop`, value-producing checks and checked
+/// arithmetic flip to [`CheckMode::Removed`] so lowering emits the result
+/// operation without any compare/guard machinery. Works in every tier:
+/// unlike NoMap's transactional conversion this needs no HTM, so Base and
+/// DFG code benefits too. Each deletion is independently re-derived by the
+/// `absint_tv` translation validator in `nomap-verify`.
+pub fn prove_checks(f: &mut IrFunc) -> ProveStats {
+    prove_impl(f, false)
+}
+
+/// Mutation-test variant that additionally elides the first `Unknown`
+/// check — an intentionally unsound deletion the `absint_tv` translation
+/// validator must reject. Not part of any pipeline.
+#[doc(hidden)]
+pub fn prove_checks_unsound(f: &mut IrFunc) -> ProveStats {
+    prove_impl(f, true)
+}
+
+fn prove_impl(f: &mut IrFunc, elide_one_unproved: bool) -> ProveStats {
+    let result = crate::absint::analyze(f);
+    let mut stats = ProveStats::default();
+    let mut mutated = false;
+    for (&v, verdict) in &result.verdicts {
+        let Some(kind) = f.inst(v).check_kind() else { continue };
+        let ki = kind.index();
+        let elide = match verdict {
+            crate::absint::Verdict::ProvedSafe { .. } => {
+                stats.proved_safe[ki] += 1;
+                true
+            }
+            crate::absint::Verdict::ProvedFail => {
+                stats.proved_fail[ki] += 1;
+                false
+            }
+            crate::absint::Verdict::Unknown => {
+                stats.unknown[ki] += 1;
+                elide_one_unproved && !std::mem::replace(&mut mutated, true)
+            }
+        };
+        if elide {
+            let inst = f.inst_mut(v);
+            if matches!(inst.kind, InstKind::Guard { .. }) {
+                inst.kind = InstKind::Nop;
+            } else {
+                inst.set_check_mode(CheckMode::Removed);
+            }
+            inst.osr = None;
+            stats.elided[ki] += 1;
+        }
+    }
+    stats
 }
 
 // ----------------------------------------------------------------------- dce

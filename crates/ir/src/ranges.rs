@@ -1,0 +1,319 @@
+//! Abstract domains for the range/type analysis (`absint`): an interval
+//! lattice over int32 values and a type-tag lattice over boxed values.
+//!
+//! Intervals are stored with `i64` endpoints so transfer functions can
+//! represent out-of-`i32` results exactly (that is precisely what proves
+//! an overflow check can or cannot fire); every value a program actually
+//! holds in an `I32` register is inside [`Interval::FULL`].
+
+use std::fmt;
+
+use nomap_runtime::Value;
+
+/// A closed integer interval `[lo, hi]`; empty when `lo > hi`.
+///
+/// The lattice is the subset order on the represented sets: bottom is
+/// [`Interval::EMPTY`], top (for int32-typed values) is
+/// [`Interval::FULL`]. Join is the convex hull, meet the intersection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// Bottom: the empty interval (canonical representation).
+    pub const EMPTY: Interval = Interval { lo: i64::MAX, hi: i64::MIN };
+    /// Top for int32 values: every representable int32.
+    pub const FULL: Interval = Interval { lo: i32::MIN as i64, hi: i32::MAX as i64 };
+
+    /// `[lo, hi]`, normalized to [`Interval::EMPTY`] when `lo > hi`.
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        if lo > hi {
+            Interval::EMPTY
+        } else {
+            Interval { lo, hi }
+        }
+    }
+
+    /// The singleton `[x, x]`.
+    pub fn constant(x: i64) -> Interval {
+        Interval { lo: x, hi: x }
+    }
+
+    /// True for the empty interval.
+    pub fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Does the interval contain `x`?
+    pub fn contains(self, x: i64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Is every element of `self` inside `other`?
+    pub fn subset_of(self, other: Interval) -> bool {
+        self.is_empty() || (other.lo <= self.lo && self.hi <= other.hi)
+    }
+
+    /// Least upper bound: convex hull of the union.
+    pub fn join(self, other: Interval) -> Interval {
+        if self.is_empty() {
+            other
+        } else if other.is_empty() {
+            self
+        } else {
+            Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        }
+    }
+
+    /// Greatest lower bound: intersection.
+    pub fn meet(self, other: Interval) -> Interval {
+        Interval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Standard interval widening against [`Interval::FULL`]: a bound that
+    /// grew between `self` (previous iterate) and `next` jumps straight to
+    /// the int32 extreme, so ascending chains stabilize in at most two
+    /// steps per bound.
+    pub fn widen(self, next: Interval) -> Interval {
+        if self.is_empty() {
+            return next;
+        }
+        if next.is_empty() {
+            return self;
+        }
+        Interval {
+            lo: if next.lo < self.lo { Interval::FULL.lo } else { self.lo },
+            hi: if next.hi > self.hi { Interval::FULL.hi } else { self.hi },
+        }
+    }
+
+    /// Narrowing: recover precision after widening by accepting the
+    /// recomputed bound wherever the widened one sits at an int32 extreme.
+    pub fn narrow(self, next: Interval) -> Interval {
+        if self.is_empty() || next.is_empty() {
+            return self;
+        }
+        Interval::new(
+            if self.lo == Interval::FULL.lo { next.lo } else { self.lo },
+            if self.hi == Interval::FULL.hi { next.hi } else { self.hi },
+        )
+    }
+
+    // ---- transfer functions (exact over i64; callers clamp results of
+    // ---- *checked* ops back to FULL once the check is known to pass) ----
+    // These are abstract transfers over possibly-empty lattice elements,
+    // not ring operations, so they stay inherent methods rather than
+    // `std::ops` impls.
+
+    /// `self + other`, exact.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval { lo: self.lo + other.lo, hi: self.hi + other.hi }
+    }
+
+    /// `self - other`, exact.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval { lo: self.lo - other.hi, hi: self.hi - other.lo }
+    }
+
+    /// `self * other`, exact (corner products).
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        let corners =
+            [self.lo * other.lo, self.lo * other.hi, self.hi * other.lo, self.hi * other.hi];
+        Interval { lo: *corners.iter().min().unwrap(), hi: *corners.iter().max().unwrap() }
+    }
+
+    /// `-self`, exact.
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(self) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval { lo: -self.hi, hi: -self.lo }
+    }
+
+    /// The unsigned view of a sign-extended int32 interval, when it does
+    /// not wrap: both-nonnegative and both-negative intervals map to an
+    /// ordered `u64` range; mixed-sign intervals wrap around `2^63` and
+    /// yield `None` (callers treat that as unknown).
+    pub fn as_unsigned(self) -> Option<(u64, u64)> {
+        if self.is_empty() {
+            return None;
+        }
+        if self.lo >= 0 || self.hi < 0 {
+            Some((self.lo as u64, self.hi as u64))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "[]")
+        } else {
+            write!(f, "[{},{}]", self.lo, self.hi)
+        }
+    }
+}
+
+/// A set of NaN-box tags a boxed value may carry. Bottom is the empty
+/// set, top is [`TagSet::ANY`]; join/meet are set union/intersection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagSet(pub u8);
+
+impl TagSet {
+    /// No tag (bottom; unreachable value).
+    pub const NONE: TagSet = TagSet(0);
+    /// Boxed int32.
+    pub const INT: TagSet = TagSet(1 << 0);
+    /// Boxed double.
+    pub const DOUBLE: TagSet = TagSet(1 << 1);
+    /// Boxed boolean.
+    pub const BOOL: TagSet = TagSet(1 << 2);
+    /// Heap cell (object, array, string).
+    pub const CELL: TagSet = TagSet(1 << 3);
+    /// Everything else (undefined, null, hole).
+    pub const OTHER: TagSet = TagSet(1 << 4);
+    /// Top: any tag.
+    pub const ANY: TagSet = TagSet(0b1_1111);
+    /// Any number (int or double).
+    pub const NUMBER: TagSet = TagSet(TagSet::INT.0 | TagSet::DOUBLE.0);
+
+    /// The tag of one concrete boxed value.
+    pub fn of_value(v: Value) -> TagSet {
+        if v.is_int32() {
+            TagSet::INT
+        } else if v.is_double() {
+            TagSet::DOUBLE
+        } else if v.is_bool() {
+            TagSet::BOOL
+        } else if v.is_cell() {
+            TagSet::CELL
+        } else {
+            TagSet::OTHER
+        }
+    }
+
+    /// Set union.
+    pub fn join(self, other: TagSet) -> TagSet {
+        TagSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn meet(self, other: TagSet) -> TagSet {
+        TagSet(self.0 & other.0)
+    }
+
+    /// Subset test.
+    pub fn subset_of(self, other: TagSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// True for the empty set.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Short human-readable form for witnesses (`int|double`, `any`...).
+    pub fn describe(self) -> String {
+        if self == TagSet::ANY {
+            return "any".to_owned();
+        }
+        if self.is_none() {
+            return "none".to_owned();
+        }
+        let mut parts = Vec::new();
+        for (bit, name) in [
+            (TagSet::INT, "int"),
+            (TagSet::DOUBLE, "double"),
+            (TagSet::BOOL, "bool"),
+            (TagSet::CELL, "cell"),
+            (TagSet::OTHER, "other"),
+        ] {
+            if !self.meet(bit).is_none() {
+                parts.push(name);
+            }
+        }
+        parts.join("|")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basics() {
+        let a = Interval::new(0, 9);
+        let b = Interval::new(5, 20);
+        assert_eq!(a.join(b), Interval::new(0, 20));
+        assert_eq!(a.meet(b), Interval::new(5, 9));
+        assert!(Interval::new(3, 2).is_empty());
+        assert!(a.subset_of(Interval::FULL));
+        assert!(Interval::EMPTY.subset_of(a));
+        assert!(!Interval::FULL.subset_of(a));
+    }
+
+    #[test]
+    fn widening_jumps_to_extremes() {
+        let a = Interval::new(0, 10);
+        let grown = Interval::new(0, 11);
+        let w = a.widen(grown);
+        assert_eq!(w, Interval::new(0, i32::MAX as i64));
+        // Stable once at the extreme.
+        assert_eq!(w.widen(Interval::new(0, 1 << 20)), w);
+        // Narrowing recovers a recomputed bound only at the extreme.
+        assert_eq!(w.narrow(Interval::new(0, 11)), Interval::new(0, 11));
+        assert_eq!(Interval::new(3, 7).narrow(Interval::new(4, 6)), Interval::new(3, 7));
+    }
+
+    #[test]
+    fn transfer_functions_cover_concrete_ops() {
+        let a = Interval::new(-3, 4);
+        let b = Interval::new(2, 5);
+        for x in -3..=4i64 {
+            for y in 2..=5i64 {
+                assert!(a.add(b).contains(x + y));
+                assert!(a.sub(b).contains(x - y));
+                assert!(a.mul(b).contains(x * y));
+                assert!(a.neg().contains(-x));
+            }
+        }
+    }
+
+    #[test]
+    fn unsigned_view_handles_sign() {
+        assert_eq!(Interval::new(0, 7).as_unsigned(), Some((0, 7)));
+        let neg = Interval::new(-5, -3).as_unsigned().unwrap();
+        assert!(neg.0 <= neg.1 && neg.0 > u32::MAX as u64);
+        assert_eq!(Interval::new(-1, 1).as_unsigned(), None);
+    }
+
+    #[test]
+    fn tag_sets() {
+        assert!(TagSet::INT.subset_of(TagSet::NUMBER));
+        assert!(!TagSet::NUMBER.subset_of(TagSet::INT));
+        assert!(TagSet::INT.meet(TagSet::DOUBLE).is_none());
+        assert_eq!(TagSet::INT.join(TagSet::DOUBLE), TagSet::NUMBER);
+        assert_eq!(TagSet::NUMBER.describe(), "int|double");
+        assert_eq!(TagSet::of_value(Value::new_int32(3)), TagSet::INT);
+        assert_eq!(TagSet::of_value(Value::TRUE), TagSet::BOOL);
+    }
+}

@@ -31,6 +31,13 @@ impl IndVar {
 
 /// Finds induction variables of `l`. `preheader_pred_index` is the index of
 /// the unique entry predecessor in the header's pred list.
+///
+/// Loops whose header has multiple non-latch predecessors (several entry
+/// edges) yield **no** IndVars rather than wrong ones: with more than one
+/// entry there is no single `init`, so the affine form `init + k·step`
+/// does not exist. Multi-*latch* loops are fine as long as every latch
+/// feeds the phi the same update value; differing latch inputs likewise
+/// disqualify the phi.
 pub fn induction_vars(f: &IrFunc, l: &Loop) -> Vec<IndVar> {
     let header = &f.blocks[l.header.0 as usize];
     let mut out = Vec::new();
@@ -154,6 +161,118 @@ mod tests {
         let (f, _) = counting_loop("xor");
         let d = Dominators::compute(&f);
         let loops = find_loops(&f, &d);
+        assert!(induction_vars(&f, &loops[0]).is_empty());
+    }
+
+    /// A header with two entry edges (multiple non-latch predecessors) has
+    /// no unique `init`, so the analysis must return nothing — not a
+    /// half-right IndVar seeded from one arbitrary entry.
+    #[test]
+    fn multi_entry_header_yields_no_indvars() {
+        let mut f = IrFunc::new(FuncId(0), "c", 0, 0);
+        let side = f.new_block();
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        let init_a = f.append(f.entry, Inst::new(InstKind::ConstI32(0)));
+        let init_b = f.append(f.entry, Inst::new(InstKind::ConstI32(5)));
+        let n = f.append(f.entry, Inst::new(InstKind::ConstI32(100)));
+        let t = f.append(f.entry, Inst::new(InstKind::ConstBool(true)));
+        f.append(f.entry, Inst::new(InstKind::Branch { cond: t, then_b: side, else_b: header }));
+        f.append(side, Inst::new(InstKind::Jump { target: header }));
+        // Phi inputs: entry edge (init_a), side edge (init_b), latch edge
+        // (update), matching compute_preds order below.
+        let phi = f
+            .append(header, Inst::new(InstKind::Phi { inputs: vec![init_b, init_a], ty: Ty::I32 }));
+        let cmp = f.append(header, Inst::new(InstKind::ICmp { cond: Cond::Lt, a: phi, b: n }));
+        f.append(header, Inst::new(InstKind::Branch { cond: cmp, then_b: body, else_b: exit }));
+        let one = f.append(body, Inst::new(InstKind::ConstI32(1)));
+        let update = f.append(
+            body,
+            Inst::new(InstKind::CheckedAddI32 { a: phi, b: one, mode: CheckMode::Deopt }),
+        );
+        f.append(body, Inst::new(InstKind::Jump { target: header }));
+        if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(phi).kind {
+            inputs.push(update);
+        }
+        let boxed = f.append(exit, Inst::new(InstKind::BoxI32(phi)));
+        f.append(exit, Inst::new(InstKind::Return { v: boxed }));
+        f.compute_preds();
+        f.verify().unwrap();
+
+        let d = Dominators::compute(&f);
+        let loops = find_loops(&f, &d);
+        assert_eq!(loops.len(), 1);
+        assert!(induction_vars(&f, &loops[0]).is_empty());
+    }
+
+    /// Two latches feeding the phi the *same* update value still qualify;
+    /// two latches feeding *different* updates must not.
+    #[test]
+    fn multi_latch_agreeing_updates_ok_disagreeing_rejected() {
+        let build = |same: bool| {
+            let mut f = IrFunc::new(FuncId(0), "c", 0, 0);
+            let header = f.new_block();
+            let body_a = f.new_block();
+            let body_b = f.new_block();
+            let exit = f.new_block();
+            let init = f.append(f.entry, Inst::new(InstKind::ConstI32(0)));
+            let n = f.append(f.entry, Inst::new(InstKind::ConstI32(100)));
+            let t = f.append(f.entry, Inst::new(InstKind::ConstBool(true)));
+            f.append(f.entry, Inst::new(InstKind::Jump { target: header }));
+            let phi =
+                f.append(header, Inst::new(InstKind::Phi { inputs: vec![init], ty: Ty::I32 }));
+            let cmp = f.append(header, Inst::new(InstKind::ICmp { cond: Cond::Lt, a: phi, b: n }));
+            f.append(
+                header,
+                Inst::new(InstKind::Branch { cond: cmp, then_b: body_a, else_b: exit }),
+            );
+            let one = f.append(body_a, Inst::new(InstKind::ConstI32(1)));
+            let upd_a = f.append(
+                body_a,
+                Inst::new(InstKind::CheckedAddI32 { a: phi, b: one, mode: CheckMode::Deopt }),
+            );
+            // body_a either loops back directly or detours through body_b,
+            // which contributes its own latch edge.
+            f.append(
+                body_a,
+                Inst::new(InstKind::Branch { cond: t, then_b: header, else_b: body_b }),
+            );
+            let upd_b = if same {
+                upd_a
+            } else {
+                let two = f.append(body_b, Inst::new(InstKind::ConstI32(2)));
+                f.append(
+                    body_b,
+                    Inst::new(InstKind::CheckedAddI32 { a: phi, b: two, mode: CheckMode::Deopt }),
+                )
+            };
+            f.append(body_b, Inst::new(InstKind::Jump { target: header }));
+            // compute_preds orders header preds [entry, body_a, body_b].
+            if let InstKind::Phi { inputs, .. } = &mut f.inst_mut(phi).kind {
+                inputs.push(upd_a);
+                inputs.push(upd_b);
+            }
+            let boxed = f.append(exit, Inst::new(InstKind::BoxI32(phi)));
+            f.append(exit, Inst::new(InstKind::Return { v: boxed }));
+            f.compute_preds();
+            f.verify().unwrap();
+            f
+        };
+
+        let f = build(true);
+        let d = Dominators::compute(&f);
+        let loops = find_loops(&f, &d);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].latches.len(), 2);
+        let ivs = induction_vars(&f, &loops[0]);
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].step, 1);
+
+        let f = build(false);
+        let d = Dominators::compute(&f);
+        let loops = find_loops(&f, &d);
+        assert_eq!(loops[0].latches.len(), 2);
         assert!(induction_vars(&f, &loops[0]).is_empty());
     }
 }

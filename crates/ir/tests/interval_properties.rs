@@ -1,0 +1,172 @@
+//! Property tests for the interval lattice behind the abstract
+//! interpreter (satellite of the proof-carrying check-elision PR):
+//! join/meet are commutative and monotone, widening terminates on
+//! adversarial ascending chains, and the arithmetic transfer functions
+//! over-approximate the concrete operations. Deterministic splitmix64
+//! generation — the same harness as the verifier property tests — so any
+//! failure is replayable from the printed seed.
+
+use nomap_ir::ranges::{Interval, TagSet};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A random interval: mostly small, sometimes extreme, sometimes empty.
+    fn interval(&mut self) -> Interval {
+        match self.next() % 8 {
+            0 => Interval::EMPTY,
+            1 => Interval::FULL,
+            2 => Interval::constant(self.i32_in(i32::MIN, i32::MAX)),
+            _ => {
+                let a = self.i32_in(i32::MIN, i32::MAX);
+                let b = self.i32_in(i32::MIN, i32::MAX);
+                Interval::new(a.min(b), a.max(b))
+            }
+        }
+    }
+
+    fn i32_in(&mut self, lo: i32, hi: i32) -> i64 {
+        let span = (hi as i64 - lo as i64 + 1) as u64;
+        lo as i64 + (self.next() % span) as i64
+    }
+
+    fn point_in(&mut self, iv: Interval) -> i64 {
+        let span = (iv.hi - iv.lo + 1) as u64;
+        iv.lo + (self.next() % span) as i64
+    }
+}
+
+const TRIALS: usize = 2_000;
+
+#[test]
+fn join_and_meet_are_commutative_and_bounding() {
+    let mut rng = Rng(0xabcd_0001);
+    for trial in 0..TRIALS {
+        let seed = rng.0;
+        let a = rng.interval();
+        let b = rng.interval();
+        let ctx = format!("trial {trial} seed {seed:#x}: a={a} b={b}");
+        assert_eq!(a.join(b), b.join(a), "join not commutative ({ctx})");
+        assert_eq!(a.meet(b), b.meet(a), "meet not commutative ({ctx})");
+        assert!(a.subset_of(a.join(b)), "a not below join ({ctx})");
+        assert!(b.subset_of(a.join(b)), "b not below join ({ctx})");
+        assert!(a.meet(b).subset_of(a), "meet not below a ({ctx})");
+        assert!(a.meet(b).subset_of(b), "meet not below b ({ctx})");
+        // Idempotence and identity elements.
+        assert_eq!(a.join(a), a, "join not idempotent ({ctx})");
+        assert_eq!(a.meet(a), a, "meet not idempotent ({ctx})");
+        assert_eq!(a.join(Interval::EMPTY), a, "empty not join identity ({ctx})");
+    }
+}
+
+#[test]
+fn join_and_meet_are_monotone() {
+    let mut rng = Rng(0xabcd_0002);
+    for trial in 0..TRIALS {
+        let seed = rng.0;
+        let a = rng.interval();
+        let b = rng.interval();
+        let c = rng.interval();
+        // A grown first operand can only grow the result.
+        let a_big = a.join(rng.interval());
+        let ctx = format!("trial {trial} seed {seed:#x}: a={a} a'={a_big} b={b} c={c}");
+        assert!(a.join(b).subset_of(a_big.join(b)), "join not monotone ({ctx})");
+        assert!(a.meet(c).subset_of(a_big.meet(c)), "meet not monotone ({ctx})");
+    }
+}
+
+/// Widening terminates on adversarial chains: feed an ever-growing
+/// sequence of intervals through `widen` and require a fixpoint within a
+/// small constant number of steps (each bound can move at most once).
+#[test]
+fn widening_terminates_on_adversarial_chains() {
+    let mut rng = Rng(0xabcd_0003);
+    for trial in 0..500 {
+        let seed = rng.0;
+        let mut cur = rng.interval();
+        let mut moves = 0;
+        for _ in 0..64 {
+            // Adversary: always grow the current interval a random amount.
+            let next = cur.join(rng.interval());
+            let widened = cur.widen(next);
+            assert!(
+                next.subset_of(widened),
+                "widening lost the new iterate (trial {trial} seed {seed:#x}: \
+                 cur={cur} next={next} widened={widened})"
+            );
+            if widened != cur {
+                moves += 1;
+                cur = widened;
+            }
+        }
+        // Empty→first-value, then at most one jump per bound.
+        assert!(
+            moves <= 3,
+            "widening chain moved {moves} times (trial {trial} seed {seed:#x}, ended {cur})"
+        );
+        // Keep adversarially growing: at most two further moves remain
+        // (one per bound still short of its extreme), never an infinite
+        // ascent.
+        let mut extra = 0;
+        for _ in 0..16 {
+            let w = cur.widen(cur.join(rng.interval()));
+            if w != cur {
+                extra += 1;
+                cur = w;
+            }
+        }
+        assert!(extra <= 2, "post-chain widening moved {extra} more times (ended {cur})");
+    }
+}
+
+#[test]
+fn transfer_functions_contain_all_concrete_results() {
+    let mut rng = Rng(0xabcd_0004);
+    for trial in 0..TRIALS {
+        let seed = rng.0;
+        let a = rng.interval();
+        let b = rng.interval();
+        if a.is_empty() || b.is_empty() {
+            continue;
+        }
+        let x = rng.point_in(a);
+        let y = rng.point_in(b);
+        let ctx = format!("trial {trial} seed {seed:#x}: a={a} b={b} x={x} y={y}");
+        assert!(a.add(b).contains(x + y), "add unsound ({ctx})");
+        assert!(a.sub(b).contains(x - y), "sub unsound ({ctx})");
+        assert!(a.mul(b).contains(x * y), "mul unsound ({ctx})");
+        assert!(a.neg().contains(-x), "neg unsound ({ctx})");
+        if let Some((ulo, uhi)) = a.as_unsigned() {
+            let ux = x as u64;
+            assert!(ulo <= ux && ux <= uhi, "unsigned view unsound ({ctx})");
+        }
+        // Narrowing never recovers below the recomputed iterate.
+        let n = a.narrow(a.meet(b));
+        assert!(a.meet(b).subset_of(n), "narrow dropped below recomputation ({ctx})");
+    }
+}
+
+#[test]
+fn tag_lattice_mirrors_the_same_laws() {
+    let mut rng = Rng(0xabcd_0005);
+    for trial in 0..TRIALS {
+        let seed = rng.0;
+        let a = TagSet((rng.next() % 32) as u8);
+        let b = TagSet((rng.next() % 32) as u8);
+        let ctx = format!("trial {trial} seed {seed:#x}: a={:#b} b={:#b}", a.0, b.0);
+        assert_eq!(a.join(b), b.join(a), "tag join not commutative ({ctx})");
+        assert_eq!(a.meet(b), b.meet(a), "tag meet not commutative ({ctx})");
+        assert!(a.subset_of(a.join(b)), "tag a not below join ({ctx})");
+        assert!(a.meet(b).subset_of(a), "tag meet not below a ({ctx})");
+        assert!(a.subset_of(TagSet::ANY), "tag top not top ({ctx})");
+        assert!(TagSet::NONE.subset_of(a), "tag bottom not bottom ({ctx})");
+    }
+}

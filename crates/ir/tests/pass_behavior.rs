@@ -286,6 +286,44 @@ fn constfold_eliminates_box_unbox_pairs() {
 }
 
 #[test]
+fn constfold_folds_constant_compares_and_prunes_dead_branches() {
+    // entry: cmp = 3 < 5 (constant); branch cmp → taken / dead
+    // dead:  phi(x from entry edge); return phi
+    // taken: return undefined
+    let mut f = IrFunc::new(FuncId(0), "t", 0, 1);
+    let taken = f.new_block();
+    let dead = f.new_block();
+    let a = f.append(f.entry, Inst::new(InstKind::ConstI32(3)));
+    let b = f.append(f.entry, Inst::new(InstKind::ConstI32(5)));
+    let x = f.append(f.entry, Inst::new(InstKind::ConstI32(7)));
+    let cmp = f.append(f.entry, Inst::new(InstKind::ICmp { cond: Cond::Lt, a, b }));
+    f.append(f.entry, Inst::new(InstKind::Branch { cond: cmp, then_b: taken, else_b: dead }));
+    let u = f.append(taken, Inst::new(InstKind::Const(Value::UNDEFINED)));
+    f.append(taken, Inst::new(InstKind::Return { v: u }));
+    let phi = f.append(dead, Inst::new(InstKind::Phi { inputs: vec![x], ty: Ty::I32 }));
+    let boxed = f.append(dead, Inst::new(InstKind::BoxI32(phi)));
+    f.append(dead, Inst::new(InstKind::Return { v: boxed }));
+    f.compute_preds();
+    assert_eq!(f.verify(), Ok(()));
+
+    constfold(&mut f);
+
+    // The comparison folded to a constant condition...
+    assert!(matches!(f.inst(cmp).kind, InstKind::ConstBool(true)));
+    // ...the branch became a jump to the taken side...
+    let term = f.blocks[f.entry.0 as usize].insts.last().copied().unwrap();
+    assert!(matches!(f.inst(term).kind, InstKind::Jump { target } if target == taken));
+    // ...and the unreachable block was fully detached: no predecessors, no
+    // instructions, its contents dead — so branch-sensitive analyses and
+    // the strict SSA verifier never see facts from the pruned path.
+    assert!(f.blocks[dead.0 as usize].preds.is_empty());
+    assert!(f.blocks[dead.0 as usize].insts.is_empty());
+    assert!(matches!(f.inst(phi).kind, InstKind::Nop));
+    assert!(matches!(f.inst(boxed).kind, InstKind::Nop));
+    assert_eq!(f.verify(), Ok(()));
+}
+
+#[test]
 fn untag_phis_removes_loop_carried_type_checks() {
     // Boxed phi over (Const int32, BoxI32(add)) with a CheckInt32 consumer.
     let mut f = IrFunc::new(FuncId(0), "t", 0, 1);

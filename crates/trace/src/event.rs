@@ -13,8 +13,9 @@ use crate::json::{obj, JsonValue};
 /// JSONL schema version stamped on every serialized event. Bump when event
 /// fields change incompatibly. (v2 added the `verify` event; v3 added the
 /// `cycle-region` attribution event and the stream header line written by
-/// [`crate::JsonlSink`].)
-pub const SCHEMA_VERSION: u32 = 3;
+/// [`crate::JsonlSink`]; v4 added the `check-verdict` event carrying the
+/// proof-carrying check-elision tallies of one compilation.)
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// One VM lifecycle event.
 ///
@@ -159,6 +160,27 @@ pub enum TraceEvent {
         /// Overflow checks removed via SOF (§IV-C2).
         overflow_removed: usize,
     },
+    /// Static check-elision verdicts for one compilation (schema v4): what
+    /// the abstract interpreter decided about every reachable check in the
+    /// function, and how many checks it deleted. The static half of the
+    /// check census (`nomap prove --census` joins these against dynamic
+    /// `check:<kind>` cycle tallies).
+    CheckVerdict {
+        /// Function compiled.
+        func: u32,
+        /// Function name.
+        name: String,
+        /// Tier the verdicts apply to.
+        tier: Tier,
+        /// Checks proved infeasible (and elided).
+        proved_safe: u32,
+        /// Checks proved to fire on every execution reaching them.
+        proved_fail: u32,
+        /// Checks the analysis could not decide.
+        unknown: u32,
+        /// Checks deleted from the compiled code.
+        elided: u32,
+    },
 }
 
 /// Names a tier for rendering/serialization.
@@ -208,6 +230,7 @@ impl TraceEvent {
             TraceEvent::Verify { .. } => "verify",
             TraceEvent::CycleRegion { .. } => "cycle-region",
             TraceEvent::PassOutcome { .. } => "pass-outcome",
+            TraceEvent::CheckVerdict { .. } => "check-verdict",
         }
     }
 
@@ -308,6 +331,23 @@ impl TraceEvent {
                 m.push(("bounds_combined", (*bounds_combined).into()));
                 m.push(("overflow_removed", (*overflow_removed).into()));
             }
+            TraceEvent::CheckVerdict {
+                func,
+                name,
+                tier,
+                proved_safe,
+                proved_fail,
+                unknown,
+                elided,
+            } => {
+                m.push(("func", (*func).into()));
+                m.push(("name", name.as_str().into()));
+                m.push(("tier", tier_name(*tier).into()));
+                m.push(("proved_safe", (*proved_safe).into()));
+                m.push(("proved_fail", (*proved_fail).into()));
+                m.push(("unknown", (*unknown).into()));
+                m.push(("elided", (*elided).into()));
+            }
         }
         obj(m)
     }
@@ -374,6 +414,18 @@ impl TraceEvent {
             } => format!(
                 "passes       {name}: {transactions_placed} txns, {checks_to_aborts} checks→aborts, {bounds_combined} bounds combined, {overflow_removed} overflow removed"
             ),
+            TraceEvent::CheckVerdict {
+                name,
+                tier,
+                proved_safe,
+                proved_fail,
+                unknown,
+                elided,
+                ..
+            } => format!(
+                "prove        {name} [{}]: {proved_safe} safe, {proved_fail} fail, {unknown} unknown, {elided} elided",
+                tier_name(*tier)
+            ),
         };
         format!("[{seq:>5}] @{cycles:<12} {body}")
     }
@@ -438,6 +490,28 @@ mod tests {
         assert!(s.contains("\"region_cycles\":123456"));
         let line = ev.render(0, 999);
         assert!(line.contains("smash") && line.contains("ftl/txn-body") && line.contains("123456"));
+    }
+
+    #[test]
+    fn check_verdict_serializes_and_renders() {
+        let ev = TraceEvent::CheckVerdict {
+            func: 5,
+            name: "sum".into(),
+            tier: Tier::Dfg,
+            proved_safe: 2,
+            proved_fail: 0,
+            unknown: 3,
+            elided: 2,
+        };
+        assert_eq!(ev.kind(), "check-verdict");
+        let s = ev.to_json(1, 42).render();
+        assert!(s.contains("\"ev\":\"check-verdict\""));
+        assert!(s.contains("\"tier\":\"dfg\""));
+        assert!(s.contains("\"proved_safe\":2"));
+        assert!(s.contains("\"unknown\":3"));
+        assert!(s.contains("\"elided\":2"));
+        let line = ev.render(1, 42);
+        assert!(line.contains("sum [dfg]") && line.contains("2 elided"));
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Translation validation for proof-carrying check elision.
+//!
+//! `prove_checks` runs the range/type abstract interpreter
+//! (`nomap_ir::absint`) and deletes every check it proves infeasible:
+//! standalone `Guard`s become `Nop`, value-producing checks flip to
+//! [`CheckMode::Removed`]. This validator refuses to trust the pass — it
+//! re-runs the analysis from scratch on the *input* IR, recomputes the
+//! deleted set by direct arena comparison (passes edit instructions in
+//! place, so `ValueId`s are stable), and demands an independent
+//! `ProvedSafe` witness for every deletion. A deletion whose witness does
+//! not re-derive is an [`DiagCode::ElisionUnproved`] error, which the
+//! audited compile pipelines treat exactly like an SSA verifier failure.
+
+use nomap_ir::absint::{analyze, Verdict};
+use nomap_ir::{BlockId, CheckMode, InstKind, IrFunc, ValueId};
+
+use crate::diag::{DiagCode, Diagnostic};
+
+/// Validates one application of `prove_checks`: `before` is the IR
+/// immediately prior to the pass, `after` immediately after. Returns one
+/// diagnostic per elided check whose safety proof cannot be re-derived.
+pub fn validate_check_elision(before: &IrFunc, after: &IrFunc) -> Vec<Diagnostic> {
+    let n = before.insts.len().min(after.insts.len()) as u32;
+    let deleted: Vec<ValueId> = (0..n)
+        .map(ValueId)
+        .filter(|&v| {
+            let b = before.inst(v);
+            if b.check_kind().is_none() {
+                // Only Deopt/Abort-mode checks can have been elided here.
+                return false;
+            }
+            let a = after.inst(v);
+            if matches!(b.kind, InstKind::Guard { .. }) {
+                matches!(a.kind, InstKind::Nop)
+            } else {
+                a.check_mode() == Some(CheckMode::Removed)
+            }
+        })
+        .collect();
+    if deleted.is_empty() {
+        return Vec::new();
+    }
+
+    let facts = analyze(before);
+    let mut diags = Vec::new();
+    for v in deleted {
+        match facts.verdicts.get(&v) {
+            Some(Verdict::ProvedSafe { .. }) => {}
+            found => {
+                let found = match found {
+                    None => "no verdict (check unreachable or unanalyzed)",
+                    Some(Verdict::ProvedFail) => "ProvedFail",
+                    Some(Verdict::Unknown) => "Unknown",
+                    Some(Verdict::ProvedSafe { .. }) => unreachable!(),
+                };
+                diags.push(Diagnostic::new(
+                    DiagCode::ElisionUnproved,
+                    &before.name,
+                    block_of(before, v),
+                    Some(v),
+                    format!(
+                        "elided check {v} has no re-derivable ProvedSafe witness \
+                         (independent analysis says: {found})"
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// Census-facing companion: warnings for every reachable check the
+/// analysis proves *must* fail. Such code is legal — the check will
+/// correctly bail — but the speculation it protects is statically dead,
+/// which is worth surfacing through `nomap lint` and the check census.
+pub fn check_fail_warnings(f: &IrFunc) -> Vec<Diagnostic> {
+    let facts = analyze(f);
+    facts
+        .verdicts
+        .iter()
+        .filter(|(_, verdict)| **verdict == Verdict::ProvedFail)
+        .map(|(&v, _)| {
+            Diagnostic::new(
+                DiagCode::CheckProvedFail,
+                &f.name,
+                block_of(f, v),
+                Some(v),
+                format!(
+                    "check {v} fires on every execution that reaches it; \
+                     the speculative fast path behind it is statically dead"
+                ),
+            )
+        })
+        .collect()
+}
+
+fn block_of(f: &IrFunc, v: ValueId) -> Option<BlockId> {
+    f.blocks.iter().enumerate().find(|(_, b)| b.insts.contains(&v)).map(|(i, _)| BlockId(i as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use nomap_bytecode::FuncId;
+    use nomap_ir::node::{Inst, Ty};
+    use nomap_ir::passes::{prove_checks, prove_checks_unsound};
+    use nomap_machine::{CheckKind, Cond};
+    use nomap_runtime::Value;
+
+    use super::*;
+
+    /// `for (i = 0; i < n; i++)` with an opaque `n`: the counter increment
+    /// is provably overflow-free, the accumulator `s += i` is not.
+    fn counting_loop() -> (IrFunc, ValueId, ValueId) {
+        use InstKind::*;
+        let mut f = IrFunc::new(FuncId(0), "t", 1, 4);
+        let entry = f.entry;
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+
+        let nb = f.append(entry, Inst::new(Param(0)));
+        let n = f.append(entry, Inst::new(CheckInt32 { v: nb, mode: CheckMode::Deopt }));
+        let zero = f.append(entry, Inst::new(ConstI32(0)));
+        let one = f.append(entry, Inst::new(ConstI32(1)));
+        f.append(entry, Inst::new(Jump { target: header }));
+
+        let i_phi = f.append(header, Inst::new(Phi { inputs: vec![zero], ty: Ty::I32 }));
+        let s_phi = f.append(header, Inst::new(Phi { inputs: vec![zero], ty: Ty::I32 }));
+        let cmp = f.append(header, Inst::new(ICmp { cond: Cond::Lt, a: i_phi, b: n }));
+        f.append(header, Inst::new(Branch { cond: cmp, then_b: body, else_b: exit }));
+
+        let sum =
+            f.append(body, Inst::new(CheckedAddI32 { a: s_phi, b: i_phi, mode: CheckMode::Deopt }));
+        let inc =
+            f.append(body, Inst::new(CheckedAddI32 { a: i_phi, b: one, mode: CheckMode::Deopt }));
+        f.append(body, Inst::new(Jump { target: header }));
+        if let Phi { inputs, .. } = &mut f.inst_mut(i_phi).kind {
+            inputs.push(inc);
+        }
+        if let Phi { inputs, .. } = &mut f.inst_mut(s_phi).kind {
+            inputs.push(sum);
+        }
+
+        let rb = f.append(exit, Inst::new(BoxI32(s_phi)));
+        f.append(exit, Inst::new(Return { v: rb }));
+        f.compute_preds();
+        f.verify().unwrap();
+        (f, inc, sum)
+    }
+
+    #[test]
+    fn sound_elisions_validate_cleanly() {
+        let (before, inc, sum) = counting_loop();
+        let mut after = before.clone();
+        let stats = prove_checks(&mut after);
+        assert!(stats.total_elided() >= 1, "stats {stats:?}");
+        assert_eq!(after.inst(inc).check_mode(), Some(CheckMode::Removed));
+        // The unbounded accumulator must keep its check.
+        assert_eq!(after.inst(sum).check_mode(), Some(CheckMode::Deopt));
+        assert!(validate_check_elision(&before, &after).is_empty());
+    }
+
+    #[test]
+    fn mutation_unsound_elision_is_caught() {
+        let (before, _, _) = counting_loop();
+        let mut after = before.clone();
+        let stats = prove_checks_unsound(&mut after);
+        assert!(stats.total_elided() > stats.total_proved_safe(), "stats {stats:?}");
+        // The unsound pass deleted some check without a ProvedSafe verdict;
+        // the validator must reject exactly that deletion.
+        let diags = validate_check_elision(&before, &after);
+        assert_eq!(diags.len(), 1, "diags {diags:?}");
+        assert_eq!(diags[0].code, DiagCode::ElisionUnproved);
+        assert!(crate::diag::has_errors(&diags));
+    }
+
+    #[test]
+    fn hand_deleted_guard_is_caught_too() {
+        use InstKind::*;
+        // A bounds-style guard on an opaque index: never provable.
+        let mut f = IrFunc::new(FuncId(0), "t", 1, 2);
+        let p = f.append(f.entry, Inst::new(Param(0)));
+        let idx = f.append(f.entry, Inst::new(CheckInt32 { v: p, mode: CheckMode::Deopt }));
+        let len = f.append(f.entry, Inst::new(ConstI32(8)));
+        let oob = f.append(f.entry, Inst::new(ICmp { cond: Cond::AboveEq, a: idx, b: len }));
+        let g = f.append(
+            f.entry,
+            Inst::new(Guard { kind: CheckKind::Bounds, cond: oob, mode: CheckMode::Deopt }),
+        );
+        let u = f.append(f.entry, Inst::new(Const(Value::UNDEFINED)));
+        f.append(f.entry, Inst::new(Return { v: u }));
+        f.compute_preds();
+        let before = f.clone();
+        f.inst_mut(g).kind = Nop;
+        let diags = validate_check_elision(&before, &f);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::ElisionUnproved);
+    }
+
+    #[test]
+    fn proved_fail_checks_warn() {
+        use InstKind::*;
+        // Inside `if (x < 10)`, the guard condition `x < 100` is provably
+        // true: the guard always fires.
+        let mut f = IrFunc::new(FuncId(0), "t", 1, 2);
+        let then_b = f.new_block();
+        let exit = f.new_block();
+        let p = f.append(f.entry, Inst::new(Param(0)));
+        let x = f.append(f.entry, Inst::new(CheckInt32 { v: p, mode: CheckMode::Deopt }));
+        let ten = f.append(f.entry, Inst::new(ConstI32(10)));
+        let hundred = f.append(f.entry, Inst::new(ConstI32(100)));
+        let cmp = f.append(f.entry, Inst::new(ICmp { cond: Cond::Lt, a: x, b: ten }));
+        f.append(f.entry, Inst::new(Branch { cond: cmp, then_b, else_b: exit }));
+        let lt100 = f.append(then_b, Inst::new(ICmp { cond: Cond::Lt, a: x, b: hundred }));
+        let g = f.append(
+            then_b,
+            Inst::new(Guard { kind: CheckKind::Other, cond: lt100, mode: CheckMode::Deopt }),
+        );
+        f.append(then_b, Inst::new(Jump { target: exit }));
+        let u = f.append(exit, Inst::new(Const(Value::UNDEFINED)));
+        f.append(exit, Inst::new(Return { v: u }));
+        f.compute_preds();
+        f.verify().unwrap();
+
+        let warns = check_fail_warnings(&f);
+        assert_eq!(warns.len(), 1, "warns {warns:?}");
+        assert_eq!(warns[0].code, DiagCode::CheckProvedFail);
+        assert_eq!(warns[0].value, Some(g));
+        assert!(!warns[0].is_error());
+    }
+}

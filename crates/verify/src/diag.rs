@@ -80,6 +80,19 @@ pub enum DiagCode {
     /// The static lower bound on distinct written lines exceeds what the
     /// HTM can buffer: the transaction is guaranteed to capacity-abort.
     CapacityOverflowPredicted,
+
+    // ---- check-elision translation validation ------------------------------
+    /// `prove_checks` elided a check whose `ProvedSafe` witness the
+    /// validator cannot independently re-derive on the input IR.
+    ElisionUnproved,
+    /// The range/type analysis proved a reachable check *must* fail: the
+    /// code is legal (the check will correctly bail) but the speculation
+    /// it protects is statically dead.
+    CheckProvedFail,
+    /// Census finding: a check never observed failing dynamically that the
+    /// static analysis still cannot prove safe — candidate for a stronger
+    /// abstract domain.
+    CheckQuietUnproved,
 }
 
 impl DiagCode {
@@ -110,13 +123,18 @@ impl DiagCode {
             BoundsNoCompensation => "bounds-no-compensation",
             BoundsNoLoop => "bounds-no-loop",
             CapacityOverflowPredicted => "capacity-overflow-predicted",
+            ElisionUnproved => "elision-unproved",
+            CheckProvedFail => "check-proved-fail",
+            CheckQuietUnproved => "check-quiet-unproved",
         }
     }
 
     /// Severity of this code.
     pub fn severity(&self) -> Severity {
         match self {
-            DiagCode::CapacityOverflowPredicted => Severity::Warning,
+            DiagCode::CapacityOverflowPredicted
+            | DiagCode::CheckProvedFail
+            | DiagCode::CheckQuietUnproved => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -224,6 +242,9 @@ mod tests {
             DiagCode::BoundsNoCompensation,
             DiagCode::BoundsNoLoop,
             DiagCode::CapacityOverflowPredicted,
+            DiagCode::ElisionUnproved,
+            DiagCode::CheckProvedFail,
+            DiagCode::CheckQuietUnproved,
         ];
         let mut seen = std::collections::HashSet::new();
         for c in all {

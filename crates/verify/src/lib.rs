@@ -5,7 +5,7 @@
 //! into one extreme-index check (§IV-C1), overflow checks dissolve into
 //! the sticky overflow flag (§IV-C2). Every one of those deletions is a
 //! soundness bet. This crate turns the bets into machine-checked
-//! invariants, in four layers:
+//! invariants, in five layers:
 //!
 //! 1. [`ssa::verify_ssa`] — strict dominance-based SSA/CFG verification,
 //!    run between every optimization pass under the pass sanitizer;
@@ -13,19 +13,25 @@
 //!    SOF update executes under an `XBegin` and unwinds through an `XEnd`;
 //! 3. [`bounds_tv::validate_bounds_combining`] — translation validation
 //!    re-proving each deleted bounds check from the `scev` facts;
-//! 4. [`footprint::estimate_footprint`] — a static write-footprint lower
+//! 4. [`absint_tv::validate_check_elision`] — translation validation for
+//!    proof-carrying check elision, re-deriving every `ProvedSafe` witness
+//!    of the `prove_checks` pass with an independent abstract-interpreter
+//!    run;
+//! 5. [`footprint::estimate_footprint`] — a static write-footprint lower
 //!    bound that predicts guaranteed HTM capacity aborts and seeds the
 //!    §V-C transaction-scope ladder.
 //!
 //! All layers speak [`diag::Diagnostic`], the structured currency of the
 //! `nomap lint` CLI, trace events, and CI.
 
+pub mod absint_tv;
 pub mod bounds_tv;
 pub mod diag;
 pub mod footprint;
 pub mod ssa;
 pub mod txn;
 
+pub use absint_tv::{check_fail_warnings, validate_check_elision};
 pub use bounds_tv::validate_bounds_combining;
 pub use diag::{has_errors, DiagCode, Diagnostic, Severity};
 pub use footprint::{estimate_footprint, FootprintEstimate, LoopFootprint, ScopeAdvice};

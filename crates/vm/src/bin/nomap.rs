@@ -5,7 +5,8 @@
 //! nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]
 //! nomap profile <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--top N] [--json]
 //! nomap bench-diff <old> <new> [--threshold PCT]
-//! nomap lint <file.js> [--arch <name>] [--warmup N] [--json]
+//! nomap lint <file.js> [--arch <name>] [--warmup N] [--json] [--deny-warnings]
+//! nomap prove <file.js> [--arch <name>] [--warmup N] [--census] [--json]
 //! nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]
 //! nomap archs
 //! ```
@@ -18,7 +19,10 @@
 //! tables (every simulated cycle charged to a function × tier × region
 //! scope). `bench-diff` compares two `BENCH_*.json` cycle-count files (or
 //! two directories of them) and exits nonzero on regressions — the CI perf
-//! gate.
+//! gate. `prove` runs the proof-carrying check-elision census: a profiled
+//! run joins the dynamic check tallies against the static range/type
+//! verdicts and exits nonzero when a statically proved-to-fail check was
+//! actually reached.
 
 use std::process::ExitCode;
 
@@ -36,6 +40,7 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..]),
         Some("bench-diff") => cmd_bench_diff(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
+        Some("prove") => cmd_prove(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("archs") => {
             for a in Architecture::ALL {
@@ -45,7 +50,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage:\n  nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]\n  nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]\n  nomap profile <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--top N] [--json]\n  nomap bench-diff <old> <new> [--threshold PCT]\n  nomap lint <file.js> [--arch <name>] [--warmup N] [--json]\n  nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]\n  nomap archs"
+                "usage:\n  nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]\n  nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]\n  nomap profile <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--top N] [--json]\n  nomap bench-diff <old> <new> [--threshold PCT]\n  nomap lint <file.js> [--arch <name>] [--warmup N] [--json] [--deny-warnings]\n  nomap prove <file.js> [--arch <name>] [--warmup N] [--census] [--json]\n  nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]\n  nomap archs"
             );
             ExitCode::from(2)
         }
@@ -384,9 +389,68 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             arch.name()
         );
     }
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    if !report.clean() || (deny_warnings && !report.diagnostics.is_empty()) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_prove(args: &[String]) -> ExitCode {
+    let file = match args.first() {
+        Some(f) => f,
+        None => {
+            eprintln!("error: missing script path");
+            return ExitCode::from(2);
+        }
+    };
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let arch = match flag_value(args, "--arch") {
+        Some(s) => match parse_arch(s) {
+            Some(a) => a,
+            None => {
+                eprintln!("error: unknown architecture `{s}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => Architecture::NoMap,
+    };
+    let warmup: u32 = flag_value(args, "--warmup").and_then(|s| s.parse().ok()).unwrap_or(150);
+    let as_json = args.iter().any(|a| a == "--json");
+    let census = args.iter().any(|a| a == "--census");
+    let report = match nomap_vm::prove_source(&src, arch, warmup) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if as_json {
+        println!("{}", report.to_json(arch).render());
+    } else {
+        if census {
+            println!("--- check census ({}) ---", arch.name());
+            print!("{}", report.render_census());
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+        }
+        println!("{}", report.summary(arch));
+    }
     if report.clean() {
         ExitCode::SUCCESS
     } else {
+        eprintln!(
+            "error: {} reachable check group(s) statically proved to fail",
+            report.reachable_proved_fail()
+        );
         ExitCode::FAILURE
     }
 }

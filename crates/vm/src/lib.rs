@@ -34,6 +34,7 @@ mod exec;
 mod interp;
 mod lint;
 mod profiler;
+mod prove;
 mod tiering;
 mod vm;
 
@@ -46,7 +47,8 @@ pub use nomap_machine::{
 };
 pub use nomap_profile::{bench_diff, BenchRows, HotSpotReport, ProfileData};
 pub use nomap_runtime::Value;
-pub use nomap_trace::{JsonlSink, Metrics, Recorded, TraceEvent, Tracer};
+pub use nomap_trace::{obj, JsonValue, JsonlSink, Metrics, Recorded, TraceEvent, Tracer};
 pub use nomap_verify::{DiagCode, Diagnostic, Severity};
+pub use prove::{prove_source, CensusClass, CensusRow, ProveReport};
 pub use tiering::{TierLimit, TierThresholds};
 pub use vm::{Vm, VmConfig};

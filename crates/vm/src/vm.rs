@@ -4,7 +4,7 @@ use std::rc::Rc;
 
 use nomap_bytecode::{compile_program, FuncId, Function, Program};
 use nomap_core::{
-    compile_dfg, compile_dfg_audited, compile_ftl_audited, compile_ftl_with_report,
+    compile_dfg_audited, compile_dfg_with_report, compile_ftl_audited, compile_ftl_with_report,
     compile_txn_callee, compile_txn_callee_audited, next_scope, Architecture, AuditOptions,
     FtlAudit, TxnScope,
 };
@@ -581,7 +581,7 @@ impl Vm {
             self.code[id.0 as usize].baseline = Some(Rc::new(c));
         }
         if limit.allows(Tier::Dfg) && hot >= th.dfg && self.code[id.0 as usize].dfg.is_none() {
-            let c = if self.config.sanitize {
+            let (c, report) = if self.config.sanitize {
                 let mut audit =
                     compile_dfg_audited(&func, &mut self.rt, self.config.audit_options())
                         .map_err(VmError::from)?;
@@ -589,12 +589,13 @@ impl Vm {
                 let Some(code) = audit.code.take() else {
                     return Err(verifier_error(&func.name, &audit).into());
                 };
-                code
+                (code, audit.report)
             } else {
-                compile_dfg(&func, &mut self.rt).map_err(VmError::from)?
+                compile_dfg_with_report(&func, &mut self.rt).map_err(VmError::from)?
             };
             self.stats.dfg_compiles += 1;
             self.emit_tier_up(id, Tier::Dfg, c.code.len(), None, false);
+            self.emit_check_verdict(id, &func.name, Tier::Dfg, report.prove);
             self.code[id.0 as usize].dfg = Some(Rc::new(c));
         }
         if limit.allows(Tier::Ftl) && hot >= th.ftl && self.code[id.0 as usize].ftl.is_none() {
@@ -638,6 +639,7 @@ impl Vm {
                 let cycles = self.stats.total_cycles();
                 self.tracer.emit(cycles, move || ev);
             }
+            self.emit_check_verdict(id, &func.name, Tier::Ftl, report.prove);
             self.code[id.0 as usize].ftl = Some(Rc::new(c));
             self.code[id.0 as usize].check_aborts = 0;
         }
@@ -670,6 +672,32 @@ impl Vm {
             self.code[id.0 as usize].ftl_callee = Some(Rc::new(c));
         }
         Ok(())
+    }
+
+    /// Emits a [`TraceEvent::CheckVerdict`] with one compilation's static
+    /// check-elision tallies (skipped when the function had no checks to
+    /// analyze, so interpreter-only runs stay event-free).
+    fn emit_check_verdict(
+        &mut self,
+        id: FuncId,
+        name: &str,
+        tier: Tier,
+        prove: nomap_ir::ProveStats,
+    ) {
+        if !self.tracer.is_enabled() || prove.total_checks() == 0 {
+            return;
+        }
+        let ev = TraceEvent::CheckVerdict {
+            func: id.0,
+            name: name.to_owned(),
+            tier,
+            proved_safe: prove.total_proved_safe(),
+            proved_fail: prove.total_proved_fail(),
+            unknown: prove.total_unknown(),
+            elided: prove.total_elided(),
+        };
+        let cycles = self.stats.total_cycles();
+        self.tracer.emit(cycles, move || ev);
     }
 
     /// Emits a [`TraceEvent::Verify`] for one audited compilation.

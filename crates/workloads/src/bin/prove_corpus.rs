@@ -1,0 +1,85 @@
+//! CI helper: run the proof-carrying check-elision census over every
+//! bundled workload. Prints one stable line per workload (diffed against
+//! `results/prove_corpus_<arch>.txt` in CI, so elision-count drift fails
+//! the build) and exits nonzero when any workload has a *reachable*
+//! statically proved-to-fail check.
+//!
+//! ```text
+//! prove_corpus [arch-name] [--warmup N] [--json <path>]
+//! ```
+//!
+//! `--json` additionally writes the full per-workload census (every
+//! function × check-kind row) to one JSON document — the CI artifact.
+
+use std::process::ExitCode;
+
+use nomap_vm::{obj, prove_source, Architecture, JsonValue};
+use nomap_workloads::{kraken, shootout, sunspider, Workload};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arch = match args.iter().find(|a| !a.starts_with("--") && a.parse::<u32>().is_err()) {
+        Some(s) => match Architecture::ALL.into_iter().find(|a| a.name().eq_ignore_ascii_case(s)) {
+            Some(a) => a,
+            None => {
+                eprintln!("unknown architecture `{s}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => Architecture::NoMap,
+    };
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+    };
+    let warmup: u32 = flag("--warmup").and_then(|s| s.parse().ok()).unwrap_or(40);
+    let json_path = flag("--json").map(str::to_owned);
+
+    let suites: [&[Workload]; 3] = [&sunspider(), &kraken(), &shootout()];
+    let mut elided = 0u64;
+    let mut reachable_fail = 0usize;
+    let mut with_elisions = 0usize;
+    let mut docs: Vec<JsonValue> = Vec::new();
+    for w in suites.iter().flat_map(|s| s.iter()) {
+        let report = match prove_source(w.source, arch, warmup) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: prove failed: {e}", w.id);
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "{} elided={} proved_safe={} proved_fail={} unknown={}",
+            w.id,
+            report.total_elided(),
+            report.total_proved_safe(),
+            report.total_proved_fail(),
+            report.total_unknown()
+        );
+        elided += u64::from(report.total_elided());
+        reachable_fail += report.reachable_proved_fail();
+        if report.total_elided() > 0 {
+            with_elisions += 1;
+        }
+        if json_path.is_some() {
+            docs.push(obj(vec![("workload", w.id.into()), ("census", report.to_json(arch))]));
+        }
+    }
+    println!(
+        "proved {} workloads under {}: {elided} checks elided in {with_elisions} workloads, {reachable_fail} reachable proved-fail groups",
+        suites.iter().map(|s| s.len()).sum::<usize>(),
+        arch.name()
+    );
+    if let Some(path) = &json_path {
+        let doc = obj(vec![("arch", arch.name().into()), ("workloads", JsonValue::Array(docs))]);
+        if let Err(e) = std::fs::write(path, doc.render()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("census json written to {path}");
+    }
+    if reachable_fail == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
