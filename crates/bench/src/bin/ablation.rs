@@ -6,31 +6,25 @@
 //! 2. **Tile-size sweep** — §V-C strip-mining trades commit overhead
 //!    against capacity aborts; sweep the chunk size on a large-footprint
 //!    kernel.
+//!
+//! Measurements run sharded over the `nomap-fleet` work queue (`--jobs N`
+//! / `NOMAP_JOBS`); the print loops replay the canonical order, so stdout
+//! is byte-identical for any worker count.
 
-use nomap_bench::{heading, Report};
+use nomap_bench::{fleet_from_env, heading, measure_fleet_or_exit, MeasureJob, Report};
 use nomap_vm::PassConfig;
-use nomap_vm::{Architecture, Vm, VmConfig};
-use nomap_workloads::{kraken, sunspider};
+use nomap_vm::{Architecture, TxnScope, VmConfig};
+use nomap_workloads::fleet::report_summary;
+use nomap_workloads::{kraken, sunspider, RunSpec};
 
-fn steady(config: VmConfig, src: &str) -> nomap_vm::ExecStats {
-    let mut vm = Vm::with_config(src, config).expect("compiles");
-    vm.run_main().expect("main");
-    let expect = vm.call("run", &[]).expect("first");
-    for _ in 0..250 {
-        assert_eq!(vm.call("run", &[]).expect("warm"), expect);
-    }
-    vm.reset_stats();
-    for _ in 0..3 {
-        vm.call("run", &[]).expect("measured");
-    }
-    vm.stats.clone()
+/// The long-warmup spec these ablations have always used: `run_main`,
+/// 251 warmup calls, then a 3-call measured window.
+fn steady_spec(config: VmConfig) -> RunSpec {
+    RunSpec { config, warmup: 251, measured: 3, cycle_budget: None }
 }
 
 fn main() {
     let mut report = Report::from_env("ablation");
-    heading(
-        "Ablation 1 — optimizer passes under NoMap (S13 crypto-aes, S18 cordic, K07 desaturate)",
-    );
     let picks: Vec<_> = sunspider()
         .into_iter()
         .filter(|w| w.id == "S13" || w.id == "S18")
@@ -44,17 +38,50 @@ fn main() {
         ("-untag", PassConfig { untag: false, ..PassConfig::ftl() }),
         ("none", PassConfig::dfg()),
     ];
-    println!("{:<6} {:<10} {:>12} {:>12} {:>9}", "bench", "passes", "insts", "cycles", "checks");
+    let k07 = kraken().into_iter().find(|w| w.id == "K07").unwrap();
+    let scopes = [
+        ("Nest", TxnScope::Nest),
+        ("Inner", TxnScope::Inner),
+        ("Tiled(1024)", TxnScope::InnerTiled(1024)),
+        ("Tiled(256)", TxnScope::InnerTiled(256)),
+        ("Tiled(64)", TxnScope::InnerTiled(64)),
+        ("Tiled(16)", TxnScope::InnerTiled(16)),
+    ];
+    let k05 = kraken().into_iter().find(|w| w.id == "K05").unwrap();
+
+    let fleet = fleet_from_env();
+    let mut jobs = Vec::new();
     for w in &picks {
-        let mut full = 0u64;
         for (name, passes) in variants {
             let mut cfg = VmConfig::new(Architecture::NoMap);
             cfg.ftl_passes = Some(passes);
-            let s = steady(cfg, w.source);
+            jobs.push(MeasureJob::new(w, &format!("passes:{name}"), steady_spec(cfg)));
+        }
+    }
+    for (name, scope) in scopes {
+        let mut cfg = VmConfig::new(Architecture::NoMap);
+        cfg.initial_scope = Some(scope);
+        jobs.push(MeasureJob::new(&k07, &format!("scope:{name}"), steady_spec(cfg)));
+    }
+    for (name, on) in [("NoMap (paper)", false), ("NoMap + txn callees", true)] {
+        let mut cfg = VmConfig::new(Architecture::NoMap);
+        cfg.txn_callees = on;
+        jobs.push(MeasureJob::new(&k05, name, steady_spec(cfg)));
+    }
+    let measured = measure_fleet_or_exit(&jobs, &fleet);
+
+    heading(
+        "Ablation 1 — optimizer passes under NoMap (S13 crypto-aes, S18 cordic, K07 desaturate)",
+    );
+    println!("{:<6} {:<10} {:>12} {:>12} {:>9}", "bench", "passes", "insts", "cycles", "checks");
+    for w in &picks {
+        let mut full = 0u64;
+        for (name, _) in variants {
+            let s = measured.stats(w.id, &format!("passes:{name}"));
             if name == "full" {
                 full = s.total_insts();
             }
-            report.stats(w.id, &format!("passes:{name}"), &s);
+            report.stats(w.id, &format!("passes:{name}"), s);
             report.row(vec![
                 ("section", "optimizer".into()),
                 ("bench", w.id.into()),
@@ -80,25 +107,13 @@ fn main() {
     }
 
     heading("Ablation 2 — §V-C tile-size sweep on a large-footprint kernel (K07)");
-    let k07 = kraken().into_iter().find(|w| w.id == "K07").unwrap();
     println!(
         "{:<16} {:>12} {:>12} {:>9} {:>10} {:>14}",
         "initial scope", "insts", "cycles", "commits", "cap.aborts", "avg foot KB"
     );
-    use nomap_vm::TxnScope;
-    let scopes = [
-        ("Nest", TxnScope::Nest),
-        ("Inner", TxnScope::Inner),
-        ("Tiled(1024)", TxnScope::InnerTiled(1024)),
-        ("Tiled(256)", TxnScope::InnerTiled(256)),
-        ("Tiled(64)", TxnScope::InnerTiled(64)),
-        ("Tiled(16)", TxnScope::InnerTiled(16)),
-    ];
-    for (name, scope) in scopes {
-        let mut cfg = VmConfig::new(Architecture::NoMap);
-        cfg.initial_scope = Some(scope);
-        let s = steady(cfg, k07.source);
-        report.stats(k07.id, &format!("scope:{name}"), &s);
+    for (name, _) in scopes {
+        let s = measured.stats(k07.id, &format!("scope:{name}"));
+        report.stats(k07.id, &format!("scope:{name}"), s);
         report.row(vec![
             ("section", "tile-size".into()),
             ("bench", k07.id.into()),
@@ -126,12 +141,9 @@ fn main() {
 
     heading("Ablation 3 — transaction-aware callees (extension; the paper's TMUnopt limitation)");
     println!("{:<22} {:>12} {:>12} {:>10} {:>10}", "config", "insts", "cycles", "TMUnopt", "TMOpt");
-    let k05 = kraken().into_iter().find(|w| w.id == "K05").unwrap();
-    for (name, on) in [("NoMap (paper)", false), ("NoMap + txn callees", true)] {
-        let mut cfg = VmConfig::new(Architecture::NoMap);
-        cfg.txn_callees = on;
-        let s = steady(cfg, k05.source);
-        report.stats(k05.id, name, &s);
+    for (name, _) in [("NoMap (paper)", false), ("NoMap + txn callees", true)] {
+        let s = measured.stats(k05.id, name);
+        report.stats(k05.id, name, s);
         report.row(vec![
             ("section", "txn-callees".into()),
             ("bench", k05.id.into()),
@@ -155,5 +167,6 @@ fn main() {
          of the caller's transaction, eliminating the TMUnopt category the\n\
          paper observes on K05/K06."
     );
+    report_summary(&measured.summary);
     report.finish();
 }

@@ -1,39 +1,71 @@
 //! §III-A2: frequency of invoking deoptimization SMPs. The paper runs each
 //! suite 1000 times and observes <50 deoptimizations over ~85M FTL calls;
 //! here each workload runs a configurable number of times (default 50).
+//!
+//! Measurements run sharded over the `nomap-fleet` work queue (`--jobs N`
+//! / `NOMAP_JOBS`); the print loop replays the canonical order, so stdout
+//! is byte-identical for any worker count.
 
-use nomap_bench::{heading, Report};
-use nomap_vm::{Architecture, Vm};
-use nomap_workloads::evaluation_suites;
+use nomap_bench::{fleet_from_env, heading, measure_fleet_or_exit, MeasureJob, Report};
+use nomap_vm::{Architecture, VmConfig};
+use nomap_workloads::fleet::report_summary;
+use nomap_workloads::{evaluation_suites, RunSpec};
+
+/// First free-standing numeric argument = repetition count. Flag values
+/// (`--jobs 4`) must not be mistaken for it, so flags and their values
+/// are skipped explicitly.
+fn reps_from_args() -> u32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--jobs" {
+            i += 2;
+            continue;
+        }
+        if a.starts_with("--") {
+            i += 1;
+            continue;
+        }
+        if let Ok(n) = a.parse::<u32>() {
+            return n;
+        }
+        i += 1;
+    }
+    50
+}
 
 fn main() {
-    let reps: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(50);
+    let reps = reps_from_args();
     heading(&format!("Deoptimization frequency (Base config, {reps} repetitions per benchmark)"));
     let mut report = Report::from_env("deopt_freq");
+    let fleet = fleet_from_env();
+    let spec = RunSpec {
+        config: VmConfig::new(Architecture::Base),
+        warmup: 120,
+        measured: reps,
+        cycle_budget: None,
+    };
+    let jobs: Vec<MeasureJob> =
+        evaluation_suites().iter().map(|w| MeasureJob::new(w, "Base", spec)).collect();
+    let measured = measure_fleet_or_exit(&jobs, &fleet);
+
     let mut total_deopts = 0u64;
     let mut total_runs = 0u64;
     let mut with_deopts = 0usize;
     for w in evaluation_suites() {
-        let mut vm = Vm::new(w.source, Architecture::Base).expect("compiles");
-        vm.run_main().expect("main");
-        for _ in 0..120 {
-            vm.call("run", &[]).expect("warmup");
-        }
-        vm.reset_stats();
-        for _ in 0..reps {
-            vm.call("run", &[]).expect("measured");
-        }
+        let stats = measured.stats(w.id, "Base");
         total_runs += reps as u64;
-        total_deopts += vm.stats.deopts;
-        report.stats(w.id, "Base", &vm.stats);
+        total_deopts += stats.deopts;
+        report.stats(w.id, "Base", stats);
         report.row(vec![
             ("bench", w.id.into()),
-            ("deopts", vm.stats.deopts.into()),
+            ("deopts", stats.deopts.into()),
             ("runs", (reps as u64).into()),
         ]);
-        if vm.stats.deopts > 0 {
+        if stats.deopts > 0 {
             with_deopts += 1;
-            println!("{:<6} {} deopts in {} runs", w.id, vm.stats.deopts, reps);
+            println!("{:<6} {} deopts in {} runs", w.id, stats.deopts, reps);
         }
     }
     println!(
@@ -47,5 +79,6 @@ fn main() {
         ("runs", total_runs.into()),
         ("benchmarks_with_deopts", with_deopts.into()),
     ]);
+    report_summary(&measured.summary);
     report.finish();
 }

@@ -5,10 +5,17 @@
 //! operation count; the original Python/PHP/Ruby bars are stood in for by
 //! tier-capped configurations of this VM, which span the same
 //! interpreter-to-JIT spectrum the figure illustrates.
+//!
+//! Measurements run sharded over the `nomap-fleet` work queue (`--jobs N`
+//! / `NOMAP_JOBS`); the print loop replays the canonical order, so stdout
+//! is byte-identical for any worker count.
 
-use nomap_bench::{geo_mean, heading, measure_capped, Report, STEADY_MEASURED};
-use nomap_vm::TierLimit;
-use nomap_workloads::{native::run_native, shootout};
+use nomap_bench::{
+    fleet_from_env, geo_mean, heading, measure_fleet_or_exit, MeasureJob, Report, STEADY_MEASURED,
+};
+use nomap_vm::{Architecture, TierLimit};
+use nomap_workloads::fleet::report_summary;
+use nomap_workloads::{native::run_native, shootout, RunSpec};
 
 fn main() {
     heading("Figure 1 — Shootout execution time normalized to C (log scale)");
@@ -19,6 +26,15 @@ fn main() {
         ("JS-Baseline", TierLimit::Baseline),
         ("Interpreter", TierLimit::Interpreter),
     ];
+    let fleet = fleet_from_env();
+    let mut jobs = Vec::new();
+    for w in shootout() {
+        for (name, limit) in configs {
+            jobs.push(MeasureJob::new(&w, name, RunSpec::capped(Architecture::Base, limit)));
+        }
+    }
+    let measured = measure_fleet_or_exit(&jobs, &fleet);
+
     println!(
         "{:<15} {:>7} {:>10} {:>10} {:>12} {:>12}",
         "benchmark", "C=1.0", "JS-FTL", "JS-DFG", "JS-Baseline", "Interpreter"
@@ -33,15 +49,15 @@ fn main() {
             ("native_ops", native.ops.into()),
         ]);
         let mut row = format!("{:<15} {:>7.2}", w.id, 1.0);
-        for (ci, (_, limit)) in configs.iter().enumerate() {
-            let m = measure_capped(&w, *limit).expect("workload runs");
-            let per_run = m.stats.total_cycles() as f64 / STEADY_MEASURED as f64;
+        for (ci, (name, _)) in configs.iter().enumerate() {
+            let stats = measured.stats(w.id, name);
+            let per_run = stats.total_cycles() as f64 / STEADY_MEASURED as f64;
             let ratio = per_run / c_cycles;
             ratios[ci].push(ratio);
-            report.stats(w.id, configs[ci].0, &m.stats);
+            report.stats(w.id, name, stats);
             report.row(vec![
                 ("bench", w.id.into()),
-                ("config", configs[ci].0.into()),
+                ("config", (*name).into()),
                 ("ratio_vs_c", ratio.into()),
             ]);
             row.push_str(&format!(" {:>10.2}", ratio));
@@ -59,5 +75,6 @@ fn main() {
     }
     println!("{mean_row}");
     println!("\n(ratios are simulated cycles vs native abstract ops; see EXPERIMENTS.md)");
+    report_summary(&measured.summary);
     report.finish();
 }

@@ -1,10 +1,17 @@
 //! Figures 10 and 11: execution time per configuration, normalized to
 //! Base and broken into TMTime / NonTMTime. Pass `--kraken` for Figure 11;
 //! default is Figure 10 (SunSpider).
+//!
+//! Measurements run sharded over the `nomap-fleet` work queue (`--jobs N`
+//! / `NOMAP_JOBS`); the print loop replays the canonical order, so stdout
+//! is byte-identical for any worker count.
 
-use nomap_bench::{heading, mean, measure, subset, Report};
+use nomap_bench::{
+    fleet_from_env, heading, mean, measure_fleet_or_exit, subset, MeasureJob, Report,
+};
 use nomap_vm::Architecture;
-use nomap_workloads::{evaluation_suites, Suite};
+use nomap_workloads::fleet::report_summary;
+use nomap_workloads::{evaluation_suites, RunSpec, Suite};
 
 fn main() {
     let kraken = std::env::args().any(|a| a == "--kraken");
@@ -12,21 +19,26 @@ fn main() {
     heading(&format!("Figure {fig} — normalized execution time ({suite:?}): TMTime/NonTMTime"));
     let mut report = Report::from_env(&format!("fig{fig}"));
     let all = evaluation_suites();
+    let fleet = fleet_from_env();
+    let mut jobs = Vec::new();
+    for w in subset(&all, suite, false) {
+        for arch in Architecture::ALL {
+            jobs.push(MeasureJob::new(&w, arch.name(), RunSpec::steady(arch)));
+        }
+    }
+    let measured = measure_fleet_or_exit(&jobs, &fleet);
+
     println!("{:<6} {:<10} {:>9} {:>10} {:>8}", "bench", "config", "TMTime", "NonTMTime", "total");
     let mut totals: Vec<Vec<f64>> = vec![Vec::new(); Architecture::ALL.len()];
     let mut totals_t: Vec<Vec<f64>> = vec![Vec::new(); Architecture::ALL.len()];
     for w in subset(&all, suite, false) {
-        let base = measure(&w, Architecture::Base).expect("base run");
-        let base_cycles = base.stats.total_cycles().max(1) as f64;
+        let base_cycles =
+            measured.stats(w.id, Architecture::Base.name()).total_cycles().max(1) as f64;
         for (ai, arch) in Architecture::ALL.iter().enumerate() {
-            let m = if *arch == Architecture::Base {
-                base.clone()
-            } else {
-                measure(&w, *arch).expect("arch run")
-            };
-            let tm = m.stats.cycles_tm as f64 / base_cycles;
-            let non = m.stats.cycles_non_tm as f64 / base_cycles;
-            report.stats(w.id, arch.name(), &m.stats);
+            let stats = measured.stats(w.id, arch.name());
+            let tm = stats.cycles_tm as f64 / base_cycles;
+            let non = stats.cycles_non_tm as f64 / base_cycles;
+            report.stats(w.id, arch.name(), stats);
             report.row(vec![
                 ("bench", w.id.into()),
                 ("config", arch.name().into()),
@@ -68,5 +80,6 @@ fn main() {
     } else {
         println!("\n(paper AvgS: NoMap 0.911 — an 8.9% reduction; NoMap_RTM ~1.0)");
     }
+    report_summary(&measured.summary);
     report.finish();
 }

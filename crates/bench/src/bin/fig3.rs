@@ -1,14 +1,30 @@
 //! Figure 3: SMP-guarding checks in FTL code per 100 dynamic instructions,
 //! broken into Bounds / Overflow / Type / Property / Other, for SunSpider
 //! (a) and Kraken (b).
+//!
+//! Measurements run sharded over the `nomap-fleet` work queue (`--jobs N`
+//! / `NOMAP_JOBS`); the print loop replays the canonical order, so stdout
+//! is byte-identical for any worker count.
 
-use nomap_bench::{heading, mean, measure, subset, Report};
+use nomap_bench::{
+    fleet_from_env, heading, mean, measure_fleet_or_exit, subset, MeasureJob, Report,
+};
 use nomap_vm::{Architecture, CheckKind};
-use nomap_workloads::{evaluation_suites, Suite};
+use nomap_workloads::fleet::report_summary;
+use nomap_workloads::{evaluation_suites, RunSpec, Suite};
 
 fn main() {
     let mut report = Report::from_env("fig3");
     let all = evaluation_suites();
+    let fleet = fleet_from_env();
+    let mut jobs = Vec::new();
+    for suite in [Suite::SunSpider, Suite::Kraken] {
+        for w in subset(&all, suite, false) {
+            jobs.push(MeasureJob::new(&w, "Base", RunSpec::steady(Architecture::Base)));
+        }
+    }
+    let measured = measure_fleet_or_exit(&jobs, &fleet);
+
     for (suite, label) in [(Suite::SunSpider, "(a) SunSpider"), (Suite::Kraken, "(b) Kraken")] {
         heading(&format!(
             "Figure 3{label} — FTL SMP-guarding checks per 100 dynamic instructions (Base)"
@@ -22,10 +38,10 @@ fn main() {
         let mut per_kind_t: Vec<Vec<f64>> = vec![Vec::new(); 5];
         let mut totals_t = Vec::new();
         for w in subset(&all, suite, false) {
-            let m = measure(&w, Architecture::Base).expect("run");
-            let row: Vec<f64> = CheckKind::ALL.iter().map(|&k| m.stats.checks_per_100(k)).collect();
+            let stats = measured.stats(w.id, "Base");
+            let row: Vec<f64> = CheckKind::ALL.iter().map(|&k| stats.checks_per_100(k)).collect();
             let total: f64 = row.iter().sum();
-            report.stats(w.id, "Base", &m.stats);
+            report.stats(w.id, "Base", stats);
             report.row(vec![
                 ("suite", format!("{suite:?}").into()),
                 ("bench", w.id.into()),
@@ -97,5 +113,6 @@ fn main() {
         }
     }
     println!("\n(paper AvgT: 8.1 checks/100 in SunSpider, 8.5 in Kraken — one check every ~12 instructions)");
+    report_summary(&measured.summary);
     report.finish();
 }

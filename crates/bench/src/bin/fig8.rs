@@ -1,10 +1,17 @@
 //! Figures 8 and 9: dynamic instruction counts per configuration,
 //! normalized to Base and broken into NoFTL / NoTM / TMUnopt / TMOpt.
 //! Pass `--kraken` for Figure 9; default is Figure 8 (SunSpider).
+//!
+//! Measurements run sharded over the `nomap-fleet` work queue (`--jobs N`
+//! / `NOMAP_JOBS`); the print loop replays the canonical order, so stdout
+//! is byte-identical for any worker count.
 
-use nomap_bench::{heading, mean, measure, subset, Report};
+use nomap_bench::{
+    fleet_from_env, heading, mean, measure_fleet_or_exit, subset, MeasureJob, Report,
+};
 use nomap_vm::{Architecture, InstCategory};
-use nomap_workloads::{evaluation_suites, Suite};
+use nomap_workloads::fleet::report_summary;
+use nomap_workloads::{evaluation_suites, RunSpec, Suite};
 
 fn main() {
     let kraken = std::env::args().any(|a| a == "--kraken");
@@ -18,6 +25,15 @@ fn run(suite: Suite, fig: &str) {
     ));
     let mut report = Report::from_env(&format!("fig{fig}"));
     let all = evaluation_suites();
+    let fleet = fleet_from_env();
+    let mut jobs = Vec::new();
+    for w in subset(&all, suite, false) {
+        for arch in Architecture::ALL {
+            jobs.push(MeasureJob::new(&w, arch.name(), RunSpec::steady(arch)));
+        }
+    }
+    let measured = measure_fleet_or_exit(&jobs, &fleet);
+
     println!(
         "{:<6} {:<10} {:>8} {:>8} {:>9} {:>8} {:>8}",
         "bench", "config", "NoFTL", "NoTM", "TMUnopt", "TMOpt", "total"
@@ -25,17 +41,13 @@ fn run(suite: Suite, fig: &str) {
     let mut totals: Vec<Vec<f64>> = vec![Vec::new(); Architecture::ALL.len()];
     let mut totals_t: Vec<Vec<f64>> = vec![Vec::new(); Architecture::ALL.len()];
     for w in subset(&all, suite, false) {
-        let base = measure(&w, Architecture::Base).expect("base run");
-        let base_total = base.stats.total_insts().max(1) as f64;
+        let base_total =
+            measured.stats(w.id, Architecture::Base.name()).total_insts().max(1) as f64;
         for (ai, arch) in Architecture::ALL.iter().enumerate() {
-            let m = if *arch == Architecture::Base {
-                base.clone()
-            } else {
-                measure(&w, *arch).expect("arch run")
-            };
-            let frac = |c: InstCategory| m.stats.insts(c) as f64 / base_total;
-            let total = m.stats.total_insts() as f64 / base_total;
-            report.stats(w.id, arch.name(), &m.stats);
+            let stats = measured.stats(w.id, arch.name());
+            let frac = |c: InstCategory| stats.insts(c) as f64 / base_total;
+            let total = stats.total_insts() as f64 / base_total;
+            report.stats(w.id, arch.name(), stats);
             report.row(vec![
                 ("bench", w.id.into()),
                 ("config", arch.name().into()),
@@ -81,5 +93,6 @@ fn run(suite: Suite, fig: &str) {
     } else {
         println!("\n(paper AvgS: NoMap 0.885, NoMap_BC 0.820, NoMap_RTM ~1.0)");
     }
+    report_summary(&measured.summary);
     report.finish();
 }

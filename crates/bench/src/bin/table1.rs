@@ -1,9 +1,17 @@
 //! Table I: speedup of each JavaScriptCore tier over the Interpreter, for
 //! the SunSpider and Kraken suites (AvgS and AvgT columns).
+//!
+//! Measurements run sharded over the `nomap-fleet` work queue (`--jobs N`
+//! / `NOMAP_JOBS`); the print loop replays the canonical order, so stdout
+//! is byte-identical for any worker count.
 
-use nomap_bench::{geo_mean, heading, measure_capped, subset, Report};
-use nomap_vm::TierLimit;
-use nomap_workloads::{evaluation_suites, Suite};
+use std::collections::BTreeMap;
+
+use nomap_bench::{
+    fleet_from_env, geo_mean, heading, measure_fleet_or_exit, subset, MeasureJob, Report,
+};
+use nomap_vm::{Architecture, TierLimit};
+use nomap_workloads::{evaluation_suites, RunSpec, Suite};
 
 fn main() {
     heading("Table I — Speedup of tiers over the Interpreter");
@@ -11,20 +19,37 @@ fn main() {
     let suites = [(Suite::SunSpider, "SunSpider"), (Suite::Kraken, "Kraken")];
     let tiers =
         [("Baseline", TierLimit::Baseline), ("DFG", TierLimit::Dfg), ("FTL", TierLimit::Ftl)];
+    let all = evaluation_suites();
+    let fleet = fleet_from_env();
+    let mut jobs = Vec::new();
+    for w in &all {
+        jobs.push(MeasureJob::new(
+            w,
+            "Interpreter",
+            RunSpec::capped(Architecture::Base, TierLimit::Interpreter),
+        ));
+    }
+    for (name, limit) in tiers {
+        for w in &all {
+            jobs.push(MeasureJob::new(w, name, RunSpec::capped(Architecture::Base, limit)));
+        }
+    }
+    let measured = measure_fleet_or_exit(&jobs, &fleet);
+
     println!(
         "{:<10} {:>14} {:>14} {:>14} {:>14}",
         "Highest", "SunSpider", "SunSpider", "Kraken", "Kraken"
     );
     println!("{:<10} {:>14} {:>14} {:>14} {:>14}", "Tier", "AvgS", "AvgT", "AvgS", "AvgT");
-    // Baseline: interpreter cycles per workload.
-    let mut interp: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
-    let all = evaluation_suites();
+    // Baseline: interpreter cycles per workload (BTreeMap: deterministic
+    // iteration order were anyone ever to iterate it into a report).
+    let mut interp: BTreeMap<String, f64> = BTreeMap::new();
     for w in &all {
-        let m = measure_capped(w, TierLimit::Interpreter).expect("interp run");
-        report.stats(w.id, "Interpreter", &m.stats);
-        interp.insert(w.id.to_owned(), m.stats.total_cycles() as f64);
+        let stats = measured.stats(w.id, "Interpreter");
+        report.stats(w.id, "Interpreter", stats);
+        interp.insert(w.id.to_owned(), stats.total_cycles() as f64);
     }
-    for (name, limit) in tiers {
+    for (name, _) in tiers {
         let mut cols = Vec::new();
         for (suite, _) in suites {
             for avgs in [true, false] {
@@ -32,9 +57,9 @@ fn main() {
                 let speedups: Vec<f64> = ws
                     .iter()
                     .map(|w| {
-                        let m = measure_capped(w, limit).expect("tier run");
-                        let speedup = interp[w.id] / m.stats.total_cycles().max(1) as f64;
-                        report.stats(w.id, name, &m.stats);
+                        let stats = measured.stats(w.id, name);
+                        let speedup = interp[w.id] / stats.total_cycles().max(1) as f64;
+                        report.stats(w.id, name, stats);
                         report.row(vec![
                             ("bench", w.id.into()),
                             ("tier", name.into()),
@@ -58,5 +83,6 @@ fn main() {
         );
     }
     println!("\n(paper: Baseline 2.13/1.88/1.22/0.87, DFG 7.71/6.64/8.45/6.67, FTL 11.48/9.37/15.03/10.94)");
+    nomap_workloads::fleet::report_summary(&measured.summary);
     report.finish();
 }

@@ -1,19 +1,35 @@
 //! Table IV: characterization of the transactions NoMap inserts — average
 //! and maximum write footprint, and the maximum cache associativity any
 //! set needed to hold speculative state.
+//!
+//! Measurements run sharded over the `nomap-fleet` work queue (`--jobs N`
+//! / `NOMAP_JOBS`); the print loop replays the canonical order, so stdout
+//! is byte-identical for any worker count.
 
-use nomap_bench::{heading, mean, measure, subset, Report};
+use nomap_bench::{
+    fleet_from_env, heading, mean, measure_fleet_or_exit, subset, MeasureJob, Report,
+};
 use nomap_vm::Architecture;
-use nomap_workloads::{evaluation_suites, Suite};
+use nomap_workloads::fleet::report_summary;
+use nomap_workloads::{evaluation_suites, RunSpec, Suite};
 
 fn main() {
     heading("Table IV — transaction characterization under NoMap (ROT)");
     let mut report = Report::from_env("table4");
+    let all = evaluation_suites();
+    let fleet = fleet_from_env();
+    let mut jobs = Vec::new();
+    for suite in [Suite::SunSpider, Suite::Kraken] {
+        for w in subset(&all, suite, true) {
+            jobs.push(MeasureJob::new(&w, "NoMap", RunSpec::steady(Architecture::NoMap)));
+        }
+    }
+    let measured = measure_fleet_or_exit(&jobs, &fleet);
+
     println!(
         "{:<10} {:>14} {:>14} {:>10} {:>14} {:>12}",
         "suite", "wrFoot avg KB", "wrFoot max KB", "max assoc", "insts/txn avg", "commits"
     );
-    let all = evaluation_suites();
     for (suite, label) in [(Suite::SunSpider, "SunSpider"), (Suite::Kraken, "Kraken")] {
         let ws = subset(&all, suite, true); // AvgS benchmarks, as in the paper
         let mut avg_foot = Vec::new();
@@ -22,16 +38,16 @@ fn main() {
         let mut insts = Vec::new();
         let mut commits = 0u64;
         for w in &ws {
-            let m = measure(w, Architecture::NoMap).expect("nomap run");
-            report.stats(w.id, "NoMap", &m.stats);
-            let c = m.stats.tx_character;
+            let stats = measured.stats(w.id, "NoMap");
+            report.stats(w.id, "NoMap", stats);
+            let c = stats.tx_character;
             if c.committed > 0 {
                 avg_foot.push(c.footprint_avg() / 1024.0);
                 insts.push(c.insts_avg());
             }
             max_foot = max_foot.max(c.footprint_max);
             max_assoc = max_assoc.max(c.max_assoc);
-            commits += m.stats.tx_committed;
+            commits += stats.tx_committed;
         }
         println!(
             "{:<10} {:>14.2} {:>14.2} {:>10} {:>14.0} {:>12}",
@@ -52,5 +68,6 @@ fn main() {
         ]);
     }
     println!("\n(paper: avg write footprints of 44.9KB/47.4KB fit amply in the 256KB L2)");
+    report_summary(&measured.summary);
     report.finish();
 }

@@ -5,9 +5,11 @@
 //! plain-text table/bar rendering they share. DESIGN.md carries the
 //! experiment index mapping binaries to paper artifacts.
 
+use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::PathBuf;
 
+use nomap_fleet::FleetConfig;
 use nomap_trace::{check_name, obj, JsonValue, SCHEMA_VERSION};
 use nomap_vm::{Architecture, BenchRows, CheckKind, ExecStats, InstCategory, TierLimit, VmError};
 use nomap_workloads::{run_workload, RunSpec, Suite, Workload};
@@ -43,6 +45,133 @@ pub fn measure(w: &Workload, arch: Architecture) -> Result<Measured, VmError> {
 pub fn measure_capped(w: &Workload, limit: TierLimit) -> Result<Measured, VmError> {
     let out = run_workload(w, RunSpec::capped(Architecture::Base, limit))?;
     Ok(Measured { id: w.id.to_owned(), stats: out.stats })
+}
+
+/// One (workload, configuration) measurement an experiment binary needs.
+///
+/// Binaries enqueue every cell of their tables as a job, run them all
+/// through [`measure_fleet`], then *replay* their original print loops
+/// pulling from the measured map — so stdout and BENCH row order are
+/// byte-identical to the historical sequential run for any `--jobs` value.
+#[derive(Debug, Clone)]
+pub struct MeasureJob {
+    /// Benchmark key (usually the workload id).
+    pub bench: String,
+    /// Configuration label (usually the architecture or tier-cap name).
+    pub config: String,
+    /// Workload to run.
+    pub workload: Workload,
+    /// How to run it.
+    pub spec: RunSpec,
+}
+
+impl MeasureJob {
+    /// Job measuring `w` under `spec`, keyed `(w.id, config)`.
+    pub fn new(w: &Workload, config: &str, spec: RunSpec) -> Self {
+        MeasureJob { bench: w.id.to_owned(), config: config.to_owned(), workload: w.clone(), spec }
+    }
+}
+
+/// Results of a fleet measurement: steady-state stats keyed by
+/// `(bench, config)`, plus the run's scheduling summary.
+#[derive(Debug)]
+pub struct FleetMeasured {
+    map: BTreeMap<(String, String), ExecStats>,
+    /// Scheduling telemetry (stderr-only; see `nomap_workloads::fleet`).
+    pub summary: nomap_fleet::FleetSummary,
+}
+
+impl FleetMeasured {
+    /// The measured stats for `(bench, config)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pair was never enqueued — an experiment-binary bug,
+    /// not a runtime condition.
+    pub fn stats(&self, bench: &str, config: &str) -> &ExecStats {
+        self.map
+            .get(&(bench.to_owned(), config.to_owned()))
+            .unwrap_or_else(|| panic!("no measurement enqueued for {bench}/{config}"))
+    }
+
+    /// [`Measured`] view of one cell (for helpers taking `Measured`).
+    pub fn measured(&self, bench: &str, config: &str) -> Measured {
+        Measured { id: bench.to_owned(), stats: self.stats(bench, config).clone() }
+    }
+}
+
+/// Runs every job through the `nomap-fleet` work queue and returns the
+/// measured cells. Duplicate `(bench, config)` keys are measured once
+/// (determinism makes repeats identical — the same collapse
+/// `BenchRows::push` applies).
+///
+/// Failed shards are isolated, retried once, and collected; the run always
+/// completes. The `Err` carries one line per permanently-failed shard —
+/// experiment tables need every cell, so binaries report and exit nonzero.
+///
+/// # Errors
+///
+/// When any shard still fails after its retry.
+pub fn measure_fleet(
+    jobs: &[MeasureJob],
+    config: &FleetConfig,
+) -> Result<FleetMeasured, (String, nomap_fleet::FleetSummary)> {
+    let mut unique: Vec<&MeasureJob> = Vec::new();
+    let mut seen: BTreeMap<(&str, &str), ()> = BTreeMap::new();
+    for j in jobs {
+        if seen.insert((j.bench.as_str(), j.config.as_str()), ()).is_none() {
+            unique.push(j);
+        }
+    }
+    let run = nomap_fleet::run_sharded(unique.len(), config, |i| {
+        let j = unique[i];
+        run_workload(&j.workload, j.spec)
+            .map(|out| out.stats)
+            .map_err(|e| format!("{}/{}: {e}", j.bench, j.config))
+    });
+    let mut map = BTreeMap::new();
+    let mut failures: Vec<String> = Vec::new();
+    for (j, shard) in unique.iter().zip(&run.shards) {
+        match &shard.outcome {
+            Ok(stats) => {
+                map.insert((j.bench.clone(), j.config.clone()), stats.clone());
+            }
+            Err(e) => failures.push(format!("shard failed after {} attempts: {e}", shard.attempts)),
+        }
+    }
+    if failures.is_empty() {
+        Ok(FleetMeasured { map, summary: run.summary })
+    } else {
+        Err((failures.join("\n"), run.summary))
+    }
+}
+
+/// [`measure_fleet`], exiting nonzero when any shard permanently failed:
+/// experiment tables need every cell, so a missing one aborts the binary
+/// after *all* failures (and the scheduling summary) are reported.
+pub fn measure_fleet_or_exit(jobs: &[MeasureJob], config: &FleetConfig) -> FleetMeasured {
+    match measure_fleet(jobs, config) {
+        Ok(m) => m,
+        Err((msg, summary)) => {
+            eprintln!("{msg}");
+            nomap_workloads::fleet::report_summary(&summary);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Resolves the fleet configuration from the process arguments and
+/// `NOMAP_JOBS`, exiting with a usage error when malformed — the shared
+/// preamble of every experiment binary.
+pub fn fleet_from_env() -> FleetConfig {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match FleetConfig::from_args(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Geometric mean (used for ratio averages).
@@ -287,6 +416,31 @@ mod tests {
     fn bar_renders() {
         assert_eq!(bar(0.5, 4), "██  ");
         assert!(bar(0.0, 3).trim().is_empty());
+    }
+
+    #[test]
+    fn measure_fleet_dedups_cells_and_isolates_failures() {
+        let w = Workload {
+            id: "T00",
+            name: "tiny",
+            suite: Suite::Shootout,
+            in_avgs: false,
+            source: "function run() { return 7; }",
+        };
+        let jobs = vec![
+            MeasureJob::new(&w, "Base", RunSpec::quick(Architecture::Base)),
+            MeasureJob::new(&w, "Base", RunSpec::quick(Architecture::Base)),
+        ];
+        let m = measure_fleet(&jobs, &FleetConfig::with_jobs(2)).unwrap();
+        assert_eq!(m.summary.shards, 1, "duplicate (bench, config) cells measure once");
+        assert!(m.stats("T00", "Base").total_insts() > 0);
+        assert_eq!(m.measured("T00", "Base").id, "T00");
+
+        let broken = Workload { source: "function run() { return missing(); }", ..w };
+        let jobs = vec![MeasureJob::new(&broken, "Base", RunSpec::quick(Architecture::Base))];
+        let (msg, summary) = measure_fleet(&jobs, &FleetConfig::sequential()).unwrap_err();
+        assert_eq!(summary.failed, 1);
+        assert!(msg.contains("T00/Base"), "failure names the cell: {msg}");
     }
 
     #[test]

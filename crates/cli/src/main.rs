@@ -8,6 +8,7 @@
 //! nomap lint <file.js> [--arch <name>] [--warmup N] [--json] [--deny-warnings]
 //! nomap prove <file.js> [--arch <name>] [--warmup N] [--census] [--json]
 //! nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]
+//! nomap corpus [--arch <name>] [--warmup N] [--jobs N] [--budget CYCLES]
 //! nomap archs
 //! ```
 //!
@@ -22,15 +23,21 @@
 //! gate. `prove` runs the proof-carrying check-elision census: a profiled
 //! run joins the dynamic check tallies against the static range/type
 //! verdicts and exits nonzero when a statically proved-to-fail check was
-//! actually reached.
+//! actually reached. `corpus` runs every bundled workload through the
+//! sharded `nomap-fleet` harness (`--jobs N` / `NOMAP_JOBS`); stdout is
+//! byte-identical for any worker count, scheduling telemetry goes to
+//! stderr.
 
 use std::process::ExitCode;
 
+use nomap_fleet::FleetConfig;
 use nomap_trace::{obj, JsonValue};
 use nomap_vm::{
     bench_diff, Architecture, BenchRows, CheckKind, HotSpotReport, InstCategory, JsonlSink, Tier,
     TierLimit, Vm, VmConfig,
 };
+use nomap_workloads::fleet::{corpus, report_summary, run_corpus_sharded, CorpusMerge};
+use nomap_workloads::RunSpec;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +49,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&args[1..]),
         Some("prove") => cmd_prove(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
         Some("archs") => {
             for a in Architecture::ALL {
                 println!("{}", a.name());
@@ -50,7 +58,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage:\n  nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]\n  nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]\n  nomap profile <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--top N] [--json]\n  nomap bench-diff <old> <new> [--threshold PCT]\n  nomap lint <file.js> [--arch <name>] [--warmup N] [--json] [--deny-warnings]\n  nomap prove <file.js> [--arch <name>] [--warmup N] [--census] [--json]\n  nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]\n  nomap archs"
+                "usage:\n  nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]\n  nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]\n  nomap profile <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--top N] [--json]\n  nomap bench-diff <old> <new> [--threshold PCT]\n  nomap lint <file.js> [--arch <name>] [--warmup N] [--json] [--deny-warnings]\n  nomap prove <file.js> [--arch <name>] [--warmup N] [--census] [--json]\n  nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]\n  nomap corpus [--arch <name>] [--warmup N] [--jobs N] [--budget CYCLES]\n  nomap archs"
             );
             ExitCode::from(2)
         }
@@ -500,5 +508,79 @@ fn cmd_disasm(args: &[String]) -> ExitCode {
             eprintln!("error: `{func}` has no {tier:?} code (not hot enough, or unknown function)");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `nomap corpus` — run every bundled workload (SunSpider, Kraken,
+/// Shootout; 51 in all) through the sharded fleet harness and print one
+/// canonical-order line per workload plus a merged corpus summary.
+/// Scheduling telemetry (wall-times, queue occupancy) goes to stderr so
+/// stdout stays byte-identical for any `--jobs` value.
+fn cmd_corpus(args: &[String]) -> ExitCode {
+    let arch = match flag_value(args, "--arch") {
+        Some(s) => match parse_arch(s) {
+            Some(a) => a,
+            None => {
+                eprintln!("error: unknown architecture `{s}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => Architecture::NoMap,
+    };
+    let fleet = match FleetConfig::from_args(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let warmup: u32 = flag_value(args, "--warmup").and_then(|s| s.parse().ok()).unwrap_or(120);
+    let mut spec = RunSpec::steady(arch);
+    spec.warmup = warmup;
+    if let Some(s) = flag_value(args, "--budget") {
+        match s.parse::<u64>() {
+            Ok(cycles) => spec = spec.with_budget(cycles),
+            Err(_) => {
+                eprintln!("error: --budget wants a cycle count");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let specs: Vec<_> = corpus().into_iter().map(|w| (w, spec)).collect();
+    let run = run_corpus_sharded(&specs, &fleet);
+    for shard in &run.shards {
+        let id = specs[shard.index].0.id;
+        match &shard.outcome {
+            Ok(r) => println!(
+                "{:<6} checksum={:?} insts={} cycles={} commits={} aborts={}",
+                id,
+                r.checksum,
+                r.stats.total_insts(),
+                r.stats.total_cycles(),
+                r.stats.tx_committed,
+                r.stats.total_aborts()
+            ),
+            Err(e) => println!("{id:<6} FAILED after {} attempt(s): {e}", shard.attempts),
+        }
+    }
+    let merged = CorpusMerge::from_runs(run.shards.iter().filter_map(|s| s.outcome.as_ref().ok()));
+    if !merged.output.is_empty() {
+        print!("{}", merged.output);
+    }
+    println!(
+        "corpus: {} workloads under {}: {} insts, {} cycles, {} tx committed, {} profiled cycles, {} failed",
+        run.summary.shards,
+        arch.name(),
+        merged.stats.total_insts(),
+        merged.stats.total_cycles(),
+        merged.stats.tx_committed,
+        merged.profile.ledger.total(),
+        run.summary.failed
+    );
+    report_summary(&run.summary);
+    if run.summary.failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

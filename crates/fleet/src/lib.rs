@@ -1,0 +1,345 @@
+//! nomap-fleet: a dependency-free sharded execution harness.
+//!
+//! Corpus and bench jobs (workload × config grids) are embarrassingly
+//! parallel: every shard builds its own `Vm` from source and the merge
+//! machinery (`ExecStats::merge`, `Metrics::merge`, `ProfileData::merge`)
+//! is commutative. This crate supplies the scheduling half: workers pull
+//! shard indices from a shared atomic work queue, run each shard under
+//! [`std::panic::catch_unwind`] so one crashing shard cannot take down the
+//! run, retry failed shards once, and hand results back **in canonical
+//! shard order** — so an N-thread run is byte-identical to the sequential
+//! one as long as each shard is itself deterministic.
+//!
+//! The crate is `std`-only by design (the build environment has no registry
+//! access) and knows nothing about VMs: shards are arbitrary
+//! `Fn(usize) -> Result<T, String>` closures.
+//!
+//! # Determinism contract
+//!
+//! Scheduling order, worker count, and retries never leak into shard
+//! *results*: a shard sees only its index. Anything nondeterministic —
+//! per-shard wall-times, queue occupancy — lives in the run's
+//! [`FleetSummary`] which callers must keep out of byte-compared artifacts
+//! (the binaries in this workspace print it to stderr only).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How a fleet run schedules its shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Worker threads. `1` runs every shard inline on the calling thread
+    /// (still under `catch_unwind`, so crash isolation is identical).
+    pub jobs: usize,
+    /// Extra attempts after a shard's first failure. The default policy is
+    /// the issue's "retried once and then reported": `1`.
+    pub retries: u32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { jobs: 1, retries: 1 }
+    }
+}
+
+impl FleetConfig {
+    /// Sequential configuration (one worker, retry-once policy).
+    pub fn sequential() -> Self {
+        FleetConfig::default()
+    }
+
+    /// `jobs` workers, retry-once policy. `jobs` is clamped to at least 1.
+    pub fn with_jobs(jobs: usize) -> Self {
+        FleetConfig { jobs: jobs.max(1), retries: 1 }
+    }
+
+    /// Resolves the worker count from CLI args and the environment:
+    /// `--jobs N` (or `--jobs=N`) wins, then `NOMAP_JOBS`, then 1.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a malformed or zero value with a usage message.
+    pub fn from_args(args: &[String]) -> Result<Self, String> {
+        let parse = |what: &str, s: &str| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("{what}: expected a positive worker count, got `{s}`"))
+        };
+        for (i, a) in args.iter().enumerate() {
+            if let Some(v) = a.strip_prefix("--jobs=") {
+                return Ok(FleetConfig::with_jobs(parse("--jobs", v)?));
+            }
+            if a == "--jobs" {
+                let v = args.get(i + 1).ok_or("--jobs: missing worker count")?;
+                return Ok(FleetConfig::with_jobs(parse("--jobs", v)?));
+            }
+        }
+        match std::env::var("NOMAP_JOBS") {
+            Ok(v) => Ok(FleetConfig::with_jobs(parse("NOMAP_JOBS", &v)?)),
+            Err(_) => Ok(FleetConfig::sequential()),
+        }
+    }
+}
+
+/// Outcome of one shard, in canonical (submission) order.
+#[derive(Debug)]
+pub struct ShardReport<T> {
+    /// Canonical shard index (position in the submitted job list).
+    pub index: usize,
+    /// `Ok` result, or the last failure message after all attempts.
+    pub outcome: Result<T, String>,
+    /// Attempts spent (1 = first try succeeded, 2 = one retry).
+    pub attempts: u32,
+    /// Wall-clock time across all attempts. Nondeterministic — keep out of
+    /// byte-compared output.
+    pub wall: Duration,
+}
+
+/// Scheduling telemetry for one fleet run. Everything here is
+/// nondeterministic (wall-clock) or scheduling-dependent (occupancy);
+/// binaries report it via stderr and the `fleet-summary` trace event, never
+/// in diffed stdout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSummary {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Total shards submitted.
+    pub shards: usize,
+    /// Shards that still failed after retries.
+    pub failed: usize,
+    /// Shards that needed more than one attempt (whether or not they
+    /// eventually succeeded).
+    pub retried: usize,
+    /// Whole-run wall time in nanoseconds.
+    pub wall_ns: u64,
+    /// Peak number of shards in flight at once (≤ `jobs`).
+    pub peak_occupancy: usize,
+    /// Per-shard wall time in nanoseconds, canonical shard order.
+    pub shard_wall_ns: Vec<u64>,
+}
+
+impl FleetSummary {
+    /// One-line human rendering for stderr.
+    pub fn render(&self) -> String {
+        let slowest = self.shard_wall_ns.iter().copied().max().unwrap_or(0);
+        format!(
+            "fleet: {} shards over {} jobs in {:.1} ms (peak occupancy {}, slowest shard {:.1} ms, {} retried, {} failed)",
+            self.shards,
+            self.jobs,
+            self.wall_ns as f64 / 1e6,
+            self.peak_occupancy,
+            slowest as f64 / 1e6,
+            self.retried,
+            self.failed,
+        )
+    }
+}
+
+/// Results of a fleet run: per-shard reports in canonical order plus the
+/// scheduling summary.
+#[derive(Debug)]
+pub struct FleetRun<T> {
+    /// One report per submitted shard, index-aligned with the job list.
+    pub shards: Vec<ShardReport<T>>,
+    /// Scheduling telemetry.
+    pub summary: FleetSummary,
+}
+
+impl<T> FleetRun<T> {
+    /// Shards that failed after all attempts, canonical order.
+    pub fn failures(&self) -> impl Iterator<Item = &ShardReport<T>> {
+        self.shards.iter().filter(|s| s.outcome.is_err())
+    }
+
+    /// Consumes the run, yielding each shard's outcome in canonical order.
+    pub fn into_outcomes(self) -> Vec<Result<T, String>> {
+        self.shards.into_iter().map(|s| s.outcome).collect()
+    }
+}
+
+/// Runs `shards` work items through `work` on `config.jobs` workers and
+/// returns per-shard outcomes **in canonical shard order** (index 0..shards),
+/// regardless of the order workers completed them.
+///
+/// `work` receives the shard index and must be deterministic in it for the
+/// fleet's jobs=N ≡ jobs=1 guarantee to hold. Panics inside `work` are
+/// caught (`catch_unwind`), converted to `Err`, retried per
+/// [`FleetConfig::retries`], and finally reported in the shard's outcome —
+/// a crashing shard never aborts the run.
+pub fn run_sharded<T, F>(shards: usize, config: &FleetConfig, work: F) -> FleetRun<T>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, String> + Sync,
+{
+    let started = Instant::now();
+    let jobs = config.jobs.max(1).min(shards.max(1));
+    let next = AtomicUsize::new(0);
+    let busy = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<ShardReport<T>>>> = Mutex::new((0..shards).map(|_| None).collect());
+
+    let worker = || loop {
+        let index = next.fetch_add(1, Ordering::Relaxed);
+        if index >= shards {
+            break;
+        }
+        let occupancy = busy.fetch_add(1, Ordering::Relaxed) + 1;
+        peak.fetch_max(occupancy, Ordering::Relaxed);
+        let report = run_one(index, config.retries, &work);
+        busy.fetch_sub(1, Ordering::Relaxed);
+        slots.lock().unwrap()[index] = Some(report);
+    };
+
+    if jobs == 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(worker);
+            }
+        });
+    }
+
+    let shards_out: Vec<ShardReport<T>> = slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|s| s.expect("every shard index was claimed exactly once"))
+        .collect();
+    let summary = FleetSummary {
+        jobs,
+        shards,
+        failed: shards_out.iter().filter(|s| s.outcome.is_err()).count(),
+        retried: shards_out.iter().filter(|s| s.attempts > 1).count(),
+        wall_ns: duration_ns(started.elapsed()),
+        peak_occupancy: peak.load(Ordering::Relaxed),
+        shard_wall_ns: shards_out.iter().map(|s| duration_ns(s.wall)).collect(),
+    };
+    FleetRun { shards: shards_out, summary }
+}
+
+fn run_one<T, F>(index: usize, retries: u32, work: &F) -> ShardReport<T>
+where
+    F: Fn(usize) -> Result<T, String>,
+{
+    let started = Instant::now();
+    let mut attempts = 0;
+    let outcome = loop {
+        attempts += 1;
+        match attempt(index, work) {
+            Ok(value) => break Ok(value),
+            Err(e) if attempts > retries => break Err(e),
+            Err(_) => continue,
+        }
+    };
+    ShardReport { index, outcome, attempts, wall: started.elapsed() }
+}
+
+/// One attempt: the closure's own `Err` and a caught panic both become
+/// `Err(message)`.
+fn attempt<T, F>(index: usize, work: &F) -> Result<T, String>
+where
+    F: Fn(usize) -> Result<T, String>,
+{
+    match catch_unwind(AssertUnwindSafe(|| work(index))) {
+        Ok(result) => result,
+        Err(payload) => Err(format!("panic: {}", panic_message(&payload))),
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_come_back_in_canonical_order() {
+        for jobs in [1, 4] {
+            let run = run_sharded(17, &FleetConfig::with_jobs(jobs), |i| Ok(i * i));
+            assert_eq!(run.summary.shards, 17);
+            assert_eq!(run.summary.failed, 0);
+            let values: Vec<usize> = run.into_outcomes().into_iter().map(Result::unwrap).collect();
+            assert_eq!(values, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn panicking_shard_is_isolated_retried_and_flagged() {
+        let run = run_sharded(5, &FleetConfig::with_jobs(4), |i| {
+            if i == 2 {
+                panic!("shard {i} exploded");
+            }
+            Ok(i)
+        });
+        assert_eq!(run.summary.failed, 1);
+        assert_eq!(run.summary.retried, 1);
+        let bad = &run.shards[2];
+        assert_eq!(bad.attempts, 2, "failed shard is retried exactly once");
+        assert!(bad.outcome.as_ref().unwrap_err().contains("shard 2 exploded"));
+        for (i, s) in run.shards.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(*s.outcome.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn transient_failure_succeeds_on_retry() {
+        let first = AtomicU32::new(0);
+        let run = run_sharded(1, &FleetConfig::sequential(), |_| {
+            if first.fetch_add(1, Ordering::Relaxed) == 0 {
+                Err("transient".to_owned())
+            } else {
+                Ok(42u32)
+            }
+        });
+        assert_eq!(run.summary.failed, 0);
+        assert_eq!(run.summary.retried, 1);
+        assert_eq!(run.shards[0].attempts, 2);
+        assert_eq!(*run.shards[0].outcome.as_ref().unwrap(), 42);
+    }
+
+    #[test]
+    fn occupancy_is_bounded_by_jobs_and_shards() {
+        let run = run_sharded(8, &FleetConfig::with_jobs(4), Ok);
+        assert!(run.summary.peak_occupancy >= 1);
+        assert!(run.summary.peak_occupancy <= 4);
+        let run = run_sharded(2, &FleetConfig::with_jobs(16), Ok);
+        assert!(run.summary.jobs <= 2, "workers are capped at the shard count");
+        assert_eq!(run.summary.shard_wall_ns.len(), 2);
+    }
+
+    #[test]
+    fn zero_shards_is_a_clean_empty_run() {
+        let run = run_sharded(0, &FleetConfig::with_jobs(4), |_| Ok(0u8));
+        assert!(run.shards.is_empty());
+        assert_eq!(run.summary.failed, 0);
+        assert!(run.summary.render().contains("0 shards"));
+    }
+
+    #[test]
+    fn config_parses_jobs_flag_and_rejects_zero() {
+        let args = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        assert_eq!(FleetConfig::from_args(&args(&["--jobs", "4"])).unwrap().jobs, 4);
+        assert_eq!(FleetConfig::from_args(&args(&["--jobs=2"])).unwrap().jobs, 2);
+        assert!(FleetConfig::from_args(&args(&["--jobs", "0"])).is_err());
+        assert!(FleetConfig::from_args(&args(&["--jobs"])).is_err());
+    }
+}

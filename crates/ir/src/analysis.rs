@@ -1,6 +1,6 @@
 //! CFG analyses: dominators, natural loops, preheaders.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::graph::{BlockId, IrFunc, ValueId};
 use crate::node::{Inst, InstKind};
@@ -104,8 +104,10 @@ pub struct Loop {
     pub header: BlockId,
     /// Blocks jumping back to the header from inside the loop.
     pub latches: Vec<BlockId>,
-    /// All blocks in the loop (header included).
-    pub body: HashSet<BlockId>,
+    /// All blocks in the loop (header included). Ordered: passes iterate
+    /// the body when hoisting or promoting, and that order must not vary
+    /// run to run.
+    pub body: BTreeSet<BlockId>,
     /// Edges leaving the loop: `(from_inside, to_outside)`.
     pub exits: Vec<(BlockId, BlockId)>,
 }
@@ -132,7 +134,7 @@ pub fn find_loops(f: &IrFunc, doms: &Dominators) -> Vec<Loop> {
                     l.latches.push(b);
                     grow_loop_body(f, s, b, &mut l.body);
                 } else {
-                    let mut body = HashSet::new();
+                    let mut body = BTreeSet::new();
                     body.insert(s);
                     grow_loop_body(f, s, b, &mut body);
                     loops.push(Loop { header: s, latches: vec![b], body, exits: vec![] });
@@ -159,7 +161,7 @@ pub fn find_loops(f: &IrFunc, doms: &Dominators) -> Vec<Loop> {
     loops
 }
 
-fn grow_loop_body(f: &IrFunc, header: BlockId, latch: BlockId, body: &mut HashSet<BlockId>) {
+fn grow_loop_body(f: &IrFunc, header: BlockId, latch: BlockId, body: &mut BTreeSet<BlockId>) {
     let mut stack = vec![latch];
     while let Some(b) = stack.pop() {
         if b == header || !body.insert(b) {

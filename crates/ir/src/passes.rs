@@ -744,7 +744,14 @@ pub fn promote_accumulators(f: &mut IrFunc) -> bool {
                 }
             }
         }
-        for (key, (loads, stores)) in locs {
+        // Stable candidate order: promotion rewrites the graph and restarts,
+        // so which location goes first must not depend on map iteration
+        // order. The lowest access ValueId is unique per location.
+        let mut candidates: Vec<_> = locs.into_iter().collect();
+        candidates.sort_by_key(|(_, (loads, stores))| {
+            loads.iter().chain(stores.iter()).map(|v| v.0).min().unwrap_or(u32::MAX)
+        });
+        for (key, (loads, stores)) in candidates {
             if stores.len() != 1 {
                 continue;
             }

@@ -151,12 +151,14 @@ impl CycleLedger {
         out
     }
 
-    /// Folds another ledger into this one (suite/shard aggregation).
+    /// Folds another ledger into this one (suite/shard aggregation). Sums
+    /// saturate so fleet-scale aggregation cannot overflow-panic.
     pub fn merge(&mut self, other: &CycleLedger) {
         for (k, v) in &other.regions {
-            *self.regions.entry(*k).or_insert(0) += v;
+            let c = self.regions.entry(*k).or_insert(0);
+            *c = c.saturating_add(*v);
         }
-        self.total += other.total;
+        self.total = self.total.saturating_add(other.total);
     }
 
     /// Clears the ledger (measurement-window reset, paired with
@@ -217,6 +219,16 @@ mod tests {
         let mut empty = CycleLedger::new();
         empty.merge(&snapshot);
         assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn merge_saturates_at_u64_max() {
+        let mut l = CycleLedger::new();
+        l.charge(key(0, Tier::Ftl, RegionKind::Main), u64::MAX);
+        let other = l.clone();
+        l.merge(&other);
+        assert_eq!(l.total(), u64::MAX);
+        assert_eq!(l.get(key(0, Tier::Ftl, RegionKind::Main)), u64::MAX);
     }
 
     #[test]

@@ -15,6 +15,15 @@ use nomap_trace::{obj, JsonValue};
 
 use crate::json_in::{parse_json, Json};
 
+/// Version stamped on `BENCH_<artifact>.json` documents.
+///
+/// Historically this tracked `nomap_trace::SCHEMA_VERSION`, but the bench
+/// format froze at v4 when the trace schema moved on (v5 added the
+/// `fleet-summary` event, which never appears in bench documents): the
+/// committed `results/baselines/` set must stay byte-identical across
+/// changes that do not touch the rows themselves.
+pub const BENCH_DOC_VERSION: u64 = 4;
+
 /// One measured configuration of one benchmark.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchRow {
@@ -79,7 +88,7 @@ impl BenchRows {
             })
             .collect();
         obj(vec![
-            ("v", u64::from(nomap_trace::SCHEMA_VERSION).into()),
+            ("v", BENCH_DOC_VERSION.into()),
             ("artifact", self.artifact.as_str().into()),
             ("rows", JsonValue::Array(rows)),
         ])
@@ -116,20 +125,23 @@ pub struct DiffEntry {
     pub old_cycles: u64,
     /// Cycles in the new (candidate) set.
     pub new_cycles: u64,
-    /// Relative change, `(new - old) / old` (positive = slower).
-    pub delta: f64,
+    /// Relative change, `(new - old) / old` (positive = slower). `None`
+    /// when the baseline is zero cycles: no finite ratio exists, the row
+    /// renders as `n/a` and is always classified as a regression.
+    pub delta: Option<f64>,
 }
 
 impl DiffEntry {
-    /// `bench/config  old -> new  (+1.23%)` rendering.
+    /// `bench/config  old -> new  (+1.23%)` rendering (`(n/a)` for a
+    /// zero-cycle baseline).
     pub fn describe(&self) -> String {
+        let delta = match self.delta {
+            Some(d) => format!("{:+.2}%", d * 100.0),
+            None => "n/a".to_owned(),
+        };
         format!(
-            "{}/{}  {} -> {} ({:+.2}%)",
-            self.bench,
-            self.config,
-            self.old_cycles,
-            self.new_cycles,
-            self.delta * 100.0
+            "{}/{}  {} -> {} ({delta})",
+            self.bench, self.config, self.old_cycles, self.new_cycles
         )
     }
 }
@@ -195,12 +207,10 @@ pub fn bench_diff(old: &BenchRows, new: &BenchRows, threshold: f64) -> BenchDiff
         if old_row.cycles == new_row.cycles {
             continue;
         }
-        let delta = if old_row.cycles == 0 {
-            // A zero-cycle baseline can only regress.
-            f64::INFINITY
-        } else {
-            (new_row.cycles as f64 - old_row.cycles as f64) / old_row.cycles as f64
-        };
+        // A zero-cycle baseline has no finite ratio; report `n/a` (never
+        // inf/NaN) and treat any movement off zero as a regression.
+        let delta = (old_row.cycles != 0)
+            .then(|| (new_row.cycles as f64 - old_row.cycles as f64) / old_row.cycles as f64);
         let entry = DiffEntry {
             bench: key.0.clone(),
             config: key.1.clone(),
@@ -208,12 +218,11 @@ pub fn bench_diff(old: &BenchRows, new: &BenchRows, threshold: f64) -> BenchDiff
             new_cycles: new_row.cycles,
             delta,
         };
-        if delta > threshold {
-            diff.regressions.push(entry);
-        } else if delta < -threshold {
-            diff.improvements.push(entry);
-        } else {
-            diff.within.push(entry);
+        match delta {
+            None => diff.regressions.push(entry),
+            Some(d) if d > threshold => diff.regressions.push(entry),
+            Some(d) if d < -threshold => diff.improvements.push(entry),
+            Some(_) => diff.within.push(entry),
         }
     }
     for key in new_keyed.keys() {
@@ -261,7 +270,7 @@ mod tests {
         assert!(!diff.is_ok());
         assert_eq!(diff.regressions.len(), 1);
         assert_eq!(diff.regressions[0].bench, "a");
-        assert!((diff.regressions[0].delta - 0.03).abs() < 1e-9);
+        assert!((diff.regressions[0].delta.unwrap() - 0.03).abs() < 1e-9);
         assert_eq!(diff.within.len(), 1);
         assert!(diff.render(0.02).contains("REGRESSION"));
     }
@@ -274,6 +283,27 @@ mod tests {
         assert!(diff.is_ok());
         assert_eq!(diff.improvements.len(), 1);
         assert_eq!(diff.added, vec![("c".to_owned(), "x".to_owned())]);
+    }
+
+    #[test]
+    fn zero_baseline_reports_na_not_inf() {
+        let old = rows(&[("a", "x", 0)]);
+        let new = rows(&[("a", "x", 500)]);
+        let diff = bench_diff(&old, &new, 0.02);
+        assert!(!diff.is_ok(), "moving off a zero baseline is a regression");
+        assert_eq!(diff.regressions.len(), 1);
+        assert_eq!(diff.regressions[0].delta, None);
+        let rendered = diff.render(0.02);
+        assert!(rendered.contains("(n/a)"), "rendered: {rendered}");
+        assert!(!rendered.contains("inf") && !rendered.contains("NaN"));
+    }
+
+    #[test]
+    fn bench_doc_version_is_pinned_at_4() {
+        // The committed results/baselines/ set embeds "v":4; the bench
+        // document version is frozen independently of the trace schema.
+        let text = rows(&[("a", "x", 1)]).to_json().render();
+        assert!(text.starts_with("{\"v\":4,"), "doc: {text}");
     }
 
     #[test]

@@ -101,23 +101,30 @@ impl ProfileData {
         self.insts.iter().filter(|((f, _), _)| *f == func).map(|(_, n)| n).sum()
     }
 
-    /// Folds another profile into this one.
+    /// Folds another profile into this one. All counter sums saturate so a
+    /// long fleet run folding many shards cannot overflow-panic in debug
+    /// while wrapping in release.
     pub fn merge(&mut self, other: &ProfileData) {
         self.ledger.merge(&other.ledger);
         for (k, v) in &other.insts {
-            *self.insts.entry(*k).or_insert(0) += v;
+            let c = self.insts.entry(*k).or_insert(0);
+            *c = c.saturating_add(*v);
         }
         for (k, v) in &other.checks {
-            *self.checks.entry(*k).or_insert(0) += v;
+            let c = self.checks.entry(*k).or_insert(0);
+            *c = c.saturating_add(*v);
         }
         for (k, site) in &other.deopt_sites {
-            self.deopt_sites
-                .entry(*k)
-                .or_insert(DeoptSite { bc: site.bc, kind: site.kind, count: 0 })
-                .count += site.count;
+            let s = self.deopt_sites.entry(*k).or_insert(DeoptSite {
+                bc: site.bc,
+                kind: site.kind,
+                count: 0,
+            });
+            s.count = s.count.saturating_add(site.count);
         }
         for (k, v) in &other.aborts {
-            *self.aborts.entry(k.clone()).or_insert(0) += v;
+            let c = self.aborts.entry(k.clone()).or_insert(0);
+            *c = c.saturating_add(*v);
         }
         for (f, h) in &other.abort_footprint {
             self.abort_footprint.entry(*f).or_default().merge(h);
@@ -171,6 +178,23 @@ mod tests {
         let mut empty = ProfileData::new();
         empty.merge(&snapshot);
         assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn merge_saturates_at_u64_max_instead_of_panicking() {
+        let mut p = ProfileData::new();
+        p.insts.insert((0, Tier::Ftl), u64::MAX);
+        p.checks.insert((0, CheckKind::Bounds), u64::MAX);
+        p.deopt_sites.insert((0, 1), DeoptSite { bc: 0, kind: CheckKind::Type, count: u64::MAX });
+        p.aborts.insert((0, "capacity".to_owned()), u64::MAX);
+        p.ledger.charge(RegionKey { func: 0, tier: Tier::Ftl, kind: RegionKind::Main }, u64::MAX);
+        let other = p.clone();
+        p.merge(&other);
+        assert_eq!(p.insts[&(0, Tier::Ftl)], u64::MAX);
+        assert_eq!(p.checks[&(0, CheckKind::Bounds)], u64::MAX);
+        assert_eq!(p.deopt_sites[&(0, 1)].count, u64::MAX);
+        assert_eq!(p.aborts[&(0, "capacity".to_owned())], u64::MAX);
+        assert_eq!(p.ledger.total(), u64::MAX);
     }
 
     #[test]

@@ -14,8 +14,9 @@ use crate::json::{obj, JsonValue};
 /// fields change incompatibly. (v2 added the `verify` event; v3 added the
 /// `cycle-region` attribution event and the stream header line written by
 /// [`crate::JsonlSink`]; v4 added the `check-verdict` event carrying the
-/// proof-carrying check-elision tallies of one compilation.)
-pub const SCHEMA_VERSION: u32 = 4;
+/// proof-carrying check-elision tallies of one compilation; v5 added the
+/// `fleet-summary` scheduling event emitted by sharded corpus/bench runs.)
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// One VM lifecycle event.
 ///
@@ -181,6 +182,28 @@ pub enum TraceEvent {
         /// Checks deleted from the compiled code.
         elided: u32,
     },
+    /// Scheduling telemetry for one sharded fleet run (schema v5).
+    ///
+    /// Emitted once per `nomap-fleet` run by the corpus and bench binaries.
+    /// Everything in it is wall-clock or scheduling dependent, so the
+    /// binaries keep it on stderr / the JSONL artifact — never in
+    /// byte-diffed stdout.
+    FleetSummary {
+        /// Worker threads used.
+        jobs: u64,
+        /// Shards submitted.
+        shards: u64,
+        /// Shards that failed after retries.
+        failed: u64,
+        /// Shards that needed more than one attempt.
+        retried: u64,
+        /// Whole-run wall time in nanoseconds.
+        wall_ns: u64,
+        /// Peak shards in flight at once.
+        peak_occupancy: u64,
+        /// Per-shard wall time in nanoseconds, canonical shard order.
+        shard_wall_ns: Vec<u64>,
+    },
 }
 
 /// Names a tier for rendering/serialization.
@@ -231,6 +254,7 @@ impl TraceEvent {
             TraceEvent::CycleRegion { .. } => "cycle-region",
             TraceEvent::PassOutcome { .. } => "pass-outcome",
             TraceEvent::CheckVerdict { .. } => "check-verdict",
+            TraceEvent::FleetSummary { .. } => "fleet-summary",
         }
     }
 
@@ -348,6 +372,26 @@ impl TraceEvent {
                 m.push(("unknown", (*unknown).into()));
                 m.push(("elided", (*elided).into()));
             }
+            TraceEvent::FleetSummary {
+                jobs,
+                shards,
+                failed,
+                retried,
+                wall_ns,
+                peak_occupancy,
+                shard_wall_ns,
+            } => {
+                m.push(("jobs", (*jobs).into()));
+                m.push(("shards", (*shards).into()));
+                m.push(("failed", (*failed).into()));
+                m.push(("retried", (*retried).into()));
+                m.push(("wall_ns", (*wall_ns).into()));
+                m.push(("peak_occupancy", (*peak_occupancy).into()));
+                m.push((
+                    "shard_wall_ns",
+                    JsonValue::Array(shard_wall_ns.iter().map(|&ns| ns.into()).collect()),
+                ));
+            }
         }
         obj(m)
     }
@@ -425,6 +469,18 @@ impl TraceEvent {
             } => format!(
                 "prove        {name} [{}]: {proved_safe} safe, {proved_fail} fail, {unknown} unknown, {elided} elided",
                 tier_name(*tier)
+            ),
+            TraceEvent::FleetSummary {
+                jobs,
+                shards,
+                failed,
+                retried,
+                wall_ns,
+                peak_occupancy,
+                ..
+            } => format!(
+                "fleet        {shards} shards / {jobs} jobs  [{:.1} ms, peak occupancy {peak_occupancy}, {retried} retried, {failed} failed]",
+                *wall_ns as f64 / 1e6
             ),
         };
         format!("[{seq:>5}] @{cycles:<12} {body}")
@@ -512,6 +568,28 @@ mod tests {
         assert!(s.contains("\"elided\":2"));
         let line = ev.render(1, 42);
         assert!(line.contains("sum [dfg]") && line.contains("2 elided"));
+    }
+
+    #[test]
+    fn fleet_summary_serializes_and_renders() {
+        let ev = TraceEvent::FleetSummary {
+            jobs: 4,
+            shards: 51,
+            failed: 1,
+            retried: 2,
+            wall_ns: 5_000_000,
+            peak_occupancy: 4,
+            shard_wall_ns: vec![1_000, 2_000],
+        };
+        assert_eq!(ev.kind(), "fleet-summary");
+        let s = ev.to_json(0, 0).render();
+        assert!(s.contains("\"ev\":\"fleet-summary\""));
+        assert!(s.contains("\"jobs\":4"));
+        assert!(s.contains("\"shards\":51"));
+        assert!(s.contains("\"peak_occupancy\":4"));
+        assert!(s.contains("\"shard_wall_ns\":[1000,2000]"));
+        let line = ev.render(0, 0);
+        assert!(line.contains("51 shards / 4 jobs") && line.contains("1 failed"));
     }
 
     #[test]

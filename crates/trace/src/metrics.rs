@@ -55,21 +55,25 @@ impl Histogram {
         Self::default()
     }
 
-    /// Records one sample.
+    /// Records one sample. Tallies saturate rather than overflow: a fleet
+    /// run folding many shards must never panic in debug builds while
+    /// silently wrapping in release.
     pub fn record(&mut self, value: u64) {
-        self.buckets[bucket_of(value)] += 1;
-        self.count += 1;
-        self.sum += value;
+        let b = &mut self.buckets[bucket_of(value)];
+        *b = b.saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
     }
 
-    /// Folds another histogram into this one.
+    /// Folds another histogram into this one. Saturating, like
+    /// [`Histogram::record`].
     pub fn merge(&mut self, other: &Histogram) {
         for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *b += o;
+            *b = b.saturating_add(*o);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
 
@@ -249,13 +253,16 @@ impl Metrics {
     }
 
     /// Folds another registry into this one (counters add, histograms
-    /// merge, residency sums per function and tier).
+    /// merge, residency sums per function and tier). All counter sums
+    /// saturate so an arbitrarily long fleet run cannot overflow-panic.
     pub fn merge(&mut self, other: &Metrics) {
         for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+            let c = self.counters.entry(k.clone()).or_insert(0);
+            *c = c.saturating_add(*v);
         }
         for (k, v) in &other.aborts_by_reason {
-            *self.aborts_by_reason.entry(k.clone()).or_insert(0) += v;
+            let c = self.aborts_by_reason.entry(k.clone()).or_insert(0);
+            *c = c.saturating_add(*v);
         }
         self.commit_footprint.merge(&other.commit_footprint);
         self.commit_instructions.merge(&other.commit_instructions);
@@ -263,11 +270,12 @@ impl Metrics {
         for (name, res) in &other.residency {
             let entry = self.residency.entry(name.clone()).or_default();
             for (a, b) in entry.insts.iter_mut().zip(res.insts.iter()) {
-                *a += b;
+                *a = a.saturating_add(*b);
             }
         }
         for (k, v) in &other.cycles_by_region {
-            *self.cycles_by_region.entry(k.clone()).or_insert(0) += v;
+            let c = self.cycles_by_region.entry(k.clone()).or_insert(0);
+            *c = c.saturating_add(*v);
         }
     }
 
@@ -395,6 +403,37 @@ mod tests {
         a.merge(&b);
         assert_eq!(a, direct);
         assert_eq!(a.mean(), direct.mean());
+    }
+
+    #[test]
+    fn merges_saturate_at_u64_max_instead_of_panicking() {
+        // Histogram: counters pinned at the ceiling must absorb further
+        // samples and merges without overflow.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.count = u64::MAX;
+        h.sum = u64::MAX;
+        let snapshot = h.clone();
+        h.record(u64::MAX);
+        assert_eq!(h.count, u64::MAX);
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.max, u64::MAX);
+        h.merge(&snapshot);
+        assert_eq!(h.count, u64::MAX);
+        assert_eq!(h.sum, u64::MAX);
+
+        // Metrics: counter maps and residency at the ceiling.
+        let mut m = Metrics::new();
+        m.counters.insert("tier-up".into(), u64::MAX);
+        m.aborts_by_reason.insert("capacity".into(), u64::MAX);
+        m.cycles_by_region.insert("f/ftl/main".into(), u64::MAX);
+        m.record_residency("f", Tier::Ftl, u64::MAX);
+        let other = m.clone();
+        m.merge(&other);
+        assert_eq!(m.counters["tier-up"], u64::MAX);
+        assert_eq!(m.aborts_by_reason["capacity"], u64::MAX);
+        assert_eq!(m.cycles_by_region["f/ftl/main"], u64::MAX);
+        assert_eq!(m.residency["f"].get(Tier::Ftl), u64::MAX);
     }
 
     #[test]

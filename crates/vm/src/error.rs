@@ -23,6 +23,15 @@ pub enum VmError {
     StackOverflow,
     /// A named function was not found.
     UnknownFunction(String),
+    /// A harness-imposed cycle budget was exhausted (the fleet's shard
+    /// timeout: cycles are the simulator's clock, so a deterministic
+    /// "timeout" is a cycle cap, not wall time).
+    CycleBudget {
+        /// Simulated cycles spent when the budget tripped.
+        spent: u64,
+        /// The configured cap.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -34,6 +43,9 @@ impl fmt::Display for VmError {
             VmError::Verifier(m) => write!(f, "verifier error: {m}"),
             VmError::StackOverflow => write!(f, "guest stack overflow"),
             VmError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            VmError::CycleBudget { spent, budget } => {
+                write!(f, "cycle budget exhausted: {spent} cycles spent, budget {budget}")
+            }
         }
     }
 }

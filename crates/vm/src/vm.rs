@@ -262,6 +262,13 @@ impl Vm {
         &self.rt.output
     }
 
+    /// Takes the guest `print` output accumulated so far, leaving the
+    /// buffer empty. Lets a harness that reuses one `Vm` across phases
+    /// hand each phase's output to its own shard report without cloning.
+    pub fn take_output(&mut self) -> String {
+        std::mem::take(&mut self.rt.output)
+    }
+
     /// Clears the statistics window (call after warmup for steady-state
     /// measurement; caches and code stay warm). The profiler ledger resets
     /// with it, so the cycle-conservation invariant keeps holding for the

@@ -2,14 +2,28 @@
 //! and fail when any *error* diagnostic fires. (The `nomap` CLI lints one
 //! file; this binary owns the corpus so CI needs no file-system staging.)
 //!
+//! Workloads are sharded over the `nomap-fleet` harness; diagnostics are
+//! buffered per shard and printed in canonical corpus order, so stdout is
+//! byte-identical for any `--jobs` value. Scheduling telemetry goes to
+//! stderr only.
+//!
 //! ```text
-//! lint_corpus [arch-name] [--warmup N]
+//! lint_corpus [arch-name] [--warmup N] [--jobs N]
 //! ```
 
 use std::process::ExitCode;
 
+use nomap_fleet::FleetConfig;
 use nomap_vm::{lint_source, Architecture};
-use nomap_workloads::{kraken, shootout, sunspider, Workload};
+use nomap_workloads::fleet::{corpus, report_summary};
+
+struct ShardLint {
+    /// `workload-id: diagnostic` lines for error diagnostics, in order.
+    error_lines: Vec<String>,
+    stages: usize,
+    warnings: usize,
+    errors: usize,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,36 +43,59 @@ fn main() -> ExitCode {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(40);
+    let fleet = match FleetConfig::from_args(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
 
-    let suites: [&[Workload]; 3] = [&sunspider(), &kraken(), &shootout()];
+    let workloads = corpus();
+    let run = nomap_fleet::run_sharded(workloads.len(), &fleet, |i| {
+        let w = &workloads[i];
+        let report = lint_source(w.source, arch, warmup).map_err(|e| format!("{}: {e}", w.id))?;
+        let mut shard =
+            ShardLint { error_lines: Vec::new(), stages: report.stages, warnings: 0, errors: 0 };
+        for d in &report.diagnostics {
+            if d.is_error() {
+                shard.errors += 1;
+                shard.error_lines.push(format!("{}: {d}", w.id));
+            } else {
+                shard.warnings += 1;
+            }
+        }
+        Ok(shard)
+    });
+
     let mut linted = 0usize;
     let mut stages = 0usize;
     let mut warnings = 0usize;
     let mut errors = 0usize;
-    for w in suites.iter().flat_map(|s| s.iter()) {
-        let report = match lint_source(w.source, arch, warmup) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{}: lint failed: {e}", w.id);
-                return ExitCode::FAILURE;
+    let mut failed = 0usize;
+    for shard in &run.shards {
+        match &shard.outcome {
+            Ok(s) => {
+                for line in &s.error_lines {
+                    println!("{line}");
+                }
+                stages += s.stages;
+                warnings += s.warnings;
+                errors += s.errors;
+                linted += 1;
             }
-        };
-        for d in &report.diagnostics {
-            if d.is_error() {
-                errors += 1;
-                println!("{}: {d}", w.id);
-            } else {
-                warnings += 1;
+            Err(e) => {
+                eprintln!("lint failed after {} attempts: {e}", shard.attempts);
+                failed += 1;
             }
         }
-        stages += report.stages;
-        linted += 1;
     }
     println!(
         "linted {linted} workloads under {}: {stages} verification stages, {errors} errors, {warnings} warnings",
         arch.name()
     );
-    if errors == 0 {
+    report_summary(&run.summary);
+    if errors == 0 && failed == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

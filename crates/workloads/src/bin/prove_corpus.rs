@@ -4,8 +4,13 @@
 //! the build) and exits nonzero when any workload has a *reachable*
 //! statically proved-to-fail check.
 //!
+//! Workloads are sharded over the `nomap-fleet` harness; per-workload
+//! lines are buffered and printed in canonical corpus order, so stdout is
+//! byte-identical for any `--jobs` value. Scheduling telemetry goes to
+//! stderr only.
+//!
 //! ```text
-//! prove_corpus [arch-name] [--warmup N] [--json <path>]
+//! prove_corpus [arch-name] [--warmup N] [--json <path>] [--jobs N]
 //! ```
 //!
 //! `--json` additionally writes the full per-workload census (every
@@ -13,8 +18,9 @@
 
 use std::process::ExitCode;
 
-use nomap_vm::{obj, prove_source, Architecture, JsonValue};
-use nomap_workloads::{kraken, shootout, sunspider, Workload};
+use nomap_fleet::FleetConfig;
+use nomap_vm::{obj, prove_source, Architecture, JsonValue, ProveReport};
+use nomap_workloads::fleet::{corpus, report_summary};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,18 +39,34 @@ fn main() -> ExitCode {
     };
     let warmup: u32 = flag("--warmup").and_then(|s| s.parse().ok()).unwrap_or(40);
     let json_path = flag("--json").map(str::to_owned);
+    let fleet = match FleetConfig::from_args(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
 
-    let suites: [&[Workload]; 3] = [&sunspider(), &kraken(), &shootout()];
+    let workloads = corpus();
+    let run: nomap_fleet::FleetRun<ProveReport> =
+        nomap_fleet::run_sharded(workloads.len(), &fleet, |i| {
+            let w = &workloads[i];
+            prove_source(w.source, arch, warmup).map_err(|e| format!("{}: {e}", w.id))
+        });
+
+    let mut proved = 0usize;
     let mut elided = 0u64;
     let mut reachable_fail = 0usize;
     let mut with_elisions = 0usize;
+    let mut failed = 0usize;
     let mut docs: Vec<JsonValue> = Vec::new();
-    for w in suites.iter().flat_map(|s| s.iter()) {
-        let report = match prove_source(w.source, arch, warmup) {
+    for (w, shard) in workloads.iter().zip(&run.shards) {
+        let report = match &shard.outcome {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("{}: prove failed: {e}", w.id);
-                return ExitCode::FAILURE;
+                eprintln!("prove failed after {} attempts: {e}", shard.attempts);
+                failed += 1;
+                continue;
             }
         };
         println!(
@@ -55,6 +77,7 @@ fn main() -> ExitCode {
             report.total_proved_fail(),
             report.total_unknown()
         );
+        proved += 1;
         elided += u64::from(report.total_elided());
         reachable_fail += report.reachable_proved_fail();
         if report.total_elided() > 0 {
@@ -65,10 +88,10 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "proved {} workloads under {}: {elided} checks elided in {with_elisions} workloads, {reachable_fail} reachable proved-fail groups",
-        suites.iter().map(|s| s.len()).sum::<usize>(),
+        "proved {proved} workloads under {}: {elided} checks elided in {with_elisions} workloads, {reachable_fail} reachable proved-fail groups",
         arch.name()
     );
+    report_summary(&run.summary);
     if let Some(path) = &json_path {
         let doc = obj(vec![("arch", arch.name().into()), ("workloads", JsonValue::Array(docs))]);
         if let Err(e) = std::fs::write(path, doc.render()) {
@@ -77,7 +100,7 @@ fn main() -> ExitCode {
         }
         eprintln!("census json written to {path}");
     }
-    if reachable_fail == 0 {
+    if reachable_fail == 0 && failed == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

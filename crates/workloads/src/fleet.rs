@@ -1,0 +1,189 @@
+//! Corpus-level sharding: run every bundled workload through the
+//! `nomap-fleet` harness with full observability and merge the results in
+//! canonical order.
+//!
+//! The canonical shard order is the flat suite order (SunSpider S01–S26,
+//! Kraken K01–K14, then Shootout) — the exact order the sequential corpus
+//! binaries have always iterated, so sharded and sequential runs produce
+//! byte-identical reports.
+
+use nomap_fleet::{run_sharded, FleetConfig, FleetRun, FleetSummary};
+use nomap_vm::{ExecStats, Metrics, ProfileData, TraceEvent, Value, Vm, VmError};
+
+use crate::harness::RunSpec;
+use crate::{kraken, shootout, sunspider, Workload};
+
+/// Every bundled workload in canonical (flat suite) order.
+pub fn corpus() -> Vec<Workload> {
+    let mut v = sunspider();
+    v.extend(kraken());
+    v.extend(shootout());
+    v
+}
+
+/// One shard's fully-observed result: the measured-window statistics plus
+/// the whole-run metrics registry and cycle-attribution profile.
+#[derive(Debug, Clone)]
+pub struct ObservedRun {
+    /// Workload id the shard ran.
+    pub id: &'static str,
+    /// Measured-window execution statistics.
+    pub stats: ExecStats,
+    /// Metrics registry for the whole run (warmup included).
+    pub metrics: Metrics,
+    /// Cycle-attribution profile for the measured window.
+    pub profile: ProfileData,
+    /// The checksum `run()` returned.
+    pub checksum: Value,
+    /// Guest `print` output for the whole run.
+    pub output: String,
+}
+
+/// Runs one workload with tracing metrics and cycle-attribution profiling
+/// enabled, honouring `spec.cycle_budget`. This is the fleet's shard body:
+/// a fresh `Vm` per call, nothing shared.
+///
+/// # Errors
+///
+/// Propagates compile/guest errors and the cycle-budget trip.
+pub fn run_workload_observed(w: &Workload, spec: RunSpec) -> Result<ObservedRun, VmError> {
+    let mut vm = Vm::with_config(w.source, spec.config)?;
+    vm.enable_tracing(64);
+    vm.enable_profiling();
+    let mut spent_before_window = 0u64;
+    let check_budget = |vm: &Vm, spent_before: u64| -> Result<(), VmError> {
+        if let Some(budget) = spec.cycle_budget {
+            let spent = spent_before.saturating_add(vm.stats.total_cycles());
+            if spent > budget {
+                return Err(VmError::CycleBudget { spent, budget });
+            }
+        }
+        Ok(())
+    };
+    vm.run_main()?;
+    check_budget(&vm, spent_before_window)?;
+    let mut checksum = Value::UNDEFINED;
+    for _ in 0..spec.warmup {
+        checksum = vm.call("run", &[])?;
+        check_budget(&vm, spent_before_window)?;
+    }
+    spent_before_window = vm.stats.total_cycles();
+    vm.reset_stats();
+    for _ in 0..spec.measured.max(1) {
+        checksum = vm.call("run", &[])?;
+        check_budget(&vm, spent_before_window)?;
+    }
+    let stats = vm.stats.clone();
+    let metrics = vm.trace_metrics().clone();
+    let profile = vm.profile().cloned().unwrap_or_default();
+    Ok(ObservedRun { id: w.id, stats, metrics, profile, checksum, output: vm.take_output() })
+}
+
+/// Canonical-order merge of per-shard observations: all mergeable state
+/// folded shard 0, 1, 2, … regardless of completion order.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusMerge {
+    /// Merged measured-window statistics.
+    pub stats: ExecStats,
+    /// Merged metrics registries.
+    pub metrics: Metrics,
+    /// Merged cycle-attribution profiles.
+    pub profile: ProfileData,
+    /// Concatenated guest output, canonical shard order.
+    pub output: String,
+}
+
+impl CorpusMerge {
+    /// Folds successful shards (in the order given, which callers keep
+    /// canonical) into one corpus-level aggregate.
+    pub fn from_runs<'a>(runs: impl IntoIterator<Item = &'a ObservedRun>) -> Self {
+        let mut merged = CorpusMerge::default();
+        for r in runs {
+            merged.stats.merge(&r.stats);
+            merged.metrics.merge(&r.metrics);
+            merged.profile.merge(&r.profile);
+            merged.output.push_str(&r.output);
+        }
+        merged
+    }
+}
+
+/// Runs the whole corpus (or any workload/spec list) through the fleet.
+/// Shard `i` runs `specs[i].0` under `specs[i].1`; results come back in
+/// canonical order with per-shard failures isolated and reported.
+pub fn run_corpus_sharded(
+    specs: &[(Workload, RunSpec)],
+    config: &FleetConfig,
+) -> FleetRun<ObservedRun> {
+    run_sharded(specs.len(), config, |i| {
+        let (w, spec) = &specs[i];
+        run_workload_observed(w, *spec).map_err(|e| format!("{}: {e}", w.id))
+    })
+}
+
+/// Converts a fleet summary into its schema-v5 trace event.
+pub fn summary_event(s: &FleetSummary) -> TraceEvent {
+    TraceEvent::FleetSummary {
+        jobs: s.jobs as u64,
+        shards: s.shards as u64,
+        failed: s.failed as u64,
+        retried: s.retried as u64,
+        wall_ns: s.wall_ns,
+        peak_occupancy: s.peak_occupancy as u64,
+        shard_wall_ns: s.shard_wall_ns.clone(),
+    }
+}
+
+/// Reports scheduling telemetry to stderr: the human one-liner plus the
+/// serialized `fleet-summary` event. Stderr only — wall-times are
+/// nondeterministic and must stay out of byte-diffed stdout.
+pub fn report_summary(s: &FleetSummary) {
+    eprintln!("{}", s.render());
+    eprintln!("{}", summary_event(s).to_json(0, 0).render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomap_vm::Architecture;
+
+    #[test]
+    fn corpus_is_the_flat_suite_order() {
+        let c = corpus();
+        assert_eq!(c.len(), 51);
+        assert_eq!(c[0].id, "S01");
+        assert_eq!(c[26].id, "K01");
+        assert_eq!(c.last().unwrap().suite, crate::Suite::Shootout);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_harness_stats() {
+        let w = &corpus()[0];
+        let spec = RunSpec::quick(Architecture::Base);
+        let plain = crate::run_workload(w, spec).unwrap();
+        let observed = run_workload_observed(w, spec).unwrap();
+        assert_eq!(observed.stats, plain.stats, "observability must not perturb stats");
+        assert_eq!(observed.checksum, plain.checksum);
+        assert_eq!(observed.output, plain.output);
+        assert!(observed.profile.ledger.total() > 0);
+        assert!(!observed.metrics.counters.is_empty());
+    }
+
+    #[test]
+    fn summary_event_round_trips_fields() {
+        let s = FleetSummary {
+            jobs: 4,
+            shards: 2,
+            failed: 0,
+            retried: 1,
+            wall_ns: 123,
+            peak_occupancy: 2,
+            shard_wall_ns: vec![60, 63],
+        };
+        let ev = summary_event(&s);
+        assert_eq!(ev.kind(), "fleet-summary");
+        let json = ev.to_json(0, 0).render();
+        assert!(json.contains("\"retried\":1"));
+        assert!(json.contains("\"shard_wall_ns\":[60,63]"));
+    }
+}

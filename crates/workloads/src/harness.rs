@@ -13,25 +13,37 @@ pub struct RunSpec {
     pub warmup: u32,
     /// Measured `run()` calls.
     pub measured: u32,
+    /// Optional cap on *total* simulated cycles across the whole run
+    /// (setup + warmup + measured). The simulator's clock is cycles, so
+    /// this is the deterministic analogue of a shard wall-time timeout:
+    /// exceeding it fails the run with [`VmError::CycleBudget`] identically
+    /// on every host. `None` = unlimited.
+    pub cycle_budget: Option<u64>,
 }
 
 impl RunSpec {
     /// Steady-state measurement (the paper's methodology): enough warmup
     /// for every hot function to reach the top tier.
     pub fn steady(arch: Architecture) -> Self {
-        RunSpec { config: VmConfig::new(arch), warmup: 120, measured: 3 }
+        RunSpec { config: VmConfig::new(arch), warmup: 120, measured: 3, cycle_budget: None }
     }
 
     /// Faster, for tests.
     pub fn quick(arch: Architecture) -> Self {
-        RunSpec { config: VmConfig::new(arch), warmup: 70, measured: 1 }
+        RunSpec { config: VmConfig::new(arch), warmup: 70, measured: 1, cycle_budget: None }
     }
 
     /// Steady-state with a capped tier (Table I / Figure 1).
     pub fn capped(arch: Architecture, limit: TierLimit) -> Self {
         let mut config = VmConfig::new(arch);
         config.tier_limit = limit;
-        RunSpec { config, warmup: 120, measured: 3 }
+        RunSpec { config, warmup: 120, measured: 3, cycle_budget: None }
+    }
+
+    /// Same spec with a total-cycle budget (the fleet's shard timeout).
+    pub fn with_budget(mut self, cycles: u64) -> Self {
+        self.cycle_budget = Some(cycles);
+        self
     }
 }
 
@@ -54,21 +66,38 @@ pub struct RunOutput {
 /// Propagates compile and guest errors.
 pub fn run_workload(w: &Workload, spec: RunSpec) -> Result<RunOutput, VmError> {
     let mut vm = Vm::with_config(w.source, spec.config)?;
+    // Cycles already spent in windows `reset_stats` has discarded; the
+    // budget caps the *run*, not the current window.
+    let mut spent_before_window = 0u64;
+    let check_budget = |vm: &Vm, spent_before: u64| -> Result<(), VmError> {
+        if let Some(budget) = spec.cycle_budget {
+            let spent = spent_before.saturating_add(vm.stats.total_cycles());
+            if spent > budget {
+                return Err(VmError::CycleBudget { spent, budget });
+            }
+        }
+        Ok(())
+    };
     vm.run_main()?;
+    check_budget(&vm, spent_before_window)?;
     let mut checksum = Value::UNDEFINED;
     for _ in 0..spec.warmup {
         checksum = vm.call("run", &[])?;
+        check_budget(&vm, spent_before_window)?;
     }
+    spent_before_window = vm.stats.total_cycles();
     vm.reset_stats();
     for _ in 0..spec.measured.max(1) {
         let v = vm.call("run", &[])?;
+        check_budget(&vm, spent_before_window)?;
         if v != checksum {
             // Workloads are deterministic per call unless they use
             // Math.random; report the last value either way.
             checksum = v;
         }
     }
-    Ok(RunOutput { stats: vm.stats.clone(), checksum, output: vm.rt.output.clone() })
+    let stats = vm.stats.clone();
+    Ok(RunOutput { stats, checksum, output: vm.take_output() })
 }
 
 #[cfg(test)]
@@ -89,5 +118,30 @@ mod tests {
         let out = run_workload(&w, RunSpec::quick(nomap_vm::Architecture::Base)).unwrap();
         assert_eq!(out.checksum, Value::new_int32(1225));
         assert!(out.stats.total_insts() > 0);
+    }
+
+    #[test]
+    fn cycle_budget_trips_deterministically() {
+        let w = Workload {
+            id: "T01",
+            name: "tiny",
+            suite: Suite::Shootout,
+            in_avgs: false,
+            source:
+                "function run() { var s = 0; for (var i = 0; i < 50; i++) { s += i; } return s; }",
+        };
+        let spec = RunSpec::quick(nomap_vm::Architecture::Base).with_budget(10);
+        let err = run_workload(&w, spec).unwrap_err();
+        let nomap_vm::VmError::CycleBudget { spent, budget } = err else {
+            panic!("expected CycleBudget, got {err}");
+        };
+        assert_eq!(budget, 10);
+        assert!(spent > 10);
+        // Deterministic: the same budget trips at the same spent count.
+        let again = run_workload(&w, spec).unwrap_err();
+        assert_eq!(again, nomap_vm::VmError::CycleBudget { spent, budget });
+        // A generous budget does not interfere.
+        let ok = run_workload(&w, spec.with_budget(u64::MAX)).unwrap();
+        assert_eq!(ok.checksum, Value::new_int32(1225));
     }
 }

@@ -20,6 +20,7 @@
 //! # Ok::<(), nomap_vm::VmError>(())
 //! ```
 
+pub mod fleet;
 mod harness;
 mod kraken;
 pub mod native;

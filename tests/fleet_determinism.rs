@@ -1,0 +1,140 @@
+//! Fleet determinism property tests: a sharded corpus run must be
+//! bit-identical whether it runs on 1 worker or 4, and a panicking shard
+//! must be isolated (retried, flagged, and the run still completes).
+//!
+//! Workload/config samples are drawn with a deterministic splitmix PRNG
+//! (no external crates), so every CI run covers the same sample set.
+
+use nomap_fleet::{run_sharded, FleetConfig};
+use nomap_vm::Architecture;
+use nomap_workloads::fleet::{corpus, run_corpus_sharded, CorpusMerge};
+use nomap_workloads::RunSpec;
+
+/// Deterministic splitmix64 (same construction as `nomap_runtime::Lcg`).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Random (workload, config) shard list: the property must hold for any
+/// mix of architectures and warmup depths, not just the canonical corpus.
+fn sample_specs(rng: &mut Rng, shards: usize) -> Vec<(nomap_workloads::Workload, RunSpec)> {
+    let all = corpus();
+    let archs = Architecture::ALL;
+    (0..shards)
+        .map(|_| {
+            let w = all[rng.below(all.len() as u64) as usize].clone();
+            let arch = archs[rng.below(archs.len() as u64) as usize];
+            let mut spec = RunSpec::quick(arch);
+            spec.warmup = 40 + rng.below(80) as u32;
+            spec.measured = 1 + rng.below(3) as u32;
+            (w, spec)
+        })
+        .collect()
+}
+
+/// Debug builds sample a smaller corpus so plain `cargo test -q` stays
+/// quick; the release CI lane runs the full breadth.
+const ROUNDS: usize = if cfg!(debug_assertions) { 1 } else { 3 };
+const SHARDS: usize = if cfg!(debug_assertions) { 4 } else { 12 };
+
+#[test]
+fn sharded_run_is_bit_identical_across_worker_counts() {
+    let mut rng = Rng(0xF1EE7);
+    for round in 0..ROUNDS {
+        let specs = sample_specs(&mut rng, SHARDS);
+        let seq = run_corpus_sharded(&specs, &FleetConfig::sequential());
+        let par = run_corpus_sharded(&specs, &FleetConfig::with_jobs(4));
+        assert_eq!(seq.shards.len(), par.shards.len());
+        for (s, p) in seq.shards.iter().zip(&par.shards) {
+            assert_eq!(s.index, p.index);
+            let (sr, pr) = (s.outcome.as_ref().unwrap(), p.outcome.as_ref().unwrap());
+            assert_eq!(sr.id, pr.id, "round {round}: shard {} id drifted", s.index);
+            assert_eq!(sr.stats, pr.stats, "round {round}: ExecStats differ on {}", sr.id);
+            assert_eq!(sr.metrics, pr.metrics, "round {round}: Metrics differ on {}", sr.id);
+            assert_eq!(sr.profile, pr.profile, "round {round}: ProfileData differ on {}", sr.id);
+            assert_eq!(sr.checksum, pr.checksum, "round {round}: checksum differs on {}", sr.id);
+            assert_eq!(sr.output, pr.output, "round {round}: guest output differs on {}", sr.id);
+        }
+        // Canonical-order merging erases scheduling entirely: the merged
+        // aggregates must also be equal, field for field.
+        let ms = CorpusMerge::from_runs(seq.shards.iter().map(|s| s.outcome.as_ref().unwrap()));
+        let mp = CorpusMerge::from_runs(par.shards.iter().map(|s| s.outcome.as_ref().unwrap()));
+        assert_eq!(ms.stats, mp.stats);
+        assert_eq!(ms.metrics, mp.metrics);
+        assert_eq!(ms.profile, mp.profile);
+        assert_eq!(ms.output, mp.output);
+        // Scheduling telemetry is the one thing allowed to differ; the
+        // deterministic parts of the summary still must not.
+        assert_eq!(seq.summary.shards, par.summary.shards);
+        assert_eq!(seq.summary.failed, par.summary.failed);
+        assert_eq!(par.summary.jobs, 4.min(specs.len()));
+    }
+}
+
+#[test]
+fn whole_corpus_matches_sequential_under_nomap() {
+    let take = if cfg!(debug_assertions) { 8 } else { corpus().len() };
+    let specs: Vec<_> =
+        corpus().into_iter().take(take).map(|w| (w, RunSpec::quick(Architecture::NoMap))).collect();
+    let seq = run_corpus_sharded(&specs, &FleetConfig::sequential());
+    let par = run_corpus_sharded(&specs, &FleetConfig::with_jobs(4));
+    for (s, p) in seq.shards.iter().zip(&par.shards) {
+        let (sr, pr) = (s.outcome.as_ref().unwrap(), p.outcome.as_ref().unwrap());
+        assert_eq!((sr.id, &sr.stats, &sr.checksum), (pr.id, &pr.stats, &pr.checksum));
+    }
+}
+
+#[test]
+fn panicking_shard_is_isolated_retried_and_flagged() {
+    let config = FleetConfig::with_jobs(4);
+    let run = run_sharded(8, &config, |i| {
+        if i == 3 {
+            panic!("shard 3 always dies");
+        }
+        Ok::<usize, String>(i * 10)
+    });
+    assert_eq!(run.shards.len(), 8);
+    assert_eq!(run.summary.failed, 1);
+    assert_eq!(run.summary.retried, 1);
+    for shard in &run.shards {
+        if shard.index == 3 {
+            let err = shard.outcome.as_ref().unwrap_err();
+            assert!(err.contains("shard 3 always dies"), "panic message lost: {err}");
+            assert_eq!(shard.attempts, 2, "failed shard must be retried once");
+        } else {
+            assert_eq!(*shard.outcome.as_ref().unwrap(), shard.index * 10);
+            assert_eq!(shard.attempts, 1);
+        }
+    }
+    assert_eq!(run.failures().count(), 1);
+}
+
+#[test]
+fn cycle_budget_failures_are_deterministic_across_worker_counts() {
+    // A budget small enough to trip on every workload: the failure string
+    // (spent/budget counts) must be identical under any scheduling.
+    let specs: Vec<_> = corpus()
+        .into_iter()
+        .take(6)
+        .map(|w| (w, RunSpec::quick(Architecture::Base).with_budget(10)))
+        .collect();
+    let seq = run_corpus_sharded(&specs, &FleetConfig::sequential());
+    let par = run_corpus_sharded(&specs, &FleetConfig::with_jobs(4));
+    assert_eq!(seq.summary.failed, specs.len());
+    for (s, p) in seq.shards.iter().zip(&par.shards) {
+        assert_eq!(s.outcome.as_ref().unwrap_err(), p.outcome.as_ref().unwrap_err());
+        assert_eq!(s.attempts, p.attempts);
+    }
+}
