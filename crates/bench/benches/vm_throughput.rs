@@ -3,13 +3,21 @@
 //! (the `src/bin/*` binaries do); they track the reproduction's own
 //! performance so simulator regressions are caught.
 //!
-//! Plain `std::time` harness (no external bench framework): each kernel is
-//! timed over a fixed iteration count and reported as ns/iter.
+//! Plain `std::time` harness (no external bench framework), with all
+//! timing routed through the `nomap-hostprof` span timer: each kernel
+//! loop runs inside a uniquely-named span, and ns/iter plus allocation
+//! attribution are read back from the span registry snapshot. That keeps
+//! one clock for the whole observatory and exercises the span/allocator
+//! path under bench-realistic load.
 
-use std::time::Instant;
-
+use nomap_hostprof::{snapshot, span, CountingAlloc, SpanStats};
 use nomap_vm::{Architecture, Vm};
 use nomap_workloads::{shootout, sunspider};
+
+/// Counting allocator is opt-in per binary; installing it here gives the
+/// bench real allocs/iter columns next to ns/iter.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn warm_vm(src: &str, arch: Architecture) -> Vm {
     let mut vm = Vm::new(src, arch).expect("compiles");
@@ -20,8 +28,17 @@ fn warm_vm(src: &str, arch: Architecture) -> Vm {
     vm
 }
 
-fn report(name: &str, iters: u32, total_ns: u128) {
-    println!("{name:<28} {:>12} ns/iter ({iters} iters)", total_ns / iters as u128);
+/// Pulls the named span back out of the registry and reports per-iter
+/// wall time and allocation attribution.
+fn report(name: &str, iters: u64) {
+    let stats: SpanStats = snapshot().spans.get(name).copied().unwrap_or_default();
+    assert_eq!(stats.count, 1, "each bench span runs exactly once");
+    println!(
+        "{name:<28} {:>12} ns/iter {:>9} allocs/iter {:>12} alloc-B/iter ({iters} iters)",
+        stats.wall_ns / iters,
+        stats.allocs / iters,
+        stats.alloc_bytes / iters
+    );
 }
 
 fn bench_steady_state() {
@@ -34,30 +51,39 @@ fn bench_steady_state() {
         let w = shootout().into_iter().find(|w| w.id == pick).unwrap();
         let mut vm = warm_vm(w.source, arch);
         let iters = 10;
-        let t = Instant::now();
-        for _ in 0..iters {
-            vm.call("run", &[]).unwrap();
+        // `:`-separated, not `/`: a slash is the span-path separator and
+        // would make the report treat the bench name as a nested path.
+        let name = format!("steady_state:{pick}:{}", arch.name());
+        {
+            let _span = span(&name);
+            for _ in 0..iters {
+                vm.call("run", &[]).unwrap();
+            }
         }
-        report(&format!("steady_state/{pick}/{}", arch.name()), iters, t.elapsed().as_nanos());
+        report(&name, iters);
     }
 }
 
 fn bench_compilation() {
-    let w = sunspider().into_iter().find(|w| w.id == "S14").unwrap();
     let iters = 10;
-    let t = Instant::now();
-    for _ in 0..iters {
-        let mut vm = Vm::new(w.source, Architecture::NoMap).unwrap();
-        vm.run_main().unwrap();
-        for _ in 0..80 {
-            vm.call("run", &[]).unwrap();
+    let name = "tier_up:S14:cold_to_ftl";
+    let w = sunspider().into_iter().find(|w| w.id == "S14").unwrap();
+    {
+        let _span = span(name);
+        for _ in 0..iters {
+            let mut vm = Vm::new(w.source, Architecture::NoMap).unwrap();
+            vm.run_main().unwrap();
+            for _ in 0..80 {
+                vm.call("run", &[]).unwrap();
+            }
+            std::hint::black_box(vm.stats.total_insts());
         }
-        std::hint::black_box(vm.stats.total_insts());
     }
-    report("tier_up/S14/cold_to_ftl", iters, t.elapsed().as_nanos());
+    report(name, iters);
 }
 
 fn main() {
+    nomap_hostprof::set_enabled(true);
     bench_steady_state();
     bench_compilation();
 }

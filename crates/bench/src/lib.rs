@@ -106,7 +106,7 @@ impl FleetMeasured {
 /// `BenchRows::push` applies).
 ///
 /// Failed shards are isolated, retried once, and collected; the run always
-/// completes. The `Err` carries one line per permanently-failed shard —
+/// completes. The boxed `Err` carries one line per permanently-failed shard —
 /// experiment tables need every cell, so binaries report and exit nonzero.
 ///
 /// # Errors
@@ -115,7 +115,7 @@ impl FleetMeasured {
 pub fn measure_fleet(
     jobs: &[MeasureJob],
     config: &FleetConfig,
-) -> Result<FleetMeasured, (String, nomap_fleet::FleetSummary)> {
+) -> Result<FleetMeasured, Box<(String, nomap_fleet::FleetSummary)>> {
     let mut unique: Vec<&MeasureJob> = Vec::new();
     let mut seen: BTreeMap<(&str, &str), ()> = BTreeMap::new();
     for j in jobs {
@@ -142,7 +142,7 @@ pub fn measure_fleet(
     if failures.is_empty() {
         Ok(FleetMeasured { map, summary: run.summary })
     } else {
-        Err((failures.join("\n"), run.summary))
+        Err(Box::new((failures.join("\n"), run.summary)))
     }
 }
 
@@ -152,7 +152,8 @@ pub fn measure_fleet(
 pub fn measure_fleet_or_exit(jobs: &[MeasureJob], config: &FleetConfig) -> FleetMeasured {
     match measure_fleet(jobs, config) {
         Ok(m) => m,
-        Err((msg, summary)) => {
+        Err(err) => {
+            let (msg, summary) = *err;
             eprintln!("{msg}");
             nomap_workloads::fleet::report_summary(&summary);
             std::process::exit(1);
@@ -438,7 +439,7 @@ mod tests {
 
         let broken = Workload { source: "function run() { return missing(); }", ..w };
         let jobs = vec![MeasureJob::new(&broken, "Base", RunSpec::quick(Architecture::Base))];
-        let (msg, summary) = measure_fleet(&jobs, &FleetConfig::sequential()).unwrap_err();
+        let (msg, summary) = *measure_fleet(&jobs, &FleetConfig::sequential()).unwrap_err();
         assert_eq!(summary.failed, 1);
         assert!(msg.contains("T00/Base"), "failure names the cell: {msg}");
     }

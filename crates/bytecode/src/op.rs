@@ -249,7 +249,67 @@ pub enum Op {
     Return { src: Reg },
 }
 
+/// Number of opcode kinds (the length of [`Op::KIND_NAMES`]).
+pub const OP_KIND_COUNT: usize = 22;
+
 impl Op {
+    /// Kebab-case names of every opcode kind, indexed by
+    /// [`Op::kind_index`]. Used by the dynamic-frequency census to label
+    /// opcode and digram counters.
+    pub const KIND_NAMES: [&'static str; OP_KIND_COUNT] = [
+        "load-const",
+        "load-int",
+        "load-bool",
+        "load-undefined",
+        "load-null",
+        "mov",
+        "binary",
+        "unary",
+        "jump",
+        "jump-if-true",
+        "jump-if-false",
+        "new-object",
+        "new-array",
+        "get-prop",
+        "put-prop",
+        "get-index",
+        "put-index",
+        "get-global",
+        "put-global",
+        "call",
+        "call-intrinsic",
+        "return",
+    ];
+
+    /// Dense index of this opcode's kind (operands ignored), matching
+    /// [`Op::KIND_NAMES`].
+    pub fn kind_index(&self) -> u8 {
+        match self {
+            Op::LoadConst { .. } => 0,
+            Op::LoadInt { .. } => 1,
+            Op::LoadBool { .. } => 2,
+            Op::LoadUndefined { .. } => 3,
+            Op::LoadNull { .. } => 4,
+            Op::Mov { .. } => 5,
+            Op::Binary { .. } => 6,
+            Op::Unary { .. } => 7,
+            Op::Jump { .. } => 8,
+            Op::JumpIfTrue { .. } => 9,
+            Op::JumpIfFalse { .. } => 10,
+            Op::NewObject { .. } => 11,
+            Op::NewArray { .. } => 12,
+            Op::GetProp { .. } => 13,
+            Op::PutProp { .. } => 14,
+            Op::GetIndex { .. } => 15,
+            Op::PutIndex { .. } => 16,
+            Op::GetGlobal { .. } => 17,
+            Op::PutGlobal { .. } => 18,
+            Op::Call { .. } => 19,
+            Op::CallIntrinsic { .. } => 20,
+            Op::Return { .. } => 21,
+        }
+    }
+
     /// The jump target, if this is a branch.
     pub fn jump_target(&self) -> Option<u32> {
         match *self {
@@ -295,6 +355,22 @@ mod tests {
         assert_eq!(Intrinsic::from_method("push"), Some(Intrinsic::ArrayPush));
         assert!(Intrinsic::MathSin.is_pure_math());
         assert!(!Intrinsic::ArrayPush.is_pure_math());
+    }
+
+    #[test]
+    fn kind_index_matches_kind_names() {
+        assert_eq!(Op::KIND_NAMES.len(), OP_KIND_COUNT);
+        let samples = [
+            (Op::LoadInt { dst: Reg(0), value: 1 }, "load-int"),
+            (Op::Mov { dst: Reg(0), src: Reg(1) }, "mov"),
+            (Op::Jump { target: 0 }, "jump"),
+            (Op::Return { src: Reg(0) }, "return"),
+        ];
+        for (op, name) in samples {
+            assert_eq!(Op::KIND_NAMES[op.kind_index() as usize], name, "{op:?}");
+        }
+        // Indices stay in range for the census table.
+        assert!(samples.iter().all(|(op, _)| (op.kind_index() as usize) < OP_KIND_COUNT));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! nomap prove <file.js> [--arch <name>] [--warmup N] [--census] [--json]
 //! nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]
 //! nomap corpus [--arch <name>] [--warmup N] [--jobs N] [--budget CYCLES]
+//! nomap hostprof [--arch <name>] [--warmup N] [--jobs N] [--top N] [--json] [--digrams] [--flame <path>] [--hostbench-dir <dir>]
 //! nomap archs
 //! ```
 //!
@@ -26,15 +27,29 @@
 //! actually reached. `corpus` runs every bundled workload through the
 //! sharded `nomap-fleet` harness (`--jobs N` / `NOMAP_JOBS`); stdout is
 //! byte-identical for any worker count, scheduling telemetry goes to
-//! stderr.
+//! stderr. `hostprof` runs the same corpus with the host-time &
+//! allocation observatory enabled: stdout carries only deterministic
+//! counters (opcode/digram census, span entry and allocation counts, still
+//! `--jobs`-invariant), while wall-clock tables and `host-span` JSON Lines
+//! events go to stderr. `--digrams` prints just the digram table (the
+//! committed `results/digrams.txt`), `--flame` writes collapsed stacks for
+//! flamegraph tools, `--hostbench-dir` writes the `HOSTBENCH_corpus.json`
+//! document, and `--json` prints that document to stdout instead of the
+//! tables (it embeds nondeterministic wall times).
 
 use std::process::ExitCode;
+
+/// The counting allocator is opt-in per binary; installing it here gives
+/// `nomap hostprof` real allocation attribution. Every other subcommand
+/// pays one relaxed atomic load per allocation (observatory disabled).
+#[global_allocator]
+static ALLOC: nomap_hostprof::CountingAlloc = nomap_hostprof::CountingAlloc;
 
 use nomap_fleet::FleetConfig;
 use nomap_trace::{obj, JsonValue};
 use nomap_vm::{
     bench_diff, Architecture, BenchRows, CheckKind, HotSpotReport, InstCategory, JsonlSink, Tier,
-    TierLimit, Vm, VmConfig,
+    TierLimit, TraceEvent, Vm, VmConfig,
 };
 use nomap_workloads::fleet::{corpus, report_summary, run_corpus_sharded, CorpusMerge};
 use nomap_workloads::RunSpec;
@@ -50,6 +65,7 @@ fn main() -> ExitCode {
         Some("prove") => cmd_prove(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
+        Some("hostprof") => cmd_hostprof(&args[1..]),
         Some("archs") => {
             for a in Architecture::ALL {
                 println!("{}", a.name());
@@ -58,7 +74,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage:\n  nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]\n  nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]\n  nomap profile <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--top N] [--json]\n  nomap bench-diff <old> <new> [--threshold PCT]\n  nomap lint <file.js> [--arch <name>] [--warmup N] [--json] [--deny-warnings]\n  nomap prove <file.js> [--arch <name>] [--warmup N] [--census] [--json]\n  nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]\n  nomap corpus [--arch <name>] [--warmup N] [--jobs N] [--budget CYCLES]\n  nomap archs"
+                "usage:\n  nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]\n  nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]\n  nomap profile <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--top N] [--json]\n  nomap bench-diff <old> <new> [--threshold PCT]\n  nomap lint <file.js> [--arch <name>] [--warmup N] [--json] [--deny-warnings]\n  nomap prove <file.js> [--arch <name>] [--warmup N] [--census] [--json]\n  nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]\n  nomap corpus [--arch <name>] [--warmup N] [--jobs N] [--budget CYCLES]\n  nomap hostprof [--arch <name>] [--warmup N] [--jobs N] [--top N] [--json] [--digrams] [--flame <path>] [--hostbench-dir <dir>]\n  nomap archs"
             );
             ExitCode::from(2)
         }
@@ -579,6 +595,142 @@ fn cmd_corpus(args: &[String]) -> ExitCode {
     );
     report_summary(&run.summary);
     if run.summary.failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Top-`top` rows of a census map, count-descending then name ascending —
+/// the deterministic dynamic-frequency tables `hostprof` prints and the CI
+/// host-observatory lane byte-diffs across `--jobs` values.
+fn census_table(
+    kind: &str,
+    counts: &std::collections::BTreeMap<String, u64>,
+    top: usize,
+) -> String {
+    let mut rows: Vec<(&String, &u64)> = counts.iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+    let mut out = String::new();
+    out.push_str(&format!("{:<32} {:>14}\n", kind, "count"));
+    for (name, n) in rows.into_iter().take(top) {
+        out.push_str(&format!("{name:<32} {n:>14}\n"));
+    }
+    out
+}
+
+/// `nomap hostprof` — run the corpus under the host-time & allocation
+/// observatory. Stdout carries only deterministic counters (byte-identical
+/// for any `--jobs` value); wall-clock span tables, `host-span` trace
+/// events and fleet scheduling telemetry go to stderr. Exits nonzero on
+/// shard failure or a span-conservation violation (a parent span reporting
+/// less wall time or allocation than the sum of its direct children).
+fn cmd_hostprof(args: &[String]) -> ExitCode {
+    let arch = match flag_value(args, "--arch") {
+        Some(s) => match parse_arch(s) {
+            Some(a) => a,
+            None => {
+                eprintln!("error: unknown architecture `{s}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => Architecture::NoMap,
+    };
+    let fleet = match FleetConfig::from_args(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let warmup: u32 = flag_value(args, "--warmup").and_then(|s| s.parse().ok()).unwrap_or(120);
+    let top: usize = flag_value(args, "--top").and_then(|s| s.parse().ok()).unwrap_or(32);
+    let as_json = args.iter().any(|a| a == "--json");
+    let digrams_only = args.iter().any(|a| a == "--digrams");
+    let flame_path = flag_value(args, "--flame").map(str::to_owned);
+    let hostbench_dir = flag_value(args, "--hostbench-dir").map(str::to_owned);
+
+    nomap_hostprof::reset();
+    nomap_hostprof::set_enabled(true);
+    let mut spec = RunSpec::steady(arch);
+    spec.warmup = warmup;
+    let specs: Vec<_> = corpus().into_iter().map(|w| (w, spec)).collect();
+    let run = run_corpus_sharded(&specs, &fleet);
+    nomap_hostprof::set_enabled(false);
+
+    for shard in &run.shards {
+        if let Err(e) = &shard.outcome {
+            let id = specs[shard.index].0.id;
+            eprintln!("{id:<6} FAILED after {} attempt(s): {e}", shard.attempts);
+        }
+    }
+    let merged = CorpusMerge::from_runs(run.shards.iter().filter_map(|s| s.outcome.as_ref().ok()));
+    let report = nomap_hostprof::snapshot();
+
+    if digrams_only {
+        print!("{}", census_table("digram", &merged.metrics.digrams, top));
+    } else if as_json {
+        print!(
+            "{}",
+            nomap_hostprof::render_doc(
+                "corpus",
+                &report,
+                &merged.metrics.opcodes,
+                &merged.metrics.digrams
+            )
+        );
+    } else {
+        println!("--- opcode census (dynamic counts, {}) ---", arch.name());
+        print!("{}", census_table("opcode", &merged.metrics.opcodes, top));
+        println!();
+        println!("--- digram census (dynamic counts, statically adjacent) ---");
+        print!("{}", census_table("digram", &merged.metrics.digrams, top));
+        println!();
+        println!("--- host spans (deterministic columns) ---");
+        print!("{}", report.render_deterministic());
+    }
+
+    eprintln!("--- host spans by wall time ---");
+    eprint!("{}", report.render_wall());
+    for (seq, (path, s)) in report.spans.iter().enumerate() {
+        let ev = TraceEvent::HostSpan {
+            path: path.clone(),
+            count: s.count,
+            wall_ns: s.wall_ns,
+            allocs: s.allocs,
+            alloc_bytes: s.alloc_bytes,
+        };
+        eprintln!("{}", ev.to_json(seq as u64, 0).render());
+    }
+    report_summary(&run.summary);
+
+    let violations = report.conservation_violations();
+    for v in &violations {
+        eprintln!("conservation violation: {v}");
+    }
+
+    if let Some(path) = &flame_path {
+        if let Err(e) = std::fs::write(path, report.collapsed()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("flamegraph: collapsed stacks written to {path}");
+    }
+    if let Some(dir) = &hostbench_dir {
+        let doc = nomap_hostprof::render_doc(
+            "corpus",
+            &report,
+            &merged.metrics.opcodes,
+            &merged.metrics.digrams,
+        );
+        let path = std::path::Path::new(dir).join("HOSTBENCH_corpus.json");
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("error: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("hostbench: host telemetry written to {}", path.display());
+    }
+    if run.summary.failed > 0 || !violations.is_empty() {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

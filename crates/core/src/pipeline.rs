@@ -28,16 +28,25 @@ fn audit(auditor: &mut Option<&mut Auditor>, ir: &IrFunc, stage: &str) {
 }
 
 /// Runs the optimizer; with a verifying auditor attached, the strict
-/// verifier runs after every individual pass (the "pass sanitizer").
+/// verifier runs after every individual pass (the "pass sanitizer"), and
+/// with the host observatory enabled each pass's wall time and allocation
+/// delta is recorded as a `pass:<name>` leaf under the current span.
 fn run_passes(ir: &mut IrFunc, passes: PassConfig, auditor: &mut Option<&mut Auditor>) {
-    match auditor.as_deref_mut() {
-        Some(a) if a.verifying() => {
-            run_pipeline_observed(ir, passes, &mut |f, pass| {
-                a.check(f, &format!("after:{pass}"));
-            });
-        }
-        _ => run_pipeline(ir, passes),
+    let verifying = matches!(auditor.as_deref(), Some(a) if a.verifying());
+    let profiling = nomap_hostprof::enabled();
+    if !verifying && !profiling {
+        run_pipeline(ir, passes);
+        return;
     }
+    let mut lap = nomap_hostprof::PassLap::start(profiling);
+    run_pipeline_observed(ir, passes, &mut |f, pass| {
+        lap.lap(pass);
+        if verifying {
+            if let Some(a) = auditor.as_deref_mut() {
+                a.check(f, &format!("after:{pass}"));
+            }
+        }
+    });
 }
 
 /// Clones `ir` only when a verifying auditor will want a pre-pass snapshot
@@ -105,7 +114,12 @@ pub(crate) fn compile_dfg_ir(
     rt: &mut Runtime,
     mut auditor: Option<&mut Auditor>,
 ) -> Result<(IrFunc, CompileReport), BuildError> {
-    let (mut ir, _info) = build_ir(func, rt, SpecLevel::Dfg)?;
+    let _span = nomap_hostprof::span("compile:dfg");
+    let built = {
+        let _s = nomap_hostprof::span("build-ir");
+        build_ir(func, rt, SpecLevel::Dfg)
+    };
+    let (mut ir, _info) = built?;
     audit(&mut auditor, &ir, "post-build");
     run_passes(&mut ir, PassConfig::dfg(), &mut auditor);
     let report = CompileReport {
@@ -214,7 +228,12 @@ pub(crate) fn compile_ftl_ir(
     passes: PassConfig,
     mut auditor: Option<&mut Auditor>,
 ) -> Result<(IrFunc, CompileReport, bool), BuildError> {
-    let (mut ir, info) = build_ir(func, rt, SpecLevel::Ftl)?;
+    let _span = nomap_hostprof::span("compile:ftl");
+    let built = {
+        let _s = nomap_hostprof::span("build-ir");
+        build_ir(func, rt, SpecLevel::Ftl)
+    };
+    let (mut ir, info) = built?;
     audit(&mut auditor, &ir, "post-build");
     let txn_aware = arch.uses_transactions() && scope != TxnScope::None;
     let mut report = CompileReport::default();
@@ -286,7 +305,12 @@ pub(crate) fn compile_txn_callee_ir(
     passes: PassConfig,
     mut auditor: Option<&mut Auditor>,
 ) -> Result<(IrFunc, CompileReport), BuildError> {
-    let (mut ir, _info) = build_ir(func, rt, SpecLevel::Ftl)?;
+    let _span = nomap_hostprof::span("compile:callee");
+    let built = {
+        let _s = nomap_hostprof::span("build-ir");
+        build_ir(func, rt, SpecLevel::Ftl)
+    };
+    let (mut ir, _info) = built?;
     abort_all_checks(&mut ir);
     audit(&mut auditor, &ir, "post-abort-conversion");
     run_passes(&mut ir, passes, &mut auditor);

@@ -96,6 +96,9 @@ pub struct ShardReport<T> {
     /// Wall-clock time across all attempts. Nondeterministic — keep out of
     /// byte-compared output.
     pub wall: Duration,
+    /// How long the shard sat in the queue before a worker claimed it
+    /// (elapsed from run start to claim). Nondeterministic, like `wall`.
+    pub queued: Duration,
 }
 
 /// Scheduling telemetry for one fleet run. Everything here is
@@ -119,6 +122,11 @@ pub struct FleetSummary {
     pub peak_occupancy: usize,
     /// Per-shard wall time in nanoseconds, canonical shard order.
     pub shard_wall_ns: Vec<u64>,
+    /// Per-shard queue wait (run start → worker claim) in nanoseconds,
+    /// canonical shard order.
+    pub shard_queue_ns: Vec<u64>,
+    /// Per-shard attempts spent, canonical shard order (1 = first try).
+    pub shard_attempts: Vec<u32>,
 }
 
 impl FleetSummary {
@@ -135,6 +143,29 @@ impl FleetSummary {
             self.retried,
             self.failed,
         )
+    }
+
+    /// Multi-line per-shard breakdown (queue wait vs run wall time,
+    /// attempts), canonical shard order. Everything here is wall-clock or
+    /// scheduling dependent — stderr only, like [`FleetSummary::render`].
+    pub fn render_shards(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  {:<8} {:>12} {:>12} {:>9}\n",
+            "shard", "queued-ms", "ran-ms", "attempts"
+        ));
+        for (i, wall) in self.shard_wall_ns.iter().enumerate() {
+            let queued = self.shard_queue_ns.get(i).copied().unwrap_or(0);
+            let attempts = self.shard_attempts.get(i).copied().unwrap_or(1);
+            out.push_str(&format!(
+                "  {:<8} {:>12.2} {:>12.2} {:>9}\n",
+                i,
+                queued as f64 / 1e6,
+                *wall as f64 / 1e6,
+                attempts
+            ));
+        }
+        out
     }
 }
 
@@ -186,9 +217,10 @@ where
         if index >= shards {
             break;
         }
+        let queued = started.elapsed();
         let occupancy = busy.fetch_add(1, Ordering::Relaxed) + 1;
         peak.fetch_max(occupancy, Ordering::Relaxed);
-        let report = run_one(index, config.retries, &work);
+        let report = run_one(index, queued, config.retries, &work);
         busy.fetch_sub(1, Ordering::Relaxed);
         slots.lock().unwrap()[index] = Some(report);
     };
@@ -217,11 +249,13 @@ where
         wall_ns: duration_ns(started.elapsed()),
         peak_occupancy: peak.load(Ordering::Relaxed),
         shard_wall_ns: shards_out.iter().map(|s| duration_ns(s.wall)).collect(),
+        shard_queue_ns: shards_out.iter().map(|s| duration_ns(s.queued)).collect(),
+        shard_attempts: shards_out.iter().map(|s| s.attempts).collect(),
     };
     FleetRun { shards: shards_out, summary }
 }
 
-fn run_one<T, F>(index: usize, retries: u32, work: &F) -> ShardReport<T>
+fn run_one<T, F>(index: usize, queued: Duration, retries: u32, work: &F) -> ShardReport<T>
 where
     F: Fn(usize) -> Result<T, String>,
 {
@@ -235,7 +269,7 @@ where
             Err(_) => continue,
         }
     };
-    ShardReport { index, outcome, attempts, wall: started.elapsed() }
+    ShardReport { index, outcome, attempts, wall: started.elapsed(), queued }
 }
 
 /// One attempt: the closure's own `Err` and a caught panic both become
@@ -324,6 +358,28 @@ mod tests {
         let run = run_sharded(2, &FleetConfig::with_jobs(16), Ok);
         assert!(run.summary.jobs <= 2, "workers are capped at the shard count");
         assert_eq!(run.summary.shard_wall_ns.len(), 2);
+    }
+
+    #[test]
+    fn per_shard_breakdown_tracks_queue_wait_and_attempts() {
+        let first = AtomicU32::new(0);
+        let run = run_sharded(3, &FleetConfig::sequential(), |i| {
+            if i == 1 && first.fetch_add(1, Ordering::Relaxed) == 0 {
+                Err("transient".to_owned())
+            } else {
+                Ok(i)
+            }
+        });
+        let s = &run.summary;
+        assert_eq!(s.shard_queue_ns.len(), 3);
+        assert_eq!(s.shard_attempts, vec![1, 2, 1]);
+        // Sequential run: later shards queue at least as long as earlier
+        // ones (claim times are monotonic on one worker).
+        assert!(s.shard_queue_ns[2] >= s.shard_queue_ns[0]);
+        let table = s.render_shards();
+        assert_eq!(table.lines().count(), 4, "header plus one row per shard");
+        assert!(table.contains("queued-ms"));
+        assert!(table.contains("attempts"));
     }
 
     #[test]

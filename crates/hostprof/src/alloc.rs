@@ -1,0 +1,80 @@
+//! Counting global allocator.
+//!
+//! [`CountingAlloc`] wraps the system allocator and bumps two per-thread
+//! counters (allocation count, bytes requested) on every `alloc` /
+//! `alloc_zeroed` / `realloc` when the observatory is enabled. The span
+//! layer snapshots the counters on entry and attributes the delta on exit,
+//! so attribution is inclusive and per-thread — no cross-thread bleed.
+//!
+//! Caveats, by construction:
+//!
+//! - Installation is opt-in per *binary* (`#[global_allocator]` in the cli
+//!   and bench binaries). A binary without it still runs all span timers;
+//!   the alloc columns just stay zero.
+//! - Frees are not tracked: the interesting signal for the arena refactor
+//!   is churn (how much was requested where), not live footprint.
+//! - The counters are plain thread-local `Cell`s with *const*
+//!   initializers, so the counting path can never itself allocate (no
+//!   lazy-init re-entrancy), and `try_with` keeps late frees during thread
+//!   teardown safe.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use crate::enabled;
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+    static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Monotonic per-thread allocation counters `(count, bytes)` since thread
+/// start. Only advances while the observatory is enabled and the binary
+/// installed [`CountingAlloc`]; consumers must use deltas, never absolutes.
+pub fn alloc_counters() -> (u64, u64) {
+    let count = ALLOC_COUNT.try_with(Cell::get).unwrap_or(0);
+    let bytes = ALLOC_BYTES.try_with(Cell::get).unwrap_or(0);
+    (count, bytes)
+}
+
+#[inline]
+fn note(bytes: usize) {
+    if !enabled() {
+        return;
+    }
+    let _ = ALLOC_COUNT.try_with(|c| c.set(c.get().wrapping_add(1)));
+    let _ = ALLOC_BYTES.try_with(|c| c.set(c.get().wrapping_add(bytes as u64)));
+}
+
+/// A `#[global_allocator]` wrapper over [`System`] that feeds the
+/// observatory's per-thread allocation counters.
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: nomap_hostprof::CountingAlloc = nomap_hostprof::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+// SAFETY: defers every allocation to `System` unchanged; the counting side
+// channel touches only const-initialized thread-local `Cell`s and never
+// allocates or unwinds.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}

@@ -1,0 +1,127 @@
+//! Dynamic opcode and digram frequency census.
+//!
+//! The interpreter records, per executed opcode, its kind index and — when
+//! the next opcode is *statically adjacent* (fallthrough, `pc + 1`) — the
+//! ordered digram `(prev, cur)`. Digram counts rank superinstruction
+//! candidates: a fused op can only replace a statically adjacent pair, so
+//! taken branches deliberately break the chain.
+//!
+//! The table is a fixed-size array pair (no hashing, no allocation on the
+//! interpreter hot path); the VM maps indices to opcode names when it
+//! flushes the census into the mergeable `Metrics` registry.
+
+/// Fixed capacity of the census table: enough for every bytecode opcode
+/// kind with headroom for future superinstructions.
+pub const CENSUS_SLOTS: usize = 32;
+
+/// Flat opcode / digram counters indexed by opcode kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpcodeCensus {
+    counts: [u64; CENSUS_SLOTS],
+    digrams: [[u64; CENSUS_SLOTS]; CENSUS_SLOTS],
+}
+
+impl Default for OpcodeCensus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OpcodeCensus {
+    /// Empty census.
+    pub fn new() -> Self {
+        OpcodeCensus { counts: [0; CENSUS_SLOTS], digrams: [[0; CENSUS_SLOTS]; CENSUS_SLOTS] }
+    }
+
+    /// Counts one executed opcode of kind `idx`.
+    #[inline]
+    pub fn record_op(&mut self, idx: u8) {
+        let slot = &mut self.counts[idx as usize % CENSUS_SLOTS];
+        *slot = slot.saturating_add(1);
+    }
+
+    /// Counts one executed statically-adjacent pair `(prev, cur)`.
+    #[inline]
+    pub fn record_digram(&mut self, prev: u8, cur: u8) {
+        let slot = &mut self.digrams[prev as usize % CENSUS_SLOTS][cur as usize % CENSUS_SLOTS];
+        *slot = slot.saturating_add(1);
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Total opcodes recorded.
+    pub fn total_ops(&self) -> u64 {
+        self.counts.iter().fold(0u64, |a, &c| a.saturating_add(c))
+    }
+
+    /// Non-zero opcode counts as `(kind index, count)`, ascending by index.
+    pub fn nonzero_ops(&self) -> Vec<(usize, u64)> {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i, c)).collect()
+    }
+
+    /// Non-zero digram counts as `(prev, cur, count)`, ascending.
+    pub fn nonzero_digrams(&self) -> Vec<(usize, usize, u64)> {
+        let mut out = Vec::new();
+        for (a, row) in self.digrams.iter().enumerate() {
+            for (b, &c) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push((a, b, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Zeroes the table (used after flushing into `Metrics` so repeated
+    /// flushes never double-count).
+    pub fn clear(&mut self) {
+        *self = OpcodeCensus::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_drains() {
+        let mut c = OpcodeCensus::new();
+        assert!(c.is_empty());
+        c.record_op(1);
+        c.record_op(1);
+        c.record_op(5);
+        c.record_digram(1, 5);
+        assert!(!c.is_empty());
+        assert_eq!(c.total_ops(), 3);
+        assert_eq!(c.nonzero_ops(), vec![(1, 2), (5, 1)]);
+        assert_eq!(c.nonzero_digrams(), vec![(1, 5, 1)]);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.nonzero_digrams().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_indices_wrap_instead_of_panicking() {
+        let mut c = OpcodeCensus::new();
+        c.record_op(CENSUS_SLOTS as u8 + 3);
+        c.record_digram(200, 200);
+        assert_eq!(c.nonzero_ops(), vec![(3, 1)]);
+        assert_eq!(c.nonzero_digrams(), vec![(200 % CENSUS_SLOTS, 200 % CENSUS_SLOTS, 1)]);
+    }
+
+    #[test]
+    fn counts_saturate() {
+        let mut c = OpcodeCensus::new();
+        for _ in 0..3 {
+            c.record_op(0);
+        }
+        // Pin at the ceiling and keep recording.
+        c.counts[0] = u64::MAX;
+        c.record_op(0);
+        assert_eq!(c.counts[0], u64::MAX);
+        assert_eq!(c.total_ops(), u64::MAX);
+    }
+}

@@ -1,0 +1,97 @@
+//! `HOSTBENCH_*.json` document rendering.
+//!
+//! Host telemetry gets its own document family, deliberately separate from
+//! the frozen `BENCH_*.json` (BENCH_DOC_VERSION stays at v4): BENCH docs
+//! carry *simulated* deterministic measurements that CI byte-diffs against
+//! committed baselines, while HOSTBENCH docs carry host wall clocks that
+//! are nondeterministic by nature and must never gate a diff. Mixing them
+//! would either freeze noise or thaw the baseline — hence two families.
+
+use std::collections::BTreeMap;
+
+use crate::report::SpanReport;
+
+/// Version stamp of the HOSTBENCH document family. Bump on any
+/// field change; readers reject mismatches rather than misparse.
+pub const HOSTBENCH_DOC_VERSION: u64 = 1;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn counter_map(map: &BTreeMap<String, u64>) -> String {
+    let fields: Vec<String> = map.iter().map(|(k, v)| format!("\"{}\":{v}", escape(k))).collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Renders one HOSTBENCH document. `artifact` names what was measured
+/// (e.g. `corpus`); `opcodes` / `digrams` come from the merged census.
+/// Pretty-printed one span per line so artifact diffs stay reviewable.
+pub fn render_doc(
+    artifact: &str,
+    report: &SpanReport,
+    opcodes: &BTreeMap<String, u64>,
+    digrams: &BTreeMap<String, u64>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"hostbench_v\": {HOSTBENCH_DOC_VERSION},\n  \"artifact\": \"{}\",\n",
+        escape(artifact)
+    ));
+    out.push_str("  \"spans\": [\n");
+    let n = report.spans.len();
+    for (i, (path, s)) in report.spans.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"path\":\"{}\",\"count\":{},\"wall_ns\":{},\"allocs\":{},\"alloc_bytes\":{}}}{}\n",
+            escape(path),
+            s.count,
+            s.wall_ns,
+            s.allocs,
+            s.alloc_bytes,
+            if i + 1 == n { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"opcodes\": {},\n", counter_map(opcodes)));
+    out.push_str(&format!("  \"digrams\": {}\n}}\n", counter_map(digrams)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanStats;
+
+    #[test]
+    fn doc_is_versioned_and_escaped() {
+        let mut report = SpanReport::default();
+        report
+            .spans
+            .insert("a/b\"c".into(), SpanStats { count: 1, wall_ns: 2, allocs: 3, alloc_bytes: 4 });
+        let mut ops = BTreeMap::new();
+        ops.insert("call".to_owned(), 10u64);
+        let mut digs = BTreeMap::new();
+        digs.insert("mov>call".to_owned(), 7u64);
+        let doc = render_doc("corpus", &report, &ops, &digs);
+        assert!(doc.contains("\"hostbench_v\": 1"));
+        assert!(doc.contains("\"artifact\": \"corpus\""));
+        assert!(doc.contains("a/b\\\"c"));
+        assert!(doc.contains("\"wall_ns\":2"));
+        assert!(doc.contains("\"opcodes\": {\"call\":10}"));
+        assert!(doc.contains("\"digrams\": {\"mov>call\":7}"));
+        // Trailing-comma discipline: exactly one span, no comma after it.
+        assert!(!doc.contains("}},\n  ],"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Host-side observatory: wall-clock span timers, allocation attribution
+//! and an opcode-digram census.
+//!
+//! Everything in the simulator's cycle model is deterministic and already
+//! observable (trace events, the cycle ledger). This crate measures the
+//! *host* instead — where does real wall time and real allocation churn go
+//! while the simulator runs — which is the telemetry the interpreter /
+//! dispatch overhaul (ROADMAP item 5) needs before it can spend it.
+//!
+//! Design rules, in priority order:
+//!
+//! 1. **Zero cost when disabled.** Every entry point first tests one
+//!    relaxed [`AtomicBool`]; disabled means no TLS touch, no clock read,
+//!    no allocation. The simulator's committed outputs are produced with
+//!    hostprof disabled and must stay byte-identical when it is enabled —
+//!    host telemetry never flows into guest output, `ExecStats`, cycle
+//!    metrics or `BENCH_*.json`.
+//! 2. **Deterministic counters, nondeterministic clocks — kept apart.**
+//!    Span *counts* and allocation *counts/bytes* are deterministic for a
+//!    fixed workload (and independent of `--jobs`, because per-thread
+//!    bookkeeping is drained at every root-span exit); wall-clock
+//!    nanoseconds are not. Render paths split accordingly so callers can
+//!    byte-diff the deterministic half.
+//! 3. **Conservation.** Spans nest strictly (RAII guards over a
+//!    thread-local stack) and both wall time and allocation deltas are
+//!    *inclusive*, so `parent ≥ Σ direct children` holds structurally for
+//!    every metric — checked by [`SpanReport::conservation_violations`].
+
+mod alloc;
+mod census;
+mod hostbench;
+mod report;
+mod span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub use alloc::{alloc_counters, CountingAlloc};
+pub use census::{OpcodeCensus, CENSUS_SLOTS};
+pub use hostbench::{render_doc, HOSTBENCH_DOC_VERSION};
+pub use report::SpanReport;
+pub use span::{record_leaf, reset, snapshot, span, PassLap, SpanGuard, SpanStats};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns the observatory on or off, process-wide. Off is the default and
+/// costs one relaxed atomic load per probe site.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// True when the observatory is collecting.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Serializes tests that touch the process-wide enable flag/registry.
+    /// Panicking tests poison the lock on purpose-built panics, so recover.
+    pub fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Exercise the real attribution path: the test binary runs under the
+    // counting allocator, exactly like the cli/bench binaries.
+    #[global_allocator]
+    static ALLOC: CountingAlloc = CountingAlloc;
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _serial = testutil::serial();
+        set_enabled(false);
+        let before = snapshot();
+        {
+            let _g = span("tests:inert");
+        }
+        let after = snapshot();
+        assert_eq!(
+            before.spans.get("tests:inert"),
+            after.spans.get("tests:inert"),
+            "a span created while disabled must record nothing"
+        );
+    }
+
+    #[test]
+    fn spans_nest_attribute_allocs_and_conserve() {
+        let _serial = testutil::serial();
+        set_enabled(true);
+        {
+            let _root = span("t1:root");
+            {
+                let _inner = span("inner");
+                let v = vec![0u8; 1 << 16];
+                std::hint::black_box(&v);
+            }
+            record_leaf("leaf", 1, 0, 0);
+        }
+        set_enabled(false);
+        let r = snapshot();
+        let root = r.spans["t1:root"];
+        let inner = r.spans["t1:root/inner"];
+        assert_eq!(root.count, 1);
+        assert_eq!(inner.count, 1);
+        assert_eq!(r.spans["t1:root/leaf"].count, 1);
+        assert!(inner.allocs >= 1, "the 64 KiB vec must be counted: {inner:?}");
+        assert!(inner.alloc_bytes >= 1 << 16);
+        assert!(root.allocs >= inner.allocs, "attribution is inclusive");
+        let violations = r.conservation_violations();
+        assert!(violations.is_empty(), "span conservation violated: {violations:?}");
+    }
+
+    #[test]
+    fn unwound_spans_still_record() {
+        let _serial = testutil::serial();
+        set_enabled(true);
+        let result = std::panic::catch_unwind(|| {
+            let _outer = span("t2:unwound");
+            let _inner = span("dies");
+            panic!("scripted panic for unwind coverage");
+        });
+        assert!(result.is_err());
+        set_enabled(false);
+        let r = snapshot();
+        assert_eq!(r.spans["t2:unwound"].count, 1, "root must record through unwinding");
+        assert_eq!(r.spans["t2:unwound/dies"].count, 1);
+        assert!(r.conservation_violations().is_empty());
+    }
+
+    #[test]
+    fn threads_merge_into_one_registry() {
+        let _serial = testutil::serial();
+        set_enabled(true);
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _g = span("t3:worker");
+                    let v = vec![0u8; 1024];
+                    std::hint::black_box(&v);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        set_enabled(false);
+        let s = snapshot().spans["t3:worker"];
+        assert_eq!(s.count, 4, "all four threads must land in one registry cell");
+        assert!(s.allocs >= 4, "each thread allocated at least once: {s:?}");
+        assert!(s.alloc_bytes >= 4 * 1024);
+    }
+
+    #[test]
+    fn pass_lap_records_leaves_under_the_current_span() {
+        let _serial = testutil::serial();
+        set_enabled(true);
+        {
+            let _g = span("t4:pipeline");
+            let mut lap = PassLap::start(enabled());
+            let v = vec![0u8; 2048];
+            std::hint::black_box(&v);
+            lap.lap("constfold");
+            lap.lap("dce");
+        }
+        set_enabled(false);
+        let r = snapshot();
+        let fold = r.spans["t4:pipeline/pass:constfold"];
+        assert_eq!(fold.count, 1);
+        assert!(fold.allocs >= 1, "the lap window covers the vec: {fold:?}");
+        assert_eq!(r.spans["t4:pipeline/pass:dce"].count, 1);
+        assert!(r.conservation_violations().is_empty());
+    }
+
+    #[test]
+    fn reset_clears_the_registry() {
+        let _serial = testutil::serial();
+        set_enabled(true);
+        {
+            let _g = span("t5:gone");
+        }
+        set_enabled(false);
+        assert!(snapshot().spans.contains_key("t5:gone"));
+        reset();
+        assert!(!snapshot().spans.contains_key("t5:gone"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Snapshot of the span registry: merge, conservation check, rendering.
+
+use std::collections::BTreeMap;
+
+use crate::span::SpanStats;
+
+/// An immutable snapshot of merged spans, keyed by `/`-joined path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanReport {
+    /// Merged spans keyed by full path, e.g. `workload:S01/compile:ftl`.
+    pub spans: BTreeMap<String, SpanStats>,
+}
+
+fn parent_of(path: &str) -> Option<&str> {
+    path.rfind('/').map(|i| &path[..i])
+}
+
+impl SpanReport {
+    /// Folds another report in (commutative, saturating).
+    pub fn merge(&mut self, other: &SpanReport) {
+        for (path, stats) in &other.spans {
+            self.spans.entry(path.clone()).or_default().merge(stats);
+        }
+    }
+
+    /// Sums of direct children per parent path.
+    fn child_sums(&self) -> BTreeMap<&str, SpanStats> {
+        let mut sums: BTreeMap<&str, SpanStats> = BTreeMap::new();
+        for (path, stats) in &self.spans {
+            if let Some(parent) = parent_of(path) {
+                sums.entry(parent).or_default().merge(stats);
+            }
+        }
+        sums
+    }
+
+    /// Conservation check: spans nest and attribution is inclusive, so a
+    /// parent's wall time, allocation count and byte count must each cover
+    /// the sum of its direct children. Returns human-readable violations
+    /// (empty = conserved). A child path whose parent never appears is also
+    /// a violation: spans only get multi-segment paths from live parents.
+    pub fn conservation_violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (parent, sum) in self.child_sums() {
+            let Some(p) = self.spans.get(parent) else {
+                violations.push(format!("{parent}: children recorded but parent missing"));
+                continue;
+            };
+            for (metric, have, need) in [
+                ("wall_ns", p.wall_ns, sum.wall_ns),
+                ("allocs", p.allocs, sum.allocs),
+                ("alloc_bytes", p.alloc_bytes, sum.alloc_bytes),
+            ] {
+                if have < need {
+                    violations
+                        .push(format!("{parent}: {metric} {have} < sum of direct children {need}"));
+                }
+            }
+        }
+        violations
+    }
+
+    /// Collapsed-stack flamegraph lines: `a;b;c <self_wall_ns>`, one per
+    /// path, exclusive wall time (inclusive minus direct children), sorted
+    /// by path. Feed straight into any `flamegraph.pl`-compatible tool.
+    pub fn collapsed(&self) -> String {
+        let sums = self.child_sums();
+        let mut out = String::new();
+        for (path, stats) in &self.spans {
+            let children = sums.get(path.as_str()).map_or(0, |s| s.wall_ns);
+            let self_ns = stats.wall_ns.saturating_sub(children);
+            out.push_str(&path.replace('/', ";"));
+            out.push(' ');
+            out.push_str(&self_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Deterministic table (stdout-safe): path, entry count, allocation
+    /// count and bytes — everything except the wall clock — sorted by path.
+    pub fn render_deterministic(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<52} {:>10} {:>12} {:>14}\n",
+            "span", "count", "allocs", "alloc-bytes"
+        ));
+        for (path, s) in &self.spans {
+            out.push_str(&format!(
+                "{:<52} {:>10} {:>12} {:>14}\n",
+                path, s.count, s.allocs, s.alloc_bytes
+            ));
+        }
+        out
+    }
+
+    /// Wall-clock table (stderr only — nondeterministic), sorted by
+    /// inclusive wall time descending, ties by path.
+    pub fn render_wall(&self) -> String {
+        let mut rows: Vec<(&String, &SpanStats)> = self.spans.iter().collect();
+        rows.sort_by(|a, b| b.1.wall_ns.cmp(&a.1.wall_ns).then_with(|| a.0.cmp(b.0)));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<52} {:>10} {:>14} {:>12}\n",
+            "span", "count", "wall-ns", "wall-ms"
+        ));
+        for (path, s) in rows {
+            out.push_str(&format!(
+                "{:<52} {:>10} {:>14} {:>12.3}\n",
+                path,
+                s.count,
+                s.wall_ns,
+                s.wall_ns as f64 / 1e6
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(count: u64, wall: u64, allocs: u64, bytes: u64) -> SpanStats {
+        SpanStats { count, wall_ns: wall, allocs, alloc_bytes: bytes }
+    }
+
+    fn report(entries: &[(&str, SpanStats)]) -> SpanReport {
+        SpanReport { spans: entries.iter().map(|(p, s)| ((*p).to_owned(), *s)).collect() }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_saturating() {
+        let a = report(&[("x", stats(1, 10, 5, 100)), ("x/y", stats(1, 4, 2, 40))]);
+        let b = report(&[("x", stats(2, 30, 1, u64::MAX)), ("z", stats(1, 1, 1, 1))]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "span merge must be commutative");
+        assert_eq!(ab.spans["x"], stats(3, 40, 6, u64::MAX));
+        assert_eq!(ab.spans["z"].count, 1);
+    }
+
+    #[test]
+    fn conservation_flags_overfull_children_and_orphans() {
+        let ok = report(&[
+            ("root", stats(1, 100, 10, 1000)),
+            ("root/a", stats(1, 60, 4, 400)),
+            ("root/b", stats(1, 40, 6, 600)),
+        ]);
+        assert!(ok.conservation_violations().is_empty());
+
+        let bad = report(&[("root", stats(1, 100, 3, 1000)), ("root/a", stats(1, 160, 4, 400))]);
+        let v = bad.conservation_violations();
+        assert_eq!(v.len(), 2, "wall and allocs both violated: {v:?}");
+        assert!(v.iter().any(|m| m.contains("wall_ns")));
+        assert!(v.iter().any(|m| m.contains("allocs")));
+
+        let orphan = report(&[("root/a", stats(1, 1, 0, 0))]);
+        assert!(orphan.conservation_violations()[0].contains("parent missing"));
+    }
+
+    #[test]
+    fn collapsed_emits_exclusive_self_time() {
+        let r = report(&[
+            ("root", stats(1, 100, 0, 0)),
+            ("root/a", stats(1, 60, 0, 0)),
+            ("root/a/b", stats(1, 10, 0, 0)),
+        ]);
+        let collapsed = r.collapsed();
+        let lines: Vec<&str> = collapsed.lines().collect();
+        assert_eq!(lines, vec!["root 40", "root;a 50", "root;a;b 10"]);
+    }
+
+    #[test]
+    fn deterministic_table_has_no_wall_column() {
+        let r = report(&[("a", stats(2, 12345, 7, 99))]);
+        let det = r.render_deterministic();
+        assert!(det.contains("allocs"));
+        assert!(!det.contains("12345"), "wall ns must stay out of the deterministic table");
+        let wall = r.render_wall();
+        assert!(wall.contains("12345"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Scoped wall-clock spans with allocation attribution.
+//!
+//! [`span`] pushes a frame onto a thread-local stack and returns an RAII
+//! guard; dropping the guard (normally or during unwinding) pops the frame
+//! and merges `{count, wall_ns, allocs, alloc_bytes}` into a thread-local
+//! accumulator keyed by the `/`-joined span path. When the *root* span of a
+//! thread exits, the accumulator is drained into the process-wide registry.
+//!
+//! Draining at every root exit (rather than at thread exit) is what makes
+//! the allocation counters `--jobs`-invariant: each root span starts from
+//! an empty thread-local map, so the bookkeeping allocations a span's own
+//! drop performs are identical no matter which worker thread ran it or
+//! what ran there before.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::alloc::alloc_counters;
+use crate::enabled;
+use crate::report::SpanReport;
+
+/// Merged observations for one span path. All fields saturate on merge so
+/// arbitrarily long runs cannot overflow-panic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Inclusive wall-clock nanoseconds (nondeterministic).
+    pub wall_ns: u64,
+    /// Inclusive allocation count (deterministic for a fixed workload).
+    pub allocs: u64,
+    /// Inclusive bytes requested from the allocator (deterministic).
+    pub alloc_bytes: u64,
+}
+
+impl SpanStats {
+    /// Folds one observation in.
+    pub fn observe(&mut self, wall_ns: u64, allocs: u64, alloc_bytes: u64) {
+        self.count = self.count.saturating_add(1);
+        self.wall_ns = self.wall_ns.saturating_add(wall_ns);
+        self.allocs = self.allocs.saturating_add(allocs);
+        self.alloc_bytes = self.alloc_bytes.saturating_add(alloc_bytes);
+    }
+
+    /// Folds another stats cell in (commutative, saturating).
+    pub fn merge(&mut self, other: &SpanStats) {
+        self.count = self.count.saturating_add(other.count);
+        self.wall_ns = self.wall_ns.saturating_add(other.wall_ns);
+        self.allocs = self.allocs.saturating_add(other.allocs);
+        self.alloc_bytes = self.alloc_bytes.saturating_add(other.alloc_bytes);
+    }
+}
+
+struct Frame {
+    /// Full `/`-joined path, computed at push so pop never walks the stack.
+    path: String,
+    start: Instant,
+    allocs0: u64,
+    bytes0: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    static LOCAL: RefCell<BTreeMap<String, SpanStats>> = const { RefCell::new(BTreeMap::new()) };
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, SpanStats>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, SpanStats>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn lock_registry() -> std::sync::MutexGuard<'static, BTreeMap<String, SpanStats>> {
+    // A panic inside the registry lock is impossible in practice (pure map
+    // merges), but spans drop during unwinding, so never double-panic.
+    registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// RAII guard returned by [`span`]. Dropping it — on the normal path or
+/// during unwinding — records the span.
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct SpanGuard {
+    active: bool,
+}
+
+/// Opens a span named `name` nested under the thread's current span (if
+/// any). Inert and allocation-free when the observatory is disabled.
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: false };
+    }
+    let pushed = STACK
+        .try_with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if stack.capacity() == 0 {
+                // Reserve once per thread while the stack is empty (no
+                // parent to charge): if nested pushes grew the Vec mid-run
+                // the growth would be charged to whichever span happened to
+                // run first on this worker thread, making the allocation
+                // counters depend on `--jobs` scheduling.
+                stack.reserve(32);
+            }
+            let path = match stack.last() {
+                Some(parent) => format!("{}/{name}", parent.path),
+                None => name.to_owned(),
+            };
+            // Snapshot *after* the bookkeeping above so the span machinery's
+            // own allocations are never charged to the span they open; they
+            // land on the parent, whose per-child cost is deterministic.
+            let (allocs0, bytes0) = alloc_counters();
+            stack.push(Frame { path, start: Instant::now(), allocs0, bytes0 });
+        })
+        .is_ok();
+    SpanGuard { active: pushed }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let Some(frame) = STACK.try_with(|s| s.borrow_mut().pop()).ok().flatten() else {
+            return;
+        };
+        let wall = frame.start.elapsed().as_nanos() as u64;
+        let (allocs, bytes) = alloc_counters();
+        record_local(
+            frame.path,
+            wall,
+            allocs.wrapping_sub(frame.allocs0),
+            bytes.wrapping_sub(frame.bytes0),
+        );
+        let at_root = STACK.try_with(|s| s.borrow().is_empty()).unwrap_or(false);
+        if at_root {
+            drain_local();
+        }
+    }
+}
+
+/// Records a pre-measured leaf observation named `name` under the current
+/// span path (used for per-pass laps where a guard per pass would be
+/// noisy). No-op when disabled.
+pub fn record_leaf(name: &str, wall_ns: u64, allocs: u64, alloc_bytes: u64) {
+    if !enabled() {
+        return;
+    }
+    let path =
+        STACK.try_with(|s| s.borrow().last().map(|f| format!("{}/{name}", f.path))).ok().flatten();
+    match path {
+        Some(path) => record_local(path, wall_ns, allocs, alloc_bytes),
+        None => {
+            // No enclosing span: merge straight into the registry so the
+            // observation cannot strand in thread-local state.
+            let mut reg = lock_registry();
+            reg.entry(name.to_owned()).or_default().observe(wall_ns, allocs, alloc_bytes);
+        }
+    }
+}
+
+fn record_local(path: String, wall_ns: u64, allocs: u64, alloc_bytes: u64) {
+    let _ = LOCAL.try_with(|local| {
+        local.borrow_mut().entry(path).or_default().observe(wall_ns, allocs, alloc_bytes);
+    });
+}
+
+fn drain_local() {
+    let drained = LOCAL.try_with(|local| std::mem::take(&mut *local.borrow_mut())).ok();
+    let Some(drained) = drained else { return };
+    if drained.is_empty() {
+        return;
+    }
+    let mut reg = lock_registry();
+    for (path, stats) in drained {
+        reg.entry(path).or_default().merge(&stats);
+    }
+}
+
+/// Per-pass lap timer for observed pipelines: measures the wall time and
+/// allocation delta *between* laps and records each as a leaf span
+/// `pass:<name>` under the current path. Inert when constructed inactive.
+pub struct PassLap {
+    active: bool,
+    last: Instant,
+    allocs: u64,
+    bytes: u64,
+}
+
+impl PassLap {
+    /// Starts a lap clock. `active` is typically [`crate::enabled`], hoisted
+    /// so one flag test covers the whole pipeline.
+    pub fn start(active: bool) -> Self {
+        let (allocs, bytes) = if active { alloc_counters() } else { (0, 0) };
+        PassLap { active, last: Instant::now(), allocs, bytes }
+    }
+
+    /// Records the lap since the previous call as leaf `pass:<name>`.
+    pub fn lap(&mut self, name: &str) {
+        if !self.active {
+            return;
+        }
+        let now = Instant::now();
+        let (allocs, bytes) = alloc_counters();
+        record_leaf(
+            &format!("pass:{name}"),
+            now.duration_since(self.last).as_nanos() as u64,
+            allocs.wrapping_sub(self.allocs),
+            bytes.wrapping_sub(self.bytes),
+        );
+        self.last = now;
+        self.allocs = allocs;
+        self.bytes = bytes;
+    }
+}
+
+/// Clones the process-wide registry into a report. Spans still open on some
+/// thread are not included until their root exits.
+pub fn snapshot() -> SpanReport {
+    SpanReport { spans: lock_registry().clone() }
+}
+
+/// Clears the process-wide registry (thread-local accumulation of spans
+/// currently open elsewhere is unaffected).
+pub fn reset() {
+    lock_registry().clear();
+}

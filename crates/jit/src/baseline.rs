@@ -43,6 +43,7 @@ const PENDING: u32 = 0x8000_0000;
 /// # Ok::<(), nomap_bytecode::CompileError>(())
 /// ```
 pub fn compile_baseline(func: &Function, rt: &mut Runtime) -> CompiledFn {
+    let _span = nomap_hostprof::span("compile:baseline");
     let mut g = Gen { code: Vec::new(), bc_labels: vec![Label(0); func.code.len()], max_reg: ARGS };
     for (i, op) in func.code.iter().enumerate() {
         g.bc_labels[i] = Label(g.code.len() as u32);

@@ -47,6 +47,7 @@ enum Target {
 ///
 /// Panics on malformed IR (undefined operands, missing OSR state on an SMP).
 pub fn lower(f: &IrFunc, quality: CodegenQuality, tier: Tier, txn_aware: bool) -> CompiledFn {
+    let _span = nomap_hostprof::span("lower");
     Lowerer {
         f,
         quality,

@@ -15,8 +15,10 @@ use crate::json::{obj, JsonValue};
 /// `cycle-region` attribution event and the stream header line written by
 /// [`crate::JsonlSink`]; v4 added the `check-verdict` event carrying the
 /// proof-carrying check-elision tallies of one compilation; v5 added the
-/// `fleet-summary` scheduling event emitted by sharded corpus/bench runs.)
-pub const SCHEMA_VERSION: u32 = 5;
+/// `fleet-summary` scheduling event emitted by sharded corpus/bench runs;
+/// v6 added the `host-span` event carrying merged host wall-clock /
+/// allocation telemetry from the `nomap-hostprof` observatory.)
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// One VM lifecycle event.
 ///
@@ -204,6 +206,24 @@ pub enum TraceEvent {
         /// Per-shard wall time in nanoseconds, canonical shard order.
         shard_wall_ns: Vec<u64>,
     },
+    /// Merged host-side span telemetry from the `nomap-hostprof`
+    /// observatory (schema v6): one event per span path, after the run.
+    ///
+    /// `wall_ns` is host wall clock and therefore nondeterministic; like
+    /// `fleet-summary`, emitters keep these events on stderr / the JSONL
+    /// artifact, never in byte-diffed stdout.
+    HostSpan {
+        /// `/`-joined span path, e.g. `workload:S01/compile:ftl/pass:gvn`.
+        path: String,
+        /// Times the span was entered.
+        count: u64,
+        /// Inclusive wall-clock nanoseconds.
+        wall_ns: u64,
+        /// Inclusive host allocation count (deterministic).
+        allocs: u64,
+        /// Inclusive host bytes requested (deterministic).
+        alloc_bytes: u64,
+    },
 }
 
 /// Names a tier for rendering/serialization.
@@ -255,6 +275,7 @@ impl TraceEvent {
             TraceEvent::PassOutcome { .. } => "pass-outcome",
             TraceEvent::CheckVerdict { .. } => "check-verdict",
             TraceEvent::FleetSummary { .. } => "fleet-summary",
+            TraceEvent::HostSpan { .. } => "host-span",
         }
     }
 
@@ -392,6 +413,13 @@ impl TraceEvent {
                     JsonValue::Array(shard_wall_ns.iter().map(|&ns| ns.into()).collect()),
                 ));
             }
+            TraceEvent::HostSpan { path, count, wall_ns, allocs, alloc_bytes } => {
+                m.push(("path", path.as_str().into()));
+                m.push(("count", (*count).into()));
+                m.push(("wall_ns", (*wall_ns).into()));
+                m.push(("allocs", (*allocs).into()));
+                m.push(("alloc_bytes", (*alloc_bytes).into()));
+            }
         }
         obj(m)
     }
@@ -480,6 +508,10 @@ impl TraceEvent {
                 ..
             } => format!(
                 "fleet        {shards} shards / {jobs} jobs  [{:.1} ms, peak occupancy {peak_occupancy}, {retried} retried, {failed} failed]",
+                *wall_ns as f64 / 1e6
+            ),
+            TraceEvent::HostSpan { path, count, wall_ns, allocs, alloc_bytes } => format!(
+                "host-span    {path}  [{count}×, {:.3} ms, {allocs} allocs / {alloc_bytes} B]",
                 *wall_ns as f64 / 1e6
             ),
         };
@@ -590,6 +622,27 @@ mod tests {
         assert!(s.contains("\"shard_wall_ns\":[1000,2000]"));
         let line = ev.render(0, 0);
         assert!(line.contains("51 shards / 4 jobs") && line.contains("1 failed"));
+    }
+
+    #[test]
+    fn host_span_serializes_and_renders() {
+        let ev = TraceEvent::HostSpan {
+            path: "workload:S01/compile:ftl/pass:gvn".into(),
+            count: 3,
+            wall_ns: 2_500_000,
+            allocs: 120,
+            alloc_bytes: 65536,
+        };
+        assert_eq!(ev.kind(), "host-span");
+        let s = ev.to_json(0, 0).render();
+        assert!(s.contains("\"ev\":\"host-span\""));
+        assert!(s.contains("\"path\":\"workload:S01/compile:ftl/pass:gvn\""));
+        assert!(s.contains("\"wall_ns\":2500000"));
+        assert!(s.contains("\"allocs\":120"));
+        assert!(s.contains("\"alloc_bytes\":65536"));
+        let line = ev.render(0, 0);
+        assert!(line.contains("host-span") && line.contains("120 allocs / 65536 B"));
+        assert!(line.contains("2.500 ms"));
     }
 
     #[test]

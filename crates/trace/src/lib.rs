@@ -115,6 +115,24 @@ impl Tracer {
         }
     }
 
+    /// Credits `n` dynamic executions to opcode kind `name` in the census
+    /// maps. No-op when disabled.
+    #[inline]
+    pub fn record_opcode(&mut self, name: &str, n: u64) {
+        if self.enabled {
+            self.metrics.record_opcode(name, n);
+        }
+    }
+
+    /// Credits `n` dynamic executions to the statically-adjacent opcode
+    /// pair `prev` → `cur`. No-op when disabled.
+    #[inline]
+    pub fn record_digram(&mut self, prev: &str, cur: &str, n: u64) {
+        if self.enabled {
+            self.metrics.record_digram(prev, cur, n);
+        }
+    }
+
     /// Events retained in the ring, oldest first (empty when disabled or
     /// ring-less).
     pub fn events(&self) -> Vec<Recorded> {

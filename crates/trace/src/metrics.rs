@@ -206,6 +206,14 @@ pub struct Metrics {
     /// Attributed cycles from `cycle-region` events (schema v3), keyed by
     /// `function/tier/region`, e.g. `smash/ftl/txn-body`.
     pub cycles_by_region: BTreeMap<String, u64>,
+    /// Dynamic opcode execution counts from the interpreter census, keyed
+    /// by opcode kind name (e.g. `get-index`). Fed by the VM when the
+    /// census is enabled; empty otherwise.
+    pub opcodes: BTreeMap<String, u64>,
+    /// Dynamic statically-adjacent opcode-pair counts from the census,
+    /// keyed `prev>cur` (e.g. `binary>put-index`). These rank
+    /// superinstruction candidates.
+    pub digrams: BTreeMap<String, u64>,
 }
 
 impl Metrics {
@@ -252,6 +260,25 @@ impl Metrics {
         entry.insts[tier_index(tier)] += insts;
     }
 
+    /// Credits `n` dynamic executions to opcode kind `name`.
+    pub fn record_opcode(&mut self, name: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let c = self.opcodes.entry(name.to_owned()).or_insert(0);
+        *c = c.saturating_add(n);
+    }
+
+    /// Credits `n` dynamic executions to the statically-adjacent opcode
+    /// pair `prev` → `cur`.
+    pub fn record_digram(&mut self, prev: &str, cur: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let c = self.digrams.entry(format!("{prev}>{cur}")).or_insert(0);
+        *c = c.saturating_add(n);
+    }
+
     /// Folds another registry into this one (counters add, histograms
     /// merge, residency sums per function and tier). All counter sums
     /// saturate so an arbitrarily long fleet run cannot overflow-panic.
@@ -275,6 +302,14 @@ impl Metrics {
         }
         for (k, v) in &other.cycles_by_region {
             let c = self.cycles_by_region.entry(k.clone()).or_insert(0);
+            *c = c.saturating_add(*v);
+        }
+        for (k, v) in &other.opcodes {
+            let c = self.opcodes.entry(k.clone()).or_insert(0);
+            *c = c.saturating_add(*v);
+        }
+        for (k, v) in &other.digrams {
+            let c = self.digrams.entry(k.clone()).or_insert(0);
             *c = c.saturating_add(*v);
         }
     }
@@ -311,6 +346,22 @@ impl Metrics {
         if !self.cycles_by_region.is_empty() {
             out.push_str("attributed cycles by region:\n");
             for (k, v) in &self.cycles_by_region {
+                out.push_str(&format!("  {k:<36} {v}\n"));
+            }
+        }
+        if !self.opcodes.is_empty() {
+            out.push_str("opcode census (dynamic counts):\n");
+            let mut ops: Vec<(&String, &u64)> = self.opcodes.iter().collect();
+            ops.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+            for (k, v) in ops {
+                out.push_str(&format!("  {k:<20} {v}\n"));
+            }
+        }
+        if !self.digrams.is_empty() {
+            out.push_str("digram census (dynamic counts, statically adjacent):\n");
+            let mut digs: Vec<(&String, &u64)> = self.digrams.iter().collect();
+            digs.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+            for (k, v) in digs {
                 out.push_str(&format!("  {k:<36} {v}\n"));
             }
         }
@@ -354,6 +405,8 @@ impl Metrics {
             .collect();
         let regions =
             self.cycles_by_region.iter().map(|(k, v)| (k.clone(), JsonValue::from(*v))).collect();
+        let opcodes = self.opcodes.iter().map(|(k, v)| (k.clone(), JsonValue::from(*v))).collect();
+        let digrams = self.digrams.iter().map(|(k, v)| (k.clone(), JsonValue::from(*v))).collect();
         obj(vec![
             ("counters", JsonValue::Object(counters)),
             ("aborts_by_reason", JsonValue::Object(aborts)),
@@ -362,6 +415,8 @@ impl Metrics {
             ("abort_footprint", self.abort_footprint.to_json()),
             ("tier_residency", JsonValue::Object(residency)),
             ("cycles_by_region", JsonValue::Object(regions)),
+            ("opcodes", JsonValue::Object(opcodes)),
+            ("digrams", JsonValue::Object(digrams)),
         ])
     }
 }
@@ -481,6 +536,37 @@ mod tests {
         assert_eq!(ab.cycles_by_region["smash/baseline/txn-retry-ladder"], 40);
         assert_eq!(ab.counters["cycle-region"], 3);
         assert!(ab.summary().contains("attributed cycles by region"));
+    }
+
+    #[test]
+    fn opcode_and_digram_census_merges_commutatively_and_saturates() {
+        let mut a = Metrics::new();
+        a.record_opcode("get-index", 10);
+        a.record_digram("binary", "put-index", 4);
+        let mut b = Metrics::new();
+        b.record_opcode("get-index", 5);
+        b.record_opcode("mov", 1);
+        b.record_digram("binary", "put-index", 2);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "census merge must be commutative");
+        assert_eq!(ab.opcodes["get-index"], 15);
+        assert_eq!(ab.opcodes["mov"], 1);
+        assert_eq!(ab.digrams["binary>put-index"], 6);
+        assert!(ab.summary().contains("opcode census"));
+        assert!(ab.summary().contains("binary>put-index"));
+        assert!(ab.to_json().render().contains("\"digrams\""));
+
+        // Zero-count records are dropped; ceiling values saturate.
+        let mut m = Metrics::new();
+        m.record_opcode("mov", 0);
+        assert!(m.opcodes.is_empty());
+        m.record_opcode("mov", u64::MAX);
+        m.record_opcode("mov", 7);
+        assert_eq!(m.opcodes["mov"], u64::MAX);
     }
 
     #[test]

@@ -26,9 +26,19 @@ fn interpret_inner(vm: &mut Vm, id: FuncId, args: &[Value]) -> Result<Value, Flo
     regs[..n].copy_from_slice(&args[..n]);
     let mut pc: u32 = 0;
     let site = |s| Some((id, s));
+    // Previous opcode's kind when the current opcode is its static
+    // fallthrough successor (census digrams; `None` after taken branches).
+    let mut prev_kind: Option<u8> = None;
 
     loop {
         let op = func.code[pc as usize];
+        if let Some(census) = vm.census.as_deref_mut() {
+            let cur = op.kind_index();
+            census.record_op(cur);
+            if let Some(prev) = prev_kind {
+                census.record_digram(prev, cur);
+            }
+        }
         let mut next = pc + 1;
         match op {
             Op::LoadConst { dst, cid } => {
@@ -113,6 +123,9 @@ fn interpret_inner(vm: &mut Vm, id: FuncId, args: &[Value]) -> Result<Value, Flo
                 account(vm, id)?;
                 let r = vm.call_function(callee, &args)?;
                 regs[dst.0 as usize] = r;
+                if vm.census.is_some() {
+                    prev_kind = (next == pc + 1).then(|| op.kind_index());
+                }
                 pc = next;
                 continue;
             }
@@ -135,6 +148,9 @@ fn interpret_inner(vm: &mut Vm, id: FuncId, args: &[Value]) -> Result<Value, Flo
             }
         }
         account(vm, id)?;
+        if vm.census.is_some() {
+            prev_kind = (next == pc + 1).then(|| op.kind_index());
+        }
         pc = next;
     }
 }

@@ -41,6 +41,7 @@ mod vm;
 pub use error::VmError;
 pub use lint::{lint_source, LintReport};
 pub use nomap_core::{Architecture, AuditOptions, TxnScope};
+pub use nomap_hostprof::OpcodeCensus;
 pub use nomap_ir::passes::PassConfig;
 pub use nomap_machine::{
     CheckKind, CycleLedger, ExecStats, InstCategory, RegionKey, RegionKind, Tier, TxCharacter,

@@ -2,12 +2,13 @@
 
 use std::rc::Rc;
 
-use nomap_bytecode::{compile_program, FuncId, Function, Program};
+use nomap_bytecode::{compile_program, FuncId, Function, Op, Program};
 use nomap_core::{
     compile_dfg_audited, compile_dfg_with_report, compile_ftl_audited, compile_ftl_with_report,
     compile_txn_callee, compile_txn_callee_audited, next_scope, Architecture, AuditOptions,
     FtlAudit, TxnScope,
 };
+use nomap_hostprof::OpcodeCensus;
 use nomap_ir::passes::PassConfig;
 use nomap_jit::{compile_baseline, CompiledFn};
 use nomap_machine::{CacheSim, ExecStats, HtmModel, RegionKey, RegionKind, Tier, Timing, TxState};
@@ -159,6 +160,9 @@ pub struct Vm {
     pub(crate) tracer: Tracer,
     /// Cycle-attribution profiler (disabled by default; observation-only).
     pub(crate) profiler: Option<Box<Profiler>>,
+    /// Dynamic opcode/digram census (disabled by default;
+    /// observation-only, like the tracer and profiler).
+    pub(crate) census: Option<Box<OpcodeCensus>>,
 }
 
 impl Vm {
@@ -205,6 +209,7 @@ impl Vm {
             of: false,
             tracer: Tracer::disabled(),
             profiler: None,
+            census: None,
         })
     }
 
@@ -422,6 +427,45 @@ impl Vm {
             };
             self.tracer.emit(now, move || ev);
         }
+    }
+
+    // ---- opcode census ---------------------------------------------------
+
+    /// Enables the dynamic opcode/digram frequency census: the interpreter
+    /// counts every executed opcode kind and every statically-adjacent
+    /// opcode pair. Observation-only and allocation-free on the dispatch
+    /// path (one `Option` test plus two array increments); `ExecStats`,
+    /// cycles and program results are unchanged.
+    pub fn enable_opcode_census(&mut self) {
+        if self.census.is_none() {
+            self.census = Some(Box::new(OpcodeCensus::new()));
+        }
+    }
+
+    /// The census collected so far; `None` when disabled.
+    pub fn opcode_census(&self) -> Option<&OpcodeCensus> {
+        self.census.as_deref()
+    }
+
+    /// Drains the census into the tracer's metrics registry as named
+    /// opcode/digram counters (no-op unless both the census and tracing
+    /// are enabled). Draining means repeated flushes never double-count.
+    pub fn flush_census_to_metrics(&mut self) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let Some(census) = self.census.as_deref_mut() else { return };
+        for (idx, n) in census.nonzero_ops() {
+            if let Some(name) = Op::KIND_NAMES.get(idx) {
+                self.tracer.record_opcode(name, n);
+            }
+        }
+        for (a, b, n) in census.nonzero_digrams() {
+            if let (Some(pa), Some(pb)) = (Op::KIND_NAMES.get(a), Op::KIND_NAMES.get(b)) {
+                self.tracer.record_digram(pa, pb, n);
+            }
+        }
+        census.clear();
     }
 
     /// The one place simulated cycles enter [`ExecStats`]. Routing every

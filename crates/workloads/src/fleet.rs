@@ -47,9 +47,13 @@ pub struct ObservedRun {
 ///
 /// Propagates compile/guest errors and the cycle-budget trip.
 pub fn run_workload_observed(w: &Workload, spec: RunSpec) -> Result<ObservedRun, VmError> {
+    // Host-side span for the whole shard (compiles nest under it). Inert
+    // unless the binary enabled the hostprof observatory.
+    let _span = nomap_hostprof::span(&format!("workload:{}", w.id));
     let mut vm = Vm::with_config(w.source, spec.config)?;
     vm.enable_tracing(64);
     vm.enable_profiling();
+    vm.enable_opcode_census();
     let mut spent_before_window = 0u64;
     let check_budget = |vm: &Vm, spent_before: u64| -> Result<(), VmError> {
         if let Some(budget) = spec.cycle_budget {
@@ -74,6 +78,7 @@ pub fn run_workload_observed(w: &Workload, spec: RunSpec) -> Result<ObservedRun,
         check_budget(&vm, spent_before_window)?;
     }
     let stats = vm.stats.clone();
+    vm.flush_census_to_metrics();
     let metrics = vm.trace_metrics().clone();
     let profile = vm.profile().cloned().unwrap_or_default();
     Ok(ObservedRun { id: w.id, stats, metrics, profile, checksum, output: vm.take_output() })
@@ -134,11 +139,13 @@ pub fn summary_event(s: &FleetSummary) -> TraceEvent {
     }
 }
 
-/// Reports scheduling telemetry to stderr: the human one-liner plus the
-/// serialized `fleet-summary` event. Stderr only — wall-times are
-/// nondeterministic and must stay out of byte-diffed stdout.
+/// Reports scheduling telemetry to stderr: the human one-liner, the
+/// per-shard queue-wait/run/attempts breakdown, and the serialized
+/// `fleet-summary` event. Stderr only — wall-times are nondeterministic
+/// and must stay out of byte-diffed stdout.
 pub fn report_summary(s: &FleetSummary) {
     eprintln!("{}", s.render());
+    eprint!("{}", s.render_shards());
     eprintln!("{}", summary_event(s).to_json(0, 0).render());
 }
 
@@ -179,6 +186,8 @@ mod tests {
             wall_ns: 123,
             peak_occupancy: 2,
             shard_wall_ns: vec![60, 63],
+            shard_queue_ns: vec![1, 2],
+            shard_attempts: vec![1, 2],
         };
         let ev = summary_event(&s);
         assert_eq!(ev.kind(), "fleet-summary");
