@@ -7,6 +7,7 @@
 //! nomap bench-diff <old> <new> [--threshold PCT]
 //! nomap lint <file.js> [--arch <name>] [--warmup N] [--json] [--deny-warnings]
 //! nomap prove <file.js> [--arch <name>] [--warmup N] [--census] [--json]
+//! nomap ipa <file.js> [--arch <name>] [--warmup N] [--json]
 //! nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]
 //! nomap corpus [--arch <name>] [--warmup N] [--jobs N] [--budget CYCLES]
 //! nomap hostprof [--arch <name>] [--warmup N] [--jobs N] [--top N] [--json] [--digrams] [--flame <path>] [--hostbench-dir <dir>]
@@ -24,7 +25,12 @@
 //! gate. `prove` runs the proof-carrying check-elision census: a profiled
 //! run joins the dynamic check tallies against the static range/type
 //! verdicts and exits nonzero when a statically proved-to-fail check was
-//! actually reached. `corpus` runs every bundled workload through the
+//! actually reached. `ipa` prints the interprocedural summary report: the
+//! call graph (roots, recursion), the per-function summary table (return
+//! abstraction, argument preconditions, heap effect) as validated by
+//! `ipa-tv`, and the verdict delta — every function compiled with and
+//! without the summary table, showing which checks and §V-C transaction
+//! seeds cross-function reasoning wins. `corpus` runs every bundled workload through the
 //! sharded `nomap-fleet` harness (`--jobs N` / `NOMAP_JOBS`); stdout is
 //! byte-identical for any worker count, scheduling telemetry goes to
 //! stderr. `hostprof` runs the same corpus with the host-time &
@@ -63,6 +69,7 @@ fn main() -> ExitCode {
         Some("bench-diff") => cmd_bench_diff(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("prove") => cmd_prove(&args[1..]),
+        Some("ipa") => cmd_ipa(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("hostprof") => cmd_hostprof(&args[1..]),
@@ -74,7 +81,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage:\n  nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]\n  nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]\n  nomap profile <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--top N] [--json]\n  nomap bench-diff <old> <new> [--threshold PCT]\n  nomap lint <file.js> [--arch <name>] [--warmup N] [--json] [--deny-warnings]\n  nomap prove <file.js> [--arch <name>] [--warmup N] [--census] [--json]\n  nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]\n  nomap corpus [--arch <name>] [--warmup N] [--jobs N] [--budget CYCLES]\n  nomap hostprof [--arch <name>] [--warmup N] [--jobs N] [--top N] [--json] [--digrams] [--flame <path>] [--hostbench-dir <dir>]\n  nomap archs"
+                "usage:\n  nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]\n  nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]\n  nomap profile <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--top N] [--json]\n  nomap bench-diff <old> <new> [--threshold PCT]\n  nomap lint <file.js> [--arch <name>] [--warmup N] [--json] [--deny-warnings]\n  nomap prove <file.js> [--arch <name>] [--warmup N] [--census] [--json]\n  nomap ipa <file.js> [--arch <name>] [--warmup N] [--json]\n  nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]\n  nomap corpus [--arch <name>] [--warmup N] [--jobs N] [--budget CYCLES]\n  nomap hostprof [--arch <name>] [--warmup N] [--jobs N] [--top N] [--json] [--digrams] [--flame <path>] [--hostbench-dir <dir>]\n  nomap archs"
             );
             ExitCode::from(2)
         }
@@ -479,6 +486,49 @@ fn cmd_prove(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_ipa(args: &[String]) -> ExitCode {
+    let file = match args.first() {
+        Some(f) => f,
+        None => {
+            eprintln!("error: missing script path");
+            return ExitCode::from(2);
+        }
+    };
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let arch = match flag_value(args, "--arch") {
+        Some(s) => match parse_arch(s) {
+            Some(a) => a,
+            None => {
+                eprintln!("error: unknown architecture `{s}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => Architecture::NoMap,
+    };
+    let warmup: u32 = flag_value(args, "--warmup").and_then(|s| s.parse().ok()).unwrap_or(150);
+    let as_json = args.iter().any(|a| a == "--json");
+    let report = match nomap_vm::ipa_source(&src, arch, warmup) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if as_json {
+        println!("{}", report.to_json(arch).render());
+    } else {
+        println!("--- interprocedural summary report ({}) ---", arch.name());
+        print!("{}", report.render());
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_disasm(args: &[String]) -> ExitCode {
     let func = match args.get(1) {
         Some(f) => f.clone(),
@@ -528,7 +578,7 @@ fn cmd_disasm(args: &[String]) -> ExitCode {
 }
 
 /// `nomap corpus` — run every bundled workload (SunSpider, Kraken,
-/// Shootout; 51 in all) through the sharded fleet harness and print one
+/// Shootout; 52 in all) through the sharded fleet harness and print one
 /// canonical-order line per workload plus a merged corpus summary.
 /// Scheduling telemetry (wall-times, queue occupancy) goes to stderr so
 /// stdout stays byte-identical for any `--jobs` value.

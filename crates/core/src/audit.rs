@@ -18,15 +18,16 @@
 //!   and [`FtlAudit::code`] is `None` — broken IR never reaches the
 //!   back end.
 
-use nomap_bytecode::Function;
+use nomap_bytecode::{Function, Program};
+use nomap_ir::ipa::ProgramSummaries;
 use nomap_ir::passes::PassConfig;
 use nomap_ir::IrFunc;
 use nomap_jit::CompiledFn;
 use nomap_runtime::Runtime;
-use nomap_verify::footprint::estimate_footprint;
+use nomap_verify::footprint::estimate_footprint_with;
 use nomap_verify::{
     check_fail_warnings, has_errors, validate_bounds_combining, validate_check_elision,
-    verify_func, Diagnostic, ScopeAdvice,
+    validate_summaries, verify_func, Diagnostic, ScopeAdvice,
 };
 
 use crate::config::Architecture;
@@ -121,12 +122,18 @@ impl Auditor {
 
     /// Translation-validates one `prove_checks` application: every elided
     /// check must carry an independently re-derivable `ProvedSafe` witness.
-    pub(crate) fn validate_elision(&mut self, before: &IrFunc, after: &IrFunc) {
+    /// `ipa` must be the same summary table the pass consulted.
+    pub(crate) fn validate_elision(
+        &mut self,
+        before: &IrFunc,
+        after: &IrFunc,
+        ipa: Option<&ProgramSummaries>,
+    ) {
         if !self.verify {
             return;
         }
         self.stages += 1;
-        let mut ds = validate_check_elision(before, after);
+        let mut ds = validate_check_elision(before, after, ipa);
         for d in &mut ds {
             d.stage = "absint-tv".to_string();
         }
@@ -146,6 +153,20 @@ impl Auditor {
         }
         self.diags.extend(ds);
     }
+}
+
+/// Translation-validates a whole-program interprocedural summary table
+/// (stage `ipa-tv`): every claimed return/precondition/effect/footprint
+/// fact must be a post-fixpoint of the summary transfer function. Run this
+/// *once per program* before any pipeline consumes the table — a table
+/// that fails here must not be passed to `compile_*_with_report` or the
+/// audited entry points.
+pub fn audit_summaries(p: &Program, claimed: &ProgramSummaries) -> Vec<Diagnostic> {
+    let mut ds = validate_summaries(p, claimed);
+    for d in &mut ds {
+        d.stage = "ipa-tv".to_string();
+    }
+    ds
 }
 
 /// Maps the estimator's advice onto a requested scope, never climbing the
@@ -176,18 +197,19 @@ pub fn compile_ftl_audited(
     scope: TxnScope,
     passes: PassConfig,
     opts: AuditOptions,
+    ipa: Option<&ProgramSummaries>,
 ) -> Result<FtlAudit, nomap_ir::BuildError> {
     let sof_allowed = arch.htm_model().has_sof;
     let mut auditor = Auditor::new(opts.verify, sof_allowed, 0);
     let (ir, report, txn_aware) =
-        compile_ftl_ir(func, rt, arch, scope, passes, Some(&mut auditor))?;
+        compile_ftl_ir(func, rt, arch, scope, passes, Some(&mut auditor), ipa)?;
 
     let mut scope_used = scope;
     let mut final_ir = ir;
     let mut final_report = report;
     let mut final_txn_aware = txn_aware;
     if opts.seed_scope && txn_aware {
-        let est = estimate_footprint(&final_ir, &arch.htm_model());
+        let est = estimate_footprint_with(&final_ir, &arch.htm_model(), ipa);
         for mut d in est.diags {
             d.stage = "footprint".to_string();
             auditor.diags.push(d);
@@ -195,7 +217,7 @@ pub fn compile_ftl_audited(
         let advised = apply_advice(scope, est.advice);
         if advised != scope {
             let (ir2, rep2, aware2) =
-                compile_ftl_ir(func, rt, arch, advised, passes, Some(&mut auditor))?;
+                compile_ftl_ir(func, rt, arch, advised, passes, Some(&mut auditor), ipa)?;
             final_ir = ir2;
             final_report = rep2;
             final_txn_aware = aware2;
@@ -235,9 +257,10 @@ pub fn compile_txn_callee_audited(
     arch: Architecture,
     passes: PassConfig,
     opts: AuditOptions,
+    ipa: Option<&ProgramSummaries>,
 ) -> Result<FtlAudit, nomap_ir::BuildError> {
     let mut auditor = Auditor::new(opts.verify, arch.htm_model().has_sof, 1);
-    let (ir, report) = compile_txn_callee_ir(func, rt, arch, passes, Some(&mut auditor))?;
+    let (ir, report) = compile_txn_callee_ir(func, rt, arch, passes, Some(&mut auditor), ipa)?;
     let code = if has_errors(&auditor.diags) {
         None
     } else {
@@ -265,9 +288,10 @@ pub fn compile_dfg_audited(
     func: &Function,
     rt: &mut Runtime,
     opts: AuditOptions,
+    ipa: Option<&ProgramSummaries>,
 ) -> Result<FtlAudit, nomap_ir::BuildError> {
     let mut auditor = Auditor::new(opts.verify, true, 0);
-    let (ir, report) = compile_dfg_ir(func, rt, Some(&mut auditor))?;
+    let (ir, report) = compile_dfg_ir(func, rt, Some(&mut auditor), ipa)?;
     let code = if has_errors(&auditor.diags) {
         None
     } else {
@@ -311,6 +335,7 @@ mod tests {
             TxnScope::Nest,
             PassConfig::ftl(),
             AuditOptions::default(),
+            None,
         )
         .unwrap();
         assert!(audit.clean(), "sanitizer found: {:?}", audit.diagnostics);
@@ -327,6 +352,7 @@ mod tests {
             Architecture::NoMap,
             TxnScope::Nest,
             PassConfig::ftl(),
+            None,
         )
         .unwrap();
         assert_eq!(audit.report, plain);
@@ -337,7 +363,7 @@ mod tests {
         let p = sum_loop();
         let f = p.function_named("sum").unwrap();
         let mut rt = Runtime::new();
-        let dfg = compile_dfg_audited(f, &mut rt, AuditOptions::default()).unwrap();
+        let dfg = compile_dfg_audited(f, &mut rt, AuditOptions::default(), None).unwrap();
         assert!(dfg.clean(), "{:?}", dfg.diagnostics);
         assert!(dfg.code.is_some());
         let callee = compile_txn_callee_audited(
@@ -346,6 +372,7 @@ mod tests {
             Architecture::NoMap,
             PassConfig::ftl(),
             AuditOptions::default(),
+            None,
         )
         .unwrap();
         assert!(callee.clean(), "{:?}", callee.diagnostics);

@@ -17,7 +17,8 @@ mod sof;
 mod txn;
 
 pub use audit::{
-    compile_dfg_audited, compile_ftl_audited, compile_txn_callee_audited, AuditOptions, FtlAudit,
+    audit_summaries, compile_dfg_audited, compile_ftl_audited, compile_txn_callee_audited,
+    AuditOptions, FtlAudit,
 };
 pub use bounds::combine_bounds_checks;
 pub use config::Architecture;

@@ -9,7 +9,8 @@
 //!   now-abortable checks, then one more cleanup round.
 
 use nomap_bytecode::Function;
-use nomap_ir::passes::{prove_checks, run_pipeline, run_pipeline_observed, PassConfig};
+use nomap_ir::ipa::ProgramSummaries;
+use nomap_ir::passes::{prove_checks_with, run_pipeline, run_pipeline_observed, PassConfig};
 use nomap_ir::{build_ir, BuildError, CheckMode, IrFunc, ProveStats, SpecLevel};
 use nomap_jit::{lower, CodegenQuality, CompiledFn};
 use nomap_machine::Tier;
@@ -64,16 +65,22 @@ fn snapshot_for(auditor: &Option<&mut Auditor>, ir: &IrFunc) -> Option<IrFunc> {
 /// checks as census warnings, and give the optimizer one more round when
 /// anything was deleted (elided checks unpin OSR state and open up code
 /// motion). Runs *after* bounds combining so the two validators see
-/// disjoint deletion sets.
+/// disjoint deletion sets. When an interprocedural summary table is
+/// supplied, the analysis consults callee return summaries and argument
+/// preconditions instead of treating every cross-function value as
+/// unknown — and the elision validator re-derives each witness under the
+/// *same* table, so the tables themselves must be vouched for separately
+/// (`ipa_tv`).
 fn prove_stage(
     ir: &mut IrFunc,
     passes: PassConfig,
     auditor: &mut Option<&mut Auditor>,
+    ipa: Option<&ProgramSummaries>,
 ) -> ProveStats {
     let snapshot = snapshot_for(auditor, ir);
-    let stats = prove_checks(ir);
+    let stats = prove_checks_with(ir, ipa);
     if let (Some(before), Some(a)) = (&snapshot, auditor.as_deref_mut()) {
-        a.validate_elision(before, ir);
+        a.validate_elision(before, ir, ipa);
     }
     if let Some(a) = auditor.as_deref_mut() {
         a.census(ir);
@@ -91,11 +98,13 @@ fn prove_stage(
 ///
 /// Propagates IR construction failures.
 pub fn compile_dfg(func: &Function, rt: &mut Runtime) -> Result<CompiledFn, BuildError> {
-    compile_dfg_with_report(func, rt).map(|(code, _)| code)
+    compile_dfg_with_report(func, rt, None).map(|(code, _)| code)
 }
 
 /// [`compile_dfg`], also reporting what the prove pass did (the DFG tier
 /// runs no transaction passes, so only the `prove` stats are populated).
+/// `ipa` optionally supplies validated interprocedural summaries for the
+/// check-elision analysis.
 ///
 /// # Errors
 ///
@@ -103,8 +112,9 @@ pub fn compile_dfg(func: &Function, rt: &mut Runtime) -> Result<CompiledFn, Buil
 pub fn compile_dfg_with_report(
     func: &Function,
     rt: &mut Runtime,
+    ipa: Option<&ProgramSummaries>,
 ) -> Result<(CompiledFn, CompileReport), BuildError> {
-    let (ir, report) = compile_dfg_ir(func, rt, None)?;
+    let (ir, report) = compile_dfg_ir(func, rt, None, ipa)?;
     Ok((lower(&ir, CodegenQuality::Dfg, Tier::Dfg, false), report))
 }
 
@@ -113,6 +123,7 @@ pub(crate) fn compile_dfg_ir(
     func: &Function,
     rt: &mut Runtime,
     mut auditor: Option<&mut Auditor>,
+    ipa: Option<&ProgramSummaries>,
 ) -> Result<(IrFunc, CompileReport), BuildError> {
     let _span = nomap_hostprof::span("compile:dfg");
     let built = {
@@ -123,7 +134,7 @@ pub(crate) fn compile_dfg_ir(
     audit(&mut auditor, &ir, "post-build");
     run_passes(&mut ir, PassConfig::dfg(), &mut auditor);
     let report = CompileReport {
-        prove: prove_stage(&mut ir, PassConfig::dfg(), &mut auditor),
+        prove: prove_stage(&mut ir, PassConfig::dfg(), &mut auditor, ipa),
         ..CompileReport::default()
     };
     audit(&mut auditor, &ir, "final");
@@ -177,7 +188,7 @@ pub fn compile_ftl_with(
     scope: TxnScope,
     passes: PassConfig,
 ) -> Result<CompiledFn, BuildError> {
-    compile_ftl_with_report(func, rt, arch, scope, passes).map(|(code, _)| code)
+    compile_ftl_with_report(func, rt, arch, scope, passes, None).map(|(code, _)| code)
 }
 
 /// What one FTL compilation's transaction/optimizer passes achieved
@@ -201,6 +212,8 @@ fn abort_mode_checks(ir: &IrFunc) -> usize {
 }
 
 /// [`compile_ftl_with`], also reporting what the transaction passes did.
+/// `ipa` optionally supplies validated interprocedural summaries for the
+/// check-elision analysis.
 ///
 /// # Errors
 ///
@@ -211,8 +224,9 @@ pub fn compile_ftl_with_report(
     arch: Architecture,
     scope: TxnScope,
     passes: PassConfig,
+    ipa: Option<&ProgramSummaries>,
 ) -> Result<(CompiledFn, CompileReport), BuildError> {
-    let (ir, report, txn_aware) = compile_ftl_ir(func, rt, arch, scope, passes, None)?;
+    let (ir, report, txn_aware) = compile_ftl_ir(func, rt, arch, scope, passes, None, ipa)?;
     Ok((lower(&ir, CodegenQuality::Ftl, Tier::Ftl, txn_aware), report))
 }
 
@@ -227,6 +241,7 @@ pub(crate) fn compile_ftl_ir(
     scope: TxnScope,
     passes: PassConfig,
     mut auditor: Option<&mut Auditor>,
+    ipa: Option<&ProgramSummaries>,
 ) -> Result<(IrFunc, CompileReport, bool), BuildError> {
     let _span = nomap_hostprof::span("compile:ftl");
     let built = {
@@ -270,7 +285,7 @@ pub(crate) fn compile_ftl_ir(
             run_passes(&mut ir, passes, &mut auditor);
         }
     }
-    report.prove = prove_stage(&mut ir, passes, &mut auditor);
+    report.prove = prove_stage(&mut ir, passes, &mut auditor, ipa);
     audit(&mut auditor, &ir, "final");
     Ok((ir, report, txn_aware))
 }
@@ -288,8 +303,9 @@ pub fn compile_txn_callee(
     rt: &mut Runtime,
     arch: Architecture,
     passes: PassConfig,
+    ipa: Option<&ProgramSummaries>,
 ) -> Result<CompiledFn, BuildError> {
-    let (ir, _report) = compile_txn_callee_ir(func, rt, arch, passes, None)?;
+    let (ir, _report) = compile_txn_callee_ir(func, rt, arch, passes, None, ipa)?;
     let mut code = lower(&ir, CodegenQuality::Ftl, Tier::Ftl, true);
     code.txn_callee = true;
     Ok(code)
@@ -304,6 +320,7 @@ pub(crate) fn compile_txn_callee_ir(
     arch: Architecture,
     passes: PassConfig,
     mut auditor: Option<&mut Auditor>,
+    ipa: Option<&ProgramSummaries>,
 ) -> Result<(IrFunc, CompileReport), BuildError> {
     let _span = nomap_hostprof::span("compile:callee");
     let built = {
@@ -338,7 +355,7 @@ pub(crate) fn compile_txn_callee_ir(
     if changed {
         run_passes(&mut ir, passes, &mut auditor);
     }
-    report.prove = prove_stage(&mut ir, passes, &mut auditor);
+    report.prove = prove_stage(&mut ir, passes, &mut auditor, ipa);
     audit(&mut auditor, &ir, "final");
     Ok((ir, report))
 }

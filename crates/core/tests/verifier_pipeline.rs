@@ -8,10 +8,14 @@
 //! external fuzzing deps): nested counted loops, array reads/writes,
 //! branches, compound assignments, break/continue. Failures print the
 //! seed and the full source, so any regression is replayable.
+//!
+//! Every compile runs under the program's interprocedural summary table,
+//! which must itself pass `ipa-tv` first — so the fuzz walk also covers
+//! the summary fixpoint and its translation validator.
 
 use nomap_core::{
-    compile_dfg_audited, compile_ftl_audited, compile_txn_callee_audited, Architecture,
-    AuditOptions, TxnScope,
+    audit_summaries, compile_dfg_audited, compile_ftl_audited, compile_txn_callee_audited,
+    Architecture, AuditOptions, TxnScope,
 };
 use nomap_ir::passes::PassConfig;
 use nomap_runtime::Runtime;
@@ -177,14 +181,18 @@ fn random_programs_are_verifier_clean_on_every_architecture() {
         let f = program.function_named("f").unwrap();
         let mut rt = Runtime::new();
         let opts = AuditOptions { verify: true, seed_scope: false };
+        let ipa = nomap_ir::summarize(&program);
+        let ipa_diags = audit_summaries(&program, &ipa);
+        assert!(ipa_diags.is_empty(), "seed {seed} ipa-tv: {ipa_diags:?}\n{src}");
 
-        let dfg = compile_dfg_audited(f, &mut rt, opts).unwrap();
+        let dfg = compile_dfg_audited(f, &mut rt, opts, Some(&ipa)).unwrap();
         assert!(dfg.clean(), "seed {seed} dfg: {:?}\n{src}", dfg.diagnostics);
 
         for arch in Architecture::ALL {
             let scope = scopes[(seed % scopes.len() as u64) as usize];
             let audit =
-                compile_ftl_audited(f, &mut rt, arch, scope, PassConfig::ftl(), opts).unwrap();
+                compile_ftl_audited(f, &mut rt, arch, scope, PassConfig::ftl(), opts, Some(&ipa))
+                    .unwrap();
             assert!(
                 audit.clean(),
                 "seed {seed} {arch:?} {scope:?}: {:?}\n{src}",
@@ -193,7 +201,8 @@ fn random_programs_are_verifier_clean_on_every_architecture() {
             assert!(audit.code.is_some());
 
             let callee =
-                compile_txn_callee_audited(f, &mut rt, arch, PassConfig::ftl(), opts).unwrap();
+                compile_txn_callee_audited(f, &mut rt, arch, PassConfig::ftl(), opts, Some(&ipa))
+                    .unwrap();
             assert!(callee.clean(), "seed {seed} {arch:?} callee: {:?}\n{src}", callee.diagnostics);
         }
     }
@@ -216,6 +225,7 @@ fn random_programs_seed_scope_cleanly() {
             TxnScope::Nest,
             PassConfig::ftl(),
             opts,
+            None,
         )
         .unwrap();
         assert!(audit.clean(), "seed {seed}: {:?}\n{src}", audit.diagnostics);

@@ -40,6 +40,7 @@ use nomap_machine::Cond;
 
 use crate::analysis::{find_loops, Dominators};
 use crate::graph::{BlockId, IrFunc, ValueId};
+use crate::ipa::ProgramSummaries;
 use crate::node::{CheckMode, InstKind, Ty};
 use crate::ranges::{Interval, TagSet};
 use crate::scev;
@@ -90,10 +91,20 @@ const MAX_SWEEPS: usize = 64;
 /// Descending (narrowing) sweeps after the ascending fixpoint.
 const NARROW_SWEEPS: usize = 2;
 
-/// Runs the analysis. Predecessor lists must be up to date (as the
-/// optimizer pipelines maintain them); the function is not mutated.
+/// Runs the analysis intraprocedurally: parameters and call results are
+/// unknown. Predecessor lists must be up to date (as the optimizer
+/// pipelines maintain them); the function is not mutated.
 pub fn analyze(f: &IrFunc) -> Absint {
-    Analyzer::new(f).run()
+    analyze_with(f, None)
+}
+
+/// Runs the analysis with optional interprocedural context: parameter
+/// facts come from the function's validated argument preconditions and
+/// call results from the callee's return summary, instead of defaulting
+/// to top. Every extra elision this enables is still independently
+/// re-derived by `absint_tv` (which must be handed the same summaries).
+pub fn analyze_with(f: &IrFunc, ipa: Option<&ProgramSummaries>) -> Absint {
+    Analyzer::new(f, ipa).run()
 }
 
 /// Unconstrained meet operand (wider than any tracked i32 range).
@@ -101,6 +112,8 @@ const UNCONSTRAINED: Interval = Interval { lo: i64::MIN, hi: i64::MAX };
 
 struct Analyzer<'a> {
     f: &'a IrFunc,
+    /// Interprocedural summaries (when compiled with IPA context).
+    ipa: Option<&'a ProgramSummaries>,
     doms: Dominators,
     /// Loop headers (phi widening points).
     headers: HashSet<BlockId>,
@@ -115,7 +128,7 @@ struct Analyzer<'a> {
 }
 
 impl<'a> Analyzer<'a> {
-    fn new(f: &'a IrFunc) -> Self {
+    fn new(f: &'a IrFunc, ipa: Option<&'a ProgramSummaries>) -> Self {
         let doms = Dominators::compute(f);
         let loops = find_loops(f, &doms);
         let headers: HashSet<BlockId> = loops.iter().map(|l| l.header).collect();
@@ -150,6 +163,7 @@ impl<'a> Analyzer<'a> {
         let chains = build_chains(f, &doms);
         Analyzer {
             f,
+            ipa,
             doms,
             headers,
             chains,
@@ -207,10 +221,16 @@ impl<'a> Analyzer<'a> {
                         let old = self.ranges[i];
                         let stored = if ascending {
                             let joined = old.join(new);
-                            if joined != old
-                                && self.headers.contains(&b)
-                                && matches!(self.f.inst(v).kind, InstKind::Phi { .. })
-                            {
+                            // Widening points: loop-header phis, and
+                            // CheckInt32 — `boxed_range` chases unboxed
+                            // values through *boxed* phi cycles, and the
+                            // check is the only door those ranges re-enter
+                            // the int lattice through, so it must cut the
+                            // ascending chain too.
+                            let widen_point = (self.headers.contains(&b)
+                                && matches!(self.f.inst(v).kind, InstKind::Phi { .. }))
+                                || matches!(self.f.inst(v).kind, InstKind::CheckInt32 { .. });
+                            if joined != old && widen_point {
                                 self.phi_bumps[i] = self.phi_bumps[i].saturating_add(1);
                                 if self.phi_bumps[i] > WIDEN_AFTER {
                                     old.widen(joined)
@@ -337,7 +357,7 @@ impl<'a> Analyzer<'a> {
                     And if ia.lo >= 0 && ib.lo >= 0 => Interval::new(0, ia.hi.min(ib.hi)),
                     // For non-negative x, y: x|y <= x+y and x^y <= x+y.
                     Or | Xor if ia.lo >= 0 && ib.lo >= 0 => {
-                        Interval::new(0, (ia.hi + ib.hi).min(full.hi))
+                        Interval::new(0, ia.hi.saturating_add(ib.hi).min(full.hi))
                     }
                     // Arithmetic shift keeps the sign and never grows the
                     // magnitude.
@@ -345,8 +365,10 @@ impl<'a> Analyzer<'a> {
                     _ => full,
                 }
             }
-            // Payload of a passing speculation: any int32.
-            CheckInt32 { .. } | CheckF64ToI32 { .. } => full,
+            // Payload of a passing speculation: any int32, narrowed by
+            // whatever is known about the boxed source.
+            CheckInt32 { v: x, .. } => self.boxed_range(*x, 0).meet(full),
+            CheckF64ToI32 { .. } => full,
             _ => full,
         }
     }
@@ -366,7 +388,59 @@ impl<'a> Analyzer<'a> {
                 }
                 t
             }
+            // With IPA context, parameters carry the validated argument
+            // precondition and call results the callee's return summary;
+            // without it both stay top.
+            Param(i) => self.param_fact(*i).map_or(TagSet::ANY, |a| a.tags),
+            CallJs { callee, .. } => self.callee_fact(*callee).map_or(TagSet::ANY, |a| a.tags),
+            CallRuntime { func, .. } => crate::ipa::AbsVal::of_ret_tag(func.signature().ret).tags,
             _ => TagSet::ANY,
+        }
+    }
+
+    /// The validated precondition of parameter `i`, when analyzing with
+    /// IPA context. `None` means "no fact" (top).
+    fn param_fact(&self, i: u16) -> Option<crate::ipa::AbsVal> {
+        let s = self.ipa?.get(self.f.func)?;
+        s.params.get(i as usize).copied()
+    }
+
+    /// The return summary of a called MiniJS function, when analyzing
+    /// with IPA context.
+    fn callee_fact(&self, callee: nomap_bytecode::FuncId) -> Option<crate::ipa::AbsVal> {
+        Some(self.ipa?.get(callee)?.ret)
+    }
+
+    /// Range of the int32 payload behind a boxed value, looking through
+    /// boxes, constants, phis and (with IPA context) parameters and call
+    /// results. Sound because an `AbsVal` range bounds the payload
+    /// whenever the value is an int32 — which is exactly what a passing
+    /// `CheckInt32` establishes.
+    fn boxed_range(&self, v: ValueId, depth: u8) -> Interval {
+        use InstKind::*;
+        if depth > 4 {
+            return Interval::FULL;
+        }
+        match &self.f.inst(v).kind {
+            Const(val) => {
+                if val.is_int32() {
+                    Interval::constant(val.as_int32() as i64)
+                } else {
+                    // Never an int32: no passing execution exists.
+                    Interval::EMPTY
+                }
+            }
+            BoxI32(x) => self.ranges[x.0 as usize],
+            Phi { inputs, .. } => {
+                let mut r = Interval::EMPTY;
+                for &input in inputs {
+                    r = r.join(self.boxed_range(input, depth + 1));
+                }
+                r
+            }
+            Param(i) => self.param_fact(*i).map_or(Interval::FULL, |a| a.range),
+            CallJs { callee, .. } => self.callee_fact(*callee).map_or(Interval::FULL, |a| a.range),
+            _ => Interval::FULL,
         }
     }
 
@@ -565,13 +639,13 @@ fn bound_from(c: Cond, other: Interval) -> Interval {
     match c {
         Cond::Eq => other,
         Cond::Ne => UNCONSTRAINED,
-        Cond::Lt => Interval { lo: UNCONSTRAINED.lo, hi: other.hi - 1 },
+        Cond::Lt => Interval { lo: UNCONSTRAINED.lo, hi: other.hi.saturating_sub(1) },
         Cond::Le => Interval { lo: UNCONSTRAINED.lo, hi: other.hi },
-        Cond::Gt => Interval { lo: other.lo + 1, hi: UNCONSTRAINED.hi },
+        Cond::Gt => Interval { lo: other.lo.saturating_add(1), hi: UNCONSTRAINED.hi },
         Cond::Ge => Interval { lo: other.lo, hi: UNCONSTRAINED.hi },
         // Unsigned below a non-negative bound pins the value into
         // [0, hi-1]: negative int32s sign-extend to huge unsigned words.
-        Cond::Below if other.lo >= 0 => Interval::new(0, other.hi - 1),
+        Cond::Below if other.lo >= 0 => Interval::new(0, other.hi.saturating_sub(1)),
         _ => UNCONSTRAINED,
     }
 }

@@ -1,0 +1,446 @@
+//! Interprocedural summary analysis (IPA).
+//!
+//! Three passes over the SCC condensation of the exact call graph:
+//!
+//! 1. **Bottom-up returns/effects**: with every parameter at TOP, iterate
+//!    each SCC to a post-fixpoint of [`summary::analyze_function`],
+//!    widening return intervals and write-footprint bounds at SCC
+//!    back-edges (a re-iteration of a cyclic component) so recursion
+//!    converges instead of climbing forever.
+//! 2. **Top-down argument preconditions**: walk the SCC DAG callers-first
+//!    and set each non-root function's parameter precondition to the join
+//!    of the abstract arguments at every in-program call site (cyclic
+//!    components iterate with widening). Roots — `main`, the harness
+//!    entry `run`, and every function with no in-program caller — keep
+//!    TOP parameters: they can be invoked by the host with anything.
+//! 3. **Descending refinement**: recompute returns/effects under the
+//!    refined preconditions. One application of a monotone `F` to a
+//!    post-fixpoint stays a post-fixpoint (`F(new) = F(F(old)) ⊑ F(old)
+//!    = new`), so the result is still *inductive* — exactly the property
+//!    the `ipa_tv` translation validator re-checks per summary.
+//!
+//! The closed-world assumption behind the root set is enforced
+//! dynamically by the VM: a host call whose arguments escape the claimed
+//! precondition invalidates compiled code and re-summarizes with that
+//! function as an extra root.
+
+pub mod callgraph;
+pub mod summary;
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nomap_bytecode::{FuncId, Program};
+use nomap_runtime::HeapEffect;
+
+pub use callgraph::CallGraph;
+pub use summary::{analyze_function, AbsVal, FuncFacts, FuncSummary, LINE_CAP};
+
+/// Iterations of a cyclic SCC before widening kicks in.
+pub const WIDEN_AFTER: usize = 2;
+/// Hard cap on SCC iterations; the sound driver falls back to TOP
+/// summaries for the whole component if it somehow fails to stabilize.
+pub const MAX_ITERS: usize = 64;
+/// Iteration cap for the intentionally unsound variant (which never
+/// widens): it stops here and *keeps the non-converged iterate*.
+const UNSOUND_ITERS: usize = 8;
+
+/// All interprocedural facts for one program.
+#[derive(Debug, Clone)]
+pub struct ProgramSummaries {
+    /// Per-function summaries.
+    pub summaries: BTreeMap<FuncId, FuncSummary>,
+    /// The call graph the fixpoint ran over.
+    pub graph: CallGraph,
+    /// Functions whose parameters are pinned at TOP (host-reachable).
+    pub roots: BTreeSet<FuncId>,
+}
+
+impl ProgramSummaries {
+    /// Summary for `f` (TOP-equivalent fallback for unknown ids).
+    pub fn get(&self, f: FuncId) -> Option<&FuncSummary> {
+        self.summaries.get(&f)
+    }
+}
+
+/// Computes sound summaries for `p` under the default root set.
+pub fn summarize(p: &Program) -> ProgramSummaries {
+    summarize_with_roots(p, &BTreeSet::new())
+}
+
+/// Computes sound summaries with `extra_roots` forced into the root set
+/// (the VM's host-call invalidation path).
+pub fn summarize_with_roots(p: &Program, extra_roots: &BTreeSet<FuncId>) -> ProgramSummaries {
+    summarize_impl(p, extra_roots, true)
+}
+
+/// Mutation-test variant that **skips widening at SCC back-edges** and
+/// keeps a capped, possibly non-converged iterate — an intentionally
+/// unsound summary the `ipa_tv` translation validator must reject. Not
+/// part of any pipeline.
+#[doc(hidden)]
+pub fn summarize_unsound(p: &Program) -> ProgramSummaries {
+    summarize_impl(p, &BTreeSet::new(), false)
+}
+
+/// The root set: `main`, the harness entry `run`, every function without
+/// an in-program caller, plus `extra`.
+pub fn roots(p: &Program, graph: &CallGraph, extra: &BTreeSet<FuncId>) -> BTreeSet<FuncId> {
+    let mut out = graph.uncalled();
+    out.insert(Program::MAIN);
+    if let Some(&run) = p.function_ids.get("run") {
+        out.insert(run);
+    }
+    out.extend(extra.iter().copied());
+    out
+}
+
+fn summarize_impl(p: &Program, extra_roots: &BTreeSet<FuncId>, widen: bool) -> ProgramSummaries {
+    let graph = CallGraph::build(p);
+    let roots = roots(p, &graph, extra_roots);
+    let mut summaries: BTreeMap<FuncId, FuncSummary> = p
+        .functions
+        .iter()
+        .map(|f| {
+            (
+                f.id,
+                FuncSummary {
+                    ret: AbsVal::BOTTOM,
+                    params: vec![AbsVal::TOP; f.param_count as usize],
+                    effect: HeapEffect::Pure,
+                    clobbers: false,
+                    callees: graph.callees.get(&f.id).cloned().unwrap_or_default(),
+                },
+            )
+        })
+        .collect();
+
+    // ---- pass 1: bottom-up returns/effects under TOP parameters --------
+    ascend(p, &graph, &mut summaries, widen);
+
+    // ---- pass 2: top-down argument preconditions (callers first) -------
+    // Cache of each finalized function's outgoing call arguments.
+    let mut out_args: BTreeMap<FuncId, Vec<(FuncId, Vec<AbsVal>)>> = BTreeMap::new();
+    for (scc_idx, scc) in graph.sccs.iter().enumerate().rev() {
+        let cyclic = graph.is_cyclic(scc_idx);
+        let members: BTreeSet<FuncId> = scc.iter().copied().collect();
+        let iters = if cyclic {
+            if widen {
+                MAX_ITERS
+            } else {
+                UNSOUND_ITERS
+            }
+        } else {
+            1
+        };
+        for iter in 0..iters {
+            let mut changed = false;
+            // Arguments from SCC members are recomputed with their
+            // current preconditions; outside callers are already final.
+            let mut member_args: BTreeMap<FuncId, Vec<(FuncId, Vec<AbsVal>)>> = BTreeMap::new();
+            for &fid in scc {
+                let facts = analyze_function(p.function(fid), &summaries[&fid].params, &summaries);
+                member_args.insert(fid, facts.call_args);
+            }
+            for &fid in scc {
+                if roots.contains(&fid) {
+                    continue;
+                }
+                let pc = summaries[&fid].params.len();
+                let mut joined = vec![AbsVal::BOTTOM; pc];
+                let callers = graph.callers.get(&fid).cloned().unwrap_or_default();
+                for caller in callers {
+                    let args_of = if members.contains(&caller) {
+                        member_args.get(&caller)
+                    } else {
+                        out_args.get(&caller)
+                    };
+                    let Some(sites) = args_of else {
+                        // Caller not yet processed (unreachable with a
+                        // correct topo order) — be conservative.
+                        joined = vec![AbsVal::TOP; pc];
+                        break;
+                    };
+                    for (callee, args) in sites {
+                        if *callee != fid {
+                            continue;
+                        }
+                        for (k, slot) in joined.iter_mut().enumerate() {
+                            // Missing actual arguments arrive undefined.
+                            let arg = args.get(k).copied().unwrap_or(AbsVal::UNDEF);
+                            *slot = slot.join(arg);
+                        }
+                    }
+                }
+                let old = summaries[&fid].params.clone();
+                let apply_widening = widen && cyclic && iter >= WIDEN_AFTER;
+                let new: Vec<AbsVal> = old
+                    .iter()
+                    .zip(&joined)
+                    .map(|(&o, &j)| {
+                        // Preconditions only ever shrink from TOP in this
+                        // pass on the first iterate; on cyclic re-iterates
+                        // they may grow, hence join/widen against the
+                        // previous non-TOP iterate.
+                        if iter == 0 {
+                            j
+                        } else if apply_widening {
+                            o.widen(o.join(j))
+                        } else {
+                            o.join(j)
+                        }
+                    })
+                    .collect();
+                if new != old {
+                    summaries.get_mut(&fid).expect("initialized").params = new;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Finalize: cache outgoing args under the final preconditions.
+        for &fid in scc {
+            let facts = analyze_function(p.function(fid), &summaries[&fid].params, &summaries);
+            out_args.insert(fid, facts.call_args);
+        }
+    }
+
+    // ---- pass 3: re-ascend under the refined preconditions -------------
+    // Descending rounds cannot improve effects through a cycle (each
+    // member's recomputation keeps the other's stale summary), so instead
+    // rebuild returns/effects from BOTTOM with the — now fixed —
+    // preconditions. The result is a genuine post-fixpoint of the same
+    // transfer, hence inductive, and by monotonicity no larger than the
+    // pass-1 summaries computed under TOP parameters.
+    for s in summaries.values_mut() {
+        s.ret = AbsVal::BOTTOM;
+        s.effect = HeapEffect::Pure;
+        s.clobbers = false;
+    }
+    ascend(p, &graph, &mut summaries, widen);
+
+    ProgramSummaries { summaries, graph, roots }
+}
+
+/// Bottom-up SCC fixpoint of returns/effects, leaving parameter
+/// preconditions untouched. `widen` selects the sound driver (widening at
+/// cyclic back-edges from [`WIDEN_AFTER`], TOP fallback at [`MAX_ITERS`])
+/// versus the intentionally unsound mutation variant (joins only, capped,
+/// keeping the non-converged iterate).
+fn ascend(
+    p: &Program,
+    graph: &CallGraph,
+    summaries: &mut BTreeMap<FuncId, FuncSummary>,
+    widen: bool,
+) {
+    for (scc_idx, scc) in graph.sccs.iter().enumerate() {
+        let cyclic = graph.is_cyclic(scc_idx);
+        let iters = if widen { MAX_ITERS } else { UNSOUND_ITERS };
+        let mut converged = false;
+        for iter in 0..iters {
+            let mut changed = false;
+            for &fid in scc {
+                let facts = analyze_function(p.function(fid), &summaries[&fid].params, summaries);
+                let old = summaries[&fid].clone();
+                let apply_widening = widen && cyclic && iter >= WIDEN_AFTER;
+                let new_ret = if apply_widening {
+                    old.ret.widen(old.ret.join(facts.ret))
+                } else {
+                    old.ret.join(facts.ret)
+                };
+                let new_eff = grow_effect(old.effect, facts.effect, apply_widening);
+                let new_clobbers = old.clobbers | facts.clobbers;
+                if new_ret != old.ret || new_eff != old.effect || new_clobbers != old.clobbers {
+                    let s = summaries.get_mut(&fid).expect("initialized");
+                    s.ret = new_ret;
+                    s.effect = new_eff;
+                    s.clobbers = new_clobbers;
+                    changed = true;
+                }
+            }
+            if !changed {
+                converged = true;
+                break;
+            }
+        }
+        if widen && !converged {
+            // Safety valve: an SCC that somehow failed to stabilize under
+            // widening goes to TOP wholesale (sound, never precise).
+            for &fid in scc {
+                let callees = summaries[&fid].callees.clone();
+                let pc = summaries[&fid].params.len();
+                let params = summaries[&fid].params.clone();
+                let mut top = FuncSummary::top(pc, callees);
+                top.params = params;
+                summaries.insert(fid, top);
+            }
+        }
+    }
+}
+
+/// Effect-lattice order (`WritesBounded` ordered by its bound).
+pub fn effect_le(a: HeapEffect, b: HeapEffect) -> bool {
+    use HeapEffect::*;
+    match (a, b) {
+        (Pure, _) => true,
+        (_, Pure) => false,
+        (ReadsHeap, _) => true,
+        (_, ReadsHeap) => false,
+        (WritesBounded(x), WritesBounded(y)) => x <= y,
+        (WritesBounded(_), WritesUnbounded) => true,
+        (WritesUnbounded, WritesBounded(_)) => false,
+        (WritesUnbounded, WritesUnbounded) => true,
+    }
+}
+
+/// Accumulates a newly recomputed effect into the previous iterate; when
+/// `widen` is set, a *growing* bounded footprint jumps straight to
+/// unbounded (the effect-lattice widening for recursion).
+fn grow_effect(old: HeapEffect, new: HeapEffect, widen: bool) -> HeapEffect {
+    use HeapEffect::*;
+    let joined = old.join(new);
+    if widen {
+        if let (WritesBounded(o), WritesBounded(j)) = (old, joined) {
+            if j > o {
+                return WritesUnbounded;
+            }
+        }
+    }
+    joined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program(src: &str) -> Program {
+        nomap_bytecode::compile_program(src).expect("compiles")
+    }
+
+    #[test]
+    fn straight_line_summaries_are_precise() {
+        let p = program(
+            "function five() { return 5; }
+             function run() { return five(); }",
+        );
+        let s = summarize(&p);
+        let five = p.function_ids["five"];
+        let sum = &s.summaries[&five];
+        assert_eq!(sum.ret, AbsVal::int_const(5));
+        assert_eq!(sum.effect, HeapEffect::Pure);
+        assert!(!sum.clobbers);
+        // run() forwards five()'s interval.
+        let run = p.function_ids["run"];
+        assert_eq!(s.summaries[&run].ret, AbsVal::int_const(5));
+        assert!(s.roots.contains(&run));
+        assert!(s.roots.contains(&Program::MAIN));
+        assert!(!s.roots.contains(&five));
+    }
+
+    #[test]
+    fn call_site_args_become_preconditions() {
+        let p = program(
+            "function double(x) { return x + x; }
+             function run() { return double(21) + double(10); }",
+        );
+        let s = summarize(&p);
+        let double = p.function_ids["double"];
+        let sum = &s.summaries[&double];
+        // x joins {21, 10} = int[10,21]; the return refines to [20,42].
+        assert_eq!(sum.params.len(), 1);
+        assert_eq!(sum.params[0].tags, crate::ranges::TagSet::INT);
+        assert_eq!(sum.params[0].range, crate::ranges::Interval::new(10, 21));
+        assert_eq!(sum.ret.tags, crate::ranges::TagSet::INT);
+        assert_eq!(sum.ret.range, crate::ranges::Interval::new(20, 42));
+    }
+
+    /// Mutual recursion must reach a fixpoint (SCC-convergence test from
+    /// the issue): `even`/`odd` call each other with a shrinking argument
+    /// and return booleans.
+    #[test]
+    fn mutual_recursion_converges() {
+        let p = program(
+            "function even(n) { if (n == 0) { return true; } return odd(n - 1); }
+             function odd(n) { if (n == 0) { return false; } return even(n - 1); }
+             function run() { return even(40); }",
+        );
+        let s = summarize(&p);
+        let even = p.function_ids["even"];
+        let odd = p.function_ids["odd"];
+        assert_eq!(s.graph.scc_of[&even], s.graph.scc_of[&odd], "one SCC");
+        assert!(s.graph.is_cyclic(s.graph.scc_of[&even]));
+        for f in [even, odd] {
+            let sum = &s.summaries[&f];
+            assert_eq!(sum.ret.tags, crate::ranges::TagSet::BOOL, "{f}: {:?}", sum.ret);
+            assert_eq!(sum.effect, HeapEffect::Pure);
+        }
+    }
+
+    /// Self-recursion with a growing return: widening must cap the
+    /// ascending chain ([0,0], [0,1], [0,2], ... would never converge
+    /// without it), and the result must stay a post-fixpoint.
+    #[test]
+    fn growing_recursion_widens_to_a_post_fixpoint() {
+        let p = program(
+            "function count(n) { if (n <= 0) { return 0; } return 1 + count(n - 1); }
+             function run() { return count(100); }",
+        );
+        let s = summarize(&p);
+        let count = p.function_ids["count"];
+        let sum = &s.summaries[&count];
+        // Still an int32-tagged return...
+        assert!(sum.ret.tags.subset_of(crate::ranges::TagSet::NUMBER));
+        // ...and inductive: one more application stays inside the claim.
+        let facts = analyze_function(p.function(count), &sum.params, &s.summaries);
+        assert!(facts.ret.subset_of(sum.ret), "{} ⊄ {}", facts.ret, sum.ret);
+        assert!(effect_le(facts.effect, sum.effect));
+    }
+
+    /// The unsound variant (no widening, capped iteration) must leave a
+    /// non-inductive claim behind on the same growing recursion.
+    #[test]
+    fn unsound_variant_is_not_inductive() {
+        let p = program(
+            "function count(n) { if (n <= 0) { return 0; } return 1 + count(n - 1); }
+             function run() { return count(100); }",
+        );
+        let bad = summarize_unsound(&p);
+        let count = p.function_ids["count"];
+        let claimed = &bad.summaries[&count];
+        let facts = analyze_function(p.function(count), &claimed.params, &bad.summaries);
+        assert!(
+            !facts.ret.subset_of(claimed.ret),
+            "mutation unexpectedly converged: F(C)={} ⊆ C={}",
+            facts.ret,
+            claimed.ret
+        );
+    }
+
+    #[test]
+    fn effects_classify_writers_and_readers() {
+        let p = program(
+            "var acc = 0;
+             function pure_math(x) { return x * x + 1; }
+             function reader(a) { return a[0]; }
+             function writer(a) { a[0] = 1; return 0; }
+             function global_writer(x) { acc = x; return x; }
+             function run() {
+                 var a = new Array(4);
+                 return pure_math(2) + reader(a) + writer(a) + global_writer(3);
+             }",
+        );
+        let s = summarize(&p);
+        let get = |name: &str| &s.summaries[&p.function_ids[name]];
+        assert_eq!(get("pure_math").effect, HeapEffect::Pure);
+        assert!(!get("pure_math").clobbers);
+        assert_eq!(get("reader").effect, HeapEffect::ReadsHeap);
+        assert!(!get("reader").clobbers);
+        assert_eq!(get("writer").effect, HeapEffect::WritesUnbounded);
+        assert!(get("writer").clobbers);
+        // One global slot: bounded single-line write, even though the
+        // caller may loop it.
+        assert_eq!(get("global_writer").effect, HeapEffect::WritesBounded(1));
+        assert!(get("global_writer").clobbers);
+    }
+}

@@ -1,0 +1,203 @@
+//! Program call graph over [`FuncId`]s and its SCC condensation.
+//!
+//! MiniJS calls are direct (`Op::Call` names its callee statically), so
+//! the call graph is exact, not an over-approximation. Tarjan's algorithm
+//! emits strongly connected components in **reverse topological order** —
+//! every SCC is produced after all SCCs it can reach — which is exactly
+//! the bottom-up (callees-first) order the summary fixpoint wants.
+//! Everything is keyed with `BTree` containers so traversal order, and
+//! therefore every summary and census line derived from it, is
+//! deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nomap_bytecode::{FuncId, Op, Program};
+
+/// The program call graph, condensed into SCCs.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Direct call edges, caller → set of callees.
+    pub callees: BTreeMap<FuncId, BTreeSet<FuncId>>,
+    /// Reverse edges, callee → set of callers.
+    pub callers: BTreeMap<FuncId, BTreeSet<FuncId>>,
+    /// Strongly connected components in bottom-up order (each SCC appears
+    /// after every SCC it calls into appears... i.e. callees first).
+    /// Members are sorted by `FuncId` within each component.
+    pub sccs: Vec<Vec<FuncId>>,
+    /// Index into [`CallGraph::sccs`] for every function.
+    pub scc_of: BTreeMap<FuncId, usize>,
+}
+
+impl CallGraph {
+    /// Builds the exact call graph of `p` and condenses it.
+    pub fn build(p: &Program) -> CallGraph {
+        let mut callees: BTreeMap<FuncId, BTreeSet<FuncId>> = BTreeMap::new();
+        let mut callers: BTreeMap<FuncId, BTreeSet<FuncId>> = BTreeMap::new();
+        for f in &p.functions {
+            let edges = callees.entry(f.id).or_default();
+            for op in &f.code {
+                if let Op::Call { func, .. } = op {
+                    edges.insert(*func);
+                }
+            }
+            callers.entry(f.id).or_default();
+        }
+        for (&caller, outs) in &callees {
+            for &callee in outs {
+                callers.entry(callee).or_default().insert(caller);
+            }
+        }
+        let (sccs, scc_of) = tarjan(&callees);
+        CallGraph { callees, callers, sccs, scc_of }
+    }
+
+    /// True when the component needs fixpoint iteration: it has more than
+    /// one member, or its single member calls itself.
+    pub fn is_cyclic(&self, scc: usize) -> bool {
+        let members = &self.sccs[scc];
+        members.len() > 1
+            || members.first().is_some_and(|f| self.callees.get(f).is_some_and(|cs| cs.contains(f)))
+    }
+
+    /// Functions with no in-program caller (the top-down pass treats
+    /// these, plus the designated entry points, as roots).
+    pub fn uncalled(&self) -> BTreeSet<FuncId> {
+        self.callers.iter().filter(|(_, cs)| cs.is_empty()).map(|(&f, _)| f).collect()
+    }
+}
+
+/// Iterative Tarjan SCC. Returns components in reverse topological
+/// (bottom-up) order with members sorted, plus the membership map.
+fn tarjan(
+    edges: &BTreeMap<FuncId, BTreeSet<FuncId>>,
+) -> (Vec<Vec<FuncId>>, BTreeMap<FuncId, usize>) {
+    #[derive(Default, Clone)]
+    struct NodeState {
+        index: Option<u32>,
+        lowlink: u32,
+        on_stack: bool,
+    }
+    let mut state: BTreeMap<FuncId, NodeState> = BTreeMap::new();
+    for &f in edges.keys() {
+        state.insert(f, NodeState::default());
+    }
+    let mut next_index = 0u32;
+    let mut stack: Vec<FuncId> = Vec::new();
+    let mut sccs: Vec<Vec<FuncId>> = Vec::new();
+    let mut scc_of: BTreeMap<FuncId, usize> = BTreeMap::new();
+
+    // Explicit DFS frames: (node, iterator position over its callees).
+    let roots: Vec<FuncId> = edges.keys().copied().collect();
+    for root in roots {
+        if state[&root].index.is_some() {
+            continue;
+        }
+        let mut frames: Vec<(FuncId, Vec<FuncId>, usize)> = Vec::new();
+        let open = |f: FuncId,
+                    state: &mut BTreeMap<FuncId, NodeState>,
+                    stack: &mut Vec<FuncId>,
+                    next_index: &mut u32| {
+            let s = state.get_mut(&f).expect("node registered");
+            s.index = Some(*next_index);
+            s.lowlink = *next_index;
+            s.on_stack = true;
+            *next_index += 1;
+            stack.push(f);
+        };
+        open(root, &mut state, &mut stack, &mut next_index);
+        frames.push((root, edges[&root].iter().copied().collect(), 0));
+        while let Some((node, succs, pos)) = frames.last_mut() {
+            if let Some(&next) = succs.get(*pos) {
+                *pos += 1;
+                let node = *node;
+                match state[&next].index {
+                    None => {
+                        open(next, &mut state, &mut stack, &mut next_index);
+                        frames.push((next, edges[&next].iter().copied().collect(), 0));
+                    }
+                    Some(idx) => {
+                        if state[&next].on_stack {
+                            let low = state[&node].lowlink.min(idx);
+                            state.get_mut(&node).expect("node registered").lowlink = low;
+                        }
+                    }
+                }
+            } else {
+                // Node finished: pop an SCC if it is a root, then fold its
+                // lowlink into the parent frame.
+                let node = *node;
+                frames.pop();
+                let ns = state[&node].clone();
+                if ns.lowlink == ns.index.expect("opened") {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("scc member on stack");
+                        state.get_mut(&w).expect("node registered").on_stack = false;
+                        comp.push(w);
+                        if w == node {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    for &w in &comp {
+                        scc_of.insert(w, sccs.len());
+                    }
+                    sccs.push(comp);
+                }
+                if let Some((parent, _, _)) = frames.last() {
+                    let parent = *parent;
+                    let low = state[&parent].lowlink.min(ns.lowlink);
+                    state.get_mut(&parent).expect("node registered").lowlink = low;
+                }
+            }
+        }
+    }
+    (sccs, scc_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(edges: &[(u32, u32)], n: u32) -> BTreeMap<FuncId, BTreeSet<FuncId>> {
+        let mut g: BTreeMap<FuncId, BTreeSet<FuncId>> = BTreeMap::new();
+        for f in 0..n {
+            g.entry(FuncId(f)).or_default();
+        }
+        for &(a, b) in edges {
+            g.entry(FuncId(a)).or_default().insert(FuncId(b));
+        }
+        g
+    }
+
+    #[test]
+    fn sccs_come_out_bottom_up() {
+        // 0 → 1 → 2 ⇄ 3, 1 → 4. Bottom-up: {2,3} and {4} before {1},
+        // {1} before {0}.
+        let g = graph(&[(0, 1), (1, 2), (2, 3), (3, 2), (1, 4)], 5);
+        let (sccs, scc_of) = tarjan(&g);
+        assert_eq!(sccs.iter().map(Vec::len).sum::<usize>(), 5);
+        assert_eq!(scc_of[&FuncId(2)], scc_of[&FuncId(3)]);
+        assert!(scc_of[&FuncId(2)] < scc_of[&FuncId(1)]);
+        assert!(scc_of[&FuncId(4)] < scc_of[&FuncId(1)]);
+        assert!(scc_of[&FuncId(1)] < scc_of[&FuncId(0)]);
+        // Every SCC's callees outside itself live in earlier components.
+        for (i, comp) in sccs.iter().enumerate() {
+            for f in comp {
+                for callee in &g[f] {
+                    assert!(scc_of[callee] <= i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_loop_is_cyclic_singleton() {
+        let g = graph(&[(0, 0), (0, 1)], 2);
+        let (sccs, scc_of) = tarjan(&g);
+        assert_eq!(sccs.len(), 2);
+        let cg = CallGraph { callees: g, callers: BTreeMap::new(), sccs, scc_of: scc_of.clone() };
+        assert!(cg.is_cyclic(scc_of[&FuncId(0)]));
+        assert!(!cg.is_cyclic(scc_of[&FuncId(1)]));
+    }
+}

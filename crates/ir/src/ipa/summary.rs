@@ -1,0 +1,596 @@
+//! Per-function summaries and the bytecode-level abstract interpreter
+//! that derives them.
+//!
+//! Summaries are computed over **bytecode**, not speculative IR: a callee
+//! can deopt at any check and finish in the interpreter, so only the
+//! unspeculated semantics bound what a call may return or write. That
+//! also makes summaries profile-independent — the same program always
+//! yields the same summaries, regardless of warmup or tier history.
+//!
+//! The abstract state is one [`AbsVal`] (interval × tag-set) per bytecode
+//! register, flow-sensitive and branch-insensitive (both branch arms see
+//! the same state, which is sound). Loop headers ([`Function::
+//! loop_headers`]) are the widening points. The interval component bounds
+//! the **int32 payload**: whenever the concrete value carries the int32
+//! tag, its payload lies in `range`. Values that are never int32 have an
+//! empty range — that is the precise abstraction of "no int32 payload
+//! exists", and it makes joins work out naturally.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use nomap_bytecode::{BinaryOp, Const, FuncId, Function, Intrinsic, NameId, Op, UnaryOp};
+use nomap_runtime::{HeapEffect, RetTag, RuntimeFn};
+
+use crate::ranges::{Interval, TagSet};
+
+/// Abstract value: NaN-box tag set plus an interval bounding the int32
+/// payload (whenever the tag is int32).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsVal {
+    /// Bound on the int32 payload; [`Interval::EMPTY`] when the value can
+    /// never carry the int32 tag.
+    pub range: Interval,
+    /// Possible NaN-box tags.
+    pub tags: TagSet,
+}
+
+impl AbsVal {
+    /// Top: any tag, any payload.
+    pub const TOP: AbsVal = AbsVal { range: Interval::FULL, tags: TagSet::ANY };
+    /// Bottom: unreachable.
+    pub const BOTTOM: AbsVal = AbsVal { range: Interval::EMPTY, tags: TagSet::NONE };
+    /// The abstract `undefined`/`null` family.
+    pub const UNDEF: AbsVal = AbsVal { range: Interval::EMPTY, tags: TagSet::OTHER };
+    /// Any number: int32 (full payload range) or double.
+    pub const NUMBER: AbsVal = AbsVal { range: Interval::FULL, tags: TagSet::NUMBER };
+    /// Any boolean.
+    pub const BOOL: AbsVal = AbsVal { range: Interval::EMPTY, tags: TagSet::BOOL };
+    /// Any heap cell.
+    pub const CELL: AbsVal = AbsVal { range: Interval::EMPTY, tags: TagSet::CELL };
+
+    /// An int32 constrained to `range` (normalized against FULL).
+    pub fn int(range: Interval) -> AbsVal {
+        AbsVal { range: range.meet(Interval::FULL), tags: TagSet::INT }
+    }
+
+    /// The singleton int32 `x`.
+    pub fn int_const(x: i32) -> AbsVal {
+        AbsVal::int(Interval::constant(x as i64))
+    }
+
+    /// Least upper bound.
+    pub fn join(self, other: AbsVal) -> AbsVal {
+        AbsVal { range: self.range.join(other.range), tags: self.tags.join(other.tags) }
+    }
+
+    /// Widening: interval widening on the payload, join on tags (the tag
+    /// lattice is finite, so joining alone terminates).
+    pub fn widen(self, next: AbsVal) -> AbsVal {
+        AbsVal { range: self.range.widen(next.range), tags: self.tags.join(next.tags) }
+    }
+
+    /// Pointwise lattice order.
+    pub fn subset_of(self, other: AbsVal) -> bool {
+        self.tags.subset_of(other.tags) && self.range.subset_of(other.range)
+    }
+
+    /// True for bottom (unreachable).
+    pub fn is_bottom(self) -> bool {
+        self.tags.is_none()
+    }
+
+    /// Whether the concrete value `v` is described by this abstraction —
+    /// the dynamic-guard side of an argument precondition: a host call
+    /// whose argument escapes the claimed precondition must trigger
+    /// re-summarization before any summary-informed code runs again.
+    pub fn admits(self, v: nomap_runtime::Value) -> bool {
+        TagSet::of_value(v).subset_of(self.tags)
+            && (!v.is_int32() || self.range.contains(v.as_int32() as i64))
+    }
+
+    /// Conservative abstraction of a [`RetTag`] (runtime-helper returns).
+    pub fn of_ret_tag(t: RetTag) -> AbsVal {
+        match t {
+            RetTag::Any => AbsVal::TOP,
+            RetTag::Int32 => AbsVal::int(Interval::FULL),
+            RetTag::Double => AbsVal { range: Interval::EMPTY, tags: TagSet::DOUBLE },
+            RetTag::Number => AbsVal::NUMBER,
+            RetTag::Bool => AbsVal::BOOL,
+            RetTag::Cell => AbsVal::CELL,
+            RetTag::Other => AbsVal::UNDEF,
+        }
+    }
+}
+
+impl fmt::Display for AbsVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.tags.meet(TagSet::INT).is_none() {
+            write!(f, "{}", self.tags.describe())
+        } else {
+            write!(f, "{}{}", self.tags.describe(), self.range)
+        }
+    }
+}
+
+/// Summary of one function, callee-inclusive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSummary {
+    /// What the function may return (join over all `Return` sites, under
+    /// the parameter precondition below).
+    pub ret: AbsVal,
+    /// Argument preconditions: the join of every in-program call site's
+    /// abstract arguments (TOP for root functions). One entry per formal
+    /// parameter.
+    pub params: Vec<AbsVal>,
+    /// Guest-heap effect, callees included. `WritesBounded(n)` carries
+    /// the callee-inclusive static write-footprint bound in cache lines.
+    pub effect: HeapEffect,
+    /// May overwrite pre-existing reachable guest memory (callee-
+    /// inclusive); false for pure/read-only/allocation-only functions.
+    pub clobbers: bool,
+    /// Direct callees.
+    pub callees: BTreeSet<FuncId>,
+}
+
+impl FuncSummary {
+    /// The conservative top summary (used as a safe fallback).
+    pub fn top(param_count: usize, callees: BTreeSet<FuncId>) -> FuncSummary {
+        FuncSummary {
+            ret: AbsVal::TOP,
+            params: vec![AbsVal::TOP; param_count],
+            effect: HeapEffect::WritesUnbounded,
+            clobbers: true,
+            callees,
+        }
+    }
+
+    /// Callee-inclusive write-lines bound (`None` = unbounded).
+    pub fn write_lines(&self) -> Option<u32> {
+        self.effect.write_lines()
+    }
+}
+
+/// What one abstract-interpretation pass over a function's bytecode
+/// derives, given parameter preconditions and callee summaries.
+#[derive(Debug, Clone)]
+pub struct FuncFacts {
+    /// Join of all returned values.
+    pub ret: AbsVal,
+    /// Callee-inclusive heap effect.
+    pub effect: HeapEffect,
+    /// Callee-inclusive clobber bit.
+    pub clobbers: bool,
+    /// Abstract arguments at every `Op::Call` site, in op order.
+    pub call_args: Vec<(FuncId, Vec<AbsVal>)>,
+}
+
+/// Cap beyond which a bounded write footprint is widened to unbounded —
+/// keeps the effect lattice finite and the bound meaningful (the HTM
+/// write capacity is far below this).
+pub const LINE_CAP: u64 = 4096;
+/// Fixpoint sweep cap for the intra-function dataflow (widening makes
+/// this generous; hitting it falls back to TOP states, which is sound).
+const MAX_SWEEPS: usize = 64;
+
+/// One application of the summary transfer function: abstractly interpret
+/// `f`'s bytecode under `params` and `summaries` and report what it
+/// returns and writes. This is the `F` whose post-fixpoint the SCC driver
+/// computes and whose one-step inductiveness `ipa_tv` re-checks.
+pub fn analyze_function(
+    f: &Function,
+    params: &[AbsVal],
+    summaries: &BTreeMap<FuncId, FuncSummary>,
+) -> FuncFacts {
+    let n = f.code.len();
+    let regs = f.register_count as usize;
+    let mut entry = vec![AbsVal::UNDEF; regs];
+    for (i, e) in entry.iter_mut().enumerate().take(f.param_count as usize) {
+        *e = params.get(i).copied().unwrap_or(AbsVal::TOP);
+    }
+    // Per-op entry states; None = not yet reached.
+    let mut states: Vec<Option<Vec<AbsVal>>> = vec![None; n];
+    if n > 0 {
+        states[0] = Some(entry);
+    }
+    let in_loop = loop_membership(f);
+
+    // Iterate to a flow fixpoint, widening at loop headers after the
+    // first couple of sweeps.
+    for sweep in 0..MAX_SWEEPS {
+        let mut changed = false;
+        for i in 0..n {
+            let Some(state) = states[i].clone() else { continue };
+            let mut out = state;
+            let op = &f.code[i];
+            transfer(f, op, &mut out, summaries);
+            for succ in successors(op, i, n) {
+                let widen = sweep >= 2 && f.is_loop_header(succ as u32);
+                changed |= flow_into(&mut states[succ], &out, widen);
+            }
+        }
+        if !changed {
+            break;
+        }
+        if sweep == MAX_SWEEPS - 1 {
+            // Did not stabilize (pathological CFG): go to TOP everywhere.
+            for s in states.iter_mut().flatten() {
+                s.iter_mut().for_each(|v| *v = AbsVal::TOP);
+            }
+        }
+    }
+
+    // Harvest returns, call arguments, and effects from reachable ops.
+    let mut ret = AbsVal::BOTTOM;
+    let mut call_args = Vec::new();
+    let mut reads = false;
+    let mut clobbers = false;
+    let mut unbounded = false;
+    let mut lines = 0u64;
+    let mut global_stores: BTreeSet<NameId> = BTreeSet::new();
+    let may_cell = |v: AbsVal| !v.tags.meet(TagSet::CELL).is_none();
+
+    for i in 0..n {
+        let Some(state) = &states[i] else { continue };
+        let reg = |r: nomap_bytecode::Reg| state[r.0 as usize];
+        // A bounded per-invocation write repeated by a loop is unbounded.
+        fn add_write(lines: &mut u64, unbounded: &mut bool, n_lines: u32, looped: bool) {
+            if looped {
+                *unbounded = true;
+            } else {
+                *lines += n_lines as u64;
+            }
+        }
+        match &f.code[i] {
+            Op::Return { src } => ret = ret.join(reg(*src)),
+            Op::Call { dst: _, func, argv, argc, .. } => {
+                let args: Vec<AbsVal> =
+                    (0..*argc as usize).map(|k| state[argv.0 as usize + k]).collect();
+                call_args.push((*func, args));
+                if let Some(cs) = summaries.get(func) {
+                    if cs.effect != HeapEffect::Pure {
+                        reads = true;
+                    }
+                    clobbers |= cs.clobbers;
+                    match cs.effect.write_lines() {
+                        Some(0) => {}
+                        Some(k) => add_write(&mut lines, &mut unbounded, k, in_loop[i]),
+                        None => unbounded = true,
+                    }
+                } else {
+                    reads = true;
+                    clobbers = true;
+                    unbounded = true;
+                }
+            }
+            Op::CallIntrinsic { intr, argv, argc, .. } => {
+                let sig = RuntimeFn::Intrinsic(*intr).signature();
+                if sig.effect != HeapEffect::Pure {
+                    // String intrinsics only read when fed cells; skip the
+                    // read bit for provably non-cell args.
+                    let any_cell =
+                        (0..*argc as usize).any(|k| may_cell(state[argv.0 as usize + k]));
+                    if any_cell || matches!(intr, Intrinsic::ArrayPush | Intrinsic::ArrayPop) {
+                        reads = true;
+                        clobbers |= sig.clobbers;
+                        match sig.effect.write_lines() {
+                            Some(0) => {}
+                            Some(k) => add_write(&mut lines, &mut unbounded, k, in_loop[i]),
+                            None => unbounded = true,
+                        }
+                    }
+                }
+            }
+            Op::Binary { op, a, b, .. } if may_cell(reg(*a)) || may_cell(reg(*b)) => {
+                reads = true;
+                if *op == BinaryOp::Add {
+                    // May concatenate: one fresh string cell.
+                    add_write(&mut lines, &mut unbounded, 2, in_loop[i]);
+                }
+            }
+            Op::Unary { op, a, .. } => {
+                if *op == UnaryOp::Typeof {
+                    // Returns one of six interned names; each is
+                    // materialized at most once per runtime, so even a
+                    // looped typeof writes at most 6 × 2 lines.
+                    add_write(&mut lines, &mut unbounded, 12, false);
+                } else if may_cell(reg(*a)) {
+                    reads = true;
+                }
+            }
+            Op::JumpIfTrue { cond, .. } | Op::JumpIfFalse { cond, .. } => {
+                // Truthiness of a string reads its length word.
+                reads |= may_cell(reg(*cond));
+            }
+            Op::LoadConst { cid, .. } => {
+                if matches!(f.constants[cid.0 as usize], Const::Str(_)) {
+                    // First use materializes the interned cell (cached
+                    // afterwards, so loops do not multiply it).
+                    add_write(&mut lines, &mut unbounded, 2, false);
+                }
+            }
+            Op::GetProp { .. } | Op::GetIndex { .. } | Op::GetGlobal { .. } => reads = true,
+            Op::PutProp { .. } | Op::PutIndex { .. } => {
+                // Shape transitions and storage growth are statically
+                // unbounded.
+                reads = true;
+                clobbers = true;
+                unbounded = true;
+            }
+            Op::PutGlobal { name, .. } => {
+                // One word at a fixed per-name address: loop-invariant.
+                clobbers = true;
+                global_stores.insert(*name);
+            }
+            Op::NewObject { .. } => add_write(&mut lines, &mut unbounded, 2, in_loop[i]),
+            Op::NewArray { dst: _, len } => {
+                let lr = reg(*len).range;
+                let bounded = reg(*len).tags.subset_of(TagSet::INT)
+                    && !lr.is_empty()
+                    && lr.hi >= 0
+                    && (lr.hi as u64) <= LINE_CAP;
+                if bounded && !in_loop[i] {
+                    let cap = (lr.hi as u64).max(4);
+                    add_write(&mut lines, &mut unbounded, (2 + cap.div_ceil(8) + 1) as u32, false);
+                } else {
+                    unbounded = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    lines += global_stores.len() as u64;
+
+    let effect = if unbounded || lines > LINE_CAP {
+        HeapEffect::WritesUnbounded
+    } else if lines > 0 {
+        HeapEffect::WritesBounded(lines as u32)
+    } else if reads {
+        HeapEffect::ReadsHeap
+    } else {
+        HeapEffect::Pure
+    };
+    FuncFacts { ret, effect, clobbers, call_args }
+}
+
+/// `in_loop[i]` is true when some back edge `j → t` brackets `i`
+/// (`t ≤ i ≤ j`) — a sound over-approximation of loop membership for
+/// reducible bytecode.
+fn loop_membership(f: &Function) -> Vec<bool> {
+    let mut in_loop = vec![false; f.code.len()];
+    for (j, op) in f.code.iter().enumerate() {
+        if let Some(t) = op.jump_target() {
+            let t = t as usize;
+            if t <= j {
+                in_loop[t..=j].iter_mut().for_each(|b| *b = true);
+            }
+        }
+    }
+    in_loop
+}
+
+/// Successor op indices of `op` at index `i`.
+fn successors(op: &Op, i: usize, n: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(2);
+    match op {
+        Op::Jump { target } => out.push(*target as usize),
+        Op::JumpIfTrue { target, .. } | Op::JumpIfFalse { target, .. } => {
+            out.push(*target as usize);
+            if i + 1 < n {
+                out.push(i + 1);
+            }
+        }
+        Op::Return { .. } => {}
+        _ => {
+            if i + 1 < n {
+                out.push(i + 1);
+            }
+        }
+    }
+    out
+}
+
+/// Joins (or widens) `out` into the entry state at a successor.
+fn flow_into(slot: &mut Option<Vec<AbsVal>>, out: &[AbsVal], widen: bool) -> bool {
+    match slot {
+        None => {
+            *slot = Some(out.to_vec());
+            true
+        }
+        Some(cur) => {
+            let mut changed = false;
+            for (c, &o) in cur.iter_mut().zip(out) {
+                let next = if widen { c.widen(c.join(o)) } else { c.join(o) };
+                if next != *c {
+                    *c = next;
+                    changed = true;
+                }
+            }
+            changed
+        }
+    }
+}
+
+/// The abstract transfer of one op over the register state.
+fn transfer(
+    f: &Function,
+    op: &Op,
+    state: &mut [AbsVal],
+    summaries: &BTreeMap<FuncId, FuncSummary>,
+) {
+    let get = |state: &[AbsVal], r: nomap_bytecode::Reg| state[r.0 as usize];
+    match op {
+        Op::LoadConst { dst, cid } => {
+            state[dst.0 as usize] = match &f.constants[cid.0 as usize] {
+                // Mirror `Value::new_number` canonicalization: integral
+                // in-range doubles (except -0.0) box as int32.
+                Const::Num(v) => {
+                    let as_int = *v as i32;
+                    if as_int as f64 == *v && !(*v == 0.0 && v.is_sign_negative()) {
+                        AbsVal::int_const(as_int)
+                    } else {
+                        AbsVal { range: Interval::EMPTY, tags: TagSet::DOUBLE }
+                    }
+                }
+                Const::Str(_) => AbsVal::CELL,
+            };
+        }
+        Op::LoadInt { dst, value } => state[dst.0 as usize] = AbsVal::int_const(*value),
+        Op::LoadBool { dst, .. } => state[dst.0 as usize] = AbsVal::BOOL,
+        Op::LoadUndefined { dst } | Op::LoadNull { dst } => state[dst.0 as usize] = AbsVal::UNDEF,
+        Op::Mov { dst, src } => state[dst.0 as usize] = get(state, *src),
+        Op::Binary { op, dst, a, b, .. } => {
+            let (va, vb) = (get(state, *a), get(state, *b));
+            state[dst.0 as usize] = binary_transfer(*op, va, vb);
+        }
+        Op::Unary { op, dst, a, .. } => {
+            let va = get(state, *a);
+            state[dst.0 as usize] = unary_transfer(*op, va);
+        }
+        Op::NewObject { dst } => state[dst.0 as usize] = AbsVal::CELL,
+        Op::NewArray { dst, .. } => state[dst.0 as usize] = AbsVal::CELL,
+        Op::GetProp { dst, .. } | Op::GetIndex { dst, .. } | Op::GetGlobal { dst, .. } => {
+            state[dst.0 as usize] = AbsVal::TOP;
+        }
+        Op::Call { dst, func, .. } => {
+            state[dst.0 as usize] = summaries.get(func).map_or(AbsVal::TOP, |s| s.ret);
+        }
+        Op::CallIntrinsic { dst, intr, .. } => {
+            state[dst.0 as usize] = AbsVal::of_ret_tag(RuntimeFn::Intrinsic(*intr).signature().ret);
+        }
+        Op::PutProp { .. }
+        | Op::PutIndex { .. }
+        | Op::PutGlobal { .. }
+        | Op::Jump { .. }
+        | Op::JumpIfTrue { .. }
+        | Op::JumpIfFalse { .. }
+        | Op::Return { .. } => {}
+    }
+}
+
+/// Abstract semantics of `Runtime::generic_*` for [`Op::Binary`].
+fn binary_transfer(op: BinaryOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    let both_int = a.tags.subset_of(TagSet::INT) && b.tags.subset_of(TagSet::INT);
+    let both_num = a.tags.subset_of(TagSet::NUMBER) && b.tags.subset_of(TagSet::NUMBER);
+    let may_cell = !a.tags.meet(TagSet::CELL).is_none() || !b.tags.meet(TagSet::CELL).is_none();
+    if op.is_comparison() {
+        return AbsVal::BOOL;
+    }
+    if op.is_int_producing() {
+        // BitAnd/BitOr/BitXor/Shl/Shr always produce int32.
+        return AbsVal::int(Interval::FULL);
+    }
+    match op {
+        BinaryOp::Add => {
+            if both_int {
+                let r = a.range.add(b.range);
+                if r.subset_of(Interval::FULL) {
+                    AbsVal::int(r)
+                } else {
+                    // Overflow promotes to double; int32 results stay in r.
+                    AbsVal { range: r.meet(Interval::FULL), tags: TagSet::NUMBER }
+                }
+            } else if both_num {
+                AbsVal::NUMBER
+            } else if may_cell {
+                // Numeric, or string concatenation producing a cell.
+                AbsVal { range: Interval::FULL, tags: TagSet::NUMBER.join(TagSet::CELL) }
+            } else {
+                AbsVal::NUMBER
+            }
+        }
+        BinaryOp::Sub | BinaryOp::Mul => {
+            if both_int {
+                let r =
+                    if op == BinaryOp::Sub { a.range.sub(b.range) } else { a.range.mul(b.range) };
+                if r.subset_of(Interval::FULL) {
+                    AbsVal::int(r)
+                } else {
+                    AbsVal { range: r.meet(Interval::FULL), tags: TagSet::NUMBER }
+                }
+            } else {
+                AbsVal::NUMBER
+            }
+        }
+        BinaryOp::UShr => {
+            // u32 result boxed via new_number: int32 when ≤ i32::MAX.
+            AbsVal { range: Interval::new(0, i32::MAX as i64), tags: TagSet::NUMBER }
+        }
+        // Div/Mod and anything else numeric-coercing.
+        _ => AbsVal::NUMBER,
+    }
+}
+
+/// Abstract semantics of `Runtime::generic_unary` (plus friends).
+fn unary_transfer(op: UnaryOp, a: AbsVal) -> AbsVal {
+    match op {
+        UnaryOp::Neg => {
+            if a.tags.subset_of(TagSet::INT) {
+                let r = a.range.neg();
+                // -0 and -i32::MIN box as doubles.
+                if r.subset_of(Interval::FULL) && !a.range.contains(0) {
+                    return AbsVal::int(r);
+                }
+                return AbsVal { range: r.meet(Interval::FULL), tags: TagSet::NUMBER };
+            }
+            AbsVal::NUMBER
+        }
+        UnaryOp::ToNumber => {
+            if a.tags.subset_of(TagSet::INT) {
+                a
+            } else {
+                AbsVal::NUMBER
+            }
+        }
+        UnaryOp::Not => AbsVal::BOOL,
+        UnaryOp::BitNot => AbsVal::int(Interval::FULL),
+        UnaryOp::Typeof => AbsVal::CELL,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absval_lattice_basics() {
+        assert!(AbsVal::BOTTOM.subset_of(AbsVal::UNDEF));
+        assert!(AbsVal::int_const(7).subset_of(AbsVal::NUMBER));
+        assert!(!AbsVal::NUMBER.subset_of(AbsVal::int(Interval::FULL)));
+        let j = AbsVal::int_const(3).join(AbsVal::BOOL);
+        assert!(AbsVal::int_const(3).subset_of(j) && AbsVal::BOOL.subset_of(j));
+        assert!(j.subset_of(AbsVal::TOP));
+        assert_eq!(AbsVal::of_ret_tag(RetTag::Bool), AbsVal::BOOL);
+        assert_eq!(AbsVal::of_ret_tag(RetTag::Any), AbsVal::TOP);
+    }
+
+    #[test]
+    fn binary_transfer_tracks_int_ranges() {
+        let a = AbsVal::int(Interval::new(0, 10));
+        let b = AbsVal::int(Interval::new(1, 2));
+        let sum = binary_transfer(BinaryOp::Add, a, b);
+        assert_eq!(sum.tags, TagSet::INT);
+        assert_eq!(sum.range, Interval::new(1, 12));
+        // Overflowing add widens to number but keeps the int32 slice.
+        let big = AbsVal::int(Interval::new(i32::MAX as i64 - 1, i32::MAX as i64));
+        let over = binary_transfer(BinaryOp::Add, big, b);
+        assert_eq!(over.tags, TagSet::NUMBER);
+        assert!(over.range.subset_of(Interval::FULL));
+        // Comparisons and bitwise ops.
+        assert_eq!(binary_transfer(BinaryOp::Lt, a, b), AbsVal::BOOL);
+        assert_eq!(binary_transfer(BinaryOp::BitOr, AbsVal::TOP, AbsVal::TOP).tags, TagSet::INT);
+        // String-ish add may produce a cell.
+        let maybe_str = binary_transfer(BinaryOp::Add, AbsVal::CELL, a);
+        assert!(!maybe_str.tags.meet(TagSet::CELL).is_none());
+    }
+
+    #[test]
+    fn unary_neg_needs_nonzero_no_overflow() {
+        let pos = AbsVal::int(Interval::new(1, 5));
+        assert_eq!(unary_transfer(UnaryOp::Neg, pos).tags, TagSet::INT);
+        let with_zero = AbsVal::int(Interval::new(0, 5));
+        assert_eq!(unary_transfer(UnaryOp::Neg, with_zero).tags, TagSet::NUMBER);
+        let min = AbsVal::int(Interval::new(i32::MIN as i64, -1));
+        assert_eq!(unary_transfer(UnaryOp::Neg, min).tags, TagSet::NUMBER);
+    }
+}

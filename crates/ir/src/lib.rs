@@ -25,6 +25,7 @@ pub mod absint;
 pub mod analysis;
 pub mod build;
 pub mod graph;
+pub mod ipa;
 pub mod node;
 pub mod passes;
 pub mod ranges;
@@ -33,6 +34,7 @@ pub mod scev;
 pub use absint::{analyze, Absint, Verdict};
 pub use build::{build_ir, BuildError, SpecLevel};
 pub use graph::{BlockId, IrFunc, Succs, ValueId};
+pub use ipa::{summarize, AbsVal, CallGraph, FuncSummary, ProgramSummaries};
 pub use node::{Alias, CheckMode, Inst, InstKind, OsrState, Ty};
 pub use passes::ProveStats;
 pub use ranges::{Interval, TagSet};

@@ -373,13 +373,18 @@ impl Inst {
     /// In `Deopt` mode, checks report `true` for every class: this is the
     /// LLVM-faithful "stackmaps clobber memory" rule that blocks motion in
     /// the `Base` configuration. `Abort`-mode checks clobber nothing.
+    /// A runtime helper whose signature says it never overwrites
+    /// pre-existing guest memory (it only reads, or writes freshly
+    /// allocated cells) clobbers no alias class either — loads may move
+    /// across it; the call itself stays pinned via [`Inst::has_effect`].
     pub fn may_write(&self, alias: Alias) -> bool {
         use InstKind::*;
         match &self.kind {
             StoreField { alias: a, .. } => a.may_alias(alias),
             StoreElem { .. } => Alias::Elem.may_alias(alias),
             StoreGlobal { name, .. } => Alias::Global(*name).may_alias(alias),
-            CallRuntime { .. } | CallJs { .. } => true,
+            CallRuntime { func, .. } => func.signature().clobbers,
+            CallJs { .. } => true,
             XBegin | XEnd => true, // ordering barrier for transactions
             _ => self.check_mode() == Some(CheckMode::Deopt),
         }

@@ -920,7 +920,15 @@ impl ProveStats {
 /// DFG code benefits too. Each deletion is independently re-derived by the
 /// `absint_tv` translation validator in `nomap-verify`.
 pub fn prove_checks(f: &mut IrFunc) -> ProveStats {
-    prove_impl(f, false)
+    prove_impl(f, None, false)
+}
+
+/// [`prove_checks`] with interprocedural context: parameter preconditions
+/// and callee return summaries feed the abstract interpreter, so checks
+/// whose safety depends on cross-function facts become provable too. The
+/// `absint_tv` validator must be handed the same summaries.
+pub fn prove_checks_with(f: &mut IrFunc, ipa: Option<&crate::ipa::ProgramSummaries>) -> ProveStats {
+    prove_impl(f, ipa, false)
 }
 
 /// Mutation-test variant that additionally elides the first `Unknown`
@@ -928,11 +936,15 @@ pub fn prove_checks(f: &mut IrFunc) -> ProveStats {
 /// validator must reject. Not part of any pipeline.
 #[doc(hidden)]
 pub fn prove_checks_unsound(f: &mut IrFunc) -> ProveStats {
-    prove_impl(f, true)
+    prove_impl(f, None, true)
 }
 
-fn prove_impl(f: &mut IrFunc, elide_one_unproved: bool) -> ProveStats {
-    let result = crate::absint::analyze(f);
+fn prove_impl(
+    f: &mut IrFunc,
+    ipa: Option<&crate::ipa::ProgramSummaries>,
+    elide_one_unproved: bool,
+) -> ProveStats {
+    let result = crate::absint::analyze_with(f, ipa);
     let mut stats = ProveStats::default();
     let mut mutated = false;
     for (&v, verdict) in &result.verdicts {

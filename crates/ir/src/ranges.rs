@@ -103,48 +103,56 @@ impl Interval {
         )
     }
 
-    // ---- transfer functions (exact over i64; callers clamp results of
-    // ---- *checked* ops back to FULL once the check is known to pass) ----
+    // ---- transfer functions (exact over i64 except at the i64 extremes,
+    // ---- where endpoints saturate; callers clamp results of *checked*
+    // ---- ops back to FULL once the check is known to pass) ----
     // These are abstract transfers over possibly-empty lattice elements,
     // not ring operations, so they stay inherent methods rather than
-    // `std::ops` impls.
+    // `std::ops` impls. Saturation is sound: every concrete value the
+    // analysis tracks is an i64, so a saturated endpoint still brackets it.
 
-    /// `self + other`, exact.
+    /// `self + other`; endpoints saturate at the i64 extremes.
     #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Interval) -> Interval {
         if self.is_empty() || other.is_empty() {
             return Interval::EMPTY;
         }
-        Interval { lo: self.lo + other.lo, hi: self.hi + other.hi }
+        Interval { lo: self.lo.saturating_add(other.lo), hi: self.hi.saturating_add(other.hi) }
     }
 
-    /// `self - other`, exact.
+    /// `self - other`; endpoints saturate at the i64 extremes.
     #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Interval) -> Interval {
         if self.is_empty() || other.is_empty() {
             return Interval::EMPTY;
         }
-        Interval { lo: self.lo - other.hi, hi: self.hi - other.lo }
+        Interval { lo: self.lo.saturating_sub(other.hi), hi: self.hi.saturating_sub(other.lo) }
     }
 
-    /// `self * other`, exact (corner products).
+    /// `self * other` (corner products); endpoints saturate at the i64
+    /// extremes.
     #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Interval) -> Interval {
         if self.is_empty() || other.is_empty() {
             return Interval::EMPTY;
         }
-        let corners =
-            [self.lo * other.lo, self.lo * other.hi, self.hi * other.lo, self.hi * other.hi];
+        let corners = [
+            self.lo.saturating_mul(other.lo),
+            self.lo.saturating_mul(other.hi),
+            self.hi.saturating_mul(other.lo),
+            self.hi.saturating_mul(other.hi),
+        ];
         Interval { lo: *corners.iter().min().unwrap(), hi: *corners.iter().max().unwrap() }
     }
 
-    /// `-self`, exact.
+    /// `-self`; endpoints saturate at the i64 extremes (`-i64::MIN`
+    /// saturates to `i64::MAX`).
     #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Interval {
         if self.is_empty() {
             return Interval::EMPTY;
         }
-        Interval { lo: -self.hi, hi: -self.lo }
+        Interval { lo: self.hi.saturating_neg(), hi: self.lo.saturating_neg() }
     }
 
     /// The unsigned view of a sign-extended int32 interval, when it does

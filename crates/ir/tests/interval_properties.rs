@@ -19,6 +19,29 @@ impl Rng {
         z ^ (z >> 31)
     }
 
+    /// A random i64 endpoint biased toward the saturation extremes: the
+    /// exact `i64::MIN`/`i64::MAX`, values within a few ulps of them, or
+    /// an ordinary int32-ranged value.
+    fn extreme_endpoint(&mut self) -> i64 {
+        match self.next() % 6 {
+            0 => i64::MIN,
+            1 => i64::MAX,
+            2 => i64::MIN.saturating_add((self.next() % 4) as i64),
+            3 => i64::MAX - (self.next() % 4) as i64,
+            _ => self.i32_in(i32::MIN, i32::MAX),
+        }
+    }
+
+    /// A random interval with endpoints clustered at the i64 extremes.
+    fn extreme_interval(&mut self) -> Interval {
+        if self.next().is_multiple_of(8) {
+            return Interval::EMPTY;
+        }
+        let a = self.extreme_endpoint();
+        let b = self.extreme_endpoint();
+        Interval::new(a.min(b), a.max(b))
+    }
+
     /// A random interval: mostly small, sometimes extreme, sometimes empty.
     fn interval(&mut self) -> Interval {
         match self.next() % 8 {
@@ -151,6 +174,68 @@ fn transfer_functions_contain_all_concrete_results() {
         // Narrowing never recovers below the recomputed iterate.
         let n = a.narrow(a.meet(b));
         assert!(a.meet(b).subset_of(n), "narrow dropped below recomputation ({ctx})");
+    }
+}
+
+/// Saturating-endpoint properties (satellite of the interprocedural
+/// summary PR): arithmetic at `i64::MIN`/`i64::MAX` must neither wrap nor
+/// panic, results must stay normalized (empty iff `lo > hi` in canonical
+/// form), and every representable concrete result must still be inside
+/// the saturated interval.
+#[test]
+fn saturating_endpoints_neither_wrap_nor_panic() {
+    let mut rng = Rng(0xabcd_0006);
+    for trial in 0..TRIALS {
+        let seed = rng.0;
+        let a = rng.extreme_interval();
+        let b = rng.extreme_interval();
+        let ctx = format!("trial {trial} seed {seed:#x}: a={a} b={b}");
+        // Non-empty inputs yield non-empty, ordered outputs (no wrap can
+        // cross the endpoints); empty inputs yield the canonical EMPTY.
+        if !(a.is_empty() || b.is_empty()) {
+            for r in [a.add(b), a.sub(b), a.mul(b), a.neg(), b.neg()] {
+                assert!(!r.is_empty(), "saturated result collapsed to empty ({ctx}, r={r})");
+                assert!(r.lo <= r.hi, "unordered endpoints ({ctx}, r={r})");
+            }
+            // Concrete containment at representable points, including the
+            // exact endpoints where saturation bites.
+            for (x, y) in [(a.lo, b.lo), (a.lo, b.hi), (a.hi, b.lo), (a.hi, b.hi)] {
+                if let Some(s) = x.checked_add(y) {
+                    assert!(a.add(b).contains(s), "saturated add unsound ({ctx}, {x}+{y})");
+                }
+                if let Some(s) = x.checked_sub(y) {
+                    assert!(a.sub(b).contains(s), "saturated sub unsound ({ctx}, {x}-{y})");
+                }
+                if let Some(s) = x.checked_mul(y) {
+                    assert!(a.mul(b).contains(s), "saturated mul unsound ({ctx}, {x}*{y})");
+                }
+            }
+            if let Some(n) = a.lo.checked_neg() {
+                assert!(a.neg().contains(n), "saturated neg unsound ({ctx})");
+            }
+            if let Some(n) = a.hi.checked_neg() {
+                assert!(a.neg().contains(n), "saturated neg unsound ({ctx})");
+            }
+        }
+        // EMPTY stays canonical and absorbing through every transfer.
+        assert_eq!(Interval::EMPTY.add(a), Interval::EMPTY);
+        assert_eq!(a.sub(Interval::EMPTY), Interval::EMPTY);
+        assert_eq!(Interval::EMPTY.mul(b), Interval::EMPTY);
+        assert_eq!(Interval::EMPTY.neg(), Interval::EMPTY);
+        assert_eq!(Interval::new(5, 4), Interval::EMPTY, "constructor must normalize");
+        // Widen/narrow round-trip: widening against a grown iterate then
+        // narrowing with the true recomputation lands back inside the
+        // widened frame without panicking. Widening's top is the int32
+        // FULL interval (its documented domain), so clamp there first.
+        let (a, b) = (a.meet(Interval::FULL), b.meet(Interval::FULL));
+        if !a.is_empty() && !b.is_empty() {
+            let grown = a.join(b);
+            let w = a.widen(grown);
+            assert!(grown.subset_of(w), "widen lost the iterate ({ctx})");
+            let n = w.narrow(grown);
+            assert!(grown.subset_of(n), "narrow dropped below recomputation ({ctx})");
+            assert!(n.subset_of(w), "narrow escaped the widened frame ({ctx})");
+        }
     }
 }
 

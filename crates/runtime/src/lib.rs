@@ -32,7 +32,7 @@ pub use object::{
 };
 pub use profile::{FunctionProfile, KindSet, ProfileStore, SiteProfile, ValueKind};
 pub use rng::Lcg;
-pub use semantics::{RuntimeError, RuntimeFn};
+pub use semantics::{HeapEffect, RetTag, RuntimeError, RuntimeFn, RuntimeSig};
 pub use shape::{ShapeId, ShapeTable};
 pub use strings::{StringId, StringTable};
 pub use value::Value;

@@ -994,7 +994,189 @@ pub enum RuntimeFn {
     Intrinsic(Intrinsic),
 }
 
+/// What NaN-box representation a [`RuntimeFn`] helper's return value may
+/// carry, as a static over-approximation of [`RuntimeFn::dispatch`].
+///
+/// `Number` means int32 *or* double (the helper canonicalizes integral
+/// doubles to int32 via `Value::new_number`, so both appear); `Any` is the
+/// conservative top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetTag {
+    /// Could be anything (top).
+    Any,
+    /// Always a boxed int32.
+    Int32,
+    /// Always a boxed double.
+    Double,
+    /// Always numeric: int32 or double.
+    Number,
+    /// Always a boxed boolean.
+    Bool,
+    /// Always a heap cell (object, array, string).
+    Cell,
+    /// Always undefined/null/hole.
+    Other,
+}
+
+/// Guest-heap effect of one [`RuntimeFn`] invocation, as a linear lattice
+/// `Pure < ReadsHeap < WritesBounded(n) < WritesUnbounded`.
+///
+/// This classifies **simulated guest memory** ([`Memory`]) traffic only.
+/// Host-side effects — profile recording, instruction charging, the
+/// `print` output buffer, the `Math.random` RNG state — are deliberately
+/// excluded: they never land in an HTM write set and never alias guest
+/// values. `Pure` therefore does *not* license deleting the call (the IR
+/// keeps `has_effect` true for every `CallRuntime`); it licenses treating
+/// the call as writing nothing for footprint and alias purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapEffect {
+    /// Touches no guest-heap word at all.
+    Pure,
+    /// Reads guest memory (string contents, object slots) but writes none.
+    ReadsHeap,
+    /// Writes at most `n` cache lines per invocation (allocation included).
+    WritesBounded(u32),
+    /// May write an unbounded number of lines (growth, element loops).
+    WritesUnbounded,
+}
+
+impl HeapEffect {
+    /// Lattice join (least upper bound).
+    pub fn join(self, other: HeapEffect) -> HeapEffect {
+        use HeapEffect::*;
+        match (self, other) {
+            (WritesUnbounded, _) | (_, WritesUnbounded) => WritesUnbounded,
+            (WritesBounded(a), WritesBounded(b)) => WritesBounded(a.max(b)),
+            (WritesBounded(n), _) | (_, WritesBounded(n)) => WritesBounded(n),
+            (ReadsHeap, _) | (_, ReadsHeap) => ReadsHeap,
+            (Pure, Pure) => Pure,
+        }
+    }
+
+    /// True when the effect admits no guest-heap write at all.
+    pub fn is_read_only(self) -> bool {
+        matches!(self, HeapEffect::Pure | HeapEffect::ReadsHeap)
+    }
+
+    /// Write-line bound per invocation: `Some(0)` for read-only effects,
+    /// `Some(n)` for bounded writers, `None` for unbounded ones.
+    pub fn write_lines(self) -> Option<u32> {
+        match self {
+            HeapEffect::Pure | HeapEffect::ReadsHeap => Some(0),
+            HeapEffect::WritesBounded(n) => Some(n),
+            HeapEffect::WritesUnbounded => None,
+        }
+    }
+
+    /// Stable kebab-case identifier (diagnostics, census output).
+    pub fn describe(self) -> String {
+        match self {
+            HeapEffect::Pure => "pure".to_owned(),
+            HeapEffect::ReadsHeap => "reads-heap".to_owned(),
+            HeapEffect::WritesBounded(n) => format!("writes-bounded({n})"),
+            HeapEffect::WritesUnbounded => "writes-unbounded".to_owned(),
+        }
+    }
+}
+
+/// Static signature of a [`RuntimeFn`] helper: return-tag class, guest-heap
+/// effect, and whether it may **clobber** pre-existing reachable memory.
+///
+/// `clobbers` is the alias-analysis axis: allocation-only writers (`{}`,
+/// `new Array`, string interning) write fresh cells no prior load could
+/// alias, so they carry `clobbers: false` even when their [`HeapEffect`]
+/// records write lines for footprint purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeSig {
+    /// Return-value classification.
+    pub ret: RetTag,
+    /// Guest-heap effect per invocation.
+    pub effect: HeapEffect,
+    /// May overwrite memory that existed (and was reachable) before the
+    /// call — `false` for pure/read-only helpers and fresh allocators.
+    pub clobbers: bool,
+}
+
+impl RuntimeSig {
+    const fn new(ret: RetTag, effect: HeapEffect, clobbers: bool) -> RuntimeSig {
+        RuntimeSig { ret, effect, clobbers }
+    }
+}
+
 impl RuntimeFn {
+    /// The helper's static signature — what [`RuntimeFn::dispatch`] may
+    /// return and do to the guest heap, independent of profile data.
+    ///
+    /// Sound over-approximation of the semantics above: each arm is
+    /// justified against the corresponding `Runtime` method.
+    pub fn signature(self) -> RuntimeSig {
+        use HeapEffect::*;
+        use RetTag::*;
+        match self {
+            RuntimeFn::Binary(op) => {
+                if op == BinaryOp::Add {
+                    // May concatenate: interning can materialize one fresh
+                    // 3-word string cell (`Runtime::string_value`).
+                    RuntimeSig::new(Any, WritesBounded(2), false)
+                } else if op.is_comparison() {
+                    RuntimeSig::new(Bool, ReadsHeap, false)
+                } else if op.is_int_producing() {
+                    RuntimeSig::new(Int32, ReadsHeap, false)
+                } else {
+                    // Sub/Mul/Div/Mod and UShr: always numeric.
+                    RuntimeSig::new(Number, ReadsHeap, false)
+                }
+            }
+            RuntimeFn::Unary(op) => match op {
+                UnaryOp::Neg | UnaryOp::ToNumber => RuntimeSig::new(Number, ReadsHeap, false),
+                UnaryOp::Not => RuntimeSig::new(Bool, ReadsHeap, false),
+                UnaryOp::BitNot => RuntimeSig::new(Int32, ReadsHeap, false),
+                // Returns one of six interned name strings; the cell may be
+                // materialized on first use.
+                UnaryOp::Typeof => RuntimeSig::new(Cell, WritesBounded(2), false),
+            },
+            RuntimeFn::ToBoolean => RuntimeSig::new(Bool, ReadsHeap, false),
+            RuntimeFn::GetProp(_) | RuntimeFn::GetIndex | RuntimeFn::GetGlobal(_) => {
+                RuntimeSig::new(Any, ReadsHeap, false)
+            }
+            // Property/element stores may transition shapes and grow
+            // storage — unbounded, and they overwrite reachable slots.
+            RuntimeFn::PutProp(_) | RuntimeFn::PutIndex => {
+                RuntimeSig::new(Other, WritesUnbounded, true)
+            }
+            // One word at a fixed global slot.
+            RuntimeFn::PutGlobal(_) => RuntimeSig::new(Other, WritesBounded(1), true),
+            // Fresh 3-word cell + 4-word storage, all newly allocated.
+            RuntimeFn::NewObject => RuntimeSig::new(Cell, WritesBounded(2), false),
+            // Fresh cells, but the hole-fill loop is length-dependent.
+            RuntimeFn::NewArray => RuntimeSig::new(Cell, WritesUnbounded, false),
+            RuntimeFn::Intrinsic(i) => {
+                if i.is_pure_math() || i == Intrinsic::MathRandom {
+                    // Math.random mutates only the host-side RNG.
+                    RuntimeSig::new(Number, Pure, false)
+                } else {
+                    match i {
+                        Intrinsic::ArrayPush => RuntimeSig::new(Number, WritesUnbounded, true),
+                        // Writes ARR_LEN (one line) and reads the popped slot.
+                        Intrinsic::ArrayPop => RuntimeSig::new(Any, WritesBounded(1), true),
+                        Intrinsic::StringCharCodeAt | Intrinsic::StringIndexOf => {
+                            RuntimeSig::new(Number, ReadsHeap, false)
+                        }
+                        // Produce a (possibly fresh) interned string cell.
+                        Intrinsic::StringCharAt
+                        | Intrinsic::StringFromCharCode
+                        | Intrinsic::StringSubstring => {
+                            RuntimeSig::new(Cell, WritesBounded(2), false)
+                        }
+                        // Writes the host output buffer, reads guest strings.
+                        Intrinsic::Print => RuntimeSig::new(Other, ReadsHeap, false),
+                        _ => RuntimeSig::new(Any, WritesUnbounded, true),
+                    }
+                }
+            }
+        }
+    }
+
     /// Executes the helper on `args`, recording profile data at `site`.
     ///
     /// # Errors
@@ -1444,6 +1626,45 @@ mod tests {
             let expect = (d.trunc() as i64 & 0xFFFF_FFFF) as u32 as i32;
             assert_eq!(wrapped, expect, "d = {d}");
         }
+    }
+
+    #[test]
+    fn signatures_classify_helpers_soundly() {
+        // Read-only helpers never clobber and report zero write lines.
+        for f in [
+            RuntimeFn::Binary(BinaryOp::Lt),
+            RuntimeFn::Binary(BinaryOp::BitAnd),
+            RuntimeFn::ToBoolean,
+            RuntimeFn::GetProp(NameId(0)),
+            RuntimeFn::GetIndex,
+            RuntimeFn::GetGlobal(NameId(0)),
+            RuntimeFn::Intrinsic(Intrinsic::MathSqrt),
+            RuntimeFn::Intrinsic(Intrinsic::StringCharCodeAt),
+            RuntimeFn::Intrinsic(Intrinsic::Print),
+        ] {
+            let sig = f.signature();
+            assert!(!sig.clobbers, "{f:?}");
+            assert_eq!(sig.effect.write_lines(), Some(0), "{f:?}");
+        }
+        // Bitwise produces int32, comparisons produce bool, math is pure.
+        assert_eq!(RuntimeFn::Binary(BinaryOp::BitXor).signature().ret, RetTag::Int32);
+        assert_eq!(RuntimeFn::Binary(BinaryOp::StrictEq).signature().ret, RetTag::Bool);
+        assert_eq!(RuntimeFn::Intrinsic(Intrinsic::MathPow).signature().effect, HeapEffect::Pure);
+        // Stores clobber; allocators write fresh lines without clobbering.
+        assert!(RuntimeFn::PutProp(NameId(0)).signature().clobbers);
+        assert!(RuntimeFn::PutIndex.signature().clobbers);
+        assert!(RuntimeFn::PutGlobal(NameId(0)).signature().clobbers);
+        assert!(!RuntimeFn::NewObject.signature().clobbers);
+        assert!(RuntimeFn::NewObject.signature().effect.write_lines().is_some());
+        assert_eq!(RuntimeFn::NewArray.signature().effect, HeapEffect::WritesUnbounded);
+        // The effect join is a linear lattice.
+        use HeapEffect::*;
+        assert_eq!(Pure.join(ReadsHeap), ReadsHeap);
+        assert_eq!(ReadsHeap.join(WritesBounded(2)), WritesBounded(2));
+        assert_eq!(WritesBounded(2).join(WritesBounded(5)), WritesBounded(5));
+        assert_eq!(WritesBounded(9).join(WritesUnbounded), WritesUnbounded);
+        assert_eq!(WritesUnbounded.write_lines(), None);
+        assert_eq!(WritesBounded(3).describe(), "writes-bounded(3)");
     }
 
     #[test]

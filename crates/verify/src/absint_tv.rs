@@ -11,15 +11,24 @@
 //! not re-derive is an [`DiagCode::ElisionUnproved`] error, which the
 //! audited compile pipelines treat exactly like an SSA verifier failure.
 
-use nomap_ir::absint::{analyze, Verdict};
+use nomap_ir::absint::{analyze, analyze_with, Verdict};
+use nomap_ir::ipa::ProgramSummaries;
 use nomap_ir::{BlockId, CheckMode, InstKind, IrFunc, ValueId};
 
-use crate::diag::{DiagCode, Diagnostic};
+use crate::diag::{func_label, DiagCode, Diagnostic};
 
 /// Validates one application of `prove_checks`: `before` is the IR
-/// immediately prior to the pass, `after` immediately after. Returns one
+/// immediately prior to the pass, `after` immediately after. `ipa` must
+/// be the *same* interprocedural context the pass ran with (None for an
+/// intraprocedural run) — the summaries themselves are vouched for
+/// separately by `ipa_tv`, so the validator may consume them while still
+/// re-deriving every per-check witness independently. Returns one
 /// diagnostic per elided check whose safety proof cannot be re-derived.
-pub fn validate_check_elision(before: &IrFunc, after: &IrFunc) -> Vec<Diagnostic> {
+pub fn validate_check_elision(
+    before: &IrFunc,
+    after: &IrFunc,
+    ipa: Option<&ProgramSummaries>,
+) -> Vec<Diagnostic> {
     let n = before.insts.len().min(after.insts.len()) as u32;
     let deleted: Vec<ValueId> = (0..n)
         .map(ValueId)
@@ -41,7 +50,7 @@ pub fn validate_check_elision(before: &IrFunc, after: &IrFunc) -> Vec<Diagnostic
         return Vec::new();
     }
 
-    let facts = analyze(before);
+    let facts = analyze_with(before, ipa);
     let mut diags = Vec::new();
     for v in deleted {
         match facts.verdicts.get(&v) {
@@ -55,7 +64,7 @@ pub fn validate_check_elision(before: &IrFunc, after: &IrFunc) -> Vec<Diagnostic
                 };
                 diags.push(Diagnostic::new(
                     DiagCode::ElisionUnproved,
-                    &before.name,
+                    &func_label(before.func, &before.name),
                     block_of(before, v),
                     Some(v),
                     format!(
@@ -82,7 +91,7 @@ pub fn check_fail_warnings(f: &IrFunc) -> Vec<Diagnostic> {
         .map(|(&v, _)| {
             Diagnostic::new(
                 DiagCode::CheckProvedFail,
-                &f.name,
+                &func_label(f.func, &f.name),
                 block_of(f, v),
                 Some(v),
                 format!(
@@ -157,7 +166,7 @@ mod tests {
         assert_eq!(after.inst(inc).check_mode(), Some(CheckMode::Removed));
         // The unbounded accumulator must keep its check.
         assert_eq!(after.inst(sum).check_mode(), Some(CheckMode::Deopt));
-        assert!(validate_check_elision(&before, &after).is_empty());
+        assert!(validate_check_elision(&before, &after, None).is_empty());
     }
 
     #[test]
@@ -168,7 +177,7 @@ mod tests {
         assert!(stats.total_elided() > stats.total_proved_safe(), "stats {stats:?}");
         // The unsound pass deleted some check without a ProvedSafe verdict;
         // the validator must reject exactly that deletion.
-        let diags = validate_check_elision(&before, &after);
+        let diags = validate_check_elision(&before, &after, None);
         assert_eq!(diags.len(), 1, "diags {diags:?}");
         assert_eq!(diags[0].code, DiagCode::ElisionUnproved);
         assert!(crate::diag::has_errors(&diags));
@@ -192,7 +201,7 @@ mod tests {
         f.compute_preds();
         let before = f.clone();
         f.inst_mut(g).kind = Nop;
-        let diags = validate_check_elision(&before, &f);
+        let diags = validate_check_elision(&before, &f, None);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, DiagCode::ElisionUnproved);
     }

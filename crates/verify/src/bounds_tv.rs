@@ -27,7 +27,7 @@ use nomap_ir::scev::induction_vars;
 use nomap_ir::{BlockId, CheckMode, InstKind, IrFunc, ValueId};
 use nomap_machine::{CheckKind, Cond};
 
-use crate::diag::{DiagCode, Diagnostic};
+use crate::diag::{func_label, DiagCode, Diagnostic};
 
 /// Validates one application of `combine_bounds_checks`: `before` is the
 /// IR immediately prior to the pass, `after` immediately after. Returns a
@@ -64,7 +64,7 @@ pub fn validate_bounds_combining(before: &IrFunc, after: &IrFunc) -> Vec<Diagnos
             _ => {
                 diags.push(Diagnostic::new(
                     DiagCode::BoundsNotInduction,
-                    &before.name,
+                    &func_label(before.func, &before.name),
                     Some(guard_block),
                     Some(v),
                     format!("deleted bounds check {v} does not test ICmp(AboveEq, idx, len)"),
@@ -112,7 +112,13 @@ pub fn validate_bounds_combining(before: &IrFunc, after: &IrFunc) -> Vec<Diagnos
                      (index {idx}, length {len})"
                 ),
             };
-            diags.push(Diagnostic::new(best, &before.name, Some(guard_block), Some(v), what));
+            diags.push(Diagnostic::new(
+                best,
+                &func_label(before.func, &before.name),
+                Some(guard_block),
+                Some(v),
+                what,
+            ));
         }
     }
     diags
@@ -121,7 +127,7 @@ pub fn validate_bounds_combining(before: &IrFunc, after: &IrFunc) -> Vec<Diagnos
 fn no_loop(before: &IrFunc, v: ValueId) -> Diagnostic {
     Diagnostic::new(
         DiagCode::BoundsNoLoop,
-        &before.name,
+        &func_label(before.func, &before.name),
         block_of(before, v),
         Some(v),
         format!("bounds check {v} was deleted outside any loop"),

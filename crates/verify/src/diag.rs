@@ -93,6 +93,23 @@ pub enum DiagCode {
     /// static analysis still cannot prove safe — candidate for a stronger
     /// abstract domain.
     CheckQuietUnproved,
+
+    // ---- interprocedural-summary translation validation ---------------------
+    /// A claimed return summary is not inductive: re-applying the transfer
+    /// function under the claimed summaries produces a return fact outside
+    /// the claim.
+    IpaReturnNotInductive,
+    /// A claimed argument precondition does not cover some in-program call
+    /// site's abstract arguments, or a host-reachable root claims a
+    /// non-top precondition.
+    IpaParamPreconditionUnsound,
+    /// A claimed heap-effect class is not inductive: the re-derived effect
+    /// (including clobber-ness) sits above the claim in the effect lattice.
+    IpaEffectNotInductive,
+    /// A claimed bounded write footprint is smaller than the re-derived
+    /// line bound — trusting it could admit a transaction that capacity
+    /// aborts, or license motion across a bigger write set.
+    IpaFootprintUnderclaimed,
 }
 
 impl DiagCode {
@@ -126,6 +143,10 @@ impl DiagCode {
             ElisionUnproved => "elision-unproved",
             CheckProvedFail => "check-proved-fail",
             CheckQuietUnproved => "check-quiet-unproved",
+            IpaReturnNotInductive => "ipa-return-not-inductive",
+            IpaParamPreconditionUnsound => "ipa-param-precondition-unsound",
+            IpaEffectNotInductive => "ipa-effect-not-inductive",
+            IpaFootprintUnderclaimed => "ipa-footprint-underclaimed",
         }
     }
 
@@ -212,6 +233,13 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(Diagnostic::is_error)
 }
 
+/// Canonical function label for diagnostics: the stable `FuncId` plus the
+/// source-level debug name (`f1:sum`), so findings stay attributable even
+/// when two functions share a name or a name is empty.
+pub fn func_label(id: nomap_bytecode::FuncId, name: &str) -> String {
+    format!("f{}:{name}", id.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,12 +273,74 @@ mod tests {
             DiagCode::ElisionUnproved,
             DiagCode::CheckProvedFail,
             DiagCode::CheckQuietUnproved,
+            DiagCode::IpaReturnNotInductive,
+            DiagCode::IpaParamPreconditionUnsound,
+            DiagCode::IpaEffectNotInductive,
+            DiagCode::IpaFootprintUnderclaimed,
         ];
         let mut seen = std::collections::HashSet::new();
         for c in all {
             let s = c.as_str();
             assert!(s.chars().all(|ch| ch.is_ascii_lowercase() || ch == '-'), "{s}");
             assert!(seen.insert(s), "duplicate code string {s}");
+        }
+    }
+
+    /// Every diagnostic code must have a row in the DESIGN.md §6
+    /// catalogue (`| `code` | layer | severity | meaning |`), and the
+    /// catalogue must not advertise codes that no longer exist — the
+    /// documented taxonomy and the enum drift-lock each other.
+    #[test]
+    fn catalogue_matches_design_doc() {
+        let design = include_str!("../../../DESIGN.md");
+        let all = [
+            DiagCode::EntryHasPreds,
+            DiagCode::NoTerminator,
+            DiagCode::MidBlockTerminator,
+            DiagCode::PhiArityMismatch,
+            DiagCode::PhiAfterNonPhi,
+            DiagCode::PhiInputUndominated,
+            DiagCode::OperandOutOfRange,
+            DiagCode::OperandNop,
+            DiagCode::OperandUndominated,
+            DiagCode::DuplicatePlacement,
+            DiagCode::PredSuccMismatch,
+            DiagCode::AbortOutsideTxn,
+            DiagCode::SofOutsideTxn,
+            DiagCode::XendUnderflow,
+            DiagCode::TxnDepthConflict,
+            DiagCode::TxnOpenAtReturn,
+            DiagCode::XbeginMissingOsr,
+            DiagCode::SofUnsupported,
+            DiagCode::BoundsNotInduction,
+            DiagCode::BoundsLenVariant,
+            DiagCode::BoundsNoCompensation,
+            DiagCode::BoundsNoLoop,
+            DiagCode::CapacityOverflowPredicted,
+            DiagCode::ElisionUnproved,
+            DiagCode::CheckProvedFail,
+            DiagCode::CheckQuietUnproved,
+            DiagCode::IpaReturnNotInductive,
+            DiagCode::IpaParamPreconditionUnsound,
+            DiagCode::IpaEffectNotInductive,
+            DiagCode::IpaFootprintUnderclaimed,
+        ];
+        for c in all {
+            let row = format!("| `{}` |", c.as_str());
+            assert!(
+                design.contains(&row),
+                "DESIGN.md catalogue missing a row for `{}`",
+                c.as_str()
+            );
+        }
+        // Reverse direction: every documented code still exists.
+        let known: std::collections::HashSet<&str> = all.iter().map(|c| c.as_str()).collect();
+        for line in design.lines() {
+            let Some(rest) = line.strip_prefix("  | `") else { continue };
+            let Some(code) = rest.split('`').next() else { continue };
+            if code.chars().all(|ch| ch.is_ascii_lowercase() || ch == '-') && code.contains('-') {
+                assert!(known.contains(code), "DESIGN.md catalogue row `{code}` has no DiagCode");
+            }
         }
     }
 

@@ -32,7 +32,7 @@ use nomap_ir::{BlockId, InstKind, IrFunc};
 use nomap_machine::HtmModel;
 use nomap_runtime::WORD_BYTES;
 
-use crate::diag::{DiagCode, Diagnostic};
+use crate::diag::{func_label, DiagCode, Diagnostic};
 
 /// What the estimator recommends for the initial `TxnScope`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,8 +76,25 @@ pub struct FootprintEstimate {
 }
 
 /// Estimates the write footprint of every innermost loop of `f` against
-/// `model` and recommends an initial transaction scope.
+/// `model` and recommends an initial transaction scope, without
+/// interprocedural context: any call in an overflowing loop disables
+/// transactions.
 pub fn estimate_footprint(f: &IrFunc, model: &HtmModel) -> FootprintEstimate {
+    estimate_footprint_with(f, model, None)
+}
+
+/// [`estimate_footprint`] with optional interprocedural summaries: an
+/// overflowing loop whose calls all have a *bounded* write footprint
+/// (runtime helpers by signature, MiniJS callees by validated summary) is
+/// strip-mined instead of blamed wholesale — the callee's bounded line
+/// budget just joins the per-iteration traffic when sizing the tile. Only
+/// a call that may write unboundedly (or has no summary) still forces
+/// [`ScopeAdvice::Disable`].
+pub fn estimate_footprint_with(
+    f: &IrFunc,
+    model: &HtmModel,
+    ipa: Option<&nomap_ir::ipa::ProgramSummaries>,
+) -> FootprintEstimate {
     let cache = model.write_cache;
     let capacity_lines = cache.sets() * cache.ways as u64;
     let doms = Dominators::compute(f);
@@ -118,7 +135,7 @@ pub fn estimate_footprint(f: &IrFunc, model: &HtmModel) -> FootprintEstimate {
         if overflows {
             diags.push(Diagnostic::new(
                 DiagCode::CapacityOverflowPredicted,
-                &f.name,
+                &func_label(f.func, &f.name),
                 Some(l.header),
                 None,
                 format!(
@@ -127,10 +144,18 @@ pub fn estimate_footprint(f: &IrFunc, model: &HtmModel) -> FootprintEstimate {
                     l.header
                 ),
             ));
-            let next = if has_call {
-                ScopeAdvice::Disable
-            } else {
+            let next = if !has_call {
                 ScopeAdvice::Tile(pick_tile(bytes_per_iter, &cache))
+            } else if let Some(callee_lines) = loop_call_write_lines(f, l, ipa) {
+                // Callee-inclusive bound: every call in the loop writes a
+                // bounded number of lines, so strip-mining still works —
+                // the callee budget just fattens the per-iteration traffic.
+                ScopeAdvice::Tile(pick_tile(
+                    bytes_per_iter + callee_lines * cache.line_bytes,
+                    &cache,
+                ))
+            } else {
+                ScopeAdvice::Disable
             };
             advice = merge_advice(advice, next);
         }
@@ -144,6 +169,32 @@ pub fn estimate_footprint(f: &IrFunc, model: &HtmModel) -> FootprintEstimate {
         });
     }
     FootprintEstimate { loops: out, capacity_lines, advice, diags }
+}
+
+/// Total bounded write-line budget of all calls in the loop body per
+/// iteration, or `None` when any call may write unboundedly (runtime
+/// helpers judged by their typed signature, MiniJS callees by their
+/// callee-inclusive summary — absent summaries are unbounded).
+fn loop_call_write_lines(
+    f: &IrFunc,
+    l: &Loop,
+    ipa: Option<&nomap_ir::ipa::ProgramSummaries>,
+) -> Option<u64> {
+    let mut lines = 0u64;
+    for &b in &l.body {
+        for &v in &f.blocks[b.0 as usize].insts {
+            match &f.inst(v).kind {
+                InstKind::CallRuntime { func, .. } => {
+                    lines += func.signature().effect.write_lines()? as u64;
+                }
+                InstKind::CallJs { callee, .. } => {
+                    lines += ipa?.get(*callee)?.write_lines()? as u64;
+                }
+                _ => {}
+            }
+        }
+    }
+    Some(lines)
 }
 
 /// Lower bound on distinct cache lines touched by `n` stores spaced

@@ -1,0 +1,248 @@
+//! Translation validation for interprocedural summaries.
+//!
+//! `nomap_ir::ipa::summarize` claims, per function: a return-value
+//! abstraction, argument preconditions, a heap-effect class and a static
+//! write-footprint bound. The compile pipelines *act* on those claims —
+//! deleting checks and seeding the §V-C transaction ladder — so this
+//! validator refuses to trust the fixpoint driver. It re-checks the one
+//! property every consumer actually relies on: the claimed summary table
+//! `C` is a **post-fixpoint** of the summary transfer function `F`, i.e.
+//! `F(C) ⊑ C` pointwise.
+//!
+//! * One fresh application of [`analyze_function`] under the claimed
+//!   table must keep each return inside its claim
+//!   ([`DiagCode::IpaReturnNotInductive`]), each effect class at or below
+//!   its claim ([`DiagCode::IpaEffectNotInductive`]), and each bounded
+//!   write footprint within the claimed line budget
+//!   ([`DiagCode::IpaFootprintUnderclaimed`]).
+//! * Every in-program call site's abstract arguments must be covered by
+//!   the callee's claimed precondition, and every host-reachable root
+//!   (re-derived from a fresh call graph, never trusted from the claim)
+//!   must claim top preconditions ([`DiagCode::IpaParamPreconditionUnsound`]).
+//!
+//! Checking inductiveness — rather than "claimed equals re-derived" —
+//! is what makes the direction sound: any post-fixpoint of a monotone
+//! `F` over-approximates the least fixpoint, hence the concrete
+//! semantics, regardless of which iteration strategy (or bug) produced
+//! it. A driver that skips widening and keeps a non-converged iterate
+//! fails exactly this test, which is what the mutation test asserts.
+
+use std::collections::BTreeSet;
+
+use nomap_bytecode::Program;
+use nomap_ir::ipa::{analyze_function, effect_le, roots, AbsVal, CallGraph, ProgramSummaries};
+use nomap_runtime::HeapEffect;
+
+use crate::diag::{func_label, DiagCode, Diagnostic};
+
+/// Validates a claimed summary table against `p`. Empty means every claim
+/// is inductive and every precondition covers its call sites.
+pub fn validate_summaries(p: &Program, claimed: &ProgramSummaries) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // Roots are re-derived from a fresh call graph; the claim may only
+    // add roots (extra roots weaken preconditions, which is sound).
+    let fresh = CallGraph::build(p);
+    let required = roots(p, &fresh, &BTreeSet::new());
+
+    for f in &p.functions {
+        let label = func_label(f.id, &f.name);
+        let Some(sum) = claimed.get(f.id) else {
+            diags.push(Diagnostic::new(
+                DiagCode::IpaReturnNotInductive,
+                &label,
+                None,
+                None,
+                "function has no claimed summary".to_owned(),
+            ));
+            continue;
+        };
+        if sum.params.len() != f.param_count as usize {
+            diags.push(Diagnostic::new(
+                DiagCode::IpaParamPreconditionUnsound,
+                &label,
+                None,
+                None,
+                format!(
+                    "claimed {} parameter preconditions for a {}-parameter function",
+                    sum.params.len(),
+                    f.param_count
+                ),
+            ));
+            continue;
+        }
+        if required.contains(&f.id) && !sum.params.iter().all(|&a| a == AbsVal::TOP) {
+            diags.push(Diagnostic::new(
+                DiagCode::IpaParamPreconditionUnsound,
+                &label,
+                None,
+                None,
+                "host-reachable root claims a non-top argument precondition".to_owned(),
+            ));
+        }
+
+        // One transfer re-application under the claimed table.
+        let facts = analyze_function(f, &sum.params, &claimed.summaries);
+        if !facts.ret.subset_of(sum.ret) {
+            diags.push(Diagnostic::new(
+                DiagCode::IpaReturnNotInductive,
+                &label,
+                None,
+                None,
+                format!("re-derived return {} escapes the claimed {}", facts.ret, sum.ret),
+            ));
+        }
+        match (facts.effect, sum.effect) {
+            (HeapEffect::WritesBounded(m), HeapEffect::WritesBounded(n)) if m > n => {
+                diags.push(Diagnostic::new(
+                    DiagCode::IpaFootprintUnderclaimed,
+                    &label,
+                    None,
+                    None,
+                    format!("re-derived write footprint of {m} lines exceeds the claimed {n}"),
+                ));
+            }
+            (HeapEffect::WritesUnbounded, HeapEffect::WritesBounded(n)) => {
+                diags.push(Diagnostic::new(
+                    DiagCode::IpaFootprintUnderclaimed,
+                    &label,
+                    None,
+                    None,
+                    format!("re-derived write footprint is unbounded, claimed {n} lines"),
+                ));
+            }
+            (fe, ce) if !effect_le(fe, ce) => {
+                diags.push(Diagnostic::new(
+                    DiagCode::IpaEffectNotInductive,
+                    &label,
+                    None,
+                    None,
+                    format!(
+                        "re-derived effect {} sits above the claimed {}",
+                        fe.describe(),
+                        ce.describe()
+                    ),
+                ));
+            }
+            _ => {}
+        }
+        if facts.clobbers && !sum.clobbers {
+            diags.push(Diagnostic::new(
+                DiagCode::IpaEffectNotInductive,
+                &label,
+                None,
+                None,
+                "function may clobber pre-existing memory but its summary claims otherwise"
+                    .to_owned(),
+            ));
+        }
+
+        // Call-site coverage: the abstract arguments this function passes
+        // must land inside each callee's claimed precondition.
+        for (callee, args) in &facts.call_args {
+            let Some(callee_sum) = claimed.get(*callee) else { continue };
+            let callee_f = p.function(*callee);
+            for (k, &pre) in callee_sum.params.iter().enumerate() {
+                // Missing actual arguments arrive undefined.
+                let arg = args.get(k).copied().unwrap_or(AbsVal::UNDEF);
+                if !arg.subset_of(pre) {
+                    diags.push(Diagnostic::new(
+                        DiagCode::IpaParamPreconditionUnsound,
+                        &label,
+                        None,
+                        None,
+                        format!(
+                            "argument {k} of call to {} is {arg}, outside the claimed \
+                             precondition {pre}",
+                            func_label(*callee, &callee_f.name),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use nomap_ir::ipa::{summarize, summarize_unsound};
+
+    use super::*;
+
+    fn program(src: &str) -> Program {
+        nomap_bytecode::compile_program(src).expect("compiles")
+    }
+
+    const RECURSIVE: &str = "function count(n) { if (n <= 0) { return 0; } \
+                             return 1 + count(n - 1); }
+                             function run() { return count(100); }";
+
+    #[test]
+    fn sound_summaries_validate_cleanly() {
+        let p = program(RECURSIVE);
+        let s = summarize(&p);
+        let diags = validate_summaries(&p, &s);
+        assert!(diags.is_empty(), "diags {diags:?}");
+    }
+
+    /// Mutation test (from the issue): a fixpoint driver that skips
+    /// widening at SCC back-edges leaves a non-inductive return claim
+    /// behind; the validator must reject it with a blocking error.
+    #[test]
+    fn mutation_skipped_widening_is_caught() {
+        let p = program(RECURSIVE);
+        let bad = summarize_unsound(&p);
+        let diags = validate_summaries(&p, &bad);
+        assert!(diags.iter().any(|d| d.code == DiagCode::IpaReturnNotInductive), "diags {diags:?}");
+        assert!(crate::diag::has_errors(&diags));
+        // The label carries both the id and the name (satellite: debuggable
+        // diagnostics).
+        let d = diags.iter().find(|d| d.code == DiagCode::IpaReturnNotInductive).unwrap();
+        assert!(d.func.contains(":count"), "label {}", d.func);
+    }
+
+    #[test]
+    fn doctored_precondition_is_caught() {
+        let p = program(
+            "function double(x) { return x + x; }
+             function run() { return double(21); }",
+        );
+        let mut s = summarize(&p);
+        let double = p.function_ids["double"];
+        // Claim the argument is always in [0, 5] — the call site passes 21.
+        let sum = s.summaries.get_mut(&double).unwrap();
+        sum.params[0] = AbsVal::int(nomap_ir::Interval::new(0, 5));
+        // Keep ret inductive under the doctored precondition so only the
+        // coverage check can fire.
+        sum.ret = AbsVal::TOP;
+        let diags = validate_summaries(&p, &s);
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::IpaParamPreconditionUnsound),
+            "diags {diags:?}"
+        );
+    }
+
+    #[test]
+    fn doctored_effect_and_footprint_are_caught() {
+        let p = program(
+            "var acc = 0;
+             function w(x) { acc = x; return x; }
+             function run() { return w(3); }",
+        );
+        let w = p.function_ids["w"];
+        let mut s = summarize(&p);
+        s.summaries.get_mut(&w).unwrap().effect = HeapEffect::Pure;
+        s.summaries.get_mut(&w).unwrap().clobbers = false;
+        let diags = validate_summaries(&p, &s);
+        assert!(diags.iter().any(|d| d.code == DiagCode::IpaEffectNotInductive), "diags {diags:?}");
+
+        let mut s2 = summarize(&p);
+        s2.summaries.get_mut(&w).unwrap().effect = HeapEffect::WritesBounded(0);
+        let diags2 = validate_summaries(&p, &s2);
+        assert!(
+            diags2.iter().any(|d| d.code == DiagCode::IpaFootprintUnderclaimed),
+            "diags2 {diags2:?}"
+        );
+    }
+}

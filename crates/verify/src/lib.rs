@@ -19,7 +19,11 @@
 //!    run;
 //! 5. [`footprint::estimate_footprint`] — a static write-footprint lower
 //!    bound that predicts guaranteed HTM capacity aborts and seeds the
-//!    §V-C transaction-scope ladder.
+//!    §V-C transaction-scope ladder;
+//! 6. [`ipa_tv::validate_summaries`] — translation validation for the
+//!    interprocedural summary table, checking that every claimed
+//!    return/precondition/effect/footprint fact is a post-fixpoint of the
+//!    summary transfer function re-applied from scratch.
 //!
 //! All layers speak [`diag::Diagnostic`], the structured currency of the
 //! `nomap lint` CLI, trace events, and CI.
@@ -28,13 +32,17 @@ pub mod absint_tv;
 pub mod bounds_tv;
 pub mod diag;
 pub mod footprint;
+pub mod ipa_tv;
 pub mod ssa;
 pub mod txn;
 
 pub use absint_tv::{check_fail_warnings, validate_check_elision};
 pub use bounds_tv::validate_bounds_combining;
-pub use diag::{has_errors, DiagCode, Diagnostic, Severity};
-pub use footprint::{estimate_footprint, FootprintEstimate, LoopFootprint, ScopeAdvice};
+pub use diag::{func_label, has_errors, DiagCode, Diagnostic, Severity};
+pub use footprint::{
+    estimate_footprint, estimate_footprint_with, FootprintEstimate, LoopFootprint, ScopeAdvice,
+};
+pub use ipa_tv::validate_summaries;
 pub use ssa::verify_ssa;
 pub use txn::check_txn_safety;
 

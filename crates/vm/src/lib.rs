@@ -32,6 +32,7 @@
 mod error;
 mod exec;
 mod interp;
+mod ipa_report;
 mod lint;
 mod profiler;
 mod prove;
@@ -39,6 +40,7 @@ mod tiering;
 mod vm;
 
 pub use error::VmError;
+pub use ipa_report::{ipa_source, IpaFnReport, IpaReport};
 pub use lint::{lint_source, LintReport};
 pub use nomap_core::{Architecture, AuditOptions, TxnScope};
 pub use nomap_hostprof::OpcodeCensus;

@@ -10,8 +10,8 @@
 //! much less IR exists to verify.
 
 use nomap_core::{
-    compile_dfg_audited, compile_ftl_audited, compile_txn_callee_audited, Architecture,
-    AuditOptions, TxnScope,
+    audit_summaries, compile_dfg_audited, compile_ftl_audited, compile_txn_callee_audited,
+    Architecture, AuditOptions, TxnScope,
 };
 use nomap_ir::passes::PassConfig;
 use nomap_verify::{has_errors, Diagnostic};
@@ -78,20 +78,28 @@ pub fn lint_source(source: &str, arch: Architecture, warmup: u32) -> Result<Lint
     let opts = AuditOptions { verify: true, seed_scope: true };
     let passes = PassConfig::ftl();
     let mut report = LintReport::default();
+
+    // The interprocedural summary table every compile below consults is
+    // itself translation-validated first (stage `ipa-tv`).
+    let ipa = vm.summaries().clone();
+    report.stages += 1;
+    report.diagnostics.extend(audit_summaries(&vm.program, &ipa));
+
     for id in 0..vm.funcs.len() {
         let func = vm.funcs[id].clone();
         report.functions += 1;
 
-        let dfg = compile_dfg_audited(&func, &mut vm.rt, opts)?;
+        let dfg = compile_dfg_audited(&func, &mut vm.rt, opts, Some(&ipa))?;
         report.stages += dfg.stages;
         report.diagnostics.extend(dfg.diagnostics);
 
-        let ftl = compile_ftl_audited(&func, &mut vm.rt, arch, scope, passes, opts)?;
+        let ftl = compile_ftl_audited(&func, &mut vm.rt, arch, scope, passes, opts, Some(&ipa))?;
         report.stages += ftl.stages;
         report.diagnostics.extend(ftl.diagnostics);
 
         if arch.uses_transactions() {
-            let callee = compile_txn_callee_audited(&func, &mut vm.rt, arch, passes, opts)?;
+            let callee =
+                compile_txn_callee_audited(&func, &mut vm.rt, arch, passes, opts, Some(&ipa))?;
             report.stages += callee.stages;
             report.diagnostics.extend(callee.diagnostics);
         }

@@ -285,6 +285,10 @@ pub fn prove_source(source: &str, arch: Architecture, warmup: u32) -> Result<Pro
 
     let scope = if arch.uses_transactions() { TxnScope::Nest } else { TxnScope::None };
     let passes = PassConfig::ftl();
+    // Recompile under the program's interprocedural summary table — the
+    // same context a real run's JIT compiles use — so the census verdicts
+    // reflect cross-function reasoning.
+    let ipa = vm.summaries().clone();
     let mut report = ProveReport::default();
     // (func, kind index) -> [safe, fail, unknown, elided], both tiers.
     let mut sites: BTreeMap<(u32, usize), [u32; 4]> = BTreeMap::new();
@@ -294,8 +298,8 @@ pub fn prove_source(source: &str, arch: Architecture, warmup: u32) -> Result<Pro
         report.functions += 1;
         names.insert(id as u32, func.name.clone());
 
-        let (_, dfg) = compile_dfg_with_report(&func, &mut vm.rt)?;
-        let (_, ftl) = compile_ftl_with_report(&func, &mut vm.rt, arch, scope, passes)?;
+        let (_, dfg) = compile_dfg_with_report(&func, &mut vm.rt, Some(&ipa))?;
+        let (_, ftl) = compile_ftl_with_report(&func, &mut vm.rt, arch, scope, passes, Some(&ipa))?;
         fold(&mut report.dfg, &dfg.prove);
         fold(&mut report.ftl, &ftl.prove);
         for ki in 0..5 {

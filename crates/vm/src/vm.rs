@@ -2,13 +2,16 @@
 
 use std::rc::Rc;
 
+use std::collections::BTreeSet;
+
 use nomap_bytecode::{compile_program, FuncId, Function, Op, Program};
 use nomap_core::{
-    compile_dfg_audited, compile_dfg_with_report, compile_ftl_audited, compile_ftl_with_report,
-    compile_txn_callee, compile_txn_callee_audited, next_scope, Architecture, AuditOptions,
-    FtlAudit, TxnScope,
+    audit_summaries, compile_dfg_audited, compile_dfg_with_report, compile_ftl_audited,
+    compile_ftl_with_report, compile_txn_callee, compile_txn_callee_audited, next_scope,
+    Architecture, AuditOptions, FtlAudit, TxnScope,
 };
 use nomap_hostprof::OpcodeCensus;
+use nomap_ir::ipa::{summarize_with_roots, ProgramSummaries};
 use nomap_ir::passes::PassConfig;
 use nomap_jit::{compile_baseline, CompiledFn};
 use nomap_machine::{CacheSim, ExecStats, HtmModel, RegionKey, RegionKind, Tier, Timing, TxState};
@@ -163,6 +166,13 @@ pub struct Vm {
     /// Dynamic opcode/digram census (disabled by default;
     /// observation-only, like the tracer and profiler).
     pub(crate) census: Option<Box<OpcodeCensus>>,
+    /// Interprocedural summary table every JIT compile consults (callee
+    /// returns, argument preconditions, callee-inclusive footprints).
+    pub(crate) ipa: ProgramSummaries,
+    /// Functions the host has called with arguments outside their claimed
+    /// precondition; they are forced to root (top precondition) when the
+    /// table is rebuilt.
+    pub(crate) ipa_extra_roots: BTreeSet<FuncId>,
 }
 
 impl Vm {
@@ -189,6 +199,17 @@ impl Vm {
             Some(program.interner.get("length").unwrap_or(nomap_bytecode::NameId(u32::MAX)));
         let funcs: Vec<Rc<Function>> = program.functions.iter().cloned().map(Rc::new).collect();
         let code = (0..funcs.len()).map(|_| CodeState::new(&config)).collect();
+        let ipa = summarize_with_roots(&program, &BTreeSet::new());
+        if config.sanitize {
+            let ds = audit_summaries(&program, &ipa);
+            if nomap_verify::has_errors(&ds) {
+                let msg: Vec<String> = ds.iter().take(3).map(ToString::to_string).collect();
+                return Err(VmError::Verifier(format!(
+                    "interprocedural summaries failed ipa-tv: {}",
+                    msg.join("; ")
+                )));
+            }
+        }
         let stack_base = rt.mem.stack_base();
         Ok(Vm {
             program,
@@ -210,7 +231,15 @@ impl Vm {
             tracer: Tracer::disabled(),
             profiler: None,
             census: None,
+            ipa,
+            ipa_extra_roots: BTreeSet::new(),
         })
+    }
+
+    /// The interprocedural summary table currently in force (report and
+    /// test introspection).
+    pub fn summaries(&self) -> &ProgramSummaries {
+        &self.ipa
     }
 
     /// Runs the top-level script.
@@ -243,6 +272,7 @@ impl Vm {
     ///
     /// Propagates guest errors.
     pub fn call_id(&mut self, id: FuncId, args: &[Value]) -> Result<Value, VmError> {
+        self.guard_precondition(id, args)?;
         let result = self.call_function(id, args);
         match result {
             Ok(v) => Ok(v),
@@ -583,6 +613,44 @@ impl Vm {
 
     // ---- internal --------------------------------------------------------
 
+    /// Closed-world escape hatch for the summary table: in-program call
+    /// sites are covered statically, but the *host* can call any function
+    /// with any arguments. When a host call's argument falls outside the
+    /// claimed precondition, the function is forced to root (top
+    /// precondition), the table is rebuilt bottom-up, and every
+    /// summary-informed compile is discarded before the call proceeds.
+    fn guard_precondition(&mut self, id: FuncId, args: &[Value]) -> Result<(), VmError> {
+        let violated = match self.ipa.get(id) {
+            Some(sum) => sum.params.iter().enumerate().any(|(k, pre)| {
+                let arg = args.get(k).copied().unwrap_or(Value::UNDEFINED);
+                !pre.admits(arg)
+            }),
+            None => false,
+        };
+        if !violated {
+            return Ok(());
+        }
+        self.ipa_extra_roots.insert(id);
+        self.ipa = summarize_with_roots(&self.program, &self.ipa_extra_roots);
+        if self.config.sanitize {
+            let ds = audit_summaries(&self.program, &self.ipa);
+            if nomap_verify::has_errors(&ds) {
+                let msg: Vec<String> = ds.iter().take(3).map(ToString::to_string).collect();
+                return Err(VmError::Verifier(format!(
+                    "re-rooted summaries failed ipa-tv: {}",
+                    msg.join("; ")
+                )));
+            }
+        }
+        for cs in &mut self.code {
+            // Baseline code never consults summaries and stays valid.
+            cs.dfg = None;
+            cs.ftl = None;
+            cs.ftl_callee = None;
+        }
+        Ok(())
+    }
+
     pub(crate) fn call_function(&mut self, id: FuncId, args: &[Value]) -> Result<Value, Flow> {
         if self.depth >= self.config.max_depth {
             return Err(Flow::Error(VmError::StackOverflow));
@@ -633,16 +701,21 @@ impl Vm {
         }
         if limit.allows(Tier::Dfg) && hot >= th.dfg && self.code[id.0 as usize].dfg.is_none() {
             let (c, report) = if self.config.sanitize {
-                let mut audit =
-                    compile_dfg_audited(&func, &mut self.rt, self.config.audit_options())
-                        .map_err(VmError::from)?;
+                let mut audit = compile_dfg_audited(
+                    &func,
+                    &mut self.rt,
+                    self.config.audit_options(),
+                    Some(&self.ipa),
+                )
+                .map_err(VmError::from)?;
                 self.emit_verify(id, &func.name, &audit);
                 let Some(code) = audit.code.take() else {
                     return Err(verifier_error(&func.name, &audit).into());
                 };
                 (code, audit.report)
             } else {
-                compile_dfg_with_report(&func, &mut self.rt).map_err(VmError::from)?
+                compile_dfg_with_report(&func, &mut self.rt, Some(&self.ipa))
+                    .map_err(VmError::from)?
             };
             self.stats.dfg_compiles += 1;
             self.emit_tier_up(id, Tier::Dfg, c.code.len(), None, false);
@@ -660,6 +733,7 @@ impl Vm {
                     scope,
                     passes,
                     self.config.audit_options(),
+                    Some(&self.ipa),
                 )
                 .map_err(VmError::from)?;
                 self.emit_verify(id, &func.name, &audit);
@@ -673,8 +747,15 @@ impl Vm {
                 };
                 (code, audit.report)
             } else {
-                compile_ftl_with_report(&func, &mut self.rt, self.config.arch, scope, passes)
-                    .map_err(VmError::from)?
+                compile_ftl_with_report(
+                    &func,
+                    &mut self.rt,
+                    self.config.arch,
+                    scope,
+                    passes,
+                    Some(&self.ipa),
+                )
+                .map_err(VmError::from)?
             };
             self.stats.ftl_compiles += 1;
             self.emit_tier_up(id, Tier::Ftl, c.code.len(), Some(scope), false);
@@ -708,6 +789,7 @@ impl Vm {
                     self.config.arch,
                     passes,
                     self.config.audit_options(),
+                    Some(&self.ipa),
                 )
                 .map_err(VmError::from)?;
                 self.emit_verify(id, &func.name, &audit);
@@ -716,7 +798,7 @@ impl Vm {
                 };
                 code
             } else {
-                compile_txn_callee(&func, &mut self.rt, self.config.arch, passes)
+                compile_txn_callee(&func, &mut self.rt, self.config.arch, passes, Some(&self.ipa))
                     .map_err(VmError::from)?
             };
             self.emit_tier_up(id, Tier::Ftl, c.code.len(), None, true);

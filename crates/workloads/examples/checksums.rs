@@ -23,7 +23,9 @@ fn main() {
             println!("DIVERGE {}: {:?}", w.id, vals);
         }
     }
-    for id in ["fibo", "harmonic", "sieve", "takfp", "random", "hash", "heapsort", "nbody"] {
+    for id in
+        ["fibo", "harmonic", "sieve", "takfp", "random", "hash", "heapsort", "nbody", "histmix"]
+    {
         let w = shootout().into_iter().find(|w| w.id == id).unwrap();
         let js = run_workload(&w, RunSpec::quick(Architecture::Base)).unwrap();
         let native = nomap_workloads::native::run_native(id);

@@ -1,0 +1,118 @@
+//! CI helper: run the interprocedural-vs-intraprocedural verdict delta
+//! census over every bundled workload. Prints one stable line per
+//! workload (diffed against `results/ipa_census.txt` in CI, so any drift
+//! in what cross-function reasoning wins fails the build) and exits
+//! nonzero when the summary table ever does *worse* than the
+//! intraprocedural analysis — the table is a refinement; regressing a
+//! verdict means a soundness or monotonicity bug.
+//!
+//! Workloads are sharded over the `nomap-fleet` harness; per-workload
+//! lines are buffered and printed in canonical corpus order, so stdout is
+//! byte-identical for any `--jobs` value. Scheduling telemetry goes to
+//! stderr only.
+//!
+//! ```text
+//! ipa_census [arch-name] [--warmup N] [--json <path>] [--jobs N]
+//! ```
+//!
+//! `--json` additionally writes the full per-workload report (every
+//! function's summary and delta row) to one JSON document.
+
+use std::process::ExitCode;
+
+use nomap_fleet::FleetConfig;
+use nomap_vm::{ipa_source, obj, Architecture, IpaReport, JsonValue};
+use nomap_workloads::fleet::{corpus, report_summary};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arch = match args.iter().find(|a| !a.starts_with("--") && a.parse::<u32>().is_err()) {
+        Some(s) => match Architecture::ALL.into_iter().find(|a| a.name().eq_ignore_ascii_case(s)) {
+            Some(a) => a,
+            None => {
+                eprintln!("unknown architecture `{s}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => Architecture::NoMap,
+    };
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+    };
+    let warmup: u32 = flag("--warmup").and_then(|s| s.parse().ok()).unwrap_or(40);
+    let json_path = flag("--json").map(str::to_owned);
+    let fleet = match FleetConfig::from_args(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let workloads = corpus();
+    let run: nomap_fleet::FleetRun<IpaReport> =
+        nomap_fleet::run_sharded(workloads.len(), &fleet, |i| {
+            let w = &workloads[i];
+            ipa_source(w.source, arch, warmup).map_err(|e| format!("{}: {e}", w.id))
+        });
+
+    let mut censused = 0usize;
+    let mut elided_intra = 0u64;
+    let mut elided_ipa = 0u64;
+    let mut unknown_intra = 0u64;
+    let mut unknown_ipa = 0u64;
+    let mut reseeded = 0usize;
+    let mut improved = 0usize;
+    let mut regressed = 0usize;
+    let mut failed = 0usize;
+    let mut docs: Vec<JsonValue> = Vec::new();
+    for (w, shard) in workloads.iter().zip(&run.shards) {
+        let report = match &shard.outcome {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("ipa census failed after {} attempts: {e}", shard.attempts);
+                failed += 1;
+                continue;
+            }
+        };
+        println!("{} {}", w.id, report.summary());
+        censused += 1;
+        elided_intra += u64::from(report.total_elided_intra());
+        elided_ipa += u64::from(report.total_elided_ipa());
+        unknown_intra += u64::from(report.total_unknown_intra());
+        unknown_ipa += u64::from(report.total_unknown_ipa());
+        reseeded += report.scopes_changed();
+        if report.total_elided_ipa() > report.total_elided_intra() || report.scopes_changed() > 0 {
+            improved += 1;
+        }
+        // The summary table only ever adds facts; losing an elision or
+        // gaining an unknown under it is a monotonicity bug.
+        if report.total_elided_ipa() < report.total_elided_intra()
+            || report.total_unknown_ipa() > report.total_unknown_intra()
+        {
+            eprintln!("{}: interprocedural verdicts regressed: {}", w.id, report.summary());
+            regressed += 1;
+        }
+        if json_path.is_some() {
+            docs.push(obj(vec![("workload", w.id.into()), ("report", report.to_json(arch))]));
+        }
+    }
+    println!(
+        "ipa census: {censused} workloads under {}: elided {elided_intra}->{elided_ipa} unknown {unknown_intra}->{unknown_ipa} in {improved} improved workloads, {reseeded} scopes reseeded",
+        arch.name()
+    );
+    report_summary(&run.summary);
+    if let Some(path) = &json_path {
+        let doc = obj(vec![("arch", arch.name().into()), ("workloads", JsonValue::Array(docs))]);
+        if let Err(e) = std::fs::write(path, doc.render()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("ipa census json written to {path}");
+    }
+    if regressed == 0 && failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -157,7 +157,7 @@ mod tests {
     #[test]
     fn corpus_is_the_flat_suite_order() {
         let c = corpus();
-        assert_eq!(c.len(), 51);
+        assert_eq!(c.len(), 52);
         assert_eq!(c[0].id, "S01");
         assert_eq!(c[26].id, "K01");
         assert_eq!(c.last().unwrap().suite, crate::Suite::Shootout);

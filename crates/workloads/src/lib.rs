@@ -74,7 +74,7 @@ mod tests {
     fn suite_sizes_match_paper() {
         assert_eq!(sunspider().len(), 26);
         assert_eq!(kraken().len(), 14);
-        assert_eq!(shootout().len(), 11);
+        assert_eq!(shootout().len(), 12);
     }
 
     #[test]

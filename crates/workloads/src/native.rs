@@ -36,6 +36,7 @@ pub fn run_native(id: &str) -> NativeRun {
         "random" => random(),
         "sieve" => sieve(),
         "takfp" => takfp(),
+        "histmix" => histmix(),
         other => panic!("unknown native kernel `{other}`"),
     }
 }
@@ -335,6 +336,36 @@ fn takfp() -> NativeRun {
     NativeRun { checksum: v, ops }
 }
 
+fn histmix() -> NativeRun {
+    // JS `|0` (ToInt32): the MiniJS kernel multiplies in f64 before
+    // truncating, so products past 2^53 round — wrapping i32 would diverge.
+    fn to_int32(d: f64) -> i32 {
+        d.trunc().rem_euclid(4294967296.0) as u64 as u32 as i32
+    }
+    fn mix(h: i32, v: i32, ops: &mut u64) -> i32 {
+        *ops += 3;
+        to_int32((h ^ v) as f64 * 1103515245.0 + 12345.0)
+    }
+    let mut bins = vec![0i32; 36000];
+    let mut ops = 0u64;
+    let mut h = 7i32;
+    let mut i = 0usize;
+    while i < 36000 {
+        h = mix(h, i as i32, &mut ops);
+        bins[i] = h & 255;
+        ops += 4;
+        i += 8;
+    }
+    let mut s = 0i32;
+    let mut j = 0usize;
+    while j < 36000 {
+        s = s.wrapping_add(bins[j]);
+        ops += 3;
+        j += 512;
+    }
+    NativeRun { checksum: (s ^ h) as f64, ops }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +384,7 @@ mod tests {
             "random",
             "sieve",
             "takfp",
+            "histmix",
         ] {
             let r = run_native(id);
             assert!(r.ops > 0, "{id} counted no ops");
@@ -372,5 +404,11 @@ mod tests {
     #[test]
     fn takfp_value() {
         assert_eq!(run_native("takfp").checksum, 7.0);
+    }
+
+    #[test]
+    fn histmix_checksum() {
+        // Matches `run()` of the MiniJS histmix kernel.
+        assert_eq!(run_native("histmix").checksum, -1923578276.0);
     }
 }

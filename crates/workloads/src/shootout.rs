@@ -1,6 +1,10 @@
 //! Shootout-style kernels for the paper's motivating Figure 1, matching
 //! the benchmarks named there: binarytrees, fannkuchredux, fibo, harmonic,
-//! hash, heapsort, matrix, nbody, random, sieve, takfp.
+//! hash, heapsort, matrix, nbody, random, sieve, takfp — plus one
+//! synthetic kernel (`histmix`, outside the figure's `AvgS` set) whose hot
+//! loop overflows the HTM write buffer *and* calls a helper, so the §V-C
+//! ladder can only strip-mine it under the interprocedural
+//! callee-inclusive footprint bound.
 //!
 //! [`crate::native`] holds Rust reference implementations with abstract
 //! operation counters standing in for the figure's "C" baseline.
@@ -11,7 +15,8 @@ fn w(id: &'static str, source: &'static str) -> Workload {
     Workload { id, name: id, suite: Suite::Shootout, in_avgs: true, source }
 }
 
-/// The 11 Shootout workloads of Figure 1, in the figure's order.
+/// The 11 Shootout workloads of Figure 1 in the figure's order, then the
+/// synthetic `histmix` kernel (excluded from `AvgS`).
 pub fn shootout() -> Vec<Workload> {
     vec![
         w("binarytrees", BINARYTREES),
@@ -25,6 +30,13 @@ pub fn shootout() -> Vec<Workload> {
         w("random", RANDOM),
         w("sieve", SIEVE),
         w("takfp", TAKFP),
+        Workload {
+            id: "histmix",
+            name: "histmix",
+            suite: Suite::Shootout,
+            in_avgs: false,
+            source: HISTMIX,
+        },
     ]
 }
 
@@ -231,4 +243,33 @@ function tak(x, y, z) {
     return tak(tak(x - 1.0, y, z), tak(y - 1.0, z, x), tak(z - 1.0, x, y));
 }
 function run() { return tak(18.0, 12.0, 6.0); }
+";
+
+// The fill loop stores every 8th word — one fresh 64 B line per
+// iteration, 4500 lines per pass against the ROT write buffer's 4096 —
+// so it is a guaranteed capacity abort at full scope. Intraprocedurally
+// the `mix` call makes the loop untileable (unknown callee footprint →
+// transactions disabled); the interprocedural summary proves `mix` pure,
+// letting the §V-C ladder seed a strip-mined tile instead.
+const HISTMIX: &str = "
+var bins = new Array(36000);
+function mix(h, v) {
+    h = (h ^ v) | 0;
+    h = (h * 1103515245 + 12345) | 0;
+    return h;
+}
+function fill() {
+    var h = 7;
+    for (var i = 0; i < 36000; i += 8) {
+        h = mix(h, i);
+        bins[i] = h & 255;
+    }
+    return h;
+}
+function run() {
+    var t = fill();
+    var s = 0;
+    for (var j = 0; j < 36000; j += 512) { s = (s + bins[j]) | 0; }
+    return (s ^ t) | 0;
+}
 ";
