@@ -22,6 +22,7 @@ fn main() {
     for suite in [Suite::SunSpider, Suite::Kraken] {
         for w in subset(&all, suite, true) {
             jobs.push(MeasureJob::new(&w, "NoMap", RunSpec::steady(Architecture::NoMap)));
+            jobs.push(MeasureJob::new(&w, "NoMap_RTM", RunSpec::steady(Architecture::NoMapRtm)));
         }
     }
     let measured = measure_fleet_or_exit(&jobs, &fleet);
@@ -66,6 +67,41 @@ fn main() {
             ("insts_per_txn_avg", mean(&insts).into()),
             ("commits", commits.into()),
         ]);
+    }
+    // Read-set characterization under the restricted RTM model, where
+    // speculative reads are tracked in the L2 (the ROT rows above report
+    // zero read footprint by construction — reads are unbounded there).
+    // Print-only: these rows are not part of the BENCH_table4.json perf
+    // baseline.
+    println!();
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>12}",
+        "RTM", "rdFoot avg KB", "rdFoot max KB", "wrFoot avg KB", "commits"
+    );
+    for (suite, label) in [(Suite::SunSpider, "SunSpider"), (Suite::Kraken, "Kraken")] {
+        let ws = subset(&all, suite, true);
+        let mut avg_read = Vec::new();
+        let mut max_read = 0u64;
+        let mut avg_write = Vec::new();
+        let mut commits = 0u64;
+        for w in &ws {
+            let stats = measured.stats(w.id, "NoMap_RTM");
+            let c = stats.tx_character;
+            if c.committed > 0 {
+                avg_read.push(c.read_footprint_avg() / 1024.0);
+                avg_write.push(c.footprint_avg() / 1024.0);
+            }
+            max_read = max_read.max(c.read_footprint_max);
+            commits += stats.tx_committed;
+        }
+        println!(
+            "{:<10} {:>14.2} {:>14.2} {:>14.2} {:>12}",
+            label,
+            mean(&avg_read),
+            max_read as f64 / 1024.0,
+            mean(&avg_write),
+            commits
+        );
     }
     println!("\n(paper: avg write footprints of 44.9KB/47.4KB fit amply in the 256KB L2)");
     report_summary(&measured.summary);

@@ -8,6 +8,7 @@
 //! nomap lint <file.js> [--arch <name>] [--warmup N] [--json] [--deny-warnings]
 //! nomap prove <file.js> [--arch <name>] [--warmup N] [--census] [--json]
 //! nomap ipa <file.js> [--arch <name>] [--warmup N] [--json]
+//! nomap aborts [<file.js>] [--arch <name>] [--warmup N] [--jobs N] [--top N] [--json] [--calibration]
 //! nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]
 //! nomap corpus [--arch <name>] [--warmup N] [--jobs N] [--budget CYCLES]
 //! nomap hostprof [--arch <name>] [--warmup N] [--jobs N] [--top N] [--json] [--digrams] [--flame <path>] [--hostbench-dir <dir>]
@@ -30,7 +31,15 @@
 //! abstraction, argument preconditions, heap effect) as validated by
 //! `ipa-tv`, and the verdict delta — every function compiled with and
 //! without the summary table, showing which checks and §V-C transaction
-//! seeds cross-function reasoning wins. `corpus` runs every bundled workload through the
+//! seeds cross-function reasoning wins. `aborts` is the abort-forensics
+//! observatory: with a script it prints per-abort blame (faulting cache
+//! set and victim-set occupancy, read/write footprints at the point of
+//! failure, ladder attempt) plus the static-vs-dynamic calibration table;
+//! without a script it sweeps the whole corpus through the sharded
+//! harness (`--jobs`-invariant stdout) printing one calibration summary
+//! line per workload. `--calibration` restricts the per-script report to
+//! the calibration table; `--top N` bounds the blame-site listing.
+//! `corpus` runs every bundled workload through the
 //! sharded `nomap-fleet` harness (`--jobs N` / `NOMAP_JOBS`); stdout is
 //! byte-identical for any worker count, scheduling telemetry goes to
 //! stderr. `hostprof` runs the same corpus with the host-time &
@@ -70,6 +79,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&args[1..]),
         Some("prove") => cmd_prove(&args[1..]),
         Some("ipa") => cmd_ipa(&args[1..]),
+        Some("aborts") => cmd_aborts(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("hostprof") => cmd_hostprof(&args[1..]),
@@ -81,7 +91,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage:\n  nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]\n  nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]\n  nomap profile <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--top N] [--json]\n  nomap bench-diff <old> <new> [--threshold PCT]\n  nomap lint <file.js> [--arch <name>] [--warmup N] [--json] [--deny-warnings]\n  nomap prove <file.js> [--arch <name>] [--warmup N] [--census] [--json]\n  nomap ipa <file.js> [--arch <name>] [--warmup N] [--json]\n  nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]\n  nomap corpus [--arch <name>] [--warmup N] [--jobs N] [--budget CYCLES]\n  nomap hostprof [--arch <name>] [--warmup N] [--jobs N] [--top N] [--json] [--digrams] [--flame <path>] [--hostbench-dir <dir>]\n  nomap archs"
+                "usage:\n  nomap run <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--stats]\n  nomap trace <file.js> [--arch <name>] [--warmup N] [--ring N] [--last N] [--jsonl <path>]\n  nomap profile <file.js> [--arch <name>] [--tier <cap>] [--warmup N] [--top N] [--json]\n  nomap bench-diff <old> <new> [--threshold PCT]\n  nomap lint <file.js> [--arch <name>] [--warmup N] [--json] [--deny-warnings]\n  nomap prove <file.js> [--arch <name>] [--warmup N] [--census] [--json]\n  nomap ipa <file.js> [--arch <name>] [--warmup N] [--json]\n  nomap aborts [<file.js>] [--arch <name>] [--warmup N] [--jobs N] [--top N] [--json] [--calibration]\n  nomap disasm <file.js> <function> [--arch <name>] [--tier <baseline|dfg|ftl>]\n  nomap corpus [--arch <name>] [--warmup N] [--jobs N] [--budget CYCLES]\n  nomap hostprof [--arch <name>] [--warmup N] [--jobs N] [--top N] [--json] [--digrams] [--flame <path>] [--hostbench-dir <dir>]\n  nomap archs"
             );
             ExitCode::from(2)
         }
@@ -527,6 +537,120 @@ fn cmd_ipa(args: &[String]) -> ExitCode {
         print!("{}", report.render());
     }
     ExitCode::SUCCESS
+}
+
+/// `nomap aborts` — abort forensics and the static-vs-dynamic footprint
+/// calibration observatory. With a script argument it reports one
+/// program; without one it sweeps the whole bundled corpus through the
+/// sharded fleet harness, printing one canonical-order calibration line
+/// per workload (stdout is byte-identical for any `--jobs` value;
+/// scheduling telemetry goes to stderr). Exits nonzero when any workload
+/// has an unexplained under-prediction.
+fn cmd_aborts(args: &[String]) -> ExitCode {
+    let arch = match flag_value(args, "--arch") {
+        Some(s) => match parse_arch(s) {
+            Some(a) => a,
+            None => {
+                eprintln!("error: unknown architecture `{s}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => Architecture::NoMap,
+    };
+    let warmup: u32 = flag_value(args, "--warmup").and_then(|s| s.parse().ok()).unwrap_or(150);
+    let top: usize = flag_value(args, "--top").and_then(|s| s.parse().ok()).unwrap_or(20);
+    let as_json = args.iter().any(|a| a == "--json");
+    let calibration_only = args.iter().any(|a| a == "--calibration");
+
+    // File mode: the first argument names a script.
+    if let Some(file) = args.first().filter(|a| !a.starts_with("--")) {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = match nomap_vm::aborts_source(&src, arch, warmup) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if as_json {
+            println!("{}", report.to_json(arch).render());
+        } else {
+            println!("--- abort forensics ({}) ---", arch.name());
+            if calibration_only {
+                print!("{}", report.render(0));
+            } else {
+                print!("{}", report.render(top));
+            }
+        }
+        return if report.unexplained_under_predictions() == 0 {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "error: {} unexplained under-prediction(s)",
+                report.unexplained_under_predictions()
+            );
+            ExitCode::FAILURE
+        };
+    }
+
+    // Corpus mode: one calibration line per workload, canonical order.
+    let fleet = match FleetConfig::from_args(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let workloads = corpus();
+    let run = nomap_fleet::run_sharded(workloads.len(), &fleet, |i| {
+        nomap_vm::aborts_source(workloads[i].source, arch, warmup).map_err(|e| e.to_string())
+    });
+    let mut unexplained = 0usize;
+    let mut failed = 0usize;
+    let mut docs: Vec<JsonValue> = Vec::new();
+    for shard in &run.shards {
+        let id = workloads[shard.index].id;
+        match &shard.outcome {
+            Ok(r) => {
+                println!("{id:<6} {}", r.summary());
+                unexplained += r.unexplained_under_predictions();
+                if as_json {
+                    docs.push(obj(vec![("id", id.into()), ("report", r.to_json(arch))]));
+                }
+            }
+            Err(e) => {
+                println!("{id:<6} FAILED after {} attempt(s): {e}", shard.attempts);
+                failed += 1;
+            }
+        }
+    }
+    println!(
+        "aborts: {} workloads under {}: {} unexplained under-prediction(s), {} failed",
+        run.summary.shards,
+        arch.name(),
+        unexplained,
+        failed
+    );
+    if as_json {
+        let doc = obj(vec![
+            ("arch", arch.name().into()),
+            ("workloads", JsonValue::Array(docs)),
+            ("unexplained", unexplained.into()),
+        ]);
+        println!("{}", doc.render());
+    }
+    report_summary(&run.summary);
+    if unexplained > 0 || failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_disasm(args: &[String]) -> ExitCode {

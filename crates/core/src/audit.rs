@@ -60,6 +60,10 @@ pub struct FtlAudit {
     pub scope_requested: TxnScope,
     /// Scope actually compiled (differs only under `seed_scope`).
     pub scope_used: TxnScope,
+    /// The §V-C footprint estimate consulted under `seed_scope` (present
+    /// only for a transaction-aware compile) — the static half of the
+    /// abort-forensics calibration (`nomap aborts`).
+    pub footprint: Option<nomap_verify::FootprintEstimate>,
     /// Verification stages that ran.
     pub stages: usize,
     /// Every finding, in stage order (warnings included).
@@ -208,12 +212,13 @@ pub fn compile_ftl_audited(
     let mut final_ir = ir;
     let mut final_report = report;
     let mut final_txn_aware = txn_aware;
+    let mut footprint = None;
     if opts.seed_scope && txn_aware {
-        let est = estimate_footprint_with(&final_ir, &arch.htm_model(), ipa);
-        for mut d in est.diags {
+        let mut est = estimate_footprint_with(&final_ir, &arch.htm_model(), ipa);
+        for d in &mut est.diags {
             d.stage = "footprint".to_string();
-            auditor.diags.push(d);
         }
+        auditor.diags.extend(est.diags.iter().cloned());
         let advised = apply_advice(scope, est.advice);
         if advised != scope {
             let (ir2, rep2, aware2) =
@@ -223,6 +228,7 @@ pub fn compile_ftl_audited(
             final_txn_aware = aware2;
             scope_used = advised;
         }
+        footprint = Some(est);
     }
 
     let code = if has_errors(&auditor.diags) {
@@ -240,6 +246,7 @@ pub fn compile_ftl_audited(
         report: final_report,
         scope_requested: scope,
         scope_used,
+        footprint,
         stages: auditor.stages,
         diagnostics: auditor.diags,
     })
@@ -274,6 +281,7 @@ pub fn compile_txn_callee_audited(
         report,
         scope_requested: TxnScope::None,
         scope_used: TxnScope::None,
+        footprint: None,
         stages: auditor.stages,
         diagnostics: auditor.diags,
     })
@@ -302,6 +310,7 @@ pub fn compile_dfg_audited(
         report,
         scope_requested: TxnScope::None,
         scope_used: TxnScope::None,
+        footprint: None,
         stages: auditor.stages,
         diagnostics: auditor.diags,
     })

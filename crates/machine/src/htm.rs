@@ -43,11 +43,94 @@ pub enum AbortReason {
     StickyOverflow,
 }
 
+/// Abort-reason class names in [`crate::ExecStats`] `tx_aborts` slot order.
+pub const ABORT_CLASSES: [&str; 3] = ["check", "capacity", "sticky-overflow"];
+
+/// Dense index of an abort reason's class — the `ExecStats::tx_aborts`
+/// slot it is tallied in.
+pub fn abort_reason_index(reason: AbortReason) -> usize {
+    match reason {
+        AbortReason::Check(_) => 0,
+        AbortReason::Capacity => 1,
+        AbortReason::StickyOverflow => 2,
+    }
+}
+
+/// Canonical coarse name of an abort reason (`check`, `capacity`,
+/// `sticky-overflow`). `nomap_trace::abort_reason_name` delegates here so
+/// the JSONL stream, the stats slots and the profile keys cannot drift.
+pub fn abort_reason_class(reason: AbortReason) -> &'static str {
+    ABORT_CLASSES[abort_reason_index(reason)]
+}
+
+/// Canonical short name for a check kind (the suffix of `check:<kind>`
+/// bookkeeping keys; `nomap_trace::check_name` delegates here).
+pub fn check_kind_key(kind: CheckKind) -> &'static str {
+    match kind {
+        CheckKind::Bounds => "bounds",
+        CheckKind::Overflow => "overflow",
+        CheckKind::Type => "type",
+        CheckKind::Property => "property",
+        CheckKind::Other => "other",
+    }
+}
+
+/// Canonical composite abort bookkeeping key: check aborts keep their kind
+/// (`check:bounds`), the rest use their class name. `nomap_profile` and
+/// the trace metrics registry both delegate here — one table, no copies.
+pub fn abort_reason_key(reason: AbortReason) -> String {
+    match reason {
+        AbortReason::Check(k) => format!("check:{}", check_kind_key(k)),
+        other => abort_reason_class(other).to_owned(),
+    }
+}
+
+/// The faulting access of a capacity abort: exactly where the speculative
+/// footprint stopped fitting the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSite {
+    /// Word address of the access that overflowed a set.
+    pub word_addr: u64,
+    /// Cache line (tag address) of that access.
+    pub line: u64,
+    /// Index of the overflowed set.
+    pub set: u64,
+    /// Speculative lines the victim set was asked to hold, counting the
+    /// faulting line (always associativity + 1 at capture).
+    pub set_ways: u32,
+    /// True when the faulting access was a write; false for an RTM
+    /// read-set overflow.
+    pub is_write: bool,
+}
+
+/// Forensic record of one abort, captured at the point of failure —
+/// before rollback destroys the speculative state it describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortBlame {
+    /// The faulting access (capacity aborts only; check and SOF aborts
+    /// have no faulting address).
+    pub fault: Option<FaultSite>,
+    /// Distinct lines in the write set when the abort fired.
+    pub write_lines: u64,
+    /// Write footprint in bytes when the abort fired.
+    pub write_bytes: u64,
+    /// Distinct lines in the read set (RTM only; 0 when the model does
+    /// not bound reads).
+    pub read_lines: u64,
+    /// Read footprint in bytes when the abort fired.
+    pub read_bytes: u64,
+    /// Dynamic instructions executed inside the doomed transaction.
+    pub instructions: u64,
+}
+
 /// Per-transaction characterization, reported at commit (Table IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TxOutcome {
     /// Distinct cache lines written × line size.
     pub write_footprint_bytes: u64,
+    /// Distinct cache lines read × line size (RTM only; 0 when the model
+    /// does not bound reads).
+    pub read_footprint_bytes: u64,
     /// Maximum number of speculative ways any one set needed.
     pub max_assoc: u32,
     /// Dynamic instructions executed inside the transaction.
@@ -111,6 +194,7 @@ pub struct TxState {
     read_sets: HashMap<u64, u32>,
     max_assoc: u32,
     sof: bool,
+    blame: Option<AbortBlame>,
     /// Instructions executed since the outermost XBegin (maintained by the
     /// executor).
     pub instructions: u64,
@@ -138,6 +222,7 @@ impl TxState {
             self.read_sets.clear();
             self.max_assoc = 0;
             self.sof = false;
+            self.blame = None;
             self.instructions = 0;
         }
         self.depth += 1;
@@ -174,6 +259,11 @@ impl TxState {
             *n += 1;
             self.max_assoc = self.max_assoc.max(*n);
             if *n > model.write_cache.ways {
+                let set_ways = *n;
+                self.blame = Some(self.blame_at(
+                    model,
+                    Some(FaultSite { word_addr, line, set, set_ways, is_write: true }),
+                ));
                 return Err(AbortReason::Capacity);
             }
         }
@@ -193,6 +283,11 @@ impl TxState {
             let n = self.read_sets.entry(set).or_insert(0);
             *n += 1;
             if *n > read_cache.ways {
+                let set_ways = *n;
+                self.blame = Some(self.blame_at(
+                    model,
+                    Some(FaultSite { word_addr, line, set, set_ways, is_write: false }),
+                ));
                 return Err(AbortReason::Capacity);
             }
         }
@@ -219,6 +314,7 @@ impl TxState {
         self.depth = 0;
         let outcome = TxOutcome {
             write_footprint_bytes: self.write_lines.len() as u64 * model.write_cache.line_bytes,
+            read_footprint_bytes: self.read_footprint_bytes(model),
             max_assoc: self.max_assoc,
             instructions: self.instructions,
         };
@@ -235,6 +331,7 @@ impl TxState {
         }
         self.depth = 0;
         self.sof = false;
+        self.blame = None;
         self.write_lines.clear();
         self.write_sets.clear();
         self.read_lines.clear();
@@ -245,6 +342,39 @@ impl TxState {
     /// Current write footprint in bytes (for the §V-C placement estimator).
     pub fn write_footprint_bytes(&self, model: &HtmModel) -> u64 {
         self.write_lines.len() as u64 * model.write_cache.line_bytes
+    }
+
+    /// Current read footprint in bytes (0 when the model does not bound
+    /// reads).
+    pub fn read_footprint_bytes(&self, model: &HtmModel) -> u64 {
+        match model.read_cache {
+            Some(rc) => self.read_lines.len() as u64 * rc.line_bytes,
+            None => 0,
+        }
+    }
+
+    /// The blame record captured by the access that failed, if any. Read
+    /// it before [`TxState::abort`] — rollback clears it along with the
+    /// state it describes.
+    pub fn blame(&self) -> Option<AbortBlame> {
+        self.blame
+    }
+
+    /// Blame for an abort with no faulting access (a check fired, or SOF
+    /// at `XEnd`): the current speculative-footprint snapshot.
+    pub fn snapshot_blame(&self, model: &HtmModel) -> AbortBlame {
+        self.blame_at(model, None)
+    }
+
+    fn blame_at(&self, model: &HtmModel, fault: Option<FaultSite>) -> AbortBlame {
+        AbortBlame {
+            fault,
+            write_lines: self.write_lines.len() as u64,
+            write_bytes: self.write_footprint_bytes(model),
+            read_lines: self.read_lines.len() as u64,
+            read_bytes: self.read_footprint_bytes(model),
+            instructions: self.instructions,
+        }
     }
 }
 
@@ -349,6 +479,194 @@ mod tests {
         assert_eq!(mem.peek(a), 111);
         assert_eq!(mem.peek(a + 1), 222);
         assert!(!tx.active());
+    }
+
+    #[test]
+    fn canonical_abort_keys_are_stable() {
+        assert_eq!(abort_reason_key(AbortReason::Capacity), "capacity");
+        assert_eq!(abort_reason_key(AbortReason::StickyOverflow), "sticky-overflow");
+        assert_eq!(abort_reason_key(AbortReason::Check(CheckKind::Bounds)), "check:bounds");
+        for kind in CheckKind::ALL {
+            assert_eq!(
+                abort_reason_key(AbortReason::Check(kind)),
+                format!("check:{}", check_kind_key(kind))
+            );
+            assert_eq!(abort_reason_class(AbortReason::Check(kind)), "check");
+        }
+        for (i, class) in ABORT_CLASSES.iter().enumerate() {
+            let reason = match i {
+                0 => AbortReason::Check(CheckKind::Other),
+                1 => AbortReason::Capacity,
+                _ => AbortReason::StickyOverflow,
+            };
+            assert_eq!(abort_reason_index(reason), i);
+            assert_eq!(abort_reason_class(reason), *class);
+        }
+    }
+
+    #[test]
+    fn commit_reports_read_footprint_under_rtm() {
+        let model = HtmModel::rtm();
+        let mut tx = TxState::new();
+        tx.begin();
+        // Two read lines, one write line.
+        tx.on_read(&model, 0x20_0000).unwrap();
+        tx.on_read(&model, 0x20_0008).unwrap();
+        tx.on_write(&model, 0x30_0000, 0).unwrap();
+        let out = tx.end(&model).unwrap().unwrap();
+        assert_eq!(out.read_footprint_bytes, 128);
+        assert_eq!(out.write_footprint_bytes, 64);
+    }
+
+    #[test]
+    fn rot_commit_reports_zero_read_footprint() {
+        let model = HtmModel::rot();
+        let mut tx = TxState::new();
+        tx.begin();
+        tx.on_read(&model, 0x20_0000).unwrap();
+        tx.on_write(&model, 0x30_0000, 0).unwrap();
+        let out = tx.end(&model).unwrap().unwrap();
+        assert_eq!(out.read_footprint_bytes, 0);
+    }
+
+    #[test]
+    fn write_capacity_captures_blame_at_the_fault() {
+        let model = HtmModel::rot();
+        let mut tx = TxState::new();
+        tx.begin();
+        let sets = model.write_cache.sets();
+        let words_per_line = model.write_cache.line_bytes / 8;
+        for i in 0..8 {
+            tx.on_write(&model, i * sets * words_per_line, 0).unwrap();
+        }
+        assert!(tx.blame().is_none(), "no blame before a failed access");
+        let fault_word = 8 * sets * words_per_line;
+        assert_eq!(tx.on_write(&model, fault_word, 0), Err(AbortReason::Capacity));
+        let blame = tx.blame().expect("capacity abort must leave blame");
+        let fault = blame.fault.expect("capacity blame carries the faulting access");
+        assert_eq!(fault.word_addr, fault_word);
+        assert_eq!(fault.line, model.write_cache.line_of(fault_word * 8));
+        assert_eq!(fault.set, 0);
+        assert_eq!(fault.set_ways, model.write_cache.ways + 1);
+        assert!(fault.is_write);
+        assert_eq!(blame.write_lines, 9);
+        assert_eq!(blame.write_bytes, 9 * model.write_cache.line_bytes);
+        assert_eq!(blame.read_lines, 0);
+        let mut mem = Memory::new();
+        tx.abort(&mut mem);
+        assert!(tx.blame().is_none(), "abort must clear blame");
+    }
+
+    #[test]
+    fn read_capacity_captures_read_fault_blame() {
+        let model = HtmModel::rtm();
+        let mut tx = TxState::new();
+        tx.begin();
+        tx.on_write(&model, 0x40_0000, 0).unwrap();
+        let read_cache = model.read_cache.unwrap();
+        let sets = read_cache.sets();
+        let words_per_line = read_cache.line_bytes / 8;
+        for i in 0..8 {
+            tx.on_read(&model, i * sets * words_per_line).unwrap();
+        }
+        assert_eq!(tx.on_read(&model, 8 * sets * words_per_line), Err(AbortReason::Capacity));
+        let blame = tx.blame().unwrap();
+        let fault = blame.fault.unwrap();
+        assert!(!fault.is_write);
+        assert_eq!(fault.set_ways, read_cache.ways + 1);
+        assert_eq!(blame.read_lines, 9);
+        assert_eq!(blame.read_bytes, 9 * read_cache.line_bytes);
+        assert_eq!(blame.write_lines, 1);
+    }
+
+    #[test]
+    fn snapshot_blame_has_no_fault_but_current_footprints() {
+        let model = HtmModel::rot();
+        let mut tx = TxState::new();
+        tx.begin();
+        tx.on_write(&model, 0x10_0000, 0).unwrap();
+        tx.on_write(&model, 0x10_0008, 0).unwrap();
+        tx.instructions = 42;
+        let blame = tx.snapshot_blame(&model);
+        assert!(blame.fault.is_none());
+        assert_eq!(blame.write_lines, 2);
+        assert_eq!(blame.write_bytes, 128);
+        assert_eq!(blame.instructions, 42);
+    }
+
+    #[test]
+    fn begin_clears_stale_blame() {
+        let model = HtmModel::rot();
+        let mut tx = TxState::new();
+        tx.begin();
+        let sets = model.write_cache.sets();
+        let words_per_line = model.write_cache.line_bytes / 8;
+        for i in 0..=8 {
+            let _ = tx.on_write(&model, i * sets * words_per_line, 0);
+        }
+        assert!(tx.blame().is_some());
+        let mut mem = Memory::new();
+        tx.abort(&mut mem);
+        tx.begin();
+        assert!(tx.blame().is_none());
+    }
+
+    /// Deterministic splitmix64 stream for the rollback property test.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn abort_restores_memory_and_clears_sw_bits_for_random_writes() {
+        use crate::cache::CacheSim;
+
+        // Random transactional write sequences, mirroring the executor's
+        // write path (undo log + SW marks in the cache sim). The address
+        // range spans far more than 8 lines per set so LRU set-conflict
+        // evictions occur; abort must still restore memory byte-identically
+        // and the flash-clear must leave zero SW bits.
+        for (seed, model) in [(1u64, HtmModel::rot()), (2, HtmModel::rtm()), (99, HtmModel::rot())]
+        {
+            let mut rng = seed;
+            let mut mem = Memory::new();
+            let span = 16 * 1024u64; // words: 128 KB, > both caches' sets×ways
+            let base = mem.alloc(span).unwrap();
+            for i in 0..span {
+                mem.poke(base + i, splitmix64(&mut rng));
+            }
+            let snapshot: Vec<u64> = (0..span).map(|i| mem.peek(base + i)).collect();
+
+            let mut tx = TxState::new();
+            let mut cache = CacheSim::new();
+            tx.begin();
+            for _ in 0..4096 {
+                let addr = base + splitmix64(&mut rng) % span;
+                let old = mem.peek(addr);
+                // The executor records the write first, then lands it; the
+                // capacity verdict does not gate the memory update here
+                // because the abort path must cope either way.
+                let _ = tx.on_write(&model, addr, old);
+                mem.poke(addr, splitmix64(&mut rng));
+                let in_l1 = model.write_cache.size_bytes <= 32 * 1024;
+                cache.access_word(addr, in_l1, true);
+                if tx.blame().is_some() {
+                    break;
+                }
+            }
+            let undone = tx.abort(&mut mem);
+            cache.flash_clear_sw();
+            assert!(undone > 0, "seed {seed}: no writes buffered");
+            for (i, want) in snapshot.iter().enumerate() {
+                assert_eq!(mem.peek(base + i as u64), *want, "seed {seed}: word {i} not restored");
+            }
+            assert_eq!(cache.l1.sw_line_count(), 0, "seed {seed}: SW bits left in L1");
+            assert_eq!(cache.l2.sw_line_count(), 0, "seed {seed}: SW bits left in L2");
+            assert!(!tx.active());
+        }
     }
 
     #[test]

@@ -22,7 +22,10 @@ mod timing;
 
 pub use attrib::{CycleLedger, RegionKey, RegionKind};
 pub use cache::{AccessOutcome, Cache, CacheConfig, CacheSim};
-pub use htm::{AbortReason, HtmKind, HtmModel, TxOutcome, TxState};
+pub use htm::{
+    abort_reason_class, abort_reason_index, abort_reason_key, check_kind_key, AbortBlame,
+    AbortReason, FaultSite, HtmKind, HtmModel, TxOutcome, TxState, ABORT_CLASSES,
+};
 pub use inst::{Alu64Op, CheckKind, Cond, FAluOp, IAlu32Op, Label, MReg, MachInst, SmpId};
 pub use stats::{ExecStats, InstCategory, Tier, TxCharacter};
 pub use timing::Timing;

@@ -39,18 +39,27 @@ pub struct ProfileData {
     pub aborts: BTreeMap<(u32, String), u64>,
     /// Write-footprint sketch (bytes at abort) per aborting function.
     pub abort_footprint: BTreeMap<u32, Histogram>,
+    /// Committed transactions per owner function.
+    pub tx_commits: BTreeMap<u32, u64>,
+    /// Write-footprint sketch (bytes at commit) per owner function.
+    pub commit_footprint: BTreeMap<u32, Histogram>,
+    /// Read-footprint sketch (bytes at commit) per owner function
+    /// (nonzero only when the HTM bounds reads, i.e. RTM).
+    pub commit_read_footprint: BTreeMap<u32, Histogram>,
+    /// Capacity aborts per (function, victim-set speculative ways) — the
+    /// set-pressure table the abort-forensics report joins against the
+    /// static footprint estimator.
+    pub abort_set_pressure: BTreeMap<(u32, u32), u64>,
+    /// Read-footprint sketch (bytes at abort) per aborting function.
+    pub abort_read_footprint: BTreeMap<u32, Histogram>,
 }
 
 /// Stable reason name for abort bookkeeping (check aborts keep their kind:
-/// `check:bounds`, ...; the rest match `nomap_trace::abort_reason_name`).
+/// `check:bounds`, ...). Delegates to the canonical
+/// `nomap_machine::abort_reason_key` table — the same one the trace
+/// metrics registry and `ExecStats` slot order derive from.
 pub fn abort_key(reason: AbortReason) -> String {
-    match reason {
-        AbortReason::Check(k) => {
-            format!("check:{}", nomap_trace::check_name(k))
-        }
-        AbortReason::Capacity => "capacity".to_owned(),
-        AbortReason::StickyOverflow => "sticky-overflow".to_owned(),
-    }
+    nomap_machine::abort_reason_key(reason)
 }
 
 impl ProfileData {
@@ -91,6 +100,24 @@ impl ProfileData {
         self.abort_footprint.entry(func).or_default().record(footprint_bytes);
     }
 
+    /// Records one committed transaction owned by `func` with its write
+    /// and read footprints, for the static-vs-dynamic calibration join.
+    pub fn record_commit(&mut self, func: u32, write_bytes: u64, read_bytes: u64) {
+        *self.tx_commits.entry(func).or_insert(0) += 1;
+        self.commit_footprint.entry(func).or_default().record(write_bytes);
+        self.commit_read_footprint.entry(func).or_default().record(read_bytes);
+    }
+
+    /// Records the blame forensics of one abort owned by `func`:
+    /// `set_ways` is the victim set's speculative occupancy (capacity
+    /// aborts only), `read_bytes` the read footprint at the fault.
+    pub fn record_blame(&mut self, func: u32, set_ways: Option<u32>, read_bytes: u64) {
+        if let Some(ways) = set_ways {
+            *self.abort_set_pressure.entry((func, ways)).or_insert(0) += 1;
+        }
+        self.abort_read_footprint.entry(func).or_default().record(read_bytes);
+    }
+
     /// Clears the profile (measurement-window reset).
     pub fn reset(&mut self) {
         *self = ProfileData::default();
@@ -128,6 +155,23 @@ impl ProfileData {
         }
         for (f, h) in &other.abort_footprint {
             self.abort_footprint.entry(*f).or_default().merge(h);
+        }
+        for (f, v) in &other.tx_commits {
+            let c = self.tx_commits.entry(*f).or_insert(0);
+            *c = c.saturating_add(*v);
+        }
+        for (f, h) in &other.commit_footprint {
+            self.commit_footprint.entry(*f).or_default().merge(h);
+        }
+        for (f, h) in &other.commit_read_footprint {
+            self.commit_read_footprint.entry(*f).or_default().merge(h);
+        }
+        for (k, v) in &other.abort_set_pressure {
+            let c = self.abort_set_pressure.entry(*k).or_insert(0);
+            *c = c.saturating_add(*v);
+        }
+        for (f, h) in &other.abort_read_footprint {
+            self.abort_read_footprint.entry(*f).or_default().merge(h);
         }
     }
 }
@@ -202,5 +246,78 @@ mod tests {
         assert_eq!(abort_key(AbortReason::Capacity), "capacity");
         assert_eq!(abort_key(AbortReason::StickyOverflow), "sticky-overflow");
         assert_eq!(abort_key(AbortReason::Check(CheckKind::Type)), "check:type");
+    }
+
+    /// Drift gate for the canonical abort-reason mapping: the profile key,
+    /// the trace-metrics key, the JSONL `reason`/`check` members and the
+    /// `ExecStats::tx_aborts` slot must all agree with `nomap_machine`'s
+    /// single table, for every reason.
+    #[test]
+    fn abort_reason_mapping_agrees_across_all_call_sites() {
+        let mut reasons = vec![AbortReason::Capacity, AbortReason::StickyOverflow];
+        reasons.extend(CheckKind::ALL.into_iter().map(AbortReason::Check));
+        for reason in reasons {
+            let canonical = nomap_machine::abort_reason_key(reason);
+            // 1. This crate's bookkeeping key.
+            assert_eq!(abort_key(reason), canonical);
+            // 2. The trace metrics registry's aborts_by_reason key.
+            let mut m = nomap_trace::Metrics::new();
+            m.observe(&nomap_trace::TraceEvent::TxAbort {
+                func: Some(0),
+                reason,
+                footprint_bytes: 0,
+                undone_words: 0,
+                instructions: 0,
+            });
+            assert_eq!(
+                m.aborts_by_reason.keys().collect::<Vec<_>>(),
+                vec![&canonical],
+                "trace metrics key drifted for {reason:?}"
+            );
+            // 3. The JSONL rendering: coarse class plus the check kind.
+            assert_eq!(
+                nomap_trace::abort_reason_name(reason),
+                nomap_machine::abort_reason_class(reason)
+            );
+            // 4. The ExecStats slot: index and class name line up.
+            let mut stats = nomap_machine::ExecStats::new();
+            stats.add_abort(reason);
+            let idx = nomap_machine::abort_reason_index(reason);
+            assert_eq!(stats.tx_aborts[idx], 1);
+            assert_eq!(
+                nomap_machine::ABORT_CLASSES[idx],
+                nomap_machine::abort_reason_class(reason)
+            );
+            // The composite key's class prefix matches the coarse class.
+            assert!(canonical.starts_with(nomap_machine::abort_reason_class(reason)));
+        }
+    }
+
+    #[test]
+    fn commit_and_blame_tables_merge_commutatively() {
+        let mut a = ProfileData::new();
+        a.record_commit(0, 640, 0);
+        a.record_commit(0, 1280, 256);
+        a.record_blame(0, Some(9), 0);
+        let mut b = ProfileData::new();
+        b.record_commit(0, 320, 0);
+        b.record_commit(1, 64, 0);
+        b.record_blame(0, Some(9), 512);
+        b.record_blame(1, None, 0); // check abort: no set pressure
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.tx_commits[&0], 3);
+        assert_eq!(ab.tx_commits[&1], 1);
+        assert_eq!(ab.commit_footprint[&0].count, 3);
+        assert_eq!(ab.commit_footprint[&0].max, 1280);
+        assert_eq!(ab.commit_read_footprint[&0].max, 256);
+        assert_eq!(ab.abort_set_pressure[&(0, 9)], 2);
+        assert!(!ab.abort_set_pressure.contains_key(&(1, 0)));
+        assert_eq!(ab.abort_read_footprint[&0].max, 512);
+        assert_eq!(ab.abort_read_footprint[&1].count, 1);
     }
 }

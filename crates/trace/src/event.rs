@@ -17,8 +17,12 @@ use crate::json::{obj, JsonValue};
 /// proof-carrying check-elision tallies of one compilation; v5 added the
 /// `fleet-summary` scheduling event emitted by sharded corpus/bench runs;
 /// v6 added the `host-span` event carrying merged host wall-clock /
-/// allocation telemetry from the `nomap-hostprof` observatory.)
-pub const SCHEMA_VERSION: u32 = 6;
+/// allocation telemetry from the `nomap-hostprof` observatory; v7 added
+/// the `tx-abort-blame` forensics event — faulting address / cache set /
+/// set occupancy and read/write footprints at the point of failure,
+/// attributed to function × tier × bytecode pc — and the
+/// `read_footprint_bytes` member of `tx-commit`.)
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// One VM lifecycle event.
 ///
@@ -69,6 +73,9 @@ pub enum TraceEvent {
         func: u32,
         /// Write footprint in bytes (distinct lines × line size).
         footprint_bytes: u64,
+        /// Read footprint in bytes (schema v7; nonzero only when the HTM
+        /// bounds reads, i.e. RTM).
+        read_footprint_bytes: u64,
         /// Peak speculative ways demanded of any one cache set.
         max_assoc: u32,
         /// Dynamic instructions executed inside the transaction.
@@ -85,6 +92,49 @@ pub enum TraceEvent {
         footprint_bytes: u64,
         /// Buffered writes rolled back.
         undone_words: u64,
+        /// Dynamic instructions executed inside the doomed transaction.
+        instructions: u64,
+    },
+    /// Per-abort blame forensics (schema v7), emitted immediately after
+    /// the `tx-abort` it explains: the faulting access (capacity aborts
+    /// only), the victim set's speculative occupancy, the read/write
+    /// footprints at the point of failure, and the attribution to
+    /// function × tier × bytecode pc plus the §V-C ladder attempt.
+    TxAbortBlame {
+        /// Function owning the transaction (`None` when unowned).
+        func: Option<u32>,
+        /// Owner function name (`"«other»"` when unowned).
+        name: String,
+        /// Tier of the code that was executing at the abort.
+        tier: Tier,
+        /// Bytecode pc of the transaction's fallback entry.
+        bc: u32,
+        /// Why it aborted.
+        reason: AbortReason,
+        /// Transaction scope the owner's code ran at, e.g. `"Nest"`.
+        scope: String,
+        /// §V-C ladder attempt number (1 = first capacity abort).
+        attempt: u32,
+        /// Word address of the faulting access (capacity aborts only).
+        word_addr: Option<u64>,
+        /// Cache line (tag address) of the faulting access.
+        line: Option<u64>,
+        /// Index of the overflowed cache set.
+        set: Option<u64>,
+        /// Speculative lines the victim set was asked to hold, counting
+        /// the faulting one (0 when there is no fault site).
+        set_ways: u32,
+        /// True when the faulting access was a read (RTM read-set
+        /// overflow) rather than a write.
+        read_fault: bool,
+        /// Distinct lines in the write set at the fault.
+        write_lines: u64,
+        /// Write footprint in bytes at the fault.
+        write_bytes: u64,
+        /// Distinct lines in the read set at the fault (RTM only).
+        read_lines: u64,
+        /// Read footprint in bytes at the fault.
+        read_bytes: u64,
         /// Dynamic instructions executed inside the doomed transaction.
         instructions: u64,
     },
@@ -237,25 +287,17 @@ pub fn tier_name(tier: Tier) -> &'static str {
     }
 }
 
-/// Names a check kind for rendering/serialization.
+/// Names a check kind for rendering/serialization (delegates to the
+/// canonical `nomap_machine::check_kind_key` table).
 pub fn check_name(kind: CheckKind) -> &'static str {
-    match kind {
-        CheckKind::Bounds => "bounds",
-        CheckKind::Overflow => "overflow",
-        CheckKind::Type => "type",
-        CheckKind::Property => "property",
-        CheckKind::Other => "other",
-    }
+    nomap_machine::check_kind_key(kind)
 }
 
 /// Names an abort reason for rendering/serialization (check aborts carry
-/// the check kind separately).
+/// the check kind separately; delegates to the canonical
+/// `nomap_machine::abort_reason_class` table).
 pub fn abort_reason_name(reason: AbortReason) -> &'static str {
-    match reason {
-        AbortReason::Check(_) => "check",
-        AbortReason::Capacity => "capacity",
-        AbortReason::StickyOverflow => "sticky-overflow",
-    }
+    nomap_machine::abort_reason_class(reason)
 }
 
 impl TraceEvent {
@@ -268,6 +310,7 @@ impl TraceEvent {
             TraceEvent::TxBegin { .. } => "tx-begin",
             TraceEvent::TxCommit { .. } => "tx-commit",
             TraceEvent::TxAbort { .. } => "tx-abort",
+            TraceEvent::TxAbortBlame { .. } => "tx-abort-blame",
             TraceEvent::LadderStep { .. } => "ladder-step",
             TraceEvent::Recompile { .. } => "recompile",
             TraceEvent::Verify { .. } => "verify",
@@ -312,9 +355,16 @@ impl TraceEvent {
                 m.push(("func", (*func).into()));
                 m.push(("name", name.as_str().into()));
             }
-            TraceEvent::TxCommit { func, footprint_bytes, max_assoc, instructions } => {
+            TraceEvent::TxCommit {
+                func,
+                footprint_bytes,
+                read_footprint_bytes,
+                max_assoc,
+                instructions,
+            } => {
                 m.push(("func", (*func).into()));
                 m.push(("footprint_bytes", (*footprint_bytes).into()));
+                m.push(("read_footprint_bytes", (*read_footprint_bytes).into()));
                 m.push(("max_assoc", (*max_assoc).into()));
                 m.push(("instructions", (*instructions).into()));
             }
@@ -329,6 +379,51 @@ impl TraceEvent {
                 }
                 m.push(("footprint_bytes", (*footprint_bytes).into()));
                 m.push(("undone_words", (*undone_words).into()));
+                m.push(("instructions", (*instructions).into()));
+            }
+            TraceEvent::TxAbortBlame {
+                func,
+                name,
+                tier,
+                bc,
+                reason,
+                scope,
+                attempt,
+                word_addr,
+                line,
+                set,
+                set_ways,
+                read_fault,
+                write_lines,
+                write_bytes,
+                read_lines,
+                read_bytes,
+                instructions,
+            } => {
+                match func {
+                    Some(f) => m.push(("func", (*f).into())),
+                    None => m.push(("func", JsonValue::Null)),
+                }
+                m.push(("name", name.as_str().into()));
+                m.push(("tier", tier_name(*tier).into()));
+                m.push(("bc", (*bc).into()));
+                m.push(("reason", abort_reason_name(*reason).into()));
+                if let AbortReason::Check(kind) = reason {
+                    m.push(("check", check_name(*kind).into()));
+                }
+                m.push(("scope", scope.as_str().into()));
+                m.push(("attempt", (*attempt).into()));
+                m.push(("word_addr", word_addr.map_or(JsonValue::Null, Into::into)));
+                m.push(("line", line.map_or(JsonValue::Null, Into::into)));
+                m.push(("set", set.map_or(JsonValue::Null, Into::into)));
+                m.push(("set_ways", (*set_ways).into()));
+                if *read_fault {
+                    m.push(("read_fault", true.into()));
+                }
+                m.push(("write_lines", (*write_lines).into()));
+                m.push(("write_bytes", (*write_bytes).into()));
+                m.push(("read_lines", (*read_lines).into()));
+                m.push(("read_bytes", (*read_bytes).into()));
                 m.push(("instructions", (*instructions).into()));
             }
             TraceEvent::LadderStep { func, name, from, to, saw_call } => {
@@ -444,9 +539,22 @@ impl TraceEvent {
                 format!("deopt        {name} smp#{smp} → bc {bc}  [{} check]", check_name(*kind))
             }
             TraceEvent::TxBegin { name, .. } => format!("tx-begin     {name}"),
-            TraceEvent::TxCommit { footprint_bytes, max_assoc, instructions, .. } => format!(
-                "tx-commit    {instructions} insts, {footprint_bytes} B written, assoc {max_assoc}"
-            ),
+            TraceEvent::TxCommit {
+                footprint_bytes,
+                read_footprint_bytes,
+                max_assoc,
+                instructions,
+                ..
+            } => {
+                let reads = if *read_footprint_bytes > 0 {
+                    format!(", {read_footprint_bytes} B read")
+                } else {
+                    String::new()
+                };
+                format!(
+                    "tx-commit    {instructions} insts, {footprint_bytes} B written{reads}, assoc {max_assoc}"
+                )
+            }
             TraceEvent::TxAbort { reason, footprint_bytes, undone_words, instructions, .. } => {
                 let why = match reason {
                     AbortReason::Check(kind) => format!("check:{}", check_name(*kind)),
@@ -454,6 +562,38 @@ impl TraceEvent {
                 };
                 format!(
                     "tx-abort     {why}  [{instructions} insts, {footprint_bytes} B footprint, {undone_words} words undone]"
+                )
+            }
+            TraceEvent::TxAbortBlame {
+                name,
+                tier,
+                bc,
+                reason,
+                scope,
+                attempt,
+                set,
+                set_ways,
+                read_fault,
+                write_lines,
+                write_bytes,
+                read_lines,
+                read_bytes,
+                ..
+            } => {
+                let why = match reason {
+                    AbortReason::Check(kind) => format!("check:{}", check_name(*kind)),
+                    other => abort_reason_name(*other).to_owned(),
+                };
+                let site = match set {
+                    Some(s) => {
+                        let rw = if *read_fault { "rd" } else { "wr" };
+                        format!("{rw} set {s} ways {set_ways}, ")
+                    }
+                    None => String::new(),
+                };
+                format!(
+                    "blame        {name}@{}:{bc} {why} #{attempt} [{scope}]  [{site}w {write_lines}L/{write_bytes}B, r {read_lines}L/{read_bytes}B]",
+                    tier_name(*tier)
                 )
             }
             TraceEvent::LadderStep { name, from, to, saw_call, .. } => {
@@ -539,6 +679,109 @@ mod tests {
         assert!(s.contains("\"reason\":\"check\""));
         assert!(s.contains("\"check\":\"bounds\""));
         assert!(s.contains("\"footprint_bytes\":128"));
+    }
+
+    #[test]
+    fn tx_commit_serializes_read_footprint() {
+        let ev = TraceEvent::TxCommit {
+            func: 1,
+            footprint_bytes: 256,
+            read_footprint_bytes: 512,
+            max_assoc: 2,
+            instructions: 90,
+        };
+        let s = ev.to_json(0, 10).render();
+        assert!(s.contains("\"footprint_bytes\":256"));
+        assert!(s.contains("\"read_footprint_bytes\":512"));
+        let line = ev.render(0, 10);
+        assert!(line.contains("256 B written") && line.contains("512 B read"));
+    }
+
+    #[test]
+    fn tx_abort_blame_serializes_and_renders() {
+        let ev = TraceEvent::TxAbortBlame {
+            func: Some(3),
+            name: "smash".into(),
+            tier: Tier::Ftl,
+            bc: 12,
+            reason: AbortReason::Capacity,
+            scope: "Nest".into(),
+            attempt: 2,
+            word_addr: Some(0x4000),
+            line: Some(0x800),
+            set: Some(17),
+            set_ways: 9,
+            read_fault: false,
+            write_lines: 9,
+            write_bytes: 576,
+            read_lines: 0,
+            read_bytes: 0,
+            instructions: 4321,
+        };
+        assert_eq!(ev.kind(), "tx-abort-blame");
+        let s = ev.to_json(5, 777).render();
+        assert!(s.contains("\"ev\":\"tx-abort-blame\""));
+        assert!(s.contains("\"name\":\"smash\""));
+        assert!(s.contains("\"tier\":\"ftl\""));
+        assert!(s.contains("\"bc\":12"));
+        assert!(s.contains("\"reason\":\"capacity\""));
+        assert!(s.contains("\"scope\":\"Nest\""));
+        assert!(s.contains("\"attempt\":2"));
+        assert!(s.contains("\"word_addr\":16384"));
+        assert!(s.contains("\"set\":17"));
+        assert!(s.contains("\"set_ways\":9"));
+        assert!(s.contains("\"write_lines\":9"));
+        assert!(s.contains("\"write_bytes\":576"));
+        assert!(!s.contains("\"read_fault\""), "write faults omit the read_fault flag");
+        let line = ev.render(5, 777);
+        assert!(line.contains("smash@ftl:12 capacity #2 [Nest]"));
+        assert!(line.contains("wr set 17 ways 9"));
+    }
+
+    #[test]
+    fn tx_abort_blame_without_fault_site_serializes_nulls() {
+        let ev = TraceEvent::TxAbortBlame {
+            func: None,
+            name: "«other»".into(),
+            tier: Tier::Baseline,
+            bc: 0,
+            reason: AbortReason::Check(CheckKind::Type),
+            scope: "None".into(),
+            attempt: 1,
+            word_addr: None,
+            line: None,
+            set: None,
+            set_ways: 0,
+            read_fault: false,
+            write_lines: 2,
+            write_bytes: 128,
+            read_lines: 0,
+            read_bytes: 0,
+            instructions: 10,
+        };
+        let s = ev.to_json(0, 0).render();
+        assert!(s.contains("\"func\":null"));
+        assert!(s.contains("\"word_addr\":null"));
+        assert!(s.contains("\"set\":null"));
+        assert!(s.contains("\"reason\":\"check\""));
+        assert!(s.contains("\"check\":\"type\""));
+        let line = ev.render(0, 0);
+        assert!(line.contains("check:type #1"));
+        assert!(!line.contains("set "), "no fault site to render");
+    }
+
+    #[test]
+    fn name_tables_delegate_to_machine() {
+        for kind in CheckKind::ALL {
+            assert_eq!(check_name(kind), nomap_machine::check_kind_key(kind));
+        }
+        for reason in [
+            AbortReason::Check(CheckKind::Bounds),
+            AbortReason::Capacity,
+            AbortReason::StickyOverflow,
+        ] {
+            assert_eq!(abort_reason_name(reason), nomap_machine::abort_reason_class(reason));
+        }
     }
 
     #[test]

@@ -186,6 +186,7 @@ mod tests {
         t.emit(20, || TraceEvent::TxCommit {
             func: 0,
             footprint_bytes: 64,
+            read_footprint_bytes: 0,
             max_assoc: 1,
             instructions: 40,
         });

@@ -9,9 +9,9 @@
 
 use std::collections::BTreeMap;
 
-use nomap_machine::{AbortReason, Tier};
+use nomap_machine::Tier;
 
-use crate::event::{abort_reason_name, check_name, tier_name, TraceEvent};
+use crate::event::{tier_name, TraceEvent};
 use crate::json::{obj, JsonValue};
 
 /// Power-of-two-bucketed histogram over `u64` samples.
@@ -196,10 +196,21 @@ pub struct Metrics {
     pub aborts_by_reason: BTreeMap<String, u64>,
     /// Write footprint (bytes) of committed transactions.
     pub commit_footprint: Histogram,
+    /// Read footprint (bytes) of committed transactions (schema v7;
+    /// nonzero only when the HTM bounds reads, i.e. RTM).
+    pub commit_read_footprint: Histogram,
     /// Dynamic instructions per committed transaction.
     pub commit_instructions: Histogram,
     /// Write footprint (bytes) of aborted transactions at the abort point.
     pub abort_footprint: Histogram,
+    /// Read footprint (bytes) of aborted transactions at the abort point
+    /// (from `tx-abort-blame` events; RTM only).
+    pub abort_read_footprint: Histogram,
+    /// Capacity aborts keyed by owner function × victim-set pressure
+    /// (`<name>/ways:<n>` — how many speculative lines the overflowed set
+    /// was asked to hold). Fed by `tx-abort-blame` events with a fault
+    /// site.
+    pub abort_set_pressure: BTreeMap<String, u64>,
     /// Per-function tier-residency instruction counts, keyed by function
     /// name. Fed by the VM (not derivable from lifecycle events alone).
     pub residency: BTreeMap<String, TierResidency>,
@@ -231,17 +242,25 @@ impl Metrics {
     pub fn observe(&mut self, event: &TraceEvent) {
         self.bump(event.kind());
         match event {
-            TraceEvent::TxCommit { footprint_bytes, instructions, .. } => {
+            TraceEvent::TxCommit {
+                footprint_bytes, read_footprint_bytes, instructions, ..
+            } => {
                 self.commit_footprint.record(*footprint_bytes);
+                self.commit_read_footprint.record(*read_footprint_bytes);
                 self.commit_instructions.record(*instructions);
             }
             TraceEvent::TxAbort { reason, footprint_bytes, .. } => {
-                let key = match reason {
-                    AbortReason::Check(kind) => format!("check:{}", check_name(*kind)),
-                    other => abort_reason_name(*other).to_owned(),
-                };
+                let key = nomap_machine::abort_reason_key(*reason);
                 *self.aborts_by_reason.entry(key).or_insert(0) += 1;
                 self.abort_footprint.record(*footprint_bytes);
+            }
+            TraceEvent::TxAbortBlame { name, set, set_ways, read_bytes, .. } => {
+                self.abort_read_footprint.record(*read_bytes);
+                if set.is_some() {
+                    let key = format!("{name}/ways:{set_ways}");
+                    let c = self.abort_set_pressure.entry(key).or_insert(0);
+                    *c = c.saturating_add(1);
+                }
             }
             TraceEvent::CycleRegion { name, tier, region, cycles, .. } => {
                 let key = format!("{name}/{}/{region}", tier_name(*tier));
@@ -292,8 +311,14 @@ impl Metrics {
             *c = c.saturating_add(*v);
         }
         self.commit_footprint.merge(&other.commit_footprint);
+        self.commit_read_footprint.merge(&other.commit_read_footprint);
         self.commit_instructions.merge(&other.commit_instructions);
         self.abort_footprint.merge(&other.abort_footprint);
+        self.abort_read_footprint.merge(&other.abort_read_footprint);
+        for (k, v) in &other.abort_set_pressure {
+            let c = self.abort_set_pressure.entry(k.clone()).or_insert(0);
+            *c = c.saturating_add(*v);
+        }
         for (name, res) in &other.residency {
             let entry = self.residency.entry(name.clone()).or_default();
             for (a, b) in entry.insts.iter_mut().zip(res.insts.iter()) {
@@ -332,6 +357,12 @@ impl Metrics {
                 "commit footprint (bytes): {}\n",
                 self.commit_footprint.summary()
             ));
+            if self.commit_read_footprint.max > 0 {
+                out.push_str(&format!(
+                    "commit read foot (bytes): {}\n",
+                    self.commit_read_footprint.summary()
+                ));
+            }
             out.push_str(&format!(
                 "commit length (insts):    {}\n",
                 self.commit_instructions.summary()
@@ -342,6 +373,18 @@ impl Metrics {
                 "abort footprint (bytes):  {}\n",
                 self.abort_footprint.summary()
             ));
+        }
+        if self.abort_read_footprint.max > 0 {
+            out.push_str(&format!(
+                "abort read foot (bytes):  {}\n",
+                self.abort_read_footprint.summary()
+            ));
+        }
+        if !self.abort_set_pressure.is_empty() {
+            out.push_str("capacity aborts by set pressure:\n");
+            for (k, v) in &self.abort_set_pressure {
+                out.push_str(&format!("  {k:<28} {v}\n"));
+            }
         }
         if !self.cycles_by_region.is_empty() {
             out.push_str("attributed cycles by region:\n");
@@ -407,12 +450,17 @@ impl Metrics {
             self.cycles_by_region.iter().map(|(k, v)| (k.clone(), JsonValue::from(*v))).collect();
         let opcodes = self.opcodes.iter().map(|(k, v)| (k.clone(), JsonValue::from(*v))).collect();
         let digrams = self.digrams.iter().map(|(k, v)| (k.clone(), JsonValue::from(*v))).collect();
+        let set_pressure =
+            self.abort_set_pressure.iter().map(|(k, v)| (k.clone(), JsonValue::from(*v))).collect();
         obj(vec![
             ("counters", JsonValue::Object(counters)),
             ("aborts_by_reason", JsonValue::Object(aborts)),
             ("commit_footprint", self.commit_footprint.to_json()),
+            ("commit_read_footprint", self.commit_read_footprint.to_json()),
             ("commit_instructions", self.commit_instructions.to_json()),
             ("abort_footprint", self.abort_footprint.to_json()),
+            ("abort_read_footprint", self.abort_read_footprint.to_json()),
+            ("abort_set_pressure", JsonValue::Object(set_pressure)),
             ("tier_residency", JsonValue::Object(residency)),
             ("cycles_by_region", JsonValue::Object(regions)),
             ("opcodes", JsonValue::Object(opcodes)),
@@ -423,7 +471,7 @@ impl Metrics {
 
 #[cfg(test)]
 mod tests {
-    use nomap_machine::CheckKind;
+    use nomap_machine::{AbortReason, CheckKind};
 
     use super::*;
 
@@ -575,6 +623,7 @@ mod tests {
         m.observe(&TraceEvent::TxCommit {
             func: 1,
             footprint_bytes: 64,
+            read_footprint_bytes: 128,
             max_assoc: 2,
             instructions: 500,
         });
@@ -594,6 +643,54 @@ mod tests {
         let mut empty = Metrics::new();
         empty.merge(&snapshot);
         assert_eq!(empty, snapshot, "merging into an empty registry must copy");
+    }
+
+    fn blame(name: &str, set: Option<u64>, set_ways: u32, read_bytes: u64) -> TraceEvent {
+        TraceEvent::TxAbortBlame {
+            func: Some(0),
+            name: name.into(),
+            tier: Tier::Ftl,
+            bc: 4,
+            reason: AbortReason::Capacity,
+            scope: "Nest".into(),
+            attempt: 1,
+            word_addr: set.map(|_| 0x1000),
+            line: set.map(|_| 0x40),
+            set,
+            set_ways,
+            read_fault: false,
+            write_lines: 9,
+            write_bytes: 576,
+            read_lines: read_bytes / 64,
+            read_bytes,
+            instructions: 100,
+        }
+    }
+
+    #[test]
+    fn blame_events_feed_set_pressure_and_read_histograms() {
+        let mut m = Metrics::new();
+        m.observe(&blame("smash", Some(3), 9, 0));
+        m.observe(&blame("smash", Some(7), 9, 0));
+        m.observe(&blame("other", Some(3), 9, 1024));
+        m.observe(&blame("snap", None, 0, 0)); // check abort: no fault site
+        assert_eq!(m.counters["tx-abort-blame"], 4);
+        assert_eq!(m.abort_set_pressure["smash/ways:9"], 2);
+        assert_eq!(m.abort_set_pressure["other/ways:9"], 1);
+        assert_eq!(m.abort_set_pressure.len(), 2, "no set-pressure entry without a fault site");
+        assert_eq!(m.abort_read_footprint.count, 4);
+        assert_eq!(m.abort_read_footprint.max, 1024);
+
+        let mut other = Metrics::new();
+        other.observe(&blame("smash", Some(3), 9, 0));
+        let mut ab = m.clone();
+        ab.merge(&other);
+        let mut ba = other.clone();
+        ba.merge(&m);
+        assert_eq!(ab, ba, "blame metrics merge must be commutative");
+        assert_eq!(ab.abort_set_pressure["smash/ways:9"], 3);
+        assert!(ab.summary().contains("capacity aborts by set pressure"));
+        assert!(ab.to_json().render().contains("\"abort_set_pressure\""));
     }
 
     #[test]

@@ -81,6 +81,7 @@ impl Vm {
             InstCategory::TmUnopt
         };
         self.stats.add_insts(cat, code.tier, n);
+        self.last_tier = code.tier;
         if self.tracer.is_enabled() {
             let name = self.funcs[code.func.0 as usize].name.clone();
             self.tracer.record_residency(&name, code.tier, n);
@@ -159,9 +160,12 @@ impl Vm {
     /// counters, and returns the unwinding signal.
     pub(crate) fn trigger_abort(&mut self, reason: AbortReason) -> Flow {
         self.stats.add_abort(reason);
-        // Footprint/length must be sampled before the rollback wipes them.
-        let obs_ctx = if self.tracer.is_enabled() || self.profiler.is_some() {
-            Some((self.tx.write_footprint_bytes(&self.htm), self.tx.instructions))
+        // Blame (fault site, footprints, length) must be sampled before the
+        // rollback wipes the speculative sets. Capacity aborts carry the
+        // fault site captured by the HTM model at the point of failure;
+        // check/SOF aborts get a site-less snapshot of the current sets.
+        let blame = if self.tracer.is_enabled() || self.profiler.is_some() {
+            Some(self.tx.blame().unwrap_or_else(|| self.tx.snapshot_blame(&self.htm)))
         } else {
             None
         };
@@ -181,20 +185,50 @@ impl Vm {
         let (pfunc, ptier) = self.profiler_ctx();
         let afunc = owner.map(|f| f.0).unwrap_or(pfunc);
         self.add_cycles(false, cycles, afunc, ptier, abort_kind);
-        if let Some((footprint_bytes, _)) = obs_ctx {
+        if let Some(b) = blame {
             if let Some(p) = &mut self.profiler {
-                p.data.record_abort(afunc, reason, footprint_bytes);
+                p.data.record_abort(afunc, reason, b.write_bytes);
+                p.data.record_blame(afunc, b.fault.map(|f| f.set_ways), b.read_bytes);
             }
         }
-        if let (Some((footprint_bytes, instructions)), true) = (obs_ctx, self.tracer.is_enabled()) {
+        if let (Some(b), true) = (blame, self.tracer.is_enabled()) {
             let ev = TraceEvent::TxAbort {
                 func: owner.map(|f| f.0),
                 reason,
-                footprint_bytes,
+                footprint_bytes: b.write_bytes,
                 undone_words: undone as u64,
-                instructions,
+                instructions: b.instructions,
             };
             let now = self.stats.total_cycles();
+            self.tracer.emit(now, move || ev);
+            let name = owner
+                .map(|f| self.funcs[f.0 as usize].name.clone())
+                .unwrap_or_else(|| "<vm>".to_owned());
+            let scope = owner
+                .map(|f| format!("{:?}", self.code[f.0 as usize].scope))
+                .unwrap_or_else(|| "None".to_owned());
+            let attempt = owner
+                .map(|f| (self.rt.profiles.func(f).capacity_aborts + 1).min(u32::MAX as u64) as u32)
+                .unwrap_or(1);
+            let ev = TraceEvent::TxAbortBlame {
+                func: owner.map(|f| f.0),
+                name,
+                tier: self.last_tier,
+                bc: self.tx_fallback.as_ref().map(|f| f.bc).unwrap_or(0),
+                reason,
+                scope,
+                attempt,
+                word_addr: b.fault.map(|f| f.word_addr),
+                line: b.fault.map(|f| f.line),
+                set: b.fault.map(|f| f.set),
+                set_ways: b.fault.map(|f| f.set_ways).unwrap_or(0),
+                read_fault: b.fault.is_some_and(|f| !f.is_write),
+                write_lines: b.write_lines,
+                write_bytes: b.write_bytes,
+                read_lines: b.read_lines,
+                read_bytes: b.read_bytes,
+                instructions: b.instructions,
+            };
             self.tracer.emit(now, move || ev);
         }
         if let Some(func) = owner {
@@ -566,10 +600,18 @@ fn exec_loop(vm: &mut Vm, frame: &mut Frame) -> Result<Value, Flow> {
                         frame.code.tier,
                         RegionKind::TxnBody,
                     );
+                    if let Some(p) = &mut vm.profiler {
+                        p.data.record_commit(
+                            frame.code.func.0,
+                            outcome.write_footprint_bytes,
+                            outcome.read_footprint_bytes,
+                        );
+                    }
                     if vm.tracer.is_enabled() {
                         let ev = TraceEvent::TxCommit {
                             func: frame.code.func.0,
                             footprint_bytes: outcome.write_footprint_bytes,
+                            read_footprint_bytes: outcome.read_footprint_bytes,
                             max_assoc: outcome.max_assoc,
                             instructions: outcome.instructions,
                         };

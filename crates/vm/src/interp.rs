@@ -162,6 +162,7 @@ fn interpret_inner(vm: &mut Vm, id: FuncId, args: &[Value]) -> Result<Value, Flo
 fn account(vm: &mut Vm, id: FuncId) -> Result<(), Flow> {
     let insts = vm.rt.costs.interp_dispatch + vm.rt.take_charged();
     vm.stats.add_insts(InstCategory::NoFtl, Tier::Interpreter, insts);
+    vm.last_tier = Tier::Interpreter;
     if vm.tracer.is_enabled() {
         let name = vm.funcs[id.0 as usize].name.clone();
         vm.tracer.record_residency(&name, Tier::Interpreter, insts);

@@ -29,6 +29,7 @@
 //! # Ok::<(), nomap_vm::VmError>(())
 //! ```
 
+mod aborts;
 mod error;
 mod exec;
 mod interp;
@@ -39,6 +40,7 @@ mod prove;
 mod tiering;
 mod vm;
 
+pub use aborts::{aborts_source, AbortSite, AbortsFnRow, AbortsReport};
 pub use error::VmError;
 pub use ipa_report::{ipa_source, IpaFnReport, IpaReport};
 pub use lint::{lint_source, LintReport};

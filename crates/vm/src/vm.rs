@@ -159,6 +159,9 @@ pub struct Vm {
     pub(crate) log_buf: Vec<Access>,
     /// Machine overflow flag (set by int32 arithmetic).
     pub(crate) of: bool,
+    /// Tier of the most recently executed guest instruction — the tier a
+    /// transactional abort is attributed to in forensics events.
+    pub(crate) last_tier: Tier,
     /// Lifecycle-event tracer (disabled by default; observation-only).
     pub(crate) tracer: Tracer,
     /// Cycle-attribution profiler (disabled by default; observation-only).
@@ -228,6 +231,7 @@ impl Vm {
             tx_saw_call: false,
             log_buf: Vec::new(),
             of: false,
+            last_tier: Tier::Interpreter,
             tracer: Tracer::disabled(),
             profiler: None,
             census: None,

@@ -1,0 +1,144 @@
+//! CI helper: run the abort-forensics calibration census over every
+//! bundled workload, under both HTM models by default (ROT-style `NoMap`
+//! and restricted `NoMap_RTM`). Prints one stable line per (architecture,
+//! workload) pair — diffed against `results/abort_census.txt` in CI, so
+//! any drift in the static-vs-dynamic footprint calibration fails the
+//! build — and exits nonzero when any workload reports an *unexplained*
+//! under-prediction: a function the footprint estimator called safe that
+//! took capacity aborts no known blind spot (set conflicts, RTM read-set
+//! tracking, callee traffic, unoptimized-tier traffic, unproven trip
+//! counts, uncounted stores) accounts for.
+//!
+//! Workloads are sharded over the `nomap-fleet` harness; per-workload
+//! lines are buffered and printed in canonical corpus order, so stdout is
+//! byte-identical for any `--jobs` value. Scheduling telemetry goes to
+//! stderr only.
+//!
+//! ```text
+//! abort_census [arch-name] [--warmup N] [--json <path>] [--jobs N]
+//! ```
+//!
+//! A positional architecture restricts the census to that model. `--json`
+//! additionally writes the full per-workload calibration report (every
+//! row and every attributed abort site) to one JSON document.
+
+use std::process::ExitCode;
+
+use nomap_fleet::FleetConfig;
+use nomap_vm::{aborts_source, obj, AbortsReport, Architecture, JsonValue};
+use nomap_workloads::fleet::{corpus, report_summary};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // The positional architecture is any bare argument that is not the
+    // value of a value-taking flag.
+    let mut positional = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if ["--warmup", "--json", "--jobs"].contains(&a.as_str()) {
+            it.next();
+        } else if !a.starts_with("--") {
+            positional = Some(a);
+        }
+    }
+    let archs: Vec<Architecture> = match positional {
+        Some(s) => match Architecture::ALL.into_iter().find(|a| a.name().eq_ignore_ascii_case(s)) {
+            Some(a) => vec![a],
+            None => {
+                eprintln!("unknown architecture `{s}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => vec![Architecture::NoMap, Architecture::NoMapRtm],
+    };
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+    };
+    let warmup: u32 = flag("--warmup").and_then(|s| s.parse().ok()).unwrap_or(40);
+    let json_path = flag("--json").map(str::to_owned);
+    let fleet = match FleetConfig::from_args(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let workloads = corpus();
+    let mut censused = 0usize;
+    let mut sites = 0usize;
+    let mut tp = 0usize;
+    let mut tn = 0usize;
+    let mut over = 0usize;
+    let mut under = 0usize;
+    let mut unexplained = 0usize;
+    let mut failed = 0usize;
+    let mut arch_docs: Vec<JsonValue> = Vec::new();
+    for arch in &archs {
+        let run: nomap_fleet::FleetRun<AbortsReport> =
+            nomap_fleet::run_sharded(workloads.len(), &fleet, |i| {
+                let w = &workloads[i];
+                aborts_source(w.source, *arch, warmup).map_err(|e| format!("{}: {e}", w.id))
+            });
+        let mut docs: Vec<JsonValue> = Vec::new();
+        for (w, shard) in workloads.iter().zip(&run.shards) {
+            let report = match &shard.outcome {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("abort census failed after {} attempts: {e}", shard.attempts);
+                    failed += 1;
+                    continue;
+                }
+            };
+            println!("{:<9} {} {}", arch.name(), w.id, report.summary());
+            censused += 1;
+            sites += report.sites.len();
+            for row in &report.rows {
+                match row.verdict.as_str() {
+                    "predicted-abort-and-aborted" => tp += 1,
+                    "predicted-safe-and-safe" => tn += 1,
+                    "over-prediction" => over += 1,
+                    "under-prediction" => under += 1,
+                    _ => {}
+                }
+            }
+            let u = report.unexplained_under_predictions();
+            if u > 0 {
+                eprintln!("{}/{}: {u} unexplained under-prediction(s):", arch.name(), w.id);
+                for r in &report.rows {
+                    if r.verdict == "under-prediction" && r.explanation.is_none() {
+                        eprintln!("  {}", r.render());
+                    }
+                }
+                unexplained += u;
+            }
+            if json_path.is_some() {
+                docs.push(obj(vec![("workload", w.id.into()), ("report", report.to_json(*arch))]));
+            }
+        }
+        report_summary(&run.summary);
+        if json_path.is_some() {
+            arch_docs.push(obj(vec![
+                ("arch", arch.name().into()),
+                ("workloads", JsonValue::Array(docs)),
+            ]));
+        }
+    }
+    println!(
+        "abort census: {censused} (arch, workload) pairs, {sites} blame sites: tp={tp} tn={tn} over={over} under={under} unexplained={unexplained}"
+    );
+    if let Some(path) = &json_path {
+        let doc =
+            obj(vec![("archs", JsonValue::Array(arch_docs)), ("unexplained", unexplained.into())]);
+        if let Err(e) = std::fs::write(path, doc.render()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("abort census json written to {path}");
+    }
+    if unexplained == 0 && failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,133 @@
+//! Abort forensics is observation-only: enabling the blame-attribution
+//! layer (tracing + profiling together) must not change guest output or
+//! execution statistics, and every capacity abort must carry a concrete,
+//! internally consistent blame record (fault site, set occupancy,
+//! read/write footprints at the point of failure, ladder attempt).
+
+use nomap_trace::TraceEvent;
+use nomap_vm::{Architecture, Vm};
+
+/// A workload big enough to tier to FTL, commit transactions, and overflow
+/// the 256 KB ROT write budget (forcing capacity aborts and §V-C ladder
+/// steps).
+const LADDER_SRC: &str = "
+    var N = 40000;
+    var big = new Array(N);
+    function smash(seed) {
+        var acc = 0;
+        for (var i = 0; i < N; i++) {
+            big[i] = (i ^ seed) & 1023;
+            acc = (acc + big[i]) & 1048575;
+        }
+        return acc;
+    }
+    function run() { return smash(99); }
+";
+
+fn run_workload(vm: &mut Vm) -> String {
+    vm.run_main().unwrap();
+    let mut last = String::new();
+    for _ in 0..60 {
+        last = format!("{:?}", vm.call("run", &[]).unwrap());
+    }
+    last
+}
+
+#[test]
+fn forensics_do_not_change_stats_or_results() {
+    for arch in [Architecture::NoMap, Architecture::NoMapRtm] {
+        let mut plain = Vm::new(LADDER_SRC, arch).unwrap();
+        let r1 = run_workload(&mut plain);
+
+        // Forensics-on: tracing AND profiling, the full blame path.
+        let mut forensic = Vm::new(LADDER_SRC, arch).unwrap();
+        forensic.enable_tracing(65536);
+        forensic.enable_profiling();
+        let r2 = run_workload(&mut forensic);
+
+        assert_eq!(r1, r2, "forensics changed the program result under {arch:?}");
+        assert_eq!(plain.stats, forensic.stats, "forensics changed ExecStats under {arch:?}");
+        assert!(forensic.trace_emitted() > 0);
+    }
+}
+
+#[test]
+fn capacity_aborts_carry_consistent_blame() {
+    let arch = Architecture::NoMap;
+    let model = arch.htm_model();
+    let line_bytes = model.write_cache.line_bytes;
+    let ways = model.write_cache.ways;
+    let mut vm = Vm::new(LADDER_SRC, arch).unwrap();
+    vm.enable_tracing(65536);
+    vm.enable_profiling();
+    run_workload(&mut vm);
+
+    let events = vm.trace();
+    let mut plain_aborts = Vec::new();
+    let mut blames = Vec::new();
+    for rec in &events {
+        match &rec.event {
+            TraceEvent::TxAbort { .. } => plain_aborts.push(rec.seq),
+            TraceEvent::TxAbortBlame { .. } => blames.push(rec.clone()),
+            _ => {}
+        }
+    }
+    assert_eq!(
+        plain_aborts.len(),
+        blames.len(),
+        "every tx-abort must be paired with one tx-abort-blame"
+    );
+    // Blame immediately follows its abort in the event stream.
+    for (abort_seq, blame) in plain_aborts.iter().zip(&blames) {
+        assert_eq!(blame.seq, abort_seq + 1, "blame not adjacent to its abort");
+    }
+
+    let mut capacity_blames = 0;
+    for rec in &blames {
+        let TraceEvent::TxAbortBlame {
+            name,
+            reason,
+            attempt,
+            set,
+            set_ways,
+            read_fault,
+            write_lines,
+            write_bytes,
+            read_lines,
+            read_bytes,
+            instructions,
+            ..
+        } = &rec.event
+        else {
+            unreachable!()
+        };
+        assert_eq!(*write_bytes, write_lines * line_bytes, "write footprint inconsistent");
+        // ROT does not track a read set.
+        assert_eq!(*read_lines, 0);
+        assert_eq!(*read_bytes, 0);
+        assert!(*attempt >= 1);
+        if nomap_machine::abort_reason_class(*reason) == "capacity" {
+            capacity_blames += 1;
+            assert_eq!(name, "smash");
+            let set = set.expect("capacity abort must carry a fault site");
+            assert!(set < model.write_cache.sets(), "victim set out of range");
+            assert!(*set_ways > ways, "victim set did not overflow its ways");
+            assert!(!*read_fault, "ROT capacity faults are write faults");
+            assert!(*write_lines > 0);
+            assert!(*instructions > 0);
+        }
+    }
+    assert!(capacity_blames >= 1, "no capacity abort blame observed");
+
+    // The profiler's calibration maps saw the same forensics.
+    let profile = vm.profile().unwrap();
+    assert!(!profile.abort_set_pressure.is_empty(), "no set-pressure entries");
+    assert!(profile.tx_commits.values().sum::<u64>() > 0, "no commits recorded");
+    // Trace metrics carry the set-pressure census keyed by function name.
+    let m = vm.trace_metrics();
+    assert!(
+        m.abort_set_pressure.keys().any(|k| k.starts_with("smash/ways:")),
+        "metrics set-pressure census missing: {:?}",
+        m.abort_set_pressure
+    );
+}
